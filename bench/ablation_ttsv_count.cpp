@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ablation: hotspot reduction vs number of shorted µbump-TTSV
+ * pillars. Sites are added on a uniform grid over the die (ignoring
+ * the peripheral-logic constraint — this is a what-if, not a
+ * manufacturable layout) to expose the diminishing returns that make
+ * the paper's 28-36 TTSVs a sensible operating point.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "workloads/profile.hpp"
+#include "xylem/system.hpp"
+
+namespace {
+
+/** First `n` sites of a centred uniform k x k grid over the die. */
+std::vector<xylem::geometry::Point>
+gridSites(int n)
+{
+    std::vector<xylem::geometry::Point> sites;
+    int k = 1;
+    while (k * k < n)
+        ++k;
+    const double die = 8e-3;
+    for (int iy = 0; iy < k && static_cast<int>(sites.size()) < n; ++iy) {
+        for (int ix = 0; ix < k && static_cast<int>(sites.size()) < n;
+             ++ix) {
+            sites.push_back({(ix + 0.5) * die / k, (iy + 0.5) * die / k});
+        }
+    }
+    return sites;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace xylem;
+
+    bench::banner(
+        "Ablation — pillar count vs hotspot reduction",
+        "not in the paper: each additional pillar helps less; the "
+        "first few dozen capture most of the benefit, supporting the "
+        "paper's 28-36 TTSV design point at <1% area overhead");
+
+    const auto &app = workloads::profileByName("LU(NAS)");
+
+    core::SystemConfig base_cfg;
+    core::StackSystem base(base_cfg);
+    const double t_base = base.evaluate(app, 2.4).procHotspot;
+    std::cout << "base hotspot at 2.4 GHz: " << Table::num(t_base, 2)
+              << " C\n\n";
+
+    Table t({"pillars", "area overhead (%)", "hotspot (C)", "dT (C)",
+             "dT per pillar (mC)"});
+    double prev_dt = 0.0;
+    for (int n : {4, 9, 16, 25, 36, 64, 100}) {
+        core::SystemConfig cfg;
+        cfg.stackSpec.scheme = stack::Scheme::BankE; // shorting enabled
+        cfg.stackSpec.customTtsvSites = gridSites(n);
+        core::StackSystem system(cfg);
+        const double hot = system.evaluate(app, 2.4).procHotspot;
+        const double dt = t_base - hot;
+        t.addRow({std::to_string(n),
+                  Table::num(system.builtStack().ttsvAreaOverhead() *
+                                 100.0, 2),
+                  Table::num(hot, 2), Table::num(dt, 2),
+                  Table::num((dt - prev_dt) * 1000.0 /
+                                 std::max(1, n), 1)});
+        prev_dt = dt;
+    }
+    t.print(std::cout);
+    return 0;
+}

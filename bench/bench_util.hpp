@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries: a common
+ * banner, the paper-reported reference values, and experiment sizing
+ * flags (--fast shrinks a bench for smoke runs).
+ */
+
+#ifndef XYLEM_BENCH_BENCH_UTIL_HPP
+#define XYLEM_BENCH_BENCH_UTIL_HPP
+
+#include <iostream>
+#include <string>
+
+#include "xylem/experiments.hpp"
+
+namespace xylem::bench {
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &experiment, const std::string &paper_result)
+{
+    std::cout << "=== Xylem reproduction: " << experiment << " ===\n";
+    std::cout << "Paper reports: " << paper_result << "\n";
+    std::cout << "(absolute numbers differ — our substrate is a "
+                 "reimplemented simulator; the shape is the claim)\n\n";
+}
+
+/**
+ * Standard experiment config, shrunk when `--fast` is passed.
+ */
+inline core::ExperimentConfig
+configFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--fast") {
+            auto cfg = core::ExperimentConfig::small();
+            std::cout << "[--fast: shrunk configuration]\n";
+            return cfg;
+        }
+    }
+    return core::ExperimentConfig::standard();
+}
+
+/** Short scheme label for table cells. */
+inline std::string
+label(stack::Scheme s)
+{
+    return stack::toString(s);
+}
+
+} // namespace xylem::bench
+
+#endif // XYLEM_BENCH_BENCH_UTIL_HPP

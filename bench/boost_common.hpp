@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared driver for Figs. 9-12, which all derive from the same
+ * iso-temperature frequency-boost experiment (§7.3): each bench
+ * binary prints one of the four reported metrics.
+ */
+
+#ifndef XYLEM_BENCH_BOOST_COMMON_HPP
+#define XYLEM_BENCH_BOOST_COMMON_HPP
+
+#include <functional>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace xylem::bench {
+
+/**
+ * Run the boost experiment and print `metric` per app for bank and
+ * banke, plus the mean.
+ *
+ * @param geometric use the geometric mean of (1 + metric/100) - 1
+ *                  (the paper uses geo-means for ratios)
+ */
+inline int
+boostBench(int argc, char **argv, const std::string &title,
+           const std::string &paper, const std::string &unit,
+           const std::function<double(const core::BoostEntry &)> &metric,
+           bool geometric)
+{
+    using stack::Scheme;
+    banner(title, paper);
+
+    const core::ExperimentConfig cfg = configFromArgs(argc, argv);
+    const auto entries =
+        core::runBoostExperiment(cfg, {Scheme::Bank, Scheme::BankE});
+
+    Table t({"app", "bank (" + unit + ")", "banke (" + unit + ")"});
+    std::vector<double> bank_vals, banke_vals;
+    for (const auto &app : cfg.apps) {
+        double bank = 0, banke = 0;
+        for (const auto &e : entries) {
+            if (e.app != app)
+                continue;
+            (e.scheme == Scheme::Bank ? bank : banke) = metric(e);
+        }
+        bank_vals.push_back(bank);
+        banke_vals.push_back(banke);
+        t.addRow({app, Table::num(bank, 1), Table::num(banke, 1)});
+    }
+    auto summarise = [&](std::vector<double> vals) {
+        if (!geometric)
+            return mean(vals);
+        for (double &v : vals)
+            v = 1.0 + v / 100.0;
+        return (geomean(vals) - 1.0) * 100.0;
+    };
+    t.addRow({"Mean", Table::num(summarise(bank_vals), 1),
+              Table::num(summarise(banke_vals), 1)});
+    t.print(std::cout);
+    return 0;
+}
+
+} // namespace xylem::bench
+
+#endif // XYLEM_BENCH_BOOST_COMMON_HPP

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig. 3 / §2.5 / §4.1: the thermal-resistance arithmetic behind the
+ * Xylem idea — the average D2D layer vs the aligned-and-shorted
+ * dummy-µbump pillar, and the surrounding layers.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "materials/library.hpp"
+
+int
+main()
+{
+    using namespace xylem;
+    using namespace xylem::materials;
+    namespace mc = materials::constants;
+
+    bench::banner("Fig. 3 — thermal resistances per unit area",
+                  "D2D avg 13.33, shorted pillar 0.46, frontside metal "
+                  "0.22, bulk Si 0.83, proc metal 1.0 [mm^2-K/W]");
+
+    auto rth = [](double t, double lambda) {
+        return slabResistance(t, lambda) / units::mm2KperW;
+    };
+
+    Table t({"layer / path", "thickness (um)", "lambda (W/mK)",
+             "Rth (mm2-K/W)", "paper"});
+    t.addRow({"D2D layer (average)", "20", "1.5",
+              Table::num(rth(mc::thicknessD2D, mc::lambdaD2DBackground)),
+              "13.33"});
+    const Material pillar = shortedBumpColumn();
+    t.addRow({"D2D at shorted bump-TTSV site", "20",
+              Table::num(pillar.conductivity, 1),
+              Table::num(rth(mc::thicknessD2D, pillar.conductivity)),
+              "0.46"});
+    t.addRow({"DRAM frontside metal", "2", "9",
+              Table::num(rth(mc::thicknessDramMetal, mc::lambdaDramMetal)),
+              "0.22"});
+    t.addRow({"bulk silicon", "100", "120",
+              Table::num(rth(mc::thicknessDieSilicon, mc::lambdaSilicon)),
+              "0.83"});
+    t.addRow({"processor metal stack", "12", "12",
+              Table::num(rth(mc::thicknessProcMetal, mc::lambdaProcMetal)),
+              "1.00"});
+    t.addRow({"TIM", "50", "5",
+              Table::num(rth(mc::thicknessTim, mc::lambdaTim)), "10.00"});
+    t.print(std::cout);
+
+    const double avg = rth(mc::thicknessD2D, mc::lambdaD2DBackground);
+    const double site = rth(mc::thicknessD2D, pillar.conductivity);
+    std::cout << "\nThe shorted site is " << Table::num(avg / site, 1)
+              << "x less resistive than the average D2D layer "
+                 "(paper: ~30x).\n";
+    std::cout << "The D2D layer is "
+              << Table::num(avg / rth(mc::thicknessDieSilicon,
+                                      mc::lambdaSilicon), 1)
+              << "x more resistive than bulk silicon (paper: ~16x) and "
+              << Table::num(avg / rth(mc::thicknessProcMetal,
+                                      mc::lambdaProcMetal), 1)
+              << "x more than the processor metal stack (paper: ~13x).\n";
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fig. 7: steady-state processor-die hotspot temperature for all 17
+ * applications under base/bank/banke/prior at 2.4/2.8/3.2/3.5 GHz.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace xylem;
+    using core::ExperimentConfig;
+    using stack::Scheme;
+
+    bench::banner(
+        "Fig. 7 — processor-die steady-state temperature",
+        "base approaches Tj,max=100C at 2.4 GHz for the compute-bound "
+        "codes; 2.4->3.5 GHz adds ~10C (FT) to ~30C (LU-NAS); bank and "
+        "banke cut temperatures at every frequency; prior (TTSVs "
+        "without shorting) tracks base almost exactly");
+
+    const ExperimentConfig cfg = bench::configFromArgs(argc, argv);
+    const std::vector<Scheme> schemes = {Scheme::Base, Scheme::Bank,
+                                         Scheme::BankE, Scheme::Prior};
+    const auto sweep = core::runTemperatureSweep(cfg, schemes);
+
+    std::vector<std::string> headers = {"app", "scheme"};
+    for (double f : cfg.frequencies)
+        headers.push_back(Table::num(f, 1) + " GHz");
+    Table t(headers);
+    for (const auto &app : cfg.apps) {
+        for (Scheme s : schemes) {
+            std::vector<std::string> row = {app, bench::label(s)};
+            for (double f : cfg.frequencies) {
+                row.push_back(Table::num(
+                    core::sweepEntry(sweep, app, s, f).procHotspotC, 1));
+            }
+            t.addRow(row);
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nKey shape checks (2.4 GHz):\n";
+    for (Scheme s : {Scheme::Bank, Scheme::BankE, Scheme::Prior}) {
+        std::cout << "  mean reduction of " << bench::label(s)
+                  << " vs base: "
+                  << Table::num(core::meanTempReduction(sweep, s, 2.4), 2)
+                  << " C\n";
+    }
+    return 0;
+}

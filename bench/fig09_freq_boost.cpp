@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Fig. 9: iso-temperature frequency increase over the 2.4 GHz base
+ * system enabled by bank and banke (§7.3.1).
+ */
+
+#include "boost_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return xylem::bench::boostBench(
+        argc, argv, "Fig. 9 — system frequency increase over base",
+        "bank boosts by ~400 MHz on average, banke by ~720 MHz, at the "
+        "same steady-state temperature as base at 2.4 GHz",
+        "MHz", [](const xylem::core::BoostEntry &e) {
+            return e.freqGainMHz;
+        },
+        false);
+}

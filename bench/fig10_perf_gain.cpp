@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Fig. 10: application performance increase from the iso-temperature
+ * frequency boost (§7.3.2).
+ */
+
+#include "boost_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return xylem::bench::boostBench(
+        argc, argv, "Fig. 10 — application performance increase",
+        "bank improves performance by ~11% (geo-mean), banke by ~18%; "
+        "compute-bound codes gain the most, memory-bound codes barely "
+        "move",
+        "%", [](const xylem::core::BoostEntry &e) {
+            return e.perfGainPct;
+        },
+        true);
+}

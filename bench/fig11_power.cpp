@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Fig. 11: processor-memory stack power increase after the boost
+ * (§7.3.3). The sink dissipates the extra power at the same
+ * temperature because the Xylem stack conducts better.
+ */
+
+#include "boost_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return xylem::bench::boostBench(
+        argc, argv, "Fig. 11 — stack power increase",
+        "bank raises stack power by ~12% (geo-mean), banke by ~22%",
+        "%", [](const xylem::core::BoostEntry &e) {
+            return e.powerIncreasePct;
+        },
+        true);
+}

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Fig. 12: stack energy change after the boost (§7.3.3) — power rises
+ * but runtime falls, so energy stays roughly flat on average
+ * (race-to-halt for the compute-bound codes).
+ */
+
+#include "boost_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return xylem::bench::boostBench(
+        argc, argv, "Fig. 12 — stack energy change",
+        "roughly zero on average (geo-mean): compute-bound codes go "
+        "slightly negative (race-to-halt), memory-bound codes slightly "
+        "positive",
+        "%", [](const xylem::core::BoostEntry &e) {
+            return e.energyChangePct;
+        },
+        true);
+}

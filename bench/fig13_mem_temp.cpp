@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 13: steady-state temperature of the hottest (bottom-most)
+ * memory die for all applications, schemes and frequencies, with the
+ * 95 °C JEDEC extended-range limit as the reference line.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace xylem;
+    using stack::Scheme;
+
+    bench::banner(
+        "Fig. 13 — bottom-most DRAM die temperature",
+        "close to 90C at 2.4 GHz for the demanding codes (within the "
+        "95C JEDEC extended range, ~10C below the processor); bank and "
+        "banke reduce it, prior does not");
+
+    const core::ExperimentConfig cfg = bench::configFromArgs(argc, argv);
+    const std::vector<Scheme> schemes = {Scheme::Base, Scheme::Bank,
+                                         Scheme::BankE, Scheme::Prior};
+    const auto sweep = core::runTemperatureSweep(cfg, schemes);
+
+    std::vector<std::string> headers = {"app", "scheme"};
+    for (double f : cfg.frequencies)
+        headers.push_back(Table::num(f, 1) + " GHz");
+    Table t(headers);
+    int over_limit = 0;
+    for (const auto &app : cfg.apps) {
+        for (Scheme s : schemes) {
+            std::vector<std::string> row = {app, bench::label(s)};
+            for (double f : cfg.frequencies) {
+                const auto &e = core::sweepEntry(sweep, app, s, f);
+                row.push_back(Table::num(e.dramBottomHotspotC, 1));
+                over_limit += e.dramBottomHotspotC > 95.0;
+            }
+            t.addRow(row);
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nCells above the 95C JEDEC limit: " << over_limit
+              << " (a real system would throttle those points; the "
+                 "paper shows the same overshoot at high frequency).\n";
+    std::cout << "Processor-vs-DRAM gap at base/2.4 GHz (paper: ~10C):\n";
+    for (const auto &app : {std::string("LU(NAS)"), std::string("FT")}) {
+        if (std::find(cfg.apps.begin(), cfg.apps.end(), app) ==
+            cfg.apps.end())
+            continue;
+        const auto &e = core::sweepEntry(sweep, app, Scheme::Base, 2.4);
+        std::cout << "  " << app << ": proc "
+                  << Table::num(e.procHotspotC, 1) << " C vs DRAM "
+                  << Table::num(e.dramBottomHotspotC, 1) << " C\n";
+    }
+    return 0;
+}

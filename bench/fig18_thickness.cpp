@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fig. 18: sensitivity to die thickness (§7.7.1). Thinning every die
+ * in the stack inhibits lateral heat spreading and raises the
+ * processor temperature (averaged over all applications, 2.4 GHz).
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace xylem;
+    using stack::Scheme;
+
+    bench::banner(
+        "Fig. 18 — effect of die thickness (avg over apps, 2.4 GHz)",
+        "thinner dies are hotter (50 > 100 > 200 µm) for every scheme; "
+        "a trade-off against TSV interconnect density");
+
+    const core::ExperimentConfig cfg = bench::configFromArgs(argc, argv);
+    const std::vector<Scheme> schemes = {Scheme::Base, Scheme::Bank,
+                                         Scheme::BankE};
+    const auto entries =
+        core::runThicknessSweep(cfg, {50.0, 100.0, 200.0}, schemes);
+
+    Table t({"die thickness (um)", "base (C)", "bank (C)", "banke (C)"});
+    for (double th : {50.0, 100.0, 200.0}) {
+        std::vector<std::string> row = {Table::num(th, 0)};
+        for (Scheme s : schemes) {
+            for (const auto &e : entries) {
+                if (e.parameter == th && e.scheme == s)
+                    row.push_back(Table::num(e.avgProcHotspotC, 2));
+            }
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    return 0;
+}

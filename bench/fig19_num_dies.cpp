@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fig. 19: sensitivity to the number of stacked memory dies
+ * (§7.7.2). More dies add power and distance to the heat sink
+ * (averaged over all applications, 2.4 GHz).
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace xylem;
+    using stack::Scheme;
+
+    bench::banner(
+        "Fig. 19 — effect of the number of memory dies (2.4 GHz)",
+        "processor temperature grows with the number of stacked DRAM "
+        "dies (4 < 8 < 12) for every scheme; Xylem helps more as more "
+        "D2D layers pile up");
+
+    const core::ExperimentConfig cfg = bench::configFromArgs(argc, argv);
+    const std::vector<Scheme> schemes = {Scheme::Base, Scheme::Bank,
+                                         Scheme::BankE};
+    const auto entries =
+        core::runDieCountSweep(cfg, {4, 8, 12}, schemes);
+
+    Table t({"memory dies", "base (C)", "bank (C)", "banke (C)",
+             "banke benefit (C)"});
+    for (int dies : {4, 8, 12}) {
+        std::vector<std::string> row = {std::to_string(dies)};
+        double base = 0, banke = 0;
+        for (Scheme s : schemes) {
+            for (const auto &e : entries) {
+                if (e.parameter == dies && e.scheme == s) {
+                    row.push_back(Table::num(e.avgProcHotspotC, 2));
+                    if (s == Scheme::Base)
+                        base = e.avgProcHotspotC;
+                    if (s == Scheme::BankE)
+                        banke = e.avgProcHotspotC;
+                }
+            }
+        }
+        row.push_back(Table::num(base - banke, 2));
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    return 0;
+}

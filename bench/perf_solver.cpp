@@ -1,0 +1,128 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the thermal solver itself:
+ * steady-state solves (cold and warm-started) and transient steps at
+ * several grid resolutions, plus the multicore simulator.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/multicore.hpp"
+#include "stack/stack.hpp"
+#include "thermal/grid_model.hpp"
+#include "workloads/profile.hpp"
+
+namespace {
+
+using namespace xylem;
+
+stack::BuiltStack
+makeStack(std::size_t grid)
+{
+    stack::StackSpec spec;
+    spec.scheme = stack::Scheme::BankE;
+    spec.gridNx = grid;
+    spec.gridNy = grid;
+    return stack::buildStack(spec);
+}
+
+thermal::PowerMap
+makePower(const stack::BuiltStack &stk)
+{
+    thermal::PowerMap power(stk);
+    power.deposit(stk.procMetal, geometry::Rect{0, 5.4e-3, 8e-3, 2.6e-3},
+                  12.0);
+    power.deposit(stk.procMetal, stk.grid.extent(), 6.0);
+    power.deposit(stk.dramMetal[0], stk.grid.extent(), 0.4);
+    return power;
+}
+
+void
+BM_SteadySolveCold(benchmark::State &state)
+{
+    const auto stk = makeStack(static_cast<std::size_t>(state.range(0)));
+    const thermal::GridModel model(stk, {});
+    const auto power = makePower(stk);
+    for (auto _ : state) {
+        thermal::SolveStats stats;
+        auto field = model.solveSteady(power, &stats);
+        benchmark::DoNotOptimize(field.nodes().data());
+        state.counters["iters"] = stats.iterations;
+    }
+    state.counters["nodes"] = static_cast<double>(model.numNodes());
+}
+BENCHMARK(BM_SteadySolveCold)->Arg(40)->Arg(80)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_SteadySolveWarm(benchmark::State &state)
+{
+    const auto stk = makeStack(static_cast<std::size_t>(state.range(0)));
+    const thermal::GridModel model(stk, {});
+    const auto power = makePower(stk);
+    const auto warm = model.solveSteady(power);
+    // Perturbed power: the realistic warm-start scenario.
+    auto power2 = power;
+    power2.deposit(stk.procMetal, stk.grid.extent(), 1.0);
+    for (auto _ : state) {
+        auto field = model.solveSteady(power2, nullptr, &warm);
+        benchmark::DoNotOptimize(field.nodes().data());
+    }
+}
+BENCHMARK(BM_SteadySolveWarm)->Arg(40)->Arg(80)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_TransientStep(benchmark::State &state)
+{
+    const auto stk = makeStack(static_cast<std::size_t>(state.range(0)));
+    const thermal::GridModel model(stk, {});
+    const auto power = makePower(stk);
+    auto power2 = power;
+    power2.deposit(stk.procMetal, geometry::Rect{0, 0, 8e-3, 2.6e-3},
+                   4.0);
+    auto field = model.solveSteady(power);
+    for (auto _ : state) {
+        field = model.stepTransient(field, power2, 0.005);
+        benchmark::DoNotOptimize(field.nodes().data());
+    }
+}
+BENCHMARK(BM_TransientStep)->Arg(40)->Arg(80)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_MatVec(benchmark::State &state)
+{
+    const auto stk = makeStack(static_cast<std::size_t>(state.range(0)));
+    const thermal::GridModel model(stk, {});
+    std::vector<double> x(model.numNodes(), 1.0), y;
+    for (auto _ : state) {
+        model.apply(x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_MatVec)->Arg(40)->Arg(80)->Unit(benchmark::kMicrosecond);
+
+void
+BM_MulticoreSim(benchmark::State &state)
+{
+    const auto &app = workloads::profileByName(
+        state.range(0) == 0 ? "LU(NAS)" : "IS");
+    cpu::MulticoreConfig cfg;
+    cfg.instsPerThread = 100000;
+    cfg.warmupInsts = 100000;
+    const auto threads = cpu::allCoresRunning(app);
+    for (auto _ : state) {
+        auto result = cpu::simulate(cfg, threads);
+        benchmark::DoNotOptimize(&result);
+        state.counters["MIPS"] =
+            static_cast<double>(result.totalInsts()) / 1e6 /
+            (state.iterations() ? 1.0 : 1.0);
+    }
+}
+BENCHMARK(BM_MulticoreSim)->Arg(0)->Arg(1)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * §7.1 / Table 2: the evaluated schemes, their TTSV counts and the
+ * TTSV area overhead per DRAM die.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "stack/stack.hpp"
+
+int
+main()
+{
+    using namespace xylem;
+
+    bench::banner("Table 2 / §7.1 — schemes and TTSV area overheads",
+                  "bank: 28 TTSVs, 0.63% of a 64.34 mm² die; banke: 36 "
+                  "TTSVs, 0.81%; TTSVs are passive (no energy cost) and "
+                  "stay out of the frontside metal (no routing impact)");
+
+    Table t({"scheme", "TTSVs/die", "shorted µbumps", "area (mm2)",
+             "overhead (%)", "paper (%)"});
+    for (stack::Scheme s : stack::allSchemes()) {
+        stack::StackSpec spec;
+        spec.scheme = s;
+        spec.numDramDies = 1;
+        spec.gridNx = 16;
+        spec.gridNy = 16;
+        const auto stk = stack::buildStack(spec);
+        const double area_mm2 =
+            stk.ttsvAreaOverhead(1.0) * 1e6; // vs 1 m², back to mm²
+        const char *paper = "-";
+        if (s == stack::Scheme::Bank)
+            paper = "0.63";
+        else if (s == stack::Scheme::BankE)
+            paper = "0.81";
+        else if (s == stack::Scheme::Base)
+            paper = "0.00";
+        t.addRow({stack::toString(s), std::to_string(stk.ttsvCount()),
+                  stack::schemeShortsBumps(s) ? "yes" : "no",
+                  Table::num(area_mm2, 4),
+                  Table::num(stk.ttsvAreaOverhead() * 100.0, 2), paper});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Table 3: the architectural parameters of the simulated system,
+ * printed from the live configuration objects plus measured idle
+ * DRAM latency.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "cpu/multicore.hpp"
+#include "dram/wideio.hpp"
+#include "power/dvfs.hpp"
+
+int
+main()
+{
+    using namespace xylem;
+
+    bench::banner("Table 3 — architectural parameters",
+                  "8x 4-issue OoO @2.4-3.5 GHz; 32KB 2-way L1s; 256KB "
+                  "8-way private L2; snoopy MESI bus; 8 dies x 4Gb; 4 "
+                  "Wide I/O channels; ~100 cycles idle DRAM RT; "
+                  "Tj,max 100C / DRAM 95C");
+
+    const cpu::MulticoreConfig cfg;
+    const power::DvfsTable dvfs = power::DvfsTable::standard();
+    const dram::WideIoDram dram(cfg.dram);
+
+    Table t({"parameter", "value"});
+    t.addRow({"cores", std::to_string(cfg.numCores) + " x " +
+                           std::to_string(cfg.issueWidth) +
+                           "-issue out-of-order"});
+    t.addRow({"frequency range",
+              Table::num(dvfs.minFrequency(), 1) + " - " +
+                  Table::num(dvfs.maxFrequency(), 1) + " GHz in " +
+                  Table::num(dvfs.stepGHz() * 1000, 0) + " MHz steps"});
+    t.addRow({"L1 I/D", std::to_string(cfg.l1iBytes >> 10) + " KB, " +
+                            std::to_string(cfg.l1iWays) + "-way (D is WT)"});
+    t.addRow({"L2 (private, WB)", std::to_string(cfg.l2Bytes >> 10) +
+                                      " KB, " + std::to_string(cfg.l2Ways) +
+                                      "-way"});
+    t.addRow({"line size", std::to_string(cfg.lineBytes) + " B"});
+    t.addRow({"coherence", "bus-based snoopy MESI at the L2s"});
+    t.addRow({"DRAM dies",
+              std::to_string(cfg.dram.geometry.numDies) + " x 4 Gb = " +
+                  std::to_string(cfg.dram.geometry.numDies / 2) +
+                  " GB stack"});
+    t.addRow({"channels / ranks / banks",
+              std::to_string(cfg.dram.geometry.channels) + " / " +
+                  std::to_string(cfg.dram.geometry.numDies) +
+                  " per channel / " +
+                  std::to_string(cfg.dram.geometry.banksPerRank) +
+                  " per rank"});
+    t.addRow({"DRAM idle round trip",
+              Table::num(dram.idleLatency(), 1) + " ns = " +
+                  Table::num(dram.idleLatency() * 2.4, 0) +
+                  " cycles @2.4 GHz (paper: ~100)"});
+    t.addRow({"page / transfer", "2 KB row, 64 B line"});
+    t.addRow({"max temperature", "processor 100 C; DRAM 95 C (JEDEC)"});
+    t.print(std::cout);
+    return 0;
+}

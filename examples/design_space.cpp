@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Design-space exploration with the config-file front end: load a
+ * SystemConfig (or use the defaults), sweep scheme x die count, and
+ * print the resulting hotspot / boosted-frequency grid plus the
+ * simulator's gem5-style statistics for the chosen workload.
+ *
+ * Usage: design_space [config-file] [app-name]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "cpu/stats_report.hpp"
+#include "workloads/profile.hpp"
+#include "xylem/config_io.hpp"
+#include "xylem/system.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace xylem;
+
+    core::SystemConfig base_cfg;
+    if (argc > 1)
+        base_cfg = core::loadSystemConfig(argv[1]);
+    const std::string app_name = argc > 2 ? argv[2] : "Barnes";
+    const auto &app = workloads::profileByName(app_name);
+
+    std::cout << "Effective configuration:\n"
+              << core::formatSystemConfig(base_cfg) << "\n";
+
+    Table t({"DRAM dies", "scheme", "hotspot@2.4 (C)",
+             "max freq under caps (GHz)"});
+    for (int dies : {4, 8}) {
+        for (stack::Scheme scheme :
+             {stack::Scheme::Base, stack::Scheme::BankE}) {
+            core::SystemConfig cfg = base_cfg;
+            cfg.stackSpec.numDramDies = dies;
+            cfg.stackSpec.scheme = scheme;
+            core::StackSystem system(cfg);
+            const core::EvalResult r = system.evaluate(app, 2.4);
+            const core::BoostResult boost = system.maxUniformFrequency(
+                app, cfg.tjMaxProc, cfg.tMaxDram);
+            t.addRow({std::to_string(dies), stack::toString(scheme),
+                      Table::num(r.procHotspot, 1),
+                      boost.feasible ? Table::num(boost.freqGHz, 1)
+                                     : "none"});
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nSimulator statistics for " << app.name
+              << " on the default system at 2.4 GHz:\n\n";
+    core::StackSystem system(base_cfg);
+    const core::EvalResult r = system.evaluate(app, 2.4);
+    cpu::ReportOptions opts;
+    opts.perCore = false;
+    cpu::printReport(std::cout, r.sim, opts);
+    return 0;
+}

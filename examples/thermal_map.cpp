@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Visualise where the heat goes: ASCII heatmaps of the processor die
+ * under base and banke, plus a DTM (dynamic thermal management)
+ * decision — what frequency the chip is actually granted when the
+ * user asks for 3.5 GHz.
+ *
+ * Usage: thermal_map [app-name]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "thermal/heatmap.hpp"
+#include "workloads/profile.hpp"
+#include "xylem/dtm.hpp"
+#include "xylem/system.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace xylem;
+
+    const std::string app_name = argc > 1 ? argv[1] : "LU(NAS)";
+    const auto &app = workloads::profileByName(app_name);
+
+    for (stack::Scheme scheme :
+         {stack::Scheme::Base, stack::Scheme::BankE}) {
+        core::SystemConfig cfg;
+        cfg.stackSpec.scheme = scheme;
+        core::StackSystem system(cfg);
+        const core::EvalResult r = system.evaluate(app, 2.4);
+
+        std::cout << "=== " << stack::toString(scheme) << " — " << app.name
+                  << " at 2.4 GHz: hotspot "
+                  << Table::num(r.procHotspot, 1)
+                  << " C ===\n(processor metal layer; cores top and "
+                     "bottom, LLC band in the middle)\n";
+        thermal::HeatmapOptions opts;
+        opts.maxCols = 64;
+        thermal::renderHeatmap(
+            std::cout, r.field,
+            static_cast<std::size_t>(system.builtStack().procMetal),
+            opts);
+
+        // What does DTM grant if software requests the top bin?
+        const core::DtmResult dtm = core::throttleToCaps(
+            system, app, 3.5, system.config().tjMaxProc,
+            system.config().tMaxDram);
+        std::cout << "DTM: requested 3.50 GHz -> granted "
+                  << Table::num(dtm.grantedGHz, 2) << " GHz"
+                  << (dtm.throttled ? " (throttled)" : "")
+                  << (dtm.feasible ? "" : " [caps unreachable]") << "\n\n";
+    }
+    std::cout << "banke's aligned+shorted pillars visibly flatten the "
+                 "core hotspots and let DTM grant a higher clock.\n";
+    return 0;
+}

@@ -1,0 +1,34 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace xylem {
+
+namespace {
+std::atomic<bool> g_verbose{false};
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    g_verbose.store(verbose, std::memory_order_relaxed);
+}
+
+bool
+verbose()
+{
+    return g_verbose.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::cerr << tag << ": " << msg << "\n";
+}
+
+} // namespace detail
+
+} // namespace xylem

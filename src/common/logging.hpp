@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers, in the spirit of
+ * gem5's base/logging.hh.
+ *
+ * - fatal():   the run cannot continue due to a user error (bad
+ *              configuration, invalid arguments). Throws FatalError.
+ * - panic():   something happened that should never happen regardless
+ *              of user input (a library bug). Throws PanicError.
+ * - warn():    something is questionable but the run can continue.
+ * - inform():  plain status output.
+ *
+ * Both fatal() and panic() throw rather than abort so that library
+ * users (and the test suite) can observe and recover from them.
+ */
+
+#ifndef XYLEM_COMMON_LOGGING_HPP
+#define XYLEM_COMMON_LOGGING_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace xylem {
+
+/** Error thrown by fatal(): a user/configuration problem. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what_arg)
+        : std::runtime_error("fatal: " + what_arg)
+    {}
+};
+
+/** Error thrown by panic(): an internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what_arg)
+        : std::logic_error("panic: " + what_arg)
+    {}
+};
+
+namespace detail {
+
+/** Fold a pack of streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+/** Emit a tagged message on stderr (inform/warn). */
+void emit(const char *tag, const std::string &msg);
+
+} // namespace detail
+
+/** Global verbosity switch; when false, inform() is suppressed. */
+void setVerbose(bool verbose);
+bool verbose();
+
+/** Report a non-recoverable user/configuration error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a violated internal invariant. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw PanicError(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Warn about questionable but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emit("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a status message (suppressed unless verbose). */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (verbose())
+        detail::emit("info", detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace xylem
+
+/**
+ * Assert a library invariant; active in all build types.
+ * On failure, throws PanicError with the failing condition and location.
+ */
+#define XYLEM_ASSERT(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::xylem::panic("assertion '", #cond, "' failed at ", __FILE__,  \
+                           ":", __LINE__, " ", ##__VA_ARGS__);              \
+        }                                                                   \
+    } while (0)
+
+#endif // XYLEM_COMMON_LOGGING_HPP

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * We use our own xoshiro256** implementation rather than std::mt19937 so
+ * that streams are cheap to fork per core/thread and results are
+ * reproducible across standard libraries.
+ */
+
+#ifndef XYLEM_COMMON_RNG_HPP
+#define XYLEM_COMMON_RNG_HPP
+
+#include <cstdint>
+
+namespace xylem {
+
+/**
+ * xoshiro256** generator with splitmix64 seeding.
+ *
+ * Satisfies the essential parts of the UniformRandomBitGenerator
+ * concept (operator(), min, max) so it can be used with <random>
+ * distributions if needed, though the convenience members below cover
+ * everything the library uses.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Seed the generator; the same seed yields the same stream. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type(0); }
+
+    /** Next raw 64-bit value. */
+    result_type operator()();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). n must be > 0. */
+    std::uint64_t below(std::uint64_t n);
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+    /** Standard normal via Box-Muller (deterministic, no cache). */
+    double normal();
+
+    /** Geometrically distributed count with success probability p. */
+    std::uint64_t geometric(double p);
+
+    /**
+     * Fork an independent child stream. Children seeded from distinct
+     * draws of this stream are statistically independent for our
+     * purposes.
+     */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace xylem
+
+#endif // XYLEM_COMMON_RNG_HPP

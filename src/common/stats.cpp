@@ -1,0 +1,87 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace xylem {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        XYLEM_ASSERT(x > 0.0, "geomean needs positive values");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    XYLEM_ASSERT(!xs.empty(), "maxOf needs a non-empty vector");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+minOf(const std::vector<double> &xs)
+{
+    XYLEM_ASSERT(!xs.empty(), "minOf needs a non-empty vector");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double mu = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - mu) * (x - mu);
+    return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+void
+Accumulator::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    sum_ += x;
+    ++n_;
+}
+
+double
+Accumulator::min() const
+{
+    XYLEM_ASSERT(n_ > 0, "Accumulator::min on empty accumulator");
+    return min_;
+}
+
+double
+Accumulator::max() const
+{
+    XYLEM_ASSERT(n_ > 0, "Accumulator::max on empty accumulator");
+    return max_;
+}
+
+} // namespace xylem

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Small statistics helpers used by the experiment harnesses:
+ * arithmetic mean, geometric mean, min/max, and a streaming
+ * accumulator.
+ */
+
+#ifndef XYLEM_COMMON_STATS_HPP
+#define XYLEM_COMMON_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace xylem {
+
+/** Arithmetic mean of a vector; 0 for an empty vector. */
+double mean(const std::vector<double> &xs);
+
+/**
+ * Geometric mean of a vector of positive values; 0 for an empty
+ * vector. Values must be > 0.
+ */
+double geomean(const std::vector<double> &xs);
+
+/** Sample maximum; requires a non-empty vector. */
+double maxOf(const std::vector<double> &xs);
+
+/** Sample minimum; requires a non-empty vector. */
+double minOf(const std::vector<double> &xs);
+
+/** Population standard deviation; 0 for fewer than two samples. */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Streaming min/max/mean accumulator.
+ *
+ * Used for per-step statistics (e.g. transient hotspot traces) where
+ * storing every sample would be wasteful.
+ */
+class Accumulator
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+    double min() const;
+    double max() const;
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t n_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace xylem
+
+#endif // XYLEM_COMMON_STATS_HPP

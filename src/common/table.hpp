@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Plain-text table printer used by the bench binaries to emit the
+ * paper's rows/series in a readable, diffable format.
+ */
+
+#ifndef XYLEM_COMMON_TABLE_HPP
+#define XYLEM_COMMON_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace xylem {
+
+/**
+ * Column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"app", "base", "bank", "banke"});
+ *   t.addRow({"FFT", "92.1", "87.3", "84.0"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a data row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows added so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Render the table (headers, separator, rows) to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render the table as comma-separated values. */
+    void printCsv(std::ostream &os) const;
+
+    /** Format a double with the given number of decimals. */
+    static std::string num(double v, int decimals = 2);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace xylem
+
+#endif // XYLEM_COMMON_TABLE_HPP

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Unit helpers and physical constants used throughout Xylem.
+ *
+ * All quantities in the library are kept in SI base units:
+ * metres, watts, kelvin (for temperature *differences*; absolute
+ * temperatures are degrees Celsius where noted), seconds, hertz.
+ * The helpers below make the literal values in configuration code
+ * self-describing, e.g. `100.0 * units::um` instead of `100e-6`.
+ */
+
+#ifndef XYLEM_COMMON_UNITS_HPP
+#define XYLEM_COMMON_UNITS_HPP
+
+namespace xylem::units {
+
+/// Length units, expressed in metres.
+inline constexpr double m = 1.0;
+inline constexpr double cm = 1e-2;
+inline constexpr double mm = 1e-3;
+inline constexpr double um = 1e-6;
+inline constexpr double nm = 1e-9;
+
+/// Area units, expressed in square metres.
+inline constexpr double mm2 = mm * mm;
+inline constexpr double um2 = um * um;
+
+/// Time units, expressed in seconds.
+inline constexpr double s = 1.0;
+inline constexpr double ms = 1e-3;
+inline constexpr double us = 1e-6;
+inline constexpr double ns = 1e-9;
+
+/// Frequency units, expressed in hertz.
+inline constexpr double Hz = 1.0;
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+
+/// Power units, expressed in watts.
+inline constexpr double W = 1.0;
+inline constexpr double mW = 1e-3;
+
+/// Energy units, expressed in joules.
+inline constexpr double J = 1.0;
+inline constexpr double mJ = 1e-3;
+inline constexpr double nJ = 1e-9;
+inline constexpr double pJ = 1e-12;
+
+/**
+ * Convert a layer thermal resistance-per-unit-area in the paper's
+ * mm^2-K/W convention into SI m^2-K/W.
+ */
+inline constexpr double mm2KperW = 1e-6;
+
+} // namespace xylem::units
+
+#endif // XYLEM_COMMON_UNITS_HPP

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Activity counters produced by the multicore simulation; these are
+ * the inputs to the McPAT-lite power model and the DRAM power maps.
+ */
+
+#ifndef XYLEM_CPU_ACTIVITY_HPP
+#define XYLEM_CPU_ACTIVITY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/wideio.hpp"
+
+namespace xylem::cpu {
+
+/** Per-core event counters over one simulation run. */
+struct CoreActivity
+{
+    bool hasThread = false;
+    std::uint64_t insts = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t aluOps = 0;
+    std::uint64_t fpuOps = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t l1iAccesses = 0;
+    std::uint64_t l1iMisses = 0;
+    std::uint64_t l1dAccesses = 0;
+    std::uint64_t l1dMisses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t upgrades = 0;     ///< S->M coherence upgrades
+    std::uint64_t c2cTransfers = 0; ///< cache-to-cache interventions
+    std::uint64_t dramAccesses = 0;
+    double dramLatencyNs = 0.0; ///< summed DRAM round-trip latency
+    double cycles = 0.0;
+    double busyNs = 0.0;            ///< local completion time
+
+    double ipc() const
+    {
+        return cycles > 0.0 ? static_cast<double>(insts) / cycles : 0.0;
+    }
+};
+
+/** Result of one multicore simulation run. */
+struct SimResult
+{
+    /** Duration of the parallel section (slowest thread) [s]. */
+    double seconds = 0.0;
+    std::vector<CoreActivity> cores;
+    std::uint64_t busTransactions = 0;
+    std::vector<std::uint64_t> mcRequests; ///< per channel
+    dram::DramStats dram;
+    double dramEnergyJ = 0.0;
+
+    std::uint64_t totalInsts() const;
+    /** Aggregate instructions per second over the run. */
+    double ips() const;
+    double dramAveragePowerW() const;
+};
+
+} // namespace xylem::cpu
+
+#endif // XYLEM_CPU_ACTIVITY_HPP

@@ -1,0 +1,138 @@
+#include "cpu/cache.hpp"
+
+#include "common/logging.hpp"
+
+namespace xylem::cpu {
+
+namespace {
+
+bool
+isPow2(std::uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(std::uint32_t size_bytes, std::uint32_t ways,
+             std::uint32_t line_bytes)
+    : line_bytes_(line_bytes), ways_(ways)
+{
+    XYLEM_ASSERT(isPow2(size_bytes) && isPow2(line_bytes) && ways > 0,
+                 "cache geometry must be powers of two");
+    const std::uint32_t num_lines = size_bytes / line_bytes;
+    XYLEM_ASSERT(num_lines % ways == 0, "cache ways must divide lines");
+    num_sets_ = num_lines / ways;
+    XYLEM_ASSERT(isPow2(num_sets_), "cache sets must be a power of two");
+    lines_.resize(static_cast<std::size_t>(num_sets_) * ways_);
+}
+
+std::uint64_t
+Cache::lineAddr(std::uint64_t addr) const
+{
+    return addr / line_bytes_;
+}
+
+std::uint32_t
+Cache::setIndex(std::uint64_t line) const
+{
+    return static_cast<std::uint32_t>(line & (num_sets_ - 1));
+}
+
+Cache::Line *
+Cache::findLine(std::uint64_t addr)
+{
+    const std::uint64_t line = lineAddr(addr);
+    Line *set = &lines_[static_cast<std::size_t>(setIndex(line)) * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (set[w].state != Mesi::Invalid && set[w].tag == line)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(std::uint64_t addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+Mesi
+Cache::access(std::uint64_t addr)
+{
+    Line *line = findLine(addr);
+    if (!line)
+        return Mesi::Invalid;
+    line->lastUse = ++use_counter_;
+    return line->state;
+}
+
+Mesi
+Cache::probe(std::uint64_t addr) const
+{
+    const Line *line = findLine(addr);
+    return line ? line->state : Mesi::Invalid;
+}
+
+Cache::Eviction
+Cache::fill(std::uint64_t addr, Mesi state)
+{
+    XYLEM_ASSERT(state != Mesi::Invalid, "cannot fill an invalid line");
+    Eviction ev;
+    const std::uint64_t line = lineAddr(addr);
+    Line *set = &lines_[static_cast<std::size_t>(setIndex(line)) * ways_];
+
+    Line *invalid_way = nullptr;
+    Line *lru_way = nullptr;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (set[w].state != Mesi::Invalid && set[w].tag == line) {
+            // Already resident; just update the state.
+            set[w].state = state;
+            set[w].lastUse = ++use_counter_;
+            return ev;
+        }
+        if (set[w].state == Mesi::Invalid) {
+            if (!invalid_way)
+                invalid_way = &set[w];
+        } else if (!lru_way || set[w].lastUse < lru_way->lastUse) {
+            lru_way = &set[w];
+        }
+    }
+    // Prefer an invalid way; otherwise evict the LRU line.
+    Line *victim = invalid_way ? invalid_way : lru_way;
+    if (victim->state != Mesi::Invalid) {
+        ev.valid = true;
+        ev.addr = victim->tag * line_bytes_;
+        ev.state = victim->state;
+    }
+    victim->tag = line;
+    victim->state = state;
+    victim->lastUse = ++use_counter_;
+    return ev;
+}
+
+void
+Cache::setState(std::uint64_t addr, Mesi state)
+{
+    if (Line *line = findLine(addr))
+        line->state = state;
+}
+
+void
+Cache::invalidate(std::uint64_t addr)
+{
+    if (Line *line = findLine(addr))
+        line->state = Mesi::Invalid;
+}
+
+std::size_t
+Cache::residentLines() const
+{
+    std::size_t n = 0;
+    for (const auto &l : lines_)
+        if (l.state != Mesi::Invalid)
+            ++n;
+    return n;
+}
+
+} // namespace xylem::cpu

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Set-associative cache model with true LRU and per-line MESI state,
+ * used for the private L1s (state unused) and the coherent private
+ * L2s of the 8-core chip (Table 3).
+ */
+
+#ifndef XYLEM_CPU_CACHE_HPP
+#define XYLEM_CPU_CACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace xylem::cpu {
+
+/** MESI coherence states. */
+enum class Mesi : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+/**
+ * A set-associative cache with LRU replacement.
+ *
+ * The cache stores tags and MESI state only (no data). Addresses are
+ * full physical byte addresses.
+ */
+class Cache
+{
+  public:
+    /** Returned by fill(): the line that was evicted, if any. */
+    struct Eviction
+    {
+        bool valid = false;
+        std::uint64_t addr = 0;
+        Mesi state = Mesi::Invalid;
+    };
+
+    Cache(std::uint32_t size_bytes, std::uint32_t ways,
+          std::uint32_t line_bytes);
+
+    std::uint32_t numSets() const { return num_sets_; }
+    std::uint32_t ways() const { return ways_; }
+
+    /**
+     * Look up `addr`, updating LRU on hit.
+     * @return the line's MESI state, or Invalid on miss.
+     */
+    Mesi access(std::uint64_t addr);
+
+    /** Look up without touching LRU (snoops). */
+    Mesi probe(std::uint64_t addr) const;
+
+    /**
+     * Insert `addr` with `state`, evicting the LRU line of its set
+     * if needed.
+     */
+    Eviction fill(std::uint64_t addr, Mesi state);
+
+    /** Change the state of a resident line; no-op if absent. */
+    void setState(std::uint64_t addr, Mesi state);
+
+    /** Invalidate a line if resident. */
+    void invalidate(std::uint64_t addr);
+
+    /** Number of resident (valid) lines. */
+    std::size_t residentLines() const;
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        Mesi state = Mesi::Invalid;
+    };
+
+    std::uint64_t lineAddr(std::uint64_t addr) const;
+    std::uint32_t setIndex(std::uint64_t line) const;
+    Line *findLine(std::uint64_t addr);
+    const Line *findLine(std::uint64_t addr) const;
+
+    std::uint32_t line_bytes_;
+    std::uint32_t ways_;
+    std::uint32_t num_sets_;
+    std::uint64_t use_counter_ = 0;
+    std::vector<Line> lines_; ///< [set][way] flattened
+};
+
+} // namespace xylem::cpu
+
+#endif // XYLEM_CPU_CACHE_HPP

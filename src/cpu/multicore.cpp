@@ -1,0 +1,427 @@
+#include "cpu/multicore.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+
+#include "common/logging.hpp"
+#include "cpu/cache.hpp"
+#include "dram/wideio.hpp"
+#include "workloads/stream.hpp"
+
+namespace xylem::cpu {
+
+std::uint64_t
+SimResult::totalInsts() const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : cores)
+        total += c.insts;
+    return total;
+}
+
+double
+SimResult::ips() const
+{
+    return seconds > 0.0 ? static_cast<double>(totalInsts()) / seconds : 0.0;
+}
+
+double
+SimResult::dramAveragePowerW() const
+{
+    return seconds > 0.0 ? dramEnergyJ / seconds : 0.0;
+}
+
+void
+MulticoreConfig::setUniformFrequency(double freq_ghz)
+{
+    coreFreqGHz.assign(static_cast<std::size_t>(numCores), freq_ghz);
+}
+
+std::vector<ThreadSpec>
+allCoresRunning(const workloads::Profile &profile, int num_cores)
+{
+    std::vector<ThreadSpec> threads;
+    for (int c = 0; c < num_cores; ++c)
+        threads.push_back({&profile, c});
+    return threads;
+}
+
+namespace {
+
+using workloads::Op;
+
+/** Per-core simulation context. */
+struct CoreCtx
+{
+    CoreCtx(const MulticoreConfig &cfg)
+        : l1i(cfg.l1iBytes, cfg.l1iWays, cfg.lineBytes),
+          l1d(cfg.l1dBytes, cfg.l1dWays, cfg.lineBytes),
+          l2(cfg.l2Bytes, cfg.l2Ways, cfg.lineBytes)
+    {
+    }
+
+    /** An L2-level transaction waiting to execute at timeNs. */
+    struct PendingMem
+    {
+        bool active = false;
+        std::uint64_t addr = 0;
+        bool isStore = false;
+    };
+
+    bool active = false;      ///< has a thread and is not finished
+    bool hasThread = false;
+    std::unique_ptr<workloads::ThreadStream> stream;
+    PendingMem pending;
+    std::uint64_t remaining = 0;
+    double freqGHz = 2.4;
+    double timeNs = 0.0;
+    double measureStartNs = 0.0; ///< set when the warm-up phase ends
+    CoreActivity act;
+    Cache l1i, l1d, l2;
+};
+
+/** The shared snoop bus. */
+struct Bus
+{
+    double freeAtNs = 0.0;
+    std::uint64_t transactions = 0;
+
+    /** Arbitrate at `now`; returns the transfer completion time. */
+    double
+    acquire(double now, double occupancy_ns)
+    {
+        const double grant = std::max(now, freeAtNs);
+        freeAtNs = grant + occupancy_ns;
+        ++transactions;
+        return freeAtNs;
+    }
+};
+
+/** The full simulation engine. */
+class Engine
+{
+  public:
+    Engine(const MulticoreConfig &cfg,
+           const std::vector<ThreadSpec> &threads)
+        : cfg_(cfg), dram_(cfg.dram)
+    {
+        XYLEM_ASSERT(cfg_.numCores > 0, "need at least one core");
+        XYLEM_ASSERT(static_cast<int>(cfg_.coreFreqGHz.size()) ==
+                         cfg_.numCores,
+                     "coreFreqGHz must have one entry per core");
+        cores_.reserve(static_cast<std::size_t>(cfg_.numCores));
+        for (int c = 0; c < cfg_.numCores; ++c) {
+            cores_.emplace_back(cfg_);
+            cores_.back().freqGHz = cfg_.coreFreqGHz[
+                static_cast<std::size_t>(c)];
+        }
+        int thread_id = 0;
+        for (const auto &t : threads) {
+            XYLEM_ASSERT(t.core >= 0 && t.core < cfg_.numCores,
+                         "thread pinned to invalid core ", t.core);
+            CoreCtx &core = cores_[static_cast<std::size_t>(t.core)];
+            XYLEM_ASSERT(!core.hasThread, "core ", t.core,
+                         " already has a thread");
+            XYLEM_ASSERT(t.profile, "thread needs a profile");
+            core.stream = std::make_unique<workloads::ThreadStream>(
+                *t.profile, thread_id, cfg_.seed);
+            core.hasThread = true;
+            core.act.hasThread = true;
+            ++thread_id;
+        }
+        mc_requests_.assign(
+            static_cast<std::size_t>(cfg_.dram.geometry.channels), 0);
+    }
+
+    SimResult run();
+
+  private:
+    /** Run every active thread for `insts` further instructions. */
+    void runPhase(std::uint64_t insts);
+
+    /** Advance one core until its next L2-level event (or the end). */
+    void runCore(std::size_t core_idx);
+
+    /**
+     * One L2-level data transaction (demand miss path); returns the
+     * stall applied to the core [ns].
+     */
+    double l2Transaction(CoreCtx &core, std::size_t core_idx,
+                         std::uint64_t addr, bool is_store, double now_ns);
+
+    const MulticoreConfig &cfg_;
+    std::vector<CoreCtx> cores_;
+    Bus bus_;
+    dram::WideIoDram dram_;
+    std::vector<std::uint64_t> mc_requests_;
+};
+
+double
+Engine::l2Transaction(CoreCtx &core, std::size_t core_idx,
+                      std::uint64_t addr, bool is_store, double now_ns)
+{
+    const double f = core.freqGHz;
+    ++core.act.l2Accesses;
+
+    const Mesi own = core.l2.access(addr);
+    if (own != Mesi::Invalid) {
+        // L2 hit. Stores need ownership.
+        if (is_store) {
+            if (own == Mesi::Shared) {
+                // Upgrade: bus transaction, invalidate other copies.
+                bus_.acquire(now_ns, cfg_.busOccupancyNs);
+                for (std::size_t o = 0; o < cores_.size(); ++o) {
+                    if (o != core_idx)
+                        cores_[o].l2.invalidate(addr);
+                }
+                ++core.act.upgrades;
+            }
+            core.l2.setState(addr, Mesi::Modified);
+            return 0.0; // stores retire via the write buffer
+        }
+        return cfg_.l2HitCycles * cfg_.l2StallFactor / f;
+    }
+
+    // L2 miss: evict, arbitrate for the bus, snoop, then memory.
+    ++core.act.l2Misses;
+    const double bus_done = bus_.acquire(now_ns, cfg_.busOccupancyNs);
+
+    // Snoop the other caches.
+    int owner = -1;
+    bool shared_elsewhere = false;
+    for (std::size_t o = 0; o < cores_.size(); ++o) {
+        if (o == core_idx)
+            continue;
+        const Mesi st = cores_[o].l2.probe(addr);
+        if (st == Mesi::Modified || st == Mesi::Exclusive) {
+            owner = static_cast<int>(o);
+            break;
+        }
+        if (st == Mesi::Shared)
+            shared_elsewhere = true;
+    }
+
+    double data_ready;
+    Mesi fill_state;
+    if (owner >= 0) {
+        // Cache-to-cache intervention.
+        data_ready = bus_done + cfg_.c2cCycles / f;
+        ++core.act.c2cTransfers;
+        if (is_store) {
+            cores_[static_cast<std::size_t>(owner)].l2.invalidate(addr);
+            fill_state = Mesi::Modified;
+        } else {
+            cores_[static_cast<std::size_t>(owner)].l2.setState(
+                addr, Mesi::Shared);
+            fill_state = Mesi::Shared;
+        }
+    } else {
+        // Fetch from the DRAM stack.
+        const auto decoded = dram::decodeAddress(cfg_.dram.geometry, addr);
+        ++mc_requests_[static_cast<std::size_t>(decoded.channel)];
+        ++core.act.dramAccesses;
+        data_ready = dram_.access(bus_done, addr, false);
+        core.act.dramLatencyNs += data_ready - now_ns;
+        if (is_store) {
+            for (std::size_t o = 0; o < cores_.size(); ++o) {
+                if (o != core_idx)
+                    cores_[o].l2.invalidate(addr);
+            }
+            fill_state = Mesi::Modified;
+        } else {
+            fill_state = shared_elsewhere ? Mesi::Shared : Mesi::Exclusive;
+        }
+    }
+    if (is_store && shared_elsewhere && owner < 0) {
+        for (std::size_t o = 0; o < cores_.size(); ++o) {
+            if (o != core_idx)
+                cores_[o].l2.invalidate(addr);
+        }
+    }
+
+    // Install the line; write back a dirty victim (fire and forget —
+    // the MC write queue hides its latency, but it consumes DRAM
+    // bandwidth). It is issued at the current time so the channel
+    // timeline stays causally ordered.
+    const Cache::Eviction ev = core.l2.fill(addr, fill_state);
+    if (ev.valid && ev.state == Mesi::Modified) {
+        const auto decoded = dram::decodeAddress(cfg_.dram.geometry,
+                                                 ev.addr);
+        ++mc_requests_[static_cast<std::size_t>(decoded.channel)];
+        dram_.access(now_ns, ev.addr, true);
+    }
+
+    const double latency = data_ready - now_ns;
+    if (is_store) {
+        // Stores stall only through write-buffer back-pressure; DRAM
+        // ones expose a fraction of their latency.
+        return owner >= 0 ? 0.0
+                          : latency /
+                                (2.0 * core.stream->profile().mlp);
+    }
+    if (owner >= 0)
+        return latency * cfg_.l2StallFactor;
+    return latency / core.stream->profile().mlp;
+}
+
+void
+Engine::runCore(std::size_t core_idx)
+{
+    CoreCtx &core = cores_[core_idx];
+    const double f = core.freqGHz;
+    const double issue_rate =
+        static_cast<double>(cfg_.issueWidth) *
+        core.stream->profile().issueEfficiency;
+    const double ns_per_inst = 1.0 / (issue_rate * f);
+
+    // Execute a transaction that was deferred so that it runs in
+    // global time order (this core was the earliest in the queue).
+    if (core.pending.active) {
+        const double stall = l2Transaction(core, core_idx,
+                                           core.pending.addr,
+                                           core.pending.isStore,
+                                           core.timeNs);
+        core.timeNs += stall;
+        core.pending.active = false;
+    }
+
+    // Run until the next globally visible (L2-level) event, with a
+    // cap so compute-bound cores still interleave fairly.
+    std::uint64_t batch = 20000;
+    while (core.remaining > 0 && batch-- > 0) {
+        const Op op = core.stream->next();
+        --core.remaining;
+        ++core.act.insts;
+        ++core.act.l1iAccesses;
+        core.timeNs += ns_per_inst;
+
+        if (op.instMiss) {
+            // L1I miss: almost always an L2 hit for our codes; charge
+            // a partially hidden L2 round trip.
+            ++core.act.l1iMisses;
+            ++core.act.l2Accesses;
+            core.timeNs += cfg_.l2HitCycles * cfg_.l2StallFactor / f;
+        }
+
+        switch (op.kind) {
+          case Op::Kind::IntAlu:
+            ++core.act.aluOps;
+            break;
+          case Op::Kind::Fpu:
+            ++core.act.fpuOps;
+            break;
+          case Op::Kind::Branch:
+            ++core.act.branches;
+            if (op.mispredict) {
+                ++core.act.mispredicts;
+                core.timeNs += cfg_.mispredictPenaltyCycles / f;
+            }
+            break;
+          case Op::Kind::Load:
+          case Op::Kind::Store: {
+            const bool is_store = op.kind == Op::Kind::Store;
+            if (is_store)
+                ++core.act.stores;
+            else
+                ++core.act.loads;
+            ++core.act.l1dAccesses;
+            const Mesi l1 = core.l1d.access(op.addr);
+            if (l1 != Mesi::Invalid)
+                break; // L1D hit: pipelined, no stall
+            ++core.act.l1dMisses;
+            core.l1d.fill(op.addr, Mesi::Shared); // L1D is write-through
+            // Defer the shared-resource transaction: yield so that it
+            // executes when this core is the earliest in global time.
+            core.pending = {true, op.addr, is_store};
+            batch = 0;
+            break;
+          }
+        }
+    }
+
+    if (core.remaining == 0 && !core.pending.active) {
+        core.active = false;
+        core.act.busyNs = core.timeNs - core.measureStartNs;
+    }
+    core.act.cycles = (core.timeNs - core.measureStartNs) * f;
+}
+
+void
+Engine::runPhase(std::uint64_t insts)
+{
+    using Entry = std::pair<double, std::size_t>; // (time, core)
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        if (cores_[c].hasThread) {
+            cores_[c].remaining = insts;
+            cores_[c].active = true;
+            queue.emplace(cores_[c].timeNs, c);
+        }
+    }
+    while (!queue.empty()) {
+        const auto [t, c] = queue.top();
+        queue.pop();
+        (void)t;
+        runCore(c);
+        if (cores_[c].active)
+            queue.emplace(cores_[c].timeNs, c);
+    }
+}
+
+SimResult
+Engine::run()
+{
+    if (cfg_.warmupInsts > 0) {
+        runPhase(cfg_.warmupInsts);
+        // Barrier at the end of the warm-up: threads of a parallel
+        // section start together. This also keeps the shared-resource
+        // timeline (DRAM banks, snoop bus) causally consistent — the
+        // slowest warm-up thread advanced it the furthest.
+        double barrier_ns = 0.0;
+        for (const auto &core : cores_) {
+            if (core.hasThread)
+                barrier_ns = std::max(barrier_ns, core.timeNs);
+        }
+        // Reset every statistic, but keep all micro-architectural
+        // state (caches, row buffers, stream positions).
+        for (auto &core : cores_) {
+            const bool had = core.act.hasThread;
+            core.act = CoreActivity{};
+            core.act.hasThread = had;
+            if (core.hasThread)
+                core.timeNs = barrier_ns;
+            core.measureStartNs = core.timeNs;
+        }
+        bus_.transactions = 0;
+        dram_.resetStats();
+        std::fill(mc_requests_.begin(), mc_requests_.end(), 0);
+    }
+    runPhase(cfg_.instsPerThread);
+
+    SimResult result;
+    double max_ns = 0.0;
+    for (auto &core : cores_) {
+        result.cores.push_back(core.act);
+        if (core.hasThread)
+            max_ns = std::max(max_ns, core.act.busyNs);
+    }
+    result.seconds = max_ns * 1e-9;
+    result.busTransactions = bus_.transactions;
+    result.mcRequests = mc_requests_;
+    result.dram = dram_.stats();
+    result.dramEnergyJ = dram_.energyJoules(max_ns);
+    return result;
+}
+
+} // namespace
+
+SimResult
+simulate(const MulticoreConfig &config, const std::vector<ThreadSpec> &threads)
+{
+    XYLEM_ASSERT(!threads.empty(), "simulation needs at least one thread");
+    Engine engine(config, threads);
+    return engine.run();
+}
+
+} // namespace xylem::cpu

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The 8-core chip-multiprocessor simulator (our SESC stand-in):
+ * 4-issue out-of-order cores abstracted by an interval/stall model,
+ * private L1I/L1D and private coherent L2s, a bus-based snoopy MESI
+ * protocol, four Wide I/O memory controllers and the DRAM stack
+ * timing model (Table 3).
+ *
+ * Cores advance on local clocks and synchronise through a global
+ * event queue at every L2-level transaction, which is where the
+ * shared resources (snoop bus, DRAM channels) live. Each core may run
+ * at its own frequency — needed for λ-aware frequency boosting.
+ */
+
+#ifndef XYLEM_CPU_MULTICORE_HPP
+#define XYLEM_CPU_MULTICORE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/activity.hpp"
+#include "dram/config.hpp"
+#include "workloads/profile.hpp"
+
+namespace xylem::cpu {
+
+/** Architectural parameters (defaults follow Table 3). */
+struct MulticoreConfig
+{
+    int numCores = 8;
+    /** Per-core frequency [GHz]; resized/filled to numCores. */
+    std::vector<double> coreFreqGHz = std::vector<double>(8, 2.4);
+
+    int issueWidth = 4;
+    double mispredictPenaltyCycles = 14.0;
+    double l1HitCycles = 2.0;    ///< pipelined; not a stall source
+    double l2HitCycles = 10.0;   ///< round trip (Table 3)
+    double l2StallFactor = 0.5;  ///< exposed fraction of L2 latency
+    double c2cCycles = 24.0;     ///< cache-to-cache intervention
+    double busOccupancyNs = 2.5; ///< 512-bit snoop bus, uncore clock
+
+    std::uint32_t l1iBytes = 32u << 10;
+    std::uint32_t l1iWays = 2;
+    std::uint32_t l1dBytes = 32u << 10;
+    std::uint32_t l1dWays = 2;
+    std::uint32_t l2Bytes = 256u << 10;
+    std::uint32_t l2Ways = 8;
+    std::uint32_t lineBytes = 64;
+
+    dram::DramConfig dram;
+
+    std::uint64_t instsPerThread = 300000;
+    /**
+     * Instructions per thread executed before measurement starts, to
+     * warm caches, row buffers and coherence state. Statistics and
+     * clocks are reset after the warm-up.
+     */
+    std::uint64_t warmupInsts = 400000;
+    std::uint64_t seed = 12345;
+
+    /** Set a single frequency for all cores. */
+    void setUniformFrequency(double freq_ghz);
+};
+
+/** A software thread pinned to a core. */
+struct ThreadSpec
+{
+    const workloads::Profile *profile;
+    int core;
+};
+
+/**
+ * Convenience: all 8 threads of `profile` pinned to cores 0..7.
+ */
+std::vector<ThreadSpec> allCoresRunning(const workloads::Profile &profile,
+                                        int num_cores = 8);
+
+/** Run one simulation. */
+SimResult simulate(const MulticoreConfig &config,
+                   const std::vector<ThreadSpec> &threads);
+
+} // namespace xylem::cpu
+
+#endif // XYLEM_CPU_MULTICORE_HPP

@@ -1,0 +1,4 @@
+set(XYLEM_CPU_SOURCES
+    ${CMAKE_CURRENT_LIST_DIR}/cache.cpp
+    ${CMAKE_CURRENT_LIST_DIR}/multicore.cpp
+    ${CMAKE_CURRENT_LIST_DIR}/stats_report.cpp)

@@ -1,0 +1,96 @@
+#include "cpu/stats_report.hpp"
+
+#include <iomanip>
+
+namespace xylem::cpu {
+
+namespace {
+
+void
+stat(std::ostream &os, const char *name, double value,
+     const char *comment = nullptr)
+{
+    os << std::left << std::setw(28) << name << std::right
+       << std::setw(16) << std::setprecision(6) << value;
+    if (comment)
+        os << "   # " << comment;
+    os << "\n";
+}
+
+double
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    return den ? static_cast<double>(num) / static_cast<double>(den)
+               : 0.0;
+}
+
+} // namespace
+
+void
+printReport(std::ostream &os, const SimResult &result,
+            const ReportOptions &opts)
+{
+    os << "---------- simulation ----------\n";
+    stat(os, "sim.seconds", result.seconds, "parallel-section runtime");
+    stat(os, "sim.insts", static_cast<double>(result.totalInsts()));
+    stat(os, "sim.ips", result.ips(), "aggregate instructions/second");
+    stat(os, "bus.transactions",
+         static_cast<double>(result.busTransactions));
+    if (result.seconds > 0.0) {
+        stat(os, "bus.txPerSecond",
+             static_cast<double>(result.busTransactions) /
+                 result.seconds);
+    }
+
+    if (opts.perCore) {
+        for (std::size_t c = 0; c < result.cores.size(); ++c) {
+            const auto &a = result.cores[c];
+            os << "---------- core " << c
+               << (a.hasThread ? "" : " (idle)") << " ----------\n";
+            if (!a.hasThread)
+                continue;
+            stat(os, "ipc", a.ipc());
+            stat(os, "insts", static_cast<double>(a.insts));
+            stat(os, "branch.mispredictRate",
+                 ratio(a.mispredicts, a.branches));
+            stat(os, "l1d.missRate", ratio(a.l1dMisses, a.l1dAccesses));
+            stat(os, "l1i.missRate", ratio(a.l1iMisses, a.l1iAccesses));
+            stat(os, "l2.missRate", ratio(a.l2Misses, a.l2Accesses));
+            stat(os, "l2.mpki",
+                 1000.0 * ratio(a.l2Misses, a.insts),
+                 "L2 misses per kilo-instruction");
+            stat(os, "coherence.upgrades", static_cast<double>(a.upgrades));
+            stat(os, "coherence.c2cTransfers",
+                 static_cast<double>(a.c2cTransfers));
+            stat(os, "dram.accesses", static_cast<double>(a.dramAccesses));
+            if (a.dramAccesses) {
+                stat(os, "dram.avgLatencyNs",
+                     a.dramLatencyNs / static_cast<double>(a.dramAccesses));
+            }
+        }
+    }
+
+    if (opts.dram) {
+        os << "---------- dram ----------\n";
+        stat(os, "dram.requests", static_cast<double>(result.dram.requests));
+        stat(os, "dram.rowHitRate", result.dram.rowHitRate());
+        stat(os, "dram.refreshOps",
+             static_cast<double>(result.dram.refreshOps));
+        stat(os, "dram.energyJ", result.dramEnergyJ);
+        if (result.seconds > 0.0) {
+            stat(os, "dram.avgPowerW", result.dramAveragePowerW());
+            stat(os, "dram.bandwidthGBs",
+                 static_cast<double>(result.dram.requests) * 64.0 /
+                     result.seconds / 1e9,
+                 "data moved / runtime");
+        }
+        for (std::size_t d = 0; d < result.dram.dies.size(); ++d) {
+            const std::string name =
+                "dram.die" + std::to_string(d) + ".accesses";
+            stat(os, name.c_str(),
+                 static_cast<double>(result.dram.dies[d].totalAccesses()));
+        }
+    }
+}
+
+} // namespace xylem::cpu

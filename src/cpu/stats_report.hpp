@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Human-readable statistics report of a simulation run, in the spirit
+ * of gem5's stats.txt: per-core pipeline/cache counters with derived
+ * rates, plus DRAM and interconnect aggregates.
+ */
+
+#ifndef XYLEM_CPU_STATS_REPORT_HPP
+#define XYLEM_CPU_STATS_REPORT_HPP
+
+#include <ostream>
+
+#include "cpu/activity.hpp"
+
+namespace xylem::cpu {
+
+/** Report verbosity. */
+struct ReportOptions
+{
+    bool perCore = true;   ///< one block per core (else aggregate only)
+    bool dram = true;      ///< DRAM bank/refresh/bandwidth section
+};
+
+/**
+ * Write the report. All derived rates (IPC, miss ratios, bandwidth)
+ * are computed here from the raw counters, so the report is
+ * consistent with the SimResult by construction.
+ */
+void printReport(std::ostream &os, const SimResult &result,
+                 const ReportOptions &opts = {});
+
+} // namespace xylem::cpu
+
+#endif // XYLEM_CPU_STATS_REPORT_HPP

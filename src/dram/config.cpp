@@ -1,0 +1,56 @@
+#include "dram/config.hpp"
+
+#include "common/logging.hpp"
+
+namespace xylem::dram {
+
+namespace {
+
+/** Integer log2 for exact powers of two. */
+int
+log2Exact(std::uint64_t v)
+{
+    XYLEM_ASSERT(v != 0 && (v & (v - 1)) == 0, "value ", v,
+                 " must be a power of two");
+    int n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+Address
+decodeAddress(const Geometry &g, std::uint64_t byte_addr)
+{
+    std::uint64_t a = byte_addr >> log2Exact(
+                          static_cast<std::uint64_t>(g.lineBytes));
+    Address out{};
+    const auto take = [&a](int bits) {
+        const std::uint64_t v = a & ((1ull << bits) - 1);
+        a >>= bits;
+        return v;
+    };
+    out.channel = static_cast<int>(
+        take(log2Exact(static_cast<std::uint64_t>(g.channels))));
+    out.bank = static_cast<int>(
+        take(log2Exact(static_cast<std::uint64_t>(g.banksPerRank))));
+    out.column = static_cast<int>(take(log2Exact(
+        static_cast<std::uint64_t>(g.linesPerPage()))));
+    // Ranks (dies) need not be a power of two (the sensitivity study
+    // stacks 12 dies): interleave by modulo.
+    out.die = static_cast<int>(a % static_cast<std::uint64_t>(g.numDies));
+    out.row = a / static_cast<std::uint64_t>(g.numDies);
+    return out;
+}
+
+double
+refreshRate(const Timing &t, double refresh_scale)
+{
+    XYLEM_ASSERT(refresh_scale > 0.0, "refresh scale must be positive");
+    return 1e9 / (t.tREFI * refresh_scale);
+}
+
+} // namespace xylem::dram

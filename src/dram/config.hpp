@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Wide I/O DRAM configuration: geometry, timing, and energy
+ * parameters (Table 3 and §6.2 of the paper: 4 channels, 4 ranks per
+ * die — one per channel —, 4 banks per rank, 4 Gb per die, run at a
+ * Wide I/O 2 class data rate of 51.2 GB/s).
+ */
+
+#ifndef XYLEM_DRAM_CONFIG_HPP
+#define XYLEM_DRAM_CONFIG_HPP
+
+#include <cstdint>
+
+namespace xylem::dram {
+
+/** Fixed geometry of the Wide I/O stack. */
+struct Geometry
+{
+    int channels = 4;
+    int numDies = 8;        ///< ranks per channel == dies in the stack
+    int banksPerRank = 4;
+    int lineBytes = 64;     ///< cache-line transfer granularity
+    int pageBytes = 2048;   ///< DRAM row (page) size
+    std::uint64_t dieBytes = 512ull << 20; ///< 4 Gb per die
+
+    int linesPerPage() const { return pageBytes / lineBytes; }
+};
+
+/** Timing parameters, all in nanoseconds. */
+struct Timing
+{
+    double tRCD = 13.75;  ///< activate to column command
+    double tRP = 13.75;   ///< precharge
+    double tCL = 13.75;   ///< column access (CAS) latency
+    double tRAS = 35.0;   ///< activate to precharge
+    double tBURST = 5.0;  ///< 64 B over a 128-bit channel at 800 MHz DDR
+    double tWR = 15.0;    ///< write recovery
+    double tRFC = 130.0;  ///< refresh cycle time
+    double tREFI = 7800.0;///< refresh interval at 85 °C (64 ms / 8192 rows)
+    double tMC = 10.0;    ///< memory-controller + PHY overhead per access
+};
+
+/** Energy parameters. */
+struct Energy
+{
+    double actPre = 4.0e-9;     ///< one activate+precharge pair [J]
+    double read = 4.0e-9;       ///< one 64 B read burst [J]
+    double write = 4.5e-9;      ///< one 64 B write burst [J]
+    double refreshPerOp = 30e-9;///< one all-bank refresh op per rank [J]
+    double backgroundPerDie = 0.17; ///< standby power per die [W]
+};
+
+/** A decoded DRAM address. */
+struct Address
+{
+    int channel;
+    int die;   ///< rank index == die index
+    int bank;  ///< bank within the rank (0..3)
+    std::uint64_t row;
+    int column; ///< line index within the row
+};
+
+/** Complete DRAM configuration. */
+struct DramConfig
+{
+    Geometry geometry;
+    Timing timing;
+    Energy energy;
+    /**
+     * Refresh-interval scale factor: JEDEC halves tREFI per 10 °C
+     * above 85 °C. 1.0 = nominal; 0.5 = double refresh rate.
+     */
+    double refreshScale = 1.0;
+};
+
+/**
+ * Decode a physical byte address into channel/die/bank/row/column.
+ * Mapping (line-interleaved): channel bits first for maximum channel
+ * parallelism, then bank, then column, then die (rank), then row.
+ */
+Address decodeAddress(const Geometry &g, std::uint64_t byte_addr);
+
+/** Number of refresh commands per rank per second (at nominal 85 °C). */
+double refreshRate(const Timing &t, double refresh_scale);
+
+} // namespace xylem::dram
+
+#endif // XYLEM_DRAM_CONFIG_HPP

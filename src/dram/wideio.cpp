@@ -1,0 +1,179 @@
+#include "dram/wideio.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace xylem::dram {
+
+std::uint64_t
+DieStats::totalAccesses() const
+{
+    std::uint64_t total = 0;
+    for (const auto &b : banks)
+        total += b.reads + b.writes;
+    return total;
+}
+
+double
+DramStats::rowHitRate() const
+{
+    std::uint64_t hits = 0, accesses = 0;
+    for (const auto &die : dies) {
+        for (const auto &b : die.banks) {
+            hits += b.rowHits;
+            accesses += b.reads + b.writes;
+        }
+    }
+    return accesses ? static_cast<double>(hits) /
+                          static_cast<double>(accesses)
+                    : 0.0;
+}
+
+WideIoDram::WideIoDram(const DramConfig &config)
+    : config_(config)
+{
+    const auto &g = config_.geometry;
+    XYLEM_ASSERT(g.channels > 0 && g.numDies > 0 && g.banksPerRank > 0,
+                 "DRAM geometry must be positive");
+    banks_.resize(static_cast<std::size_t>(g.channels) *
+                  static_cast<std::size_t>(g.numDies) *
+                  static_cast<std::size_t>(g.banksPerRank));
+    busFreeAt_.assign(static_cast<std::size_t>(g.channels), 0.0);
+    nextRefreshAt_.assign(static_cast<std::size_t>(g.channels) *
+                              static_cast<std::size_t>(g.numDies),
+                          config_.timing.tREFI * config_.refreshScale);
+    stats_.dies.resize(static_cast<std::size_t>(g.numDies));
+}
+
+WideIoDram::Bank &
+WideIoDram::bank(int channel, int die, int bank_idx)
+{
+    const auto &g = config_.geometry;
+    return banks_[(static_cast<std::size_t>(channel) *
+                       static_cast<std::size_t>(g.numDies) +
+                   static_cast<std::size_t>(die)) *
+                      static_cast<std::size_t>(g.banksPerRank) +
+                  static_cast<std::size_t>(bank_idx)];
+}
+
+BankStats &
+WideIoDram::bankStats(int channel, int die, int bank_idx)
+{
+    return stats_.dies[static_cast<std::size_t>(die)]
+        .banks[static_cast<std::size_t>(channel * 4 + bank_idx)];
+}
+
+void
+WideIoDram::refreshRank(int channel, int die, double now_ns)
+{
+    const auto &g = config_.geometry;
+    const auto &t = config_.timing;
+    const double interval = t.tREFI * config_.refreshScale;
+    double &next = nextRefreshAt_[static_cast<std::size_t>(channel) *
+                                      static_cast<std::size_t>(g.numDies) +
+                                  static_cast<std::size_t>(die)];
+    while (next <= now_ns) {
+        // All banks of the rank are blocked for tRFC; rows close.
+        for (int b = 0; b < g.banksPerRank; ++b) {
+            Bank &bk = bank(channel, die, b);
+            bk.open = false;
+            bk.readyAt = std::max(bk.readyAt, next + t.tRFC);
+        }
+        ++stats_.refreshOps;
+        next += interval;
+    }
+}
+
+double
+WideIoDram::access(double now_ns, std::uint64_t addr, bool write)
+{
+    const auto &t = config_.timing;
+    const Address a = decodeAddress(config_.geometry, addr);
+
+    refreshRank(a.channel, a.die, now_ns);
+
+    Bank &bk = bank(a.channel, a.die, a.bank);
+    BankStats &bs = bankStats(a.channel, a.die, a.bank);
+
+    // Command arrives at the device after the MC/PHY overhead.
+    double when = now_ns + t.tMC;
+    when = std::max(when, bk.readyAt);
+
+    if (bk.open && bk.row == a.row) {
+        ++bs.rowHits;
+    } else {
+        if (bk.open) {
+            // Respect tRAS before precharging, then precharge.
+            when = std::max(when, bk.activatedAt + t.tRAS);
+            when += t.tRP;
+        }
+        when += t.tRCD;
+        bk.activatedAt = when - t.tRCD; // activate command time
+        bk.open = true;
+        bk.row = a.row;
+        ++bs.activates;
+    }
+
+    // Column command + data transfer; the channel data bus is shared
+    // by the four banks of each rank and all ranks of the channel.
+    double data_start = when + t.tCL;
+    double &bus = busFreeAt_[static_cast<std::size_t>(a.channel)];
+    data_start = std::max(data_start, bus);
+    const double done = data_start + t.tBURST;
+    bus = done;
+    stats_.busBusyNs += t.tBURST;
+
+    // Bank busy until the column access (and write recovery) retire.
+    bk.readyAt = write ? done + t.tWR : data_start;
+
+    if (write)
+        ++bs.writes;
+    else
+        ++bs.reads;
+    ++stats_.requests;
+    return done;
+}
+
+void
+WideIoDram::resetStats()
+{
+    const std::size_t dies = stats_.dies.size();
+    stats_ = DramStats{};
+    stats_.dies.resize(dies);
+}
+
+double
+WideIoDram::idleLatency() const
+{
+    const auto &t = config_.timing;
+    return t.tMC + t.tRCD + t.tCL + t.tBURST;
+}
+
+double
+WideIoDram::energyJoules(double elapsed_ns) const
+{
+    const auto &e = config_.energy;
+    double joules = 0.0;
+    for (const auto &die : stats_.dies) {
+        for (const auto &b : die.banks) {
+            joules += static_cast<double>(b.activates) * e.actPre;
+            joules += static_cast<double>(b.reads) * e.read;
+            joules += static_cast<double>(b.writes) * e.write;
+        }
+    }
+    joules += static_cast<double>(stats_.refreshOps) * e.refreshPerOp;
+    joules += e.backgroundPerDie *
+              static_cast<double>(config_.geometry.numDies) * elapsed_ns *
+              1e-9;
+    return joules;
+}
+
+double
+WideIoDram::averagePower(double elapsed_ns) const
+{
+    XYLEM_ASSERT(elapsed_ns > 0.0, "elapsed time must be positive");
+    return energyJoules(elapsed_ns) / (elapsed_ns * 1e-9);
+}
+
+} // namespace xylem::dram

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A DRAMSim2-style timing and energy model of the Wide I/O stack:
+ * per-bank row-buffer state machines, channel data-bus contention,
+ * rank-level refresh, and per-die/per-bank access statistics that
+ * feed both the power model and the thermal power maps.
+ */
+
+#ifndef XYLEM_DRAM_WIDEIO_HPP
+#define XYLEM_DRAM_WIDEIO_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/config.hpp"
+
+namespace xylem::dram {
+
+/** Per-bank access statistics. */
+struct BankStats
+{
+    std::uint64_t activates = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rowHits = 0;
+};
+
+/** Per-die statistics: 16 banks, indexed channel * 4 + bank. */
+struct DieStats
+{
+    std::vector<BankStats> banks = std::vector<BankStats>(16);
+
+    std::uint64_t totalAccesses() const;
+};
+
+/** Aggregate statistics of a simulation run. */
+struct DramStats
+{
+    std::vector<DieStats> dies;
+    std::uint64_t refreshOps = 0;
+    double busBusyNs = 0.0;       ///< summed over channels
+    std::uint64_t requests = 0;
+
+    double rowHitRate() const;
+};
+
+/**
+ * The Wide I/O DRAM stack timing model.
+ *
+ * Requests are submitted with an absolute time in nanoseconds and the
+ * model returns the completion time of the 64 B transfer. The model
+ * tolerates slightly out-of-order request times (the event-driven CPU
+ * model guarantees approximate ordering only).
+ */
+class WideIoDram
+{
+  public:
+    explicit WideIoDram(const DramConfig &config);
+
+    const DramConfig &config() const { return config_; }
+
+    /**
+     * Perform one line access.
+     *
+     * @param now_ns  request submission time [ns]
+     * @param addr    physical byte address
+     * @param write   true for a write-back, false for a fill
+     * @return completion time of the data transfer [ns]
+     */
+    double access(double now_ns, std::uint64_t addr, bool write);
+
+    /** Idle round-trip latency of a row-miss access [ns]. */
+    double idleLatency() const;
+
+    const DramStats &stats() const { return stats_; }
+
+    /**
+     * Zero the statistics while keeping device state (open rows,
+     * timing) — used at the end of a warm-up phase.
+     */
+    void resetStats();
+
+    /**
+     * DRAM energy consumed up to `elapsed_ns`, including background
+     * and refresh power [J].
+     */
+    double energyJoules(double elapsed_ns) const;
+
+    /** Average DRAM power over a run of `elapsed_ns` [W]. */
+    double averagePower(double elapsed_ns) const;
+
+  private:
+    struct Bank
+    {
+        bool open = false;
+        std::uint64_t row = 0;
+        double readyAt = 0.0;    ///< earliest next column command
+        double activatedAt = 0.0;
+    };
+
+    /** Apply pending refreshes for a rank up to `now_ns`. */
+    void refreshRank(int channel, int die, double now_ns);
+
+    Bank &bank(int channel, int die, int bank_idx);
+    BankStats &bankStats(int channel, int die, int bank_idx);
+
+    DramConfig config_;
+    std::vector<Bank> banks_;           ///< [channel][die][bank]
+    std::vector<double> busFreeAt_;     ///< per channel
+    std::vector<double> nextRefreshAt_; ///< per (channel, die)
+    DramStats stats_;
+};
+
+} // namespace xylem::dram
+
+#endif // XYLEM_DRAM_WIDEIO_HPP

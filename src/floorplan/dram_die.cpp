@@ -1,0 +1,153 @@
+#include "floorplan/dram_die.hpp"
+
+#include <string>
+
+#include "common/logging.hpp"
+#include "floorplan/proc_die.hpp"
+
+namespace xylem::floorplan {
+
+DramDie
+buildDramDie(const DramDieSpec &spec)
+{
+    const double w = spec.dieWidth;
+    const double h = spec.dieHeight;
+    const double vs = spec.vStripWidth;
+    const double hs = spec.hStripHeight;
+
+    DramDie die;
+    die.spec = spec;
+    die.plan = Floorplan("dram", geometry::Rect{0, 0, w, h});
+
+    // Horizontal partition: edge strip | 4 bank columns | edge strip,
+    // with 3 interior vertical peripheral strips.
+    const double bank_w = (w - 2.0 * vs - 3.0 * vs) / 4.0;
+    double col_x[4];
+    double vstrip_x[5]; // including both edge strips
+    vstrip_x[0] = 0.0;
+    {
+        double x = vs;
+        for (int c = 0; c < 4; ++c) {
+            col_x[c] = x;
+            x += bank_w;
+            vstrip_x[c + 1] = x;
+            if (c < 3)
+                x += vs;
+        }
+    }
+
+    // Vertical partition: edge strip | 2 bank rows | centre stripe |
+    // 2 bank rows | edge strip, with 2 interior horizontal strips.
+    const double bank_h =
+        (h - 2.0 * hs - 2.0 * hs - spec.centerStripeHeight) / 4.0;
+    double row_y[4];
+    row_y[0] = hs;
+    const double hstrip0_y = row_y[0] + bank_h;
+    row_y[1] = hstrip0_y + hs;
+    const double stripe_y = row_y[1] + bank_h;
+    row_y[2] = stripe_y + spec.centerStripeHeight;
+    const double hstrip1_y = row_y[2] + bank_h;
+    row_y[3] = hstrip1_y + hs;
+    const double top_edge_y = row_y[3] + bank_h;
+    die.centerStripe =
+        geometry::Rect{0, stripe_y, w, spec.centerStripeHeight};
+
+    // Banks: one channel per quadrant, 2x2 banks per quadrant.
+    // Channel 0 = bottom-left, 1 = bottom-right, 2 = top-left,
+    // 3 = top-right. Bank b within a quadrant: bit 0 = column,
+    // bit 1 = row.
+    die.banks.resize(16);
+    for (int ch = 0; ch < 4; ++ch) {
+        const int qc = (ch & 1) ? 2 : 0;  // quadrant base column
+        const int qr = (ch & 2) ? 2 : 0;  // quadrant base row
+        for (int b = 0; b < 4; ++b) {
+            const int c = qc + (b & 1);
+            const int r = qr + ((b >> 1) & 1);
+            const geometry::Rect rect{col_x[c], row_y[r], bank_w, bank_h};
+            die.banks[ch * 4 + b] = rect;
+            die.plan.add("CH" + std::to_string(ch) + ".B" + std::to_string(b),
+                         rect);
+        }
+    }
+
+    // Peripheral-logic strips. The 5 vertical strips (2 edge + 3
+    // interior) run the full die height; horizontal bands are broken
+    // into bank-width pieces so the plan stays overlap-free.
+    for (int s = 0; s < 5; ++s) {
+        die.plan.add("PERI.V" + std::to_string(s),
+                     geometry::Rect{vstrip_x[s], 0, vs, h});
+    }
+    auto add_hband = [&](const std::string &name, double y, double sh) {
+        for (int c = 0; c < 4; ++c) {
+            die.plan.add(name + "." + std::to_string(c),
+                         geometry::Rect{col_x[c], y, bank_w, sh});
+        }
+    };
+    add_hband("PERI.E0", 0.0, hs);           // bottom edge strip
+    add_hband("PERI.H0", hstrip0_y, hs);
+    add_hband("STRIPE", stripe_y, spec.centerStripeHeight);
+    add_hband("PERI.H1", hstrip1_y, hs);
+    add_hband("PERI.E1", top_edge_y, hs);    // top edge strip
+
+    // TSV bus: same 2.4 mm x 0.2 mm footprint and position as on the
+    // processor die (they are vertically aligned by construction). It
+    // overlaps the STRIPE pieces geometrically; it is tracked as an
+    // over-paint rectangle rather than a plan block.
+    const double bus_w = 0.3 * w;
+    const double bus_h = 0.2e-3 * (h / 8e-3);
+    die.tsvBus = geometry::Rect{(w - bus_w) / 2.0,
+                                stripe_y + (spec.centerStripeHeight - bus_h) /
+                                               2.0,
+                                bus_w, bus_h};
+
+    // --- TTSV candidate sites -------------------------------------
+    // 20 bank-vertex singles: 5 vertex columns x 4 vertex rows
+    // (the centre-stripe row is handled separately).
+    const double vx[5] = {vs / 2.0, vstrip_x[1] + vs / 2.0,
+                          vstrip_x[2] + vs / 2.0, vstrip_x[3] + vs / 2.0,
+                          w - vs / 2.0};
+    const double vy[4] = {hs / 2.0, hstrip0_y + hs / 2.0,
+                          hstrip1_y + hs / 2.0, h - hs / 2.0};
+    for (double y : vy)
+        for (double x : vx)
+            die.vertexSites.push_back({x, y});
+
+    // 4 centre-stripe double sites (8 TTSVs), clustered towards the
+    // die centre, above and below the TSV bus.
+    const double stripe_mid = stripe_y + spec.centerStripeHeight / 2.0;
+    const double dy = spec.centerStripeHeight * 0.3125; // 0.25 mm at 0.8 mm
+    const double sx[4] = {0.375 * w, 0.45 * w, 0.55 * w, 0.625 * w};
+    for (double x : sx) {
+        die.stripeSites.push_back({x, stripe_mid - dy});
+        die.stripeSites.push_back({x, stripe_mid + dy});
+    }
+
+    // 8 near-core sites for `banke`: in the edge peripheral strips,
+    // flanking the FPUs of the *inner* cores (two TTSVs per inner
+    // core). This is the co-designed placement of §4.2 — the memory
+    // vendor uses the processor hotspot locations — and it is what
+    // gives the inner cores their enhanced vertical conductivity,
+    // which the λ-aware techniques of §5.2 exploit (the outer,
+    // corner cores already sit next to the bank-vertex edge sites).
+    // The FPUs sit centred in each core's outer strip (away from the
+    // die corners, so hotspots are separated, §6.3). Compute the
+    // inner cores' FPU x positions from the processor floorplan
+    // defaults (co-design: the memory vendor knows the core layout).
+    const ProcDieSpec proc;
+    const double core_w = (proc.dieWidth - 2.0 * proc.ioRingWidth) / 4.0;
+    const double fpu_inner_l = proc.ioRingWidth + 1.5 * core_w;
+    const double fpu_inner_r = w - fpu_inner_l;
+    const double flank = 0.2 * core_w;
+    for (double x : {fpu_inner_l - flank, fpu_inner_l + flank,
+                     fpu_inner_r - flank, fpu_inner_r + flank}) {
+        die.coreSites.push_back({x, hs / 2.0});
+        die.coreSites.push_back({x, h - hs / 2.0});
+    }
+
+    XYLEM_ASSERT(die.vertexSites.size() == 20 &&
+                     die.stripeSites.size() == 8 && die.coreSites.size() == 8,
+                 "TTSV site counts must match the paper's schemes");
+    return die;
+}
+
+} // namespace xylem::floorplan

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The Wide I/O DRAM slice floorplan (Fig. 1a / Fig. 5): a 4x4 grid of
+ * banks (one rank per channel, four banks per rank, one quadrant per
+ * channel), peripheral-logic strips between the banks, a wider
+ * peripheral stripe across the die centre holding the 1200-TSV bus,
+ * and the candidate TTSV sites used by the Xylem placement schemes:
+ *
+ *  - 20 single-TTSV sites at the bank vertices (Bank Surround),
+ *  - 4 double-TTSV sites in the centre stripe (8 TTSVs; the ones
+ *    Iso Count removes),
+ *  - 8 sites close to the projected processor cores (the Bank
+ *    Surround Enhanced additions).
+ */
+
+#ifndef XYLEM_FLOORPLAN_DRAM_DIE_HPP
+#define XYLEM_FLOORPLAN_DRAM_DIE_HPP
+
+#include <vector>
+
+#include "floorplan/floorplan.hpp"
+
+namespace xylem::floorplan {
+
+/** Parameters of a Wide I/O DRAM slice. */
+struct DramDieSpec
+{
+    double dieWidth = 8e-3;       ///< 8 mm
+    double dieHeight = 8e-3;
+    double vStripWidth = 0.2e-3;  ///< vertical peripheral strips (and edges)
+    double hStripHeight = 0.2e-3; ///< horizontal peripheral strips (and edges)
+    double centerStripeHeight = 0.8e-3; ///< wider central stripe
+};
+
+/** The built DRAM slice: floorplan plus TTSV site candidates. */
+struct DramDie
+{
+    Floorplan plan{"dram", geometry::Rect{0, 0, 1, 1}};
+    DramDieSpec spec;
+
+    /** 16 bank rectangles, index = channel * 4 + bank. */
+    std::vector<geometry::Rect> banks;
+    /** The wide peripheral stripe across the die centre. */
+    geometry::Rect centerStripe;
+    /** The 1200-TSV bus footprint (matches the processor die). */
+    geometry::Rect tsvBus;
+
+    /** 20 bank-vertex TTSV sites (centres), one TTSV each. */
+    std::vector<geometry::Point> vertexSites;
+    /** 8 centre-stripe TTSV sites (4 points x 2 TTSVs). */
+    std::vector<geometry::Point> stripeSites;
+    /** 8 near-core TTSV sites (the `banke` additions). */
+    std::vector<geometry::Point> coreSites;
+};
+
+/** Build the Wide I/O DRAM slice floorplan. */
+DramDie buildDramDie(const DramDieSpec &spec = {});
+
+} // namespace xylem::floorplan
+
+#endif // XYLEM_FLOORPLAN_DRAM_DIE_HPP

@@ -1,0 +1,74 @@
+#include "floorplan/floorplan.hpp"
+
+#include "common/logging.hpp"
+
+namespace xylem::floorplan {
+
+Floorplan::Floorplan(std::string name, geometry::Rect extent)
+    : name_(std::move(name)), extent_(extent)
+{
+    XYLEM_ASSERT(extent_.area() > 0.0, "floorplan extent must be positive");
+}
+
+void
+Floorplan::add(std::string block_name, const geometry::Rect &rect)
+{
+    XYLEM_ASSERT(rect.area() > 0.0, "block '", block_name,
+                 "' must have positive area");
+    // Allow a tiny tolerance for floating-point construction noise.
+    const geometry::Rect slack = extent_.inflated(1e-9);
+    XYLEM_ASSERT(slack.contains(rect), "block '", block_name,
+                 "' exceeds die extent");
+    blocks_.push_back(Block{std::move(block_name), rect});
+}
+
+const Block *
+Floorplan::find(const std::string &block_name) const
+{
+    for (const auto &b : blocks_)
+        if (b.name == block_name)
+            return &b;
+    return nullptr;
+}
+
+const Block &
+Floorplan::at(const std::string &block_name) const
+{
+    const Block *b = find(block_name);
+    if (!b)
+        fatal("no block named '", block_name, "' in floorplan ", name_);
+    return *b;
+}
+
+std::vector<const Block *>
+Floorplan::withPrefix(const std::string &prefix) const
+{
+    std::vector<const Block *> out;
+    for (const auto &b : blocks_)
+        if (b.name.rfind(prefix, 0) == 0)
+            out.push_back(&b);
+    return out;
+}
+
+double
+Floorplan::coverage() const
+{
+    double covered = 0.0;
+    for (const auto &b : blocks_)
+        covered += b.rect.intersectionArea(extent_);
+    return covered / extent_.area();
+}
+
+bool
+Floorplan::overlapFree(double tol_area) const
+{
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        for (std::size_t j = i + 1; j < blocks_.size(); ++j) {
+            if (blocks_[i].rect.intersectionArea(blocks_[j].rect) > tol_area)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace xylem::floorplan

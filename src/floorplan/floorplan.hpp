@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Block-level floorplans, in the spirit of ArchFP: a named die extent
+ * plus a set of named rectangular blocks. Floorplans drive both power
+ * painting (architectural blocks of the processor die, banks of the
+ * DRAM dies) and conductivity painting (TSV bus, TTSV sites).
+ */
+
+#ifndef XYLEM_FLOORPLAN_FLOORPLAN_HPP
+#define XYLEM_FLOORPLAN_FLOORPLAN_HPP
+
+#include <string>
+#include <vector>
+
+#include "geometry/rect.hpp"
+
+namespace xylem::floorplan {
+
+/** One named rectangular block of a floorplan. */
+struct Block
+{
+    std::string name;
+    geometry::Rect rect;
+};
+
+/**
+ * A die floorplan: an extent and a list of non-overlapping blocks.
+ */
+class Floorplan
+{
+  public:
+    /** Create an empty floorplan covering `extent`. */
+    Floorplan(std::string name, geometry::Rect extent);
+
+    const std::string &name() const { return name_; }
+    const geometry::Rect &extent() const { return extent_; }
+    const std::vector<Block> &blocks() const { return blocks_; }
+
+    /**
+     * Add a block. The block must lie within the die extent
+     * (within a small tolerance).
+     */
+    void add(std::string block_name, const geometry::Rect &rect);
+
+    /** Find a block by exact name; nullptr if absent. */
+    const Block *find(const std::string &block_name) const;
+
+    /** Find a block by exact name; throws if absent. */
+    const Block &at(const std::string &block_name) const;
+
+    /** All blocks whose name starts with `prefix`. */
+    std::vector<const Block *> withPrefix(const std::string &prefix) const;
+
+    /** Fraction of the die extent covered by blocks. */
+    double coverage() const;
+
+    /**
+     * True iff no two blocks overlap by more than `tol_area` (m²).
+     * Quadratic check; floorplans here have at most a few hundred
+     * blocks.
+     */
+    bool overlapFree(double tol_area = 1e-12) const;
+
+  private:
+    std::string name_;
+    geometry::Rect extent_;
+    std::vector<Block> blocks_;
+};
+
+} // namespace xylem::floorplan
+
+#endif // XYLEM_FLOORPLAN_FLOORPLAN_HPP

@@ -1,0 +1,228 @@
+#include "floorplan/proc_die.hpp"
+
+#include "common/logging.hpp"
+
+namespace xylem::floorplan {
+
+UnitKind
+unitKindFromBlockName(const std::string &name)
+{
+    if (name.rfind("L2_", 0) == 0)
+        return UnitKind::L2;
+    if (name.rfind("MC", 0) == 0)
+        return UnitKind::MemController;
+    if (name.rfind("BUS", 0) == 0)
+        return UnitKind::CoherenceBus;
+    if (name == "TSVBUS")
+        return UnitKind::TsvBus;
+
+    const auto dot = name.find('.');
+    XYLEM_ASSERT(dot != std::string::npos, "unparseable block name '", name,
+                 "'");
+    const std::string unit = name.substr(dot + 1);
+    if (unit == "FETCH")
+        return UnitKind::Fetch;
+    if (unit == "BPRED")
+        return UnitKind::BPred;
+    if (unit == "DEC")
+        return UnitKind::Decode;
+    if (unit == "IQ")
+        return UnitKind::IssueQueue;
+    if (unit == "ROB")
+        return UnitKind::Rob;
+    if (unit == "IRF")
+        return UnitKind::IntRF;
+    if (unit == "FRF")
+        return UnitKind::FpRF;
+    if (unit == "ALU")
+        return UnitKind::IntAlu;
+    if (unit == "FPU")
+        return UnitKind::Fpu;
+    if (unit == "LSU")
+        return UnitKind::Lsu;
+    if (unit == "L1I")
+        return UnitKind::L1I;
+    if (unit == "L1D")
+        return UnitKind::L1D;
+    panic("unknown unit suffix in block name '", name, "'");
+}
+
+const char *
+toString(UnitKind kind)
+{
+    switch (kind) {
+      case UnitKind::Fetch: return "FETCH";
+      case UnitKind::BPred: return "BPRED";
+      case UnitKind::Decode: return "DEC";
+      case UnitKind::IssueQueue: return "IQ";
+      case UnitKind::Rob: return "ROB";
+      case UnitKind::IntRF: return "IRF";
+      case UnitKind::FpRF: return "FRF";
+      case UnitKind::IntAlu: return "ALU";
+      case UnitKind::Fpu: return "FPU";
+      case UnitKind::Lsu: return "LSU";
+      case UnitKind::L1I: return "L1I";
+      case UnitKind::L1D: return "L1D";
+      case UnitKind::L2: return "L2";
+      case UnitKind::CoherenceBus: return "BUS";
+      case UnitKind::MemController: return "MC";
+      case UnitKind::TsvBus: return "TSVBUS";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * Lay out the internal blocks of one core.
+ *
+ * The core is organised in four horizontal strips; the strip with the
+ * hottest units (FPU/ALU/LSU) sits at the *outer* die edge so that
+ * known hotspots are spatially separated (§6.3), and the L1 caches
+ * face the central LLC band.
+ *
+ * @param fp        floorplan to add blocks to
+ * @param core_name e.g. "C3"
+ * @param r         the core rectangle
+ * @param outer_is_bottom true for bottom-row cores (their outer edge
+ *                  is the die bottom; strips are mirrored vertically)
+ * @param mirror_x  true for right-half cores: unit order within each
+ *                  strip is mirrored so the FPU faces the nearer
+ *                  vertical die edge (hotspots are pushed outward,
+ *                  keeping them spatially separated, §6.3)
+ */
+void
+layoutCore(Floorplan &fp, const std::string &core_name,
+           const geometry::Rect &r, bool outer_is_bottom, bool mirror_x)
+{
+    struct Strip
+    {
+        double frac;
+        std::vector<std::pair<const char *, double>> units;
+    };
+    // Strips listed from the inner edge (facing the LLC) outwards.
+    // The FPU — the worst hotspot — sits centred in the outer strip,
+    // away from the die corners.
+    const std::vector<Strip> strips = {
+        {0.30, {{"L1I", 0.5}, {"L1D", 0.5}}},
+        {0.20, {{"FETCH", 0.4}, {"DEC", 0.3}, {"BPRED", 0.3}}},
+        {0.25, {{"IRF", 0.2}, {"IQ", 0.3}, {"ROB", 0.25}, {"FRF", 0.25}}},
+        {0.25, {{"ALU", 0.35}, {"FPU", 0.3}, {"LSU", 0.35}}},
+    };
+
+    double y_off = 0.0;
+    for (const auto &strip : strips) {
+        const double sh = strip.frac * r.h;
+        // Inner edge is the bottom of the rect for top-row cores.
+        const double sy = outer_is_bottom
+                              ? r.top() - y_off - sh
+                              : r.y + y_off;
+        double x_off = 0.0;
+        for (const auto &[unit, wf] : strip.units) {
+            const double sw = wf * r.w;
+            const double sx = mirror_x ? r.right() - x_off - sw
+                                       : r.x + x_off;
+            fp.add(core_name + "." + unit, geometry::Rect{sx, sy, sw, sh});
+            x_off += sw;
+        }
+        y_off += sh;
+    }
+}
+
+} // namespace
+
+ProcDie
+buildProcessorDie(const ProcDieSpec &spec)
+{
+    XYLEM_ASSERT(spec.numCores == 8,
+                 "the Fig. 6 floorplan is defined for 8 cores");
+    const double w = spec.dieWidth;
+    const double h = spec.dieHeight;
+
+    ProcDie die;
+    die.spec = spec;
+    die.plan = Floorplan("proc", geometry::Rect{0, 0, w, h});
+
+    // I/O pad ring around the logic area.
+    const double ring = spec.ioRingWidth;
+    XYLEM_ASSERT(ring >= 0.0 && 2.0 * ring < std::min(w, h) / 2.0,
+                 "I/O ring too wide for the die");
+    if (ring > 0.0) {
+        die.plan.add("IO.S", geometry::Rect{0, 0, w, ring});
+        die.plan.add("IO.N", geometry::Rect{0, h - ring, w, ring});
+        die.plan.add("IO.W", geometry::Rect{0, ring, ring, h - 2 * ring});
+        die.plan.add("IO.E",
+                     geometry::Rect{w - ring, ring, ring, h - 2 * ring});
+    }
+    const double iw = w - 2.0 * ring; // inner (logic) area
+    const double ih = h - 2.0 * ring;
+
+    // Vertical partition of the logic area: bottom core row, central
+    // band, top core row.
+    const double core_row_h = 0.325 * ih;
+    const double band_h = ih - 2.0 * core_row_h;
+    const double band_y = ring + core_row_h;
+    die.centerBand = geometry::Rect{ring, band_y, iw, band_h};
+
+    const double core_w = iw / 4.0;
+
+    // Cores 1..4 on the top row, 5..8 on the bottom row.
+    die.cores.resize(8);
+    for (int i = 0; i < 4; ++i) {
+        die.cores[i] = geometry::Rect{ring + i * core_w,
+                                      h - ring - core_row_h, core_w,
+                                      core_row_h};
+        die.cores[4 + i] =
+            geometry::Rect{ring + i * core_w, ring, core_w, core_row_h};
+    }
+    for (int i = 0; i < 8; ++i) {
+        const bool bottom_row = i >= 4;
+        const bool right_half = (i % 4) >= 2;
+        layoutCore(die.plan, "C" + std::to_string(i + 1), die.cores[i],
+                   bottom_row, right_half);
+    }
+    die.innerCores = {1, 2, 5, 6};
+    die.outerCores = {0, 3, 4, 7};
+
+    // Central band: L2 slices adjacent to their cores, and a middle
+    // strip with the coherence bus, memory controllers and TSV bus.
+    const double mid_h = 0.8e-3 * (h / 8e-3); // scale with die size
+    const double l2_h = (band_h - mid_h) / 2.0;
+    const double mid_y = band_y + l2_h;
+    for (int i = 0; i < 4; ++i) {
+        // L2s of the top-row cores sit directly below them...
+        die.plan.add("L2_" + std::to_string(i + 1),
+                     geometry::Rect{ring + i * core_w, mid_y + mid_h,
+                                    core_w, l2_h});
+        // ...and the bottom-row L2s directly above their cores.
+        die.plan.add("L2_" + std::to_string(i + 5),
+                     geometry::Rect{ring + i * core_w, band_y, core_w,
+                                    l2_h});
+    }
+
+    // Middle strip: MC0 | MC1 | TSV-bus column | MC2 | MC3.
+    const double bus_col_w = 0.3 * w;      // 2.4 mm
+    const double mc_w = (iw - bus_col_w) / 4.0;
+    const double bus_x = ring + 2.0 * mc_w;
+    for (int i = 0; i < 2; ++i) {
+        die.plan.add("MC" + std::to_string(i),
+                     geometry::Rect{ring + i * mc_w, mid_y, mc_w, mid_h});
+        die.plan.add("MC" + std::to_string(i + 2),
+                     geometry::Rect{bus_x + bus_col_w + i * mc_w, mid_y,
+                                    mc_w, mid_h});
+    }
+    // The TSV bus proper: 48 blocks of 5x5 TSVs, 100 µm each, laid out
+    // 24x2 -> 2.4 mm x 0.2 mm at the very centre of the die.
+    const double bus_th = 0.2e-3 * (h / 8e-3);
+    const double bus_y = mid_y + (mid_h - bus_th) / 2.0;
+    die.tsvBus = geometry::Rect{bus_x, bus_y, bus_col_w, bus_th};
+    die.plan.add("TSVBUS", die.tsvBus);
+    // Coherence-bus wiring above and below the TSV bus.
+    die.plan.add("BUS0", geometry::Rect{bus_x, mid_y, bus_col_w,
+                                        bus_y - mid_y});
+    die.plan.add("BUS1", geometry::Rect{bus_x, bus_y + bus_th, bus_col_w,
+                                        mid_y + mid_h - (bus_y + bus_th)});
+    return die;
+}
+
+} // namespace xylem::floorplan

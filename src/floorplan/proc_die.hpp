@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The processor die floorplan of Fig. 6: eight cores on the outside
+ * (two rows of four), the private L2s — the last-level cache — in a
+ * central band together with the coherence bus, the four Wide I/O
+ * memory controllers and the TSV bus.
+ *
+ * Core numbering follows the paper: cores 1-4 left-to-right on the
+ * top row, cores 5-8 on the bottom row. Cores 2, 3, 6 and 7 are the
+ * *inner* cores exploited by the λ-aware techniques.
+ */
+
+#ifndef XYLEM_FLOORPLAN_PROC_DIE_HPP
+#define XYLEM_FLOORPLAN_PROC_DIE_HPP
+
+#include <string>
+#include <vector>
+
+#include "floorplan/floorplan.hpp"
+
+namespace xylem::floorplan {
+
+/** Micro-architectural unit kinds, used to attach power to blocks. */
+enum class UnitKind
+{
+    Fetch,
+    BPred,
+    Decode,
+    IssueQueue,
+    Rob,
+    IntRF,
+    FpRF,
+    IntAlu,
+    Fpu,
+    Lsu,
+    L1I,
+    L1D,
+    L2,
+    CoherenceBus,
+    MemController,
+    TsvBus,
+};
+
+/** Parse the unit kind from a block name such as "C3.FPU" or "L2_4". */
+UnitKind unitKindFromBlockName(const std::string &name);
+
+/** Printable name of a unit kind. */
+const char *toString(UnitKind kind);
+
+/** Parameters of the processor die. */
+struct ProcDieSpec
+{
+    double dieWidth = 8e-3;   ///< 8 mm (≈64 mm², §6.2)
+    double dieHeight = 8e-3;
+    int numCores = 8;         ///< must currently be 8 (two rows of 4)
+    /**
+     * Width of the I/O pad ring around the logic: cores are inset
+     * from the die rim, as in commercial floorplans.
+     */
+    double ioRingWidth = 0.1e-3;
+};
+
+/** The built processor die: floorplan plus navigation helpers. */
+struct ProcDie
+{
+    Floorplan plan{"proc", geometry::Rect{0, 0, 1, 1}};
+    ProcDieSpec spec;
+
+    /** Full core rectangles, index 0..7 for cores 1..8. */
+    std::vector<geometry::Rect> cores;
+    /** 0-based indices of the inner cores (2, 3, 6, 7). */
+    std::vector<int> innerCores;
+    /** 0-based indices of the outer cores (1, 4, 5, 8). */
+    std::vector<int> outerCores;
+    /** The 1200-TSV Wide I/O bus footprint at the die centre. */
+    geometry::Rect tsvBus;
+    /** The central band holding LLC, MCs and buses. */
+    geometry::Rect centerBand;
+};
+
+/** Build the Fig. 6 processor die floorplan. */
+ProcDie buildProcessorDie(const ProcDieSpec &spec = {});
+
+} // namespace xylem::floorplan
+
+#endif // XYLEM_FLOORPLAN_PROC_DIE_HPP

@@ -1,0 +1,4 @@
+set(XYLEM_FLOORPLAN_SOURCES
+    ${CMAKE_CURRENT_LIST_DIR}/floorplan.cpp
+    ${CMAKE_CURRENT_LIST_DIR}/proc_die.cpp
+    ${CMAKE_CURRENT_LIST_DIR}/dram_die.cpp)

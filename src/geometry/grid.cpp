@@ -1,0 +1,140 @@
+#include "geometry/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace xylem::geometry {
+
+Grid2D::Grid2D(Rect extent, std::size_t nx, std::size_t ny)
+    : extent_(extent), nx_(nx), ny_(ny)
+{
+    XYLEM_ASSERT(nx_ > 0 && ny_ > 0, "grid needs positive dimensions");
+    XYLEM_ASSERT(extent_.w > 0.0 && extent_.h > 0.0,
+                 "grid extent must have positive area");
+}
+
+std::size_t
+Grid2D::index(std::size_t ix, std::size_t iy) const
+{
+    XYLEM_ASSERT(ix < nx_ && iy < ny_, "grid index out of range");
+    return iy * nx_ + ix;
+}
+
+Rect
+Grid2D::cellRect(std::size_t ix, std::size_t iy) const
+{
+    return Rect{extent_.x + static_cast<double>(ix) * cellWidth(),
+                extent_.y + static_cast<double>(iy) * cellHeight(),
+                cellWidth(), cellHeight()};
+}
+
+Point
+Grid2D::cellCenter(std::size_t ix, std::size_t iy) const
+{
+    return cellRect(ix, iy).center();
+}
+
+void
+Grid2D::locate(const Point &p, std::size_t &ix, std::size_t &iy) const
+{
+    const double fx = (p.x - extent_.x) / cellWidth();
+    const double fy = (p.y - extent_.y) / cellHeight();
+    const auto clamp = [](double v, std::size_t n) {
+        const auto max_idx = static_cast<double>(n - 1);
+        return static_cast<std::size_t>(std::clamp(v, 0.0, max_idx));
+    };
+    ix = clamp(std::floor(fx), nx_);
+    iy = clamp(std::floor(fy), ny_);
+}
+
+void
+Grid2D::forEachOverlap(
+    const Rect &r,
+    const std::function<void(std::size_t, std::size_t, double)> &fn) const
+{
+    const Rect clipped = r.intersection(extent_);
+    if (clipped.area() <= 0.0)
+        return;
+
+    std::size_t ix0, iy0, ix1, iy1;
+    // Nudge the corners inwards so cells that only share an edge with
+    // the rectangle are not visited.
+    const double eps_x = cellWidth() * 1e-9;
+    const double eps_y = cellHeight() * 1e-9;
+    locate({clipped.x + eps_x, clipped.y + eps_y}, ix0, iy0);
+    locate({clipped.right() - eps_x, clipped.top() - eps_y}, ix1, iy1);
+
+    const double inv_cell_area = 1.0 / cellArea();
+    for (std::size_t iy = iy0; iy <= iy1; ++iy) {
+        for (std::size_t ix = ix0; ix <= ix1; ++ix) {
+            const double a = cellRect(ix, iy).intersectionArea(clipped);
+            if (a > 0.0)
+                fn(ix, iy, a * inv_cell_area);
+        }
+    }
+}
+
+Field2D::Field2D(const Grid2D &grid, double initial)
+    : grid_(grid), data_(grid.cells(), initial)
+{
+}
+
+double
+Field2D::at(std::size_t ix, std::size_t iy) const
+{
+    return data_[grid_.index(ix, iy)];
+}
+
+double &
+Field2D::at(std::size_t ix, std::size_t iy)
+{
+    return data_[grid_.index(ix, iy)];
+}
+
+void
+Field2D::fill(double value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+void
+Field2D::paint(const Rect &r, double value)
+{
+    grid_.forEachOverlap(r, [&](std::size_t ix, std::size_t iy, double f) {
+        double &cell = data_[grid_.index(ix, iy)];
+        cell = (1.0 - f) * cell + f * value;
+    });
+}
+
+void
+Field2D::deposit(const Rect &r, double total)
+{
+    const Rect clipped = r.intersection(grid_.extent());
+    const double area = clipped.area();
+    if (area <= 0.0 || total == 0.0)
+        return;
+    const double per_area = total / area;
+    grid_.forEachOverlap(r, [&](std::size_t ix, std::size_t iy, double f) {
+        data_[grid_.index(ix, iy)] += per_area * f * grid_.cellArea();
+    });
+}
+
+double
+Field2D::sum() const
+{
+    double s = 0.0;
+    for (double v : data_)
+        s += v;
+    return s;
+}
+
+double
+Field2D::max() const
+{
+    XYLEM_ASSERT(!data_.empty(), "max of empty field");
+    return *std::max_element(data_.begin(), data_.end());
+}
+
+} // namespace xylem::geometry

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Uniform 2D grids over a die area and scalar fields on them.
+ *
+ * The thermal model discretises every layer of the stack on the same
+ * XY grid; floorplan blocks (power sources, conductivity regions) are
+ * rasterised onto that grid with exact area weighting.
+ */
+
+#ifndef XYLEM_GEOMETRY_GRID_HPP
+#define XYLEM_GEOMETRY_GRID_HPP
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "geometry/rect.hpp"
+
+namespace xylem::geometry {
+
+/**
+ * A uniform nx-by-ny grid covering a rectangular die area.
+ * Cell (0, 0) is at the lower-left corner.
+ */
+class Grid2D
+{
+  public:
+    /** Build a grid of nx x ny cells over `extent`. */
+    Grid2D(Rect extent, std::size_t nx, std::size_t ny);
+
+    std::size_t nx() const { return nx_; }
+    std::size_t ny() const { return ny_; }
+    std::size_t cells() const { return nx_ * ny_; }
+    const Rect &extent() const { return extent_; }
+    double cellWidth() const { return extent_.w / static_cast<double>(nx_); }
+    double cellHeight() const { return extent_.h / static_cast<double>(ny_); }
+    double cellArea() const { return cellWidth() * cellHeight(); }
+
+    /** Flat index of cell (ix, iy). */
+    std::size_t index(std::size_t ix, std::size_t iy) const;
+
+    /** Geometric rectangle covered by cell (ix, iy). */
+    Rect cellRect(std::size_t ix, std::size_t iy) const;
+
+    /** Centre point of cell (ix, iy). */
+    Point cellCenter(std::size_t ix, std::size_t iy) const;
+
+    /** Cell containing the point (clamped to the grid). */
+    void locate(const Point &p, std::size_t &ix, std::size_t &iy) const;
+
+    /**
+     * Visit every cell overlapping `r`, reporting the overlap fraction
+     * of the *cell* area (in (0, 1]).
+     */
+    void forEachOverlap(
+        const Rect &r,
+        const std::function<void(std::size_t ix, std::size_t iy,
+                                 double cell_fraction)> &fn) const;
+
+  private:
+    Rect extent_;
+    std::size_t nx_;
+    std::size_t ny_;
+};
+
+/**
+ * A scalar field on a Grid2D (e.g. a conductivity map or a power map).
+ */
+class Field2D
+{
+  public:
+    /** Create a field over `grid`, filled with `initial`. */
+    explicit Field2D(const Grid2D &grid, double initial = 0.0);
+
+    const Grid2D &grid() const { return grid_; }
+
+    double at(std::size_t ix, std::size_t iy) const;
+    double &at(std::size_t ix, std::size_t iy);
+    const std::vector<double> &data() const { return data_; }
+    std::vector<double> &data() { return data_; }
+
+    /** Set every cell to `value`. */
+    void fill(double value);
+
+    /**
+     * Area-weighted blend of `value` into every cell overlapping `r`:
+     * cell = (1 - f) * cell + f * value, with f the overlap fraction.
+     * Correct for painting material conductivities (rule of mixtures).
+     */
+    void paint(const Rect &r, double value);
+
+    /**
+     * Distribute the total amount `total` over the cells overlapping
+     * `r`, proportional to overlapped area. Correct for power sources.
+     */
+    void deposit(const Rect &r, double total);
+
+    /** Sum of all cells. */
+    double sum() const;
+
+    /** Maximum cell value (field must be non-empty). */
+    double max() const;
+
+  private:
+    Grid2D grid_;
+    std::vector<double> data_;
+};
+
+} // namespace xylem::geometry
+
+#endif // XYLEM_GEOMETRY_GRID_HPP

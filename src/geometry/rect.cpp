@@ -1,0 +1,63 @@
+#include "geometry/rect.hpp"
+
+#include <cmath>
+
+namespace xylem::geometry {
+
+double
+distance(const Point &a, const Point &b)
+{
+    return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+bool
+Rect::contains(const Point &p) const
+{
+    return p.x >= x && p.x <= right() && p.y >= y && p.y <= top();
+}
+
+bool
+Rect::contains(const Rect &other) const
+{
+    return other.x >= x && other.right() <= right() && other.y >= y &&
+           other.top() <= top();
+}
+
+bool
+Rect::overlaps(const Rect &other) const
+{
+    return intersectionArea(other) > 0.0;
+}
+
+double
+Rect::intersectionArea(const Rect &other) const
+{
+    const Rect i = intersection(other);
+    return i.area();
+}
+
+Rect
+Rect::intersection(const Rect &other) const
+{
+    const double ix = std::max(x, other.x);
+    const double iy = std::max(y, other.y);
+    const double ir = std::min(right(), other.right());
+    const double it = std::min(top(), other.top());
+    if (ir <= ix || it <= iy)
+        return Rect{ix, iy, 0.0, 0.0};
+    return Rect{ix, iy, ir - ix, it - iy};
+}
+
+Rect
+Rect::inflated(double margin) const
+{
+    return Rect{x - margin, y - margin, w + 2.0 * margin, h + 2.0 * margin};
+}
+
+std::ostream &
+operator<<(std::ostream &os, const Rect &r)
+{
+    return os << "[" << r.x << "," << r.y << " " << r.w << "x" << r.h << "]";
+}
+
+} // namespace xylem::geometry

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Axis-aligned rectangles in die coordinates (metres), plus small
+ * point/size helpers. Used by floorplans, conductivity painting and
+ * the thermal grid.
+ */
+
+#ifndef XYLEM_GEOMETRY_RECT_HPP
+#define XYLEM_GEOMETRY_RECT_HPP
+
+#include <algorithm>
+#include <ostream>
+
+namespace xylem::geometry {
+
+/** A 2D point in metres. */
+struct Point
+{
+    double x = 0.0;
+    double y = 0.0;
+};
+
+/** Euclidean distance between two points. */
+double distance(const Point &a, const Point &b);
+
+/**
+ * Axis-aligned rectangle: origin (x, y) is the lower-left corner,
+ * extent (w, h) must be non-negative. All units metres.
+ */
+struct Rect
+{
+    double x = 0.0; ///< lower-left x
+    double y = 0.0; ///< lower-left y
+    double w = 0.0; ///< width
+    double h = 0.0; ///< height
+
+    double area() const { return w * h; }
+    double right() const { return x + w; }
+    double top() const { return y + h; }
+    Point center() const { return {x + w / 2.0, y + h / 2.0}; }
+
+    /** True iff the point lies inside or on the boundary. */
+    bool contains(const Point &p) const;
+
+    /** True iff this rectangle fully contains the other. */
+    bool contains(const Rect &other) const;
+
+    /** True iff the two rectangles overlap with positive area. */
+    bool overlaps(const Rect &other) const;
+
+    /** Area of the intersection (0 if disjoint). */
+    double intersectionArea(const Rect &other) const;
+
+    /** Intersection rectangle (zero-sized if disjoint). */
+    Rect intersection(const Rect &other) const;
+
+    /** Rectangle grown by `margin` on every side. */
+    Rect inflated(double margin) const;
+};
+
+std::ostream &operator<<(std::ostream &os, const Rect &r);
+
+} // namespace xylem::geometry
+
+#endif // XYLEM_GEOMETRY_RECT_HPP

@@ -1,0 +1,81 @@
+#include "materials/library.hpp"
+
+namespace xylem::materials {
+
+using namespace constants;
+
+Material
+silicon()
+{
+    return {"Si", lambdaSilicon, capSilicon};
+}
+
+Material
+copper()
+{
+    return {"Cu", lambdaCopper, capCopper};
+}
+
+Material
+tsvBus()
+{
+    return {"TSV-bus",
+            mixConductivity(lambdaCopper, tsvBusCuOccupancy, lambdaSilicon),
+            mixHeatCapacity(capCopper, tsvBusCuOccupancy, capSilicon)};
+}
+
+Material
+dramMetal()
+{
+    return {"DRAM-metal", lambdaDramMetal, capMetalLayer};
+}
+
+Material
+procMetal()
+{
+    return {"proc-metal", lambdaProcMetal, capMetalLayer};
+}
+
+Material
+d2dBackground()
+{
+    return {"D2D", lambdaD2DBackground, capD2D};
+}
+
+Material
+shortedBumpColumn()
+{
+    const double lambda = seriesConductivity(
+        {thicknessMicroBump, thicknessBacksideVia},
+        {lambdaMicroBump, lambdaCopper});
+    return {"D2D-shorted-bump", lambda, capCopper};
+}
+
+Material
+alignedUnshortedBumpColumn()
+{
+    const double lambda = seriesConductivity(
+        {thicknessMicroBump, thicknessBacksideVia},
+        {lambdaMicroBump, lambdaDramMetal});
+    return {"D2D-aligned-bump", lambda, capCopper};
+}
+
+Material
+tim()
+{
+    return {"TIM", lambdaTim, capTim};
+}
+
+Material
+ihs()
+{
+    return {"IHS", lambdaIhs, capCopper};
+}
+
+Material
+heatSink()
+{
+    return {"heat-sink", lambdaHeatSink, capCopper};
+}
+
+} // namespace xylem::materials

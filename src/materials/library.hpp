@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The material and technology constants of the Xylem paper
+ * (Table 1, §2.5, §4.1, §6.1), exposed as a typed library.
+ */
+
+#ifndef XYLEM_MATERIALS_LIBRARY_HPP
+#define XYLEM_MATERIALS_LIBRARY_HPP
+
+#include "materials/material.hpp"
+
+namespace xylem::materials {
+
+/**
+ * Named constants from the paper. Conductivities in W/(m·K),
+ * lengths in metres.
+ */
+namespace constants {
+
+// Bulk materials (Table 1 and §2.3).
+inline constexpr double lambdaSilicon = 120.0;
+inline constexpr double lambdaCopper = 400.0;          // TSV / TTSV metal
+inline constexpr double lambdaMicroBump = 40.0;        // Cu pillar + SnAg
+inline constexpr double lambdaD2DBackground = 1.5;     // measured (IBM)
+inline constexpr double lambdaDramMetal = 9.0;         // Al + dielectrics
+inline constexpr double lambdaProcMetal = 12.0;        // Cu + dielectrics
+inline constexpr double lambdaTim = 5.0;
+inline constexpr double lambdaHeatSink = 400.0;        // Cu sink
+inline constexpr double lambdaIhs = 400.0;
+
+// TSV-bus effective medium: 25% Cu / 75% Si (§6.1).
+inline constexpr double tsvBusCuOccupancy = 0.25;
+
+// Layer thicknesses (Table 1).
+inline constexpr double thicknessDieSilicon = 100e-6;
+inline constexpr double thicknessDramMetal = 2e-6;
+inline constexpr double thicknessProcMetal = 12e-6;
+inline constexpr double thicknessD2D = 20e-6;
+inline constexpr double thicknessTim = 50e-6;
+inline constexpr double thicknessIhs = 1e-3;           // 0.1 cm
+inline constexpr double thicknessHeatSink = 7e-3;      // 0.7 cm
+
+// Lateral extents (Table 1).
+inline constexpr double sideHeatSink = 6e-2;           // 6.0 cm square
+inline constexpr double sideIhs = 3e-2;                // 3.0 cm square
+
+// µbump / TTSV geometry (§4.1, §6.1).
+inline constexpr double thicknessMicroBump = 18e-6;    // of the 20 µm D2D
+inline constexpr double thicknessBacksideVia = 2e-6;   // the "short"
+inline constexpr double ttsvSide = 100e-6;             // 100 µm square
+inline constexpr double ttsvKoz = 10e-6;               // keep-out zone
+inline constexpr double electricalTsvSide = 10e-6;     // ITRS
+inline constexpr double dummyBumpOccupancy = 0.25;
+
+// Volumetric heat capacities [J/(m³·K)] — HotSpot-style values; used
+// only by the transient solver.
+inline constexpr double capSilicon = 1.75e6;
+inline constexpr double capCopper = 3.55e6;
+inline constexpr double capMetalLayer = 2.2e6;
+inline constexpr double capD2D = 2.0e6;
+inline constexpr double capTim = 4.0e6;
+
+} // namespace constants
+
+/** The silicon bulk of a die. */
+Material silicon();
+
+/** Copper (TSVs, TTSVs, heat sink, IHS). */
+Material copper();
+
+/** The 25% Cu / 75% Si effective medium of the Wide I/O TSV bus. */
+Material tsvBus();
+
+/** DRAM frontside metal stack (Al routing + dielectrics). */
+Material dramMetal();
+
+/** Processor frontside metal stack incl. active layer. */
+Material procMetal();
+
+/** Average D2D layer (underfill + 25% dummy µbumps, unaligned). */
+Material d2dBackground();
+
+/**
+ * A dummy µbump aligned with TTSVs and shorted through a backside via:
+ * 18 µm at 40 W/mK in series with 2 µm at 400 W/mK, expressed as an
+ * effective conductivity over the full 20 µm D2D thickness
+ * (≈ 43.5 W/mK, i.e. R_th ≈ 0.46 mm²K/W).
+ */
+Material shortedBumpColumn();
+
+/**
+ * A dummy µbump aligned with TTSVs but *not* shorted (the `prior`
+ * scheme): the µbump conducts at 40 W/mK but heat must still cross the
+ * backside metal dielectrics; we model the 2 µm gap at the DRAM metal
+ * stack conductivity.
+ */
+Material alignedUnshortedBumpColumn();
+
+/** Thermal interface material. */
+Material tim();
+
+/** Integrated heat spreader (Cu). */
+Material ihs();
+
+/** Heat-sink base material (Cu). */
+Material heatSink();
+
+} // namespace xylem::materials
+
+#endif // XYLEM_MATERIALS_LIBRARY_HPP

@@ -1,0 +1,48 @@
+#include "materials/material.hpp"
+
+#include "common/logging.hpp"
+
+namespace xylem::materials {
+
+double
+mixConductivity(double lambda_a, double rho_a, double lambda_b)
+{
+    XYLEM_ASSERT(rho_a >= 0.0 && rho_a <= 1.0,
+                 "occupancy must be a fraction, got ", rho_a);
+    return rho_a * lambda_a + (1.0 - rho_a) * lambda_b;
+}
+
+double
+mixHeatCapacity(double cap_a, double rho_a, double cap_b)
+{
+    XYLEM_ASSERT(rho_a >= 0.0 && rho_a <= 1.0,
+                 "occupancy must be a fraction, got ", rho_a);
+    return rho_a * cap_a + (1.0 - rho_a) * cap_b;
+}
+
+double
+seriesConductivity(const std::vector<double> &thicknesses,
+                   const std::vector<double> &lambdas)
+{
+    XYLEM_ASSERT(thicknesses.size() == lambdas.size() && !thicknesses.empty(),
+                 "series stack needs matching, non-empty vectors");
+    double total_t = 0.0;
+    double total_r = 0.0;
+    for (std::size_t i = 0; i < thicknesses.size(); ++i) {
+        XYLEM_ASSERT(thicknesses[i] > 0.0 && lambdas[i] > 0.0,
+                     "sub-layer thickness and conductivity must be positive");
+        total_t += thicknesses[i];
+        total_r += thicknesses[i] / lambdas[i];
+    }
+    return total_t / total_r;
+}
+
+double
+slabResistance(double thickness, double lambda)
+{
+    XYLEM_ASSERT(thickness > 0.0 && lambda > 0.0,
+                 "slab needs positive thickness and conductivity");
+    return thickness / lambda;
+}
+
+} // namespace xylem::materials

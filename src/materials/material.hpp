@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Material records and composition rules for the thermal model.
+ *
+ * Conductivities follow Table 1 of the Xylem paper; volumetric heat
+ * capacities (needed only by the transient solver) use standard
+ * HotSpot-style values.
+ */
+
+#ifndef XYLEM_MATERIALS_MATERIAL_HPP
+#define XYLEM_MATERIALS_MATERIAL_HPP
+
+#include <string>
+#include <vector>
+
+namespace xylem::materials {
+
+/**
+ * A homogeneous material (or an effective medium standing in for a
+ * composite region such as a TSV bus).
+ */
+struct Material
+{
+    std::string name;
+    double conductivity = 0.0;  ///< thermal conductivity λ [W/(m·K)]
+    double heatCapacity = 0.0;  ///< volumetric heat capacity [J/(m³·K)]
+};
+
+/**
+ * Rule-of-mixtures effective conductivity for two materials occupying
+ * fractional areas rho_a and rho_b = 1 - rho_a of a region (§6.1):
+ * λ = ρ_A λ_A + ρ_B λ_B. Valid for conduction parallel to the
+ * interface (vertical conduction through side-by-side columns).
+ */
+double mixConductivity(double lambda_a, double rho_a, double lambda_b);
+
+/** Rule-of-mixtures volumetric heat capacity (area-weighted). */
+double mixHeatCapacity(double cap_a, double rho_a, double cap_b);
+
+/**
+ * Effective conductivity of a series of sub-layers traversed
+ * vertically: λ_eff = Σt_i / Σ(t_i / λ_i).
+ *
+ * Used, e.g., for the shorted µbump-TTSV pillar: 18 µm of µbump at
+ * 40 W/mK in series with a 2 µm backside-via short at 400 W/mK gives
+ * R_th = 0.46 mm²K/W over the 20 µm D2D thickness.
+ */
+double seriesConductivity(const std::vector<double> &thicknesses,
+                          const std::vector<double> &lambdas);
+
+/**
+ * Thermal resistance per unit area of a slab, R_th = t / λ,
+ * in SI m²K/W.
+ */
+double slabResistance(double thickness, double lambda);
+
+} // namespace xylem::materials
+
+#endif // XYLEM_MATERIALS_MATERIAL_HPP

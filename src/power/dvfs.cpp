@@ -1,0 +1,81 @@
+#include "power/dvfs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace xylem::power {
+
+DvfsTable::DvfsTable(double f_min, double f_max, double step_ghz,
+                     double v_min, double v_max)
+    : step_(step_ghz)
+{
+    XYLEM_ASSERT(f_min > 0 && f_max >= f_min && step_ghz > 0,
+                 "invalid DVFS frequency range");
+    XYLEM_ASSERT(v_min > 0 && v_max >= v_min, "invalid DVFS voltage range");
+    const int steps =
+        static_cast<int>(std::round((f_max - f_min) / step_ghz));
+    for (int i = 0; i <= steps; ++i) {
+        const double f = f_min + i * step_ghz;
+        const double frac = steps ? static_cast<double>(i) / steps : 0.0;
+        points_.push_back({f, v_min + frac * (v_max - v_min)});
+    }
+}
+
+DvfsTable
+DvfsTable::standard()
+{
+    return DvfsTable(2.4, 3.5, 0.1, 0.90, 0.95);
+}
+
+double
+DvfsTable::voltageAt(double freq_ghz) const
+{
+    if (freq_ghz <= points_.front().freqGHz)
+        return points_.front().voltage;
+    if (freq_ghz >= points_.back().freqGHz)
+        return points_.back().voltage;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (freq_ghz <= points_[i].freqGHz) {
+            const auto &lo = points_[i - 1];
+            const auto &hi = points_[i];
+            const double frac =
+                (freq_ghz - lo.freqGHz) / (hi.freqGHz - lo.freqGHz);
+            return lo.voltage + frac * (hi.voltage - lo.voltage);
+        }
+    }
+    return points_.back().voltage;
+}
+
+bool
+DvfsTable::isValidFrequency(double freq_ghz) const
+{
+    return std::any_of(points_.begin(), points_.end(),
+                       [freq_ghz](const OperatingPoint &p) {
+                           return std::abs(p.freqGHz - freq_ghz) < 1e-3;
+                       });
+}
+
+std::vector<double>
+DvfsTable::frequencies() const
+{
+    std::vector<double> fs;
+    fs.reserve(points_.size());
+    for (const auto &p : points_)
+        fs.push_back(p.freqGHz);
+    return fs;
+}
+
+double
+DvfsTable::floorFrequency(double freq_ghz) const
+{
+    double best = points_.front().freqGHz;
+    for (const auto &p : points_) {
+        if (p.freqGHz <= freq_ghz + 1e-9)
+            best = p.freqGHz;
+    }
+    return best;
+}
+
+} // namespace xylem::power

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The DVFS voltage-frequency table of the evaluated processor:
+ * 2.4 GHz (default) to 3.5 GHz in 100 MHz steps (§6.2), with a linear
+ * voltage ramp typical of 32 nm parts. Commercial DVFS infrastructure
+ * (§5.1) is abstracted as instantaneous operating-point changes.
+ */
+
+#ifndef XYLEM_POWER_DVFS_HPP
+#define XYLEM_POWER_DVFS_HPP
+
+#include <vector>
+
+namespace xylem::power {
+
+/** One DVFS operating point. */
+struct OperatingPoint
+{
+    double freqGHz;
+    double voltage;
+};
+
+/** The processor's DVFS table. */
+class DvfsTable
+{
+  public:
+    /**
+     * Build a linear-V table from (f_min, v_min) to (f_max, v_max)
+     * in `step_ghz` increments.
+     */
+    DvfsTable(double f_min, double f_max, double step_ghz, double v_min,
+              double v_max);
+
+    /** The paper's table: 2.4-3.5 GHz, 0.1 GHz steps, 0.90-0.95 V. */
+    static DvfsTable standard();
+
+    const std::vector<OperatingPoint> &points() const { return points_; }
+
+    double minFrequency() const { return points_.front().freqGHz; }
+    double maxFrequency() const { return points_.back().freqGHz; }
+    double stepGHz() const { return step_; }
+
+    /** Voltage at a frequency (linear interpolation, clamped). */
+    double voltageAt(double freq_ghz) const;
+
+    /** True iff `freq_ghz` matches a table point (within 1 MHz). */
+    bool isValidFrequency(double freq_ghz) const;
+
+    /** All frequencies in ascending order. */
+    std::vector<double> frequencies() const;
+
+    /** The largest table frequency <= freq_ghz (clamped to min). */
+    double floorFrequency(double freq_ghz) const;
+
+  private:
+    std::vector<OperatingPoint> points_;
+    double step_;
+};
+
+} // namespace xylem::power
+
+#endif // XYLEM_POWER_DVFS_HPP

@@ -1,0 +1,127 @@
+#include "power/mcpat_lite.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace xylem::power {
+
+double
+ProcPower::coreTotal(std::size_t core) const
+{
+    return coreDynamic[core].total() + coreLeakage[core] +
+           l2Dynamic[core] + l2Leakage[core];
+}
+
+double
+ProcPower::total() const
+{
+    double t = busDynamic + uncoreLeakage;
+    for (std::size_t c = 0; c < coreDynamic.size(); ++c)
+        t += coreTotal(c);
+    for (double m : mcPower)
+        t += m;
+    return t;
+}
+
+McPatLite::McPatLite(EnergyParams energy, LeakageParams leakage,
+                     DvfsTable dvfs)
+    : energy_(energy), leakage_(leakage), dvfs_(std::move(dvfs))
+{
+}
+
+McPatLite
+McPatLite::standard()
+{
+    return McPatLite(EnergyParams{}, LeakageParams{},
+                     DvfsTable::standard());
+}
+
+double
+McPatLite::leakageTempScale(double t_c) const
+{
+    const double scale =
+        1.0 + leakage_.tempCoefficient * (t_c - leakage_.tNominal);
+    return std::max(scale, 0.5);
+}
+
+ProcPower
+McPatLite::procPower(const cpu::SimResult &sim,
+                     const std::vector<double> &core_freq_ghz,
+                     const std::vector<double> *core_temps_c) const
+{
+    const std::size_t n = sim.cores.size();
+    XYLEM_ASSERT(core_freq_ghz.size() == n,
+                 "one frequency per core required");
+    XYLEM_ASSERT(!core_temps_c || core_temps_c->size() == n,
+                 "one temperature per core required");
+    XYLEM_ASSERT(sim.seconds > 0.0, "simulation produced zero runtime");
+
+    ProcPower out;
+    out.coreDynamic.resize(n);
+    out.coreLeakage.resize(n);
+    out.l2Dynamic.resize(n);
+    out.l2Leakage.resize(n);
+
+    const double inv_t = 1.0 / sim.seconds;
+    const auto &e = energy_;
+
+    // Voltage of the (single) uncore domain: follow the fastest core.
+    double max_freq = 0.0;
+    for (double f : core_freq_ghz)
+        max_freq = std::max(max_freq, f);
+    const double v_uncore = dvfs_.voltageAt(max_freq);
+    const double uncore_vscale2 =
+        (v_uncore / e.vNom) * (v_uncore / e.vNom);
+
+    for (std::size_t c = 0; c < n; ++c) {
+        const auto &a = sim.cores[c];
+        const double v = dvfs_.voltageAt(core_freq_ghz[c]);
+        const double vs2 = (v / e.vNom) * (v / e.vNom);
+        auto rate = [&](std::uint64_t count) {
+            return static_cast<double>(count) * inv_t;
+        };
+
+        CoreDynamic &d = out.coreDynamic[c];
+        d.fetch = rate(a.insts) * e.fetch * vs2;
+        d.bpred = rate(a.branches) * e.bpred * vs2;
+        d.decode = rate(a.insts) * e.decode * vs2;
+        d.iq = rate(a.insts) * e.iq * vs2;
+        d.rob = rate(a.insts) * e.rob * vs2;
+        d.irf = rate(a.aluOps + a.loads + a.stores) * e.irf * vs2;
+        d.frf = rate(a.fpuOps) * e.frf * vs2;
+        d.alu = rate(a.aluOps) * e.alu * vs2;
+        d.fpu = rate(a.fpuOps) * e.fpu * vs2;
+        d.lsu = rate(a.loads + a.stores) * e.lsu * vs2;
+        d.l1i = rate(a.l1iAccesses) * e.l1i * vs2;
+        d.l1d = rate(a.l1dAccesses) * e.l1d * vs2;
+        // The clock network burns power whenever the core is clocked;
+        // idle cores are clock-gated down to a residual fraction.
+        const double gate = a.hasThread ? 1.0 : e.idleClockFraction;
+        d.clock = core_freq_ghz[c] * 1e9 * e.clockPerCycle * vs2 * gate;
+
+        // The L1D is write-through (Table 3): every store also writes
+        // the private L2 slice, in addition to demand fills.
+        out.l2Dynamic[c] =
+            rate(a.l2Accesses + a.stores) * e.l2 * uncore_vscale2;
+
+        const double vleak = v / leakage_.vNom;
+        const double tleak =
+            core_temps_c ? leakageTempScale((*core_temps_c)[c]) : 1.0;
+        out.coreLeakage[c] = leakage_.perCore * vleak * tleak;
+        out.l2Leakage[c] = leakage_.perL2Slice * vleak * tleak;
+    }
+
+    out.busDynamic = static_cast<double>(sim.busTransactions) * inv_t *
+                     e.bus * uncore_vscale2;
+    out.mcPower.assign(sim.mcRequests.size(), 0.0);
+    for (std::size_t m = 0; m < sim.mcRequests.size(); ++m) {
+        out.mcPower[m] = e.mcStaticEach +
+                         static_cast<double>(sim.mcRequests[m]) * inv_t *
+                             e.mc * uncore_vscale2;
+    }
+    out.uncoreLeakage = leakage_.uncore * (v_uncore / leakage_.vNom);
+    return out;
+}
+
+} // namespace xylem::power

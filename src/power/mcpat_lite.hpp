@@ -1,0 +1,142 @@
+/**
+ * @file
+ * McPAT-lite: an analytical per-block power model for the 32 nm
+ * 8-core processor die (§6.3 of the paper uses McPAT; we use a
+ * calibrated per-event energy model validated against the paper's
+ * aggregate numbers — 8-24 W processor die at 2.4 GHz, cf. the Xeon
+ * E3-1260L sanity check in §6.2).
+ *
+ * Dynamic power: per-event energies at nominal voltage, scaled by
+ * (V/V0)^2; a per-cycle clock-network term per core.
+ * Leakage: per-structure, scaled linearly with V (temperature
+ * dependence deliberately not closed-loop; see DESIGN.md).
+ */
+
+#ifndef XYLEM_POWER_MCPAT_LITE_HPP
+#define XYLEM_POWER_MCPAT_LITE_HPP
+
+#include <array>
+#include <vector>
+
+#include "cpu/activity.hpp"
+#include "power/dvfs.hpp"
+
+namespace xylem::power {
+
+/** Per-event dynamic energies at nominal voltage [J]. */
+struct EnergyParams
+{
+    double vNom = 0.90;
+
+    double fetch = 40e-12;
+    double bpred = 15e-12;
+    double decode = 35e-12;
+    double iq = 40e-12;
+    double rob = 36e-12;
+    double irf = 30e-12;
+    double frf = 35e-12;
+    double alu = 75e-12;
+    double fpu = 210e-12;
+    double lsu = 45e-12;
+    double l1i = 35e-12;
+    double l1d = 55e-12;
+    double l2 = 250e-12;
+    double bus = 300e-12;
+    double mc = 200e-12;
+
+    /** Clock tree + pipeline latches, per core cycle [J]. */
+    double clockPerCycle = 135e-12;
+    /** Residual clock activity of an idle (clock-gated) core. */
+    double idleClockFraction = 0.3;
+    /** Static power per memory controller [W]. */
+    double mcStaticEach = 0.15;
+};
+
+/** Leakage at nominal voltage [W]. */
+struct LeakageParams
+{
+    double vNom = 0.90;
+    double perCore = 0.45;
+    double perL2Slice = 0.18;
+    double uncore = 0.50; ///< bus, clocking, I/O
+
+    /**
+     * Linear temperature sensitivity of leakage per Kelvin around
+     * `tNominal`: leak(T) = leak_nom * (1 + tempCoefficient *
+     * (T - tNominal)), clamped below at 0.5x. 0 disables the
+     * dependence (the default; the calibrated perCore/perL2Slice
+     * values are quoted at the nominal operating temperature).
+     * A typical 32 nm value is 0.01-0.02 / K.
+     */
+    double tempCoefficient = 0.0;
+    double tNominal = 90.0; ///< [°C]
+};
+
+/** Per-core dynamic power, split by micro-architectural unit [W]. */
+struct CoreDynamic
+{
+    double fetch = 0, bpred = 0, decode = 0, iq = 0, rob = 0;
+    double irf = 0, frf = 0, alu = 0, fpu = 0, lsu = 0;
+    double l1i = 0, l1d = 0;
+    double clock = 0;
+
+    double total() const
+    {
+        return fetch + bpred + decode + iq + rob + irf + frf + alu + fpu +
+               lsu + l1i + l1d + clock;
+    }
+};
+
+/** The processor-die power breakdown of one simulation run. */
+struct ProcPower
+{
+    std::vector<CoreDynamic> coreDynamic; ///< per core
+    std::vector<double> coreLeakage;      ///< per core [W]
+    std::vector<double> l2Dynamic;        ///< per private L2 slice [W]
+    std::vector<double> l2Leakage;
+    double busDynamic = 0.0;
+    std::vector<double> mcPower;          ///< per memory controller [W]
+    double uncoreLeakage = 0.0;
+
+    double coreTotal(std::size_t core) const;
+    double total() const;
+};
+
+/** The McPAT-lite model. */
+class McPatLite
+{
+  public:
+    McPatLite(EnergyParams energy, LeakageParams leakage, DvfsTable dvfs);
+
+    /** Model with default calibrated parameters. */
+    static McPatLite standard();
+
+    const DvfsTable &dvfs() const { return dvfs_; }
+    const EnergyParams &energyParams() const { return energy_; }
+    const LeakageParams &leakageParams() const { return leakage_; }
+
+    /**
+     * Compute the processor-die power breakdown for a simulation
+     * result, with per-core frequencies [GHz].
+     *
+     * @param core_temps_c optional per-core temperatures [°C] for the
+     *        leakage-temperature feedback (used by the electrothermal
+     *        fixed-point loop of StackSystem); nullptr = nominal.
+     */
+    ProcPower procPower(const cpu::SimResult &sim,
+                        const std::vector<double> &core_freq_ghz,
+                        const std::vector<double> *core_temps_c
+                        = nullptr) const;
+
+    /** Leakage scale factor at temperature t_c [°C]. */
+    double leakageTempScale(double t_c) const;
+
+  private:
+    EnergyParams energy_;
+    LeakageParams leakage_;
+    DvfsTable dvfs_;
+};
+
+} // namespace xylem::power
+
+#endif // XYLEM_POWER_MCPAT_LITE_HPP

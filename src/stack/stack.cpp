@@ -1,0 +1,268 @@
+#include "stack/stack.hpp"
+
+#include "common/logging.hpp"
+#include "materials/library.hpp"
+
+namespace xylem::stack {
+
+using materials::Material;
+namespace mc = materials::constants;
+
+const char *
+toString(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Base: return "base";
+      case Scheme::Bank: return "bank";
+      case Scheme::BankE: return "banke";
+      case Scheme::IsoCount: return "isoCount";
+      case Scheme::Prior: return "prior";
+    }
+    return "?";
+}
+
+Scheme
+schemeFromString(const std::string &name)
+{
+    for (Scheme s : allSchemes())
+        if (name == toString(s))
+            return s;
+    fatal("unknown scheme '", name, "'");
+}
+
+const std::vector<Scheme> &
+allSchemes()
+{
+    static const std::vector<Scheme> schemes = {
+        Scheme::Base, Scheme::Bank, Scheme::BankE, Scheme::IsoCount,
+        Scheme::Prior};
+    return schemes;
+}
+
+int
+ttsvCountPerDie(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Base: return 0;
+      case Scheme::Bank: return 28;
+      case Scheme::BankE: return 36;
+      case Scheme::IsoCount: return 28;
+      case Scheme::Prior: return 36;
+    }
+    return 0;
+}
+
+bool
+schemeShortsBumps(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Base:
+      case Scheme::Prior:
+        return false;
+      case Scheme::Bank:
+      case Scheme::BankE:
+      case Scheme::IsoCount:
+        return true;
+    }
+    return false;
+}
+
+const char *
+toString(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::ProcMetal: return "proc-metal";
+      case LayerKind::ProcSilicon: return "proc-silicon";
+      case LayerKind::D2D: return "d2d";
+      case LayerKind::DramMetal: return "dram-metal";
+      case LayerKind::DramSilicon: return "dram-silicon";
+      case LayerKind::Tim: return "tim";
+      case LayerKind::Ihs: return "ihs";
+      case LayerKind::HeatSink: return "heat-sink";
+    }
+    return "?";
+}
+
+std::vector<geometry::Point>
+selectTtsvSites(Scheme scheme, const floorplan::DramDie &dram)
+{
+    std::vector<geometry::Point> sites;
+    auto append = [&sites](const std::vector<geometry::Point> &src) {
+        sites.insert(sites.end(), src.begin(), src.end());
+    };
+    switch (scheme) {
+      case Scheme::Base:
+        break;
+      case Scheme::Bank:
+        append(dram.vertexSites);
+        append(dram.stripeSites);
+        break;
+      case Scheme::BankE:
+      case Scheme::Prior:
+        append(dram.vertexSites);
+        append(dram.stripeSites);
+        append(dram.coreSites);
+        break;
+      case Scheme::IsoCount:
+        append(dram.vertexSites);
+        append(dram.coreSites);
+        break;
+    }
+    XYLEM_ASSERT(static_cast<int>(sites.size()) == ttsvCountPerDie(scheme),
+                 "scheme ", toString(scheme), " selected ", sites.size(),
+                 " sites, expected ", ttsvCountPerDie(scheme));
+    return sites;
+}
+
+double
+BuiltStack::ttsvAreaOverhead(double die_area) const
+{
+    const double side = mc::ttsvSide + 2.0 * mc::ttsvKoz;
+    return static_cast<double>(ttsvCount()) * side * side / die_area;
+}
+
+namespace {
+
+/** Paint a square of side `side` centred on `p`. */
+geometry::Rect
+squareAt(const geometry::Point &p, double side)
+{
+    return geometry::Rect{p.x - side / 2.0, p.y - side / 2.0, side, side};
+}
+
+/** A uniform layer over the die grid. */
+Layer
+makeLayer(LayerKind kind, std::string name, double thickness, int die_index,
+          bool heat_source, double full_side, const geometry::Grid2D &grid,
+          const Material &mat)
+{
+    Layer layer{kind,
+                std::move(name),
+                thickness,
+                die_index,
+                heat_source,
+                full_side,
+                geometry::Field2D(grid, mat.conductivity),
+                geometry::Field2D(grid, mat.heatCapacity)};
+    return layer;
+}
+
+/** Paint TSV bus and TTSVs into a bulk-silicon layer. */
+void
+paintSilicon(Layer &layer, const geometry::Rect &tsv_bus,
+             const std::vector<geometry::Point> &ttsv_sites)
+{
+    const Material bus = materials::tsvBus();
+    layer.conductivity.paint(tsv_bus, bus.conductivity);
+    layer.heatCapacity.paint(tsv_bus, bus.heatCapacity);
+    const Material cu = materials::copper();
+    for (const auto &site : ttsv_sites) {
+        const auto r = squareAt(site, mc::ttsvSide);
+        layer.conductivity.paint(r, cu.conductivity);
+        layer.heatCapacity.paint(r, cu.heatCapacity);
+    }
+}
+
+/**
+ * Paint the aligned-and-shorted dummy-µbump columns into a D2D layer
+ * (only for the schemes that short; `prior` leaves the D2D layer at
+ * its measured background conductivity).
+ */
+void
+paintD2D(Layer &layer, bool shorted, double background_lambda,
+         const std::vector<geometry::Point> &ttsv_sites)
+{
+    if (!shorted)
+        return;
+    const Material col = materials::shortedBumpColumn();
+    // If an ablation raised the background above the pillar material
+    // (prior work's assumption), the pillars cannot make it worse.
+    if (col.conductivity <= background_lambda)
+        return;
+    for (const auto &site : ttsv_sites) {
+        const auto r = squareAt(site, mc::ttsvSide);
+        layer.conductivity.paint(r, col.conductivity);
+        layer.heatCapacity.paint(r, col.heatCapacity);
+    }
+}
+
+} // namespace
+
+BuiltStack
+buildStack(const StackSpec &spec)
+{
+    XYLEM_ASSERT(spec.numDramDies >= 1, "stack needs at least one DRAM die");
+    XYLEM_ASSERT(spec.dieThickness > 0.0, "die thickness must be positive");
+    XYLEM_ASSERT(spec.proc.dieWidth == spec.dram.dieWidth &&
+                     spec.proc.dieHeight == spec.dram.dieHeight,
+                 "processor and DRAM dies must have matching footprints "
+                 "(§6.2 'similar area and aspect ratio')");
+
+    BuiltStack s;
+    s.spec = spec;
+    s.procDie = floorplan::buildProcessorDie(spec.proc);
+    s.dramDie = floorplan::buildDramDie(spec.dram);
+    s.grid = geometry::Grid2D(s.procDie.plan.extent(), spec.gridNx,
+                              spec.gridNy);
+    s.ttsvSites = spec.customTtsvSites.empty()
+                      ? selectTtsvSites(spec.scheme, s.dramDie)
+                      : spec.customTtsvSites;
+    const bool shorted = schemeShortsBumps(spec.scheme);
+
+    auto push = [&s](Layer layer) {
+        s.layers.push_back(std::move(layer));
+        return static_cast<int>(s.layers.size() - 1);
+    };
+
+    // Bottom of the stack: the processor die, frontside metal facing
+    // the C4 pads (adiabatic below — all heat must exit via the sink).
+    s.procMetal = push(makeLayer(LayerKind::ProcMetal, "proc.metal",
+                                 mc::thicknessProcMetal, -1, true, 0.0,
+                                 s.grid, materials::procMetal()));
+    {
+        Layer si = makeLayer(LayerKind::ProcSilicon, "proc.silicon",
+                             spec.dieThickness, -1, false, 0.0, s.grid,
+                             materials::silicon());
+        paintSilicon(si, s.procDie.tsvBus, s.ttsvSites);
+        s.procSilicon = push(std::move(si));
+    }
+
+    // DRAM dies, f2b, faces down: D2D | metal | silicon, repeated.
+    Material d2d_mat = materials::d2dBackground();
+    if (spec.d2dLambdaOverride > 0.0)
+        d2d_mat.conductivity = spec.d2dLambdaOverride;
+    for (int d = 0; d < spec.numDramDies; ++d) {
+        const std::string tag = "dram" + std::to_string(d);
+        {
+            Layer d2d = makeLayer(LayerKind::D2D, tag + ".d2d",
+                                  mc::thicknessD2D, d, false, 0.0, s.grid,
+                                  d2d_mat);
+            paintD2D(d2d, shorted, d2d_mat.conductivity, s.ttsvSites);
+            s.d2d.push_back(push(std::move(d2d)));
+        }
+        s.dramMetal.push_back(
+            push(makeLayer(LayerKind::DramMetal, tag + ".metal",
+                           mc::thicknessDramMetal, d, true, 0.0, s.grid,
+                           materials::dramMetal())));
+        {
+            Layer si = makeLayer(LayerKind::DramSilicon, tag + ".silicon",
+                                 spec.dieThickness, d, false, 0.0, s.grid,
+                                 materials::silicon());
+            paintSilicon(si, s.dramDie.tsvBus, s.ttsvSites);
+            s.dramSilicon.push_back(push(std::move(si)));
+        }
+    }
+
+    // Package top: TIM, IHS, heat sink.
+    s.tim = push(makeLayer(LayerKind::Tim, "tim", mc::thicknessTim, -1,
+                           false, 0.0, s.grid, materials::tim()));
+    s.ihs = push(makeLayer(LayerKind::Ihs, "ihs", mc::thicknessIhs, -1,
+                           false, mc::sideIhs, s.grid, materials::ihs()));
+    s.heatSink = push(makeLayer(LayerKind::HeatSink, "heat-sink",
+                                mc::thicknessHeatSink, -1, false,
+                                mc::sideHeatSink, s.grid,
+                                materials::heatSink()));
+    return s;
+}
+
+} // namespace xylem::stack

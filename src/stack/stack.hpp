@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Assembly of the memory-on-top 3D stack (§3.2, §6.1): a processor die
+ * at the bottom, `numDramDies` Wide I/O DRAM slices above it (f2b),
+ * then TIM, integrated heat spreader and heat sink. Every layer gets a
+ * heterogeneous conductivity and heat-capacity map on a common XY grid
+ * (the thermal "grid mode").
+ *
+ * The Xylem TTSV placement schemes (Table 2) select which candidate
+ * sites of the DRAM slice receive TTSVs, and whether the D2D layers
+ * are bridged there by aligned-and-shorted dummy µbumps (§4.1).
+ */
+
+#ifndef XYLEM_STACK_STACK_HPP
+#define XYLEM_STACK_STACK_HPP
+
+#include <string>
+#include <vector>
+
+#include "floorplan/dram_die.hpp"
+#include "floorplan/proc_die.hpp"
+#include "geometry/grid.hpp"
+
+namespace xylem::stack {
+
+/** The TTSV placement schemes of Table 2. */
+enum class Scheme
+{
+    Base,     ///< Wide I/O baseline, no TTSVs
+    Bank,     ///< Bank Surround: 28 TTSVs at bank vertices + centre stripe
+    BankE,    ///< Bank Surround Enhanced: + 8 TTSVs near the cores (36)
+    IsoCount, ///< BankE minus the 8 centre-stripe TTSVs (28)
+    Prior,    ///< BankE TTSVs but no µbump alignment/shorting
+};
+
+/** Scheme name as used in the paper's plots. */
+const char *toString(Scheme scheme);
+
+/** Parse a scheme name ("base", "bank", "banke", "isoCount", "prior"). */
+Scheme schemeFromString(const std::string &name);
+
+/** All schemes, in Table 2 order. */
+const std::vector<Scheme> &allSchemes();
+
+/** Number of TTSVs per die for a scheme (Table 2). */
+int ttsvCountPerDie(Scheme scheme);
+
+/** True iff the scheme aligns and shorts dummy µbumps with the TTSVs. */
+bool schemeShortsBumps(Scheme scheme);
+
+/** The role a layer plays in the stack. */
+enum class LayerKind
+{
+    ProcMetal,   ///< processor frontside metal + active logic (heat source)
+    ProcSilicon, ///< processor bulk silicon (TSVs/TTSVs)
+    D2D,         ///< die-to-die layer (µbumps, underfill, backside metal)
+    DramMetal,   ///< DRAM frontside metal + periphery (heat source)
+    DramSilicon, ///< DRAM bulk silicon (TSVs/TTSVs)
+    Tim,         ///< thermal interface material
+    Ihs,         ///< integrated heat spreader (larger than die)
+    HeatSink,    ///< heat-sink base (larger than die, convective top)
+};
+
+const char *toString(LayerKind kind);
+
+/** One discretised layer of the stack. */
+struct Layer
+{
+    LayerKind kind;
+    std::string name;        ///< e.g. "dram3.silicon"
+    double thickness;        ///< [m]
+    int dieIndex;            ///< DRAM die index (0 = bottom-most), or -1
+    bool heatSource;         ///< power can be deposited in this layer
+    double fullSide;         ///< lateral side if larger than die, else 0
+    geometry::Field2D conductivity;  ///< λ per cell [W/mK]
+    geometry::Field2D heatCapacity;  ///< volumetric capacity [J/(m³K)]
+};
+
+/** Parameters of the whole stack. */
+struct StackSpec
+{
+    floorplan::ProcDieSpec proc;
+    floorplan::DramDieSpec dram;
+    int numDramDies = 8;
+    Scheme scheme = Scheme::Base;
+    double dieThickness = 100e-6; ///< bulk Si thickness of every die
+    std::size_t gridNx = 80;      ///< XY discretisation (100 µm cells)
+    std::size_t gridNy = 80;
+
+    /**
+     * Ablation hook: override the background D2D conductivity
+     * [W/mK]; 0 keeps the measured Table 1 value (1.5). Prior work
+     * assumed up to 100 (§2.5) — sweeping this reproduces why TTSVs
+     * alone *appeared* effective there.
+     */
+    double d2dLambdaOverride = 0.0;
+
+    /**
+     * Ablation hook: explicit TTSV sites replacing the scheme's
+     * placement (the scheme still decides whether the D2D layer is
+     * bridged). Empty = use the scheme.
+     */
+    std::vector<geometry::Point> customTtsvSites;
+};
+
+/**
+ * The assembled stack: floorplans, selected TTSV sites, and the layer
+ * list from the processor metal (index 0, bottom) to the heat sink.
+ */
+struct BuiltStack
+{
+    StackSpec spec;
+    floorplan::ProcDie procDie;
+    floorplan::DramDie dramDie;
+    geometry::Grid2D grid{geometry::Rect{0, 0, 1, 1}, 1, 1};
+
+    /** Selected TTSV sites (centres); identical in every die. */
+    std::vector<geometry::Point> ttsvSites;
+
+    std::vector<Layer> layers;
+
+    // Layer indices for navigation.
+    int procMetal = -1;
+    int procSilicon = -1;
+    std::vector<int> d2d;         ///< bottom-most first
+    std::vector<int> dramMetal;   ///< bottom-most die first
+    std::vector<int> dramSilicon;
+    int tim = -1;
+    int ihs = -1;
+    int heatSink = -1;
+
+    /** Total TTSV count in one die. */
+    int ttsvCount() const { return static_cast<int>(ttsvSites.size()); }
+
+    /**
+     * TTSV area overhead per die, including the keep-out zone, as a
+     * fraction of `die_area` (§7.1 uses the 64.34 mm² Samsung Wide I/O
+     * prototype area).
+     */
+    double ttsvAreaOverhead(double die_area = 64.34e-6) const;
+};
+
+/** Select the TTSV sites of a scheme from the DRAM slice candidates. */
+std::vector<geometry::Point>
+selectTtsvSites(Scheme scheme, const floorplan::DramDie &dram);
+
+/** Build the full stack for a spec. */
+BuiltStack buildStack(const StackSpec &spec);
+
+} // namespace xylem::stack
+
+#endif // XYLEM_STACK_STACK_HPP

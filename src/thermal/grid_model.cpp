@@ -1,0 +1,493 @@
+#include "thermal/grid_model.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace xylem::thermal {
+
+GridModel::GridModel(const stack::BuiltStack &stk, SolverOptions opts)
+    : stack_(&stk), opts_(opts)
+{
+    XYLEM_ASSERT(opts_.convectionResistance > 0.0,
+                 "convection resistance must be positive");
+    assemble();
+}
+
+void
+GridModel::addGround(std::size_t node, double g)
+{
+    ground_[node] += g;
+    diag_[node] += g;
+}
+
+void
+GridModel::assemble()
+{
+    const auto &stk = *stack_;
+    const auto &grid = stk.grid;
+    num_layers_ = stk.layers.size();
+    nx_ = grid.nx();
+    ny_ = grid.ny();
+    cells_ = grid.cells();
+
+    // Periphery nodes come after the layer-major grid nodes.
+    std::size_t next_node = num_layers_ * cells_;
+    periphery_.clear();
+    for (std::size_t l = 0; l < num_layers_; ++l) {
+        if (stk.layers[l].fullSide > 0.0) {
+            Periphery p;
+            p.layer = l;
+            p.node = next_node++;
+            periphery_.push_back(p);
+        }
+    }
+    num_nodes_ = next_node;
+
+    vert_.assign(num_layers_ > 0 ? num_layers_ - 1 : 0,
+                 std::vector<double>(cells_, 0.0));
+    lat_x_.assign(num_layers_, std::vector<double>(cells_, 0.0));
+    lat_y_.assign(num_layers_, std::vector<double>(cells_, 0.0));
+    ground_.assign(num_nodes_, 0.0);
+    diag_.assign(num_nodes_, 0.0);
+    capacity_.assign(num_nodes_, 0.0);
+    periph_vert_.assign(periphery_.empty() ? 0 : periphery_.size() - 1, 0.0);
+
+    const double dx = grid.cellWidth();
+    const double dy = grid.cellHeight();
+    const double cell_area = grid.cellArea();
+    const double die_area = grid.extent().area();
+    const double die_side = std::sqrt(die_area);
+
+    // --- vertical conductances between stacked cells ----------------
+    for (std::size_t l = 0; l + 1 < num_layers_; ++l) {
+        const auto &lo = stk.layers[l];
+        const auto &hi = stk.layers[l + 1];
+        for (std::size_t c = 0; c < cells_; ++c) {
+            const double r = 0.5 * lo.thickness / lo.conductivity.data()[c] +
+                             0.5 * hi.thickness / hi.conductivity.data()[c];
+            const double g = cell_area / r;
+            vert_[l][c] = g;
+            diag_[l * cells_ + c] += g;
+            diag_[(l + 1) * cells_ + c] += g;
+        }
+    }
+
+    // --- lateral conductances within each layer ----------------------
+    for (std::size_t l = 0; l < num_layers_; ++l) {
+        const auto &layer = stk.layers[l];
+        const auto &lam = layer.conductivity.data();
+        for (std::size_t iy = 0; iy < ny_; ++iy) {
+            for (std::size_t ix = 0; ix < nx_; ++ix) {
+                const std::size_t c = iy * nx_ + ix;
+                if (ix + 1 < nx_) {
+                    const double r = 0.5 * dx / (lam[c] * layer.thickness *
+                                                 dy) +
+                                     0.5 * dx / (lam[c + 1] *
+                                                 layer.thickness * dy);
+                    const double g = 1.0 / r;
+                    lat_x_[l][c] = g;
+                    diag_[l * cells_ + c] += g;
+                    diag_[l * cells_ + c + 1] += g;
+                }
+                if (iy + 1 < ny_) {
+                    const double r = 0.5 * dy / (lam[c] * layer.thickness *
+                                                 dx) +
+                                     0.5 * dy / (lam[c + nx_] *
+                                                 layer.thickness * dx);
+                    const double g = 1.0 / r;
+                    lat_y_[l][c] = g;
+                    diag_[l * cells_ + c] += g;
+                    diag_[l * cells_ + c + nx_] += g;
+                }
+            }
+        }
+    }
+
+    // --- per-cell capacitance ----------------------------------------
+    for (std::size_t l = 0; l < num_layers_; ++l) {
+        const auto &layer = stk.layers[l];
+        const auto &cap = layer.heatCapacity.data();
+        for (std::size_t c = 0; c < cells_; ++c)
+            capacity_[l * cells_ + c] = cap[c] * cell_area * layer.thickness;
+    }
+
+    // --- periphery nodes of the extended layers -----------------------
+    for (std::size_t k = 0; k < periphery_.size(); ++k) {
+        auto &p = periphery_[k];
+        const auto &layer = stk.layers[p.layer];
+        const double side = layer.fullSide;
+        XYLEM_ASSERT(side * side > die_area,
+                     "extended layer must be larger than the die");
+        const double annulus_area = side * side - die_area;
+        const double spread_dist = (side - die_side) / 4.0;
+        const double lambda = layer.conductivity.data()[0];
+        p.edgeG = lambda * layer.thickness *
+                  ((dx + dy) / 2.0) / spread_dist;
+        // Boundary edges: attach one edgeG per die-rim cell edge.
+        // (The diag of the boundary cells and of the periphery node
+        //  both grow by edgeG per edge.)
+        std::size_t num_edges = 0;
+        for (std::size_t iy = 0; iy < ny_; ++iy) {
+            for (std::size_t ix = 0; ix < nx_; ++ix) {
+                std::size_t edges = 0;
+                if (ix == 0 || ix + 1 == nx_)
+                    ++edges;
+                if (iy == 0 || iy + 1 == ny_)
+                    ++edges;
+                if (!edges)
+                    continue;
+                const std::size_t node = p.layer * cells_ + iy * nx_ + ix;
+                diag_[node] += p.edgeG * static_cast<double>(edges);
+                num_edges += edges;
+            }
+        }
+        diag_[p.node] += p.edgeG * static_cast<double>(num_edges);
+        p.capacity = layer.heatCapacity.data()[0] * annulus_area *
+                     layer.thickness;
+        capacity_[p.node] = p.capacity;
+
+        // Vertical coupling with the next extended layer (IHS -> sink)
+        // over their shared annular overlap.
+        if (k + 1 < periphery_.size()) {
+            const auto &q_layer = stk.layers[periphery_[k + 1].layer];
+            XYLEM_ASSERT(periphery_[k + 1].layer == p.layer + 1,
+                         "extended layers must be adjacent");
+            const double overlap =
+                std::min(side, q_layer.fullSide) *
+                    std::min(side, q_layer.fullSide) -
+                die_area;
+            const double r =
+                0.5 * layer.thickness / lambda +
+                0.5 * q_layer.thickness / q_layer.conductivity.data()[0];
+            periph_vert_[k] = overlap / r;
+            diag_[p.node] += periph_vert_[k];
+            diag_[periphery_[k + 1].node] += periph_vert_[k];
+        }
+    }
+
+    // --- convection boundary at the heat-sink top ----------------------
+    XYLEM_ASSERT(stk.heatSink >= 0, "stack must end in a heat sink");
+    const auto &sink = stk.layers[static_cast<std::size_t>(stk.heatSink)];
+    const double sink_area = sink.fullSide > 0.0
+                                 ? sink.fullSide * sink.fullSide
+                                 : die_area;
+    const double g_total = 1.0 / opts_.convectionResistance;
+    const double lambda_sink = sink.conductivity.data()[0];
+    // Centre cells: series of half-thickness conduction + area share
+    // of the lumped convection conductance.
+    for (std::size_t c = 0; c < cells_; ++c) {
+        const double g_conv = g_total * cell_area / sink_area;
+        const double g_half = cell_area / (0.5 * sink.thickness /
+                                           lambda_sink);
+        const double g = 1.0 / (1.0 / g_conv + 1.0 / g_half);
+        addGround(static_cast<std::size_t>(stk.heatSink) * cells_ + c, g);
+    }
+    // Sink periphery: the remaining convection area.
+    for (const auto &p : periphery_) {
+        if (static_cast<int>(p.layer) != stk.heatSink)
+            continue;
+        const double conv_area = sink_area - die_area;
+        const double g_conv = g_total * conv_area / sink_area;
+        const double g_half = conv_area / (0.5 * sink.thickness /
+                                           lambda_sink);
+        addGround(p.node, 1.0 / (1.0 / g_conv + 1.0 / g_half));
+    }
+}
+
+void
+GridModel::apply(const std::vector<double> &x, std::vector<double> &y,
+                 const std::vector<double> *extra_diag) const
+{
+    XYLEM_ASSERT(x.size() == num_nodes_, "apply: wrong vector size");
+    y.assign(num_nodes_, 0.0);
+
+    // Ground legs (convection) and optional extra diagonal.
+    for (std::size_t i = 0; i < num_nodes_; ++i) {
+        double d = ground_[i];
+        if (extra_diag)
+            d += (*extra_diag)[i];
+        y[i] = d * x[i];
+    }
+
+    // Vertical legs.
+    for (std::size_t l = 0; l + 1 < num_layers_; ++l) {
+        const double *g = vert_[l].data();
+        const double *xa = x.data() + l * cells_;
+        const double *xb = x.data() + (l + 1) * cells_;
+        double *ya = y.data() + l * cells_;
+        double *yb = y.data() + (l + 1) * cells_;
+        for (std::size_t c = 0; c < cells_; ++c) {
+            const double f = g[c] * (xa[c] - xb[c]);
+            ya[c] += f;
+            yb[c] -= f;
+        }
+    }
+
+    // Lateral legs.
+    for (std::size_t l = 0; l < num_layers_; ++l) {
+        const double *gx = lat_x_[l].data();
+        const double *gy = lat_y_[l].data();
+        const double *xl = x.data() + l * cells_;
+        double *yl = y.data() + l * cells_;
+        for (std::size_t iy = 0; iy < ny_; ++iy) {
+            const std::size_t row = iy * nx_;
+            for (std::size_t ix = 0; ix + 1 < nx_; ++ix) {
+                const std::size_t c = row + ix;
+                const double f = gx[c] * (xl[c] - xl[c + 1]);
+                yl[c] += f;
+                yl[c + 1] -= f;
+            }
+        }
+        for (std::size_t iy = 0; iy + 1 < ny_; ++iy) {
+            const std::size_t row = iy * nx_;
+            for (std::size_t ix = 0; ix < nx_; ++ix) {
+                const std::size_t c = row + ix;
+                const double f = gy[c] * (xl[c] - xl[c + nx_]);
+                yl[c] += f;
+                yl[c + nx_] -= f;
+            }
+        }
+    }
+
+    // Periphery legs.
+    for (std::size_t k = 0; k < periphery_.size(); ++k) {
+        const auto &p = periphery_[k];
+        const double *xl = x.data() + p.layer * cells_;
+        double *yl = y.data() + p.layer * cells_;
+        double acc = 0.0;
+        auto couple = [&](std::size_t c, double mult) {
+            const double f = p.edgeG * mult * (xl[c] - x[p.node]);
+            yl[c] += f;
+            acc -= f;
+        };
+        for (std::size_t iy = 0; iy < ny_; ++iy) {
+            for (std::size_t ix = 0; ix < nx_; ++ix) {
+                double edges = 0.0;
+                if (ix == 0 || ix + 1 == nx_)
+                    edges += 1.0;
+                if (iy == 0 || iy + 1 == ny_)
+                    edges += 1.0;
+                if (edges > 0.0)
+                    couple(iy * nx_ + ix, edges);
+            }
+        }
+        y[p.node] += acc;
+        if (k + 1 < periphery_.size()) {
+            const double f = periph_vert_[k] *
+                             (x[p.node] - x[periphery_[k + 1].node]);
+            y[p.node] += f;
+            y[periphery_[k + 1].node] -= f;
+        }
+    }
+}
+
+void
+GridModel::applyLinePrecond(const std::vector<double> &r,
+                            std::vector<double> &z,
+                            const std::vector<double> *extra_diag) const
+{
+    const std::size_t L = num_layers_;
+    // Thomas algorithm per XY column over the layer dimension.
+    // Scratch buffers are per-call (solve() is const and re-entrant).
+    std::vector<double> cp(L), dp(L);
+    for (std::size_t c = 0; c < cells_; ++c) {
+        auto d_at = [&](std::size_t l) {
+            const std::size_t node = l * cells_ + c;
+            double d = diag_[node];
+            if (extra_diag)
+                d += (*extra_diag)[node];
+            return d;
+        };
+        // Forward sweep. Off-diagonal between layers l and l+1 is
+        // -vert_[l][c].
+        double denom = d_at(0);
+        cp[0] = (L > 1) ? -vert_[0][c] / denom : 0.0;
+        dp[0] = r[c] / denom;
+        for (std::size_t l = 1; l < L; ++l) {
+            const double off = -vert_[l - 1][c];
+            denom = d_at(l) - off * cp[l - 1];
+            cp[l] = (l + 1 < L) ? -vert_[l][c] / denom : 0.0;
+            dp[l] = (r[l * cells_ + c] - off * dp[l - 1]) / denom;
+        }
+        // Back substitution.
+        z[(L - 1) * cells_ + c] = dp[L - 1];
+        for (std::size_t l = L - 1; l-- > 0;)
+            z[l * cells_ + c] = dp[l] - cp[l] * z[(l + 1) * cells_ + c];
+    }
+    // Periphery nodes: plain Jacobi.
+    for (const auto &p : periphery_) {
+        double d = diag_[p.node];
+        if (extra_diag)
+            d += (*extra_diag)[p.node];
+        z[p.node] = r[p.node] / d;
+    }
+}
+
+SolveStats
+GridModel::solve(const std::vector<double> &b, std::vector<double> &x,
+                 const std::vector<double> *extra_diag) const
+{
+    SolveStats stats;
+    const std::size_t n = num_nodes_;
+    XYLEM_ASSERT(b.size() == n && x.size() == n, "solve: wrong vector size");
+
+    std::vector<double> r(n), z(n), p(n), q(n);
+    apply(x, q, extra_diag);
+    double b_norm2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        r[i] = b[i] - q[i];
+        b_norm2 += b[i] * b[i];
+    }
+    if (b_norm2 == 0.0) {
+        x.assign(n, 0.0);
+        stats.converged = true;
+        return stats;
+    }
+    const double target2 = opts_.tolerance * opts_.tolerance * b_norm2;
+
+    std::vector<double> inv_diag(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double d = diag_[i];
+        if (extra_diag)
+            d += (*extra_diag)[i];
+        XYLEM_ASSERT(d > 0.0, "singular diagonal entry");
+        inv_diag[i] = 1.0 / d;
+    }
+    const bool line = opts_.preconditioner == Preconditioner::VerticalLine;
+    auto precondition = [&]() {
+        if (line) {
+            applyLinePrecond(r, z, extra_diag);
+        } else {
+            for (std::size_t i = 0; i < n; ++i)
+                z[i] = r[i] * inv_diag[i];
+        }
+    };
+
+    precondition();
+    double rz = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        rz += r[i] * z[i];
+    p = z;
+
+    double r_norm2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        r_norm2 += r[i] * r[i];
+
+    for (int it = 0; it < opts_.maxIterations && r_norm2 > target2; ++it) {
+        apply(p, q, extra_diag);
+        double pq = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            pq += p[i] * q[i];
+        XYLEM_ASSERT(pq > 0.0, "matrix lost positive definiteness");
+        const double alpha = rz / pq;
+        r_norm2 = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * q[i];
+            r_norm2 += r[i] * r[i];
+        }
+        precondition();
+        double rz_next = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            rz_next += r[i] * z[i];
+        const double beta = rz_next / rz;
+        rz = rz_next;
+        for (std::size_t i = 0; i < n; ++i)
+            p[i] = z[i] + beta * p[i];
+        stats.iterations = it + 1;
+    }
+    stats.relativeResidual = std::sqrt(r_norm2 / b_norm2);
+    stats.converged = r_norm2 <= target2;
+    if (!stats.converged) {
+        warn("thermal CG did not converge: residual ",
+             stats.relativeResidual, " after ", stats.iterations,
+             " iterations");
+    }
+    return stats;
+}
+
+std::vector<double>
+GridModel::rhsFromPower(const PowerMap &power) const
+{
+    std::vector<double> b(num_nodes_, 0.0);
+    for (std::size_t l = 0; l < num_layers_; ++l) {
+        const auto &f = power.layer(static_cast<int>(l)).data();
+        for (std::size_t c = 0; c < cells_; ++c)
+            b[l * cells_ + c] = f[c];
+    }
+    return b;
+}
+
+TemperatureField
+GridModel::solveSteady(const PowerMap &power, SolveStats *stats,
+                       const TemperatureField *warm_start) const
+{
+    const std::vector<double> b = rhsFromPower(power);
+    std::vector<double> x(num_nodes_, 0.0);
+    if (warm_start) {
+        XYLEM_ASSERT(warm_start->numNodes() == num_nodes_,
+                     "warm start has wrong shape");
+        for (std::size_t i = 0; i < num_nodes_; ++i)
+            x[i] = warm_start->nodes()[i] - opts_.ambientCelsius;
+    }
+    const SolveStats s = solve(b, x, nullptr);
+    if (stats)
+        *stats = s;
+
+    TemperatureField out(num_layers_, nx_, ny_, periphery_.size(),
+                         opts_.ambientCelsius);
+    for (std::size_t i = 0; i < num_nodes_; ++i)
+        out.nodes()[i] = x[i] + opts_.ambientCelsius;
+    return out;
+}
+
+TemperatureField
+GridModel::stepTransient(const TemperatureField &current,
+                         const PowerMap &power, double dt,
+                         SolveStats *stats) const
+{
+    XYLEM_ASSERT(dt > 0.0, "transient step needs positive dt");
+    XYLEM_ASSERT(current.numNodes() == num_nodes_,
+                 "transient state has wrong shape");
+    std::vector<double> extra(num_nodes_);
+    for (std::size_t i = 0; i < num_nodes_; ++i)
+        extra[i] = capacity_[i] / dt;
+
+    std::vector<double> b = rhsFromPower(power);
+    for (std::size_t i = 0; i < num_nodes_; ++i) {
+        b[i] += extra[i] * (current.nodes()[i] - opts_.ambientCelsius);
+    }
+    // Warm-start from the current state.
+    std::vector<double> x(num_nodes_);
+    for (std::size_t i = 0; i < num_nodes_; ++i)
+        x[i] = current.nodes()[i] - opts_.ambientCelsius;
+
+    const SolveStats s = solve(b, x, &extra);
+    if (stats)
+        *stats = s;
+
+    TemperatureField out(num_layers_, nx_, ny_, periphery_.size(),
+                         opts_.ambientCelsius);
+    for (std::size_t i = 0; i < num_nodes_; ++i)
+        out.nodes()[i] = x[i] + opts_.ambientCelsius;
+    return out;
+}
+
+TemperatureField
+GridModel::ambientField() const
+{
+    return TemperatureField(num_layers_, nx_, ny_, periphery_.size(),
+                            opts_.ambientCelsius);
+}
+
+double
+GridModel::heatOutflow(const TemperatureField &field) const
+{
+    double out = 0.0;
+    for (std::size_t i = 0; i < num_nodes_; ++i)
+        out += ground_[i] * (field.nodes()[i] - opts_.ambientCelsius);
+    return out;
+}
+
+} // namespace xylem::thermal

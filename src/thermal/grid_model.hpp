@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The 3D RC thermal grid model (HotSpot-style "grid mode" with
+ * heterogeneous per-cell conductivities, extended to the full
+ * processor-memory stack).
+ *
+ * Every stack layer is discretised on the common die grid. Adjacent
+ * cells are connected with lateral conductances, adjacent layers with
+ * vertical conductances (half-thickness series model). Layers that
+ * extend beyond the die footprint (IHS, heat sink) get one extra
+ * "periphery" node each that models lateral spreading into the
+ * overhang; the heat-sink top is tied to ambient through a lumped
+ * convection resistance distributed over the sink area.
+ *
+ * The steady-state problem  G · ΔT = P  (ΔT = rise above ambient) is
+ * solved with Jacobi-preconditioned conjugate gradients (the matrix is
+ * symmetric positive definite). The transient problem uses implicit
+ * Euler:  (C/Δt + G) · ΔT' = C/Δt · ΔT + P, reusing the same CG core.
+ */
+
+#ifndef XYLEM_THERMAL_GRID_MODEL_HPP
+#define XYLEM_THERMAL_GRID_MODEL_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "stack/stack.hpp"
+#include "thermal/power_map.hpp"
+#include "thermal/temperature.hpp"
+
+namespace xylem::thermal {
+
+/** CG preconditioner choice. */
+enum class Preconditioner
+{
+    Jacobi,       ///< diagonal scaling (default; cheapest per iteration)
+    VerticalLine, ///< exact tridiagonal solve per XY column
+};
+
+/** Boundary/solver parameters. */
+struct SolverOptions
+{
+    double ambientCelsius = 40.0;     ///< air temperature at the sink
+    double convectionResistance = 0.10; ///< lumped sink-to-air R [K/W] (active)
+    double tolerance = 1e-6;          ///< relative residual target
+    int maxIterations = 50000;        ///< CG iteration cap
+    Preconditioner preconditioner = Preconditioner::Jacobi;
+};
+
+/** Convergence report of one solve. */
+struct SolveStats
+{
+    int iterations = 0;
+    double relativeResidual = 0.0;
+    bool converged = false;
+};
+
+/**
+ * The assembled conductance network for one built stack.
+ *
+ * The model is immutable after construction; solves are const and can
+ * run concurrently from multiple threads.
+ */
+class GridModel
+{
+  public:
+    GridModel(const stack::BuiltStack &stk, SolverOptions opts = {});
+
+    const stack::BuiltStack &stackRef() const { return *stack_; }
+    const SolverOptions &options() const { return opts_; }
+
+    std::size_t numLayers() const { return num_layers_; }
+    std::size_t cellsPerLayer() const { return cells_; }
+    /** Grid nodes plus periphery nodes. */
+    std::size_t numNodes() const { return num_nodes_; }
+
+    /**
+     * Solve the steady state for a power map.
+     *
+     * @param power      per-layer power map [W per cell]
+     * @param stats      optional convergence report
+     * @param warm_start optional previous solution to start from
+     */
+    TemperatureField solveSteady(const PowerMap &power,
+                                 SolveStats *stats = nullptr,
+                                 const TemperatureField *warm_start
+                                 = nullptr) const;
+
+    /**
+     * Advance a transient solution by `dt` seconds with implicit
+     * Euler, holding `power` constant over the step.
+     */
+    TemperatureField stepTransient(const TemperatureField &current,
+                                   const PowerMap &power, double dt,
+                                   SolveStats *stats = nullptr) const;
+
+    /** An all-ambient field (transient initial condition). */
+    TemperatureField ambientField() const;
+
+    /**
+     * Sum over all ground (convection) conductances of
+     * g * ΔT(node): the total heat leaving through the sink [W].
+     * Used by energy-balance tests.
+     */
+    double heatOutflow(const TemperatureField &field) const;
+
+    /**
+     * Apply the conductance matrix: y = G x (+ extra_diag .* x).
+     * Exposed for tests.
+     */
+    void apply(const std::vector<double> &x, std::vector<double> &y,
+               const std::vector<double> *extra_diag = nullptr) const;
+
+  private:
+    void assemble();
+    void addGround(std::size_t node, double g);
+
+    /** CG on (G + extra_diag) x = b. Returns stats. */
+    SolveStats solve(const std::vector<double> &b, std::vector<double> &x,
+                     const std::vector<double> *extra_diag) const;
+
+    /**
+     * Vertical-line preconditioner: solve, for every XY column, the
+     * tridiagonal system formed by the column's diagonal and vertical
+     * conductances (Thomas algorithm); periphery nodes use plain
+     * Jacobi. The stack is strongly anisotropic (thin, highly coupled
+     * layers), so this cuts CG iterations by an order of magnitude
+     * compared with Jacobi.
+     */
+    void applyLinePrecond(const std::vector<double> &r,
+                          std::vector<double> &z,
+                          const std::vector<double> *extra_diag) const;
+
+    std::vector<double> rhsFromPower(const PowerMap &power) const;
+
+    const stack::BuiltStack *stack_;
+    SolverOptions opts_;
+
+    std::size_t num_layers_ = 0;
+    std::size_t nx_ = 0, ny_ = 0, cells_ = 0;
+    std::size_t num_nodes_ = 0;
+
+    // Structured conductances.
+    // vert_[l][c]: between (l, c) and (l+1, c), size (L-1) x cells.
+    std::vector<std::vector<double>> vert_;
+    // lat_x_[l][c]: between (ix, iy) and (ix+1, iy); entries with
+    // ix == nx-1 are zero. Similarly lat_y_ for +y neighbours.
+    std::vector<std::vector<double>> lat_x_;
+    std::vector<std::vector<double>> lat_y_;
+    // Ground (ambient) conductance per node (convection path).
+    std::vector<double> ground_;
+    // Periphery coupling: for extended layer l, conductance between
+    // each boundary-edge cell and the layer's periphery node.
+    struct Periphery
+    {
+        std::size_t layer;      ///< layer index
+        std::size_t node;       ///< global node id
+        double edgeG;           ///< conductance per boundary cell edge
+        double capacity;        ///< thermal capacitance [J/K]
+    };
+    std::vector<Periphery> periphery_;
+    // vertical conductances between consecutive periphery nodes
+    std::vector<double> periph_vert_;
+
+    // Precomputed diagonal of G and per-node capacitance.
+    std::vector<double> diag_;
+    std::vector<double> capacity_;
+};
+
+} // namespace xylem::thermal
+
+#endif // XYLEM_THERMAL_GRID_MODEL_HPP

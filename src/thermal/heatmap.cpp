@@ -1,0 +1,78 @@
+#include "thermal/heatmap.hpp"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/logging.hpp"
+
+namespace xylem::thermal {
+
+void
+renderHeatmap(std::ostream &os, const TemperatureField &field,
+              std::size_t layer, const HeatmapOptions &opts)
+{
+    XYLEM_ASSERT(layer < field.numLayers(), "layer out of range");
+    XYLEM_ASSERT(!opts.ramp.empty(), "gradient ramp must not be empty");
+    const std::size_t nx = field.nx();
+    const std::size_t ny = field.ny();
+    const std::size_t step =
+        std::max<std::size_t>(1, (nx + opts.maxCols - 1) / opts.maxCols);
+
+    double lo = 1e30, hi = -1e30;
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+        for (std::size_t ix = 0; ix < nx; ++ix) {
+            const double t = field.at(layer, ix, iy);
+            lo = std::min(lo, t);
+            hi = std::max(hi, t);
+        }
+    }
+    const double span = std::max(hi - lo, 1e-9);
+    const auto buckets = static_cast<double>(opts.ramp.size() - 1);
+
+    // Print top row first so north is up.
+    for (std::size_t iy = ny; iy-- > 0;) {
+        if (iy % step)
+            continue;
+        for (std::size_t ix = 0; ix < nx; ix += step) {
+            // Average over the downsampling block.
+            double sum = 0.0;
+            int cnt = 0;
+            for (std::size_t dy = 0; dy < step && iy + dy < ny; ++dy) {
+                for (std::size_t dx = 0; dx < step && ix + dx < nx;
+                     ++dx) {
+                    sum += field.at(layer, ix + dx, iy + dy);
+                    ++cnt;
+                }
+            }
+            const double t = sum / cnt;
+            const auto idx = static_cast<std::size_t>(
+                (t - lo) / span * buckets + 0.5);
+            os << opts.ramp[std::min<std::size_t>(idx,
+                                                  opts.ramp.size() - 1)];
+        }
+        os << "\n";
+    }
+    if (opts.showScale) {
+        os << "scale: '" << opts.ramp.front() << "' = " << std::fixed
+           << std::setprecision(1) << lo << " C ... '" << opts.ramp.back()
+           << "' = " << hi << " C\n";
+        os.unsetf(std::ios::fixed);
+    }
+}
+
+void
+writeCsv(std::ostream &os, const TemperatureField &field,
+         std::size_t layer)
+{
+    XYLEM_ASSERT(layer < field.numLayers(), "layer out of range");
+    for (std::size_t iy = 0; iy < field.ny(); ++iy) {
+        for (std::size_t ix = 0; ix < field.nx(); ++ix) {
+            if (ix)
+                os << ',';
+            os << field.at(layer, ix, iy);
+        }
+        os << '\n';
+    }
+}
+
+} // namespace xylem::thermal

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Text rendering of temperature fields: an ASCII heatmap of one layer
+ * (for the examples and for eyeballing solver output) and a CSV dump
+ * for external plotting.
+ */
+
+#ifndef XYLEM_THERMAL_HEATMAP_HPP
+#define XYLEM_THERMAL_HEATMAP_HPP
+
+#include <ostream>
+#include <string>
+
+#include "thermal/temperature.hpp"
+
+namespace xylem::thermal {
+
+/** Rendering options. */
+struct HeatmapOptions
+{
+    std::size_t maxCols = 64;   ///< downsample wider grids to this
+    bool showScale = true;      ///< print the min/max legend
+    /** Gradient from coldest to hottest, one char per bucket. */
+    std::string ramp = " .:-=+*#%@";
+};
+
+/**
+ * Render one layer of a temperature field as an ASCII heatmap
+ * (row 0 of the grid at the bottom, like the floorplans).
+ */
+void renderHeatmap(std::ostream &os, const TemperatureField &field,
+                   std::size_t layer, const HeatmapOptions &opts = {});
+
+/**
+ * Dump one layer as CSV (nx columns x ny rows, row 0 first) for
+ * external tools.
+ */
+void writeCsv(std::ostream &os, const TemperatureField &field,
+              std::size_t layer);
+
+} // namespace xylem::thermal
+
+#endif // XYLEM_THERMAL_HEATMAP_HPP

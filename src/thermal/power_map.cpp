@@ -1,0 +1,53 @@
+#include "thermal/power_map.hpp"
+
+#include "common/logging.hpp"
+
+namespace xylem::thermal {
+
+PowerMap::PowerMap(const stack::BuiltStack &stk)
+{
+    fields_.reserve(stk.layers.size());
+    for (std::size_t l = 0; l < stk.layers.size(); ++l)
+        fields_.emplace_back(stk.grid, 0.0);
+}
+
+geometry::Field2D &
+PowerMap::layer(int layer_idx)
+{
+    XYLEM_ASSERT(layer_idx >= 0 &&
+                     static_cast<std::size_t>(layer_idx) < fields_.size(),
+                 "layer index out of range");
+    return fields_[static_cast<std::size_t>(layer_idx)];
+}
+
+const geometry::Field2D &
+PowerMap::layer(int layer_idx) const
+{
+    XYLEM_ASSERT(layer_idx >= 0 &&
+                     static_cast<std::size_t>(layer_idx) < fields_.size(),
+                 "layer index out of range");
+    return fields_[static_cast<std::size_t>(layer_idx)];
+}
+
+void
+PowerMap::deposit(int layer_idx, const geometry::Rect &rect, double watts)
+{
+    layer(layer_idx).deposit(rect, watts);
+}
+
+double
+PowerMap::totalPower() const
+{
+    double total = 0.0;
+    for (const auto &f : fields_)
+        total += f.sum();
+    return total;
+}
+
+double
+PowerMap::layerPower(int layer_idx) const
+{
+    return layer(layer_idx).sum();
+}
+
+} // namespace xylem::thermal

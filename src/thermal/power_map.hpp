@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Per-layer power maps: how many watts are dissipated in each grid
+ * cell of each (heat-source) layer of the stack.
+ */
+
+#ifndef XYLEM_THERMAL_POWER_MAP_HPP
+#define XYLEM_THERMAL_POWER_MAP_HPP
+
+#include <vector>
+
+#include "geometry/grid.hpp"
+#include "stack/stack.hpp"
+
+namespace xylem::thermal {
+
+/**
+ * A power assignment for a built stack: one scalar field (watts per
+ * cell) per layer. Non-source layers simply stay at zero.
+ */
+class PowerMap
+{
+  public:
+    /** All-zero power map for `stk`. */
+    explicit PowerMap(const stack::BuiltStack &stk);
+
+    /** Field of layer `layer_idx` (watts per cell). */
+    geometry::Field2D &layer(int layer_idx);
+    const geometry::Field2D &layer(int layer_idx) const;
+
+    std::size_t numLayers() const { return fields_.size(); }
+
+    /**
+     * Deposit `watts` uniformly over `rect` in layer `layer_idx`
+     * (area-proportional across cells).
+     */
+    void deposit(int layer_idx, const geometry::Rect &rect, double watts);
+
+    /** Total power over all layers [W]. */
+    double totalPower() const;
+
+    /** Power in one layer [W]. */
+    double layerPower(int layer_idx) const;
+
+  private:
+    std::vector<geometry::Field2D> fields_;
+};
+
+} // namespace xylem::thermal
+
+#endif // XYLEM_THERMAL_POWER_MAP_HPP

@@ -1,0 +1,98 @@
+#include "thermal/temperature.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace xylem::thermal {
+
+TemperatureField::TemperatureField(std::size_t num_layers, std::size_t nx,
+                                   std::size_t ny, std::size_t num_extra,
+                                   double initial_celsius)
+    : num_layers_(num_layers),
+      nx_(nx),
+      ny_(ny),
+      nodes_(num_layers * nx * ny + num_extra, initial_celsius)
+{
+    XYLEM_ASSERT(num_layers_ > 0 && nx_ > 0 && ny_ > 0,
+                 "temperature field needs positive dimensions");
+}
+
+double
+TemperatureField::at(std::size_t layer, std::size_t ix, std::size_t iy) const
+{
+    XYLEM_ASSERT(layer < num_layers_ && ix < nx_ && iy < ny_,
+                 "temperature index out of range");
+    return nodes_[layer * cellsPerLayer() + iy * nx_ + ix];
+}
+
+double &
+TemperatureField::at(std::size_t layer, std::size_t ix, std::size_t iy)
+{
+    XYLEM_ASSERT(layer < num_layers_ && ix < nx_ && iy < ny_,
+                 "temperature index out of range");
+    return nodes_[layer * cellsPerLayer() + iy * nx_ + ix];
+}
+
+double
+TemperatureField::maxOfLayer(std::size_t layer) const
+{
+    XYLEM_ASSERT(layer < num_layers_, "layer out of range");
+    const auto begin = nodes_.begin() +
+                       static_cast<std::ptrdiff_t>(layer * cellsPerLayer());
+    return *std::max_element(begin,
+                             begin + static_cast<std::ptrdiff_t>(
+                                         cellsPerLayer()));
+}
+
+double
+TemperatureField::meanOfLayer(std::size_t layer) const
+{
+    XYLEM_ASSERT(layer < num_layers_, "layer out of range");
+    const std::size_t base = layer * cellsPerLayer();
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cellsPerLayer(); ++c)
+        sum += nodes_[base + c];
+    return sum / static_cast<double>(cellsPerLayer());
+}
+
+double
+TemperatureField::maxInRect(std::size_t layer, const geometry::Rect &rect,
+                            const geometry::Rect &die_extent) const
+{
+    const double dx = die_extent.w / static_cast<double>(nx_);
+    const double dy = die_extent.h / static_cast<double>(ny_);
+    double best = -1e30;
+    bool found = false;
+    for (std::size_t iy = 0; iy < ny_; ++iy) {
+        for (std::size_t ix = 0; ix < nx_; ++ix) {
+            const geometry::Point center{
+                die_extent.x + (static_cast<double>(ix) + 0.5) * dx,
+                die_extent.y + (static_cast<double>(iy) + 0.5) * dy};
+            if (rect.contains(center)) {
+                best = std::max(best, at(layer, ix, iy));
+                found = true;
+            }
+        }
+    }
+    return found ? best : maxOfLayer(layer);
+}
+
+void
+TemperatureField::hotspot(std::size_t layer, std::size_t &ix,
+                          std::size_t &iy) const
+{
+    double best = -1e30;
+    for (std::size_t y = 0; y < ny_; ++y) {
+        for (std::size_t x = 0; x < nx_; ++x) {
+            const double t = at(layer, x, y);
+            if (t > best) {
+                best = t;
+                ix = x;
+                iy = y;
+            }
+        }
+    }
+}
+
+} // namespace xylem::thermal

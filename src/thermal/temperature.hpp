@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Temperature fields produced by the thermal solvers, with hotspot
+ * queries per layer / per region.
+ */
+
+#ifndef XYLEM_THERMAL_TEMPERATURE_HPP
+#define XYLEM_THERMAL_TEMPERATURE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/rect.hpp"
+
+namespace xylem::thermal {
+
+/**
+ * A solved temperature field: one value per grid node (layer-major),
+ * plus the trailing periphery nodes of the extended layers.
+ * Values are absolute degrees Celsius.
+ */
+class TemperatureField
+{
+  public:
+    TemperatureField(std::size_t num_layers, std::size_t nx, std::size_t ny,
+                     std::size_t num_extra, double initial_celsius);
+
+    std::size_t numLayers() const { return num_layers_; }
+    std::size_t nx() const { return nx_; }
+    std::size_t ny() const { return ny_; }
+    std::size_t cellsPerLayer() const { return nx_ * ny_; }
+    std::size_t numNodes() const { return nodes_.size(); }
+
+    std::vector<double> &nodes() { return nodes_; }
+    const std::vector<double> &nodes() const { return nodes_; }
+
+    /** Temperature of cell (ix, iy) in a layer [°C]. */
+    double at(std::size_t layer, std::size_t ix, std::size_t iy) const;
+    double &at(std::size_t layer, std::size_t ix, std::size_t iy);
+
+    /** Maximum temperature anywhere in a layer [°C]. */
+    double maxOfLayer(std::size_t layer) const;
+
+    /** Mean temperature of a layer [°C]. */
+    double meanOfLayer(std::size_t layer) const;
+
+    /**
+     * Maximum temperature of the cells whose centre lies inside
+     * `rect` (die coordinates); `die_extent` supplies the grid
+     * geometry. Returns the layer max if no cell centre is inside.
+     */
+    double maxInRect(std::size_t layer, const geometry::Rect &rect,
+                     const geometry::Rect &die_extent) const;
+
+    /** Location (ix, iy) of the hottest cell of a layer. */
+    void hotspot(std::size_t layer, std::size_t &ix, std::size_t &iy) const;
+
+  private:
+    std::size_t num_layers_;
+    std::size_t nx_;
+    std::size_t ny_;
+    std::vector<double> nodes_;
+};
+
+} // namespace xylem::thermal
+
+#endif // XYLEM_THERMAL_TEMPERATURE_HPP

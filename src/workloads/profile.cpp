@@ -1,0 +1,264 @@
+#include "workloads/profile.hpp"
+
+#include "common/logging.hpp"
+
+namespace xylem::workloads {
+
+const char *
+toString(WorkloadClass c)
+{
+    switch (c) {
+      case WorkloadClass::Compute: return "compute";
+      case WorkloadClass::Mixed: return "mixed";
+      case WorkloadClass::Memory: return "memory";
+    }
+    return "?";
+}
+
+void
+Profile::validate() const
+{
+    XYLEM_ASSERT(fracFpu >= 0 && fracBranch >= 0 && fracLoad >= 0 &&
+                     fracStore >= 0 && fracAlu() >= 0,
+                 "instruction mix of ", name, " out of range");
+    XYLEM_ASSERT(probHot >= 0 && probWarm >= 0 && probCold >= 0,
+                 "locality probabilities of ", name, " out of range");
+    const double p = probHot + probWarm + probCold;
+    XYLEM_ASSERT(p > 0.999 && p < 1.001,
+                 "locality probabilities of ", name, " must sum to 1, got ",
+                 p);
+    XYLEM_ASSERT(issueEfficiency > 0.0 && issueEfficiency <= 1.0,
+                 "issue efficiency of ", name, " out of range");
+    XYLEM_ASSERT(mlp >= 1.0, "MLP of ", name, " must be >= 1");
+    XYLEM_ASSERT(workingSetBytes >= (1u << 20),
+                 "working set of ", name, " suspiciously small");
+}
+
+namespace {
+
+/**
+ * Construct the 17-application suite.
+ *
+ * Classification notes (matching the paper's qualitative statements):
+ *  - Cholesky, Barnes, Radiosity and LU(NAS) run close to Tj,max in
+ *    the base design at 2.4 GHz (§7.2) — highest issue efficiency
+ *    and FPU intensity here.
+ *  - FT is called out as memory-intensive (+10 °C from 2.4 to
+ *    3.5 GHz), LU(NAS) as compute-intensive (+30 °C).
+ *  - IS is the memory-intensive partner of the λ-aware placement
+ *    experiment (§7.6.1); LU(NAS) the compute-intensive one.
+ */
+std::vector<Profile>
+makeSuite()
+{
+    std::vector<Profile> apps;
+    auto add = [&apps](Profile p) {
+        p.validate();
+        apps.push_back(std::move(p));
+    };
+
+    const auto MB = [](double m) {
+        return static_cast<std::uint64_t>(m * 1024.0 * 1024.0);
+    };
+
+    Profile p;
+
+    // ---------------- SPLASH-2 ----------------
+    p = {};
+    p.name = "FFT"; p.suite = "SPLASH-2"; p.klass = WorkloadClass::Mixed;
+    p.fracFpu = 0.22; p.fracBranch = 0.10; p.fracLoad = 0.24;
+    p.fracStore = 0.12; p.branchMispredictRate = 0.012;
+    p.issueEfficiency = 0.48; p.l1iMissPerKilo = 1.5;
+    p.probHot = 0.93; p.probWarm = 0.05; p.probCold = 0.02;
+    p.workingSetBytes = MB(8); p.streamFraction = 0.7;
+    p.sharedFraction = 0.15; p.mlp = 3.0;
+    add(p);
+
+    p = {};
+    p.name = "Cholesky"; p.suite = "SPLASH-2";
+    p.klass = WorkloadClass::Compute;
+    p.fracFpu = 0.28; p.fracBranch = 0.08; p.fracLoad = 0.22;
+    p.fracStore = 0.10; p.branchMispredictRate = 0.008;
+    p.issueEfficiency = 0.60; p.l1iMissPerKilo = 1.2;
+    p.probHot = 0.975; p.probWarm = 0.020; p.probCold = 0.005;
+    p.workingSetBytes = MB(4); p.streamFraction = 0.5;
+    p.sharedFraction = 0.10; p.mlp = 1.8;
+    add(p);
+
+    p = {};
+    p.name = "LU"; p.suite = "SPLASH-2"; p.klass = WorkloadClass::Compute;
+    p.fracFpu = 0.30; p.fracBranch = 0.08; p.fracLoad = 0.22;
+    p.fracStore = 0.10; p.branchMispredictRate = 0.006;
+    p.issueEfficiency = 0.56; p.l1iMissPerKilo = 1.0;
+    p.probHot = 0.970; p.probWarm = 0.025; p.probCold = 0.005;
+    p.workingSetBytes = MB(4); p.streamFraction = 0.7;
+    p.sharedFraction = 0.10; p.mlp = 2.0;
+    add(p);
+
+    p = {};
+    p.name = "Radix"; p.suite = "SPLASH-2"; p.klass = WorkloadClass::Memory;
+    p.fracFpu = 0.02; p.fracBranch = 0.10; p.fracLoad = 0.28;
+    p.fracStore = 0.18; p.branchMispredictRate = 0.035;
+    p.issueEfficiency = 0.46; p.l1iMissPerKilo = 1.0;
+    p.probHot = 0.90; p.probWarm = 0.06; p.probCold = 0.04;
+    p.workingSetBytes = MB(16); p.streamFraction = 0.55;
+    p.sharedFraction = 0.10; p.mlp = 4.0;
+    add(p);
+
+    p = {};
+    p.name = "Barnes"; p.suite = "SPLASH-2";
+    p.klass = WorkloadClass::Compute;
+    p.fracFpu = 0.26; p.fracBranch = 0.12; p.fracLoad = 0.24;
+    p.fracStore = 0.08; p.branchMispredictRate = 0.018;
+    p.issueEfficiency = 0.61; p.l1iMissPerKilo = 2.0;
+    p.probHot = 0.975; p.probWarm = 0.020; p.probCold = 0.005;
+    p.workingSetBytes = MB(2); p.streamFraction = 0.3;
+    p.sharedFraction = 0.20; p.mlp = 1.6;
+    add(p);
+
+    p = {};
+    p.name = "FMM"; p.suite = "SPLASH-2"; p.klass = WorkloadClass::Compute;
+    p.fracFpu = 0.28; p.fracBranch = 0.10; p.fracLoad = 0.24;
+    p.fracStore = 0.08; p.branchMispredictRate = 0.015;
+    p.issueEfficiency = 0.56; p.l1iMissPerKilo = 2.0;
+    p.probHot = 0.970; p.probWarm = 0.025; p.probCold = 0.005;
+    p.workingSetBytes = MB(4); p.streamFraction = 0.4;
+    p.sharedFraction = 0.15; p.mlp = 1.8;
+    add(p);
+
+    p = {};
+    p.name = "Radiosity"; p.suite = "SPLASH-2";
+    p.klass = WorkloadClass::Compute;
+    p.fracFpu = 0.22; p.fracBranch = 0.12; p.fracLoad = 0.24;
+    p.fracStore = 0.10; p.branchMispredictRate = 0.02;
+    p.issueEfficiency = 0.60; p.l1iMissPerKilo = 3.0;
+    p.probHot = 0.970; p.probWarm = 0.025; p.probCold = 0.005;
+    p.workingSetBytes = MB(4); p.streamFraction = 0.3;
+    p.sharedFraction = 0.25; p.mlp = 1.6;
+    add(p);
+
+    p = {};
+    p.name = "Raytrace"; p.suite = "SPLASH-2";
+    p.klass = WorkloadClass::Mixed;
+    p.fracFpu = 0.20; p.fracBranch = 0.12; p.fracLoad = 0.26;
+    p.fracStore = 0.06; p.branchMispredictRate = 0.028;
+    p.issueEfficiency = 0.50; p.l1iMissPerKilo = 4.0;
+    p.probHot = 0.94; p.probWarm = 0.045; p.probCold = 0.015;
+    p.workingSetBytes = MB(8); p.streamFraction = 0.3;
+    p.sharedFraction = 0.15; p.mlp = 1.8;
+    add(p);
+
+    // ---------------- PARSEC ----------------
+    p = {};
+    p.name = "Fluid."; p.suite = "PARSEC"; p.klass = WorkloadClass::Mixed;
+    p.fracFpu = 0.24; p.fracBranch = 0.08; p.fracLoad = 0.25;
+    p.fracStore = 0.10; p.branchMispredictRate = 0.012;
+    p.issueEfficiency = 0.50; p.l1iMissPerKilo = 1.5;
+    p.probHot = 0.94; p.probWarm = 0.045; p.probCold = 0.015;
+    p.workingSetBytes = MB(8); p.streamFraction = 0.5;
+    p.sharedFraction = 0.15; p.mlp = 2.2;
+    add(p);
+
+    p = {};
+    p.name = "Black."; p.suite = "PARSEC"; p.klass = WorkloadClass::Compute;
+    p.fracFpu = 0.32; p.fracBranch = 0.06; p.fracLoad = 0.22;
+    p.fracStore = 0.08; p.branchMispredictRate = 0.004;
+    p.issueEfficiency = 0.55; p.l1iMissPerKilo = 0.5;
+    p.probHot = 0.980; p.probWarm = 0.015; p.probCold = 0.005;
+    p.workingSetBytes = MB(1); p.streamFraction = 0.8;
+    p.sharedFraction = 0.02; p.mlp = 2.0;
+    add(p);
+
+    // ---------------- NAS Parallel Benchmarks ----------------
+    p = {};
+    p.name = "BT"; p.suite = "NPB"; p.klass = WorkloadClass::Mixed;
+    p.fracFpu = 0.30; p.fracBranch = 0.06; p.fracLoad = 0.24;
+    p.fracStore = 0.12; p.branchMispredictRate = 0.006;
+    p.issueEfficiency = 0.53; p.l1iMissPerKilo = 1.2;
+    p.probHot = 0.95; p.probWarm = 0.035; p.probCold = 0.015;
+    p.workingSetBytes = MB(12); p.streamFraction = 0.7;
+    p.sharedFraction = 0.10; p.mlp = 2.6;
+    add(p);
+
+    p = {};
+    p.name = "CG"; p.suite = "NPB"; p.klass = WorkloadClass::Memory;
+    p.fracFpu = 0.18; p.fracBranch = 0.08; p.fracLoad = 0.30;
+    p.fracStore = 0.06; p.branchMispredictRate = 0.01;
+    p.issueEfficiency = 0.40; p.l1iMissPerKilo = 0.8;
+    p.probHot = 0.86; p.probWarm = 0.08; p.probCold = 0.06;
+    p.workingSetBytes = MB(24); p.streamFraction = 0.4;
+    p.sharedFraction = 0.20; p.mlp = 3.5;
+    add(p);
+
+    p = {};
+    p.name = "FT"; p.suite = "NPB"; p.klass = WorkloadClass::Memory;
+    p.fracFpu = 0.22; p.fracBranch = 0.06; p.fracLoad = 0.26;
+    p.fracStore = 0.12; p.branchMispredictRate = 0.006;
+    p.issueEfficiency = 0.42; p.l1iMissPerKilo = 0.8;
+    p.probHot = 0.87; p.probWarm = 0.08; p.probCold = 0.05;
+    p.workingSetBytes = MB(32); p.streamFraction = 0.7;
+    p.sharedFraction = 0.15; p.mlp = 4.0;
+    add(p);
+
+    p = {};
+    p.name = "IS"; p.suite = "NPB"; p.klass = WorkloadClass::Memory;
+    p.fracFpu = 0.02; p.fracBranch = 0.08; p.fracLoad = 0.30;
+    p.fracStore = 0.16; p.branchMispredictRate = 0.03;
+    p.issueEfficiency = 0.38; p.l1iMissPerKilo = 0.5;
+    p.probHot = 0.85; p.probWarm = 0.08; p.probCold = 0.07;
+    p.workingSetBytes = MB(24); p.streamFraction = 0.4;
+    p.sharedFraction = 0.20; p.mlp = 4.0;
+    add(p);
+
+    p = {};
+    p.name = "LU(NAS)"; p.suite = "NPB"; p.klass = WorkloadClass::Compute;
+    p.fracFpu = 0.32; p.fracBranch = 0.06; p.fracLoad = 0.22;
+    p.fracStore = 0.10; p.branchMispredictRate = 0.005;
+    p.issueEfficiency = 0.60; p.l1iMissPerKilo = 0.8;
+    p.probHot = 0.980; p.probWarm = 0.015; p.probCold = 0.005;
+    p.workingSetBytes = MB(2); p.streamFraction = 0.7;
+    p.sharedFraction = 0.08; p.mlp = 1.8;
+    add(p);
+
+    p = {};
+    p.name = "MG"; p.suite = "NPB"; p.klass = WorkloadClass::Memory;
+    p.fracFpu = 0.24; p.fracBranch = 0.06; p.fracLoad = 0.28;
+    p.fracStore = 0.10; p.branchMispredictRate = 0.006;
+    p.issueEfficiency = 0.44; p.l1iMissPerKilo = 0.8;
+    p.probHot = 0.90; p.probWarm = 0.06; p.probCold = 0.04;
+    p.workingSetBytes = MB(28); p.streamFraction = 0.7;
+    p.sharedFraction = 0.10; p.mlp = 3.6;
+    add(p);
+
+    p = {};
+    p.name = "SP"; p.suite = "NPB"; p.klass = WorkloadClass::Mixed;
+    p.fracFpu = 0.28; p.fracBranch = 0.06; p.fracLoad = 0.25;
+    p.fracStore = 0.11; p.branchMispredictRate = 0.006;
+    p.issueEfficiency = 0.50; p.l1iMissPerKilo = 1.0;
+    p.probHot = 0.93; p.probWarm = 0.05; p.probCold = 0.02;
+    p.workingSetBytes = MB(16); p.streamFraction = 0.7;
+    p.sharedFraction = 0.10; p.mlp = 2.8;
+    add(p);
+
+    return apps;
+}
+
+} // namespace
+
+const std::vector<Profile> &
+suite()
+{
+    static const std::vector<Profile> apps = makeSuite();
+    return apps;
+}
+
+const Profile &
+profileByName(const std::string &name)
+{
+    for (const auto &p : suite())
+        if (p.name == name)
+            return p;
+    fatal("unknown workload '", name, "'");
+}
+
+} // namespace xylem::workloads

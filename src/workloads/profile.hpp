@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Synthetic workload profiles standing in for the paper's SPLASH-2,
+ * PARSEC and NAS Parallel Benchmark applications (§6.3).
+ *
+ * Each profile fixes the architectural quantities the Xylem pipeline
+ * consumes — instruction mix, locality structure, sharing, and
+ * memory-level parallelism — calibrated so that the simulated base
+ * design point reproduces the paper's aggregate behaviour (processor
+ * die 8-24 W, memory dies 2-4.5 W at 2.4 GHz; compute-bound codes gain
+ * ≈30 °C from 2.4 to 3.5 GHz, memory-bound codes ≈10 °C).
+ */
+
+#ifndef XYLEM_WORKLOADS_PROFILE_HPP
+#define XYLEM_WORKLOADS_PROFILE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xylem::workloads {
+
+/** Coarse workload class (used for reporting and λ-aware placement). */
+enum class WorkloadClass
+{
+    Compute,  ///< cache-resident, high IPC, thermally demanding
+    Mixed,    ///< moderate memory traffic
+    Memory,   ///< DRAM-bandwidth bound
+};
+
+const char *toString(WorkloadClass c);
+
+/** A synthetic application profile. */
+struct Profile
+{
+    std::string name;   ///< e.g. "LU(NAS)"
+    std::string suite;  ///< "SPLASH-2", "PARSEC" or "NPB"
+    WorkloadClass klass = WorkloadClass::Mixed;
+
+    // Instruction mix (fractions of dynamic instructions; the
+    // remainder after fpu/branch/load/store is integer ALU work).
+    double fracFpu = 0.2;
+    double fracBranch = 0.1;
+    double fracLoad = 0.24;
+    double fracStore = 0.1;
+    double branchMispredictRate = 0.02;
+
+    /** Issue efficiency: base IPC = issueWidth * issueEfficiency. */
+    double issueEfficiency = 0.5;
+
+    /** L1I misses per kilo-instruction. */
+    double l1iMissPerKilo = 2.0;
+
+    // Data locality: each memory access targets the hot (L1-resident),
+    // warm (L2-resident) or cold (DRAM-bound) region.
+    double probHot = 0.95;
+    double probWarm = 0.035;
+    double probCold = 0.015;
+
+    /** Per-thread cold working set [bytes]. */
+    std::uint64_t workingSetBytes = 8ull << 20;
+
+    /** Fraction of cold accesses that stream sequentially. */
+    double streamFraction = 0.5;
+
+    /** Fraction of accesses that target the shared region. */
+    double sharedFraction = 0.15;
+
+    /** Memory-level parallelism: overlap factor for DRAM stalls. */
+    double mlp = 2.0;
+
+    double fracAlu() const
+    {
+        return 1.0 - fracFpu - fracBranch - fracLoad - fracStore;
+    }
+
+    /** Validate internal consistency (fractions in range, etc.). */
+    void validate() const;
+};
+
+/** All 17 applications of the paper's evaluation (§6.3). */
+const std::vector<Profile> &suite();
+
+/** Look up a profile by name; throws if unknown. */
+const Profile &profileByName(const std::string &name);
+
+} // namespace xylem::workloads
+
+#endif // XYLEM_WORKLOADS_PROFILE_HPP

@@ -1,0 +1,86 @@
+#include "workloads/stream.hpp"
+
+namespace xylem::workloads {
+
+ThreadStream::ThreadStream(const Profile &profile, int thread_id,
+                           std::uint64_t seed)
+    : profile_(&profile),
+      rng_(seed ^ (0x517cc1b727220a95ull *
+                   static_cast<std::uint64_t>(thread_id + 1))),
+      privateBase_(static_cast<std::uint64_t>(thread_id + 1) << 32),
+      sharedBase_(1ull << 40),
+      streamPtrPrivate_(privateBase_),
+      streamPtrShared_(sharedBase_ +
+                       (static_cast<std::uint64_t>(thread_id) << 22))
+{
+    profile.validate();
+}
+
+std::uint64_t
+ThreadStream::genAddress()
+{
+    const Profile &p = *profile_;
+    const bool shared = rng_.chance(p.sharedFraction);
+    const std::uint64_t base = shared ? sharedBase_ : privateBase_;
+
+    const double u = rng_.uniform();
+    if (u < p.probHot) {
+        // Hot region: always private (stack/locals-like).
+        return privateBase_ + (rng_.below(hotBytes_) & ~7ull);
+    }
+    if (u < p.probHot + p.probWarm) {
+        return base + hotBytes_ + (rng_.below(warmBytes_) & ~7ull);
+    }
+    // Cold region: streaming or random over the working set. A shared
+    // cold region is sized as the union of all threads' sets.
+    const std::uint64_t ws = p.workingSetBytes;
+    const std::uint64_t cold_base = base + hotBytes_ + warmBytes_;
+    if (rng_.chance(p.streamFraction)) {
+        std::uint64_t &ptr = shared ? streamPtrShared_ : streamPtrPrivate_;
+        if (ptr < cold_base || ptr >= cold_base + ws)
+            ptr = cold_base + (rng_.below(ws) & ~63ull);
+        const std::uint64_t addr = ptr;
+        ptr += 64; // next cache line
+        if (ptr >= cold_base + ws)
+            ptr = cold_base;
+        return addr;
+    }
+    return cold_base + (rng_.below(ws) & ~7ull);
+}
+
+Op
+ThreadStream::next()
+{
+    const Profile &p = *profile_;
+    Op op;
+    op.instMiss = rng_.chance(p.l1iMissPerKilo / 1000.0);
+
+    const double u = rng_.uniform();
+    double edge = p.fracFpu;
+    if (u < edge) {
+        op.kind = Op::Kind::Fpu;
+        return op;
+    }
+    edge += p.fracBranch;
+    if (u < edge) {
+        op.kind = Op::Kind::Branch;
+        op.mispredict = rng_.chance(p.branchMispredictRate);
+        return op;
+    }
+    edge += p.fracLoad;
+    if (u < edge) {
+        op.kind = Op::Kind::Load;
+        op.addr = genAddress();
+        return op;
+    }
+    edge += p.fracStore;
+    if (u < edge) {
+        op.kind = Op::Kind::Store;
+        op.addr = genAddress();
+        return op;
+    }
+    op.kind = Op::Kind::IntAlu;
+    return op;
+}
+
+} // namespace xylem::workloads

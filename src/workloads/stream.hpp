@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Synthetic per-thread instruction/address streams generated from a
+ * workload profile. The stream is deterministic given (profile,
+ * thread id, seed), so simulation results are reproducible.
+ */
+
+#ifndef XYLEM_WORKLOADS_STREAM_HPP
+#define XYLEM_WORKLOADS_STREAM_HPP
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "workloads/profile.hpp"
+
+namespace xylem::workloads {
+
+/** One dynamic micro-operation. */
+struct Op
+{
+    enum class Kind
+    {
+        IntAlu,
+        Fpu,
+        Branch,
+        Load,
+        Store,
+    };
+
+    Kind kind = Kind::IntAlu;
+    bool mispredict = false;    ///< only meaningful for branches
+    std::uint64_t addr = 0;     ///< only meaningful for loads/stores
+    bool instMiss = false;      ///< this op missed in the L1I
+};
+
+/**
+ * Address-space layout used by the generator:
+ *  - per-thread private regions at (thread + 1) << 32,
+ *  - a shared region common to all threads at 1 << 40.
+ * Within a region, accesses target a hot (L1-resident), warm
+ * (L2-resident) or cold (working-set sized) sub-region according to
+ * the profile's locality probabilities; a fraction of cold accesses
+ * stream sequentially to create DRAM row locality.
+ */
+class ThreadStream
+{
+  public:
+    ThreadStream(const Profile &profile, int thread_id,
+                 std::uint64_t seed);
+
+    /** Generate the next micro-op. */
+    Op next();
+
+    const Profile &profile() const { return *profile_; }
+
+  private:
+    std::uint64_t genAddress();
+
+    const Profile *profile_;
+    Rng rng_;
+    std::uint64_t privateBase_;
+    std::uint64_t sharedBase_;
+    std::uint64_t streamPtrPrivate_;
+    std::uint64_t streamPtrShared_;
+
+    // Region sizes.
+    static constexpr std::uint64_t hotBytes_ = 16 << 10;  // fits L1D
+    static constexpr std::uint64_t warmBytes_ = 96 << 10; // fits L2
+};
+
+} // namespace xylem::workloads
+
+#endif // XYLEM_WORKLOADS_STREAM_HPP

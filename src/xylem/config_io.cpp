@@ -1,0 +1,151 @@
+#include "xylem/config_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace xylem::core {
+
+namespace {
+
+/** Trim ASCII whitespace from both ends. */
+std::string
+trim(const std::string &s)
+{
+    const auto begin = s.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    const auto end = s.find_last_not_of(" \t\r");
+    return s.substr(begin, end - begin + 1);
+}
+
+double
+parseNumber(const std::string &value, int line_no)
+{
+    std::size_t used = 0;
+    double out = 0.0;
+    try {
+        out = std::stod(value, &used);
+    } catch (const std::exception &) {
+        fatal("config line ", line_no, ": '", value, "' is not a number");
+    }
+    if (used != value.size())
+        fatal("config line ", line_no, ": trailing junk in '", value, "'");
+    return out;
+}
+
+std::uint64_t
+parseCount(const std::string &value, int line_no)
+{
+    const double v = parseNumber(value, line_no);
+    if (v < 0 || v != static_cast<double>(static_cast<std::uint64_t>(v)))
+        fatal("config line ", line_no, ": '", value,
+              "' is not a non-negative integer");
+    return static_cast<std::uint64_t>(v);
+}
+
+} // namespace
+
+SystemConfig
+parseSystemConfig(std::istream &in)
+{
+    SystemConfig cfg;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const auto eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal("config line ", line_no, ": expected 'key = value'");
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (value.empty())
+            fatal("config line ", line_no, ": empty value for '", key,
+                  "'");
+
+        if (key == "scheme") {
+            cfg.stackSpec.scheme = stack::schemeFromString(value);
+        } else if (key == "numDramDies") {
+            cfg.stackSpec.numDramDies =
+                static_cast<int>(parseCount(value, line_no));
+        } else if (key == "dieThicknessUm") {
+            cfg.stackSpec.dieThickness =
+                parseNumber(value, line_no) * 1e-6;
+        } else if (key == "gridNx") {
+            cfg.stackSpec.gridNx = parseCount(value, line_no);
+        } else if (key == "gridNy") {
+            cfg.stackSpec.gridNy = parseCount(value, line_no);
+        } else if (key == "d2dLambdaOverride") {
+            cfg.stackSpec.d2dLambdaOverride = parseNumber(value, line_no);
+        } else if (key == "ambientCelsius") {
+            cfg.solver.ambientCelsius = parseNumber(value, line_no);
+        } else if (key == "convectionResistance") {
+            cfg.solver.convectionResistance = parseNumber(value, line_no);
+        } else if (key == "solverTolerance") {
+            cfg.solver.tolerance = parseNumber(value, line_no);
+        } else if (key == "instsPerThread") {
+            cfg.cpu.instsPerThread = parseCount(value, line_no);
+        } else if (key == "warmupInsts") {
+            cfg.cpu.warmupInsts = parseCount(value, line_no);
+        } else if (key == "seed") {
+            cfg.cpu.seed = parseCount(value, line_no);
+        } else if (key == "tjMaxProc") {
+            cfg.tjMaxProc = parseNumber(value, line_no);
+        } else if (key == "tMaxDram") {
+            cfg.tMaxDram = parseNumber(value, line_no);
+        } else if (key == "electroThermalIterations") {
+            cfg.electroThermalIterations =
+                static_cast<int>(parseCount(value, line_no));
+        } else if (key == "leakageTempCoefficient") {
+            cfg.leakage.tempCoefficient = parseNumber(value, line_no);
+        } else {
+            fatal("config line ", line_no, ": unknown key '", key, "'");
+        }
+    }
+    return cfg;
+}
+
+SystemConfig
+loadSystemConfig(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open config file '", path, "'");
+    return parseSystemConfig(in);
+}
+
+std::string
+formatSystemConfig(const SystemConfig &cfg)
+{
+    std::ostringstream os;
+    os << "scheme = " << stack::toString(cfg.stackSpec.scheme) << "\n";
+    os << "numDramDies = " << cfg.stackSpec.numDramDies << "\n";
+    os << "dieThicknessUm = " << cfg.stackSpec.dieThickness * 1e6 << "\n";
+    os << "gridNx = " << cfg.stackSpec.gridNx << "\n";
+    os << "gridNy = " << cfg.stackSpec.gridNy << "\n";
+    os << "d2dLambdaOverride = " << cfg.stackSpec.d2dLambdaOverride
+       << "\n";
+    os << "ambientCelsius = " << cfg.solver.ambientCelsius << "\n";
+    os << "convectionResistance = " << cfg.solver.convectionResistance
+       << "\n";
+    os << "solverTolerance = " << cfg.solver.tolerance << "\n";
+    os << "instsPerThread = " << cfg.cpu.instsPerThread << "\n";
+    os << "warmupInsts = " << cfg.cpu.warmupInsts << "\n";
+    os << "seed = " << cfg.cpu.seed << "\n";
+    os << "tjMaxProc = " << cfg.tjMaxProc << "\n";
+    os << "tMaxDram = " << cfg.tMaxDram << "\n";
+    os << "electroThermalIterations = " << cfg.electroThermalIterations
+       << "\n";
+    os << "leakageTempCoefficient = " << cfg.leakage.tempCoefficient
+       << "\n";
+    return os.str();
+}
+
+} // namespace xylem::core

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Plain-text configuration loading for SystemConfig: a small
+ * `key = value` format (with `#` comments) so examples and external
+ * scripts can parameterise a Xylem system without recompiling.
+ *
+ * Recognised keys (all optional; unknown keys are an error so typos
+ * are caught):
+ *
+ *   scheme                 base|bank|banke|isoCount|prior
+ *   numDramDies            integer >= 1
+ *   dieThicknessUm         microns
+ *   gridNx, gridNy         cells
+ *   d2dLambdaOverride      W/mK (0 = Table 1 value)
+ *   ambientCelsius         °C
+ *   convectionResistance   K/W
+ *   solverTolerance        relative residual
+ *   instsPerThread         instructions
+ *   warmupInsts            instructions
+ *   seed                   integer
+ *   tjMaxProc, tMaxDram    °C
+ *   electroThermalIterations  integer
+ *   leakageTempCoefficient per K
+ */
+
+#ifndef XYLEM_XYLEM_CONFIG_IO_HPP
+#define XYLEM_XYLEM_CONFIG_IO_HPP
+
+#include <istream>
+#include <string>
+
+#include "xylem/system.hpp"
+
+namespace xylem::core {
+
+/**
+ * Parse `key = value` lines into a SystemConfig, starting from the
+ * defaults. Throws FatalError on unknown keys or malformed values,
+ * with the line number in the message.
+ */
+SystemConfig parseSystemConfig(std::istream &in);
+
+/** Load a configuration file from disk. */
+SystemConfig loadSystemConfig(const std::string &path);
+
+/**
+ * Render a configuration back into the same text format (useful to
+ * snapshot the effective configuration next to experiment output).
+ */
+std::string formatSystemConfig(const SystemConfig &cfg);
+
+} // namespace xylem::core
+
+#endif // XYLEM_XYLEM_CONFIG_IO_HPP

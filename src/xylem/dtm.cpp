@@ -1,0 +1,87 @@
+#include "xylem/dtm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace xylem::core {
+
+DtmResult
+throttleToCaps(StackSystem &system,
+               const std::vector<cpu::ThreadSpec> &threads,
+               double requested_ghz, double proc_cap, double dram_cap)
+{
+    const auto &dvfs = system.powerModel().dvfs();
+    DtmResult out;
+    out.requestedGHz = requested_ghz;
+
+    // Walk the table downward from the requested operating point.
+    std::vector<double> fs = dvfs.frequencies();
+    std::sort(fs.rbegin(), fs.rend());
+    for (double f : fs) {
+        if (f > dvfs.floorFrequency(requested_ghz) + 1e-9)
+            continue;
+        std::vector<double> freqs(
+            static_cast<std::size_t>(system.config().cpu.numCores), f);
+        EvalResult eval = system.evaluate(threads, freqs);
+        if (eval.procHotspot <= proc_cap &&
+            eval.dramBottomHotspot <= dram_cap) {
+            out.feasible = true;
+            out.grantedGHz = f;
+            out.throttled = f < dvfs.floorFrequency(requested_ghz) - 1e-9;
+            out.eval = std::move(eval);
+            return out;
+        }
+    }
+    // Even the lowest table point violates a cap: report it anyway so
+    // the caller can see by how much.
+    out.grantedGHz = dvfs.minFrequency();
+    out.throttled = true;
+    return out;
+}
+
+DtmResult
+throttleToCaps(StackSystem &system, const workloads::Profile &profile,
+               double requested_ghz, double proc_cap, double dram_cap)
+{
+    return throttleToCaps(
+        system,
+        cpu::allCoresRunning(profile, system.config().cpu.numCores),
+        requested_ghz, proc_cap, dram_cap);
+}
+
+double
+jedecRefreshScale(double dram_temp_c)
+{
+    if (dram_temp_c <= 85.0)
+        return 1.0;
+    const int decades =
+        static_cast<int>(std::ceil((dram_temp_c - 85.0) / 10.0));
+    return std::pow(0.5, decades);
+}
+
+RefreshCoupledResult
+evaluateWithRefreshCoupling(StackSystem &system,
+                            const workloads::Profile &profile,
+                            double freq_ghz, int max_iterations)
+{
+    XYLEM_ASSERT(max_iterations >= 1, "need at least one iteration");
+    RefreshCoupledResult out;
+    double scale = 1.0;
+    for (int it = 0; it < max_iterations; ++it) {
+        system.setDramRefreshScale(scale);
+        out.eval = system.evaluate(profile, freq_ghz);
+        out.iterations = it + 1;
+        const double next = jedecRefreshScale(out.eval.dramBottomHotspot);
+        if (next == scale)
+            break;
+        scale = next;
+    }
+    out.refreshScale = scale;
+    // Leave the system at the nominal rate for subsequent callers.
+    system.setDramRefreshScale(1.0);
+    return out;
+}
+
+} // namespace xylem::core

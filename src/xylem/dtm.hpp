@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Dynamic Thermal Management: the paper's evaluation shows operating
+ * points above Tj,max and notes that "in a real machine, a DTM system
+ * would throttle frequencies to prevent excessive temperatures"
+ * (§7.2). This module provides that DTM: starting from a requested
+ * frequency, it steps down the DVFS table until both temperature caps
+ * are met.
+ *
+ * It also implements the DRAM refresh-temperature coupling of §7.5:
+ * JEDEC halves the refresh interval for every 10 °C above 85 °C, so a
+ * hot stack refreshes more, which costs bandwidth and energy — and in
+ * turn slightly changes the power. evaluateWithRefreshCoupling runs
+ * that loop to a fixed point.
+ */
+
+#ifndef XYLEM_XYLEM_DTM_HPP
+#define XYLEM_XYLEM_DTM_HPP
+
+#include <vector>
+
+#include "xylem/system.hpp"
+
+namespace xylem::core {
+
+/** Outcome of a DTM throttling decision. */
+struct DtmResult
+{
+    bool throttled = false;   ///< the request was reduced
+    bool feasible = false;    ///< caps met at some table frequency
+    double requestedGHz = 0.0;
+    double grantedGHz = 0.0;
+    EvalResult eval;          ///< at the granted frequency
+};
+
+/**
+ * Throttle a uniform-frequency request until both the processor and
+ * DRAM temperature caps hold. Scans downward through the DVFS table
+ * from `requested_ghz`; infeasible if even the lowest point violates
+ * a cap.
+ */
+DtmResult throttleToCaps(StackSystem &system,
+                         const std::vector<cpu::ThreadSpec> &threads,
+                         double requested_ghz, double proc_cap,
+                         double dram_cap);
+
+/** Convenience overload for a whole-chip workload. */
+DtmResult throttleToCaps(StackSystem &system,
+                         const workloads::Profile &profile,
+                         double requested_ghz, double proc_cap,
+                         double dram_cap);
+
+/** Outcome of the refresh-temperature fixed point. */
+struct RefreshCoupledResult
+{
+    EvalResult eval;          ///< converged evaluation
+    double refreshScale = 1.0;///< final tREFI scale (1, 0.5, 0.25, ...)
+    int iterations = 0;       ///< loop iterations used
+};
+
+/**
+ * JEDEC refresh scale for a DRAM temperature: 1.0 up to 85 °C, halved
+ * for every (started) 10 °C above it.
+ */
+double jedecRefreshScale(double dram_temp_c);
+
+/**
+ * Evaluate with the DRAM refresh rate coupled to the solved DRAM
+ * temperature (fixed point over the refresh scale; converges in a
+ * couple of iterations because the scale is quantised).
+ */
+RefreshCoupledResult
+evaluateWithRefreshCoupling(StackSystem &system,
+                            const workloads::Profile &profile,
+                            double freq_ghz, int max_iterations = 4);
+
+} // namespace xylem::core
+
+#endif // XYLEM_XYLEM_DTM_HPP

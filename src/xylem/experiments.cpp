@@ -1,0 +1,310 @@
+#include "xylem/experiments.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+
+namespace xylem::core {
+
+namespace {
+
+/** Build a system for `cfg` with the scheme replaced. */
+StackSystem
+makeSystem(const ExperimentConfig &cfg, stack::Scheme scheme)
+{
+    SystemConfig sys = cfg.base;
+    sys.stackSpec.scheme = scheme;
+    return StackSystem(std::move(sys));
+}
+
+std::vector<const workloads::Profile *>
+resolveApps(const ExperimentConfig &cfg)
+{
+    std::vector<const workloads::Profile *> apps;
+    for (const auto &name : cfg.apps)
+        apps.push_back(&workloads::profileByName(name));
+    XYLEM_ASSERT(!apps.empty(), "experiment needs at least one app");
+    return apps;
+}
+
+} // namespace
+
+ExperimentConfig
+ExperimentConfig::standard()
+{
+    ExperimentConfig cfg;
+    for (const auto &p : workloads::suite())
+        cfg.apps.push_back(p.name);
+    return cfg;
+}
+
+ExperimentConfig
+ExperimentConfig::small()
+{
+    ExperimentConfig cfg;
+    cfg.apps = {"LU(NAS)", "IS"};
+    cfg.frequencies = {2.4, 3.5};
+    cfg.base.stackSpec.gridNx = 40;
+    cfg.base.stackSpec.gridNy = 40;
+    cfg.base.stackSpec.numDramDies = 4;
+    cfg.base.cpu.instsPerThread = 60000;
+    cfg.base.solver.tolerance = 1e-7;
+    return cfg;
+}
+
+std::vector<TempSweepEntry>
+runTemperatureSweep(const ExperimentConfig &cfg,
+                    const std::vector<stack::Scheme> &schemes)
+{
+    const auto apps = resolveApps(cfg);
+    std::vector<TempSweepEntry> out;
+    for (stack::Scheme scheme : schemes) {
+        StackSystem system = makeSystem(cfg, scheme);
+        for (const auto *app : apps) {
+            for (double f : cfg.frequencies) {
+                EvalResult eval = system.evaluate(*app, f);
+                out.push_back({app->name, scheme, f, eval.procHotspot,
+                               eval.dramBottomHotspot, eval.procPowerTotal,
+                               eval.dramPowerTotal});
+            }
+        }
+    }
+    return out;
+}
+
+double
+meanTempReduction(const std::vector<TempSweepEntry> &sweep,
+                  stack::Scheme scheme, double freq)
+{
+    std::vector<double> deltas;
+    for (const auto &e : sweep) {
+        if (e.scheme != stack::Scheme::Base ||
+            std::abs(e.freqGHz - freq) > 1e-9) {
+            continue;
+        }
+        const auto &other = sweepEntry(sweep, e.app, scheme, freq);
+        deltas.push_back(e.procHotspotC - other.procHotspotC);
+    }
+    return mean(deltas);
+}
+
+const TempSweepEntry &
+sweepEntry(const std::vector<TempSweepEntry> &sweep, const std::string &app,
+           stack::Scheme scheme, double freq)
+{
+    for (const auto &e : sweep) {
+        if (e.app == app && e.scheme == scheme &&
+            std::abs(e.freqGHz - freq) < 1e-9) {
+            return e;
+        }
+    }
+    fatal("no sweep entry for ", app, "/", stack::toString(scheme), "/",
+          freq, " GHz");
+}
+
+std::vector<BoostEntry>
+runBoostExperiment(const ExperimentConfig &cfg,
+                   const std::vector<stack::Scheme> &schemes)
+{
+    const auto apps = resolveApps(cfg);
+    const double f0 = 2.4;
+
+    // Reference: the base scheme at 2.4 GHz.
+    struct Ref
+    {
+        double tempC;
+        double perf;
+        double powerW;
+        double energyJ;
+    };
+    std::vector<Ref> refs;
+    {
+        StackSystem base = makeSystem(cfg, stack::Scheme::Base);
+        for (const auto *app : apps) {
+            EvalResult eval = base.evaluate(*app, f0);
+            refs.push_back({eval.procHotspot, eval.performance(),
+                            eval.stackPowerTotal, eval.stackEnergy()});
+        }
+    }
+
+    std::vector<BoostEntry> out;
+    for (stack::Scheme scheme : schemes) {
+        StackSystem system = makeSystem(cfg, scheme);
+        for (std::size_t a = 0; a < apps.size(); ++a) {
+            const Ref &ref = refs[a];
+            // No DRAM cap here: the constraint of §7.3 is the
+            // reference processor temperature.
+            BoostResult boost = system.maxUniformFrequency(
+                *apps[a], ref.tempC + 1e-9, 1e9);
+            BoostEntry e;
+            e.app = apps[a]->name;
+            e.scheme = scheme;
+            e.refTempC = ref.tempC;
+            if (!boost.feasible) {
+                // Even 2.4 GHz exceeds the reference (should not
+                // happen for schemes that only improve conduction).
+                warn("boost infeasible for ", e.app, " under ",
+                     stack::toString(scheme));
+                e.freqGHz = f0;
+                e.freqGainMHz = 0.0;
+                e.perfGainPct = 0.0;
+                e.powerIncreasePct = 0.0;
+                e.energyChangePct = 0.0;
+            } else {
+                e.freqGHz = boost.freqGHz;
+                e.freqGainMHz = (boost.freqGHz - f0) * 1000.0;
+                e.perfGainPct =
+                    (boost.eval.performance() / ref.perf - 1.0) * 100.0;
+                e.powerIncreasePct =
+                    (boost.eval.stackPowerTotal / ref.powerW - 1.0) * 100.0;
+                e.energyChangePct =
+                    (boost.eval.stackEnergy() / ref.energyJ - 1.0) * 100.0;
+            }
+            out.push_back(e);
+        }
+    }
+    return out;
+}
+
+std::vector<PlacementEntry>
+runPlacementExperiment(const ExperimentConfig &cfg,
+                       const std::vector<stack::Scheme> &schemes,
+                       const std::string &compute_app,
+                       const std::string &memory_app)
+{
+    const auto &comp = workloads::profileByName(compute_app);
+    const auto &mem = workloads::profileByName(memory_app);
+
+    std::vector<PlacementEntry> out;
+    for (stack::Scheme scheme : schemes) {
+        StackSystem system = makeSystem(cfg, scheme);
+        const auto &die = system.builtStack().procDie;
+
+        auto assignment = [&](bool compute_inside) {
+            std::vector<cpu::ThreadSpec> threads;
+            for (int c : die.innerCores)
+                threads.push_back({compute_inside ? &comp : &mem, c});
+            for (int c : die.outerCores)
+                threads.push_back({compute_inside ? &mem : &comp, c});
+            return threads;
+        };
+
+        PlacementEntry e;
+        e.scheme = scheme;
+        const double cap = cfg.base.tjMaxProc;
+        const double dcap = cfg.base.tMaxDram;
+        BoostResult outside =
+            system.maxUniformFrequency(assignment(false), cap, dcap);
+        BoostResult inside =
+            system.maxUniformFrequency(assignment(true), cap, dcap);
+        e.outsideGHz = outside.feasible ? outside.freqGHz : 0.0;
+        e.insideGHz = inside.feasible ? inside.freqGHz : 0.0;
+        e.outsideHotspotC =
+            outside.feasible ? outside.eval.procHotspot : 0.0;
+        e.insideHotspotC = inside.feasible ? inside.eval.procHotspot : 0.0;
+        out.push_back(e);
+    }
+    return out;
+}
+
+std::vector<BoostingEntry>
+runFreqBoostingExperiment(const ExperimentConfig &cfg,
+                          const std::vector<stack::Scheme> &schemes)
+{
+    const auto apps = resolveApps(cfg);
+    std::vector<BoostingEntry> out;
+    for (stack::Scheme scheme : schemes) {
+        StackSystem system = makeSystem(cfg, scheme);
+        const auto &die = system.builtStack().procDie;
+        std::vector<double> singles, multis;
+        for (const auto *app : apps) {
+            const auto threads = cpu::allCoresRunning(
+                *app, system.config().cpu.numCores);
+            const double cap = cfg.base.tjMaxProc;
+            const double dcap = cfg.base.tMaxDram;
+            BoostResult single =
+                system.maxUniformFrequency(threads, cap, dcap);
+            if (!single.feasible) {
+                warn("no feasible frequency for ", app->name, " under ",
+                     stack::toString(scheme));
+                continue;
+            }
+            BoostResult multi = system.maxFrequencyOnCores(
+                threads, die.innerCores, single.freqGHz, cap, dcap);
+            singles.push_back(single.freqGHz);
+            multis.push_back(multi.feasible ? multi.freqGHz
+                                            : single.freqGHz);
+        }
+        out.push_back({scheme, mean(singles), mean(multis)});
+    }
+    return out;
+}
+
+std::vector<MigrationEntry>
+runMigrationExperiment(const ExperimentConfig &cfg,
+                       const std::vector<stack::Scheme> &schemes,
+                       const MigrationOptions &opts)
+{
+    const auto apps = resolveApps(cfg);
+    std::vector<MigrationEntry> out;
+    for (stack::Scheme scheme : schemes) {
+        StackSystem system = makeSystem(cfg, scheme);
+        const auto &die = system.builtStack().procDie;
+        std::vector<double> inner, outer;
+        for (const auto *app : apps) {
+            inner.push_back(
+                runMigration(system, *app, die.innerCores, opts)
+                    .avgHotspot);
+            outer.push_back(
+                runMigration(system, *app, die.outerCores, opts)
+                    .avgHotspot);
+        }
+        out.push_back({scheme, mean(outer), mean(inner)});
+    }
+    return out;
+}
+
+std::vector<SensitivityEntry>
+runThicknessSweep(const ExperimentConfig &cfg,
+                  const std::vector<double> &thicknesses_um,
+                  const std::vector<stack::Scheme> &schemes)
+{
+    const auto apps = resolveApps(cfg);
+    std::vector<SensitivityEntry> out;
+    for (double t_um : thicknesses_um) {
+        for (stack::Scheme scheme : schemes) {
+            ExperimentConfig mod = cfg;
+            mod.base.stackSpec.dieThickness = t_um * 1e-6;
+            StackSystem system = makeSystem(mod, scheme);
+            std::vector<double> temps;
+            for (const auto *app : apps)
+                temps.push_back(system.evaluate(*app, 2.4).procHotspot);
+            out.push_back({t_um, scheme, mean(temps)});
+        }
+    }
+    return out;
+}
+
+std::vector<SensitivityEntry>
+runDieCountSweep(const ExperimentConfig &cfg,
+                 const std::vector<int> &die_counts,
+                 const std::vector<stack::Scheme> &schemes)
+{
+    const auto apps = resolveApps(cfg);
+    std::vector<SensitivityEntry> out;
+    for (int dies : die_counts) {
+        for (stack::Scheme scheme : schemes) {
+            ExperimentConfig mod = cfg;
+            mod.base.stackSpec.numDramDies = dies;
+            StackSystem system = makeSystem(mod, scheme);
+            std::vector<double> temps;
+            for (const auto *app : apps)
+                temps.push_back(system.evaluate(*app, 2.4).procHotspot);
+            out.push_back({static_cast<double>(dies), scheme, mean(temps)});
+        }
+    }
+    return out;
+}
+
+} // namespace xylem::core

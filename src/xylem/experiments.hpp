@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The paper's experiments (§7), exposed as library functions so that
+ * the bench binaries and the integration tests share one
+ * implementation. Every function takes an ExperimentConfig, which the
+ * tests shrink (fewer apps, coarser grid, shorter simulations) and
+ * the benches run at full size.
+ */
+
+#ifndef XYLEM_XYLEM_EXPERIMENTS_HPP
+#define XYLEM_XYLEM_EXPERIMENTS_HPP
+
+#include <string>
+#include <vector>
+
+#include "xylem/migration.hpp"
+#include "xylem/system.hpp"
+
+namespace xylem::core {
+
+/** Shared experiment sizing. */
+struct ExperimentConfig
+{
+    SystemConfig base;                 ///< scheme is overridden per run
+    std::vector<std::string> apps;     ///< default: all 17
+    std::vector<double> frequencies = {2.4, 2.8, 3.2, 3.5};
+
+    /** The paper's default system with all 17 applications. */
+    static ExperimentConfig standard();
+
+    /** A shrunk configuration for fast tests. */
+    static ExperimentConfig small();
+};
+
+// ---------------------------------------------------------------
+// Fig. 7 / Fig. 13 / Fig. 14: steady-state temperature sweeps.
+// ---------------------------------------------------------------
+
+struct TempSweepEntry
+{
+    std::string app;
+    stack::Scheme scheme;
+    double freqGHz;
+    double procHotspotC;
+    double dramBottomHotspotC;
+    double procPowerW;
+    double dramPowerW;
+};
+
+/** Temperatures for every (app, scheme, frequency) combination. */
+std::vector<TempSweepEntry>
+runTemperatureSweep(const ExperimentConfig &cfg,
+                    const std::vector<stack::Scheme> &schemes);
+
+/** Mean Fig. 8 style reduction of `scheme` vs base at `freq`. */
+double meanTempReduction(const std::vector<TempSweepEntry> &sweep,
+                         stack::Scheme scheme, double freq);
+
+/** Look up one sweep entry (throws if absent). */
+const TempSweepEntry &sweepEntry(const std::vector<TempSweepEntry> &sweep,
+                                 const std::string &app,
+                                 stack::Scheme scheme, double freq);
+
+// ---------------------------------------------------------------
+// Fig. 9-12: iso-temperature frequency boosting.
+// ---------------------------------------------------------------
+
+struct BoostEntry
+{
+    std::string app;
+    stack::Scheme scheme;
+    double refTempC;       ///< base scheme hotspot at 2.4 GHz
+    double freqGHz;        ///< boosted frequency
+    double freqGainMHz;    ///< over the 2.4 GHz base
+    double perfGainPct;    ///< application speedup [%]
+    double powerIncreasePct; ///< stack power increase [%]
+    double energyChangePct;  ///< stack energy change [%]
+};
+
+/**
+ * For each app: reference temperature = base at 2.4 GHz; for each
+ * scheme, boost frequency until the reference is about to be
+ * exceeded (§7.3).
+ */
+std::vector<BoostEntry>
+runBoostExperiment(const ExperimentConfig &cfg,
+                   const std::vector<stack::Scheme> &schemes);
+
+// ---------------------------------------------------------------
+// Fig. 15: λ-aware thread placement.
+// ---------------------------------------------------------------
+
+struct PlacementEntry
+{
+    stack::Scheme scheme;
+    double outsideGHz; ///< compute threads on the outer cores
+    double insideGHz;  ///< compute threads on the inner cores
+    /**
+     * Processor hotspot at the highest feasible frequency. When both
+     * assignments saturate the DVFS table (not thermally limited),
+     * the placement advantage shows up as a cooler hotspot here.
+     */
+    double outsideHotspotC = 0.0;
+    double insideHotspotC = 0.0;
+};
+
+/**
+ * 4 compute-intensive + 4 memory-intensive threads; the max die-wide
+ * frequency under Tj,max for both assignments (§7.6.1).
+ */
+std::vector<PlacementEntry>
+runPlacementExperiment(const ExperimentConfig &cfg,
+                       const std::vector<stack::Scheme> &schemes,
+                       const std::string &compute_app = "LU(NAS)",
+                       const std::string &memory_app = "IS");
+
+// ---------------------------------------------------------------
+// Fig. 16: λ-aware frequency boosting.
+// ---------------------------------------------------------------
+
+struct BoostingEntry
+{
+    stack::Scheme scheme;
+    double singleGHz;   ///< max uniform frequency (avg over apps)
+    double multipleGHz; ///< inner cores boosted further (avg over apps)
+};
+
+std::vector<BoostingEntry>
+runFreqBoostingExperiment(const ExperimentConfig &cfg,
+                          const std::vector<stack::Scheme> &schemes);
+
+// ---------------------------------------------------------------
+// Fig. 17: λ-aware thread migration.
+// ---------------------------------------------------------------
+
+struct MigrationEntry
+{
+    stack::Scheme scheme;
+    double outerAvgHotspotC; ///< migrating among the outer cores
+    double innerAvgHotspotC; ///< migrating among the inner cores
+};
+
+std::vector<MigrationEntry>
+runMigrationExperiment(const ExperimentConfig &cfg,
+                       const std::vector<stack::Scheme> &schemes,
+                       const MigrationOptions &opts = {});
+
+// ---------------------------------------------------------------
+// Fig. 18 / Fig. 19: sensitivity studies.
+// ---------------------------------------------------------------
+
+struct SensitivityEntry
+{
+    double parameter; ///< die thickness [µm] or number of dies
+    stack::Scheme scheme;
+    double avgProcHotspotC; ///< averaged over the configured apps
+};
+
+/** Fig. 18: die thickness sweep at 2.4 GHz. */
+std::vector<SensitivityEntry>
+runThicknessSweep(const ExperimentConfig &cfg,
+                  const std::vector<double> &thicknesses_um,
+                  const std::vector<stack::Scheme> &schemes);
+
+/** Fig. 19: memory die count sweep at 2.4 GHz. */
+std::vector<SensitivityEntry>
+runDieCountSweep(const ExperimentConfig &cfg,
+                 const std::vector<int> &die_counts,
+                 const std::vector<stack::Scheme> &schemes);
+
+} // namespace xylem::core
+
+#endif // XYLEM_XYLEM_EXPERIMENTS_HPP

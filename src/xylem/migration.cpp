@@ -1,0 +1,77 @@
+#include "xylem/migration.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "xylem/sim_cache.hpp"
+
+namespace xylem::core {
+
+MigrationResult
+runMigration(StackSystem &system, const workloads::Profile &profile,
+             const std::vector<int> &core_set, const MigrationOptions &opts)
+{
+    XYLEM_ASSERT(static_cast<int>(core_set.size()) >= 2 * opts.numThreads,
+                 "migration needs at least two disjoint placements");
+    const auto &cfg = system.config();
+    const std::size_t n_cores = static_cast<std::size_t>(cfg.cpu.numCores);
+    std::vector<double> freqs(n_cores, opts.freqGHz);
+
+    // Two disjoint placements within the core set; the threads hop
+    // between them every period so each pair of cores cools while the
+    // other one works.
+    std::vector<std::vector<cpu::ThreadSpec>> placements(2);
+    for (int t = 0; t < opts.numThreads; ++t) {
+        placements[0].push_back({&profile, core_set[
+            static_cast<std::size_t>(t)]});
+        placements[1].push_back({&profile, core_set[
+            static_cast<std::size_t>(opts.numThreads + t)]});
+    }
+
+    // Per-placement power maps from the performance simulation.
+    std::vector<thermal::PowerMap> maps;
+    cpu::MulticoreConfig sim_cfg = cfg.cpu;
+    sim_cfg.coreFreqGHz = freqs;
+    for (const auto &threads : placements) {
+        const cpu::SimResult &sim = cachedSimulate(sim_cfg, threads);
+        maps.push_back(system.powerMapFor(sim, freqs));
+    }
+
+    // Placement-averaged map -> initial steady state.
+    thermal::PowerMap avg = maps[0];
+    for (std::size_t l = 0; l < avg.numLayers(); ++l) {
+        auto &data = avg.layer(static_cast<int>(l)).data();
+        const auto &other = maps[1].layer(static_cast<int>(l)).data();
+        for (std::size_t c = 0; c < data.size(); ++c)
+            data[c] = 0.5 * (data[c] + other[c]);
+    }
+    const auto &model = system.thermalModel();
+    thermal::TemperatureField field = model.solveSteady(avg);
+
+    const double dt = opts.periodSeconds /
+                      static_cast<double>(opts.stepsPerPhase);
+    const auto proc_layer =
+        static_cast<std::size_t>(system.builtStack().procMetal);
+
+    MigrationResult out;
+    double sum = 0.0;
+    int measured = 0;
+    for (int phase = 0; phase < opts.numPhases; ++phase) {
+        const thermal::PowerMap &map = maps[
+            static_cast<std::size_t>(phase % 2)];
+        for (int s = 0; s < opts.stepsPerPhase; ++s) {
+            field = model.stepTransient(field, map, dt);
+            const double hot = field.maxOfLayer(proc_layer);
+            out.trace.push_back(hot);
+            if (phase >= opts.warmupPhases) {
+                sum += hot;
+                out.maxHotspot = std::max(out.maxHotspot, hot);
+                ++measured;
+            }
+        }
+    }
+    out.avgHotspot = measured ? sum / measured : 0.0;
+    return out;
+}
+
+} // namespace xylem::core

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * λ-aware thread migration (§5.2.3 / Fig. 17): run a small number of
+ * threads at a fixed frequency, migrating them among a set of cores
+ * every period, and track the processor hotspot with the transient
+ * thermal solver.
+ */
+
+#ifndef XYLEM_XYLEM_MIGRATION_HPP
+#define XYLEM_XYLEM_MIGRATION_HPP
+
+#include <vector>
+
+#include "workloads/profile.hpp"
+#include "xylem/system.hpp"
+
+namespace xylem::core {
+
+/** Parameters of a migration run. */
+struct MigrationOptions
+{
+    double freqGHz = 2.8;         ///< fixed die-wide frequency
+    double periodSeconds = 0.030; ///< migration interval (§7.6.3: 30 ms)
+    int numThreads = 2;           ///< threads being migrated
+    int numPhases = 8;            ///< simulated migration phases
+    int stepsPerPhase = 6;        ///< transient steps per phase
+    int warmupPhases = 2;         ///< phases excluded from statistics
+};
+
+/** Outcome of a migration run. */
+struct MigrationResult
+{
+    double avgHotspot = 0.0; ///< time-averaged proc hotspot [°C]
+    double maxHotspot = 0.0; ///< peak proc hotspot [°C]
+    std::vector<double> trace; ///< hotspot after every transient step
+};
+
+/**
+ * Migrate `opts.numThreads` threads of `profile` among `core_set`
+ * (two disjoint placements alternating every period). The transient
+ * state starts from the steady state of the placement-averaged power,
+ * mirroring a long-running system.
+ */
+MigrationResult runMigration(StackSystem &system,
+                             const workloads::Profile &profile,
+                             const std::vector<int> &core_set,
+                             const MigrationOptions &opts);
+
+} // namespace xylem::core
+
+#endif // XYLEM_XYLEM_MIGRATION_HPP

@@ -1,0 +1,116 @@
+#include "xylem/painter.hpp"
+
+#include <string>
+
+#include "common/logging.hpp"
+
+namespace xylem::core {
+
+using floorplan::UnitKind;
+
+void
+paintProcessorPower(thermal::PowerMap &map, const stack::BuiltStack &stk,
+                    const power::ProcPower &power)
+{
+    const int layer = stk.procMetal;
+    const auto &plan = stk.procDie.plan;
+    const std::size_t n = power.coreDynamic.size();
+    XYLEM_ASSERT(n == stk.procDie.cores.size(),
+                 "power breakdown does not match the floorplan");
+
+    for (std::size_t c = 0; c < n; ++c) {
+        const std::string prefix = "C" + std::to_string(c + 1) + ".";
+        const auto &d = power.coreDynamic[c];
+        const auto unit_watts = [&](UnitKind kind) {
+            switch (kind) {
+              case UnitKind::Fetch: return d.fetch;
+              case UnitKind::BPred: return d.bpred;
+              case UnitKind::Decode: return d.decode;
+              case UnitKind::IssueQueue: return d.iq;
+              case UnitKind::Rob: return d.rob;
+              case UnitKind::IntRF: return d.irf;
+              case UnitKind::FpRF: return d.frf;
+              case UnitKind::IntAlu: return d.alu;
+              case UnitKind::Fpu: return d.fpu;
+              case UnitKind::Lsu: return d.lsu;
+              case UnitKind::L1I: return d.l1i;
+              case UnitKind::L1D: return d.l1d;
+              default: return 0.0;
+            }
+        };
+        for (const auto *block : plan.withPrefix(prefix)) {
+            const UnitKind kind = floorplan::unitKindFromBlockName(
+                block->name);
+            const double w = unit_watts(kind);
+            if (w > 0.0)
+                map.deposit(layer, block->rect, w);
+        }
+        // Clock network and leakage: area-proportional over the core.
+        const double spread = d.clock + power.coreLeakage[c];
+        if (spread > 0.0)
+            map.deposit(layer, stk.procDie.cores[c], spread);
+    }
+
+    for (std::size_t c = 0; c < n; ++c) {
+        const auto &block = plan.at("L2_" + std::to_string(c + 1));
+        map.deposit(layer, block.rect,
+                    power.l2Dynamic[c] + power.l2Leakage[c]);
+    }
+
+    // Coherence bus: split over the two bus wiring blocks by area.
+    const auto &bus0 = plan.at("BUS0");
+    const auto &bus1 = plan.at("BUS1");
+    const double bus_area = bus0.rect.area() + bus1.rect.area();
+    if (power.busDynamic > 0.0 && bus_area > 0.0) {
+        map.deposit(layer, bus0.rect,
+                    power.busDynamic * bus0.rect.area() / bus_area);
+        map.deposit(layer, bus1.rect,
+                    power.busDynamic * bus1.rect.area() / bus_area);
+    }
+
+    for (std::size_t m = 0; m < power.mcPower.size(); ++m) {
+        const auto &block = plan.at("MC" + std::to_string(m));
+        map.deposit(layer, block.rect, power.mcPower[m]);
+    }
+
+    // Uncore leakage: spread over the central band.
+    if (power.uncoreLeakage > 0.0)
+        map.deposit(layer, stk.procDie.centerBand, power.uncoreLeakage);
+}
+
+void
+paintDramPower(thermal::PowerMap &map, const stack::BuiltStack &stk,
+               const cpu::SimResult &sim, const dram::DramConfig &config)
+{
+    XYLEM_ASSERT(sim.seconds > 0.0, "simulation produced zero runtime");
+    const double inv_t = 1.0 / sim.seconds;
+    const auto &e = config.energy;
+    const int sim_dies = static_cast<int>(sim.dram.dies.size());
+    XYLEM_ASSERT(sim_dies == stk.spec.numDramDies,
+                 "DRAM geometry mismatch: simulated ", sim_dies,
+                 " dies, stack has ", stk.spec.numDramDies);
+
+    const double refresh_watts =
+        static_cast<double>(sim.dram.refreshOps) * e.refreshPerOp * inv_t;
+    const double per_die_spread =
+        e.backgroundPerDie +
+        refresh_watts / static_cast<double>(sim_dies);
+
+    for (int d = 0; d < sim_dies; ++d) {
+        const int layer = stk.dramMetal[static_cast<std::size_t>(d)];
+        const auto &die_stats = sim.dram.dies[static_cast<std::size_t>(d)];
+        for (std::size_t b = 0; b < die_stats.banks.size(); ++b) {
+            const auto &bs = die_stats.banks[b];
+            const double joules =
+                static_cast<double>(bs.activates) * e.actPre +
+                static_cast<double>(bs.reads) * e.read +
+                static_cast<double>(bs.writes) * e.write;
+            if (joules > 0.0)
+                map.deposit(layer, stk.dramDie.banks[b], joules * inv_t);
+        }
+        // Background + refresh: uniform over the die.
+        map.deposit(layer, stk.dramDie.plan.extent(), per_die_spread);
+    }
+}
+
+} // namespace xylem::core

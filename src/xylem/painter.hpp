@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Painting of simulated power onto the thermal power maps:
+ * the processor-die breakdown goes to the architectural blocks of the
+ * Fig. 6 floorplan (proc metal layer), and the DRAM activity goes to
+ * the banks of each slice (DRAM metal layers).
+ */
+
+#ifndef XYLEM_XYLEM_PAINTER_HPP
+#define XYLEM_XYLEM_PAINTER_HPP
+
+#include "cpu/activity.hpp"
+#include "power/mcpat_lite.hpp"
+#include "stack/stack.hpp"
+#include "thermal/power_map.hpp"
+
+namespace xylem::core {
+
+/**
+ * Deposit the processor-die power into the proc metal layer.
+ *
+ * Unit dynamic power lands on the unit's block; clock and leakage are
+ * spread over the whole core (area-proportional); L2 slices, bus, MCs
+ * and uncore leakage land on their blocks.
+ */
+void paintProcessorPower(thermal::PowerMap &map,
+                         const stack::BuiltStack &stk,
+                         const power::ProcPower &power);
+
+/**
+ * Deposit the DRAM power into the DRAM metal layers: per-bank dynamic
+ * energy onto the bank rectangles of the owning die, refresh and
+ * background power spread over each die.
+ */
+void paintDramPower(thermal::PowerMap &map, const stack::BuiltStack &stk,
+                    const cpu::SimResult &sim,
+                    const dram::DramConfig &config);
+
+} // namespace xylem::core
+
+#endif // XYLEM_XYLEM_PAINTER_HPP

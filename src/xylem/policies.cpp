@@ -1,0 +1,114 @@
+#include "xylem/policies.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hpp"
+
+namespace xylem::core {
+
+std::vector<double>
+coreConductivityScores(const stack::BuiltStack &stk)
+{
+    const std::size_t n = stk.procDie.cores.size();
+    std::vector<double> scores(n, 0.0);
+    if (stk.ttsvSites.empty() ||
+        !stack::schemeShortsBumps(stk.spec.scheme)) {
+        return scores; // no vertical heterogeneity to exploit
+    }
+
+    double best = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+        const auto &fpu = stk.procDie.plan.at(
+            "C" + std::to_string(c + 1) + ".FPU");
+        const geometry::Point hot = fpu.rect.center();
+        double score = 0.0;
+        for (const auto &site : stk.ttsvSites) {
+            // Inverse-distance kernel with a floor of one cell so a
+            // pillar directly under the hotspot doesn't dominate
+            // everything.
+            const double d =
+                std::max(geometry::distance(hot, site),
+                         stk.grid.cellWidth());
+            score += 1.0 / d;
+        }
+        scores[c] = score;
+        best = std::max(best, score);
+    }
+    if (best > 0.0) {
+        for (double &s : scores)
+            s /= best;
+    }
+    return scores;
+}
+
+std::vector<int>
+coresByConductivity(const stack::BuiltStack &stk)
+{
+    const std::vector<double> scores = coreConductivityScores(stk);
+    std::vector<int> order(scores.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return scores[static_cast<std::size_t>(a)] >
+               scores[static_cast<std::size_t>(b)];
+    });
+    return order;
+}
+
+double
+thermalDemand(const workloads::Profile &profile)
+{
+    // Issue rate times a mix weight: FPU work burns the most, memory
+    // stalls burn the least. The absolute scale is irrelevant — only
+    // the ordering matters for placement.
+    const double mix_weight = 1.0 + 2.0 * profile.fracFpu +
+                              0.5 * profile.fracAlu() -
+                              3.0 * profile.probCold;
+    return profile.issueEfficiency * mix_weight;
+}
+
+std::vector<cpu::ThreadSpec>
+lambdaAwarePlacement(const stack::BuiltStack &stk,
+                     const std::vector<const workloads::Profile *>
+                         &threads)
+{
+    XYLEM_ASSERT(threads.size() <= stk.procDie.cores.size(),
+                 "more threads than cores");
+    for (const auto *t : threads)
+        XYLEM_ASSERT(t != nullptr, "null profile in placement request");
+
+    // Hottest thread first...
+    std::vector<std::size_t> by_demand(threads.size());
+    std::iota(by_demand.begin(), by_demand.end(), 0);
+    std::stable_sort(by_demand.begin(), by_demand.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return thermalDemand(*threads[a]) >
+                                thermalDemand(*threads[b]);
+                     });
+    // ...onto the best-cooled core.
+    const std::vector<int> cores = coresByConductivity(stk);
+    std::vector<cpu::ThreadSpec> placement(threads.size());
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+        const std::size_t t = by_demand[i];
+        placement[t] = {threads[t], cores[i]};
+    }
+    return placement;
+}
+
+std::vector<int>
+lambdaAwareBoostSet(const stack::BuiltStack &stk, int count)
+{
+    XYLEM_ASSERT(count >= 0 &&
+                     count <= static_cast<int>(stk.procDie.cores.size()),
+                 "invalid boost-set size");
+    const std::vector<int> order = coresByConductivity(stk);
+    return std::vector<int>(order.begin(), order.begin() + count);
+}
+
+std::vector<int>
+lambdaAwareMigrationSet(const stack::BuiltStack &stk, int count)
+{
+    return lambdaAwareBoostSet(stk, count);
+}
+
+} // namespace xylem::core

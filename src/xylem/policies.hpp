@@ -1,0 +1,73 @@
+/**
+ * @file
+ * λ-aware scheduling policies (§5.2): score every core by its
+ * proximity to the high-vertical-conductivity (aligned-and-shorted
+ * µbump-TTSV) sites, and use the score to place the most thermally
+ * demanding threads on the best-cooled cores, pick boost candidates,
+ * and pick migration sets.
+ *
+ * Unlike past thermal-aware scheduling, which treats all cores as
+ * thermally homogeneous, these policies exploit the conductivity
+ * heterogeneity that Xylem's pillars create (§5.2 last paragraph).
+ */
+
+#ifndef XYLEM_XYLEM_POLICIES_HPP
+#define XYLEM_XYLEM_POLICIES_HPP
+
+#include <vector>
+
+#include "cpu/multicore.hpp"
+#include "stack/stack.hpp"
+#include "workloads/profile.hpp"
+
+namespace xylem::core {
+
+/**
+ * Per-core vertical-conductivity score: the summed inverse distance
+ * from the core's hottest block (FPU) to every TTSV pillar site,
+ * normalised so the best core scores 1. All-zero when the stack has
+ * no shorted pillars (base and prior schemes offer no heterogeneity
+ * worth exploiting).
+ */
+std::vector<double> coreConductivityScores(const stack::BuiltStack &stk);
+
+/**
+ * Rank of each core under the score (0 = best cooled). Ties broken
+ * by core index for determinism.
+ */
+std::vector<int> coresByConductivity(const stack::BuiltStack &stk);
+
+/**
+ * Heuristic thermal demand of a workload: how much heat a thread of
+ * this profile deposits per unit time (issue rate weighted by the
+ * power-hungry fraction of its instruction mix).
+ */
+double thermalDemand(const workloads::Profile &profile);
+
+/**
+ * λ-aware thread placement (§5.2.1): assign the most thermally
+ * demanding threads to the cores with the highest conductivity
+ * scores. Returns one ThreadSpec per input profile. With a base
+ * stack (no pillars) the placement degenerates to core order.
+ */
+std::vector<cpu::ThreadSpec>
+lambdaAwarePlacement(const stack::BuiltStack &stk,
+                     const std::vector<const workloads::Profile *>
+                         &threads);
+
+/**
+ * λ-aware boost candidates (§5.2.2): the `count` best-cooled cores.
+ */
+std::vector<int> lambdaAwareBoostSet(const stack::BuiltStack &stk,
+                                     int count);
+
+/**
+ * λ-aware migration set (§5.2.3): the `count` best-cooled cores to
+ * rotate threads over.
+ */
+std::vector<int> lambdaAwareMigrationSet(const stack::BuiltStack &stk,
+                                         int count);
+
+} // namespace xylem::core
+
+#endif // XYLEM_XYLEM_POLICIES_HPP

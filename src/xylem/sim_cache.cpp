@@ -1,0 +1,59 @@
+#include "xylem/sim_cache.hpp"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+namespace xylem::core {
+
+namespace {
+
+std::mutex g_mutex;
+std::map<std::string, cpu::SimResult> g_cache;
+
+/** Serialise everything the simulation result depends on. */
+std::string
+cacheKey(const cpu::MulticoreConfig &cfg,
+         const std::vector<cpu::ThreadSpec> &threads)
+{
+    std::ostringstream os;
+    os << cfg.numCores << '|' << cfg.issueWidth << '|'
+       << cfg.instsPerThread << '|' << cfg.warmupInsts << '|' << cfg.seed
+       << '|'
+       << cfg.l2Bytes << '|' << cfg.dram.geometry.numDies << '|'
+       << cfg.dram.refreshScale << '|';
+    for (double f : cfg.coreFreqGHz)
+        os << std::llround(f * 1000.0) << ',';
+    os << '|';
+    for (const auto &t : threads)
+        os << t.profile->name << '@' << t.core << ';';
+    return os.str();
+}
+
+} // namespace
+
+const cpu::SimResult &
+cachedSimulate(const cpu::MulticoreConfig &config,
+               const std::vector<cpu::ThreadSpec> &threads)
+{
+    const std::string key = cacheKey(config, threads);
+    {
+        std::lock_guard<std::mutex> lock(g_mutex);
+        auto it = g_cache.find(key);
+        if (it != g_cache.end())
+            return it->second;
+    }
+    cpu::SimResult result = cpu::simulate(config, threads);
+    std::lock_guard<std::mutex> lock(g_mutex);
+    return g_cache.emplace(key, std::move(result)).first->second;
+}
+
+void
+clearSimCache()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_cache.clear();
+}
+
+} // namespace xylem::core

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Process-wide memoisation of multicore simulation results.
+ *
+ * The performance simulation depends only on the architecture
+ * configuration, thread placement and frequencies — not on the TTSV
+ * scheme — so experiments that sweep schemes share one simulation per
+ * (workload, frequency, placement) tuple.
+ */
+
+#ifndef XYLEM_XYLEM_SIM_CACHE_HPP
+#define XYLEM_XYLEM_SIM_CACHE_HPP
+
+#include <vector>
+
+#include "cpu/multicore.hpp"
+
+namespace xylem::core {
+
+/**
+ * Run (or fetch a cached) simulation for the given configuration and
+ * threads. Thread-safe.
+ */
+const cpu::SimResult &cachedSimulate(const cpu::MulticoreConfig &config,
+                                     const std::vector<cpu::ThreadSpec>
+                                         &threads);
+
+/** Drop all cached results (mainly for tests). */
+void clearSimCache();
+
+} // namespace xylem::core
+
+#endif // XYLEM_XYLEM_SIM_CACHE_HPP

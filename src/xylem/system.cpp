@@ -1,0 +1,182 @@
+#include "xylem/system.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "xylem/painter.hpp"
+#include "xylem/sim_cache.hpp"
+
+namespace xylem::core {
+
+StackSystem::StackSystem(SystemConfig cfg)
+    : cfg_(std::move(cfg)),
+      stack_(stack::buildStack(cfg_.stackSpec)),
+      mcpat_(cfg_.energy, cfg_.leakage, power::DvfsTable::standard())
+{
+    // Keep the DRAM geometry of the performance model in sync with the
+    // physical stack.
+    cfg_.cpu.dram.geometry.numDies = cfg_.stackSpec.numDramDies;
+    if (static_cast<int>(cfg_.cpu.coreFreqGHz.size()) != cfg_.cpu.numCores)
+        cfg_.cpu.setUniformFrequency(2.4);
+    model_ = std::make_unique<thermal::GridModel>(stack_, cfg_.solver);
+}
+
+thermal::PowerMap
+StackSystem::powerMapFor(const cpu::SimResult &sim,
+                         const std::vector<double> &core_freq_ghz) const
+{
+    const power::ProcPower pp = mcpat_.procPower(sim, core_freq_ghz);
+    thermal::PowerMap map(stack_);
+    paintProcessorPower(map, stack_, pp);
+    paintDramPower(map, stack_, sim, cfg_.cpu.dram);
+    return map;
+}
+
+EvalResult
+StackSystem::evaluateAtFreqs(const std::vector<cpu::ThreadSpec> &threads,
+                             const std::vector<double> &freqs)
+{
+    XYLEM_ASSERT(static_cast<int>(freqs.size()) == cfg_.cpu.numCores,
+                 "one frequency per core required");
+    cpu::MulticoreConfig sim_cfg = cfg_.cpu;
+    sim_cfg.coreFreqGHz = freqs;
+
+    EvalResult out;
+    out.sim = cachedSimulate(sim_cfg, threads);
+    out.seconds = out.sim.seconds;
+    out.procPower = mcpat_.procPower(out.sim, freqs);
+    out.procPowerTotal = out.procPower.total();
+    out.dramPowerTotal = out.sim.dramAveragePowerW();
+    out.stackPowerTotal = out.procPowerTotal + out.dramPowerTotal;
+
+    thermal::PowerMap map(stack_);
+    paintProcessorPower(map, stack_, out.procPower);
+    paintDramPower(map, stack_, out.sim, cfg_.cpu.dram);
+
+    // Warm start: the temperature rise is linear in power, so scaling
+    // the previous field by the total-power ratio is a near-exact
+    // initial guess when sweeping frequency or similar workloads.
+    std::optional<thermal::TemperatureField> scaled;
+    if (last_ && last_power_ > 0.0) {
+        scaled = *last_;
+        const double ambient = cfg_.solver.ambientCelsius;
+        const double ratio = map.totalPower() / last_power_;
+        for (double &v : scaled->nodes())
+            v = ambient + (v - ambient) * ratio;
+    }
+    out.field = model_->solveSteady(map, nullptr,
+                                    scaled ? &scaled.value() : nullptr);
+    last_ = out.field;
+    last_power_ = map.totalPower();
+
+    const auto proc_layer = static_cast<std::size_t>(stack_.procMetal);
+    auto fill_temps = [&](EvalResult &r) {
+        r.procHotspot = r.field.maxOfLayer(proc_layer);
+        r.dramBottomHotspot = r.field.maxOfLayer(
+            static_cast<std::size_t>(stack_.dramMetal.front()));
+        r.coreHotspot.clear();
+        for (const auto &core_rect : stack_.procDie.cores) {
+            r.coreHotspot.push_back(r.field.maxInRect(
+                proc_layer, core_rect, stack_.grid.extent()));
+        }
+    };
+    fill_temps(out);
+
+    // Optional electrothermal feedback: leakage depends on the solved
+    // temperatures, which depend on leakage (§ hot-leakage loop).
+    for (int it = 0; it < cfg_.electroThermalIterations; ++it) {
+        const double prev_hotspot = out.procHotspot;
+        out.procPower = mcpat_.procPower(out.sim, freqs,
+                                         &out.coreHotspot);
+        out.procPowerTotal = out.procPower.total();
+        out.stackPowerTotal = out.procPowerTotal + out.dramPowerTotal;
+        thermal::PowerMap fb_map(stack_);
+        paintProcessorPower(fb_map, stack_, out.procPower);
+        paintDramPower(fb_map, stack_, out.sim, cfg_.cpu.dram);
+        out.field = model_->solveSteady(fb_map, nullptr, &out.field);
+        last_ = out.field;
+        last_power_ = fb_map.totalPower();
+        fill_temps(out);
+        if (std::abs(out.procHotspot - prev_hotspot) < 0.05)
+            break;
+    }
+    return out;
+}
+
+EvalResult
+StackSystem::evaluate(const std::vector<cpu::ThreadSpec> &threads,
+                      const std::vector<double> &core_freq_ghz)
+{
+    return evaluateAtFreqs(threads, core_freq_ghz);
+}
+
+EvalResult
+StackSystem::evaluate(const workloads::Profile &profile, double freq_ghz)
+{
+    std::vector<double> freqs(static_cast<std::size_t>(cfg_.cpu.numCores),
+                              freq_ghz);
+    return evaluateAtFreqs(cpu::allCoresRunning(profile, cfg_.cpu.numCores),
+                           freqs);
+}
+
+BoostResult
+StackSystem::maxUniformFrequency(const std::vector<cpu::ThreadSpec> &threads,
+                                 double proc_cap, double dram_cap)
+{
+    BoostResult best;
+    for (double f : mcpat_.dvfs().frequencies()) {
+        std::vector<double> freqs(
+            static_cast<std::size_t>(cfg_.cpu.numCores), f);
+        EvalResult eval = evaluateAtFreqs(threads, freqs);
+        if (eval.procHotspot <= proc_cap &&
+            eval.dramBottomHotspot <= dram_cap) {
+            best.feasible = true;
+            best.freqGHz = f;
+            best.eval = std::move(eval);
+        } else {
+            break; // temperature rises monotonically with frequency
+        }
+    }
+    return best;
+}
+
+BoostResult
+StackSystem::maxUniformFrequency(const workloads::Profile &profile,
+                                 double proc_cap, double dram_cap)
+{
+    return maxUniformFrequency(
+        cpu::allCoresRunning(profile, cfg_.cpu.numCores), proc_cap,
+        dram_cap);
+}
+
+BoostResult
+StackSystem::maxFrequencyOnCores(const std::vector<cpu::ThreadSpec> &threads,
+                                 const std::vector<int> &boost_cores,
+                                 double base_freq, double proc_cap,
+                                 double dram_cap)
+{
+    BoostResult best;
+    for (double f : mcpat_.dvfs().frequencies()) {
+        if (f < base_freq - 1e-9)
+            continue;
+        std::vector<double> freqs(
+            static_cast<std::size_t>(cfg_.cpu.numCores), base_freq);
+        for (int c : boost_cores) {
+            XYLEM_ASSERT(c >= 0 && c < cfg_.cpu.numCores,
+                         "boost core out of range");
+            freqs[static_cast<std::size_t>(c)] = f;
+        }
+        EvalResult eval = evaluateAtFreqs(threads, freqs);
+        if (eval.procHotspot <= proc_cap &&
+            eval.dramBottomHotspot <= dram_cap) {
+            best.feasible = true;
+            best.freqGHz = f;
+            best.eval = std::move(eval);
+        } else {
+            break;
+        }
+    }
+    return best;
+}
+
+} // namespace xylem::core

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The Xylem system façade: one object per stack configuration
+ * (scheme, die thickness, number of DRAM dies) that runs the full
+ * pipeline — multicore simulation → McPAT-lite power → power-map
+ * painting → thermal solve — and implements the thermal/performance
+ * trade-off of §5: frequency boosting at iso-temperature, plus the
+ * per-core-set boosting used by the λ-aware techniques.
+ */
+
+#ifndef XYLEM_XYLEM_SYSTEM_HPP
+#define XYLEM_XYLEM_SYSTEM_HPP
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "cpu/multicore.hpp"
+#include "power/mcpat_lite.hpp"
+#include "stack/stack.hpp"
+#include "thermal/grid_model.hpp"
+
+namespace xylem::core {
+
+/** Configuration of a whole Xylem system. */
+struct SystemConfig
+{
+    stack::StackSpec stackSpec;
+    thermal::SolverOptions solver;
+    cpu::MulticoreConfig cpu;
+    power::EnergyParams energy;
+    power::LeakageParams leakage;
+
+    double tjMaxProc = 100.0;  ///< processor junction limit [°C] (§6.2)
+    double tMaxDram = 95.0;    ///< JEDEC extended-range DRAM limit [°C]
+
+    /**
+     * Electrothermal feedback: number of leakage/temperature
+     * fixed-point iterations per evaluation (0 = single pass, the
+     * default). Only meaningful when
+     * leakage.tempCoefficient != 0 — then leakage is re-evaluated at
+     * the solved per-core temperatures until the hotspot converges.
+     */
+    int electroThermalIterations = 0;
+};
+
+/** Result of one full pipeline evaluation. */
+struct EvalResult
+{
+    cpu::SimResult sim;
+    power::ProcPower procPower;
+    double procPowerTotal = 0.0;   ///< processor die [W]
+    double dramPowerTotal = 0.0;   ///< DRAM stack [W]
+    double stackPowerTotal = 0.0;  ///< both [W]
+    double procHotspot = 0.0;      ///< hottest processor-die cell [°C]
+    double dramBottomHotspot = 0.0;///< hottest cell of the bottom DRAM die
+    std::vector<double> coreHotspot; ///< per-core hotspot [°C]
+    double seconds = 0.0;          ///< simulated runtime
+    thermal::TemperatureField field{1, 1, 1, 0, 0.0};
+
+    /** Performance = work per second (1/runtime for a fixed budget). */
+    double performance() const { return seconds > 0 ? 1.0 / seconds : 0.0; }
+    /** Stack energy over the run [J]. */
+    double stackEnergy() const { return stackPowerTotal * seconds; }
+};
+
+/** A frequency-boost outcome. */
+struct BoostResult
+{
+    bool feasible = false;
+    double freqGHz = 0.0;
+    EvalResult eval;
+};
+
+/**
+ * A built Xylem system (stack + thermal model + power model).
+ *
+ * Evaluations reuse the previous temperature field as a CG warm
+ * start, so sweeping frequencies or applications on one system is
+ * much cheaper than the first solve.
+ */
+class StackSystem
+{
+  public:
+    explicit StackSystem(SystemConfig cfg);
+
+    const SystemConfig &config() const { return cfg_; }
+    const stack::BuiltStack &builtStack() const { return stack_; }
+    const thermal::GridModel &thermalModel() const { return *model_; }
+    const power::McPatLite &powerModel() const { return mcpat_; }
+
+    /** Evaluate with explicit threads and per-core frequencies. */
+    EvalResult evaluate(const std::vector<cpu::ThreadSpec> &threads,
+                        const std::vector<double> &core_freq_ghz);
+
+    /** Evaluate `profile` on all cores at a uniform frequency. */
+    EvalResult evaluate(const workloads::Profile &profile, double freq_ghz);
+
+    /**
+     * Build the power map for a finished simulation (exposed for the
+     * transient migration experiments, which drive the solver
+     * directly).
+     */
+    thermal::PowerMap
+    powerMapFor(const cpu::SimResult &sim,
+                const std::vector<double> &core_freq_ghz) const;
+
+    /**
+     * Largest DVFS frequency whose steady state respects both
+     * temperature caps (§5.1). Scans upward from the lowest
+     * operating point; infeasible if even that violates a cap.
+     */
+    BoostResult maxUniformFrequency(
+        const std::vector<cpu::ThreadSpec> &threads, double proc_cap,
+        double dram_cap);
+
+    /** Convenience: all-core workload. */
+    BoostResult maxUniformFrequency(const workloads::Profile &profile,
+                                    double proc_cap, double dram_cap);
+
+    /**
+     * λ-aware boosting (§5.2.2): hold every core at `base_freq` and
+     * raise only `boost_cores` until a cap is reached. Returns the
+     * boosted cores' frequency.
+     */
+    BoostResult maxFrequencyOnCores(
+        const std::vector<cpu::ThreadSpec> &threads,
+        const std::vector<int> &boost_cores, double base_freq,
+        double proc_cap, double dram_cap);
+
+    /**
+     * Set the DRAM refresh-interval scale (1 = nominal 85 °C rate,
+     * 0.5 = doubled refresh, ...). Used by the refresh-temperature
+     * coupling loop; affects subsequent evaluations.
+     */
+    void
+    setDramRefreshScale(double scale)
+    {
+        XYLEM_ASSERT(scale > 0.0, "refresh scale must be positive");
+        cfg_.cpu.dram.refreshScale = scale;
+    }
+
+    /** Forget the warm-start field (after changing workload family). */
+    void
+    clearWarmStart()
+    {
+        last_.reset();
+        last_power_ = 0.0;
+    }
+
+  private:
+    EvalResult evaluateAtFreqs(const std::vector<cpu::ThreadSpec> &threads,
+                               const std::vector<double> &freqs);
+
+    SystemConfig cfg_;
+    stack::BuiltStack stack_;
+    std::unique_ptr<thermal::GridModel> model_;
+    power::McPatLite mcpat_;
+    std::optional<thermal::TemperatureField> last_;
+    double last_power_ = 0.0;
+};
+
+} // namespace xylem::core
+
+#endif // XYLEM_XYLEM_SYSTEM_HPP

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Unit tests for the common module: logging/error handling, the
+ * deterministic RNG, statistics helpers and the table printer.
+ */
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace xylem {
+namespace {
+
+// ---------------------------------------------------------------------
+// units
+// ---------------------------------------------------------------------
+
+TEST(Units, LengthRatios)
+{
+    EXPECT_DOUBLE_EQ(units::mm, 1e-3 * units::m);
+    EXPECT_DOUBLE_EQ(units::um, 1e-3 * units::mm);
+    EXPECT_DOUBLE_EQ(units::cm, 10.0 * units::mm);
+    EXPECT_DOUBLE_EQ(units::mm2, units::mm * units::mm);
+}
+
+TEST(Units, TimeAndFrequency)
+{
+    EXPECT_DOUBLE_EQ(units::GHz * units::ns, 1.0);
+    EXPECT_DOUBLE_EQ(units::MHz, 1e6);
+    EXPECT_DOUBLE_EQ(units::ms, 1e-3);
+}
+
+TEST(Units, PaperResistanceConvention)
+{
+    // 13.33 mm^2K/W in SI is 1.333e-5 m^2K/W.
+    EXPECT_NEAR(13.33 * units::mm2KperW, 1.333e-5, 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// logging
+// ---------------------------------------------------------------------
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config value ", 42), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("invariant broken"), PanicError);
+}
+
+TEST(Logging, FatalMessageContainsArguments)
+{
+    try {
+        fatal("x=", 3, " y=", 4.5);
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("x=3 y=4.5"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(XYLEM_ASSERT(1 + 1 == 2));
+}
+
+TEST(Logging, AssertThrowsOnFalseWithLocation)
+{
+    try {
+        XYLEM_ASSERT(false, "extra context");
+        FAIL() << "assert did not throw";
+    } catch (const PanicError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("false"), std::string::npos);
+        EXPECT_NE(what.find("extra context"), std::string::npos);
+        EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+    }
+}
+
+TEST(Logging, VerboseToggle)
+{
+    setVerbose(true);
+    EXPECT_TRUE(verbose());
+    setVerbose(false);
+    EXPECT_FALSE(verbose());
+}
+
+// ---------------------------------------------------------------------
+// rng
+// ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsCentered)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, BelowStaysBelow)
+{
+    Rng rng(13);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowRejectsZero)
+{
+    Rng rng(13);
+    EXPECT_THROW(rng.below(0), PanicError);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ChanceZeroAndOne)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(23);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GeometricMeanMatchesDistribution)
+{
+    Rng rng(29);
+    const double p = 0.25;
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(p));
+    // Mean of geometric (counting failures) is (1-p)/p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, GeometricWithPOneIsZero)
+{
+    Rng rng(31);
+    EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, GeometricRejectsBadP)
+{
+    Rng rng(31);
+    EXPECT_THROW(rng.geometric(0.0), PanicError);
+    EXPECT_THROW(rng.geometric(1.5), PanicError);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent)
+{
+    Rng parent(41);
+    Rng child1 = parent.fork();
+    Rng child2 = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (child1() == child2());
+    EXPECT_LT(same, 3);
+}
+
+// ---------------------------------------------------------------------
+// stats
+// ---------------------------------------------------------------------
+
+TEST(Stats, MeanOfEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, MeanBasic)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Stats, GeomeanBasic)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive)
+{
+    EXPECT_THROW(geomean({1.0, 0.0}), PanicError);
+    EXPECT_THROW(geomean({-1.0}), PanicError);
+}
+
+TEST(Stats, MinMax)
+{
+    EXPECT_DOUBLE_EQ(maxOf({3.0, -1.0, 7.0}), 7.0);
+    EXPECT_DOUBLE_EQ(minOf({3.0, -1.0, 7.0}), -1.0);
+    EXPECT_THROW(maxOf({}), PanicError);
+    EXPECT_THROW(minOf({}), PanicError);
+}
+
+TEST(Stats, StddevBasic)
+{
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+    EXPECT_NEAR(stddev({2.0, 4.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, AccumulatorTracksMinMaxMean)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    acc.add(2.0);
+    acc.add(6.0);
+    acc.add(-2.0);
+    EXPECT_EQ(acc.count(), 3u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.min(), -2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 6.0);
+    EXPECT_DOUBLE_EQ(acc.sum(), 6.0);
+}
+
+TEST(Stats, AccumulatorEmptyMinMaxThrows)
+{
+    Accumulator acc;
+    EXPECT_THROW(acc.min(), PanicError);
+    EXPECT_THROW(acc.max(), PanicError);
+}
+
+// ---------------------------------------------------------------------
+// table
+// ---------------------------------------------------------------------
+
+TEST(Table, RejectsEmptyHeaders)
+{
+    EXPECT_THROW(Table({}), PanicError);
+}
+
+TEST(Table, RejectsMismatchedRow)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"1"}), PanicError);
+}
+
+TEST(Table, PrintsAlignedColumns)
+{
+    Table t({"name", "v"});
+    t.addRow({"longer-name", "1"});
+    t.addRow({"x", "23"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("longer-name"), std::string::npos);
+    EXPECT_NE(s.find("---"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumFormatsDecimals)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::num(-1.005, 1), "-1.0");
+}
+
+} // namespace
+} // namespace xylem

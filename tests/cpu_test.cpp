@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Tests for the multicore performance model: the cache (LRU, MESI
+ * state bookkeeping) and the simulator (IPC behaviour, coherence
+ * traffic, frequency effects, determinism).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "cpu/cache.hpp"
+#include "cpu/multicore.hpp"
+#include "workloads/profile.hpp"
+
+namespace xylem::cpu {
+namespace {
+
+// ---------------------------------------------------------------------
+// Cache
+// ---------------------------------------------------------------------
+
+TEST(Cache, GeometryValidation)
+{
+    EXPECT_NO_THROW(Cache(32u << 10, 2, 64));
+    EXPECT_THROW(Cache(1000, 2, 64), PanicError);   // not a power of 2
+    EXPECT_THROW(Cache(32u << 10, 0, 64), PanicError);
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(1024, 2, 64);
+    EXPECT_EQ(c.access(0x100), Mesi::Invalid);
+    c.fill(0x100, Mesi::Exclusive);
+    EXPECT_EQ(c.access(0x100), Mesi::Exclusive);
+    EXPECT_EQ(c.residentLines(), 1u);
+}
+
+TEST(Cache, SameLineDifferentOffsets)
+{
+    Cache c(1024, 2, 64);
+    c.fill(0x100, Mesi::Shared);
+    EXPECT_EQ(c.access(0x13F), Mesi::Shared); // same 64 B line
+    EXPECT_EQ(c.access(0x140), Mesi::Invalid);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, 64 B lines, 2 sets (256 B): lines 0x000, 0x080, 0x100...
+    Cache c(256, 2, 64);
+    c.fill(0x000, Mesi::Exclusive); // set 0
+    c.fill(0x080, Mesi::Exclusive); // set 0 (line 2 -> set 0 of 2)
+    c.access(0x000);                // make 0x080 the LRU line
+    const Cache::Eviction ev = c.fill(0x100, Mesi::Exclusive); // set 0
+    EXPECT_TRUE(ev.valid);
+    EXPECT_EQ(ev.addr, 0x080u);
+    EXPECT_EQ(c.access(0x000), Mesi::Exclusive); // survived
+    EXPECT_EQ(c.access(0x080), Mesi::Invalid);   // evicted
+}
+
+TEST(Cache, EvictionReportsDirtyState)
+{
+    Cache c(128, 1, 64); // direct-mapped, 2 sets
+    c.fill(0x000, Mesi::Modified);
+    const Cache::Eviction ev = c.fill(0x080, Mesi::Exclusive);
+    EXPECT_TRUE(ev.valid);
+    EXPECT_EQ(ev.state, Mesi::Modified);
+    EXPECT_EQ(ev.addr, 0x000u);
+}
+
+TEST(Cache, FillOfResidentLineUpdatesState)
+{
+    Cache c(1024, 2, 64);
+    c.fill(0x100, Mesi::Shared);
+    const Cache::Eviction ev = c.fill(0x100, Mesi::Modified);
+    EXPECT_FALSE(ev.valid);
+    EXPECT_EQ(c.access(0x100), Mesi::Modified);
+    EXPECT_EQ(c.residentLines(), 1u);
+}
+
+TEST(Cache, ProbeDoesNotTouchLru)
+{
+    Cache c(256, 2, 64);
+    c.fill(0x000, Mesi::Exclusive);
+    c.fill(0x080, Mesi::Exclusive);
+    c.probe(0x000); // must NOT refresh 0x000
+    const Cache::Eviction ev = c.fill(0x100, Mesi::Exclusive);
+    EXPECT_EQ(ev.addr, 0x000u); // still LRU despite the probe
+}
+
+TEST(Cache, SetStateAndInvalidate)
+{
+    Cache c(1024, 2, 64);
+    c.fill(0x100, Mesi::Exclusive);
+    c.setState(0x100, Mesi::Shared);
+    EXPECT_EQ(c.probe(0x100), Mesi::Shared);
+    c.invalidate(0x100);
+    EXPECT_EQ(c.probe(0x100), Mesi::Invalid);
+    EXPECT_EQ(c.residentLines(), 0u);
+    // No-ops on absent lines.
+    EXPECT_NO_THROW(c.setState(0x9999, Mesi::Modified));
+    EXPECT_NO_THROW(c.invalidate(0x9999));
+}
+
+TEST(Cache, FillRejectsInvalidState)
+{
+    Cache c(1024, 2, 64);
+    EXPECT_THROW(c.fill(0x100, Mesi::Invalid), PanicError);
+}
+
+// ---------------------------------------------------------------------
+// Multicore simulation
+// ---------------------------------------------------------------------
+
+MulticoreConfig
+fastConfig()
+{
+    MulticoreConfig cfg;
+    cfg.instsPerThread = 60000;
+    // Short measured runs need a full warm-up or cold misses dominate.
+    cfg.warmupInsts = 250000;
+    return cfg;
+}
+
+TEST(Simulate, ComputeBoundRunsNearItsIssueCeiling)
+{
+    const auto &app = workloads::profileByName("LU(NAS)");
+    const SimResult r = simulate(fastConfig(), allCoresRunning(app));
+    const double ceiling = 4.0 * app.issueEfficiency;
+    for (const auto &c : r.cores) {
+        EXPECT_GT(c.ipc(), 0.5 * ceiling);
+        EXPECT_LE(c.ipc(), ceiling + 1e-9);
+    }
+}
+
+TEST(Simulate, MemoryBoundIsFarBelowItsCeiling)
+{
+    const auto &app = workloads::profileByName("IS");
+    const SimResult r = simulate(fastConfig(), allCoresRunning(app));
+    const double ceiling = 4.0 * app.issueEfficiency;
+    EXPECT_LT(r.cores[0].ipc(), 0.4 * ceiling);
+    EXPECT_GT(r.cores[0].dramAccesses, 500u);
+}
+
+TEST(Simulate, DeterministicForSameSeed)
+{
+    const auto &app = workloads::profileByName("FFT");
+    const SimResult a = simulate(fastConfig(), allCoresRunning(app));
+    const SimResult b = simulate(fastConfig(), allCoresRunning(app));
+    EXPECT_EQ(a.totalInsts(), b.totalInsts());
+    EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.busTransactions, b.busTransactions);
+}
+
+TEST(Simulate, SeedChangesTheDetails)
+{
+    const auto &app = workloads::profileByName("FFT");
+    MulticoreConfig cfg = fastConfig();
+    const SimResult a = simulate(cfg, allCoresRunning(app));
+    cfg.seed = 999;
+    const SimResult b = simulate(cfg, allCoresRunning(app));
+    EXPECT_NE(a.busTransactions, b.busTransactions);
+}
+
+TEST(Simulate, InstructionBudgetIsExact)
+{
+    const auto &app = workloads::profileByName("Barnes");
+    MulticoreConfig cfg = fastConfig();
+    const SimResult r = simulate(cfg, allCoresRunning(app));
+    for (const auto &c : r.cores)
+        EXPECT_EQ(c.insts, cfg.instsPerThread);
+}
+
+TEST(Simulate, HigherFrequencyRunsFaster)
+{
+    const auto &app = workloads::profileByName("LU(NAS)");
+    MulticoreConfig cfg = fastConfig();
+    cfg.setUniformFrequency(2.4);
+    const SimResult slow = simulate(cfg, allCoresRunning(app));
+    cfg.setUniformFrequency(3.5);
+    const SimResult fast = simulate(cfg, allCoresRunning(app));
+    EXPECT_LT(fast.seconds, slow.seconds);
+    // Compute-bound: most of the frequency increase turns into
+    // speedup, but DRAM stalls cost more cycles at higher frequency,
+    // so the ratio stays below the ideal 3.5/2.4 = 1.46.
+    const double speedup = slow.seconds / fast.seconds;
+    EXPECT_GT(speedup, 1.18);
+    EXPECT_LT(speedup, 1.46);
+}
+
+TEST(Simulate, MemoryBoundGainsLittleFromFrequency)
+{
+    const auto &app = workloads::profileByName("IS");
+    MulticoreConfig cfg = fastConfig();
+    cfg.setUniformFrequency(2.4);
+    const SimResult slow = simulate(cfg, allCoresRunning(app));
+    cfg.setUniformFrequency(3.5);
+    const SimResult fast = simulate(cfg, allCoresRunning(app));
+    const double speedup = slow.seconds / fast.seconds;
+    EXPECT_LT(speedup, 1.25);
+    EXPECT_GE(speedup, 0.95);
+}
+
+TEST(Simulate, IdleCoresStayIdle)
+{
+    const auto &app = workloads::profileByName("FFT");
+    const std::vector<ThreadSpec> threads = {{&app, 1}, {&app, 6}};
+    const SimResult r = simulate(fastConfig(), threads);
+    EXPECT_TRUE(r.cores[1].hasThread);
+    EXPECT_TRUE(r.cores[6].hasThread);
+    EXPECT_GT(r.cores[1].insts, 0u);
+    for (int c : {0, 2, 3, 4, 5, 7}) {
+        EXPECT_FALSE(r.cores[c].hasThread);
+        EXPECT_EQ(r.cores[c].insts, 0u);
+    }
+}
+
+TEST(Simulate, RejectsDoubleBookedCore)
+{
+    const auto &app = workloads::profileByName("FFT");
+    const std::vector<ThreadSpec> threads = {{&app, 0}, {&app, 0}};
+    EXPECT_THROW(simulate(fastConfig(), threads), PanicError);
+}
+
+TEST(Simulate, RejectsInvalidCoreOrEmptyThreads)
+{
+    const auto &app = workloads::profileByName("FFT");
+    EXPECT_THROW(simulate(fastConfig(), {{&app, 12}}), PanicError);
+    EXPECT_THROW(simulate(fastConfig(), {}), PanicError);
+}
+
+TEST(Simulate, SharingProducesCoherenceTraffic)
+{
+    // A profile with heavy sharing must produce upgrades or
+    // cache-to-cache transfers.
+    workloads::Profile p = workloads::profileByName("Radiosity");
+    p.sharedFraction = 0.6;
+    p.probHot = 0.80;
+    p.probWarm = 0.15;
+    p.probCold = 0.05;
+    const SimResult r = simulate(fastConfig(), allCoresRunning(p));
+    std::uint64_t coherence = 0;
+    for (const auto &c : r.cores)
+        coherence += c.upgrades + c.c2cTransfers;
+    EXPECT_GT(coherence, 50u);
+}
+
+TEST(Simulate, NoSharingNoCoherenceTraffic)
+{
+    workloads::Profile p = workloads::profileByName("Black.");
+    p.sharedFraction = 0.0;
+    const SimResult r = simulate(fastConfig(), allCoresRunning(p));
+    for (const auto &c : r.cores) {
+        EXPECT_EQ(c.upgrades, 0u);
+        EXPECT_EQ(c.c2cTransfers, 0u);
+    }
+}
+
+TEST(Simulate, CountersAreConsistent)
+{
+    const auto &app = workloads::profileByName("FT");
+    const SimResult r = simulate(fastConfig(), allCoresRunning(app));
+    for (const auto &c : r.cores) {
+        EXPECT_EQ(c.l1dAccesses, c.loads + c.stores);
+        EXPECT_LE(c.l1dMisses, c.l1dAccesses);
+        EXPECT_LE(c.l2Misses, c.l2Accesses);
+        EXPECT_LE(c.mispredicts, c.branches);
+        EXPECT_LE(c.dramAccesses, c.l2Misses);
+        EXPECT_EQ(c.l1iAccesses, c.insts);
+        EXPECT_GT(c.cycles, 0.0);
+    }
+    EXPECT_GT(r.busTransactions, 0u);
+    EXPECT_EQ(r.mcRequests.size(), 4u);
+}
+
+TEST(Simulate, DramStatsArePopulated)
+{
+    const auto &app = workloads::profileByName("CG");
+    const SimResult r = simulate(fastConfig(), allCoresRunning(app));
+    EXPECT_EQ(r.dram.dies.size(), 8u);
+    EXPECT_GT(r.dram.requests, 0u);
+    EXPECT_GT(r.dramEnergyJ, 0.0);
+    EXPECT_GT(r.dramAveragePowerW(), 0.0);
+    std::uint64_t total = 0;
+    for (const auto &die : r.dram.dies)
+        total += die.totalAccesses();
+    EXPECT_GT(total, 0u);
+}
+
+TEST(Simulate, WarmupReducesMeasuredColdMisses)
+{
+    const auto &app = workloads::profileByName("Cholesky");
+    MulticoreConfig cold = fastConfig();
+    cold.warmupInsts = 0;
+    MulticoreConfig warm = fastConfig();
+    warm.warmupInsts = 300000;
+    const SimResult a = simulate(cold, allCoresRunning(app));
+    const SimResult b = simulate(warm, allCoresRunning(app));
+    EXPECT_GT(a.cores[0].l2Misses, b.cores[0].l2Misses);
+}
+
+TEST(Simulate, PerCoreFrequenciesAreHonoured)
+{
+    const auto &app = workloads::profileByName("LU(NAS)");
+    MulticoreConfig cfg = fastConfig();
+    cfg.coreFreqGHz = {2.4, 3.5, 2.4, 2.4, 2.4, 2.4, 2.4, 2.4};
+    const std::vector<ThreadSpec> threads = {{&app, 0}, {&app, 1}};
+    const SimResult r = simulate(cfg, threads);
+    // Same instruction budget, higher frequency: core 1 finishes
+    // sooner (compute-bound, little shared contention).
+    EXPECT_LT(r.cores[1].busyNs, r.cores[0].busyNs);
+}
+
+TEST(Simulate, MismatchedFrequencyVectorThrows)
+{
+    const auto &app = workloads::profileByName("FFT");
+    MulticoreConfig cfg = fastConfig();
+    cfg.coreFreqGHz = {2.4, 2.4};
+    EXPECT_THROW(simulate(cfg, allCoresRunning(app)), PanicError);
+}
+
+TEST(Simulate, AggregateHelpers)
+{
+    const auto &app = workloads::profileByName("FFT");
+    MulticoreConfig cfg = fastConfig();
+    const SimResult r = simulate(cfg, allCoresRunning(app));
+    EXPECT_EQ(r.totalInsts(), 8 * cfg.instsPerThread);
+    EXPECT_GT(r.ips(), 0.0);
+}
+
+} // namespace
+} // namespace xylem::cpu

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Tests for the Wide I/O DRAM model: address decoding, bank timing,
+ * channel contention, refresh and energy accounting.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "dram/wideio.hpp"
+
+namespace xylem::dram {
+namespace {
+
+DramConfig
+config(int dies = 8)
+{
+    DramConfig cfg;
+    cfg.geometry.numDies = dies;
+    return cfg;
+}
+
+// ---------------------------------------------------------------------
+// Address decoding
+// ---------------------------------------------------------------------
+
+TEST(Decode, FieldsAreInRange)
+{
+    const Geometry g = config().geometry;
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const Address a = decodeAddress(g, rng());
+        EXPECT_GE(a.channel, 0);
+        EXPECT_LT(a.channel, g.channels);
+        EXPECT_GE(a.die, 0);
+        EXPECT_LT(a.die, g.numDies);
+        EXPECT_GE(a.bank, 0);
+        EXPECT_LT(a.bank, g.banksPerRank);
+        EXPECT_GE(a.column, 0);
+        EXPECT_LT(a.column, g.linesPerPage());
+    }
+}
+
+TEST(Decode, LineOffsetIsIgnored)
+{
+    const Geometry g = config().geometry;
+    const Address a = decodeAddress(g, 0x12340);
+    const Address b = decodeAddress(g, 0x1237F);
+    EXPECT_EQ(a.channel, b.channel);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(a.column, b.column);
+}
+
+TEST(Decode, ConsecutiveLinesInterleaveChannels)
+{
+    const Geometry g = config().geometry;
+    std::set<int> channels;
+    for (int i = 0; i < 4; ++i)
+        channels.insert(decodeAddress(g, i * 64ull).channel);
+    EXPECT_EQ(channels.size(), 4u);
+}
+
+TEST(Decode, SupportsNonPowerOfTwoDieCounts)
+{
+    const Geometry g = config(12).geometry;
+    std::set<int> dies;
+    Rng rng(5);
+    for (int i = 0; i < 20000; ++i)
+        dies.insert(decodeAddress(g, rng() & ((1ull << 34) - 1)).die);
+    EXPECT_EQ(dies.size(), 12u);
+}
+
+TEST(RefreshRate, ScalesWithTemperatureFactor)
+{
+    const Timing t;
+    EXPECT_NEAR(refreshRate(t, 1.0), 1e9 / 7800.0, 1.0);
+    EXPECT_NEAR(refreshRate(t, 0.5), 2e9 / 7800.0, 1.0);
+    EXPECT_THROW(refreshRate(t, 0.0), PanicError);
+}
+
+// ---------------------------------------------------------------------
+// Timing
+// ---------------------------------------------------------------------
+
+TEST(Timing, IdleLatencyIsAbout100CoreCycles)
+{
+    // Table 3: "DRAM access ≈ 100 cycles RT (idle)" at 2.4 GHz.
+    WideIoDram dram(config());
+    const double cycles = dram.idleLatency() * 2.4;
+    EXPECT_GT(cycles, 80.0);
+    EXPECT_LT(cycles, 130.0);
+}
+
+TEST(Timing, FirstAccessPaysActivate)
+{
+    WideIoDram dram(config());
+    const double done = dram.access(0.0, 0x1000, false);
+    const auto &t = dram.config().timing;
+    EXPECT_NEAR(done, t.tMC + t.tRCD + t.tCL + t.tBURST, 1e-9);
+}
+
+TEST(Timing, RowHitIsFasterThanRowMiss)
+{
+    WideIoDram dram(config());
+    const Geometry g = config().geometry;
+    // Two addresses in the same row: the column bits sit directly
+    // above the channel+bank bits, so a 16-line stride stays in the
+    // row.
+    const std::uint64_t a = 0;
+    const std::uint64_t b = 16 * 64;
+    ASSERT_EQ(decodeAddress(g, a).row, decodeAddress(g, b).row);
+    ASSERT_EQ(decodeAddress(g, a).bank, decodeAddress(g, b).bank);
+    ASSERT_EQ(decodeAddress(g, a).die, decodeAddress(g, b).die);
+
+    const double t1 = dram.access(0.0, a, false);
+    const double t2 = dram.access(1000.0, b, false);      // row hit
+    // Same bank/die, different row -> miss with precharge.
+    const std::uint64_t c = 1ull << 30;
+    ASSERT_EQ(decodeAddress(g, c).bank, decodeAddress(g, a).bank);
+    ASSERT_NE(decodeAddress(g, c).row, decodeAddress(g, a).row);
+    const double t3 = dram.access(2000.0, c, false);      // row miss
+
+    const double hit_latency = t2 - 1000.0;
+    const double miss_latency = t3 - 2000.0;
+    EXPECT_LT(hit_latency, miss_latency);
+    EXPECT_GT(miss_latency, t1); // precharge adds over an empty bank
+}
+
+TEST(Timing, BankConflictSerialises)
+{
+    WideIoDram dram(config());
+    const Geometry g = config().geometry;
+    const std::uint64_t a = 0;
+    const std::uint64_t c = 1ull << 30; // same bank, other row
+    ASSERT_EQ(decodeAddress(g, a).die, decodeAddress(g, c).die);
+    const double t1 = dram.access(0.0, a, false);
+    const double t2 = dram.access(0.0, c, false);
+    EXPECT_GT(t2, t1);
+    // Requests on different channels proceed fully in parallel.
+    WideIoDram dram2(config());
+    const double u1 = dram2.access(0.0, 0, false);
+    const double u2 = dram2.access(0.0, 64, false);
+    EXPECT_NEAR(u1, u2, 1e-9);
+}
+
+TEST(Timing, ChannelDataBusSerialisesBursts)
+{
+    WideIoDram dram(config());
+    const Geometry g = config().geometry;
+    // Same channel, different banks: data transfers share the bus.
+    const std::uint64_t a = 0;
+    const std::uint64_t b = 64 * 4; // next bank, same channel
+    ASSERT_EQ(decodeAddress(g, a).channel, decodeAddress(g, b).channel);
+    ASSERT_NE(decodeAddress(g, a).bank, decodeAddress(g, b).bank);
+    const double t1 = dram.access(0.0, a, false);
+    const double t2 = dram.access(0.0, b, false);
+    EXPECT_GE(t2, t1 + dram.config().timing.tBURST - 1e-9);
+}
+
+TEST(Timing, WriteRecoveryDelaysTheNextAccess)
+{
+    DramConfig cfg = config();
+    WideIoDram dram(cfg);
+    dram.access(0.0, 0, true);
+    const double after_write = dram.access(0.1, 1ull << 30, false);
+    WideIoDram dram2(cfg);
+    dram2.access(0.0, 0, false);
+    const double after_read = dram2.access(0.1, 1ull << 30, false);
+    EXPECT_GT(after_write, after_read);
+}
+
+TEST(Timing, SequentialStreamHasHighRowHitRate)
+{
+    WideIoDram dram(config());
+    double t = 0.0;
+    for (int i = 0; i < 4096; ++i)
+        t = dram.access(t + 5.0, static_cast<std::uint64_t>(i) * 64, false);
+    EXPECT_GT(dram.stats().rowHitRate(), 0.8);
+}
+
+TEST(Timing, RandomStreamHasLowRowHitRate)
+{
+    WideIoDram dram(config());
+    Rng rng(9);
+    double t = 0.0;
+    for (int i = 0; i < 4096; ++i) {
+        t = dram.access(t + 5.0, rng.below(1ull << 33) & ~63ull, false);
+    }
+    EXPECT_LT(dram.stats().rowHitRate(), 0.2);
+}
+
+// ---------------------------------------------------------------------
+// Refresh
+// ---------------------------------------------------------------------
+
+TEST(Refresh, OpsAccumulateOverTime)
+{
+    WideIoDram dram(config());
+    // Touch one rank late: all elapsed refresh intervals are applied.
+    dram.access(100000.0, 0, false);
+    // 100 µs / 7.8 µs ≈ 12 refreshes for that rank.
+    EXPECT_GE(dram.stats().refreshOps, 12u);
+    EXPECT_LE(dram.stats().refreshOps, 14u);
+}
+
+TEST(Refresh, DoubledRateBelowScaleOne)
+{
+    DramConfig cfg = config();
+    cfg.refreshScale = 0.5; // above 85 °C, JEDEC halves tREFI
+    WideIoDram dram(cfg);
+    dram.access(100000.0, 0, false);
+    EXPECT_GE(dram.stats().refreshOps, 25u);
+}
+
+TEST(Refresh, BlocksTheBankAndClosesTheRow)
+{
+    WideIoDram dram(config());
+    const auto &t = dram.config().timing;
+    dram.access(t.tREFI - 200.0, 0, false);
+    // Right after the refresh boundary the bank must wait out tRFC
+    // and re-activate (the refresh closed the row).
+    const double done = dram.access(t.tREFI + 1.0, 0, false);
+    EXPECT_GT(done, t.tREFI + t.tRFC);
+    EXPECT_EQ(dram.stats().dies[0].banks[0].activates, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Statistics and energy
+// ---------------------------------------------------------------------
+
+TEST(Stats, CountersTrackRequests)
+{
+    WideIoDram dram(config());
+    dram.access(0.0, 0, false);
+    dram.access(100.0, 16 * 64, true);  // same row: hit write
+    dram.access(2000.0, 1ull << 30, false);
+    const DramStats &s = dram.stats();
+    EXPECT_EQ(s.requests, 3u);
+    std::uint64_t reads = 0, writes = 0, acts = 0, hits = 0;
+    for (const auto &die : s.dies) {
+        for (const auto &b : die.banks) {
+            reads += b.reads;
+            writes += b.writes;
+            acts += b.activates;
+            hits += b.rowHits;
+        }
+    }
+    EXPECT_EQ(reads, 2u);
+    EXPECT_EQ(writes, 1u);
+    EXPECT_EQ(acts, 2u);
+    EXPECT_EQ(hits, 1u);
+    EXPECT_NEAR(s.rowHitRate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, PerDieAttribution)
+{
+    WideIoDram dram(config(4));
+    const Geometry g = config(4).geometry;
+    std::uint64_t addr = 0;
+    while (decodeAddress(g, addr).die != 2)
+        addr += 64;
+    dram.access(0.0, addr, false);
+    EXPECT_EQ(dram.stats().dies[2].totalAccesses(), 1u);
+    EXPECT_EQ(dram.stats().dies[0].totalAccesses(), 0u);
+}
+
+TEST(Stats, ResetKeepsDeviceState)
+{
+    WideIoDram dram(config());
+    dram.access(0.0, 0, false);
+    dram.resetStats();
+    EXPECT_EQ(dram.stats().requests, 0u);
+    EXPECT_EQ(dram.stats().dies.size(), 8u);
+    // The row is still open: the next access is a row hit.
+    dram.access(1000.0, 16 * 64, false);
+    EXPECT_EQ(dram.stats().rowHitRate(), 1.0);
+}
+
+TEST(Energy, BackgroundDominatesWhenIdle)
+{
+    WideIoDram dram(config());
+    const double joules = dram.energyJoules(1e9); // one second
+    const auto &e = dram.config().energy;
+    EXPECT_NEAR(joules, e.backgroundPerDie * 8, 1e-9);
+    EXPECT_NEAR(dram.averagePower(1e9), e.backgroundPerDie * 8, 1e-9);
+}
+
+TEST(Energy, AccessesAddUp)
+{
+    DramConfig cfg = config();
+    WideIoDram dram(cfg);
+    dram.access(0.0, 0, false);          // activate + read
+    dram.access(100.0, 16 * 64, false);  // row-hit read
+    dram.access(200.0, 32 * 64, true);   // row-hit write
+    const double joules = dram.energyJoules(0.0);
+    EXPECT_NEAR(joules,
+                cfg.energy.actPre + 2 * cfg.energy.read + cfg.energy.write,
+                1e-12);
+}
+
+TEST(Energy, AveragePowerRejectsZeroTime)
+{
+    WideIoDram dram(config());
+    EXPECT_THROW(dram.averagePower(0.0), PanicError);
+}
+
+TEST(Construction, RejectsBadGeometry)
+{
+    DramConfig cfg = config();
+    cfg.geometry.channels = 0;
+    EXPECT_THROW(WideIoDram{cfg}, PanicError);
+}
+
+} // namespace
+} // namespace xylem::dram

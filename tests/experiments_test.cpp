@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests of the experiment drivers that regenerate the paper's figures,
+ * run on the shrunk configuration.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "xylem/experiments.hpp"
+
+namespace xylem::core {
+namespace {
+
+using stack::Scheme;
+
+ExperimentConfig
+tiny()
+{
+    ExperimentConfig cfg = ExperimentConfig::small();
+    cfg.base.cpu.instsPerThread = 60000;
+    cfg.base.cpu.warmupInsts = 200000;
+    return cfg;
+}
+
+TEST(Config, StandardCoversTheWholeSuite)
+{
+    const ExperimentConfig cfg = ExperimentConfig::standard();
+    EXPECT_EQ(cfg.apps.size(), 17u);
+    EXPECT_EQ(cfg.frequencies.size(), 4u); // Fig. 7: 2.4/2.8/3.2/3.5
+}
+
+TEST(TempSweep, CoversAllCombinations)
+{
+    const ExperimentConfig cfg = tiny();
+    const auto sweep =
+        runTemperatureSweep(cfg, {Scheme::Base, Scheme::Bank});
+    EXPECT_EQ(sweep.size(),
+              cfg.apps.size() * cfg.frequencies.size() * 2);
+    for (const auto &e : sweep) {
+        EXPECT_GT(e.procHotspotC, 40.0);
+        EXPECT_GT(e.procPowerW, 0.0);
+        EXPECT_GT(e.dramPowerW, 0.0);
+        EXPECT_GT(e.procHotspotC, e.dramBottomHotspotC);
+    }
+}
+
+TEST(TempSweep, TemperatureIncreasesWithFrequency)
+{
+    const ExperimentConfig cfg = tiny();
+    const auto sweep = runTemperatureSweep(cfg, {Scheme::Base});
+    for (const auto &app : cfg.apps) {
+        const auto &low = sweepEntry(sweep, app, Scheme::Base, 2.4);
+        const auto &high = sweepEntry(sweep, app, Scheme::Base, 3.5);
+        EXPECT_GT(high.procHotspotC, low.procHotspotC) << app;
+        EXPECT_GT(high.dramBottomHotspotC, low.dramBottomHotspotC) << app;
+    }
+}
+
+TEST(TempSweep, ComputeAppsHeatUpMoreThanMemoryApps)
+{
+    // Fig. 7 narrative: LU(NAS) gains ≈30 °C from 2.4 to 3.5 GHz,
+    // the memory-bound IS/FT only ≈10 °C.
+    const ExperimentConfig cfg = tiny();
+    const auto sweep = runTemperatureSweep(cfg, {Scheme::Base});
+    const double slope_compute =
+        sweepEntry(sweep, "LU(NAS)", Scheme::Base, 3.5).procHotspotC -
+        sweepEntry(sweep, "LU(NAS)", Scheme::Base, 2.4).procHotspotC;
+    const double slope_memory =
+        sweepEntry(sweep, "IS", Scheme::Base, 3.5).procHotspotC -
+        sweepEntry(sweep, "IS", Scheme::Base, 2.4).procHotspotC;
+    EXPECT_GT(slope_compute, 2.0 * slope_memory);
+}
+
+TEST(TempSweep, MeanReductionIsPositiveForXylemSchemes)
+{
+    const ExperimentConfig cfg = tiny();
+    const auto sweep = runTemperatureSweep(
+        cfg, {Scheme::Base, Scheme::Bank, Scheme::BankE, Scheme::Prior});
+    const double d_bank = meanTempReduction(sweep, Scheme::Bank, 2.4);
+    const double d_banke = meanTempReduction(sweep, Scheme::BankE, 2.4);
+    const double d_prior = meanTempReduction(sweep, Scheme::Prior, 2.4);
+    // The small test configuration has only 4 DRAM dies (half the
+    // D2D layers), so the reduction is smaller than at full size.
+    EXPECT_GT(d_bank, 0.6);
+    EXPECT_GT(d_banke, d_bank); // custom placement beats generic
+    EXPECT_LT(d_prior, 0.5);    // TTSVs without shorting do ~nothing
+    EXPECT_GE(d_prior, 0.0);
+}
+
+TEST(TempSweep, MissingEntryThrows)
+{
+    const ExperimentConfig cfg = tiny();
+    const auto sweep = runTemperatureSweep(cfg, {Scheme::Base});
+    EXPECT_THROW(sweepEntry(sweep, "LU(NAS)", Scheme::Bank, 2.4),
+                 FatalError);
+}
+
+TEST(BoostExperiment, ReportsGainsForXylemSchemes)
+{
+    const ExperimentConfig cfg = tiny();
+    const auto entries =
+        runBoostExperiment(cfg, {Scheme::Bank, Scheme::BankE});
+    ASSERT_EQ(entries.size(), cfg.apps.size() * 2);
+    for (const auto &e : entries) {
+        EXPECT_GE(e.freqGainMHz, 0.0) << e.app;
+        EXPECT_GE(e.freqGHz, 2.4);
+        EXPECT_LE(e.freqGHz, 3.5);
+        EXPECT_GE(e.perfGainPct, -1.0) << e.app;
+    }
+    // banke boosts at least as much as bank for every app.
+    for (const auto &app : cfg.apps) {
+        double bank_mhz = -1, banke_mhz = -1;
+        for (const auto &e : entries) {
+            if (e.app != app)
+                continue;
+            (e.scheme == Scheme::Bank ? bank_mhz : banke_mhz) =
+                e.freqGainMHz;
+        }
+        EXPECT_GE(banke_mhz, bank_mhz) << app;
+    }
+}
+
+TEST(BoostExperiment, ComputeAppGainsMorePerformance)
+{
+    const ExperimentConfig cfg = tiny();
+    const auto entries = runBoostExperiment(cfg, {Scheme::BankE});
+    double compute_gain = 0, memory_gain = 0;
+    for (const auto &e : entries) {
+        if (e.app == "LU(NAS)")
+            compute_gain = e.perfGainPct;
+        if (e.app == "IS")
+            memory_gain = e.perfGainPct;
+    }
+    EXPECT_GT(compute_gain, memory_gain);
+}
+
+TEST(PlacementExperiment, InsideIsAtLeastAsGoodAsOutside)
+{
+    // §7.6.1: placing the thermally demanding threads on the inner
+    // cores allows an equal or higher die-wide frequency.
+    ExperimentConfig cfg = tiny();
+    const auto entries =
+        runPlacementExperiment(cfg, {Scheme::Base, Scheme::BankE});
+    ASSERT_EQ(entries.size(), 2u);
+    for (const auto &e : entries) {
+        EXPECT_GT(e.outsideGHz, 0.0);
+        EXPECT_GE(e.insideGHz, e.outsideGHz - 1e-9)
+            << stack::toString(e.scheme);
+    }
+}
+
+TEST(FreqBoostingExperiment, MultipleIsAtLeastSingle)
+{
+    ExperimentConfig cfg = tiny();
+    const auto entries =
+        runFreqBoostingExperiment(cfg, {Scheme::Base, Scheme::BankE});
+    ASSERT_EQ(entries.size(), 2u);
+    for (const auto &e : entries) {
+        EXPECT_GT(e.singleGHz, 0.0);
+        EXPECT_GE(e.multipleGHz, e.singleGHz - 1e-9);
+    }
+}
+
+TEST(MigrationExperiment, ProducesEntriesPerScheme)
+{
+    ExperimentConfig cfg = tiny();
+    cfg.apps = {"LU(NAS)"};
+    MigrationOptions opts;
+    opts.numPhases = 4;
+    opts.stepsPerPhase = 3;
+    opts.warmupPhases = 1;
+    const auto entries =
+        runMigrationExperiment(cfg, {Scheme::Base, Scheme::BankE}, opts);
+    ASSERT_EQ(entries.size(), 2u);
+    for (const auto &e : entries) {
+        EXPECT_GT(e.innerAvgHotspotC, 40.0);
+        EXPECT_GT(e.outerAvgHotspotC, 40.0);
+    }
+}
+
+TEST(ThicknessSweep, ThinnerDiesRunHotter)
+{
+    // Fig. 18: die thinning inhibits lateral spreading.
+    ExperimentConfig cfg = tiny();
+    cfg.apps = {"LU(NAS)"};
+    const auto entries =
+        runThicknessSweep(cfg, {50.0, 100.0, 200.0}, {Scheme::Base});
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_GT(entries[0].avgProcHotspotC, entries[1].avgProcHotspotC);
+    EXPECT_GT(entries[1].avgProcHotspotC, entries[2].avgProcHotspotC);
+}
+
+TEST(DieCountSweep, MoreMemoryDiesRunHotter)
+{
+    // Fig. 19: more dies add power and distance to the sink.
+    ExperimentConfig cfg = tiny();
+    cfg.apps = {"LU(NAS)"};
+    const auto entries =
+        runDieCountSweep(cfg, {4, 8}, {Scheme::Base});
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_LT(entries[0].avgProcHotspotC, entries[1].avgProcHotspotC);
+}
+
+TEST(DieCountSweep, XylemHelpsMoreWithMoreDies)
+{
+    // With more D2D layers in series, bridging them matters more.
+    ExperimentConfig cfg = tiny();
+    cfg.apps = {"LU(NAS)"};
+    const auto entries =
+        runDieCountSweep(cfg, {4, 8}, {Scheme::Base, Scheme::BankE});
+    ASSERT_EQ(entries.size(), 4u);
+    const double delta4 =
+        entries[0].avgProcHotspotC - entries[1].avgProcHotspotC;
+    const double delta8 =
+        entries[2].avgProcHotspotC - entries[3].avgProcHotspotC;
+    EXPECT_GT(delta8, delta4);
+}
+
+} // namespace
+} // namespace xylem::core

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Tests for the extension features: λ-aware scheduling policies, DTM
+ * throttling, DRAM refresh-temperature coupling, the electrothermal
+ * leakage loop, and the heatmap renderer.
+ */
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "thermal/heatmap.hpp"
+#include "workloads/profile.hpp"
+#include "xylem/dtm.hpp"
+#include "xylem/policies.hpp"
+#include "xylem/system.hpp"
+
+namespace xylem::core {
+namespace {
+
+SystemConfig
+smallConfig(stack::Scheme scheme = stack::Scheme::BankE)
+{
+    SystemConfig cfg;
+    cfg.stackSpec.scheme = scheme;
+    cfg.stackSpec.numDramDies = 4;
+    cfg.stackSpec.gridNx = 40;
+    cfg.stackSpec.gridNy = 40;
+    cfg.cpu.instsPerThread = 60000;
+    cfg.cpu.warmupInsts = 200000;
+    return cfg;
+}
+
+stack::BuiltStack
+smallStack(stack::Scheme scheme)
+{
+    stack::StackSpec spec;
+    spec.scheme = scheme;
+    spec.numDramDies = 2;
+    spec.gridNx = 40;
+    spec.gridNy = 40;
+    return stack::buildStack(spec);
+}
+
+// ---------------------------------------------------------------------
+// λ-aware policies
+// ---------------------------------------------------------------------
+
+TEST(Policies, BaseAndPriorHaveNoHeterogeneity)
+{
+    for (stack::Scheme s : {stack::Scheme::Base, stack::Scheme::Prior}) {
+        const auto stk = smallStack(s);
+        for (double v : coreConductivityScores(stk))
+            EXPECT_DOUBLE_EQ(v, 0.0);
+    }
+}
+
+TEST(Policies, BankeScoresFavourTheInnerCores)
+{
+    const auto stk = smallStack(stack::Scheme::BankE);
+    const auto scores = coreConductivityScores(stk);
+    ASSERT_EQ(scores.size(), 8u);
+    double inner_sum = 0, outer_sum = 0;
+    for (int c : stk.procDie.innerCores)
+        inner_sum += scores[static_cast<std::size_t>(c)];
+    for (int c : stk.procDie.outerCores)
+        outer_sum += scores[static_cast<std::size_t>(c)];
+    EXPECT_GT(inner_sum, outer_sum);
+    // Normalised: the best core scores exactly 1.
+    EXPECT_DOUBLE_EQ(*std::max_element(scores.begin(), scores.end()),
+                     1.0);
+}
+
+TEST(Policies, ConductivityOrderIsAPermutation)
+{
+    const auto stk = smallStack(stack::Scheme::Bank);
+    const auto order = coresByConductivity(stk);
+    std::set<int> seen(order.begin(), order.end());
+    EXPECT_EQ(seen.size(), 8u);
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(Policies, ThermalDemandOrdersComputeAboveMemory)
+{
+    EXPECT_GT(thermalDemand(workloads::profileByName("LU(NAS)")),
+              thermalDemand(workloads::profileByName("IS")));
+    EXPECT_GT(thermalDemand(workloads::profileByName("Cholesky")),
+              thermalDemand(workloads::profileByName("FT")));
+}
+
+TEST(Policies, PlacementPutsHotThreadsOnInnerCoresUnderBankE)
+{
+    const auto stk = smallStack(stack::Scheme::BankE);
+    const auto &lu = workloads::profileByName("LU(NAS)");
+    const auto &is = workloads::profileByName("IS");
+    const std::vector<const workloads::Profile *> threads = {
+        &is, &lu, &is, &lu, &is, &lu, &is, &lu};
+    const auto placement = lambdaAwarePlacement(stk, threads);
+    ASSERT_EQ(placement.size(), 8u);
+
+    // Every thread keeps its profile, cores are all distinct...
+    std::set<int> cores;
+    for (std::size_t i = 0; i < placement.size(); ++i) {
+        EXPECT_EQ(placement[i].profile, threads[i]);
+        cores.insert(placement[i].core);
+    }
+    EXPECT_EQ(cores.size(), 8u);
+
+    // ...and the LU threads landed on better-cooled cores on average.
+    const auto scores = coreConductivityScores(stk);
+    double lu_score = 0, is_score = 0;
+    for (const auto &t : placement) {
+        (t.profile == &lu ? lu_score : is_score) +=
+            scores[static_cast<std::size_t>(t.core)];
+    }
+    EXPECT_GT(lu_score, is_score);
+}
+
+TEST(Policies, PlacementRejectsTooManyThreads)
+{
+    const auto stk = smallStack(stack::Scheme::Bank);
+    const auto &p = workloads::profileByName("FFT");
+    std::vector<const workloads::Profile *> too_many(9, &p);
+    EXPECT_THROW(lambdaAwarePlacement(stk, too_many), PanicError);
+}
+
+TEST(Policies, BoostAndMigrationSets)
+{
+    const auto stk = smallStack(stack::Scheme::BankE);
+    const auto boost = lambdaAwareBoostSet(stk, 4);
+    ASSERT_EQ(boost.size(), 4u);
+    // The four best-cooled cores are the inner cores.
+    const std::set<int> expected(stk.procDie.innerCores.begin(),
+                                 stk.procDie.innerCores.end());
+    EXPECT_EQ(std::set<int>(boost.begin(), boost.end()), expected);
+    EXPECT_EQ(lambdaAwareMigrationSet(stk, 4), boost);
+    EXPECT_THROW(lambdaAwareBoostSet(stk, 9), PanicError);
+}
+
+// ---------------------------------------------------------------------
+// DTM
+// ---------------------------------------------------------------------
+
+TEST(Dtm, GrantsTheRequestWhenCool)
+{
+    StackSystem sys(smallConfig());
+    const auto &app = workloads::profileByName("IS"); // cool workload
+    const DtmResult r = throttleToCaps(sys, app, 2.6, 100.0, 95.0);
+    EXPECT_TRUE(r.feasible);
+    EXPECT_FALSE(r.throttled);
+    EXPECT_DOUBLE_EQ(r.grantedGHz, 2.6);
+    EXPECT_LE(r.eval.procHotspot, 100.0);
+}
+
+TEST(Dtm, ThrottlesAHotRequest)
+{
+    StackSystem sys(smallConfig(stack::Scheme::Base));
+    const auto &app = workloads::profileByName("LU(NAS)");
+    const EvalResult at24 = sys.evaluate(app, 2.4);
+    // Pick a cap 2 steps of headroom above 2.4 GHz and request 3.5.
+    const DtmResult r =
+        throttleToCaps(sys, app, 3.5, at24.procHotspot + 2.5, 1e9);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_TRUE(r.throttled);
+    EXPECT_LT(r.grantedGHz, 3.5);
+    EXPECT_GE(r.grantedGHz, 2.4);
+    EXPECT_LE(r.eval.procHotspot, at24.procHotspot + 2.5);
+}
+
+TEST(Dtm, ReportsInfeasibleCaps)
+{
+    StackSystem sys(smallConfig(stack::Scheme::Base));
+    const auto &app = workloads::profileByName("LU(NAS)");
+    const EvalResult at24 = sys.evaluate(app, 2.4);
+    const DtmResult r =
+        throttleToCaps(sys, app, 3.5, at24.procHotspot - 10.0, 1e9);
+    EXPECT_FALSE(r.feasible);
+    EXPECT_TRUE(r.throttled);
+    EXPECT_DOUBLE_EQ(r.grantedGHz, 2.4);
+}
+
+// ---------------------------------------------------------------------
+// Refresh-temperature coupling
+// ---------------------------------------------------------------------
+
+TEST(RefreshCoupling, JedecScaleSteps)
+{
+    EXPECT_DOUBLE_EQ(jedecRefreshScale(60.0), 1.0);
+    EXPECT_DOUBLE_EQ(jedecRefreshScale(85.0), 1.0);
+    EXPECT_DOUBLE_EQ(jedecRefreshScale(86.0), 0.5);
+    EXPECT_DOUBLE_EQ(jedecRefreshScale(95.0), 0.5);
+    EXPECT_DOUBLE_EQ(jedecRefreshScale(95.1), 0.25);
+    EXPECT_DOUBLE_EQ(jedecRefreshScale(110.0), 0.125);
+}
+
+TEST(RefreshCoupling, ColdStackKeepsNominalRefresh)
+{
+    StackSystem sys(smallConfig());
+    const auto &app = workloads::profileByName("IS");
+    const RefreshCoupledResult r =
+        evaluateWithRefreshCoupling(sys, app, 2.4);
+    EXPECT_DOUBLE_EQ(r.refreshScale, 1.0);
+    EXPECT_EQ(r.iterations, 1);
+}
+
+TEST(RefreshCoupling, HotStackRefreshesMore)
+{
+    // Drive the DRAM above 85 C with the hottest app at a high clock.
+    SystemConfig cfg = smallConfig(stack::Scheme::Base);
+    cfg.stackSpec.numDramDies = 8;
+    StackSystem sys(cfg);
+    const auto &app = workloads::profileByName("LU(NAS)");
+    const RefreshCoupledResult r =
+        evaluateWithRefreshCoupling(sys, app, 3.5);
+    if (r.eval.dramBottomHotspot > 85.0) {
+        EXPECT_LT(r.refreshScale, 1.0);
+        EXPECT_GE(r.iterations, 2);
+    } else {
+        GTEST_SKIP() << "stack did not exceed 85 C in this config";
+    }
+}
+
+// ---------------------------------------------------------------------
+// Electrothermal leakage loop
+// ---------------------------------------------------------------------
+
+TEST(ElectroThermal, FeedbackRaisesTemperaturesAboveNominal)
+{
+    SystemConfig cfg = smallConfig(stack::Scheme::Base);
+    const auto &app = workloads::profileByName("LU(NAS)");
+
+    StackSystem plain(cfg);
+    const double t_plain = plain.evaluate(app, 3.2).procHotspot;
+
+    cfg.leakage.tempCoefficient = 0.015; // per Kelvin
+    cfg.leakage.tNominal = 60.0; // well below the operating point
+    cfg.electroThermalIterations = 4;
+    StackSystem coupled(cfg);
+    const double t_coupled = coupled.evaluate(app, 3.2).procHotspot;
+
+    // Die hotter than tNominal: leakage grows with temperature, so
+    // the coupled solution must be hotter.
+    EXPECT_GT(t_coupled, t_plain + 0.2);
+    EXPECT_LT(t_coupled, t_plain + 20.0); // ...but far from runaway
+}
+
+TEST(ElectroThermal, FeedbackLowersTemperaturesBelowNominal)
+{
+    SystemConfig cfg = smallConfig(stack::Scheme::Base);
+    const auto &app = workloads::profileByName("IS"); // cool workload
+
+    StackSystem plain(cfg);
+    const double t_plain = plain.evaluate(app, 2.4).procHotspot;
+
+    cfg.leakage.tempCoefficient = 0.015;
+    cfg.leakage.tNominal = 110.0; // well above the operating point
+    cfg.electroThermalIterations = 4;
+    StackSystem coupled(cfg);
+    const double t_coupled = coupled.evaluate(app, 2.4).procHotspot;
+
+    // The calibrated leakage was quoted at a hotter point than this
+    // die reaches: the feedback reduces leakage, hence temperature.
+    EXPECT_LT(t_coupled, t_plain - 0.1);
+}
+
+TEST(ElectroThermal, ZeroCoefficientIsAFixedPoint)
+{
+    SystemConfig cfg = smallConfig();
+    const auto &app = workloads::profileByName("FFT");
+    StackSystem plain(cfg);
+    const double t_plain = plain.evaluate(app, 2.4).procHotspot;
+
+    cfg.electroThermalIterations = 3; // loop on, coefficient 0
+    StackSystem looped(cfg);
+    EXPECT_NEAR(looped.evaluate(app, 2.4).procHotspot, t_plain, 1e-6);
+}
+
+TEST(ElectroThermal, LeakageTempScaleClamps)
+{
+    power::LeakageParams leak;
+    leak.tempCoefficient = 0.02;
+    leak.tNominal = 90.0;
+    const power::McPatLite model(power::EnergyParams{}, leak,
+                                 power::DvfsTable::standard());
+    EXPECT_NEAR(model.leakageTempScale(90.0), 1.0, 1e-12);
+    EXPECT_NEAR(model.leakageTempScale(100.0), 1.2, 1e-12);
+    EXPECT_NEAR(model.leakageTempScale(-100.0), 0.5, 1e-12); // clamp
+}
+
+// ---------------------------------------------------------------------
+// Heatmap rendering
+// ---------------------------------------------------------------------
+
+TEST(Heatmap, RendersExpectedShape)
+{
+    thermal::TemperatureField f(1, 16, 8, 0, 50.0);
+    f.at(0, 15, 7) = 90.0;
+    std::ostringstream os;
+    thermal::HeatmapOptions opts;
+    opts.maxCols = 16;
+    thermal::renderHeatmap(os, f, 0, opts);
+    const std::string s = os.str();
+    // 8 grid rows + scale line.
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 9);
+    // The hottest char appears, and the scale mentions both extremes.
+    EXPECT_NE(s.find(opts.ramp.back()), std::string::npos);
+    EXPECT_NE(s.find("50.0"), std::string::npos);
+    EXPECT_NE(s.find("90.0"), std::string::npos);
+}
+
+TEST(Heatmap, HottestCellGetsTheHottestChar)
+{
+    thermal::TemperatureField f(1, 4, 4, 0, 10.0);
+    f.at(0, 2, 0) = 99.0;
+    std::ostringstream os;
+    thermal::HeatmapOptions opts;
+    opts.showScale = false;
+    thermal::renderHeatmap(os, f, 0, opts);
+    // Row 0 is printed last (north up): the '@' is in the last line.
+    const std::string s = os.str();
+    const auto last_line = s.find_last_of('\n', s.size() - 2);
+    EXPECT_NE(s.find('@', last_line), std::string::npos);
+}
+
+TEST(Heatmap, DownsamplesWideGrids)
+{
+    thermal::TemperatureField f(1, 128, 4, 0, 20.0);
+    std::ostringstream os;
+    thermal::HeatmapOptions opts;
+    opts.maxCols = 32;
+    opts.showScale = false;
+    thermal::renderHeatmap(os, f, 0, opts);
+    std::istringstream in(os.str());
+    std::string line;
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));
+    EXPECT_LE(line.size(), 32u);
+}
+
+TEST(Heatmap, CsvRoundTrip)
+{
+    thermal::TemperatureField f(2, 3, 2, 0, 1.0);
+    f.at(1, 2, 1) = 7.0;
+    std::ostringstream os;
+    thermal::writeCsv(os, f, 1);
+    EXPECT_EQ(os.str(), "1,1,1\n1,1,7\n");
+    EXPECT_THROW(thermal::writeCsv(os, f, 2), PanicError);
+}
+
+} // namespace
+} // namespace xylem::core

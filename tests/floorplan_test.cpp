@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Tests for the floorplan container and for the Fig. 6 processor die
+ * and the Wide I/O DRAM slice builders.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "floorplan/dram_die.hpp"
+#include "floorplan/proc_die.hpp"
+
+namespace xylem::floorplan {
+namespace {
+
+// ---------------------------------------------------------------------
+// Floorplan container
+// ---------------------------------------------------------------------
+
+TEST(Floorplan, AddAndFind)
+{
+    Floorplan fp("test", geometry::Rect{0, 0, 1, 1});
+    fp.add("a", geometry::Rect{0, 0, 0.5, 0.5});
+    EXPECT_NE(fp.find("a"), nullptr);
+    EXPECT_EQ(fp.find("b"), nullptr);
+    EXPECT_EQ(fp.at("a").rect.area(), 0.25);
+    EXPECT_THROW(fp.at("b"), FatalError);
+}
+
+TEST(Floorplan, RejectsBlocksOutsideExtent)
+{
+    Floorplan fp("test", geometry::Rect{0, 0, 1, 1});
+    EXPECT_THROW(fp.add("big", geometry::Rect{0.5, 0.5, 1.0, 1.0}),
+                 PanicError);
+    EXPECT_THROW(fp.add("empty", geometry::Rect{0, 0, 0, 1}), PanicError);
+}
+
+TEST(Floorplan, CoverageAndOverlap)
+{
+    Floorplan fp("test", geometry::Rect{0, 0, 1, 1});
+    fp.add("a", geometry::Rect{0, 0, 0.5, 1});
+    fp.add("b", geometry::Rect{0.5, 0, 0.5, 1});
+    EXPECT_NEAR(fp.coverage(), 1.0, 1e-12);
+    EXPECT_TRUE(fp.overlapFree());
+    fp.add("c", geometry::Rect{0.25, 0.25, 0.5, 0.5});
+    EXPECT_FALSE(fp.overlapFree());
+}
+
+TEST(Floorplan, WithPrefix)
+{
+    Floorplan fp("test", geometry::Rect{0, 0, 1, 1});
+    fp.add("C1.FPU", geometry::Rect{0, 0, 0.1, 0.1});
+    fp.add("C1.ALU", geometry::Rect{0.2, 0, 0.1, 0.1});
+    fp.add("C2.FPU", geometry::Rect{0.4, 0, 0.1, 0.1});
+    EXPECT_EQ(fp.withPrefix("C1.").size(), 2u);
+    EXPECT_EQ(fp.withPrefix("C").size(), 3u);
+    EXPECT_EQ(fp.withPrefix("X").size(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Unit-kind parsing
+// ---------------------------------------------------------------------
+
+TEST(UnitKind, ParsesCoreBlocks)
+{
+    EXPECT_EQ(unitKindFromBlockName("C1.FPU"), UnitKind::Fpu);
+    EXPECT_EQ(unitKindFromBlockName("C8.L1D"), UnitKind::L1D);
+    EXPECT_EQ(unitKindFromBlockName("C3.IQ"), UnitKind::IssueQueue);
+    EXPECT_EQ(unitKindFromBlockName("C3.IRF"), UnitKind::IntRF);
+}
+
+TEST(UnitKind, ParsesUncoreBlocks)
+{
+    EXPECT_EQ(unitKindFromBlockName("L2_5"), UnitKind::L2);
+    EXPECT_EQ(unitKindFromBlockName("MC2"), UnitKind::MemController);
+    EXPECT_EQ(unitKindFromBlockName("BUS0"), UnitKind::CoherenceBus);
+    EXPECT_EQ(unitKindFromBlockName("TSVBUS"), UnitKind::TsvBus);
+}
+
+TEST(UnitKind, RejectsUnknownNames)
+{
+    EXPECT_THROW(unitKindFromBlockName("garbage"), PanicError);
+    EXPECT_THROW(unitKindFromBlockName("C1.WTF"), PanicError);
+}
+
+TEST(UnitKind, RoundTripsThroughToString)
+{
+    for (UnitKind k : {UnitKind::Fetch, UnitKind::BPred, UnitKind::Decode,
+                       UnitKind::IssueQueue, UnitKind::Rob, UnitKind::IntRF,
+                       UnitKind::FpRF, UnitKind::IntAlu, UnitKind::Fpu,
+                       UnitKind::Lsu, UnitKind::L1I, UnitKind::L1D}) {
+        EXPECT_EQ(unitKindFromBlockName(std::string("C1.") + toString(k)),
+                  k);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Processor die (Fig. 6)
+// ---------------------------------------------------------------------
+
+class ProcDieTest : public ::testing::Test
+{
+  protected:
+    ProcDie die = buildProcessorDie();
+};
+
+TEST_F(ProcDieTest, DieIs64mm2)
+{
+    EXPECT_NEAR(die.plan.extent().area(), 64e-6, 1e-9);
+}
+
+TEST_F(ProcDieTest, FullCoverageNoOverlap)
+{
+    EXPECT_NEAR(die.plan.coverage(), 1.0, 1e-6);
+    EXPECT_TRUE(die.plan.overlapFree(1e-15));
+}
+
+TEST_F(ProcDieTest, HasEightCoresWithElevenBlocksEach)
+{
+    ASSERT_EQ(die.cores.size(), 8u);
+    for (int c = 1; c <= 8; ++c) {
+        const auto blocks =
+            die.plan.withPrefix("C" + std::to_string(c) + ".");
+        EXPECT_EQ(blocks.size(), 12u) << "core " << c;
+    }
+}
+
+TEST_F(ProcDieTest, InnerAndOuterCoreSets)
+{
+    EXPECT_EQ(die.innerCores, (std::vector<int>{1, 2, 5, 6}));
+    EXPECT_EQ(die.outerCores, (std::vector<int>{0, 3, 4, 7}));
+}
+
+TEST_F(ProcDieTest, CoresSitOnTopAndBottomRows)
+{
+    // Cores 1-4 (idx 0-3) on the top row, 5-8 on the bottom row.
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_GT(die.cores[i].y, die.plan.extent().h / 2.0);
+        EXPECT_LT(die.cores[4 + i].top(), die.plan.extent().h / 2.0);
+    }
+}
+
+TEST_F(ProcDieTest, LlcSitsInTheCenterBand)
+{
+    for (int i = 1; i <= 8; ++i) {
+        const auto &l2 = die.plan.at("L2_" + std::to_string(i));
+        EXPECT_TRUE(die.centerBand.contains(l2.rect)) << "L2_" << i;
+    }
+}
+
+TEST_F(ProcDieTest, TsvBusIsCentred)
+{
+    const auto c = die.tsvBus.center();
+    EXPECT_NEAR(c.x, die.plan.extent().w / 2.0, 1e-9);
+    EXPECT_NEAR(c.y, die.plan.extent().h / 2.0, 1e-9);
+}
+
+TEST_F(ProcDieTest, HotUnitsAreAtTheOuterEdge)
+{
+    // The FPU strip of a top-row core touches the top of its core
+    // (only the I/O ring separates it from the die rim); the L1s
+    // face the LLC band.
+    const auto &fpu1 = die.plan.at("C1.FPU");
+    EXPECT_NEAR(fpu1.rect.top(), die.cores[0].top(), 1e-9);
+    EXPECT_NEAR(die.cores[0].top(),
+                die.plan.extent().h - die.spec.ioRingWidth, 1e-9);
+    const auto &fpu5 = die.plan.at("C5.FPU");
+    EXPECT_NEAR(fpu5.rect.y, die.cores[4].y, 1e-9);
+    const auto &l1d1 = die.plan.at("C1.L1D");
+    EXPECT_LT(l1d1.rect.y, fpu1.rect.y);
+}
+
+TEST_F(ProcDieTest, IoRingSurroundsTheLogic)
+{
+    for (const char *name : {"IO.N", "IO.S", "IO.E", "IO.W"})
+        EXPECT_NE(die.plan.find(name), nullptr) << name;
+    // No core touches the die rim.
+    for (const auto &core : die.cores) {
+        EXPECT_GT(core.x, 0.0);
+        EXPECT_LT(core.right(), die.plan.extent().w);
+    }
+}
+
+TEST_F(ProcDieTest, FourMemoryControllers)
+{
+    for (int m = 0; m < 4; ++m)
+        EXPECT_NE(die.plan.find("MC" + std::to_string(m)), nullptr);
+    EXPECT_EQ(die.plan.find("MC4"), nullptr);
+}
+
+TEST_F(ProcDieTest, RejectsUnsupportedCoreCounts)
+{
+    ProcDieSpec spec;
+    spec.numCores = 4;
+    EXPECT_THROW(buildProcessorDie(spec), PanicError);
+}
+
+TEST_F(ProcDieTest, BlockNamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &b : die.plan.blocks())
+        EXPECT_TRUE(names.insert(b.name).second) << b.name;
+}
+
+// ---------------------------------------------------------------------
+// DRAM slice (Fig. 1 / Fig. 5)
+// ---------------------------------------------------------------------
+
+class DramDieTest : public ::testing::Test
+{
+  protected:
+    DramDie die = buildDramDie();
+};
+
+TEST_F(DramDieTest, FullCoverageNoOverlap)
+{
+    EXPECT_NEAR(die.plan.coverage(), 1.0, 1e-6);
+    EXPECT_TRUE(die.plan.overlapFree(1e-15));
+}
+
+TEST_F(DramDieTest, SixteenBanksFourPerChannel)
+{
+    ASSERT_EQ(die.banks.size(), 16u);
+    for (int ch = 0; ch < 4; ++ch) {
+        for (int b = 0; b < 4; ++b) {
+            EXPECT_NE(die.plan.find("CH" + std::to_string(ch) + ".B" +
+                                    std::to_string(b)),
+                      nullptr);
+        }
+    }
+}
+
+TEST_F(DramDieTest, ChannelsOccupyQuadrants)
+{
+    const double cx = die.plan.extent().w / 2.0;
+    const double cy = die.plan.extent().h / 2.0;
+    // Channel 0 bottom-left, 1 bottom-right, 2 top-left, 3 top-right.
+    EXPECT_LT(die.banks[0].center().x, cx);
+    EXPECT_LT(die.banks[0].center().y, cy);
+    EXPECT_GT(die.banks[4].center().x, cx);
+    EXPECT_LT(die.banks[4].center().y, cy);
+    EXPECT_LT(die.banks[8].center().x, cx);
+    EXPECT_GT(die.banks[8].center().y, cy);
+    EXPECT_GT(die.banks[12].center().x, cx);
+    EXPECT_GT(die.banks[12].center().y, cy);
+}
+
+TEST_F(DramDieTest, SiteCountsMatchSchemes)
+{
+    EXPECT_EQ(die.vertexSites.size(), 20u);
+    EXPECT_EQ(die.stripeSites.size(), 8u);
+    EXPECT_EQ(die.coreSites.size(), 8u);
+}
+
+TEST_F(DramDieTest, SitesLieInsideTheDie)
+{
+    for (const auto &sites :
+         {die.vertexSites, die.stripeSites, die.coreSites}) {
+        for (const auto &s : sites)
+            EXPECT_TRUE(die.plan.extent().contains(s));
+    }
+}
+
+TEST_F(DramDieTest, NoTtsvSiteInsideABank)
+{
+    // §4.2: TTSVs go in the peripheral logic, never inside a bank.
+    auto check = [&](const std::vector<geometry::Point> &sites) {
+        for (const auto &s : sites)
+            for (const auto &bank : die.banks)
+                EXPECT_FALSE(bank.contains(s))
+                    << "site (" << s.x << "," << s.y << ")";
+    };
+    check(die.vertexSites);
+    check(die.stripeSites);
+    check(die.coreSites);
+}
+
+TEST_F(DramDieTest, StripeSitesLieInTheCenterStripe)
+{
+    for (const auto &s : die.stripeSites)
+        EXPECT_TRUE(die.centerStripe.contains(s));
+}
+
+TEST_F(DramDieTest, StripeSitesAvoidTheTsvBus)
+{
+    // TTSVs (with KOZ) must not collide with the electrical TSV bus.
+    const auto koz_bus = die.tsvBus.inflated(60e-6);
+    for (const auto &s : die.stripeSites)
+        EXPECT_FALSE(koz_bus.contains(s));
+}
+
+TEST_F(DramDieTest, TsvBusMatchesProcessorDie)
+{
+    const ProcDie proc = buildProcessorDie();
+    EXPECT_NEAR(die.tsvBus.x, proc.tsvBus.x, 1e-9);
+    EXPECT_NEAR(die.tsvBus.y, proc.tsvBus.y, 1e-9);
+    EXPECT_NEAR(die.tsvBus.w, proc.tsvBus.w, 1e-9);
+    EXPECT_NEAR(die.tsvBus.h, proc.tsvBus.h, 1e-9);
+}
+
+TEST_F(DramDieTest, CoreSitesAreAtTheDieEdges)
+{
+    // The banke additions sit in the edge strips, under the outer
+    // (hot) rows of the projected cores.
+    for (const auto &s : die.coreSites) {
+        EXPECT_TRUE(s.y < 0.3e-3 || s.y > die.plan.extent().h - 0.3e-3);
+    }
+}
+
+TEST_F(DramDieTest, SitesDoNotCollideWithEachOther)
+{
+    std::vector<geometry::Point> all;
+    for (const auto &sites :
+         {die.vertexSites, die.stripeSites, die.coreSites})
+        all.insert(all.end(), sites.begin(), sites.end());
+    // TTSV + KOZ is a 120 µm square: centres must be >= 120 µm apart
+    // (the paired stripe sites are exactly at that limit by design).
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        for (std::size_t j = i + 1; j < all.size(); ++j) {
+            EXPECT_GE(geometry::distance(all[i], all[j]), 120e-6 - 1e-9)
+                << "sites " << i << " and " << j;
+        }
+    }
+}
+
+} // namespace
+} // namespace xylem::floorplan

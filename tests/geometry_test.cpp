@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Unit and property tests for rectangles, grids and scalar fields.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "geometry/grid.hpp"
+#include "geometry/rect.hpp"
+
+namespace xylem::geometry {
+namespace {
+
+TEST(Rect, AreaAndCorners)
+{
+    const Rect r{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(r.area(), 12.0);
+    EXPECT_DOUBLE_EQ(r.right(), 4.0);
+    EXPECT_DOUBLE_EQ(r.top(), 6.0);
+    EXPECT_DOUBLE_EQ(r.center().x, 2.5);
+    EXPECT_DOUBLE_EQ(r.center().y, 4.0);
+}
+
+TEST(Rect, ContainsPoint)
+{
+    const Rect r{0, 0, 1, 1};
+    EXPECT_TRUE(r.contains(Point{0.5, 0.5}));
+    EXPECT_TRUE(r.contains(Point{0.0, 0.0}));   // boundary inclusive
+    EXPECT_TRUE(r.contains(Point{1.0, 1.0}));
+    EXPECT_FALSE(r.contains(Point{1.1, 0.5}));
+    EXPECT_FALSE(r.contains(Point{0.5, -0.1}));
+}
+
+TEST(Rect, ContainsRect)
+{
+    const Rect outer{0, 0, 10, 10};
+    EXPECT_TRUE(outer.contains(Rect{1, 1, 2, 2}));
+    EXPECT_TRUE(outer.contains(outer));
+    EXPECT_FALSE(outer.contains(Rect{9, 9, 2, 2}));
+}
+
+TEST(Rect, OverlapsAndIntersection)
+{
+    const Rect a{0, 0, 2, 2};
+    const Rect b{1, 1, 2, 2};
+    EXPECT_TRUE(a.overlaps(b));
+    EXPECT_DOUBLE_EQ(a.intersectionArea(b), 1.0);
+    const Rect i = a.intersection(b);
+    EXPECT_DOUBLE_EQ(i.x, 1.0);
+    EXPECT_DOUBLE_EQ(i.y, 1.0);
+    EXPECT_DOUBLE_EQ(i.area(), 1.0);
+}
+
+TEST(Rect, EdgeSharingDoesNotOverlap)
+{
+    const Rect a{0, 0, 1, 1};
+    const Rect b{1, 0, 1, 1};
+    EXPECT_FALSE(a.overlaps(b));
+    EXPECT_DOUBLE_EQ(a.intersectionArea(b), 0.0);
+}
+
+TEST(Rect, DisjointIntersectionIsEmpty)
+{
+    const Rect a{0, 0, 1, 1};
+    const Rect b{5, 5, 1, 1};
+    EXPECT_DOUBLE_EQ(a.intersection(b).area(), 0.0);
+}
+
+TEST(Rect, Inflated)
+{
+    const Rect r = Rect{1, 1, 2, 2}.inflated(0.5);
+    EXPECT_DOUBLE_EQ(r.x, 0.5);
+    EXPECT_DOUBLE_EQ(r.y, 0.5);
+    EXPECT_DOUBLE_EQ(r.w, 3.0);
+    EXPECT_DOUBLE_EQ(r.h, 3.0);
+}
+
+TEST(Rect, IntersectionIsCommutative)
+{
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i) {
+        const Rect a{rng.uniform(0, 5), rng.uniform(0, 5),
+                     rng.uniform(0.1, 5), rng.uniform(0.1, 5)};
+        const Rect b{rng.uniform(0, 5), rng.uniform(0, 5),
+                     rng.uniform(0.1, 5), rng.uniform(0.1, 5)};
+        EXPECT_NEAR(a.intersectionArea(b), b.intersectionArea(a), 1e-12);
+    }
+}
+
+TEST(Point, Distance)
+{
+    EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+    EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Grid2D
+// ---------------------------------------------------------------------
+
+TEST(Grid2D, BasicGeometry)
+{
+    Grid2D g(Rect{0, 0, 8e-3, 8e-3}, 80, 80);
+    EXPECT_EQ(g.cells(), 6400u);
+    EXPECT_DOUBLE_EQ(g.cellWidth(), 1e-4);
+    EXPECT_DOUBLE_EQ(g.cellHeight(), 1e-4);
+    EXPECT_NEAR(g.cellArea(), 1e-8, 1e-18);
+}
+
+TEST(Grid2D, RejectsDegenerate)
+{
+    EXPECT_THROW(Grid2D(Rect{0, 0, 1, 1}, 0, 4), PanicError);
+    EXPECT_THROW(Grid2D(Rect{0, 0, 0, 1}, 4, 4), PanicError);
+}
+
+TEST(Grid2D, IndexLayout)
+{
+    Grid2D g(Rect{0, 0, 1, 1}, 4, 3);
+    EXPECT_EQ(g.index(0, 0), 0u);
+    EXPECT_EQ(g.index(3, 0), 3u);
+    EXPECT_EQ(g.index(0, 1), 4u);
+    EXPECT_EQ(g.index(3, 2), 11u);
+    EXPECT_THROW(g.index(4, 0), PanicError);
+}
+
+TEST(Grid2D, CellRectTiles)
+{
+    Grid2D g(Rect{0, 0, 1, 1}, 2, 2);
+    const Rect c = g.cellRect(1, 1);
+    EXPECT_DOUBLE_EQ(c.x, 0.5);
+    EXPECT_DOUBLE_EQ(c.y, 0.5);
+    EXPECT_DOUBLE_EQ(c.area(), 0.25);
+}
+
+TEST(Grid2D, LocateClampsOutOfRange)
+{
+    Grid2D g(Rect{0, 0, 1, 1}, 4, 4);
+    std::size_t ix, iy;
+    g.locate({-1.0, 2.0}, ix, iy);
+    EXPECT_EQ(ix, 0u);
+    EXPECT_EQ(iy, 3u);
+    g.locate({0.6, 0.1}, ix, iy);
+    EXPECT_EQ(ix, 2u);
+    EXPECT_EQ(iy, 0u);
+}
+
+TEST(Grid2D, OverlapFractionsForAlignedRect)
+{
+    Grid2D g(Rect{0, 0, 1, 1}, 4, 4);
+    double total = 0.0;
+    int visited = 0;
+    g.forEachOverlap(Rect{0.25, 0.25, 0.5, 0.5},
+                     [&](std::size_t, std::size_t, double f) {
+                         total += f;
+                         ++visited;
+                         EXPECT_NEAR(f, 1.0, 1e-9);
+                     });
+    EXPECT_EQ(visited, 4); // exactly the 4 central cells
+    EXPECT_NEAR(total, 4.0, 1e-9);
+}
+
+TEST(Grid2D, OverlapHandlesPartialCells)
+{
+    Grid2D g(Rect{0, 0, 1, 1}, 2, 2);
+    double covered = 0.0;
+    g.forEachOverlap(Rect{0.25, 0.25, 0.5, 0.5},
+                     [&](std::size_t, std::size_t, double f) {
+                         covered += f * g.cellArea();
+                     });
+    EXPECT_NEAR(covered, 0.25, 1e-12);
+}
+
+TEST(Grid2D, OverlapClipsToExtent)
+{
+    Grid2D g(Rect{0, 0, 1, 1}, 2, 2);
+    double covered = 0.0;
+    g.forEachOverlap(Rect{-1.0, -1.0, 1.5, 1.5},
+                     [&](std::size_t, std::size_t, double f) {
+                         covered += f * g.cellArea();
+                     });
+    EXPECT_NEAR(covered, 0.25, 1e-12);
+}
+
+TEST(Grid2D, OverlapIgnoresDisjointRect)
+{
+    Grid2D g(Rect{0, 0, 1, 1}, 2, 2);
+    int visited = 0;
+    g.forEachOverlap(Rect{2, 2, 1, 1},
+                     [&](std::size_t, std::size_t, double) { ++visited; });
+    EXPECT_EQ(visited, 0);
+}
+
+/** Property: overlapped cell area always sums to the clipped area. */
+TEST(Grid2D, OverlapAreaConservationProperty)
+{
+    Rng rng(97);
+    Grid2D g(Rect{0, 0, 2, 1}, 16, 8);
+    for (int i = 0; i < 300; ++i) {
+        const Rect r{rng.uniform(-0.5, 2.0), rng.uniform(-0.5, 1.0),
+                     rng.uniform(0.01, 1.5), rng.uniform(0.01, 1.0)};
+        double covered = 0.0;
+        g.forEachOverlap(r, [&](std::size_t, std::size_t, double f) {
+            covered += f * g.cellArea();
+        });
+        EXPECT_NEAR(covered, r.intersectionArea(g.extent()), 1e-10);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Field2D
+// ---------------------------------------------------------------------
+
+TEST(Field2D, FillAndAccess)
+{
+    Grid2D g(Rect{0, 0, 1, 1}, 4, 4);
+    Field2D f(g, 3.0);
+    EXPECT_DOUBLE_EQ(f.at(2, 2), 3.0);
+    f.at(1, 1) = 5.0;
+    EXPECT_DOUBLE_EQ(f.at(1, 1), 5.0);
+    f.fill(7.0);
+    EXPECT_DOUBLE_EQ(f.at(1, 1), 7.0);
+    EXPECT_DOUBLE_EQ(f.sum(), 7.0 * 16);
+    EXPECT_DOUBLE_EQ(f.max(), 7.0);
+}
+
+TEST(Field2D, PaintBlendsByAreaFraction)
+{
+    Grid2D g(Rect{0, 0, 1, 1}, 2, 2);
+    Field2D f(g, 100.0);
+    // Paint the left half of cell (0,0) with 0 -> cell becomes 50.
+    f.paint(Rect{0, 0, 0.25, 0.5}, 0.0);
+    EXPECT_NEAR(f.at(0, 0), 50.0, 1e-9);
+    EXPECT_DOUBLE_EQ(f.at(1, 0), 100.0);
+}
+
+TEST(Field2D, PaintFullCellOverwrites)
+{
+    Grid2D g(Rect{0, 0, 1, 1}, 2, 2);
+    Field2D f(g, 1.0);
+    f.paint(Rect{0.5, 0.5, 0.5, 0.5}, 9.0);
+    EXPECT_NEAR(f.at(1, 1), 9.0, 1e-9);
+}
+
+TEST(Field2D, DepositConservesTotal)
+{
+    Grid2D g(Rect{0, 0, 1, 1}, 8, 8);
+    Field2D f(g, 0.0);
+    f.deposit(Rect{0.1, 0.1, 0.55, 0.37}, 12.5);
+    EXPECT_NEAR(f.sum(), 12.5, 1e-9);
+}
+
+TEST(Field2D, DepositClippedRectConservesFullTotal)
+{
+    Grid2D g(Rect{0, 0, 1, 1}, 8, 8);
+    Field2D f(g, 0.0);
+    // Half of the rect lies outside the grid: all the power must
+    // still land on the field (watts cannot vanish), spread over the
+    // clipped part.
+    f.deposit(Rect{-0.5, 0.0, 1.0, 1.0}, 10.0);
+    EXPECT_NEAR(f.sum(), 10.0, 1e-9);
+    // ...and only on the covered columns.
+    EXPECT_GT(f.at(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(f.at(7, 0), 0.0);
+}
+
+TEST(Field2D, DepositAccumulates)
+{
+    Grid2D g(Rect{0, 0, 1, 1}, 4, 4);
+    Field2D f(g, 0.0);
+    f.deposit(Rect{0, 0, 1, 1}, 1.0);
+    f.deposit(Rect{0, 0, 0.5, 0.5}, 1.0);
+    EXPECT_NEAR(f.sum(), 2.0, 1e-9);
+    EXPECT_GT(f.at(0, 0), f.at(3, 3));
+}
+
+TEST(Field2D, DepositZeroIsNoop)
+{
+    Grid2D g(Rect{0, 0, 1, 1}, 4, 4);
+    Field2D f(g, 0.0);
+    f.deposit(Rect{0, 0, 1, 1}, 0.0);
+    EXPECT_DOUBLE_EQ(f.sum(), 0.0);
+}
+
+/** Property: painting then measuring reproduces the rule of mixtures. */
+TEST(Field2D, PaintConservesWeightedAverageProperty)
+{
+    Rng rng(31);
+    Grid2D g(Rect{0, 0, 1, 1}, 10, 10);
+    for (int i = 0; i < 100; ++i) {
+        Field2D f(g, 2.0);
+        const Rect r{rng.uniform(0, 0.8), rng.uniform(0, 0.8),
+                     rng.uniform(0.05, 0.2), rng.uniform(0.05, 0.2)};
+        f.paint(r, 10.0);
+        const double expected =
+            2.0 * (1.0 - r.area()) * 100.0 + 10.0 * r.area() * 100.0;
+        EXPECT_NEAR(f.sum(), expected, 1e-6);
+    }
+}
+
+} // namespace
+} // namespace xylem::geometry

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the text I/O helpers: the SystemConfig key=value format
+ * and the gem5-style statistics report.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "cpu/multicore.hpp"
+#include "cpu/stats_report.hpp"
+#include "workloads/profile.hpp"
+#include "xylem/config_io.hpp"
+
+namespace xylem::core {
+namespace {
+
+TEST(ConfigIo, ParsesAllKeys)
+{
+    std::istringstream in(R"(
+# a comment
+scheme = banke
+numDramDies = 12
+dieThicknessUm = 50     # inline comment
+gridNx = 40
+gridNy = 48
+d2dLambdaOverride = 2.5
+ambientCelsius = 42
+convectionResistance = 0.2
+solverTolerance = 1e-7
+instsPerThread = 123456
+warmupInsts = 1000
+seed = 99
+tjMaxProc = 97
+tMaxDram = 93
+electroThermalIterations = 3
+leakageTempCoefficient = 0.015
+)");
+    const SystemConfig cfg = parseSystemConfig(in);
+    EXPECT_EQ(cfg.stackSpec.scheme, stack::Scheme::BankE);
+    EXPECT_EQ(cfg.stackSpec.numDramDies, 12);
+    EXPECT_DOUBLE_EQ(cfg.stackSpec.dieThickness, 50e-6);
+    EXPECT_EQ(cfg.stackSpec.gridNx, 40u);
+    EXPECT_EQ(cfg.stackSpec.gridNy, 48u);
+    EXPECT_DOUBLE_EQ(cfg.stackSpec.d2dLambdaOverride, 2.5);
+    EXPECT_DOUBLE_EQ(cfg.solver.ambientCelsius, 42.0);
+    EXPECT_DOUBLE_EQ(cfg.solver.convectionResistance, 0.2);
+    EXPECT_DOUBLE_EQ(cfg.solver.tolerance, 1e-7);
+    EXPECT_EQ(cfg.cpu.instsPerThread, 123456u);
+    EXPECT_EQ(cfg.cpu.warmupInsts, 1000u);
+    EXPECT_EQ(cfg.cpu.seed, 99u);
+    EXPECT_DOUBLE_EQ(cfg.tjMaxProc, 97.0);
+    EXPECT_DOUBLE_EQ(cfg.tMaxDram, 93.0);
+    EXPECT_EQ(cfg.electroThermalIterations, 3);
+    EXPECT_DOUBLE_EQ(cfg.leakage.tempCoefficient, 0.015);
+}
+
+TEST(ConfigIo, EmptyInputGivesDefaults)
+{
+    std::istringstream in("   \n# only comments\n");
+    const SystemConfig cfg = parseSystemConfig(in);
+    EXPECT_EQ(cfg.stackSpec.scheme, stack::Scheme::Base);
+    EXPECT_EQ(cfg.stackSpec.numDramDies, 8);
+}
+
+TEST(ConfigIo, RejectsUnknownKey)
+{
+    std::istringstream in("nonsense = 1\n");
+    EXPECT_THROW(parseSystemConfig(in), FatalError);
+}
+
+TEST(ConfigIo, RejectsMalformedLines)
+{
+    {
+        std::istringstream in("scheme banke\n");
+        EXPECT_THROW(parseSystemConfig(in), FatalError);
+    }
+    {
+        std::istringstream in("gridNx = twelve\n");
+        EXPECT_THROW(parseSystemConfig(in), FatalError);
+    }
+    {
+        std::istringstream in("gridNx = 12.5\n");
+        EXPECT_THROW(parseSystemConfig(in), FatalError);
+    }
+    {
+        std::istringstream in("gridNx =\n");
+        EXPECT_THROW(parseSystemConfig(in), FatalError);
+    }
+    {
+        std::istringstream in("scheme = hotdog\n");
+        EXPECT_THROW(parseSystemConfig(in), FatalError);
+    }
+}
+
+TEST(ConfigIo, ErrorMessagesCarryLineNumbers)
+{
+    std::istringstream in("scheme = bank\n\nbad line here\n");
+    try {
+        parseSystemConfig(in);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    }
+}
+
+TEST(ConfigIo, FormatParseRoundTrip)
+{
+    SystemConfig cfg;
+    cfg.stackSpec.scheme = stack::Scheme::IsoCount;
+    cfg.stackSpec.numDramDies = 4;
+    cfg.solver.ambientCelsius = 37.5;
+    cfg.cpu.seed = 777;
+    cfg.electroThermalIterations = 2;
+    std::istringstream in(formatSystemConfig(cfg));
+    const SystemConfig back = parseSystemConfig(in);
+    EXPECT_EQ(back.stackSpec.scheme, stack::Scheme::IsoCount);
+    EXPECT_EQ(back.stackSpec.numDramDies, 4);
+    EXPECT_DOUBLE_EQ(back.solver.ambientCelsius, 37.5);
+    EXPECT_EQ(back.cpu.seed, 777u);
+    EXPECT_EQ(back.electroThermalIterations, 2);
+}
+
+TEST(ConfigIo, MissingFileFails)
+{
+    EXPECT_THROW(loadSystemConfig("/no/such/file.cfg"), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Stats report
+// ---------------------------------------------------------------------
+
+TEST(StatsReport, ContainsTheHeadlineNumbers)
+{
+    cpu::MulticoreConfig cfg;
+    cfg.instsPerThread = 20000;
+    cfg.warmupInsts = 30000;
+    const auto &app = workloads::profileByName("FFT");
+    const cpu::SimResult r =
+        cpu::simulate(cfg, {{&app, 0}, {&app, 3}});
+
+    std::ostringstream os;
+    cpu::printReport(os, r);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("sim.seconds"), std::string::npos);
+    EXPECT_NE(s.find("core 0"), std::string::npos);
+    EXPECT_NE(s.find("core 1 (idle)"), std::string::npos);
+    EXPECT_NE(s.find("l2.mpki"), std::string::npos);
+    EXPECT_NE(s.find("dram.rowHitRate"), std::string::npos);
+    EXPECT_NE(s.find("dram.die0.accesses"), std::string::npos);
+}
+
+TEST(StatsReport, SectionsCanBeDisabled)
+{
+    cpu::MulticoreConfig cfg;
+    cfg.instsPerThread = 10000;
+    cfg.warmupInsts = 10000;
+    const auto &app = workloads::profileByName("FFT");
+    const cpu::SimResult r = cpu::simulate(cfg, {{&app, 0}});
+
+    cpu::ReportOptions opts;
+    opts.perCore = false;
+    opts.dram = false;
+    std::ostringstream os;
+    cpu::printReport(os, r, opts);
+    const std::string s = os.str();
+    EXPECT_EQ(s.find("core 0"), std::string::npos);
+    EXPECT_EQ(s.find("dram.requests"), std::string::npos);
+    EXPECT_NE(s.find("sim.ips"), std::string::npos);
+}
+
+} // namespace
+} // namespace xylem::core

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the material library: the mixing rules of §6.1 and the
+ * paper's headline thermal-resistance numbers (Fig. 3, §2.5, §4.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+#include "materials/library.hpp"
+
+namespace xylem::materials {
+namespace {
+
+using namespace constants;
+
+TEST(Mixture, RuleOfMixtures)
+{
+    // §6.1 worked example: 25% Cu + 75% Si = 190 W/mK.
+    EXPECT_DOUBLE_EQ(mixConductivity(400.0, 0.25, 120.0), 190.0);
+}
+
+TEST(Mixture, DegenerateFractions)
+{
+    EXPECT_DOUBLE_EQ(mixConductivity(400.0, 1.0, 120.0), 400.0);
+    EXPECT_DOUBLE_EQ(mixConductivity(400.0, 0.0, 120.0), 120.0);
+}
+
+TEST(Mixture, RejectsBadFraction)
+{
+    EXPECT_THROW(mixConductivity(1.0, 1.5, 2.0), PanicError);
+    EXPECT_THROW(mixConductivity(1.0, -0.1, 2.0), PanicError);
+}
+
+TEST(Mixture, HeatCapacityMix)
+{
+    EXPECT_DOUBLE_EQ(mixHeatCapacity(4.0, 0.5, 2.0), 3.0);
+}
+
+TEST(Series, TwoLayerStack)
+{
+    // 18 µm at 40 W/mK + 2 µm at 400 W/mK -> R = 0.455 mm²K/W over
+    // 20 µm (the paper rounds to 0.46), i.e. λ_eff ≈ 44 W/mK (§4.1.2).
+    const double lambda = seriesConductivity({18e-6, 2e-6}, {40.0, 400.0});
+    EXPECT_NEAR(20e-6 / lambda, 0.46 * units::mm2KperW,
+                0.01 * units::mm2KperW);
+    EXPECT_NEAR(lambda, 43.96, 0.05);
+}
+
+TEST(Series, SingleLayerIsIdentity)
+{
+    EXPECT_DOUBLE_EQ(seriesConductivity({5e-6}, {7.0}), 7.0);
+}
+
+TEST(Series, RejectsMismatchedOrEmpty)
+{
+    EXPECT_THROW(seriesConductivity({}, {}), PanicError);
+    EXPECT_THROW(seriesConductivity({1e-6}, {1.0, 2.0}), PanicError);
+    EXPECT_THROW(seriesConductivity({0.0}, {1.0}), PanicError);
+}
+
+TEST(Slab, Resistance)
+{
+    EXPECT_DOUBLE_EQ(slabResistance(20e-6, 1.5), 20e-6 / 1.5);
+    EXPECT_THROW(slabResistance(0.0, 1.0), PanicError);
+    EXPECT_THROW(slabResistance(1.0, 0.0), PanicError);
+}
+
+// ---------------------------------------------------------------------
+// Paper constants (Table 1, §2.5).
+// ---------------------------------------------------------------------
+
+TEST(PaperNumbers, D2DLayerResistance)
+{
+    // R_th of the average D2D layer ≈ 13.33 mm²K/W.
+    const double r = slabResistance(thicknessD2D, lambdaD2DBackground);
+    EXPECT_NEAR(r / units::mm2KperW, 13.33, 0.01);
+}
+
+TEST(PaperNumbers, BulkSiliconResistance)
+{
+    // ≈ 0.83 mm²K/W for 100 µm of silicon.
+    const double r = slabResistance(thicknessDieSilicon, lambdaSilicon);
+    EXPECT_NEAR(r / units::mm2KperW, 0.83, 0.01);
+}
+
+TEST(PaperNumbers, ProcMetalResistance)
+{
+    // ≈ 1 mm²K/W for the 12 µm processor metal stack.
+    const double r = slabResistance(thicknessProcMetal, lambdaProcMetal);
+    EXPECT_NEAR(r / units::mm2KperW, 1.0, 0.01);
+}
+
+TEST(PaperNumbers, FrontsideMetalResistance)
+{
+    // Fig. 3c: R_th of the DRAM frontside metal ≈ 0.22 mm²K/W
+    // (d = 2 µm, λ = 9 W/mK).
+    const double r = slabResistance(thicknessDramMetal, lambdaDramMetal);
+    EXPECT_NEAR(r / units::mm2KperW, 0.222, 0.001);
+}
+
+TEST(PaperNumbers, D2DIsRoughly16xSiliconAnd13xMetal)
+{
+    const double d2d = slabResistance(thicknessD2D, lambdaD2DBackground);
+    const double si = slabResistance(thicknessDieSilicon, lambdaSilicon);
+    const double metal = slabResistance(thicknessProcMetal,
+                                        lambdaProcMetal);
+    EXPECT_NEAR(d2d / si, 16.0, 0.5);
+    EXPECT_NEAR(d2d / metal, 13.33, 0.5);
+}
+
+TEST(PaperNumbers, ShortedPillarIs30xBetterThanAverageD2D)
+{
+    const Material pillar = shortedBumpColumn();
+    const double r_pillar = slabResistance(thicknessD2D,
+                                           pillar.conductivity);
+    const double r_avg = slabResistance(thicknessD2D,
+                                        lambdaD2DBackground);
+    EXPECT_NEAR(r_avg / r_pillar, 29.0, 1.0); // "≈30x lower" (§4.1.2)
+}
+
+// ---------------------------------------------------------------------
+// Library materials.
+// ---------------------------------------------------------------------
+
+TEST(Library, Table1Conductivities)
+{
+    EXPECT_DOUBLE_EQ(silicon().conductivity, 120.0);
+    EXPECT_DOUBLE_EQ(copper().conductivity, 400.0);
+    EXPECT_DOUBLE_EQ(tsvBus().conductivity, 190.0);
+    EXPECT_DOUBLE_EQ(dramMetal().conductivity, 9.0);
+    EXPECT_DOUBLE_EQ(procMetal().conductivity, 12.0);
+    EXPECT_DOUBLE_EQ(d2dBackground().conductivity, 1.5);
+    EXPECT_DOUBLE_EQ(tim().conductivity, 5.0);
+    EXPECT_DOUBLE_EQ(ihs().conductivity, 400.0);
+    EXPECT_DOUBLE_EQ(heatSink().conductivity, 400.0);
+}
+
+TEST(Library, NamesAreSet)
+{
+    EXPECT_EQ(silicon().name, "Si");
+    EXPECT_EQ(tsvBus().name, "TSV-bus");
+    EXPECT_FALSE(shortedBumpColumn().name.empty());
+}
+
+TEST(Library, HeatCapacitiesArePositive)
+{
+    for (const Material &m :
+         {silicon(), copper(), tsvBus(), dramMetal(), procMetal(),
+          d2dBackground(), shortedBumpColumn(),
+          alignedUnshortedBumpColumn(), tim(), ihs(), heatSink()}) {
+        EXPECT_GT(m.heatCapacity, 0.0) << m.name;
+        EXPECT_GT(m.conductivity, 0.0) << m.name;
+    }
+}
+
+TEST(Library, UnshortedBumpColumnIsWorseThanShorted)
+{
+    EXPECT_LT(alignedUnshortedBumpColumn().conductivity,
+              shortedBumpColumn().conductivity);
+    // But still far better than the average D2D layer.
+    EXPECT_GT(alignedUnshortedBumpColumn().conductivity,
+              10.0 * lambdaD2DBackground);
+}
+
+TEST(Library, StackGeometryConstants)
+{
+    EXPECT_DOUBLE_EQ(thicknessDieSilicon, 100e-6);
+    EXPECT_DOUBLE_EQ(thicknessD2D, 20e-6);
+    EXPECT_DOUBLE_EQ(thicknessTim, 50e-6);
+    EXPECT_DOUBLE_EQ(sideHeatSink, 6e-2);
+    EXPECT_DOUBLE_EQ(sideIhs, 3e-2);
+    EXPECT_DOUBLE_EQ(ttsvSide, 100e-6);
+    EXPECT_DOUBLE_EQ(ttsvKoz, 10e-6);
+    EXPECT_DOUBLE_EQ(thicknessMicroBump + thicknessBacksideVia,
+                     thicknessD2D);
+}
+
+} // namespace
+} // namespace xylem::materials

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for power-map painting: conservation of watts, and that power
+ * lands on the right layers and regions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "xylem/painter.hpp"
+
+namespace xylem::core {
+namespace {
+
+stack::BuiltStack
+makeStack(int dies = 2)
+{
+    stack::StackSpec spec;
+    spec.numDramDies = dies;
+    spec.gridNx = 40;
+    spec.gridNy = 40;
+    return stack::buildStack(spec);
+}
+
+power::ProcPower
+makeProcPower()
+{
+    power::ProcPower p;
+    p.coreDynamic.resize(8);
+    p.coreLeakage.assign(8, 0.4);
+    p.l2Dynamic.assign(8, 0.1);
+    p.l2Leakage.assign(8, 0.15);
+    p.mcPower.assign(4, 0.2);
+    p.busDynamic = 0.3;
+    p.uncoreLeakage = 0.5;
+    for (auto &d : p.coreDynamic) {
+        d.fetch = 0.1;
+        d.fpu = 0.3;
+        d.alu = 0.2;
+        d.l1d = 0.1;
+        d.clock = 0.5;
+    }
+    return p;
+}
+
+TEST(Painter, ProcessorPowerIsConserved)
+{
+    const auto stk = makeStack();
+    const power::ProcPower p = makeProcPower();
+    thermal::PowerMap map(stk);
+    paintProcessorPower(map, stk, p);
+    EXPECT_NEAR(map.totalPower(), p.total(), 1e-9);
+    EXPECT_NEAR(map.layerPower(stk.procMetal), p.total(), 1e-9);
+}
+
+TEST(Painter, ProcessorPowerLandsOnlyOnTheProcMetalLayer)
+{
+    const auto stk = makeStack();
+    thermal::PowerMap map(stk);
+    paintProcessorPower(map, stk, makeProcPower());
+    for (std::size_t l = 0; l < stk.layers.size(); ++l) {
+        if (static_cast<int>(l) != stk.procMetal) {
+            EXPECT_DOUBLE_EQ(map.layerPower(static_cast<int>(l)), 0.0);
+        }
+    }
+}
+
+TEST(Painter, CorePowerIsLocalisedToTheCore)
+{
+    const auto stk = makeStack();
+    power::ProcPower p = makeProcPower();
+    // Give core 1 (index 0) lots of extra FPU power.
+    p.coreDynamic[0].fpu = 5.0;
+    thermal::PowerMap map(stk);
+    paintProcessorPower(map, stk, p);
+
+    const auto &field = map.layer(stk.procMetal);
+    auto power_in = [&](const geometry::Rect &r) {
+        double total = 0.0;
+        stk.grid.forEachOverlap(
+            r, [&](std::size_t ix, std::size_t iy, double f) {
+                total += field.at(ix, iy) * f;
+            });
+        return total;
+    };
+    const double in_core0 = power_in(stk.procDie.cores[0]);
+    const double in_core2 = power_in(stk.procDie.cores[2]);
+    EXPECT_GT(in_core0, in_core2 + 4.0);
+}
+
+TEST(Painter, FpuBlockIsTheHottestSpotOfItsCore)
+{
+    const auto stk = makeStack();
+    power::ProcPower p = makeProcPower();
+    thermal::PowerMap map(stk);
+    paintProcessorPower(map, stk, p);
+    const auto &field = map.layer(stk.procMetal);
+    const auto &fpu = stk.procDie.plan.at("C1.FPU").rect;
+    const auto &l1i = stk.procDie.plan.at("C1.L1I").rect;
+    std::size_t fx, fy, lx, ly;
+    stk.grid.locate(fpu.center(), fx, fy);
+    stk.grid.locate(l1i.center(), lx, ly);
+    EXPECT_GT(field.at(fx, fy), field.at(lx, ly));
+}
+
+TEST(Painter, DramPowerIsConservedPerDie)
+{
+    const auto stk = makeStack(2);
+    cpu::SimResult sim;
+    sim.seconds = 1.0;
+    sim.dram.dies.resize(2);
+    sim.dram.dies[0].banks[3].reads = 1000000;     // CH0.B3
+    sim.dram.dies[1].banks[12].activates = 500000; // CH3.B0
+    sim.dram.refreshOps = 1000;
+
+    dram::DramConfig cfg;
+    cfg.geometry.numDies = 2;
+    thermal::PowerMap map(stk);
+    paintDramPower(map, stk, sim, cfg);
+
+    const auto &e = cfg.energy;
+    const double refresh = 1000 * e.refreshPerOp;
+    const double die0_expected =
+        1e6 * e.read + e.backgroundPerDie + refresh / 2.0;
+    const double die1_expected =
+        5e5 * e.actPre + e.backgroundPerDie + refresh / 2.0;
+    EXPECT_NEAR(map.layerPower(stk.dramMetal[0]), die0_expected, 1e-9);
+    EXPECT_NEAR(map.layerPower(stk.dramMetal[1]), die1_expected, 1e-9);
+    EXPECT_DOUBLE_EQ(map.layerPower(stk.procMetal), 0.0);
+}
+
+TEST(Painter, BankPowerLandsOnTheBankRect)
+{
+    const auto stk = makeStack(1);
+    cpu::SimResult sim;
+    sim.seconds = 1.0;
+    sim.dram.dies.resize(1);
+    sim.dram.dies[0].banks[0].reads = 10000000; // 40 mJ -> 40 W
+
+    dram::DramConfig cfg;
+    cfg.geometry.numDies = 1;
+    cfg.energy.backgroundPerDie = 0.0;
+    thermal::PowerMap map(stk);
+    paintDramPower(map, stk, sim, cfg);
+
+    const auto &field = map.layer(stk.dramMetal[0]);
+    const auto &bank = stk.dramDie.banks[0];
+    std::size_t bx, by;
+    stk.grid.locate(bank.center(), bx, by);
+    EXPECT_GT(field.at(bx, by), 0.0);
+    // The opposite corner bank got nothing.
+    std::size_t ox, oy;
+    stk.grid.locate(stk.dramDie.banks[15].center(), ox, oy);
+    EXPECT_DOUBLE_EQ(field.at(ox, oy), 0.0);
+}
+
+TEST(Painter, MismatchedDieCountsThrow)
+{
+    const auto stk = makeStack(2);
+    cpu::SimResult sim;
+    sim.seconds = 1.0;
+    sim.dram.dies.resize(4);
+    dram::DramConfig cfg;
+    thermal::PowerMap map(stk);
+    EXPECT_THROW(paintDramPower(map, stk, sim, cfg), PanicError);
+}
+
+TEST(Painter, MismatchedCoreCountThrows)
+{
+    const auto stk = makeStack();
+    power::ProcPower p = makeProcPower();
+    p.coreDynamic.resize(4);
+    thermal::PowerMap map(stk);
+    EXPECT_THROW(paintProcessorPower(map, stk, p), PanicError);
+}
+
+} // namespace
+} // namespace xylem::core

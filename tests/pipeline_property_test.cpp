@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Randomised property tests across module boundaries: energy balance
+ * on random stacks, DRAM bandwidth caps under saturation, and
+ * pipeline invariants that must hold for every application.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "cpu/multicore.hpp"
+#include "dram/wideio.hpp"
+#include "stack/stack.hpp"
+#include "thermal/grid_model.hpp"
+#include "workloads/profile.hpp"
+
+namespace xylem {
+namespace {
+
+/** Energy balance must hold for arbitrary stacks and power maps. */
+TEST(PipelineProperty, EnergyBalanceOnRandomStacks)
+{
+    Rng rng(2024);
+    for (int trial = 0; trial < 6; ++trial) {
+        stack::StackSpec spec;
+        spec.numDramDies = 1 + static_cast<int>(rng.below(4));
+        spec.gridNx = 8 + rng.below(3) * 8;
+        spec.gridNy = spec.gridNx;
+        spec.scheme = stack::allSchemes()[rng.below(5)];
+        spec.dieThickness = rng.uniform(40e-6, 200e-6);
+        const auto stk = stack::buildStack(spec);
+
+        thermal::SolverOptions opts;
+        opts.tolerance = 1e-10;
+        opts.convectionResistance = rng.uniform(0.05, 0.5);
+        const thermal::GridModel model(stk, opts);
+
+        thermal::PowerMap power(stk);
+        double total = 0.0;
+        for (int k = 0; k < 4; ++k) {
+            const double watts = rng.uniform(0.5, 8.0);
+            const geometry::Rect r{rng.uniform(0, 6e-3),
+                                   rng.uniform(0, 6e-3),
+                                   rng.uniform(0.5e-3, 2e-3),
+                                   rng.uniform(0.5e-3, 2e-3)};
+            const int layer = rng.chance(0.7)
+                                  ? stk.procMetal
+                                  : stk.dramMetal[rng.below(
+                                        static_cast<std::uint64_t>(
+                                            spec.numDramDies))];
+            power.deposit(layer, r, watts);
+            total += watts;
+        }
+        const auto field = model.solveSteady(power);
+        EXPECT_NEAR(model.heatOutflow(field), total, total * 1e-3 + 1e-6)
+            << "trial " << trial;
+        // Nothing below ambient, hotspot above ambient.
+        for (double t : field.nodes())
+            EXPECT_GE(t, opts.ambientCelsius - 1e-6);
+    }
+}
+
+/** Adding pillars must never make any cell hotter (same power map). */
+TEST(PipelineProperty, PillarsAreMonotonicallyGood)
+{
+    stack::StackSpec spec;
+    spec.numDramDies = 3;
+    spec.gridNx = 32;
+    spec.gridNy = 32;
+    spec.scheme = stack::Scheme::Base;
+    const auto base = stack::buildStack(spec);
+    spec.scheme = stack::Scheme::Bank;
+    const auto bank = stack::buildStack(spec);
+    spec.scheme = stack::Scheme::BankE;
+    const auto banke = stack::buildStack(spec);
+
+    thermal::PowerMap power(base);
+    power.deposit(base.procMetal, base.grid.extent(), 15.0);
+    power.deposit(base.procMetal, geometry::Rect{1e-3, 6e-3, 2e-3, 1e-3},
+                  4.0);
+
+    const thermal::GridModel m0(base, {});
+    const thermal::GridModel m1(bank, {});
+    const thermal::GridModel m2(banke, {});
+    const auto f0 = m0.solveSteady(power);
+    const auto f1 = m1.solveSteady(power);
+    const auto f2 = m2.solveSteady(power);
+    const std::size_t proc = static_cast<std::size_t>(base.procMetal);
+    // Hotspot ordering (per-cell monotonicity does not strictly hold
+    // because pillars redirect flow, but the hotspot must improve).
+    EXPECT_LE(f1.maxOfLayer(proc), f0.maxOfLayer(proc) + 1e-6);
+    EXPECT_LE(f2.maxOfLayer(proc), f1.maxOfLayer(proc) + 1e-6);
+    // Mean temperature must improve as well.
+    EXPECT_LT(f2.meanOfLayer(proc), f0.meanOfLayer(proc));
+}
+
+/** DRAM throughput can never exceed the channel data-bus capacity. */
+TEST(PipelineProperty, DramBandwidthIsCapped)
+{
+    dram::DramConfig cfg;
+    dram::WideIoDram dram(cfg);
+    Rng rng(7);
+    // Saturate: issue requests far faster than the device can serve.
+    double done = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        done = std::max(done, dram.access(static_cast<double>(i) * 0.5,
+                                          rng() & ~63ull, false));
+    }
+    const double bytes = 64.0 * n;
+    const double achieved_gbps = bytes / done; // bytes per ns = GB/s
+    // 4 channels x 64 B / tBURST(5 ns) = 51.2 GB/s theoretical peak.
+    EXPECT_LE(achieved_gbps, 51.2 + 0.1);
+    EXPECT_GT(achieved_gbps, 10.0); // and the model does saturate
+}
+
+/** Invariants that must hold for every application in the suite. */
+class SuiteInvariantTest
+    : public ::testing::TestWithParam<workloads::Profile>
+{
+};
+
+TEST_P(SuiteInvariantTest, SimulationInvariants)
+{
+    cpu::MulticoreConfig cfg;
+    cfg.instsPerThread = 30000;
+    cfg.warmupInsts = 60000;
+    const auto r = cpu::simulate(cfg, cpu::allCoresRunning(GetParam()));
+    EXPECT_GT(r.seconds, 0.0);
+    for (const auto &c : r.cores) {
+        // IPC within (0, issueWidth]; all counters consistent.
+        EXPECT_GT(c.ipc(), 0.0);
+        EXPECT_LE(c.ipc(), 4.0);
+        EXPECT_EQ(c.insts, cfg.instsPerThread);
+        EXPECT_LE(c.l2Misses, c.l2Accesses);
+        EXPECT_LE(c.dramAccesses, c.l2Misses);
+    }
+    // DRAM accounting is globally consistent: every fill/writeback
+    // the cores issued is visible in the device statistics.
+    std::uint64_t core_side = 0;
+    for (const auto &c : r.cores)
+        core_side += c.dramAccesses;
+    std::uint64_t device_side = 0;
+    for (const auto &die : r.dram.dies)
+        device_side += die.totalAccesses();
+    EXPECT_GE(device_side, core_side); // writebacks add to the device
+    EXPECT_EQ(r.dram.requests, device_side);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, SuiteInvariantTest,
+    ::testing::ValuesIn(workloads::suite()), [](const auto &info) {
+        std::string name = info.param.name;
+        for (char &ch : name)
+            if (!isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace xylem

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests for the DVFS table and the McPAT-lite power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "power/mcpat_lite.hpp"
+
+namespace xylem::power {
+namespace {
+
+// ---------------------------------------------------------------------
+// DVFS table
+// ---------------------------------------------------------------------
+
+TEST(Dvfs, StandardTableMatchesSection62)
+{
+    const DvfsTable t = DvfsTable::standard();
+    // 2.4 to 3.5 GHz in 100 MHz steps -> 12 points.
+    EXPECT_EQ(t.points().size(), 12u);
+    EXPECT_DOUBLE_EQ(t.minFrequency(), 2.4);
+    EXPECT_DOUBLE_EQ(t.maxFrequency(), 3.5);
+    EXPECT_DOUBLE_EQ(t.stepGHz(), 0.1);
+}
+
+TEST(Dvfs, VoltageIsMonotonic)
+{
+    const DvfsTable t = DvfsTable::standard();
+    double prev = 0.0;
+    for (const auto &pt : t.points()) {
+        EXPECT_GE(pt.voltage, prev);
+        prev = pt.voltage;
+    }
+    EXPECT_DOUBLE_EQ(t.points().front().voltage, 0.90);
+    EXPECT_DOUBLE_EQ(t.points().back().voltage, 0.95);
+}
+
+TEST(Dvfs, VoltageInterpolatesAndClamps)
+{
+    const DvfsTable t = DvfsTable::standard();
+    EXPECT_DOUBLE_EQ(t.voltageAt(2.4), 0.90);
+    EXPECT_DOUBLE_EQ(t.voltageAt(3.5), 0.95);
+    EXPECT_DOUBLE_EQ(t.voltageAt(1.0), 0.90);  // clamped below
+    EXPECT_DOUBLE_EQ(t.voltageAt(9.0), 0.95);  // clamped above
+    const double mid = t.voltageAt(2.95);
+    EXPECT_GT(mid, 0.90);
+    EXPECT_LT(mid, 0.95);
+}
+
+TEST(Dvfs, ValidFrequencies)
+{
+    const DvfsTable t = DvfsTable::standard();
+    EXPECT_TRUE(t.isValidFrequency(2.4));
+    EXPECT_TRUE(t.isValidFrequency(3.0));
+    EXPECT_FALSE(t.isValidFrequency(2.45));
+    EXPECT_FALSE(t.isValidFrequency(3.6));
+}
+
+TEST(Dvfs, FloorFrequency)
+{
+    const DvfsTable t = DvfsTable::standard();
+    EXPECT_DOUBLE_EQ(t.floorFrequency(2.79), 2.7);
+    EXPECT_DOUBLE_EQ(t.floorFrequency(2.4), 2.4);
+    EXPECT_DOUBLE_EQ(t.floorFrequency(1.0), 2.4);  // clamped
+    EXPECT_DOUBLE_EQ(t.floorFrequency(99.0), 3.5);
+}
+
+TEST(Dvfs, FrequenciesVector)
+{
+    const auto fs = DvfsTable::standard().frequencies();
+    ASSERT_EQ(fs.size(), 12u);
+    EXPECT_DOUBLE_EQ(fs.front(), 2.4);
+    EXPECT_DOUBLE_EQ(fs.back(), 3.5);
+    for (std::size_t i = 1; i < fs.size(); ++i)
+        EXPECT_NEAR(fs[i] - fs[i - 1], 0.1, 1e-12);
+}
+
+TEST(Dvfs, RejectsBadRanges)
+{
+    EXPECT_THROW(DvfsTable(0.0, 1.0, 0.1, 0.9, 1.0), PanicError);
+    EXPECT_THROW(DvfsTable(2.0, 1.0, 0.1, 0.9, 1.0), PanicError);
+    EXPECT_THROW(DvfsTable(1.0, 2.0, 0.1, 1.0, 0.9), PanicError);
+}
+
+// ---------------------------------------------------------------------
+// McPAT-lite
+// ---------------------------------------------------------------------
+
+/** A hand-crafted simulation result for exact power arithmetic. */
+cpu::SimResult
+craftedResult(int cores = 8)
+{
+    cpu::SimResult r;
+    r.seconds = 1.0; // rates == counts
+    r.cores.resize(cores);
+    r.mcRequests.assign(4, 0);
+    for (auto &c : r.cores)
+        c.hasThread = true;
+    return r;
+}
+
+TEST(McPat, ZeroActivityLeavesLeakageAndClock)
+{
+    const McPatLite model = McPatLite::standard();
+    cpu::SimResult r = craftedResult();
+    const std::vector<double> freqs(8, 2.4);
+    const ProcPower p = model.procPower(r, freqs);
+
+    const auto &e = model.energyParams();
+    const auto &l = model.leakageParams();
+    // At the nominal voltage the scale factors are exactly 1.
+    const double expected_clock = 2.4e9 * e.clockPerCycle;
+    for (int c = 0; c < 8; ++c) {
+        EXPECT_NEAR(p.coreDynamic[c].total(), expected_clock, 1e-9);
+        EXPECT_DOUBLE_EQ(p.coreLeakage[c], l.perCore);
+        EXPECT_DOUBLE_EQ(p.l2Leakage[c], l.perL2Slice);
+        EXPECT_DOUBLE_EQ(p.l2Dynamic[c], 0.0);
+    }
+    EXPECT_DOUBLE_EQ(p.busDynamic, 0.0);
+    EXPECT_DOUBLE_EQ(p.uncoreLeakage, l.uncore);
+    for (double m : p.mcPower)
+        EXPECT_DOUBLE_EQ(m, e.mcStaticEach);
+}
+
+TEST(McPat, IdleCoresAreClockGated)
+{
+    const McPatLite model = McPatLite::standard();
+    cpu::SimResult r = craftedResult();
+    r.cores[3].hasThread = false;
+    const std::vector<double> freqs(8, 2.4);
+    const ProcPower p = model.procPower(r, freqs);
+    EXPECT_LT(p.coreDynamic[3].clock, p.coreDynamic[0].clock);
+    EXPECT_NEAR(p.coreDynamic[3].clock,
+                p.coreDynamic[0].clock *
+                    model.energyParams().idleClockFraction,
+                1e-9);
+}
+
+TEST(McPat, DynamicPowerMatchesHandArithmetic)
+{
+    const McPatLite model = McPatLite::standard();
+    cpu::SimResult r = craftedResult();
+    auto &c = r.cores[0];
+    c.insts = 1000000000; // 1G events/s at seconds == 1
+    c.fpuOps = 250000000;
+    const std::vector<double> freqs(8, 2.4);
+    const ProcPower p = model.procPower(r, freqs);
+    const auto &e = model.energyParams();
+    EXPECT_NEAR(p.coreDynamic[0].fetch, 1e9 * e.fetch, 1e-9);
+    EXPECT_NEAR(p.coreDynamic[0].fpu, 0.25e9 * e.fpu, 1e-9);
+    EXPECT_DOUBLE_EQ(p.coreDynamic[1].fpu, 0.0);
+}
+
+TEST(McPat, PowerScalesWithVoltageSquared)
+{
+    const McPatLite model = McPatLite::standard();
+    cpu::SimResult r = craftedResult();
+    r.cores[0].insts = 1000000000;
+    const ProcPower low =
+        model.procPower(r, std::vector<double>(8, 2.4));
+    const ProcPower high =
+        model.procPower(r, std::vector<double>(8, 3.5));
+    const double v0 = model.dvfs().voltageAt(2.4);
+    const double v1 = model.dvfs().voltageAt(3.5);
+    // Same event rate, higher V: dynamic scales with (V1/V0)^2.
+    EXPECT_NEAR(high.coreDynamic[0].fetch / low.coreDynamic[0].fetch,
+                (v1 / v0) * (v1 / v0), 1e-9);
+    // Leakage scales linearly with V.
+    EXPECT_NEAR(high.coreLeakage[0] / low.coreLeakage[0], v1 / v0, 1e-9);
+}
+
+TEST(McPat, ClockPowerScalesWithFrequency)
+{
+    const McPatLite model = McPatLite::standard();
+    cpu::SimResult r = craftedResult();
+    const ProcPower low = model.procPower(r, std::vector<double>(8, 2.4));
+    const ProcPower high = model.procPower(r, std::vector<double>(8, 3.0));
+    EXPECT_GT(high.coreDynamic[0].clock,
+              low.coreDynamic[0].clock * 3.0 / 2.4 - 1e-9);
+}
+
+TEST(McPat, StoresCountAgainstTheL2WriteThroughTraffic)
+{
+    const McPatLite model = McPatLite::standard();
+    cpu::SimResult r = craftedResult();
+    r.cores[0].stores = 100000000;
+    const ProcPower p = model.procPower(r, std::vector<double>(8, 2.4));
+    EXPECT_NEAR(p.l2Dynamic[0], 1e8 * model.energyParams().l2, 1e-9);
+}
+
+TEST(McPat, BusAndMcActivity)
+{
+    const McPatLite model = McPatLite::standard();
+    cpu::SimResult r = craftedResult();
+    r.busTransactions = 50000000;
+    r.mcRequests = {10000000, 0, 0, 0};
+    const ProcPower p = model.procPower(r, std::vector<double>(8, 2.4));
+    const auto &e = model.energyParams();
+    EXPECT_NEAR(p.busDynamic, 5e7 * e.bus, 1e-9);
+    EXPECT_NEAR(p.mcPower[0], e.mcStaticEach + 1e7 * e.mc, 1e-9);
+    EXPECT_NEAR(p.mcPower[1], e.mcStaticEach, 1e-12);
+}
+
+TEST(McPat, TotalsAddUp)
+{
+    const McPatLite model = McPatLite::standard();
+    cpu::SimResult r = craftedResult();
+    r.cores[0].insts = 1000000;
+    r.busTransactions = 1000;
+    const ProcPower p = model.procPower(r, std::vector<double>(8, 2.4));
+    double manual = p.busDynamic + p.uncoreLeakage;
+    for (std::size_t c = 0; c < 8; ++c)
+        manual += p.coreTotal(c);
+    for (double m : p.mcPower)
+        manual += m;
+    EXPECT_NEAR(p.total(), manual, 1e-12);
+    EXPECT_GT(p.total(), 0.0);
+}
+
+TEST(McPat, RejectsBadInputs)
+{
+    const McPatLite model = McPatLite::standard();
+    cpu::SimResult r = craftedResult();
+    EXPECT_THROW(model.procPower(r, std::vector<double>(3, 2.4)),
+                 PanicError);
+    r.seconds = 0.0;
+    EXPECT_THROW(model.procPower(r, std::vector<double>(8, 2.4)),
+                 PanicError);
+}
+
+TEST(McPat, ProcessorDiePowerIsInThePaperBand)
+{
+    // §6.2: 8-24 W at 2.4 GHz across the suite. This is checked
+    // end-to-end in system_test; here we sanity check one synthetic
+    // heavy core mix: IPC 2.2 per core with a typical event mix.
+    const McPatLite model = McPatLite::standard();
+    cpu::SimResult r = craftedResult();
+    for (auto &c : r.cores) {
+        const double ips = 2.2 * 2.4e9;
+        c.insts = static_cast<std::uint64_t>(ips);
+        c.branches = static_cast<std::uint64_t>(0.08 * ips);
+        c.aluOps = static_cast<std::uint64_t>(0.30 * ips);
+        c.fpuOps = static_cast<std::uint64_t>(0.30 * ips);
+        c.loads = static_cast<std::uint64_t>(0.22 * ips);
+        c.stores = static_cast<std::uint64_t>(0.10 * ips);
+        c.l1iAccesses = c.insts;
+        c.l1dAccesses = c.loads + c.stores;
+    }
+    const ProcPower p = model.procPower(r, std::vector<double>(8, 2.4));
+    EXPECT_GT(p.total(), 15.0);
+    EXPECT_LT(p.total(), 26.0);
+}
+
+} // namespace
+} // namespace xylem::power

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Tests for stack assembly: schemes (Table 2), layer structure,
+ * heterogeneous conductivity painting and the §7.1 area overheads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+#include "stack/stack.hpp"
+
+namespace xylem::stack {
+namespace {
+
+// ---------------------------------------------------------------------
+// Schemes (Table 2)
+// ---------------------------------------------------------------------
+
+TEST(Scheme, NamesRoundTrip)
+{
+    for (Scheme s : allSchemes())
+        EXPECT_EQ(schemeFromString(toString(s)), s);
+    EXPECT_THROW(schemeFromString("bogus"), FatalError);
+}
+
+TEST(Scheme, Table2TtsvCounts)
+{
+    EXPECT_EQ(ttsvCountPerDie(Scheme::Base), 0);
+    EXPECT_EQ(ttsvCountPerDie(Scheme::Bank), 28);
+    EXPECT_EQ(ttsvCountPerDie(Scheme::BankE), 36);
+    EXPECT_EQ(ttsvCountPerDie(Scheme::IsoCount), 28);
+    EXPECT_EQ(ttsvCountPerDie(Scheme::Prior), 36);
+}
+
+TEST(Scheme, OnlyXylemSchemesShort)
+{
+    EXPECT_FALSE(schemeShortsBumps(Scheme::Base));
+    EXPECT_FALSE(schemeShortsBumps(Scheme::Prior));
+    EXPECT_TRUE(schemeShortsBumps(Scheme::Bank));
+    EXPECT_TRUE(schemeShortsBumps(Scheme::BankE));
+    EXPECT_TRUE(schemeShortsBumps(Scheme::IsoCount));
+}
+
+class SchemeSiteTest : public ::testing::TestWithParam<Scheme>
+{
+};
+
+TEST_P(SchemeSiteTest, SiteCountMatchesTable2)
+{
+    const auto die = floorplan::buildDramDie();
+    const auto sites = selectTtsvSites(GetParam(), die);
+    EXPECT_EQ(static_cast<int>(sites.size()),
+              ttsvCountPerDie(GetParam()));
+}
+
+TEST_P(SchemeSiteTest, SitesAreUnique)
+{
+    const auto die = floorplan::buildDramDie();
+    const auto sites = selectTtsvSites(GetParam(), die);
+    for (std::size_t i = 0; i < sites.size(); ++i)
+        for (std::size_t j = i + 1; j < sites.size(); ++j)
+            EXPECT_GT(geometry::distance(sites[i], sites[j]), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeSiteTest,
+                         ::testing::ValuesIn(allSchemes()),
+                         [](const auto &info) {
+                             return std::string(toString(info.param));
+                         });
+
+// ---------------------------------------------------------------------
+// Stack assembly
+// ---------------------------------------------------------------------
+
+StackSpec
+smallSpec(Scheme scheme, int dies = 2)
+{
+    StackSpec spec;
+    spec.scheme = scheme;
+    spec.numDramDies = dies;
+    spec.gridNx = 40;
+    spec.gridNy = 40;
+    return spec;
+}
+
+TEST(BuildStack, LayerStructureForEightDies)
+{
+    const BuiltStack s = buildStack(smallSpec(Scheme::Base, 8));
+    // proc metal + proc Si + 8 x (D2D + metal + Si) + TIM + IHS + sink.
+    EXPECT_EQ(s.layers.size(), 2u + 8 * 3 + 3);
+    EXPECT_EQ(s.procMetal, 0);
+    EXPECT_EQ(s.procSilicon, 1);
+    EXPECT_EQ(s.d2d.size(), 8u);
+    EXPECT_EQ(s.dramMetal.size(), 8u);
+    EXPECT_EQ(s.dramSilicon.size(), 8u);
+    EXPECT_EQ(s.heatSink, static_cast<int>(s.layers.size()) - 1);
+    EXPECT_EQ(s.ihs, s.heatSink - 1);
+    EXPECT_EQ(s.tim, s.ihs - 1);
+}
+
+TEST(BuildStack, LayerOrderIsBottomUp)
+{
+    const BuiltStack s = buildStack(smallSpec(Scheme::Base, 3));
+    // Each DRAM die d contributes D2D < metal < silicon, in order.
+    for (int d = 0; d < 3; ++d) {
+        EXPECT_EQ(s.dramMetal[d], s.d2d[d] + 1);
+        EXPECT_EQ(s.dramSilicon[d], s.d2d[d] + 2);
+        if (d > 0) {
+            EXPECT_EQ(s.d2d[d], s.dramSilicon[d - 1] + 1);
+        }
+    }
+    EXPECT_EQ(s.d2d[0], s.procSilicon + 1);
+}
+
+TEST(BuildStack, OnlyMetalLayersAreHeatSources)
+{
+    const BuiltStack s = buildStack(smallSpec(Scheme::Base, 2));
+    for (std::size_t l = 0; l < s.layers.size(); ++l) {
+        const auto kind = s.layers[l].kind;
+        const bool is_source = kind == LayerKind::ProcMetal ||
+                               kind == LayerKind::DramMetal;
+        EXPECT_EQ(s.layers[l].heatSource, is_source) << s.layers[l].name;
+    }
+}
+
+TEST(BuildStack, ExtendedLayersAreIhsAndSink)
+{
+    const BuiltStack s = buildStack(smallSpec(Scheme::Base, 2));
+    for (const auto &layer : s.layers) {
+        if (layer.kind == LayerKind::Ihs)
+            EXPECT_DOUBLE_EQ(layer.fullSide, 3e-2);
+        else if (layer.kind == LayerKind::HeatSink)
+            EXPECT_DOUBLE_EQ(layer.fullSide, 6e-2);
+        else
+            EXPECT_DOUBLE_EQ(layer.fullSide, 0.0);
+    }
+}
+
+TEST(BuildStack, DieThicknessIsApplied)
+{
+    StackSpec spec = smallSpec(Scheme::Base, 2);
+    spec.dieThickness = 50e-6;
+    const BuiltStack s = buildStack(spec);
+    EXPECT_DOUBLE_EQ(s.layers[s.procSilicon].thickness, 50e-6);
+    EXPECT_DOUBLE_EQ(s.layers[s.dramSilicon[0]].thickness, 50e-6);
+}
+
+TEST(BuildStack, RejectsBadSpecs)
+{
+    StackSpec spec = smallSpec(Scheme::Base);
+    spec.numDramDies = 0;
+    EXPECT_THROW(buildStack(spec), PanicError);
+    spec = smallSpec(Scheme::Base);
+    spec.dieThickness = 0.0;
+    EXPECT_THROW(buildStack(spec), PanicError);
+    spec = smallSpec(Scheme::Base);
+    spec.proc.dieWidth = 9e-3;
+    EXPECT_THROW(buildStack(spec), PanicError);
+}
+
+// ---------------------------------------------------------------------
+// Conductivity painting
+// ---------------------------------------------------------------------
+
+/** Conductivity of the cell containing point p in layer l. */
+double
+lambdaAt(const BuiltStack &s, int layer, const geometry::Point &p)
+{
+    std::size_t ix, iy;
+    s.grid.locate(p, ix, iy);
+    return s.layers[layer].conductivity.at(ix, iy);
+}
+
+TEST(Painting, BaseSiliconHasNoTtsvs)
+{
+    const BuiltStack s = buildStack(smallSpec(Scheme::Base));
+    const auto die = s.dramDie;
+    for (const auto &site : die.vertexSites) {
+        EXPECT_NEAR(lambdaAt(s, s.procSilicon, site), 120.0, 1.0);
+    }
+}
+
+TEST(Painting, TtsvCellsAreCopperInEverySiliconLayer)
+{
+    // Grid must resolve one TTSV per cell for the paint check: use the
+    // production 80x80 grid (100 µm cells).
+    StackSpec spec = smallSpec(Scheme::BankE, 2);
+    spec.gridNx = 80;
+    spec.gridNy = 80;
+    const BuiltStack s = buildStack(spec);
+    int copperish = 0;
+    for (const auto &site : s.ttsvSites) {
+        // The TTSV may straddle up to 4 cells; the containing cell
+        // must be noticeably enriched.
+        const double l = lambdaAt(s, s.procSilicon, site);
+        if (l > 150.0)
+            ++copperish;
+        EXPECT_GT(l, 120.0);
+        EXPECT_GT(lambdaAt(s, s.dramSilicon[1], site), 120.0);
+    }
+    EXPECT_GT(copperish, 18); // most sites concentrate in one cell
+}
+
+TEST(Painting, ShortedSchemesBridgeTheD2DLayer)
+{
+    StackSpec spec = smallSpec(Scheme::Bank, 2);
+    spec.gridNx = 80;
+    spec.gridNy = 80;
+    const BuiltStack s = buildStack(spec);
+    for (const auto &site : s.ttsvSites) {
+        EXPECT_GT(lambdaAt(s, s.d2d[0], site), 1.5);
+        EXPECT_GT(lambdaAt(s, s.d2d[1], site), 1.5);
+    }
+}
+
+TEST(Painting, PriorLeavesTheD2DLayerUntouched)
+{
+    StackSpec spec = smallSpec(Scheme::Prior, 2);
+    spec.gridNx = 80;
+    spec.gridNy = 80;
+    const BuiltStack s = buildStack(spec);
+    for (const auto &site : s.ttsvSites) {
+        EXPECT_NEAR(lambdaAt(s, s.d2d[0], site), 1.5, 1e-9);
+        // ...but the silicon still has the TTSVs.
+        EXPECT_GT(lambdaAt(s, s.procSilicon, site), 120.0);
+    }
+}
+
+TEST(Painting, TsvBusIsPaintedInSilicon)
+{
+    // The production 80x80 grid resolves the 0.2 mm bus exactly.
+    StackSpec spec = smallSpec(Scheme::Base, 2);
+    spec.gridNx = 80;
+    spec.gridNy = 80;
+    const BuiltStack s = buildStack(spec);
+    const geometry::Point in_bus{s.procDie.tsvBus.center().x,
+                                 s.procDie.tsvBus.y +
+                                     s.procDie.tsvBus.h / 4.0};
+    EXPECT_NEAR(lambdaAt(s, s.procSilicon, in_bus), 190.0, 1.0);
+    EXPECT_NEAR(lambdaAt(s, s.dramSilicon[0], in_bus), 190.0, 1.0);
+    // The D2D layer above the bus stays at the measured average.
+    EXPECT_NEAR(lambdaAt(s, s.d2d[0], in_bus), 1.5, 1e-9);
+}
+
+TEST(Painting, MetalLayersAreUniform)
+{
+    const BuiltStack s = buildStack(smallSpec(Scheme::BankE));
+    const auto &metal = s.layers[s.dramMetal[0]].conductivity;
+    for (std::size_t c = 0; c < s.grid.cells(); ++c)
+        EXPECT_DOUBLE_EQ(metal.data()[c], 9.0);
+}
+
+// ---------------------------------------------------------------------
+// Ablation hooks
+// ---------------------------------------------------------------------
+
+TEST(AblationHooks, D2DOverrideChangesTheBackground)
+{
+    StackSpec spec = smallSpec(Scheme::Base);
+    spec.d2dLambdaOverride = 100.0;
+    const BuiltStack s = buildStack(spec);
+    EXPECT_DOUBLE_EQ(s.layers[s.d2d[0]].conductivity.data()[0], 100.0);
+    // Zero keeps the Table 1 value.
+    spec.d2dLambdaOverride = 0.0;
+    const BuiltStack t = buildStack(spec);
+    EXPECT_DOUBLE_EQ(t.layers[t.d2d[0]].conductivity.data()[0], 1.5);
+}
+
+TEST(AblationHooks, PillarsNeverWorsenAnOverriddenD2D)
+{
+    StackSpec spec = smallSpec(Scheme::Bank);
+    spec.d2dLambdaOverride = 100.0; // above the 43.5 pillar material
+    const BuiltStack s = buildStack(spec);
+    for (double v : s.layers[s.d2d[0]].conductivity.data())
+        EXPECT_DOUBLE_EQ(v, 100.0);
+}
+
+TEST(AblationHooks, CustomSitesReplaceTheScheme)
+{
+    StackSpec spec = smallSpec(Scheme::BankE);
+    spec.customTtsvSites = {{1e-3, 1e-3}, {7e-3, 7e-3}};
+    const BuiltStack s = buildStack(spec);
+    EXPECT_EQ(s.ttsvCount(), 2);
+    // The scheme still controls shorting: both D2D cells are bridged.
+    std::size_t ix, iy;
+    s.grid.locate({1e-3, 1e-3}, ix, iy);
+    EXPECT_GT(s.layers[s.d2d[0]].conductivity.at(ix, iy), 1.5);
+}
+
+// ---------------------------------------------------------------------
+// §7.1 area overheads
+// ---------------------------------------------------------------------
+
+TEST(Overheads, BankIsZeroPoint63Percent)
+{
+    const BuiltStack s = buildStack(smallSpec(Scheme::Bank));
+    // 28 TTSVs x 0.0144 mm² / 64.34 mm² (Samsung Wide I/O prototype).
+    EXPECT_NEAR(s.ttsvAreaOverhead() * 100.0, 0.63, 0.01);
+}
+
+TEST(Overheads, BankeIsZeroPoint81Percent)
+{
+    const BuiltStack s = buildStack(smallSpec(Scheme::BankE));
+    EXPECT_NEAR(s.ttsvAreaOverhead() * 100.0, 0.81, 0.01);
+}
+
+TEST(Overheads, BaseHasNone)
+{
+    const BuiltStack s = buildStack(smallSpec(Scheme::Base));
+    EXPECT_DOUBLE_EQ(s.ttsvAreaOverhead(), 0.0);
+}
+
+TEST(Overheads, SingleTtsvFootprint)
+{
+    // TTSV + KOZ = (100 + 2*10) µm square = 0.0144 mm².
+    const BuiltStack s = buildStack(smallSpec(Scheme::Bank));
+    const double per_ttsv = s.ttsvAreaOverhead(1.0) / s.ttsvCount();
+    EXPECT_NEAR(per_ttsv / units::mm2, 0.0144, 1e-6);
+}
+
+} // namespace
+} // namespace xylem::stack

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Integration tests of the full Xylem pipeline: simulation -> power ->
+ * thermal, frequency boosting, λ-aware core-set boosting and the
+ * transient migration runner. All tests use a shrunk configuration
+ * (coarser grid, fewer DRAM dies, shorter simulations) for speed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "workloads/profile.hpp"
+#include "xylem/migration.hpp"
+#include "xylem/sim_cache.hpp"
+#include "xylem/system.hpp"
+
+namespace xylem::core {
+namespace {
+
+SystemConfig
+smallConfig(stack::Scheme scheme = stack::Scheme::Base)
+{
+    SystemConfig cfg;
+    cfg.stackSpec.scheme = scheme;
+    cfg.stackSpec.numDramDies = 4;
+    cfg.stackSpec.gridNx = 40;
+    cfg.stackSpec.gridNy = 40;
+    cfg.cpu.instsPerThread = 80000;
+    // Short measured runs need a full warm-up or cold misses dominate.
+    cfg.cpu.warmupInsts = 250000;
+    return cfg;
+}
+
+const workloads::Profile &
+computeApp()
+{
+    return workloads::profileByName("LU(NAS)");
+}
+
+const workloads::Profile &
+memoryApp()
+{
+    return workloads::profileByName("IS");
+}
+
+TEST(StackSystem, EvaluateProducesSaneNumbers)
+{
+    StackSystem sys(smallConfig());
+    const EvalResult r = sys.evaluate(computeApp(), 2.4);
+
+    EXPECT_GT(r.procPowerTotal, 8.0);   // §6.2: 8-24 W
+    EXPECT_LT(r.procPowerTotal, 24.0);
+    EXPECT_GT(r.dramPowerTotal, 1.0);
+    EXPECT_LT(r.dramPowerTotal, 4.5);
+    EXPECT_NEAR(r.stackPowerTotal, r.procPowerTotal + r.dramPowerTotal,
+                1e-9);
+
+    const double ambient = sys.config().solver.ambientCelsius;
+    EXPECT_GT(r.procHotspot, ambient + 10.0);
+    EXPECT_LT(r.procHotspot, 130.0);
+    // The processor is the farthest layer from the sink: hotter than
+    // the bottom DRAM die.
+    EXPECT_GT(r.procHotspot, r.dramBottomHotspot);
+    EXPECT_GT(r.seconds, 0.0);
+    EXPECT_EQ(r.coreHotspot.size(), 8u);
+    for (double t : r.coreHotspot) {
+        EXPECT_GT(t, ambient);
+        EXPECT_LE(t, r.procHotspot + 1e-9);
+    }
+}
+
+TEST(StackSystem, ComputeAppIsHotterThanMemoryApp)
+{
+    StackSystem sys(smallConfig());
+    const EvalResult hot = sys.evaluate(computeApp(), 2.4);
+    sys.clearWarmStart();
+    const EvalResult cool = sys.evaluate(memoryApp(), 2.4);
+    EXPECT_GT(hot.procHotspot, cool.procHotspot + 3.0);
+    EXPECT_GT(hot.procPowerTotal, cool.procPowerTotal + 3.0);
+    // Memory app pushes more power into the DRAM dies.
+    EXPECT_GT(cool.dramPowerTotal, hot.dramPowerTotal);
+}
+
+TEST(StackSystem, TemperatureRisesWithFrequency)
+{
+    StackSystem sys(smallConfig());
+    double prev = 0.0;
+    for (double f : {2.4, 2.8, 3.2}) {
+        const EvalResult r = sys.evaluate(computeApp(), f);
+        EXPECT_GT(r.procHotspot, prev);
+        prev = r.procHotspot;
+    }
+}
+
+TEST(StackSystem, PerformanceRisesWithFrequency)
+{
+    StackSystem sys(smallConfig());
+    const EvalResult slow = sys.evaluate(computeApp(), 2.4);
+    const EvalResult fast = sys.evaluate(computeApp(), 3.2);
+    // +33% frequency turns into a clear speedup, reduced by the
+    // frequency-independent DRAM stalls.
+    EXPECT_GT(fast.performance(), slow.performance() * 1.1);
+    EXPECT_LT(fast.performance(), slow.performance() * 3.2 / 2.4);
+}
+
+TEST(StackSystem, WarmStartDoesNotChangeResults)
+{
+    StackSystem sys(smallConfig());
+    sys.evaluate(memoryApp(), 2.4); // populate the warm-start field
+    const EvalResult warm = sys.evaluate(computeApp(), 3.0);
+    sys.clearWarmStart();
+    const EvalResult cold = sys.evaluate(computeApp(), 3.0);
+    EXPECT_NEAR(warm.procHotspot, cold.procHotspot, 0.02);
+}
+
+TEST(StackSystem, XylemSchemesReduceTemperatureInOrder)
+{
+    StackSystem base(smallConfig(stack::Scheme::Base));
+    StackSystem bank(smallConfig(stack::Scheme::Bank));
+    StackSystem banke(smallConfig(stack::Scheme::BankE));
+    StackSystem prior(smallConfig(stack::Scheme::Prior));
+
+    const double t_base = base.evaluate(computeApp(), 2.4).procHotspot;
+    const double t_bank = bank.evaluate(computeApp(), 2.4).procHotspot;
+    const double t_banke = banke.evaluate(computeApp(), 2.4).procHotspot;
+    const double t_prior = prior.evaluate(computeApp(), 2.4).procHotspot;
+
+    EXPECT_LT(t_banke, t_bank);          // custom beats generic
+    EXPECT_LT(t_bank, t_base - 1.0);     // Xylem clearly beats base
+    EXPECT_NEAR(t_prior, t_base, 0.6);   // TTSVs alone achieve little
+}
+
+TEST(StackSystem, DramTemperatureAlsoDrops)
+{
+    StackSystem base(smallConfig(stack::Scheme::Base));
+    StackSystem banke(smallConfig(stack::Scheme::BankE));
+    const double d_base =
+        base.evaluate(computeApp(), 2.4).dramBottomHotspot;
+    const double d_banke =
+        banke.evaluate(computeApp(), 2.4).dramBottomHotspot;
+    EXPECT_LT(d_banke, d_base - 0.5);
+}
+
+TEST(StackSystem, EnergyAccounting)
+{
+    StackSystem sys(smallConfig());
+    const EvalResult r = sys.evaluate(computeApp(), 2.4);
+    EXPECT_NEAR(r.stackEnergy(), r.stackPowerTotal * r.seconds, 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// Frequency boosting
+// ---------------------------------------------------------------------
+
+TEST(Boost, InfeasibleWhenCapBelowBaseTemperature)
+{
+    StackSystem sys(smallConfig());
+    const EvalResult r = sys.evaluate(computeApp(), 2.4);
+    const BoostResult boost = sys.maxUniformFrequency(
+        computeApp(), r.procHotspot - 5.0, 1e9);
+    EXPECT_FALSE(boost.feasible);
+}
+
+TEST(Boost, FindsTheHighestFrequencyUnderTheCap)
+{
+    StackSystem sys(smallConfig(stack::Scheme::BankE));
+    const EvalResult at24 = sys.evaluate(computeApp(), 2.4);
+    const BoostResult boost = sys.maxUniformFrequency(
+        computeApp(), at24.procHotspot + 4.0, 1e9);
+    ASSERT_TRUE(boost.feasible);
+    EXPECT_GT(boost.freqGHz, 2.4);
+    EXPECT_LE(boost.eval.procHotspot, at24.procHotspot + 4.0);
+    // The next step up must violate the cap (or be off-table).
+    if (boost.freqGHz < 3.5 - 1e-9) {
+        const EvalResult next =
+            sys.evaluate(computeApp(), boost.freqGHz + 0.1);
+        EXPECT_GT(next.procHotspot, at24.procHotspot + 4.0);
+    }
+}
+
+TEST(Boost, HigherCapNeverLowersTheFrequency)
+{
+    StackSystem sys(smallConfig(stack::Scheme::Bank));
+    const EvalResult r = sys.evaluate(computeApp(), 2.4);
+    const BoostResult small_cap = sys.maxUniformFrequency(
+        computeApp(), r.procHotspot + 2.0, 1e9);
+    const BoostResult big_cap = sys.maxUniformFrequency(
+        computeApp(), r.procHotspot + 8.0, 1e9);
+    ASSERT_TRUE(small_cap.feasible);
+    ASSERT_TRUE(big_cap.feasible);
+    EXPECT_GE(big_cap.freqGHz, small_cap.freqGHz);
+}
+
+TEST(Boost, DramCapCanBeTheBindingConstraint)
+{
+    StackSystem sys(smallConfig(stack::Scheme::Bank));
+    const EvalResult r = sys.evaluate(computeApp(), 2.4);
+    const BoostResult loose = sys.maxUniformFrequency(
+        computeApp(), r.procHotspot + 6.0, 1e9);
+    const BoostResult tight = sys.maxUniformFrequency(
+        computeApp(), r.procHotspot + 6.0, r.dramBottomHotspot + 1.0);
+    ASSERT_TRUE(loose.feasible);
+    if (tight.feasible) {
+        EXPECT_LE(tight.freqGHz, loose.freqGHz);
+    }
+}
+
+TEST(Boost, XylemEnablesAHigherFrequencyThanBase)
+{
+    // The headline §7.3 effect at small scale: at the same cap, banke
+    // reaches a frequency at least as high as base, typically higher.
+    SystemConfig cfg = smallConfig(stack::Scheme::Base);
+    StackSystem base(cfg);
+    const double cap = base.evaluate(computeApp(), 2.4).procHotspot;
+
+    StackSystem banke(smallConfig(stack::Scheme::BankE));
+    const BoostResult boosted =
+        banke.maxUniformFrequency(computeApp(), cap + 1e-9, 1e9);
+    ASSERT_TRUE(boosted.feasible);
+    EXPECT_GE(boosted.freqGHz, 2.5);
+}
+
+// ---------------------------------------------------------------------
+// λ-aware boosting of a core subset
+// ---------------------------------------------------------------------
+
+TEST(CoreBoost, InnerCoresCanBeBoostedBeyondTheUniformPoint)
+{
+    StackSystem sys(smallConfig(stack::Scheme::BankE));
+    const auto threads = cpu::allCoresRunning(computeApp());
+    const EvalResult at24 = sys.evaluate(threads,
+                                         std::vector<double>(8, 2.4));
+    const double cap = at24.procHotspot + 3.0;
+    const BoostResult uniform = sys.maxUniformFrequency(threads, cap, 1e9);
+    ASSERT_TRUE(uniform.feasible);
+    const BoostResult multi = sys.maxFrequencyOnCores(
+        threads, sys.builtStack().procDie.innerCores, uniform.freqGHz,
+        cap, 1e9);
+    ASSERT_TRUE(multi.feasible);
+    EXPECT_GE(multi.freqGHz, uniform.freqGHz);
+    EXPECT_LE(multi.eval.procHotspot, cap);
+}
+
+TEST(CoreBoost, RejectsInvalidCoreIndices)
+{
+    StackSystem sys(smallConfig());
+    const auto threads = cpu::allCoresRunning(computeApp());
+    EXPECT_THROW(
+        sys.maxFrequencyOnCores(threads, {42}, 2.4, 100.0, 95.0),
+        PanicError);
+}
+
+// ---------------------------------------------------------------------
+// Transient migration
+// ---------------------------------------------------------------------
+
+TEST(Migration, ProducesABoundedTrace)
+{
+    StackSystem sys(smallConfig(stack::Scheme::BankE));
+    MigrationOptions opts;
+    opts.numPhases = 4;
+    opts.stepsPerPhase = 3;
+    opts.warmupPhases = 1;
+    const MigrationResult r = runMigration(
+        sys, computeApp(), sys.builtStack().procDie.innerCores, opts);
+    EXPECT_EQ(r.trace.size(), 12u);
+    EXPECT_GT(r.avgHotspot, sys.config().solver.ambientCelsius);
+    EXPECT_GE(r.maxHotspot, r.avgHotspot);
+    // The transient trace must stay in a physically plausible band.
+    for (double t : r.trace) {
+        EXPECT_GT(t, 40.0);
+        EXPECT_LT(t, 130.0);
+    }
+}
+
+TEST(Migration, RequiresEnoughCores)
+{
+    StackSystem sys(smallConfig());
+    MigrationOptions opts;
+    opts.numThreads = 2;
+    EXPECT_THROW(runMigration(sys, computeApp(), {0, 1}, opts),
+                 PanicError);
+}
+
+TEST(Migration, InnerCoresRunCoolerUnderBankE)
+{
+    StackSystem sys(smallConfig(stack::Scheme::BankE));
+    MigrationOptions opts;
+    opts.numPhases = 4;
+    opts.stepsPerPhase = 4;
+    opts.warmupPhases = 2;
+    const auto &die = sys.builtStack().procDie;
+    const MigrationResult inner =
+        runMigration(sys, computeApp(), die.innerCores, opts);
+    const MigrationResult outer =
+        runMigration(sys, computeApp(), die.outerCores, opts);
+    EXPECT_LT(inner.avgHotspot, outer.avgHotspot + 0.3);
+}
+
+// ---------------------------------------------------------------------
+// Simulation cache
+// ---------------------------------------------------------------------
+
+TEST(SimCache, ReturnsTheSameResultObject)
+{
+    clearSimCache();
+    cpu::MulticoreConfig cfg;
+    cfg.instsPerThread = 20000;
+    cfg.warmupInsts = 20000;
+    const auto threads = cpu::allCoresRunning(computeApp());
+    const cpu::SimResult &a = cachedSimulate(cfg, threads);
+    const cpu::SimResult &b = cachedSimulate(cfg, threads);
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(SimCache, DistinguishesFrequenciesAndPlacements)
+{
+    clearSimCache();
+    cpu::MulticoreConfig cfg;
+    cfg.instsPerThread = 20000;
+    cfg.warmupInsts = 20000;
+    const auto threads = cpu::allCoresRunning(computeApp());
+    const cpu::SimResult &a = cachedSimulate(cfg, threads);
+    cfg.coreFreqGHz[0] = 3.5;
+    const cpu::SimResult &b = cachedSimulate(cfg, threads);
+    EXPECT_NE(&a, &b);
+    const std::vector<cpu::ThreadSpec> other = {{&computeApp(), 3}};
+    const cpu::SimResult &c = cachedSimulate(cfg, other);
+    EXPECT_NE(&b, &c);
+}
+
+} // namespace
+} // namespace xylem::core

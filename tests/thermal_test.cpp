@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Validation of the thermal grid model: closed-form 1D stack
+ * solutions, energy balance, symmetry, linearity, solver invariants
+ * (warm starts, preconditioners), and the transient integrator.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "stack/stack.hpp"
+#include "thermal/grid_model.hpp"
+
+namespace xylem::thermal {
+namespace {
+
+using geometry::Rect;
+
+/**
+ * Hand-built stack of uniform slabs over a small grid (no extended
+ * layers): with uniform power the problem is exactly one-dimensional
+ * and has a closed-form solution.
+ */
+stack::BuiltStack
+makeSlabStack(const std::vector<std::pair<double, double>> &t_lambda,
+              std::size_t n = 8)
+{
+    stack::BuiltStack s;
+    s.grid = geometry::Grid2D(Rect{0, 0, 4e-3, 4e-3}, n, n);
+    int idx = 0;
+    for (const auto &[t, lambda] : t_lambda) {
+        stack::Layer layer{stack::LayerKind::ProcMetal,
+                           "slab" + std::to_string(idx),
+                           t,
+                           -1,
+                           idx == 0,
+                           0.0,
+                           geometry::Field2D(s.grid, lambda),
+                           geometry::Field2D(s.grid, 2e6)};
+        if (idx + 1 == static_cast<int>(t_lambda.size()))
+            layer.kind = stack::LayerKind::HeatSink;
+        s.layers.push_back(std::move(layer));
+        ++idx;
+    }
+    s.procMetal = 0;
+    s.heatSink = idx - 1;
+    return s;
+}
+
+/** Closed-form bottom temperature rise of a uniform 1D slab stack. */
+double
+analyticBottomRise(const std::vector<std::pair<double, double>> &t_lambda,
+                   double area, double r_conv, double power)
+{
+    double r = r_conv;
+    // Sink node centre to top surface.
+    r += t_lambda.back().first / (2.0 * t_lambda.back().second) / area;
+    // Layer-centre to layer-centre hops.
+    for (std::size_t l = 0; l + 1 < t_lambda.size(); ++l) {
+        r += (t_lambda[l].first / (2.0 * t_lambda[l].second) +
+              t_lambda[l + 1].first / (2.0 * t_lambda[l + 1].second)) /
+             area;
+    }
+    return power * r;
+}
+
+TEST(GridModel1D, MatchesClosedFormSeriesStack)
+{
+    const std::vector<std::pair<double, double>> slabs = {
+        {12e-6, 12.0}, {100e-6, 120.0}, {20e-6, 1.5}, {100e-6, 120.0},
+        {50e-6, 5.0},  {1e-3, 400.0}};
+    const auto stk = makeSlabStack(slabs);
+    SolverOptions opts;
+    opts.ambientCelsius = 40.0;
+    opts.convectionResistance = 0.5;
+    opts.tolerance = 1e-10;
+    const GridModel model(stk, opts);
+
+    PowerMap power(stk);
+    power.deposit(0, stk.grid.extent(), 10.0);
+    const TemperatureField field = model.solveSteady(power);
+
+    const double expected =
+        40.0 + analyticBottomRise(slabs, stk.grid.extent().area(), 0.5,
+                                  10.0);
+    // Uniform power on a uniform stack: every bottom cell must match
+    // the 1D closed form.
+    EXPECT_NEAR(field.at(0, 0, 0), expected, 0.01);
+    EXPECT_NEAR(field.maxOfLayer(0), expected, 0.01);
+    EXPECT_NEAR(field.maxOfLayer(0), field.meanOfLayer(0), 1e-6);
+}
+
+TEST(GridModel1D, TemperatureDecreasesTowardsTheSink)
+{
+    const std::vector<std::pair<double, double>> slabs = {
+        {100e-6, 120.0}, {20e-6, 1.5}, {100e-6, 120.0}, {1e-3, 400.0}};
+    const auto stk = makeSlabStack(slabs);
+    const GridModel model(stk, {});
+    PowerMap power(stk);
+    power.deposit(0, stk.grid.extent(), 5.0);
+    const TemperatureField field = model.solveSteady(power);
+    for (std::size_t l = 0; l + 1 < stk.layers.size(); ++l)
+        EXPECT_GT(field.meanOfLayer(l), field.meanOfLayer(l + 1));
+}
+
+TEST(GridModel1D, D2DLayerCarriesTheLargestDrop)
+{
+    // The central claim of the paper, in miniature: with Table 1
+    // parameters the hop crossing the D2D interface dominates a hop
+    // between silicon layers by close to an order of magnitude.
+    const std::vector<std::pair<double, double>> slabs = {
+        {100e-6, 120.0}, {100e-6, 120.0}, {20e-6, 1.5},
+        {100e-6, 120.0}, {1e-3, 400.0}};
+    const auto stk = makeSlabStack(slabs);
+    const GridModel model(stk, {});
+    PowerMap power(stk);
+    power.deposit(0, stk.grid.extent(), 5.0);
+    const TemperatureField f = model.solveSteady(power);
+    const double drop_si_si = f.meanOfLayer(0) - f.meanOfLayer(1);
+    const double drop_si_d2d = f.meanOfLayer(1) - f.meanOfLayer(2);
+    EXPECT_GT(drop_si_d2d, 4.0 * drop_si_si);
+}
+
+TEST(GridModelEnergy, OutflowEqualsInputPower)
+{
+    stack::StackSpec spec;
+    spec.numDramDies = 3;
+    spec.gridNx = 32;
+    spec.gridNy = 32;
+    const auto stk = stack::buildStack(spec);
+    SolverOptions opts;
+    opts.tolerance = 1e-10;
+    const GridModel model(stk, opts);
+
+    PowerMap power(stk);
+    power.deposit(stk.procMetal, Rect{1e-3, 1e-3, 2e-3, 2e-3}, 11.0);
+    power.deposit(stk.dramMetal[1], Rect{4e-3, 4e-3, 3e-3, 3e-3}, 2.5);
+    const TemperatureField field = model.solveSteady(power);
+    EXPECT_NEAR(model.heatOutflow(field), 13.5, 0.01);
+}
+
+TEST(GridModelEnergy, ZeroPowerStaysAtAmbient)
+{
+    stack::StackSpec spec;
+    spec.numDramDies = 2;
+    spec.gridNx = 16;
+    spec.gridNy = 16;
+    const auto stk = stack::buildStack(spec);
+    const GridModel model(stk, {});
+    const TemperatureField field = model.solveSteady(PowerMap(stk));
+    for (double t : field.nodes())
+        EXPECT_NEAR(t, model.options().ambientCelsius, 1e-9);
+}
+
+class FullStackThermalTest : public ::testing::Test
+{
+  protected:
+    static stack::BuiltStack
+    makeStack(stack::Scheme scheme)
+    {
+        stack::StackSpec spec;
+        spec.scheme = scheme;
+        spec.numDramDies = 4;
+        spec.gridNx = 40;
+        spec.gridNy = 40;
+        return stack::buildStack(spec);
+    }
+
+    static PowerMap
+    hotCornerPower(const stack::BuiltStack &stk, double watts)
+    {
+        PowerMap power(stk);
+        // One hot core-sized region plus background power.
+        power.deposit(stk.procMetal, Rect{0.2e-3, 0.2e-3, 2e-3, 2e-3},
+                      watts * 0.4);
+        power.deposit(stk.procMetal, stk.grid.extent(), watts * 0.6);
+        return power;
+    }
+};
+
+TEST_F(FullStackThermalTest, SymmetricPowerGivesSymmetricField)
+{
+    const auto stk = makeStack(stack::Scheme::Base);
+    const GridModel model(stk, {});
+    PowerMap power(stk);
+    power.deposit(stk.procMetal, stk.grid.extent(), 16.0);
+    const TemperatureField f = model.solveSteady(power);
+    // The stack is mirror-symmetric in x and y (the TSV bus is a
+    // centred horizontal bar, so x<->y swap symmetry does NOT hold).
+    const std::size_t n = stk.grid.nx();
+    for (std::size_t iy = 0; iy < n; ++iy) {
+        for (std::size_t ix = 0; ix < n / 2; ++ix) {
+            EXPECT_NEAR(f.at(0, ix, iy), f.at(0, n - 1 - ix, iy), 1e-3);
+            EXPECT_NEAR(f.at(0, ix, iy), f.at(0, ix, n - 1 - iy), 1e-3);
+        }
+    }
+}
+
+TEST_F(FullStackThermalTest, RiseIsLinearInPower)
+{
+    const auto stk = makeStack(stack::Scheme::Base);
+    SolverOptions opts;
+    opts.tolerance = 1e-9;
+    const GridModel model(stk, opts);
+    const TemperatureField f1 = model.solveSteady(hotCornerPower(stk, 8));
+    const TemperatureField f2 = model.solveSteady(hotCornerPower(stk, 16));
+    const double amb = opts.ambientCelsius;
+    for (std::size_t i = 0; i < f1.numNodes(); i += 97) {
+        EXPECT_NEAR(f2.nodes()[i] - amb, 2.0 * (f1.nodes()[i] - amb),
+                    2e-3);
+    }
+}
+
+TEST_F(FullStackThermalTest, MorePowerIsHotterEverywhere)
+{
+    const auto stk = makeStack(stack::Scheme::Base);
+    const GridModel model(stk, {});
+    const TemperatureField f1 = model.solveSteady(hotCornerPower(stk, 8));
+    const TemperatureField f2 = model.solveSteady(hotCornerPower(stk, 12));
+    for (std::size_t i = 0; i < f1.numNodes(); ++i)
+        EXPECT_GT(f2.nodes()[i], f1.nodes()[i] - 1e-6);
+}
+
+TEST_F(FullStackThermalTest, ShortedPillarsLowerTheHotspot)
+{
+    const auto base = makeStack(stack::Scheme::Base);
+    const auto banke = makeStack(stack::Scheme::BankE);
+    const auto prior = makeStack(stack::Scheme::Prior);
+    const GridModel m_base(base, {});
+    const GridModel m_banke(banke, {});
+    const GridModel m_prior(prior, {});
+
+    const PowerMap p = hotCornerPower(base, 18.0);
+    const double t_base = m_base.solveSteady(p).maxOfLayer(0);
+    const double t_banke = m_banke.solveSteady(p).maxOfLayer(0);
+    const double t_prior = m_prior.solveSteady(p).maxOfLayer(0);
+
+    EXPECT_LT(t_banke, t_base - 1.0);         // Xylem clearly helps
+    EXPECT_NEAR(t_prior, t_base, 0.5);        // TTSVs alone do not
+    EXPECT_LT(t_prior, t_base);               // ...but are not harmful
+}
+
+TEST_F(FullStackThermalTest, WarmStartDoesNotChangeTheSolution)
+{
+    const auto stk = makeStack(stack::Scheme::Bank);
+    SolverOptions opts;
+    opts.tolerance = 1e-9;
+    const GridModel model(stk, opts);
+    const PowerMap p = hotCornerPower(stk, 14.0);
+    const TemperatureField cold = model.solveSteady(p);
+    // Warm-start from a wrong-but-plausible field.
+    const TemperatureField other =
+        model.solveSteady(hotCornerPower(stk, 5.0));
+    SolveStats stats;
+    const TemperatureField warm = model.solveSteady(p, &stats, &other);
+    EXPECT_TRUE(stats.converged);
+    for (std::size_t i = 0; i < cold.numNodes(); i += 53)
+        EXPECT_NEAR(warm.nodes()[i], cold.nodes()[i], 1e-3);
+}
+
+TEST_F(FullStackThermalTest, PreconditionersAgree)
+{
+    const auto stk = makeStack(stack::Scheme::Bank);
+    SolverOptions jac;
+    jac.tolerance = 1e-9;
+    SolverOptions line = jac;
+    line.preconditioner = Preconditioner::VerticalLine;
+    const GridModel m_jac(stk, jac);
+    const GridModel m_line(stk, line);
+    const PowerMap p = hotCornerPower(stk, 14.0);
+    const TemperatureField f1 = m_jac.solveSteady(p);
+    const TemperatureField f2 = m_line.solveSteady(p);
+    for (std::size_t i = 0; i < f1.numNodes(); i += 31)
+        EXPECT_NEAR(f1.nodes()[i], f2.nodes()[i], 1e-3);
+}
+
+TEST_F(FullStackThermalTest, ApplyMatchesDiagonalOnUnitVectors)
+{
+    const auto stk = makeStack(stack::Scheme::Base);
+    const GridModel model(stk, {});
+    std::vector<double> x(model.numNodes(), 0.0), y;
+    // G * constant-vector has zero entries except at grounded nodes.
+    std::vector<double> ones(model.numNodes(), 1.0);
+    model.apply(ones, y);
+    double interior_abs = 0.0;
+    for (std::size_t l = 0; l + 3 < model.numLayers(); ++l)
+        interior_abs +=
+            std::abs(y[l * model.cellsPerLayer() + model.cellsPerLayer() / 2]);
+    EXPECT_NEAR(interior_abs, 0.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// Transient solver
+// ---------------------------------------------------------------------
+
+TEST(Transient, SteadyStateIsAFixedPoint)
+{
+    stack::StackSpec spec;
+    spec.numDramDies = 2;
+    spec.gridNx = 24;
+    spec.gridNy = 24;
+    const auto stk = stack::buildStack(spec);
+    const GridModel model(stk, {});
+    PowerMap power(stk);
+    power.deposit(stk.procMetal, stk.grid.extent(), 12.0);
+    const TemperatureField steady = model.solveSteady(power);
+    const TemperatureField next =
+        model.stepTransient(steady, power, 0.01);
+    for (std::size_t i = 0; i < steady.numNodes(); i += 17)
+        EXPECT_NEAR(next.nodes()[i], steady.nodes()[i], 1e-4);
+}
+
+TEST(Transient, HeatsUpMonotonicallyFromAmbient)
+{
+    stack::StackSpec spec;
+    spec.numDramDies = 2;
+    spec.gridNx = 24;
+    spec.gridNy = 24;
+    const auto stk = stack::buildStack(spec);
+    const GridModel model(stk, {});
+    PowerMap power(stk);
+    power.deposit(stk.procMetal, stk.grid.extent(), 12.0);
+
+    TemperatureField f = model.ambientField();
+    double prev = f.maxOfLayer(0);
+    for (int i = 0; i < 10; ++i) {
+        f = model.stepTransient(f, power, 0.01);
+        const double cur = f.maxOfLayer(0);
+        EXPECT_GE(cur, prev - 1e-9);
+        prev = cur;
+    }
+    EXPECT_GT(prev, model.options().ambientCelsius + 1.0);
+}
+
+TEST(Transient, ConvergesToTheSteadyState)
+{
+    const std::vector<std::pair<double, double>> slabs = {
+        {100e-6, 120.0}, {20e-6, 1.5}, {100e-6, 120.0}, {1e-3, 400.0}};
+    const auto stk = makeSlabStack(slabs, 4);
+    SolverOptions opts;
+    opts.tolerance = 1e-10;
+    const GridModel model(stk, opts);
+    PowerMap power(stk);
+    power.deposit(0, stk.grid.extent(), 5.0);
+    const TemperatureField steady = model.solveSteady(power);
+
+    TemperatureField f = model.ambientField();
+    // Thin slabs: the time constant is far below a second.
+    for (int i = 0; i < 60; ++i)
+        f = model.stepTransient(f, power, 0.05);
+    EXPECT_NEAR(f.maxOfLayer(0), steady.maxOfLayer(0), 0.05);
+}
+
+TEST(Transient, CoolsDownAfterPowerRemoval)
+{
+    stack::StackSpec spec;
+    spec.numDramDies = 2;
+    spec.gridNx = 24;
+    spec.gridNy = 24;
+    const auto stk = stack::buildStack(spec);
+    const GridModel model(stk, {});
+    PowerMap power(stk);
+    power.deposit(stk.procMetal, stk.grid.extent(), 12.0);
+    TemperatureField f = model.solveSteady(power);
+    const double hot = f.maxOfLayer(0);
+    f = model.stepTransient(f, PowerMap(stk), 0.05);
+    EXPECT_LT(f.maxOfLayer(0), hot);
+    EXPECT_GT(f.maxOfLayer(0), model.options().ambientCelsius);
+}
+
+TEST(Transient, RejectsNonPositiveDt)
+{
+    stack::StackSpec spec;
+    spec.numDramDies = 1;
+    spec.gridNx = 8;
+    spec.gridNy = 8;
+    const auto stk = stack::buildStack(spec);
+    const GridModel model(stk, {});
+    const TemperatureField f = model.ambientField();
+    EXPECT_THROW(model.stepTransient(f, PowerMap(stk), 0.0), PanicError);
+}
+
+// ---------------------------------------------------------------------
+// PowerMap / TemperatureField plumbing
+// ---------------------------------------------------------------------
+
+TEST(PowerMap, LayersAndTotals)
+{
+    stack::StackSpec spec;
+    spec.numDramDies = 2;
+    spec.gridNx = 16;
+    spec.gridNy = 16;
+    const auto stk = stack::buildStack(spec);
+    PowerMap p(stk);
+    EXPECT_EQ(p.numLayers(), stk.layers.size());
+    EXPECT_DOUBLE_EQ(p.totalPower(), 0.0);
+    p.deposit(stk.procMetal, Rect{0, 0, 4e-3, 4e-3}, 3.0);
+    p.deposit(stk.dramMetal[0], Rect{0, 0, 8e-3, 8e-3}, 1.0);
+    EXPECT_NEAR(p.totalPower(), 4.0, 1e-9);
+    EXPECT_NEAR(p.layerPower(stk.procMetal), 3.0, 1e-9);
+    EXPECT_THROW(p.layer(-1), PanicError);
+    EXPECT_THROW(p.layer(100), PanicError);
+}
+
+TEST(TemperatureField, AccessorsAndHotspot)
+{
+    TemperatureField f(2, 4, 4, 0, 25.0);
+    EXPECT_EQ(f.numNodes(), 32u);
+    f.at(1, 2, 3) = 90.0;
+    EXPECT_DOUBLE_EQ(f.maxOfLayer(1), 90.0);
+    EXPECT_DOUBLE_EQ(f.maxOfLayer(0), 25.0);
+    std::size_t ix, iy;
+    f.hotspot(1, ix, iy);
+    EXPECT_EQ(ix, 2u);
+    EXPECT_EQ(iy, 3u);
+    EXPECT_THROW(f.at(2, 0, 0), PanicError);
+}
+
+TEST(TemperatureField, MaxInRect)
+{
+    TemperatureField f(1, 4, 4, 0, 20.0);
+    f.at(0, 0, 0) = 50.0;
+    f.at(0, 3, 3) = 80.0;
+    const Rect die{0, 0, 1, 1};
+    EXPECT_DOUBLE_EQ(f.maxInRect(0, Rect{0, 0, 0.5, 0.5}, die), 50.0);
+    EXPECT_DOUBLE_EQ(f.maxInRect(0, Rect{0.5, 0.5, 0.5, 0.5}, die), 80.0);
+    // Degenerate rect containing no cell centre falls back to the max.
+    EXPECT_DOUBLE_EQ(f.maxInRect(0, Rect{0.49, 0.49, 0.02, 0.02}, die),
+                     80.0);
+}
+
+TEST(TemperatureField, MeanOfLayer)
+{
+    TemperatureField f(1, 2, 2, 0, 10.0);
+    f.at(0, 0, 0) = 30.0;
+    EXPECT_DOUBLE_EQ(f.meanOfLayer(0), 15.0);
+}
+
+} // namespace
+} // namespace xylem::thermal

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Tests for the workload suite and the synthetic stream generator,
+ * including parameterized property checks over all 17 applications.
+ */
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "workloads/profile.hpp"
+#include "workloads/stream.hpp"
+
+namespace xylem::workloads {
+namespace {
+
+TEST(Suite, HasAll17Applications)
+{
+    EXPECT_EQ(suite().size(), 17u);
+}
+
+TEST(Suite, NamesAreUniqueAndNonEmpty)
+{
+    std::set<std::string> names;
+    for (const auto &p : suite()) {
+        EXPECT_FALSE(p.name.empty());
+        EXPECT_TRUE(names.insert(p.name).second) << p.name;
+    }
+}
+
+TEST(Suite, CoversTheThreeBenchmarkSuites)
+{
+    std::map<std::string, int> by_suite;
+    for (const auto &p : suite())
+        ++by_suite[p.suite];
+    EXPECT_EQ(by_suite["SPLASH-2"], 8);
+    EXPECT_EQ(by_suite["PARSEC"], 2);
+    EXPECT_EQ(by_suite["NPB"], 7);
+}
+
+TEST(Suite, PaperCalloutsAreClassifiedCorrectly)
+{
+    // §7.2 / §7.6.1: LU(NAS) compute-intensive, FT and IS
+    // memory-intensive; Cholesky/Barnes/Radiosity near Tj,max.
+    EXPECT_EQ(profileByName("LU(NAS)").klass, WorkloadClass::Compute);
+    EXPECT_EQ(profileByName("FT").klass, WorkloadClass::Memory);
+    EXPECT_EQ(profileByName("IS").klass, WorkloadClass::Memory);
+    EXPECT_EQ(profileByName("Cholesky").klass, WorkloadClass::Compute);
+    EXPECT_EQ(profileByName("Barnes").klass, WorkloadClass::Compute);
+    EXPECT_EQ(profileByName("Radiosity").klass, WorkloadClass::Compute);
+}
+
+TEST(Suite, UnknownNameThrows)
+{
+    EXPECT_THROW(profileByName("nonesuch"), FatalError);
+}
+
+TEST(Suite, ClassToString)
+{
+    EXPECT_STREQ(toString(WorkloadClass::Compute), "compute");
+    EXPECT_STREQ(toString(WorkloadClass::Mixed), "mixed");
+    EXPECT_STREQ(toString(WorkloadClass::Memory), "memory");
+}
+
+TEST(Profile, ValidateCatchesBadMix)
+{
+    Profile p = profileByName("FFT");
+    p.fracLoad = 0.9; // mix no longer sums below 1
+    EXPECT_THROW(p.validate(), PanicError);
+    p = profileByName("FFT");
+    p.probCold = 0.5; // locality probabilities no longer sum to 1
+    EXPECT_THROW(p.validate(), PanicError);
+    p = profileByName("FFT");
+    p.mlp = 0.5;
+    EXPECT_THROW(p.validate(), PanicError);
+}
+
+TEST(Profile, MemoryAppsAreColderThanComputeApps)
+{
+    // Every memory-class app must have more DRAM-bound accesses and a
+    // lower issue efficiency than every compute-class app.
+    for (const auto &m : suite()) {
+        if (m.klass != WorkloadClass::Memory)
+            continue;
+        for (const auto &c : suite()) {
+            if (c.klass != WorkloadClass::Compute)
+                continue;
+            EXPECT_GT(m.probCold, c.probCold) << m.name << " vs " << c.name;
+            EXPECT_LT(m.issueEfficiency, c.issueEfficiency)
+                << m.name << " vs " << c.name;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stream generator: properties over every profile.
+// ---------------------------------------------------------------------
+
+class StreamPropertyTest : public ::testing::TestWithParam<Profile>
+{
+};
+
+TEST_P(StreamPropertyTest, MixMatchesProfile)
+{
+    const Profile &p = GetParam();
+    ThreadStream stream(p, 0, 42);
+    const int n = 200000;
+    int fpu = 0, branch = 0, load = 0, store = 0, imiss = 0;
+    for (int i = 0; i < n; ++i) {
+        const Op op = stream.next();
+        fpu += op.kind == Op::Kind::Fpu;
+        branch += op.kind == Op::Kind::Branch;
+        load += op.kind == Op::Kind::Load;
+        store += op.kind == Op::Kind::Store;
+        imiss += op.instMiss;
+    }
+    EXPECT_NEAR(static_cast<double>(fpu) / n, p.fracFpu, 0.01);
+    EXPECT_NEAR(static_cast<double>(branch) / n, p.fracBranch, 0.01);
+    EXPECT_NEAR(static_cast<double>(load) / n, p.fracLoad, 0.01);
+    EXPECT_NEAR(static_cast<double>(store) / n, p.fracStore, 0.01);
+    EXPECT_NEAR(static_cast<double>(imiss) / n * 1000.0,
+                p.l1iMissPerKilo, 1.0);
+}
+
+TEST_P(StreamPropertyTest, DeterministicPerSeedAndThread)
+{
+    const Profile &p = GetParam();
+    ThreadStream a(p, 3, 42), b(p, 3, 42), c(p, 4, 42);
+    bool saw_difference = false;
+    for (int i = 0; i < 2000; ++i) {
+        const Op oa = a.next(), ob = b.next(), oc = c.next();
+        EXPECT_EQ(static_cast<int>(oa.kind), static_cast<int>(ob.kind));
+        EXPECT_EQ(oa.addr, ob.addr);
+        if (oa.addr != oc.addr || oa.kind != oc.kind)
+            saw_difference = true;
+    }
+    EXPECT_TRUE(saw_difference);
+}
+
+TEST_P(StreamPropertyTest, AddressesStayInKnownRegions)
+{
+    const Profile &p = GetParam();
+    ThreadStream stream(p, 1, 42);
+    const std::uint64_t private_base = 2ull << 32;
+    const std::uint64_t shared_base = 1ull << 40;
+    for (int i = 0; i < 50000; ++i) {
+        const Op op = stream.next();
+        if (op.kind != Op::Kind::Load && op.kind != Op::Kind::Store)
+            continue;
+        const bool in_private =
+            op.addr >= private_base &&
+            op.addr < private_base + (256ull << 10) + p.workingSetBytes;
+        const bool in_shared =
+            op.addr >= shared_base &&
+            op.addr < shared_base + (256ull << 10) + p.workingSetBytes;
+        EXPECT_TRUE(in_private || in_shared) << std::hex << op.addr;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, StreamPropertyTest, ::testing::ValuesIn(suite()),
+    [](const auto &info) {
+        std::string name = info.param.name;
+        for (char &ch : name)
+            if (!isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return name;
+    });
+
+TEST(Stream, HotRegionDominatesForComputeApps)
+{
+    const Profile &p = profileByName("LU(NAS)");
+    ThreadStream stream(p, 0, 42);
+    const std::uint64_t private_base = 1ull << 32;
+    int hot = 0, mem_ops = 0;
+    for (int i = 0; i < 100000; ++i) {
+        const Op op = stream.next();
+        if (op.kind != Op::Kind::Load && op.kind != Op::Kind::Store)
+            continue;
+        ++mem_ops;
+        hot += op.addr < private_base + (16u << 10);
+    }
+    EXPECT_GT(static_cast<double>(hot) / mem_ops, 0.95);
+}
+
+TEST(Stream, StreamingProducesSequentialLines)
+{
+    Profile p = profileByName("FT");
+    p.streamFraction = 1.0;
+    p.probHot = 0.0;
+    p.probWarm = 0.0;
+    p.probCold = 1.0;
+    p.sharedFraction = 0.0;
+    ThreadStream stream(p, 0, 42);
+    std::uint64_t prev = 0;
+    int sequential = 0, mem_ops = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const Op op = stream.next();
+        if (op.kind != Op::Kind::Load && op.kind != Op::Kind::Store)
+            continue;
+        if (mem_ops > 0 && op.addr == prev + 64)
+            ++sequential;
+        prev = op.addr;
+        ++mem_ops;
+    }
+    EXPECT_GT(static_cast<double>(sequential) / mem_ops, 0.95);
+}
+
+TEST(Stream, SharedRegionIsCommonAcrossThreads)
+{
+    Profile p = profileByName("Radiosity");
+    p.sharedFraction = 1.0;
+    p.probHot = 0.0;
+    p.probWarm = 0.0;
+    p.probCold = 1.0;
+    p.streamFraction = 0.0;
+    ThreadStream a(p, 0, 42), b(p, 5, 42);
+    std::set<std::uint64_t> lines_a;
+    for (int i = 0; i < 30000; ++i) {
+        const Op op = a.next();
+        if (op.kind == Op::Kind::Load || op.kind == Op::Kind::Store)
+            lines_a.insert(op.addr / 64);
+    }
+    int overlap = 0, mem_ops = 0;
+    for (int i = 0; i < 30000; ++i) {
+        const Op op = b.next();
+        if (op.kind != Op::Kind::Load && op.kind != Op::Kind::Store)
+            continue;
+        ++mem_ops;
+        overlap += lines_a.count(op.addr / 64) > 0;
+    }
+    EXPECT_GT(static_cast<double>(overlap) / mem_ops, 0.1);
+}
+
+TEST(Stream, BranchMispredictsMatchRate)
+{
+    const Profile &p = profileByName("Radix");
+    ThreadStream stream(p, 0, 42);
+    int branches = 0, mispredicts = 0;
+    for (int i = 0; i < 300000; ++i) {
+        const Op op = stream.next();
+        if (op.kind == Op::Kind::Branch) {
+            ++branches;
+            mispredicts += op.mispredict;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(mispredicts) / branches,
+                p.branchMispredictRate, 0.01);
+}
+
+} // namespace
+} // namespace xylem::workloads

@@ -1,17 +1,33 @@
 /**
  * @file
  * Shared helpers for the paper-reproduction bench binaries: a common
- * banner, the paper-reported reference values, and experiment sizing
- * flags (--fast shrinks a bench for smoke runs).
+ * banner, the paper-reported reference values, experiment sizing
+ * flags (--fast shrinks a bench for smoke runs), the parallel-runtime
+ * knobs (--jobs, --cache-dir), and a machine-readable JSON summary
+ * emitted when the bench exits (wall time, tasks run, cache hits,
+ * solver iterations) so BENCH_*.json trajectories can be tracked.
+ *
+ * Flags (all optional):
+ *   --fast            shrunk experiment configuration
+ *   --jobs N          worker threads (default: XYLEM_JOBS or 1)
+ *   --cache-dir DIR   persistent result cache (default: XYLEM_CACHE_DIR)
+ *   --json PATH       also write the JSON summary to PATH
  */
 
 #ifndef XYLEM_BENCH_BENCH_UTIL_HPP
 #define XYLEM_BENCH_BENCH_UTIL_HPP
 
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
+#include "common/table.hpp"
+#include "runtime/metrics.hpp"
 #include "xylem/experiments.hpp"
+#include "xylem/sim_cache.hpp"
 
 namespace xylem::bench {
 
@@ -26,19 +42,138 @@ banner(const std::string &experiment, const std::string &paper_result)
 }
 
 /**
- * Standard experiment config, shrunk when `--fast` is passed.
+ * Emits the telemetry summary table and the JSON summary when the
+ * bench exits; configFromArgs() owns one as a function-local static.
+ */
+class BenchReporter
+{
+  public:
+    BenchReporter(std::string name, std::string json_path)
+        : name_(std::move(name)), json_path_(std::move(json_path)),
+          start_(std::chrono::steady_clock::now())
+    {
+        // Construct the metrics singleton before this object finishes
+        // constructing, so it is destroyed after our destructor runs.
+        runtime::Metrics::global().snapshot();
+    }
+
+    ~BenchReporter()
+    {
+        const double wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start_)
+                                .count();
+        auto &metrics = runtime::Metrics::global();
+        const auto snap = metrics.snapshot();
+
+        std::cout << "\n";
+        metrics.printSummary(std::cout);
+
+        // Warm-start savings of the CG solver (§5 boost loops reuse
+        // the previous grid point's field as the initial guess).
+        const auto warm_solves = snap.count("solver.warm_solves");
+        const auto cold_solves = snap.count("solver.cold_solves");
+        if (warm_solves > 0 && cold_solves > 0) {
+            const double warm_mean =
+                static_cast<double>(snap.count("solver.warm_iterations")) /
+                static_cast<double>(warm_solves);
+            const double cold_mean =
+                static_cast<double>(snap.count("solver.cold_iterations")) /
+                static_cast<double>(cold_solves);
+            std::cout << "CG warm-start saving: " << Table::num(warm_mean, 1)
+                      << " iters/solve warm vs " << Table::num(cold_mean, 1)
+                      << " cold ("
+                      << Table::num((1.0 - warm_mean / cold_mean) * 100.0,
+                                    1)
+                      << "% fewer)\n";
+        }
+
+        std::ostringstream json;
+        json << "{\"bench\":\"" << name_ << "\",\"wall_seconds\":" << wall
+             << ",\"tasks_run\":" << snap.count("runner.tasks")
+             << ",\"tasks_computed\":" << snap.count("runner.computed")
+             << ",\"cache_hits\":" << snap.count("runner.cache_hits")
+             << ",\"solver_iterations\":"
+             << snap.count("solver.iterations")
+             << ",\"sim_cache_hits\":" << snap.count("simcache.hits")
+             << ",\"sim_cache_misses\":" << snap.count("simcache.misses")
+             << ",\"metrics\":" << metrics.toJson() << "}";
+        std::cout << "JSON summary: " << json.str() << "\n";
+        if (!json_path_.empty()) {
+            std::ofstream out(json_path_, std::ios::trunc);
+            if (out)
+                out << json.str() << "\n";
+            else
+                std::cerr << "warn: cannot write JSON summary to '"
+                          << json_path_ << "'\n";
+        }
+    }
+
+  private:
+    std::string name_;
+    std::string json_path_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Standard experiment config: shrunk when `--fast` is passed, with
+ * the runtime knobs taken from the environment (XYLEM_JOBS,
+ * XYLEM_CACHE_DIR) and overridden by --jobs / --cache-dir. Also
+ * installs the exit-time JSON/telemetry reporter.
  */
 inline core::ExperimentConfig
 configFromArgs(int argc, char **argv)
 {
+    bool fast = false;
+    std::string json_path;
+    auto value = [&](int &i, const char *flag) -> std::string {
+        if (i + 1 >= argc) {
+            std::cerr << "missing value for " << flag << "\n";
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    core::ExperimentConfig cfg = core::ExperimentConfig::standard();
+    cfg.runner = runtime::RunnerOptions::fromEnv();
     for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--fast") {
-            auto cfg = core::ExperimentConfig::small();
-            std::cout << "[--fast: shrunk configuration]\n";
-            return cfg;
+        const std::string arg = argv[i];
+        if (arg == "--fast") {
+            fast = true;
+        } else if (arg == "--jobs") {
+            try {
+                cfg.runner.jobs = std::stoi(value(i, "--jobs"));
+            } catch (const std::exception &) {
+                std::cerr << "invalid --jobs value\n";
+                std::exit(2);
+            }
+        } else if (arg == "--cache-dir") {
+            cfg.runner.cacheDir = value(i, "--cache-dir");
+        } else if (arg == "--json") {
+            json_path = value(i, "--json");
+        } else {
+            std::cerr << "unknown argument '" << arg << "'\n";
+            std::exit(2);
         }
     }
-    return core::ExperimentConfig::standard();
+    if (fast) {
+        auto runner = cfg.runner;
+        cfg = core::ExperimentConfig::small();
+        cfg.runner = runner;
+        std::cout << "[--fast: shrunk configuration]\n";
+    }
+    if (cfg.runner.jobs > 1)
+        std::cout << "[--jobs " << cfg.runner.jobs << "]\n";
+    if (!cfg.runner.cacheDir.empty()) {
+        std::cout << "[result cache: " << cfg.runner.cacheDir << "]\n";
+        // The same directory also persists multicore simulations.
+        core::setSimCacheDisk(cfg.runner.cacheDir + "/sim");
+    }
+
+    std::string name = argv[0];
+    if (const auto slash = name.find_last_of('/');
+        slash != std::string::npos)
+        name = name.substr(slash + 1);
+    static BenchReporter reporter(name, json_path);
+    return cfg;
 }
 
 /** Short scheme label for table cells. */

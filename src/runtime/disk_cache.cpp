@@ -1,0 +1,182 @@
+#include "runtime/disk_cache.hpp"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/logging.hpp"
+#include "runtime/serialize.hpp"
+
+namespace fs = std::filesystem;
+
+namespace xylem::runtime {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x52435958; // "XYCR"
+constexpr std::uint32_t kContainerVersion = 1;
+
+std::string
+hexHash(std::uint64_t h)
+{
+    std::ostringstream os;
+    os << std::hex << h;
+    return os.str();
+}
+
+std::optional<std::vector<std::uint8_t>>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof())
+        return std::nullopt;
+    return bytes;
+}
+
+} // namespace
+
+DiskCache::DiskCache(std::string dir, std::uint32_t version)
+    : dir_(std::move(dir)), version_(version)
+{
+    XYLEM_ASSERT(!dir_.empty(), "cache directory must be non-empty");
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        fatal("cannot create cache directory '", dir_, "': ",
+              ec.message());
+}
+
+std::uint64_t
+DiskCache::fnv1a(const void *data, std::size_t size)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+DiskCache::fnv1a(const std::string &s)
+{
+    return fnv1a(s.data(), s.size());
+}
+
+std::string
+DiskCache::pathFor(const std::string &key) const
+{
+    return dir_ + "/" + hexHash(fnv1a(key)) + ".xyc";
+}
+
+std::optional<std::vector<std::uint8_t>>
+DiskCache::load(const std::string &key) const
+{
+    const auto bytes = readFile(pathFor(key));
+    if (!bytes)
+        return std::nullopt;
+    try {
+        BinaryReader r(*bytes);
+        if (r.u32() != kMagic)
+            return std::nullopt;
+        if (r.u32() != kContainerVersion)
+            return std::nullopt;
+        if (r.u32() != version_)
+            return std::nullopt;
+        const std::uint64_t hash = r.u64();
+        if (hash != fnv1a(key))
+            return std::nullopt;
+        if (r.str() != key) // same hash, different key: collision
+            return std::nullopt;
+        const std::uint64_t payload_len = r.u64();
+        if (r.remaining() < payload_len + sizeof(std::uint64_t))
+            return std::nullopt; // truncated record
+        const std::size_t off = bytes->size() - r.remaining();
+        std::vector<std::uint8_t> payload(
+            bytes->begin() + static_cast<std::ptrdiff_t>(off),
+            bytes->begin() +
+                static_cast<std::ptrdiff_t>(off + payload_len));
+        std::uint64_t checksum;
+        std::memcpy(&checksum, bytes->data() + off + payload_len,
+                    sizeof checksum);
+        if (checksum != fnv1a(payload.data(), payload.size()))
+            return std::nullopt;
+        return payload;
+    } catch (const SerializeError &) {
+        return std::nullopt;
+    }
+}
+
+void
+DiskCache::store(const std::string &key,
+                 const std::vector<std::uint8_t> &payload) const
+{
+    BinaryWriter w;
+    w.u32(kMagic);
+    w.u32(kContainerVersion);
+    w.u32(version_);
+    w.u64(fnv1a(key));
+    w.str(key);
+    w.u64(payload.size());
+    const std::vector<std::uint8_t> &record = w.bytes();
+
+    static std::atomic<std::uint64_t> tmp_counter{0};
+    std::ostringstream tmp;
+    tmp << dir_ << "/.tmp." << ::getpid() << '.'
+        << std::hash<std::thread::id>{}(std::this_thread::get_id()) << '.'
+        << tmp_counter.fetch_add(1);
+    {
+        std::ofstream out(tmp.str(), std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warn("cache: cannot open temp file '", tmp.str(), "'");
+            return;
+        }
+        out.write(reinterpret_cast<const char *>(record.data()),
+                  static_cast<std::streamsize>(record.size()));
+        out.write(reinterpret_cast<const char *>(payload.data()),
+                  static_cast<std::streamsize>(payload.size()));
+        const std::uint64_t checksum =
+            fnv1a(payload.data(), payload.size());
+        out.write(reinterpret_cast<const char *>(&checksum),
+                  sizeof checksum);
+        if (!out.good()) {
+            warn("cache: short write to '", tmp.str(), "'");
+            out.close();
+            std::error_code ec;
+            fs::remove(tmp.str(), ec);
+            return;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp.str(), pathFor(key), ec);
+    if (ec) {
+        warn("cache: rename into '", pathFor(key),
+             "' failed: ", ec.message());
+        fs::remove(tmp.str(), ec);
+    }
+}
+
+std::size_t
+DiskCache::recordCount() const
+{
+    std::size_t n = 0;
+    std::error_code ec;
+    for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
+         it.increment(ec)) {
+        if (it->path().extension() == ".xyc")
+            ++n;
+    }
+    return n;
+}
+
+} // namespace xylem::runtime

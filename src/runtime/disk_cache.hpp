@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Persistent on-disk result cache for the experiment runtime.
+ *
+ * One record per key, stored under `<dir>/<hash>.xyc` where `hash`
+ * is the FNV-1a fingerprint of the full key string. Each record is a
+ * versioned binary envelope that embeds the key itself (collisions
+ * are detected and treated as misses) and a payload checksum, so any
+ * corrupt, truncated, or stale-version file simply reads as a miss —
+ * the cache is always safe to reuse across runs and code changes.
+ *
+ * Writes go through a unique temp file followed by an atomic rename,
+ * so concurrent readers (and concurrent writers of the same key) see
+ * either the old record or the new one, never a torn file.
+ */
+
+#ifndef XYLEM_RUNTIME_DISK_CACHE_HPP
+#define XYLEM_RUNTIME_DISK_CACHE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xylem::runtime {
+
+class DiskCache
+{
+  public:
+    /**
+     * @param dir     cache directory; created when absent
+     * @param version caller's record-schema version — bump it when
+     *                the payload layout changes and old records read
+     *                as misses
+     */
+    DiskCache(std::string dir, std::uint32_t version);
+
+    const std::string &directory() const { return dir_; }
+    std::uint32_t version() const { return version_; }
+
+    /** Fetch the payload for `key`; nullopt on miss/corruption. */
+    std::optional<std::vector<std::uint8_t>>
+    load(const std::string &key) const;
+
+    /** Persist `payload` under `key` (atomic replace). */
+    void store(const std::string &key,
+               const std::vector<std::uint8_t> &payload) const;
+
+    /** Number of records currently on disk (tests/diagnostics). */
+    std::size_t recordCount() const;
+
+    /** 64-bit FNV-1a over a byte string. */
+    static std::uint64_t fnv1a(const void *data, std::size_t size);
+    static std::uint64_t fnv1a(const std::string &s);
+
+  private:
+    std::string pathFor(const std::string &key) const;
+
+    std::string dir_;
+    std::uint32_t version_;
+};
+
+} // namespace xylem::runtime
+
+#endif // XYLEM_RUNTIME_DISK_CACHE_HPP

@@ -1,0 +1,117 @@
+#include "runtime/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace xylem::runtime {
+
+Metrics &
+Metrics::global()
+{
+    static Metrics instance;
+    return instance;
+}
+
+Counter &
+Metrics::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_[name];
+}
+
+void
+Metrics::addTiming(const std::string &name, double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    TimingStats &t = timings_[name];
+    if (t.count == 0) {
+        t.minSeconds = seconds;
+        t.maxSeconds = seconds;
+    } else {
+        t.minSeconds = std::min(t.minSeconds, seconds);
+        t.maxSeconds = std::max(t.maxSeconds, seconds);
+    }
+    ++t.count;
+    t.totalSeconds += seconds;
+}
+
+std::uint64_t
+Metrics::Snapshot::count(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+Metrics::Snapshot
+Metrics::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot snap;
+    for (const auto &[name, c] : counters_)
+        snap.counters[name] = c.value();
+    snap.timings = timings_;
+    return snap;
+}
+
+void
+Metrics::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.clear();
+    timings_.clear();
+}
+
+void
+Metrics::printSummary(std::ostream &os) const
+{
+    const Snapshot snap = snapshot();
+    if (!snap.counters.empty()) {
+        Table t({"counter", "value"});
+        for (const auto &[name, v] : snap.counters)
+            t.addRow({name, std::to_string(v)});
+        os << "Telemetry counters:\n";
+        t.print(os);
+    }
+    if (!snap.timings.empty()) {
+        Table t({"timing", "count", "total [s]", "mean [s]", "min [s]",
+                 "max [s]"});
+        for (const auto &[name, ts] : snap.timings) {
+            t.addRow({name, std::to_string(ts.count),
+                      Table::num(ts.totalSeconds, 3),
+                      Table::num(ts.meanSeconds(), 4),
+                      Table::num(ts.minSeconds, 4),
+                      Table::num(ts.maxSeconds, 4)});
+        }
+        os << "Telemetry timings:\n";
+        t.print(os);
+    }
+}
+
+std::string
+Metrics::toJson() const
+{
+    const Snapshot snap = snapshot();
+    std::ostringstream os;
+    os << "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, v] : snap.counters) {
+        os << (first ? "" : ",") << '"' << name << "\":" << v;
+        first = false;
+    }
+    os << "},\"timings\":{";
+    first = true;
+    for (const auto &[name, ts] : snap.timings) {
+        os << (first ? "" : ",") << '"' << name << "\":{\"count\":"
+           << ts.count << ",\"total_s\":" << ts.totalSeconds
+           << ",\"mean_s\":" << ts.meanSeconds()
+           << ",\"min_s\":" << ts.minSeconds
+           << ",\"max_s\":" << ts.maxSeconds << '}';
+        first = false;
+    }
+    os << "}}";
+    return os.str();
+}
+
+} // namespace xylem::runtime

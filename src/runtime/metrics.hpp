@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Per-task telemetry for the experiment runtime: a process-wide
+ * registry of named counters (monotonic, atomic) and timings
+ * (count/total/min/max wall seconds).
+ *
+ * Producers grab a counter once and bump it from any thread:
+ *
+ * @code
+ *   auto &iters = runtime::Metrics::global().counter("solver.iterations");
+ *   iters.add(stats.iterations);
+ *   runtime::ScopedTimer t("task.seconds");   // records on scope exit
+ * @endcode
+ *
+ * Consumers take a Snapshot (a plain map copy) and render it with
+ * printSummary() or toJson(). Counter references stay valid for the
+ * life of the registry (node-based storage), so hot paths never
+ * re-hash strings.
+ */
+
+#ifndef XYLEM_RUNTIME_METRICS_HPP
+#define XYLEM_RUNTIME_METRICS_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace xylem::runtime {
+
+/** A monotonically increasing, thread-safe counter. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+    void increment() { add(1); }
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Aggregated wall-time observations for one named timing. */
+struct TimingStats
+{
+    std::uint64_t count = 0;
+    double totalSeconds = 0.0;
+    double minSeconds = 0.0;
+    double maxSeconds = 0.0;
+
+    double meanSeconds() const
+    {
+        return count ? totalSeconds / static_cast<double>(count) : 0.0;
+    }
+};
+
+class Metrics
+{
+  public:
+    /** The process-wide registry used by the runtime and experiments. */
+    static Metrics &global();
+
+    /** Find-or-create; the reference stays valid until reset(). */
+    Counter &counter(const std::string &name);
+
+    /** Fold one wall-time observation into the named timing. */
+    void addTiming(const std::string &name, double seconds);
+
+    /** A consistent copy of every counter and timing. */
+    struct Snapshot
+    {
+        std::map<std::string, std::uint64_t> counters;
+        std::map<std::string, TimingStats> timings;
+
+        /** Counter value or 0 when absent. */
+        std::uint64_t count(const std::string &name) const;
+    };
+    Snapshot snapshot() const;
+
+    /** Drop every counter and timing (tests, bench restarts). */
+    void reset();
+
+    /** Render a column-aligned telemetry summary table. */
+    void printSummary(std::ostream &os) const;
+
+    /** Render the snapshot as a single JSON object. */
+    std::string toJson() const;
+
+  private:
+    mutable std::mutex mutex_;
+    // node-based: counter() hands out long-lived references
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, TimingStats> timings_;
+};
+
+/** Records the wall time of a scope into Metrics::global(). */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(std::string name)
+        : name_(std::move(name)),
+          start_(std::chrono::steady_clock::now())
+    {}
+    ~ScopedTimer()
+    {
+        const auto end = std::chrono::steady_clock::now();
+        Metrics::global().addTiming(
+            name_, std::chrono::duration<double>(end - start_).count());
+    }
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace xylem::runtime
+
+#endif // XYLEM_RUNTIME_METRICS_HPP

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Minimal binary record serialisation for the persistent result
+ * cache: little-endian-native fixed-width integers, raw IEEE doubles
+ * (bit-exact round trips, which the byte-identical replay guarantees
+ * rely on), and length-prefixed strings/vectors.
+ *
+ * The reader throws SerializeError on any truncation or bound
+ * violation; DiskCache and its callers translate that into a cache
+ * miss, which makes corrupt or half-written records self-healing.
+ * Records are host-format (the cache directory is per-machine, not an
+ * interchange format).
+ */
+
+#ifndef XYLEM_RUNTIME_SERIALIZE_HPP
+#define XYLEM_RUNTIME_SERIALIZE_HPP
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace xylem::runtime {
+
+/** Thrown by BinaryReader on truncated or malformed input. */
+class SerializeError : public std::runtime_error
+{
+  public:
+    explicit SerializeError(const std::string &what_arg)
+        : std::runtime_error("serialize: " + what_arg)
+    {}
+};
+
+class BinaryWriter
+{
+  public:
+    const std::vector<std::uint8_t> &bytes() const { return buf_; }
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+    void
+    u32(std::uint32_t v)
+    {
+        raw(&v, sizeof v);
+    }
+    void
+    u64(std::uint64_t v)
+    {
+        raw(&v, sizeof v);
+    }
+    void
+    i32(std::int32_t v)
+    {
+        raw(&v, sizeof v);
+    }
+    void
+    f64(double v)
+    {
+        raw(&v, sizeof v);
+    }
+    void
+    boolean(bool v)
+    {
+        const std::uint8_t b = v ? 1 : 0;
+        raw(&b, sizeof b);
+    }
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        raw(s.data(), s.size());
+    }
+    void
+    vecF64(const std::vector<double> &v)
+    {
+        u64(v.size());
+        raw(v.data(), v.size() * sizeof(double));
+    }
+    void
+    vecU64(const std::vector<std::uint64_t> &v)
+    {
+        u64(v.size());
+        raw(v.data(), v.size() * sizeof(std::uint64_t));
+    }
+
+  private:
+    void
+    raw(const void *p, std::size_t n)
+    {
+        const auto *b = static_cast<const std::uint8_t *>(p);
+        buf_.insert(buf_.end(), b, b + n);
+    }
+
+    std::vector<std::uint8_t> buf_;
+};
+
+class BinaryReader
+{
+  public:
+    explicit BinaryReader(const std::vector<std::uint8_t> &bytes)
+        : data_(bytes.data()), size_(bytes.size())
+    {}
+    BinaryReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
+    std::size_t remaining() const { return size_ - pos_; }
+    bool atEnd() const { return pos_ == size_; }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t v;
+        raw(&v, sizeof v);
+        return v;
+    }
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v;
+        raw(&v, sizeof v);
+        return v;
+    }
+    std::int32_t
+    i32()
+    {
+        std::int32_t v;
+        raw(&v, sizeof v);
+        return v;
+    }
+    double
+    f64()
+    {
+        double v;
+        raw(&v, sizeof v);
+        return v;
+    }
+    bool
+    boolean()
+    {
+        std::uint8_t b;
+        raw(&b, sizeof b);
+        return b != 0;
+    }
+    std::string
+    str()
+    {
+        const std::uint64_t n = length(1);
+        std::string s(n, '\0');
+        raw(s.data(), n);
+        return s;
+    }
+    std::vector<double>
+    vecF64()
+    {
+        const std::uint64_t n = length(sizeof(double));
+        std::vector<double> v(n);
+        raw(v.data(), n * sizeof(double));
+        return v;
+    }
+    std::vector<std::uint64_t>
+    vecU64()
+    {
+        const std::uint64_t n = length(sizeof(std::uint64_t));
+        std::vector<std::uint64_t> v(n);
+        raw(v.data(), n * sizeof(std::uint64_t));
+        return v;
+    }
+
+  private:
+    /** Read an element count and bound it by the remaining bytes. */
+    std::uint64_t
+    length(std::size_t elem_size)
+    {
+        const std::uint64_t n = u64();
+        if (n > remaining() / elem_size)
+            throw SerializeError("length exceeds remaining bytes");
+        return n;
+    }
+
+    void
+    raw(void *p, std::size_t n)
+    {
+        if (n > remaining())
+            throw SerializeError("read past end of record");
+        std::memcpy(p, data_ + pos_, n);
+        pos_ += n;
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace xylem::runtime
+
+#endif // XYLEM_RUNTIME_SERIALIZE_HPP

@@ -1,0 +1,5 @@
+set(XYLEM_RUNTIME_SOURCES
+    ${CMAKE_CURRENT_LIST_DIR}/thread_pool.cpp
+    ${CMAKE_CURRENT_LIST_DIR}/metrics.cpp
+    ${CMAKE_CURRENT_LIST_DIR}/disk_cache.cpp
+    ${CMAKE_CURRENT_LIST_DIR}/sweep_runner.cpp)

@@ -1,0 +1,28 @@
+#include "runtime/sweep_runner.hpp"
+
+#include <cstdlib>
+
+namespace xylem::runtime {
+
+RunnerOptions
+RunnerOptions::fromEnv()
+{
+    RunnerOptions opts;
+    opts.jobs = ThreadPool::defaultJobs();
+    if (const char *dir = std::getenv("XYLEM_CACHE_DIR"))
+        opts.cacheDir = dir;
+    return opts;
+}
+
+SweepRunner::SweepRunner(RunnerOptions opts)
+    : jobs_(ThreadPool::resolveJobs(opts.jobs))
+{
+    if (!opts.cacheDir.empty())
+        cache_.emplace(opts.cacheDir, kResultCacheVersion);
+    if (jobs_ > 1)
+        pool_ = std::make_unique<ThreadPool>(jobs_);
+}
+
+SweepRunner::~SweepRunner() = default;
+
+} // namespace xylem::runtime

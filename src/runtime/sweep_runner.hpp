@@ -1,0 +1,132 @@
+/**
+ * @file
+ * SweepRunner: executes an experiment grid as independent tasks on
+ * the work-stealing pool, with deterministic result ordering and an
+ * optional persistent result cache.
+ *
+ * An experiment expresses its grid as `n` index-addressed tasks; the
+ * runner guarantees that results come back in index order regardless
+ * of the execution interleaving, so a `--jobs N` run is bit-identical
+ * to the serial one (every task is internally deterministic and never
+ * shares mutable state with its siblings).
+ *
+ * When a cache directory is configured, each task may supply a key
+ * string that fully fingerprints its inputs; hits skip the compute
+ * entirely and decode the stored record, misses compute and persist.
+ * Corrupt or stale records fall back to compute transparently.
+ */
+
+#ifndef XYLEM_RUNTIME_SWEEP_RUNNER_HPP
+#define XYLEM_RUNTIME_SWEEP_RUNNER_HPP
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "runtime/disk_cache.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/serialize.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace xylem::runtime {
+
+/**
+ * Bump when any persisted experiment-record layout changes; old cache
+ * directories then read as misses instead of mis-decoding.
+ */
+constexpr std::uint32_t kResultCacheVersion = 1;
+
+/** Execution knobs shared by every experiment driver. */
+struct RunnerOptions
+{
+    /** Worker threads; <= 1 runs inline on the calling thread. */
+    int jobs = 1;
+    /** Persistent result cache directory; empty disables it. */
+    std::string cacheDir;
+
+    /** Read XYLEM_JOBS / XYLEM_CACHE_DIR. */
+    static RunnerOptions fromEnv();
+};
+
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(RunnerOptions opts);
+    ~SweepRunner();
+
+    int jobs() const { return jobs_; }
+    bool hasDiskCache() const { return cache_.has_value(); }
+    const DiskCache *diskCache() const
+    {
+        return cache_ ? &*cache_ : nullptr;
+    }
+
+    /**
+     * Run `n` independent tasks and return their results in index
+     * order. `key_fn` may return "" for an uncachable task. The first
+     * task exception (lowest index) is rethrown after the grid
+     * drains.
+     */
+    template <typename R>
+    std::vector<R>
+    run(std::size_t n,
+        const std::function<std::string(std::size_t)> &key_fn,
+        const std::function<R(std::size_t)> &compute_fn,
+        const std::function<void(BinaryWriter &, const R &)> &encode_fn,
+        const std::function<R(BinaryReader &)> &decode_fn)
+    {
+        std::vector<std::optional<R>> slots(n);
+        auto &tasks_total = Metrics::global().counter("runner.tasks");
+        auto &cache_hits =
+            Metrics::global().counter("runner.cache_hits");
+        auto &computed = Metrics::global().counter("runner.computed");
+
+        ThreadPool::parallelFor(pool_.get(), n, [&](std::size_t i) {
+            tasks_total.increment();
+            const std::string key = key_fn ? key_fn(i) : std::string();
+            if (cache_ && !key.empty()) {
+                if (auto payload = cache_->load(key)) {
+                    try {
+                        BinaryReader r(*payload);
+                        slots[i] = decode_fn(r);
+                        cache_hits.increment();
+                        return;
+                    } catch (const SerializeError &) {
+                        // stale/corrupt record: recompute below
+                    }
+                }
+            }
+            {
+                ScopedTimer timer("runner.task_seconds");
+                slots[i] = compute_fn(i);
+            }
+            computed.increment();
+            if (cache_ && !key.empty()) {
+                BinaryWriter w;
+                encode_fn(w, *slots[i]);
+                cache_->store(key, w.bytes());
+            }
+        });
+
+        std::vector<R> out;
+        out.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            XYLEM_ASSERT(slots[i].has_value(),
+                         "sweep task produced no result");
+            out.push_back(std::move(*slots[i]));
+        }
+        return out;
+    }
+
+  private:
+    int jobs_;
+    std::optional<DiskCache> cache_;
+    std::unique_ptr<ThreadPool> pool_; ///< null when jobs_ <= 1
+};
+
+} // namespace xylem::runtime
+
+#endif // XYLEM_RUNTIME_SWEEP_RUNNER_HPP

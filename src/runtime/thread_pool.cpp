@@ -1,0 +1,175 @@
+#include "runtime/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hpp"
+
+namespace xylem::runtime {
+
+namespace {
+
+// Set while a worker thread runs so that submissions from inside the
+// pool land on the submitter's own deque (classic work-stealing
+// locality) instead of the round-robin cursor.
+thread_local ThreadPool *tls_pool = nullptr;
+thread_local std::size_t tls_index = 0;
+
+} // namespace
+
+ThreadPool::ThreadPool(int num_threads, std::size_t max_pending)
+    : max_pending_(max_pending)
+{
+    const int n = resolveJobs(num_threads);
+    queues_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        workers_.emplace_back(
+            [this, i]() { workerLoop(static_cast<std::size_t>(i)); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+        work_available_.notify_all();
+        space_available_.notify_all();
+    }
+    for (auto &w : workers_)
+        w.join();
+}
+
+int
+ThreadPool::defaultJobs()
+{
+    if (const char *env = std::getenv("XYLEM_JOBS")) {
+        try {
+            const int n = std::stoi(env);
+            if (n >= 1)
+                return n;
+        } catch (const std::exception &) {
+            // fall through to the serial default
+        }
+        warn("ignoring invalid XYLEM_JOBS='", env, "'");
+    }
+    return 1;
+}
+
+int
+ThreadPool::resolveJobs(int jobs)
+{
+    if (jobs >= 1)
+        return jobs;
+    return defaultJobs();
+}
+
+void
+ThreadPool::post(Task task)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    space_available_.wait(lock, [&] {
+        return max_pending_ == 0 || pending_ < max_pending_ || stopping_;
+    });
+    std::size_t qi;
+    if (tls_pool == this) {
+        qi = tls_index;
+    } else {
+        qi = next_queue_;
+        next_queue_ = (next_queue_ + 1) % queues_.size();
+    }
+    {
+        // mutex_ -> queue mutex is the one-way lock order everywhere.
+        std::lock_guard<std::mutex> qlock(queues_[qi]->mutex);
+        queues_[qi]->tasks.push_back(std::move(task));
+    }
+    ++pending_;
+    work_available_.notify_one();
+}
+
+bool
+ThreadPool::tryTake(std::size_t self, Task &out)
+{
+    {
+        std::lock_guard<std::mutex> qlock(queues_[self]->mutex);
+        if (!queues_[self]->tasks.empty()) {
+            out = std::move(queues_[self]->tasks.back());
+            queues_[self]->tasks.pop_back(); // own deque: LIFO
+            return true;
+        }
+    }
+    for (std::size_t k = 1; k < queues_.size(); ++k) {
+        const std::size_t victim = (self + k) % queues_.size();
+        std::lock_guard<std::mutex> qlock(queues_[victim]->mutex);
+        if (!queues_[victim]->tasks.empty()) {
+            out = std::move(queues_[victim]->tasks.front());
+            queues_[victim]->tasks.pop_front(); // steal: FIFO
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t index)
+{
+    tls_pool = this;
+    tls_index = index;
+    for (;;) {
+        Task task;
+        if (tryTake(index, task)) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                --pending_;
+                space_available_.notify_one();
+            }
+            try {
+                task();
+            } catch (...) {
+                // submit() routes exceptions through the future; a
+                // throwing raw task would be a library bug.
+            }
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_available_.wait(lock,
+                             [&] { return stopping_ || pending_ > 0; });
+        if (stopping_ && pending_ == 0)
+            return;
+        // pending_ > 0: a task exists (or was pushed after our scan);
+        // loop around and scan the deques again.
+    }
+}
+
+void
+ThreadPool::parallelFor(ThreadPool *pool, std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (pool == nullptr || pool->threadCount() <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    const std::size_t chunks = std::min<std::size_t>(
+        n, static_cast<std::size_t>(pool->threadCount()) * 4);
+    std::vector<std::future<void>> futures;
+    futures.reserve(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t lo = n * c / chunks;
+        const std::size_t hi = n * (c + 1) / chunks;
+        futures.push_back(pool->submit([lo, hi, &fn]() {
+            for (std::size_t i = lo; i < hi; ++i)
+                fn(i);
+        }));
+    }
+    // get() in chunk order so the lowest-index failure propagates.
+    for (auto &f : futures)
+        f.get();
+}
+
+} // namespace xylem::runtime

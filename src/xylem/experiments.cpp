@@ -1,9 +1,11 @@
 #include "xylem/experiments.hpp"
 
 #include <cmath>
+#include <sstream>
 
 #include "common/logging.hpp"
 #include "common/stats.hpp"
+#include "xylem/config_io.hpp"
 
 namespace xylem::core {
 
@@ -26,6 +28,121 @@ resolveApps(const ExperimentConfig &cfg)
         apps.push_back(&workloads::profileByName(name));
     XYLEM_ASSERT(!apps.empty(), "experiment needs at least one app");
     return apps;
+}
+
+/** Exact (bit-preserving) text form of a double for cache keys. */
+std::string
+hexDouble(double v)
+{
+    std::ostringstream os;
+    os << std::hexfloat << v;
+    return os.str();
+}
+
+/**
+ * Canonical fingerprint of everything a steady-state evaluation
+ * depends on, for persistent cache keys. formatSystemConfig covers
+ * the user-tunable surface; the extras below are the remaining knobs
+ * reachable from code (ablation hooks, solver internals).
+ */
+std::string
+configFingerprint(const ExperimentConfig &cfg, stack::Scheme scheme)
+{
+    SystemConfig sys = cfg.base;
+    sys.stackSpec.scheme = scheme;
+    std::ostringstream os;
+    os << formatSystemConfig(sys);
+    os << "preconditioner = "
+       << static_cast<int>(sys.solver.preconditioner) << "\n";
+    os << "maxIterations = " << sys.solver.maxIterations << "\n";
+    os << "ttsvSites =";
+    for (const auto &p : sys.stackSpec.customTtsvSites)
+        os << ' ' << hexDouble(p.x) << ',' << hexDouble(p.y);
+    os << "\n";
+    return os.str();
+}
+
+// ---------------------------------------------------------------
+// Binary codecs for the persisted experiment records.
+// ---------------------------------------------------------------
+
+void
+encodeTempEntries(runtime::BinaryWriter &w,
+                  const std::vector<TempSweepEntry> &entries)
+{
+    w.u64(entries.size());
+    for (const auto &e : entries) {
+        w.str(e.app);
+        w.i32(static_cast<std::int32_t>(e.scheme));
+        w.f64(e.freqGHz);
+        w.f64(e.procHotspotC);
+        w.f64(e.dramBottomHotspotC);
+        w.f64(e.procPowerW);
+        w.f64(e.dramPowerW);
+    }
+}
+
+std::vector<TempSweepEntry>
+decodeTempEntries(runtime::BinaryReader &r)
+{
+    std::vector<TempSweepEntry> entries(r.u64());
+    for (auto &e : entries) {
+        e.app = r.str();
+        e.scheme = static_cast<stack::Scheme>(r.i32());
+        e.freqGHz = r.f64();
+        e.procHotspotC = r.f64();
+        e.dramBottomHotspotC = r.f64();
+        e.procPowerW = r.f64();
+        e.dramPowerW = r.f64();
+    }
+    return entries;
+}
+
+void
+encodeBoostEntry(runtime::BinaryWriter &w, const BoostEntry &e)
+{
+    w.str(e.app);
+    w.i32(static_cast<std::int32_t>(e.scheme));
+    w.f64(e.refTempC);
+    w.f64(e.freqGHz);
+    w.f64(e.freqGainMHz);
+    w.f64(e.perfGainPct);
+    w.f64(e.powerIncreasePct);
+    w.f64(e.energyChangePct);
+}
+
+BoostEntry
+decodeBoostEntry(runtime::BinaryReader &r)
+{
+    BoostEntry e;
+    e.app = r.str();
+    e.scheme = static_cast<stack::Scheme>(r.i32());
+    e.refTempC = r.f64();
+    e.freqGHz = r.f64();
+    e.freqGainMHz = r.f64();
+    e.perfGainPct = r.f64();
+    e.powerIncreasePct = r.f64();
+    e.energyChangePct = r.f64();
+    return e;
+}
+
+void
+encodeSensitivityEntry(runtime::BinaryWriter &w,
+                       const SensitivityEntry &e)
+{
+    w.f64(e.parameter);
+    w.i32(static_cast<std::int32_t>(e.scheme));
+    w.f64(e.avgProcHotspotC);
+}
+
+SensitivityEntry
+decodeSensitivityEntry(runtime::BinaryReader &r)
+{
+    SensitivityEntry e;
+    e.parameter = r.f64();
+    e.scheme = static_cast<stack::Scheme>(r.i32());
+    e.avgProcHotspotC = r.f64();
+    return e;
 }
 
 } // namespace
@@ -58,18 +175,50 @@ runTemperatureSweep(const ExperimentConfig &cfg,
                     const std::vector<stack::Scheme> &schemes)
 {
     const auto apps = resolveApps(cfg);
-    std::vector<TempSweepEntry> out;
-    for (stack::Scheme scheme : schemes) {
-        StackSystem system = makeSystem(cfg, scheme);
-        for (const auto *app : apps) {
-            for (double f : cfg.frequencies) {
-                EvalResult eval = system.evaluate(*app, f);
-                out.push_back({app->name, scheme, f, eval.procHotspot,
-                               eval.dramBottomHotspot, eval.procPowerTotal,
-                               eval.dramPowerTotal});
-            }
+
+    // One task per (scheme, app), scheme-major so the flattened
+    // result order matches the historical serial loop. Each task owns
+    // its StackSystem: the CG warm start chains across the task's
+    // frequencies but never across tasks, which is what makes a
+    // parallel run bit-identical to the serial one.
+    struct Task
+    {
+        stack::Scheme scheme;
+        const workloads::Profile *app;
+    };
+    std::vector<Task> tasks;
+    for (stack::Scheme scheme : schemes)
+        for (const auto *app : apps)
+            tasks.push_back({scheme, app});
+
+    runtime::SweepRunner runner(cfg.runner);
+    auto key = [&](std::size_t i) {
+        std::ostringstream os;
+        os << "tempsweep|v1|" << configFingerprint(cfg, tasks[i].scheme)
+           << "app=" << tasks[i].app->name << "|freqs=";
+        for (double f : cfg.frequencies)
+            os << hexDouble(f) << ',';
+        return os.str();
+    };
+    auto compute = [&](std::size_t i) {
+        StackSystem system = makeSystem(cfg, tasks[i].scheme);
+        std::vector<TempSweepEntry> entries;
+        for (double f : cfg.frequencies) {
+            EvalResult eval = system.evaluate(*tasks[i].app, f);
+            entries.push_back({tasks[i].app->name, tasks[i].scheme, f,
+                               eval.procHotspot, eval.dramBottomHotspot,
+                               eval.procPowerTotal, eval.dramPowerTotal});
         }
-    }
+        return entries;
+    };
+    const auto per_task = runner.run<std::vector<TempSweepEntry>>(
+        tasks.size(), key, compute, encodeTempEntries,
+        decodeTempEntries);
+
+    std::vector<TempSweepEntry> out;
+    out.reserve(tasks.size() * cfg.frequencies.size());
+    for (const auto &entries : per_task)
+        out.insert(out.end(), entries.begin(), entries.end());
     return out;
 }
 
@@ -109,8 +258,10 @@ runBoostExperiment(const ExperimentConfig &cfg,
 {
     const auto apps = resolveApps(cfg);
     const double f0 = 2.4;
+    runtime::SweepRunner runner(cfg.runner);
 
-    // Reference: the base scheme at 2.4 GHz.
+    // Phase 1 — references: the base scheme at 2.4 GHz, one task per
+    // app (each with its own base system, so tasks stay independent).
     struct Ref
     {
         double tempC;
@@ -118,53 +269,98 @@ runBoostExperiment(const ExperimentConfig &cfg,
         double powerW;
         double energyJ;
     };
-    std::vector<Ref> refs;
-    {
+    auto ref_key = [&](std::size_t a) {
+        std::ostringstream os;
+        os << "boostref|v1|"
+           << configFingerprint(cfg, stack::Scheme::Base)
+           << "app=" << apps[a]->name << "|f0=" << hexDouble(f0);
+        return os.str();
+    };
+    auto ref_compute = [&](std::size_t a) {
         StackSystem base = makeSystem(cfg, stack::Scheme::Base);
-        for (const auto *app : apps) {
-            EvalResult eval = base.evaluate(*app, f0);
-            refs.push_back({eval.procHotspot, eval.performance(),
-                            eval.stackPowerTotal, eval.stackEnergy()});
-        }
-    }
+        EvalResult eval = base.evaluate(*apps[a], f0);
+        return Ref{eval.procHotspot, eval.performance(),
+                   eval.stackPowerTotal, eval.stackEnergy()};
+    };
+    const auto refs = runner.run<Ref>(
+        apps.size(), ref_key, ref_compute,
+        [](runtime::BinaryWriter &w, const Ref &ref) {
+            w.f64(ref.tempC);
+            w.f64(ref.perf);
+            w.f64(ref.powerW);
+            w.f64(ref.energyJ);
+        },
+        [](runtime::BinaryReader &r) {
+            Ref ref;
+            ref.tempC = r.f64();
+            ref.perf = r.f64();
+            ref.powerW = r.f64();
+            ref.energyJ = r.f64();
+            return ref;
+        });
 
-    std::vector<BoostEntry> out;
-    for (stack::Scheme scheme : schemes) {
-        StackSystem system = makeSystem(cfg, scheme);
-        for (std::size_t a = 0; a < apps.size(); ++a) {
-            const Ref &ref = refs[a];
-            // No DRAM cap here: the constraint of §7.3 is the
-            // reference processor temperature.
-            BoostResult boost = system.maxUniformFrequency(
-                *apps[a], ref.tempC + 1e-9, 1e9);
-            BoostEntry e;
-            e.app = apps[a]->name;
-            e.scheme = scheme;
-            e.refTempC = ref.tempC;
-            if (!boost.feasible) {
-                // Even 2.4 GHz exceeds the reference (should not
-                // happen for schemes that only improve conduction).
-                warn("boost infeasible for ", e.app, " under ",
-                     stack::toString(scheme));
-                e.freqGHz = f0;
-                e.freqGainMHz = 0.0;
-                e.perfGainPct = 0.0;
-                e.powerIncreasePct = 0.0;
-                e.energyChangePct = 0.0;
-            } else {
-                e.freqGHz = boost.freqGHz;
-                e.freqGainMHz = (boost.freqGHz - f0) * 1000.0;
-                e.perfGainPct =
-                    (boost.eval.performance() / ref.perf - 1.0) * 100.0;
-                e.powerIncreasePct =
-                    (boost.eval.stackPowerTotal / ref.powerW - 1.0) * 100.0;
-                e.energyChangePct =
-                    (boost.eval.stackEnergy() / ref.energyJ - 1.0) * 100.0;
-            }
-            out.push_back(e);
+    // Phase 2 — one task per (scheme, app). Inside each task the
+    // upward frequency scan of maxUniformFrequency reuses the
+    // previous grid point's temperature field as a CG warm start
+    // (StackSystem chains it), which is where most of the iteration
+    // savings reported by the telemetry summary come from.
+    struct Task
+    {
+        stack::Scheme scheme;
+        std::size_t app;
+    };
+    std::vector<Task> tasks;
+    for (stack::Scheme scheme : schemes)
+        for (std::size_t a = 0; a < apps.size(); ++a)
+            tasks.push_back({scheme, a});
+
+    auto key = [&](std::size_t i) {
+        const Task &t = tasks[i];
+        std::ostringstream os;
+        os << "boost|v1|" << configFingerprint(cfg, t.scheme)
+           << "app=" << apps[t.app]->name << "|f0=" << hexDouble(f0)
+           << "|ref=" << hexDouble(refs[t.app].tempC) << ','
+           << hexDouble(refs[t.app].perf) << ','
+           << hexDouble(refs[t.app].powerW) << ','
+           << hexDouble(refs[t.app].energyJ);
+        return os.str();
+    };
+    auto compute = [&](std::size_t i) {
+        const Task &t = tasks[i];
+        const Ref &ref = refs[t.app];
+        StackSystem system = makeSystem(cfg, t.scheme);
+        // No DRAM cap here: the constraint of §7.3 is the reference
+        // processor temperature.
+        BoostResult boost = system.maxUniformFrequency(
+            *apps[t.app], ref.tempC + 1e-9, 1e9);
+        BoostEntry e;
+        e.app = apps[t.app]->name;
+        e.scheme = t.scheme;
+        e.refTempC = ref.tempC;
+        if (!boost.feasible) {
+            // Even 2.4 GHz exceeds the reference (should not happen
+            // for schemes that only improve conduction).
+            warn("boost infeasible for ", e.app, " under ",
+                 stack::toString(t.scheme));
+            e.freqGHz = f0;
+            e.freqGainMHz = 0.0;
+            e.perfGainPct = 0.0;
+            e.powerIncreasePct = 0.0;
+            e.energyChangePct = 0.0;
+        } else {
+            e.freqGHz = boost.freqGHz;
+            e.freqGainMHz = (boost.freqGHz - f0) * 1000.0;
+            e.perfGainPct =
+                (boost.eval.performance() / ref.perf - 1.0) * 100.0;
+            e.powerIncreasePct =
+                (boost.eval.stackPowerTotal / ref.powerW - 1.0) * 100.0;
+            e.energyChangePct =
+                (boost.eval.stackEnergy() / ref.energyJ - 1.0) * 100.0;
         }
-    }
-    return out;
+        return e;
+    };
+    return runner.run<BoostEntry>(tasks.size(), key, compute,
+                                  encodeBoostEntry, decodeBoostEntry);
 }
 
 std::vector<PlacementEntry>
@@ -176,8 +372,9 @@ runPlacementExperiment(const ExperimentConfig &cfg,
     const auto &comp = workloads::profileByName(compute_app);
     const auto &mem = workloads::profileByName(memory_app);
 
-    std::vector<PlacementEntry> out;
-    for (stack::Scheme scheme : schemes) {
+    runtime::SweepRunner runner(cfg.runner);
+    auto compute = [&](std::size_t i) {
+        const stack::Scheme scheme = schemes[i];
         StackSystem system = makeSystem(cfg, scheme);
         const auto &die = system.builtStack().procDie;
 
@@ -203,9 +400,32 @@ runPlacementExperiment(const ExperimentConfig &cfg,
         e.outsideHotspotC =
             outside.feasible ? outside.eval.procHotspot : 0.0;
         e.insideHotspotC = inside.feasible ? inside.eval.procHotspot : 0.0;
-        out.push_back(e);
-    }
-    return out;
+        return e;
+    };
+    auto key = [&](std::size_t i) {
+        std::ostringstream os;
+        os << "placement|v1|" << configFingerprint(cfg, schemes[i])
+           << "comp=" << compute_app << "|mem=" << memory_app;
+        return os.str();
+    };
+    return runner.run<PlacementEntry>(
+        schemes.size(), key, compute,
+        [](runtime::BinaryWriter &w, const PlacementEntry &e) {
+            w.i32(static_cast<std::int32_t>(e.scheme));
+            w.f64(e.outsideGHz);
+            w.f64(e.insideGHz);
+            w.f64(e.outsideHotspotC);
+            w.f64(e.insideHotspotC);
+        },
+        [](runtime::BinaryReader &r) {
+            PlacementEntry e;
+            e.scheme = static_cast<stack::Scheme>(r.i32());
+            e.outsideGHz = r.f64();
+            e.insideGHz = r.f64();
+            e.outsideHotspotC = r.f64();
+            e.insideHotspotC = r.f64();
+            return e;
+        });
 }
 
 std::vector<BoostingEntry>
@@ -213,8 +433,9 @@ runFreqBoostingExperiment(const ExperimentConfig &cfg,
                           const std::vector<stack::Scheme> &schemes)
 {
     const auto apps = resolveApps(cfg);
-    std::vector<BoostingEntry> out;
-    for (stack::Scheme scheme : schemes) {
+    runtime::SweepRunner runner(cfg.runner);
+    auto compute = [&](std::size_t i) {
+        const stack::Scheme scheme = schemes[i];
         StackSystem system = makeSystem(cfg, scheme);
         const auto &die = system.builtStack().procDie;
         std::vector<double> singles, multis;
@@ -236,9 +457,30 @@ runFreqBoostingExperiment(const ExperimentConfig &cfg,
             multis.push_back(multi.feasible ? multi.freqGHz
                                             : single.freqGHz);
         }
-        out.push_back({scheme, mean(singles), mean(multis)});
-    }
-    return out;
+        return BoostingEntry{scheme, mean(singles), mean(multis)};
+    };
+    auto key = [&](std::size_t i) {
+        std::ostringstream os;
+        os << "freqboost|v1|" << configFingerprint(cfg, schemes[i])
+           << "apps=";
+        for (const auto *app : apps)
+            os << app->name << ',';
+        return os.str();
+    };
+    return runner.run<BoostingEntry>(
+        schemes.size(), key, compute,
+        [](runtime::BinaryWriter &w, const BoostingEntry &e) {
+            w.i32(static_cast<std::int32_t>(e.scheme));
+            w.f64(e.singleGHz);
+            w.f64(e.multipleGHz);
+        },
+        [](runtime::BinaryReader &r) {
+            BoostingEntry e;
+            e.scheme = static_cast<stack::Scheme>(r.i32());
+            e.singleGHz = r.f64();
+            e.multipleGHz = r.f64();
+            return e;
+        });
 }
 
 std::vector<MigrationEntry>
@@ -247,8 +489,9 @@ runMigrationExperiment(const ExperimentConfig &cfg,
                        const MigrationOptions &opts)
 {
     const auto apps = resolveApps(cfg);
-    std::vector<MigrationEntry> out;
-    for (stack::Scheme scheme : schemes) {
+    runtime::SweepRunner runner(cfg.runner);
+    auto compute = [&](std::size_t i) {
+        const stack::Scheme scheme = schemes[i];
         StackSystem system = makeSystem(cfg, scheme);
         const auto &die = system.builtStack().procDie;
         std::vector<double> inner, outer;
@@ -260,30 +503,100 @@ runMigrationExperiment(const ExperimentConfig &cfg,
                 runMigration(system, *app, die.outerCores, opts)
                     .avgHotspot);
         }
-        out.push_back({scheme, mean(outer), mean(inner)});
-    }
-    return out;
+        return MigrationEntry{scheme, mean(outer), mean(inner)};
+    };
+    auto key = [&](std::size_t i) {
+        std::ostringstream os;
+        os << "migration|v1|" << configFingerprint(cfg, schemes[i])
+           << "apps=";
+        for (const auto *app : apps)
+            os << app->name << ',';
+        os << "|opts=" << hexDouble(opts.freqGHz) << ','
+           << hexDouble(opts.periodSeconds) << ',' << opts.numThreads
+           << ',' << opts.numPhases << ',' << opts.stepsPerPhase << ','
+           << opts.warmupPhases;
+        return os.str();
+    };
+    return runner.run<MigrationEntry>(
+        schemes.size(), key, compute,
+        [](runtime::BinaryWriter &w, const MigrationEntry &e) {
+            w.i32(static_cast<std::int32_t>(e.scheme));
+            w.f64(e.outerAvgHotspotC);
+            w.f64(e.innerAvgHotspotC);
+        },
+        [](runtime::BinaryReader &r) {
+            MigrationEntry e;
+            e.scheme = static_cast<stack::Scheme>(r.i32());
+            e.outerAvgHotspotC = r.f64();
+            e.innerAvgHotspotC = r.f64();
+            return e;
+        });
 }
+
+namespace {
+
+/**
+ * Shared driver for the two sensitivity sweeps: one task per
+ * (parameter value, scheme), the apps averaged inside the task so the
+ * per-system warm start keeps working across them, as it always did.
+ */
+std::vector<SensitivityEntry>
+runSensitivitySweep(const ExperimentConfig &cfg,
+                    const std::vector<double> &parameters,
+                    const std::vector<stack::Scheme> &schemes,
+                    const std::string &tag,
+                    const std::function<void(ExperimentConfig &, double)>
+                        &apply)
+{
+    const auto apps = resolveApps(cfg);
+    struct Task
+    {
+        double parameter;
+        stack::Scheme scheme;
+    };
+    std::vector<Task> tasks;
+    for (double p : parameters)
+        for (stack::Scheme scheme : schemes)
+            tasks.push_back({p, scheme});
+
+    runtime::SweepRunner runner(cfg.runner);
+    auto compute = [&](std::size_t i) {
+        ExperimentConfig mod = cfg;
+        apply(mod, tasks[i].parameter);
+        StackSystem system = makeSystem(mod, tasks[i].scheme);
+        std::vector<double> temps;
+        for (const auto *app : apps)
+            temps.push_back(system.evaluate(*app, 2.4).procHotspot);
+        return SensitivityEntry{tasks[i].parameter, tasks[i].scheme,
+                                mean(temps)};
+    };
+    auto key = [&](std::size_t i) {
+        ExperimentConfig mod = cfg;
+        apply(mod, tasks[i].parameter);
+        std::ostringstream os;
+        os << tag << "|v1|" << configFingerprint(mod, tasks[i].scheme)
+           << "parameter=" << hexDouble(tasks[i].parameter) << "|apps=";
+        for (const auto *app : apps)
+            os << app->name << ',';
+        return os.str();
+    };
+    return runner.run<SensitivityEntry>(tasks.size(), key, compute,
+                                        encodeSensitivityEntry,
+                                        decodeSensitivityEntry);
+}
+
+} // namespace
 
 std::vector<SensitivityEntry>
 runThicknessSweep(const ExperimentConfig &cfg,
                   const std::vector<double> &thicknesses_um,
                   const std::vector<stack::Scheme> &schemes)
 {
-    const auto apps = resolveApps(cfg);
-    std::vector<SensitivityEntry> out;
-    for (double t_um : thicknesses_um) {
-        for (stack::Scheme scheme : schemes) {
-            ExperimentConfig mod = cfg;
+    return runSensitivitySweep(
+        cfg, thicknesses_um, schemes, "thickness",
+        [](ExperimentConfig &mod, double t_um) {
             mod.base.stackSpec.dieThickness = t_um * 1e-6;
-            StackSystem system = makeSystem(mod, scheme);
-            std::vector<double> temps;
-            for (const auto *app : apps)
-                temps.push_back(system.evaluate(*app, 2.4).procHotspot);
-            out.push_back({t_um, scheme, mean(temps)});
-        }
-    }
-    return out;
+        });
 }
 
 std::vector<SensitivityEntry>
@@ -291,20 +604,14 @@ runDieCountSweep(const ExperimentConfig &cfg,
                  const std::vector<int> &die_counts,
                  const std::vector<stack::Scheme> &schemes)
 {
-    const auto apps = resolveApps(cfg);
-    std::vector<SensitivityEntry> out;
-    for (int dies : die_counts) {
-        for (stack::Scheme scheme : schemes) {
-            ExperimentConfig mod = cfg;
-            mod.base.stackSpec.numDramDies = dies;
-            StackSystem system = makeSystem(mod, scheme);
-            std::vector<double> temps;
-            for (const auto *app : apps)
-                temps.push_back(system.evaluate(*app, 2.4).procHotspot);
-            out.push_back({static_cast<double>(dies), scheme, mean(temps)});
-        }
-    }
-    return out;
+    std::vector<double> params;
+    for (int dies : die_counts)
+        params.push_back(static_cast<double>(dies));
+    return runSensitivitySweep(
+        cfg, params, schemes, "diecount",
+        [](ExperimentConfig &mod, double dies) {
+            mod.base.stackSpec.numDramDies = static_cast<int>(dies);
+        });
 }
 
 } // namespace xylem::core

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/sweep_runner.hpp"
 #include "xylem/migration.hpp"
 #include "xylem/system.hpp"
 
@@ -24,6 +25,19 @@ struct ExperimentConfig
     SystemConfig base;                 ///< scheme is overridden per run
     std::vector<std::string> apps;     ///< default: all 17
     std::vector<double> frequencies = {2.4, 2.8, 3.2, 3.5};
+
+    /**
+     * Execution knobs: worker threads (`--jobs` / XYLEM_JOBS) and the
+     * persistent result cache directory (`--cache-dir` /
+     * XYLEM_CACHE_DIR). The default is serial and uncached, so every
+     * experiment stays deterministic and self-contained unless the
+     * caller opts in.
+     *
+     * Every experiment grid decomposes into independent tasks that
+     * never share mutable state; a `jobs > 1` run therefore produces
+     * entries bit-identical to the serial run, in the same order.
+     */
+    runtime::RunnerOptions runner;
 
     /** The paper's default system with all 17 applications. */
     static ExperimentConfig standard();

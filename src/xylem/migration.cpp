@@ -33,8 +33,8 @@ runMigration(StackSystem &system, const workloads::Profile &profile,
     cpu::MulticoreConfig sim_cfg = cfg.cpu;
     sim_cfg.coreFreqGHz = freqs;
     for (const auto &threads : placements) {
-        const cpu::SimResult &sim = cachedSimulate(sim_cfg, threads);
-        maps.push_back(system.powerMapFor(sim, freqs));
+        const SimResultPtr sim = cachedSimulate(sim_cfg, threads);
+        maps.push_back(system.powerMapFor(*sim, freqs));
     }
 
     // Placement-averaged map -> initial steady state.

@@ -1,16 +1,28 @@
 #include "xylem/sim_cache.hpp"
 
 #include <cmath>
+#include <future>
 #include <map>
 #include <mutex>
 #include <sstream>
+
+#include "runtime/disk_cache.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/serialize.hpp"
 
 namespace xylem::core {
 
 namespace {
 
+/** Bump when the persisted SimResult layout changes. */
+constexpr std::uint32_t kSimRecordVersion = 1;
+
 std::mutex g_mutex;
-std::map<std::string, cpu::SimResult> g_cache;
+// Compute-once: the first requester of a key owns the promise; later
+// requesters (and concurrent ones) wait on the shared_future. Values
+// are shared_ptr, so entries can be dropped while results are in use.
+std::map<std::string, std::shared_future<SimResultPtr>> g_cache;
+std::shared_ptr<runtime::DiskCache> g_disk;
 
 /** Serialise everything the simulation result depends on. */
 std::string
@@ -20,8 +32,14 @@ cacheKey(const cpu::MulticoreConfig &cfg,
     std::ostringstream os;
     os << cfg.numCores << '|' << cfg.issueWidth << '|'
        << cfg.instsPerThread << '|' << cfg.warmupInsts << '|' << cfg.seed
-       << '|'
-       << cfg.l2Bytes << '|' << cfg.dram.geometry.numDies << '|'
+       << '|' << cfg.mispredictPenaltyCycles << '|' << cfg.l1HitCycles
+       << '|' << cfg.l2HitCycles << '|' << cfg.l2StallFactor << '|'
+       << cfg.c2cCycles << '|' << cfg.busOccupancyNs << '|'
+       << cfg.l1iBytes << '/' << cfg.l1iWays << '|' << cfg.l1dBytes
+       << '/' << cfg.l1dWays << '|' << cfg.l2Bytes << '/' << cfg.l2Ways
+       << '|' << cfg.lineBytes << '|' << cfg.dram.geometry.numDies << '|'
+       << cfg.dram.geometry.channels << '|'
+       << cfg.dram.geometry.banksPerRank << '|'
        << cfg.dram.refreshScale << '|';
     for (double f : cfg.coreFreqGHz)
         os << std::llround(f * 1000.0) << ',';
@@ -31,29 +49,182 @@ cacheKey(const cpu::MulticoreConfig &cfg,
     return os.str();
 }
 
+void
+encodeSimResult(runtime::BinaryWriter &w, const cpu::SimResult &sim)
+{
+    w.f64(sim.seconds);
+    w.u64(sim.cores.size());
+    for (const auto &c : sim.cores) {
+        w.boolean(c.hasThread);
+        w.u64(c.insts);
+        w.u64(c.branches);
+        w.u64(c.mispredicts);
+        w.u64(c.aluOps);
+        w.u64(c.fpuOps);
+        w.u64(c.loads);
+        w.u64(c.stores);
+        w.u64(c.l1iAccesses);
+        w.u64(c.l1iMisses);
+        w.u64(c.l1dAccesses);
+        w.u64(c.l1dMisses);
+        w.u64(c.l2Accesses);
+        w.u64(c.l2Misses);
+        w.u64(c.upgrades);
+        w.u64(c.c2cTransfers);
+        w.u64(c.dramAccesses);
+        w.f64(c.dramLatencyNs);
+        w.f64(c.cycles);
+        w.f64(c.busyNs);
+    }
+    w.u64(sim.busTransactions);
+    w.vecU64(sim.mcRequests);
+    w.u64(sim.dram.dies.size());
+    for (const auto &die : sim.dram.dies) {
+        w.u64(die.banks.size());
+        for (const auto &b : die.banks) {
+            w.u64(b.activates);
+            w.u64(b.reads);
+            w.u64(b.writes);
+            w.u64(b.rowHits);
+        }
+    }
+    w.u64(sim.dram.refreshOps);
+    w.f64(sim.dram.busBusyNs);
+    w.u64(sim.dram.requests);
+    w.f64(sim.dramEnergyJ);
+}
+
+cpu::SimResult
+decodeSimResult(runtime::BinaryReader &r)
+{
+    cpu::SimResult sim;
+    sim.seconds = r.f64();
+    sim.cores.resize(r.u64());
+    for (auto &c : sim.cores) {
+        c.hasThread = r.boolean();
+        c.insts = r.u64();
+        c.branches = r.u64();
+        c.mispredicts = r.u64();
+        c.aluOps = r.u64();
+        c.fpuOps = r.u64();
+        c.loads = r.u64();
+        c.stores = r.u64();
+        c.l1iAccesses = r.u64();
+        c.l1iMisses = r.u64();
+        c.l1dAccesses = r.u64();
+        c.l1dMisses = r.u64();
+        c.l2Accesses = r.u64();
+        c.l2Misses = r.u64();
+        c.upgrades = r.u64();
+        c.c2cTransfers = r.u64();
+        c.dramAccesses = r.u64();
+        c.dramLatencyNs = r.f64();
+        c.cycles = r.f64();
+        c.busyNs = r.f64();
+    }
+    sim.busTransactions = r.u64();
+    sim.mcRequests = r.vecU64();
+    sim.dram.dies.resize(r.u64());
+    for (auto &die : sim.dram.dies) {
+        die.banks.resize(r.u64());
+        for (auto &b : die.banks) {
+            b.activates = r.u64();
+            b.reads = r.u64();
+            b.writes = r.u64();
+            b.rowHits = r.u64();
+        }
+    }
+    sim.dram.refreshOps = r.u64();
+    sim.dram.busBusyNs = r.f64();
+    sim.dram.requests = r.u64();
+    sim.dramEnergyJ = r.f64();
+    return sim;
+}
+
 } // namespace
 
-const cpu::SimResult &
+SimResultPtr
 cachedSimulate(const cpu::MulticoreConfig &config,
                const std::vector<cpu::ThreadSpec> &threads)
 {
     const std::string key = cacheKey(config, threads);
+    auto &metrics = runtime::Metrics::global();
+
+    std::promise<SimResultPtr> promise;
+    std::shared_future<SimResultPtr> future;
+    std::shared_ptr<runtime::DiskCache> disk;
+    bool owner = false;
     {
         std::lock_guard<std::mutex> lock(g_mutex);
         auto it = g_cache.find(key);
-        if (it != g_cache.end())
-            return it->second;
+        if (it != g_cache.end()) {
+            future = it->second;
+        } else {
+            future = promise.get_future().share();
+            g_cache.emplace(key, future);
+            owner = true;
+            disk = g_disk;
+        }
     }
-    cpu::SimResult result = cpu::simulate(config, threads);
-    std::lock_guard<std::mutex> lock(g_mutex);
-    return g_cache.emplace(key, std::move(result)).first->second;
+    if (!owner) {
+        metrics.counter("simcache.hits").increment();
+        return future.get(); // blocks while another thread computes
+    }
+
+    metrics.counter("simcache.misses").increment();
+    try {
+        SimResultPtr result;
+        if (disk) {
+            if (auto payload = disk->load("sim|" + key)) {
+                try {
+                    runtime::BinaryReader r(*payload);
+                    result = std::make_shared<cpu::SimResult>(
+                        decodeSimResult(r));
+                    metrics.counter("simcache.disk_hits").increment();
+                } catch (const runtime::SerializeError &) {
+                    result.reset(); // corrupt record: recompute
+                }
+            }
+        }
+        if (!result) {
+            result = std::make_shared<cpu::SimResult>(
+                cpu::simulate(config, threads));
+            if (disk) {
+                runtime::BinaryWriter w;
+                encodeSimResult(w, *result);
+                disk->store("sim|" + key, w.bytes());
+            }
+        }
+        promise.set_value(result);
+        return result;
+    } catch (...) {
+        // Unblock waiters with the error, then forget the entry so a
+        // later call can retry.
+        promise.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lock(g_mutex);
+        g_cache.erase(key);
+        throw;
+    }
 }
 
 void
 clearSimCache()
 {
     std::lock_guard<std::mutex> lock(g_mutex);
+    // In-flight futures stay owned by their waiters; results stay
+    // owned by the returned shared_ptrs. Only the index is dropped.
     g_cache.clear();
+}
+
+void
+setSimCacheDisk(const std::string &dir)
+{
+    std::shared_ptr<runtime::DiskCache> disk;
+    if (!dir.empty())
+        disk = std::make_shared<runtime::DiskCache>(dir,
+                                                    kSimRecordVersion);
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_disk = std::move(disk);
 }
 
 } // namespace xylem::core

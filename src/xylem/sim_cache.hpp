@@ -6,27 +6,49 @@
  * configuration, thread placement and frequencies — not on the TTSV
  * scheme — so experiments that sweep schemes share one simulation per
  * (workload, frequency, placement) tuple.
+ *
+ * Concurrency contract:
+ *  - cachedSimulate() is safe from any number of threads; concurrent
+ *    requests for the same key run the simulation once and share the
+ *    result (the others block on the in-flight computation).
+ *  - Results are returned as shared_ptr, so they stay valid across
+ *    cache growth and even across a concurrent clearSimCache().
+ *  - clearSimCache() may race with cachedSimulate() calls; in-flight
+ *    computations complete normally and their callers keep ownership.
+ *
+ * When a disk cache is attached (setSimCacheDisk), simulation results
+ * are persisted as versioned binary records and survive the process,
+ * backing the runtime's restart-cheap experiment replays.
  */
 
 #ifndef XYLEM_XYLEM_SIM_CACHE_HPP
 #define XYLEM_XYLEM_SIM_CACHE_HPP
 
+#include <memory>
 #include <vector>
 
 #include "cpu/multicore.hpp"
 
 namespace xylem::core {
 
+using SimResultPtr = std::shared_ptr<const cpu::SimResult>;
+
 /**
  * Run (or fetch a cached) simulation for the given configuration and
- * threads. Thread-safe.
+ * threads. Thread-safe; concurrent calls with the same key compute
+ * once.
  */
-const cpu::SimResult &cachedSimulate(const cpu::MulticoreConfig &config,
-                                     const std::vector<cpu::ThreadSpec>
-                                         &threads);
+SimResultPtr cachedSimulate(const cpu::MulticoreConfig &config,
+                            const std::vector<cpu::ThreadSpec> &threads);
 
-/** Drop all cached results (mainly for tests). */
+/** Drop all cached results (mainly for tests). Thread-safe. */
 void clearSimCache();
+
+/**
+ * Attach a persistent cache directory for simulation results ("",
+ * the default, detaches). Thread-safe.
+ */
+void setSimCacheDisk(const std::string &dir);
 
 } // namespace xylem::core
 

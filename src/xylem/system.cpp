@@ -3,10 +3,34 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "runtime/metrics.hpp"
 #include "xylem/painter.hpp"
 #include "xylem/sim_cache.hpp"
 
 namespace xylem::core {
+
+namespace {
+
+/** Fold one steady solve into the telemetry registry. */
+void
+recordSolve(const thermal::SolveStats &stats, bool warm)
+{
+    auto &metrics = runtime::Metrics::global();
+    metrics.counter("solver.solves").increment();
+    metrics.counter("solver.iterations")
+        .add(static_cast<std::uint64_t>(stats.iterations));
+    if (warm) {
+        metrics.counter("solver.warm_solves").increment();
+        metrics.counter("solver.warm_iterations")
+            .add(static_cast<std::uint64_t>(stats.iterations));
+    } else {
+        metrics.counter("solver.cold_solves").increment();
+        metrics.counter("solver.cold_iterations")
+            .add(static_cast<std::uint64_t>(stats.iterations));
+    }
+}
+
+} // namespace
 
 StackSystem::StackSystem(SystemConfig cfg)
     : cfg_(std::move(cfg)),
@@ -42,7 +66,7 @@ StackSystem::evaluateAtFreqs(const std::vector<cpu::ThreadSpec> &threads,
     sim_cfg.coreFreqGHz = freqs;
 
     EvalResult out;
-    out.sim = cachedSimulate(sim_cfg, threads);
+    out.sim = *cachedSimulate(sim_cfg, threads);
     out.seconds = out.sim.seconds;
     out.procPower = mcpat_.procPower(out.sim, freqs);
     out.procPowerTotal = out.procPower.total();
@@ -64,8 +88,12 @@ StackSystem::evaluateAtFreqs(const std::vector<cpu::ThreadSpec> &threads,
         for (double &v : scaled->nodes())
             v = ambient + (v - ambient) * ratio;
     }
-    out.field = model_->solveSteady(map, nullptr,
+    thermal::SolveStats stats;
+    out.warmStarted = scaled.has_value();
+    out.field = model_->solveSteady(map, &stats,
                                     scaled ? &scaled.value() : nullptr);
+    out.cgIterations += stats.iterations;
+    recordSolve(stats, out.warmStarted);
     last_ = out.field;
     last_power_ = map.totalPower();
 
@@ -93,7 +121,10 @@ StackSystem::evaluateAtFreqs(const std::vector<cpu::ThreadSpec> &threads,
         thermal::PowerMap fb_map(stack_);
         paintProcessorPower(fb_map, stack_, out.procPower);
         paintDramPower(fb_map, stack_, out.sim, cfg_.cpu.dram);
-        out.field = model_->solveSteady(fb_map, nullptr, &out.field);
+        thermal::SolveStats fb_stats;
+        out.field = model_->solveSteady(fb_map, &fb_stats, &out.field);
+        out.cgIterations += fb_stats.iterations;
+        recordSolve(fb_stats, /*warm=*/true);
         last_ = out.field;
         last_power_ = fb_map.totalPower();
         fill_temps(out);

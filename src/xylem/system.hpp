@@ -58,6 +58,8 @@ struct EvalResult
     std::vector<double> coreHotspot; ///< per-core hotspot [°C]
     double seconds = 0.0;          ///< simulated runtime
     thermal::TemperatureField field{1, 1, 1, 0, 0.0};
+    int cgIterations = 0;          ///< CG iterations over all solves
+    bool warmStarted = false;      ///< first solve had a warm start
 
     /** Performance = work per second (1/runtime for a fixed budget). */
     double performance() const { return seconds > 0 ? 1.0 / seconds : 0.0; }

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Concurrency contracts of the core pipeline: `GridModel::solveSteady`
+ * is const and callable from many threads at once with results
+ * identical to serial, and the simulation cache survives concurrent
+ * mixed `cachedSimulate` / `clearSimCache` calls. These suites (all
+ * named Concurrent*) are re-run under ThreadSanitizer in CI together
+ * with the runtime_test suites.
+ */
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cpu/multicore.hpp"
+#include "stack/stack.hpp"
+#include "thermal/grid_model.hpp"
+#include "workloads/profile.hpp"
+#include "xylem/sim_cache.hpp"
+
+namespace xylem {
+namespace {
+
+using geometry::Rect;
+
+stack::BuiltStack
+smallStack()
+{
+    stack::StackSpec spec;
+    spec.numDramDies = 2;
+    spec.gridNx = 24;
+    spec.gridNy = 24;
+    return stack::buildStack(spec);
+}
+
+thermal::PowerMap
+cornerPower(const stack::BuiltStack &stk, double watts)
+{
+    thermal::PowerMap power(stk);
+    power.deposit(stk.procMetal, Rect{0.2e-3, 0.2e-3, 2e-3, 2e-3},
+                  watts * 0.4);
+    power.deposit(stk.procMetal, stk.grid.extent(), watts * 0.6);
+    return power;
+}
+
+TEST(ConcurrentSolve, ManyThreadsMatchSerialExactly)
+{
+    const auto stk = smallStack();
+    const thermal::GridModel model(stk, {});
+
+    // Serial references: one distinct power map per future thread.
+    const int kThreads = 8;
+    std::vector<thermal::PowerMap> powers;
+    std::vector<std::vector<double>> serial;
+    for (int t = 0; t < kThreads; ++t) {
+        powers.push_back(cornerPower(stk, 8.0 + t));
+        serial.push_back(model.solveSteady(powers.back()).nodes());
+    }
+
+    // The same solves concurrently against the one shared model. CG is
+    // deterministic, so the node vectors must match bit for bit.
+    std::vector<std::vector<double>> parallel(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t]() {
+            parallel[static_cast<std::size_t>(t)] =
+                model.solveSteady(powers[static_cast<std::size_t>(t)])
+                    .nodes();
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_EQ(parallel[static_cast<std::size_t>(t)],
+                  serial[static_cast<std::size_t>(t)])
+            << "thread " << t << " diverged from the serial solve";
+}
+
+TEST(ConcurrentSolve, RepeatedSolvesOfOneProblemAgree)
+{
+    const auto stk = smallStack();
+    const thermal::GridModel model(stk, {});
+    const thermal::PowerMap power = cornerPower(stk, 12.0);
+    const std::vector<double> reference =
+        model.solveSteady(power).nodes();
+
+    std::vector<std::thread> threads;
+    std::vector<std::vector<double>> results(6);
+    for (std::size_t t = 0; t < results.size(); ++t) {
+        threads.emplace_back([&, t]() {
+            results[t] = model.solveSteady(power).nodes();
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    for (const auto &r : results)
+        EXPECT_EQ(r, reference);
+}
+
+TEST(ConcurrentSimCache, MixedSimulateAndClearCalls)
+{
+    core::clearSimCache();
+    cpu::MulticoreConfig cfg;
+    cfg.instsPerThread = 20000;
+    cfg.warmupInsts = 20000;
+    const auto &compute = workloads::profileByName("LU(NAS)");
+    const auto &memory = workloads::profileByName("IS");
+
+    // Serial references for the two keys.
+    const core::SimResultPtr ref_a =
+        core::cachedSimulate(cfg, cpu::allCoresRunning(compute));
+    const core::SimResultPtr ref_b =
+        core::cachedSimulate(cfg, cpu::allCoresRunning(memory));
+    core::clearSimCache();
+
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 6; ++t) {
+        threads.emplace_back([&, t]() {
+            for (int i = 0; i < 8; ++i) {
+                const auto &app = (t + i) % 2 == 0 ? compute : memory;
+                const auto &ref = (t + i) % 2 == 0 ? ref_a : ref_b;
+                const core::SimResultPtr got = core::cachedSimulate(
+                    cfg, cpu::allCoresRunning(app));
+                // The returned pointer must stay valid and equal to
+                // the serial result even when another thread clears
+                // the cache mid-flight.
+                if (got->seconds != ref->seconds ||
+                    got->cores.size() != ref->cores.size())
+                    mismatches.fetch_add(1);
+                if (t == 0 && i % 3 == 0)
+                    core::clearSimCache();
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(mismatches.load(), 0);
+    core::clearSimCache();
+}
+
+TEST(ConcurrentSimCache, ComputeOnceUnderContention)
+{
+    core::clearSimCache();
+    cpu::MulticoreConfig cfg;
+    cfg.instsPerThread = 20000;
+    cfg.warmupInsts = 20000;
+    const auto &app = workloads::profileByName("LU(NAS)");
+    const auto threads_spec = cpu::allCoresRunning(app);
+
+    // All racers ask for the same key; they must all observe the one
+    // object computed by whichever thread got there first.
+    std::vector<core::SimResultPtr> results(8);
+    std::vector<std::thread> racers;
+    for (std::size_t t = 0; t < results.size(); ++t) {
+        racers.emplace_back([&, t]() {
+            results[t] = core::cachedSimulate(cfg, threads_spec);
+        });
+    }
+    for (auto &t : racers)
+        t.join();
+    for (std::size_t t = 1; t < results.size(); ++t)
+        EXPECT_EQ(results[t].get(), results[0].get());
+    core::clearSimCache();
+}
+
+} // namespace
+} // namespace xylem

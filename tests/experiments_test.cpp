@@ -5,11 +5,13 @@
  */
 
 #include <cmath>
+#include <filesystem>
 
 #include <gtest/gtest.h>
 
 #include "common/logging.hpp"
 #include "xylem/experiments.hpp"
+#include "xylem/sim_cache.hpp"
 
 namespace xylem::core {
 namespace {
@@ -202,6 +204,64 @@ TEST(DieCountSweep, MoreMemoryDiesRunHotter)
         runDieCountSweep(cfg, {4, 8}, {Scheme::Base});
     ASSERT_EQ(entries.size(), 2u);
     EXPECT_LT(entries[0].avgProcHotspotC, entries[1].avgProcHotspotC);
+}
+
+TEST(ParallelRuns, SweepIsByteIdenticalToSerial)
+{
+    // The runtime contract: jobs=N decomposes into exactly the same
+    // independent tasks as jobs=1, so every double matches bit for
+    // bit and the order is unchanged.
+    ExperimentConfig cfg = tiny();
+    cfg.apps = {"LU(NAS)", "IS"};
+    clearSimCache();
+    cfg.runner.jobs = 1;
+    const auto serial =
+        runTemperatureSweep(cfg, {Scheme::Base, Scheme::Bank});
+    clearSimCache();
+    cfg.runner.jobs = 4;
+    const auto parallel =
+        runTemperatureSweep(cfg, {Scheme::Base, Scheme::Bank});
+
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(parallel[i].app, serial[i].app) << i;
+        EXPECT_EQ(parallel[i].scheme, serial[i].scheme) << i;
+        EXPECT_EQ(parallel[i].freqGHz, serial[i].freqGHz) << i;
+        EXPECT_EQ(parallel[i].procHotspotC, serial[i].procHotspotC) << i;
+        EXPECT_EQ(parallel[i].dramBottomHotspotC,
+                  serial[i].dramBottomHotspotC)
+            << i;
+        EXPECT_EQ(parallel[i].procPowerW, serial[i].procPowerW) << i;
+        EXPECT_EQ(parallel[i].dramPowerW, serial[i].dramPowerW) << i;
+    }
+}
+
+TEST(ParallelRuns, DiskCacheReplaysTheSweepExactly)
+{
+    namespace fs = std::filesystem;
+    const std::string dir =
+        (fs::temp_directory_path() / "xylem_test_sweep_replay").string();
+    fs::remove_all(dir);
+
+    ExperimentConfig cfg = tiny();
+    cfg.apps = {"LU(NAS)"};
+    cfg.runner.cacheDir = dir;
+    clearSimCache();
+    const auto first = runTemperatureSweep(cfg, {Scheme::Base});
+    clearSimCache();
+    // Second run decodes every entry from disk — no simulation, no
+    // thermal solve — and must reproduce the records exactly.
+    const auto second = runTemperatureSweep(cfg, {Scheme::Base});
+
+    ASSERT_EQ(second.size(), first.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(second[i].app, first[i].app) << i;
+        EXPECT_EQ(second[i].freqGHz, first[i].freqGHz) << i;
+        EXPECT_EQ(second[i].procHotspotC, first[i].procHotspotC) << i;
+        EXPECT_EQ(second[i].procPowerW, first[i].procPowerW) << i;
+        EXPECT_EQ(second[i].dramPowerW, first[i].dramPowerW) << i;
+    }
+    fs::remove_all(dir);
 }
 
 TEST(DieCountSweep, XylemHelpsMoreWithMoreDies)

@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Tests of the experiment runtime: work-stealing thread pool,
+ * telemetry registry, persistent result cache, and sweep runner.
+ * These suites (plus concurrency_test) are the ones CI re-runs under
+ * ThreadSanitizer.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "runtime/disk_cache.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/serialize.hpp"
+#include "runtime/sweep_runner.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace xylem::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** A unique, self-deleting temp directory per test. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+        : path_((fs::temp_directory_path() /
+                 ("xylem_test_" + tag + "_" +
+                  std::to_string(::getpid())))
+                    .string())
+    {
+        fs::remove_all(path_);
+    }
+    ~TempDir() { fs::remove_all(path_); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+// ---------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------
+
+TEST(ThreadPool, SubmitReturnsResults)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit([i]() { return i * i; }));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughTheFuture)
+{
+    ThreadPool pool(2);
+    auto fut = pool.submit(
+        []() -> int { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(fut.get(), std::runtime_error);
+    // The pool survives a throwing task.
+    EXPECT_EQ(pool.submit([]() { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, GracefulShutdownRunsEverySubmittedTask)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(3);
+        for (int i = 0; i < 200; ++i)
+            pool.submit([&done]() { done.fetch_add(1); });
+        // Destructor drains the queues before joining.
+    }
+    EXPECT_EQ(done.load(), 200);
+}
+
+TEST(ThreadPool, UnbalancedTasksUseMultipleWorkers)
+{
+    ThreadPool pool(4);
+    std::mutex mutex;
+    std::set<std::thread::id> seen;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 64; ++i) {
+        futures.push_back(pool.submit([&, i]() {
+            // A few long tasks and many short ones: the short ones
+            // must get stolen by the otherwise idle workers.
+            if (i % 16 == 0)
+                std::this_thread::sleep_for(std::chrono::milliseconds(30));
+            std::lock_guard<std::mutex> lock(mutex);
+            seen.insert(std::this_thread::get_id());
+        }));
+    }
+    for (auto &f : futures)
+        f.get();
+    EXPECT_GE(seen.size(), 2u);
+}
+
+TEST(ThreadPool, BoundedQueueStillCompletesEverything)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2, /*max_pending=*/4);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&done]() { done.fetch_add(1); });
+    }
+    EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexInlineAndPooled)
+{
+    std::vector<std::atomic<int>> hits(257);
+    ThreadPool::parallelFor(nullptr, hits.size(), [&](std::size_t i) {
+        hits[i].fetch_add(1);
+    });
+    ThreadPool pool(4);
+    ThreadPool::parallelFor(&pool, hits.size(), [&](std::size_t i) {
+        hits[i].fetch_add(1);
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 2);
+}
+
+TEST(ThreadPool, ParallelForPropagatesTaskExceptions)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(ThreadPool::parallelFor(&pool, 64,
+                                         [&](std::size_t i) {
+                                             if (i == 13)
+                                                 throw std::runtime_error(
+                                                     "boom");
+                                         }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, ResolveJobsHonoursEnvironment)
+{
+    ::setenv("XYLEM_JOBS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultJobs(), 3);
+    EXPECT_EQ(ThreadPool::resolveJobs(0), 3);
+    EXPECT_EQ(ThreadPool::resolveJobs(5), 5);
+    ::setenv("XYLEM_JOBS", "bogus", 1);
+    EXPECT_EQ(ThreadPool::defaultJobs(), 1);
+    ::unsetenv("XYLEM_JOBS");
+    EXPECT_EQ(ThreadPool::defaultJobs(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+TEST(Metrics, CountersAccumulateAcrossThreads)
+{
+    Metrics::global().reset();
+    auto &c = Metrics::global().counter("test.counter");
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&c]() {
+            for (int i = 0; i < 1000; ++i)
+                c.increment();
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(Metrics::global().snapshot().count("test.counter"), 4000u);
+    Metrics::global().reset();
+}
+
+TEST(Metrics, TimingsAggregateMinMeanMax)
+{
+    Metrics::global().reset();
+    Metrics::global().addTiming("test.timing", 0.5);
+    Metrics::global().addTiming("test.timing", 1.5);
+    Metrics::global().addTiming("test.timing", 1.0);
+    const auto snap = Metrics::global().snapshot();
+    const auto &t = snap.timings.at("test.timing");
+    EXPECT_EQ(t.count, 3u);
+    EXPECT_DOUBLE_EQ(t.totalSeconds, 3.0);
+    EXPECT_DOUBLE_EQ(t.meanSeconds(), 1.0);
+    EXPECT_DOUBLE_EQ(t.minSeconds, 0.5);
+    EXPECT_DOUBLE_EQ(t.maxSeconds, 1.5);
+    Metrics::global().reset();
+}
+
+TEST(Metrics, JsonContainsCountersAndTimings)
+{
+    Metrics::global().reset();
+    Metrics::global().counter("json.counter").add(42);
+    Metrics::global().addTiming("json.timing", 0.25);
+    const std::string json = Metrics::global().toJson();
+    EXPECT_NE(json.find("\"json.counter\":42"), std::string::npos);
+    EXPECT_NE(json.find("\"json.timing\""), std::string::npos);
+    Metrics::global().reset();
+}
+
+// ---------------------------------------------------------------------
+// DiskCache
+// ---------------------------------------------------------------------
+
+TEST(DiskCache, RoundTripsPayloads)
+{
+    TempDir dir("roundtrip");
+    DiskCache cache(dir.path(), 1);
+    const std::vector<std::uint8_t> payload = {1, 2, 3, 250, 0, 7};
+    EXPECT_FALSE(cache.load("key-a").has_value());
+    cache.store("key-a", payload);
+    const auto back = cache.load("key-a");
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, payload);
+    EXPECT_EQ(cache.recordCount(), 1u);
+    // Overwrite under the same key.
+    cache.store("key-a", {9});
+    EXPECT_EQ(cache.load("key-a")->size(), 1u);
+    EXPECT_EQ(cache.recordCount(), 1u);
+}
+
+TEST(DiskCache, VersionMismatchReadsAsMiss)
+{
+    TempDir dir("version");
+    {
+        DiskCache v1(dir.path(), 1);
+        v1.store("key", {1, 2, 3});
+        ASSERT_TRUE(v1.load("key").has_value());
+    }
+    DiskCache v2(dir.path(), 2);
+    EXPECT_FALSE(v2.load("key").has_value());
+    // And a v2 store heals the record for v2 readers.
+    v2.store("key", {4, 5});
+    EXPECT_TRUE(v2.load("key").has_value());
+}
+
+TEST(DiskCache, TruncatedRecordReadsAsMiss)
+{
+    TempDir dir("truncated");
+    DiskCache cache(dir.path(), 1);
+    cache.store("key", std::vector<std::uint8_t>(300, 0xAB));
+    // Truncate the single record file roughly in half.
+    for (const auto &entry : fs::directory_iterator(dir.path())) {
+        fs::resize_file(entry.path(),
+                        fs::file_size(entry.path()) / 2);
+    }
+    EXPECT_FALSE(cache.load("key").has_value());
+    // A fresh store recovers.
+    cache.store("key", {1});
+    EXPECT_TRUE(cache.load("key").has_value());
+}
+
+TEST(DiskCache, CorruptPayloadFailsTheChecksum)
+{
+    TempDir dir("corrupt");
+    DiskCache cache(dir.path(), 1);
+    cache.store("key", std::vector<std::uint8_t>(64, 0x5A));
+    for (const auto &entry : fs::directory_iterator(dir.path())) {
+        std::fstream f(entry.path(),
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(-12, std::ios::end); // inside the payload/checksum
+        f.put('\x00');
+    }
+    EXPECT_FALSE(cache.load("key").has_value());
+}
+
+TEST(DiskCache, EmptyRecordFileReadsAsMiss)
+{
+    TempDir dir("empty");
+    DiskCache cache(dir.path(), 1);
+    cache.store("key", {1, 2, 3});
+    for (const auto &entry : fs::directory_iterator(dir.path()))
+        fs::resize_file(entry.path(), 0);
+    EXPECT_FALSE(cache.load("key").has_value());
+}
+
+TEST(DiskCache, ConcurrentStoresAndLoadsAgree)
+{
+    TempDir dir("concurrent");
+    DiskCache cache(dir.path(), 1);
+    const std::vector<std::uint8_t> payload(128, 0x33);
+    std::atomic<int> bad{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&]() {
+            for (int i = 0; i < 50; ++i) {
+                cache.store("shared", payload);
+                const auto got = cache.load("shared");
+                // Concurrent replace: old or new record, never torn.
+                if (got && *got != payload)
+                    bad.fetch_add(1);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(bad.load(), 0);
+    ASSERT_TRUE(cache.load("shared").has_value());
+    EXPECT_EQ(*cache.load("shared"), payload);
+}
+
+// ---------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------
+
+TEST(Serialize, RoundTripsEveryType)
+{
+    BinaryWriter w;
+    w.u32(0xDEADBEEF);
+    w.u64(1ull << 50);
+    w.i32(-42);
+    w.f64(3.141592653589793);
+    w.boolean(true);
+    w.str("hello");
+    w.vecF64({1.5, -2.5});
+    w.vecU64({7, 8, 9});
+    BinaryReader r(w.bytes());
+    EXPECT_EQ(r.u32(), 0xDEADBEEF);
+    EXPECT_EQ(r.u64(), 1ull << 50);
+    EXPECT_EQ(r.i32(), -42);
+    EXPECT_DOUBLE_EQ(r.f64(), 3.141592653589793);
+    EXPECT_TRUE(r.boolean());
+    EXPECT_EQ(r.str(), "hello");
+    EXPECT_EQ(r.vecF64(), (std::vector<double>{1.5, -2.5}));
+    EXPECT_EQ(r.vecU64(), (std::vector<std::uint64_t>{7, 8, 9}));
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Serialize, ThrowsOnTruncationAndBogusLengths)
+{
+    BinaryWriter w;
+    w.u64(1u << 20); // a length prefix promising a megabyte
+    BinaryReader r(w.bytes());
+    EXPECT_THROW(r.vecF64(), SerializeError);
+    BinaryReader r2(w.bytes().data(), 3);
+    EXPECT_THROW(r2.u64(), SerializeError);
+}
+
+// ---------------------------------------------------------------------
+// SweepRunner
+// ---------------------------------------------------------------------
+
+void
+encodeInt(BinaryWriter &w, const int &v)
+{
+    w.i32(v);
+}
+
+int
+decodeInt(BinaryReader &r)
+{
+    return r.i32();
+}
+
+TEST(SweepRunner, ResultsComeBackInIndexOrder)
+{
+    RunnerOptions opts;
+    opts.jobs = 4;
+    SweepRunner runner(opts);
+    const auto out = runner.run<int>(
+        100, nullptr,
+        [](std::size_t i) { return static_cast<int>(i) * 3; }, encodeInt,
+        decodeInt);
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i) * 3);
+}
+
+TEST(SweepRunner, SecondRunIsServedFromTheDiskCache)
+{
+    TempDir dir("sweepcache");
+    RunnerOptions opts;
+    opts.jobs = 2;
+    opts.cacheDir = dir.path();
+    std::atomic<int> computes{0};
+    auto key = [](std::size_t i) {
+        return "task-" + std::to_string(i);
+    };
+    auto compute = [&computes](std::size_t i) {
+        computes.fetch_add(1);
+        return static_cast<int>(i) + 10;
+    };
+    {
+        SweepRunner runner(opts);
+        const auto out =
+            runner.run<int>(20, key, compute, encodeInt, decodeInt);
+        EXPECT_EQ(out[19], 29);
+    }
+    EXPECT_EQ(computes.load(), 20);
+    {
+        SweepRunner runner(opts);
+        const auto out =
+            runner.run<int>(20, key, compute, encodeInt, decodeInt);
+        EXPECT_EQ(out[19], 29);
+    }
+    EXPECT_EQ(computes.load(), 20) << "second run must not recompute";
+}
+
+TEST(SweepRunner, EmptyKeysAreNeverCached)
+{
+    TempDir dir("uncachable");
+    RunnerOptions opts;
+    opts.cacheDir = dir.path();
+    std::atomic<int> computes{0};
+    auto compute = [&computes](std::size_t i) {
+        computes.fetch_add(1);
+        return static_cast<int>(i);
+    };
+    auto key = [](std::size_t) { return std::string(); };
+    SweepRunner runner(opts);
+    runner.run<int>(5, key, compute, encodeInt, decodeInt);
+    runner.run<int>(5, key, compute, encodeInt, decodeInt);
+    EXPECT_EQ(computes.load(), 10);
+    EXPECT_EQ(runner.diskCache()->recordCount(), 0u);
+}
+
+TEST(SweepRunner, StaleVersionRecordsRecompute)
+{
+    TempDir dir("stale");
+    auto key = [](std::size_t i) { return "k" + std::to_string(i); };
+    {
+        // Simulate an older build writing the same keys.
+        DiskCache old(dir.path(), kResultCacheVersion + 1000);
+        BinaryWriter w;
+        w.i32(999);
+        old.store("k0", w.bytes());
+    }
+    RunnerOptions opts;
+    opts.cacheDir = dir.path();
+    SweepRunner runner(opts);
+    const auto out = runner.run<int>(
+        1, key, [](std::size_t) { return 5; }, encodeInt, decodeInt);
+    EXPECT_EQ(out[0], 5) << "stale record must not be decoded";
+}
+
+TEST(SweepRunner, TaskExceptionsPropagate)
+{
+    RunnerOptions opts;
+    opts.jobs = 3;
+    SweepRunner runner(opts);
+    EXPECT_THROW(runner.run<int>(
+                     10, nullptr,
+                     [](std::size_t i) -> int {
+                         if (i == 7)
+                             throw std::runtime_error("task 7 failed");
+                         return 0;
+                     },
+                     encodeInt, decodeInt),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace xylem::runtime

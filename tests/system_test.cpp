@@ -308,9 +308,27 @@ TEST(SimCache, ReturnsTheSameResultObject)
     cfg.instsPerThread = 20000;
     cfg.warmupInsts = 20000;
     const auto threads = cpu::allCoresRunning(computeApp());
-    const cpu::SimResult &a = cachedSimulate(cfg, threads);
-    const cpu::SimResult &b = cachedSimulate(cfg, threads);
-    EXPECT_EQ(&a, &b);
+    const SimResultPtr a = cachedSimulate(cfg, threads);
+    const SimResultPtr b = cachedSimulate(cfg, threads);
+    EXPECT_EQ(a.get(), b.get());
+}
+
+TEST(SimCache, ResultsSurviveAClear)
+{
+    clearSimCache();
+    cpu::MulticoreConfig cfg;
+    cfg.instsPerThread = 20000;
+    cfg.warmupInsts = 20000;
+    const auto threads = cpu::allCoresRunning(computeApp());
+    const SimResultPtr a = cachedSimulate(cfg, threads);
+    const double seconds = a->seconds;
+    clearSimCache();
+    // The old result stays owned by `a`; a fresh simulation under the
+    // same key produces a distinct but identical object.
+    const SimResultPtr b = cachedSimulate(cfg, threads);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(a->seconds, seconds);
+    EXPECT_EQ(b->seconds, seconds);
 }
 
 TEST(SimCache, DistinguishesFrequenciesAndPlacements)
@@ -320,13 +338,13 @@ TEST(SimCache, DistinguishesFrequenciesAndPlacements)
     cfg.instsPerThread = 20000;
     cfg.warmupInsts = 20000;
     const auto threads = cpu::allCoresRunning(computeApp());
-    const cpu::SimResult &a = cachedSimulate(cfg, threads);
+    const SimResultPtr a = cachedSimulate(cfg, threads);
     cfg.coreFreqGHz[0] = 3.5;
-    const cpu::SimResult &b = cachedSimulate(cfg, threads);
-    EXPECT_NE(&a, &b);
+    const SimResultPtr b = cachedSimulate(cfg, threads);
+    EXPECT_NE(a.get(), b.get());
     const std::vector<cpu::ThreadSpec> other = {{&computeApp(), 3}};
-    const cpu::SimResult &c = cachedSimulate(cfg, other);
-    EXPECT_NE(&b, &c);
+    const SimResultPtr c = cachedSimulate(cfg, other);
+    EXPECT_NE(b.get(), c.get());
 }
 
 } // namespace

@@ -12,6 +12,9 @@
  *   --jobs N          worker threads (default: XYLEM_JOBS or 1)
  *   --cache-dir DIR   persistent result cache (default: XYLEM_CACHE_DIR)
  *   --json PATH       also write the JSON summary to PATH
+ *   --selfcheck       run the verification invariant checkers (energy
+ *                     balance, maximum principle, achieved residual)
+ *                     on every thermal solution; abort on violation
  */
 
 #ifndef XYLEM_BENCH_BENCH_UTIL_HPP
@@ -26,6 +29,7 @@
 
 #include "common/table.hpp"
 #include "runtime/metrics.hpp"
+#include "verify/invariants.hpp"
 #include "xylem/experiments.hpp"
 #include "xylem/sim_cache.hpp"
 
@@ -149,6 +153,8 @@ configFromArgs(int argc, char **argv)
             cfg.runner.cacheDir = value(i, "--cache-dir");
         } else if (arg == "--json") {
             json_path = value(i, "--json");
+        } else if (arg == "--selfcheck") {
+            verify::setSelfCheckEnabled(true);
         } else {
             std::cerr << "unknown argument '" << arg << "'\n";
             std::exit(2);
@@ -162,6 +168,9 @@ configFromArgs(int argc, char **argv)
     }
     if (cfg.runner.jobs > 1)
         std::cout << "[--jobs " << cfg.runner.jobs << "]\n";
+    if (verify::selfCheckEnabled())
+        std::cout << "[--selfcheck: invariant checkers armed on every "
+                     "thermal solution]\n";
     if (!cfg.runner.cacheDir.empty()) {
         std::cout << "[result cache: " << cfg.runner.cacheDir << "]\n";
         // The same directory also persists multicore simulations.

@@ -16,6 +16,13 @@
  * printSummary() or toJson(). Counter references stay valid for the
  * life of the registry (node-based storage), so hot paths never
  * re-hash strings.
+ *
+ * Well-known counter families:
+ *   solver.*            CG solves/iterations, warm vs cold split, and
+ *                       solver.nonconverged (tolerance misses)
+ *   runner.* simcache.* experiment-runtime task and cache telemetry
+ *   verify.selfcheck.*  invariant checks run / failed when the bench
+ *                       --selfcheck flag arms the verification layer
  */
 
 #ifndef XYLEM_RUNTIME_METRICS_HPP

@@ -282,6 +282,64 @@ GridModel::apply(const std::vector<double> &x, std::vector<double> &y,
     }
 }
 
+std::vector<double>
+GridModel::denseMatrix(const std::vector<double> *extra_diag) const
+{
+    const std::size_t n = num_nodes_;
+    // 6144 nodes is already a 300 MB matrix; anything bigger is a bug
+    // in the calling test, not a use case.
+    XYLEM_ASSERT(n <= 6144, "denseMatrix: grid too large for a dense "
+                            "assembly (", n, " nodes)");
+    std::vector<double> m(n * n, 0.0);
+    auto diag = [&](std::size_t i, double g) { m[i * n + i] += g; };
+    auto couple = [&](std::size_t a, std::size_t b, double g) {
+        m[a * n + a] += g;
+        m[b * n + b] += g;
+        m[a * n + b] -= g;
+        m[b * n + a] -= g;
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        diag(i, ground_[i]);
+        if (extra_diag)
+            diag(i, (*extra_diag)[i]);
+    }
+    for (std::size_t l = 0; l + 1 < num_layers_; ++l)
+        for (std::size_t c = 0; c < cells_; ++c)
+            couple(l * cells_ + c, (l + 1) * cells_ + c, vert_[l][c]);
+    for (std::size_t l = 0; l < num_layers_; ++l) {
+        for (std::size_t iy = 0; iy < ny_; ++iy) {
+            for (std::size_t ix = 0; ix < nx_; ++ix) {
+                const std::size_t c = iy * nx_ + ix;
+                if (ix + 1 < nx_)
+                    couple(l * cells_ + c, l * cells_ + c + 1,
+                           lat_x_[l][c]);
+                if (iy + 1 < ny_)
+                    couple(l * cells_ + c, l * cells_ + c + nx_,
+                           lat_y_[l][c]);
+            }
+        }
+    }
+    for (std::size_t k = 0; k < periphery_.size(); ++k) {
+        const auto &p = periphery_[k];
+        for (std::size_t iy = 0; iy < ny_; ++iy) {
+            for (std::size_t ix = 0; ix < nx_; ++ix) {
+                double edges = 0.0;
+                if (ix == 0 || ix + 1 == nx_)
+                    edges += 1.0;
+                if (iy == 0 || iy + 1 == ny_)
+                    edges += 1.0;
+                if (edges > 0.0)
+                    couple(p.layer * cells_ + iy * nx_ + ix, p.node,
+                           p.edgeG * edges);
+            }
+        }
+        if (k + 1 < periphery_.size())
+            couple(p.node, periphery_[k + 1].node, periph_vert_[k]);
+    }
+    return m;
+}
+
 void
 GridModel::applyLinePrecond(const std::vector<double> &r,
                             std::vector<double> &z,

@@ -111,6 +111,31 @@ class GridModel
     void apply(const std::vector<double> &x, std::vector<double> &y,
                const std::vector<double> *extra_diag = nullptr) const;
 
+    /**
+     * Assemble G (+ optional extra diagonal) as a dense row-major
+     * numNodes() x numNodes() matrix. O(n²) storage — intended for
+     * the verification subsystem's direct reference solver on small
+     * grids, where an independent factorisation cross-checks CG.
+     */
+    std::vector<double>
+    denseMatrix(const std::vector<double> *extra_diag = nullptr) const;
+
+    /** Per-node thermal capacitance [J/K] (transient verification). */
+    const std::vector<double> &capacities() const { return capacity_; }
+
+    /** Per-node ground (convection) conductance [W/K]. */
+    const std::vector<double> &groundConductances() const { return ground_; }
+
+    /**
+     * The right-hand-side vector (watts per node) for a power map,
+     * exposed so verification code can measure achieved residuals
+     * against exactly the system the solver saw.
+     */
+    std::vector<double> powerVector(const PowerMap &power) const
+    {
+        return rhsFromPower(power);
+    }
+
   private:
     void assemble();
     void addGround(std::size_t node, double g);

@@ -1,6 +1,7 @@
 #include "thermal/heatmap.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <iomanip>
 
 #include "common/logging.hpp"
@@ -62,14 +63,30 @@ renderHeatmap(std::ostream &os, const TemperatureField &field,
 
 void
 writeCsv(std::ostream &os, const TemperatureField &field,
-         std::size_t layer)
+         std::size_t layer, bool header)
 {
     XYLEM_ASSERT(layer < field.numLayers(), "layer out of range");
+    // Bypass the stream's locale/precision state: plots diffed across
+    // machines must not depend on LC_NUMERIC or a previous writer
+    // leaving std::fixed behind on the stream.
+    char buf[64];
+    auto put = [&](double v) {
+        const auto res = std::to_chars(buf, buf + sizeof buf, v);
+        os.write(buf, res.ptr - buf);
+    };
+    if (header) {
+        for (std::size_t ix = 0; ix < field.nx(); ++ix) {
+            if (ix)
+                os << ',';
+            os << 'x' << ix;
+        }
+        os << '\n';
+    }
     for (std::size_t iy = 0; iy < field.ny(); ++iy) {
         for (std::size_t ix = 0; ix < field.nx(); ++ix) {
             if (ix)
                 os << ',';
-            os << field.at(layer, ix, iy);
+            put(field.at(layer, ix, iy));
         }
         os << '\n';
     }

@@ -33,10 +33,13 @@ void renderHeatmap(std::ostream &os, const TemperatureField &field,
 
 /**
  * Dump one layer as CSV (nx columns x ny rows, row 0 first) for
- * external tools.
+ * external tools. Values are formatted with std::to_chars (shortest
+ * round-trippable form), so the output is identical under any global
+ * or stream-imbued locale. With `header` set, the first line labels
+ * the columns `x0,...,x{nx-1}`.
  */
 void writeCsv(std::ostream &os, const TemperatureField &field,
-              std::size_t layer);
+              std::size_t layer, bool header = false);
 
 } // namespace xylem::thermal
 

@@ -1,0 +1,105 @@
+#include "verify/dense_solver.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace xylem::verify {
+
+DenseSpd::DenseSpd(std::vector<double> matrix, std::size_t n)
+    : n_(n), l_(std::move(matrix))
+{
+    XYLEM_ASSERT(l_.size() == n * n, "DenseSpd: matrix is not n x n");
+    // In-place Cholesky: overwrite the lower triangle with L.
+    for (std::size_t j = 0; j < n_; ++j) {
+        double *row_j = l_.data() + j * n_;
+        double d = row_j[j];
+        for (std::size_t k = 0; k < j; ++k)
+            d -= row_j[k] * row_j[k];
+        XYLEM_ASSERT(d > 0.0, "DenseSpd: matrix is not positive definite "
+                              "(pivot ", d, " at row ", j, ")");
+        const double ljj = std::sqrt(d);
+        row_j[j] = ljj;
+        for (std::size_t i = j + 1; i < n_; ++i) {
+            double *row_i = l_.data() + i * n_;
+            double s = row_i[j];
+            for (std::size_t k = 0; k < j; ++k)
+                s -= row_i[k] * row_j[k];
+            row_i[j] = s / ljj;
+        }
+    }
+}
+
+std::vector<double>
+DenseSpd::solve(const std::vector<double> &b) const
+{
+    XYLEM_ASSERT(b.size() == n_, "DenseSpd::solve: wrong vector size");
+    // L y = b
+    std::vector<double> y(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+        const double *row = l_.data() + i * n_;
+        double s = b[i];
+        for (std::size_t k = 0; k < i; ++k)
+            s -= row[k] * y[k];
+        y[i] = s / row[i];
+    }
+    // Lᵀ x = y
+    std::vector<double> x(n_);
+    for (std::size_t i = n_; i-- > 0;) {
+        double s = y[i];
+        for (std::size_t k = i + 1; k < n_; ++k)
+            s -= l_[k * n_ + i] * x[k];
+        x[i] = s / l_[i * n_ + i];
+    }
+    return x;
+}
+
+namespace {
+
+/** Wrap a ΔT node vector into an absolute-°C TemperatureField. */
+thermal::TemperatureField
+fieldFromRise(const thermal::GridModel &model, const std::vector<double> &x)
+{
+    const std::size_t extras = model.numNodes() -
+                               model.numLayers() * model.cellsPerLayer();
+    const auto &grid = model.stackRef().grid;
+    thermal::TemperatureField out(model.numLayers(), grid.nx(), grid.ny(),
+                                  extras, model.options().ambientCelsius);
+    for (std::size_t i = 0; i < model.numNodes(); ++i)
+        out.nodes()[i] = x[i] + model.options().ambientCelsius;
+    return out;
+}
+
+} // namespace
+
+thermal::TemperatureField
+referenceSolveSteady(const thermal::GridModel &model,
+                     const thermal::PowerMap &power)
+{
+    const DenseSpd chol(model.denseMatrix(), model.numNodes());
+    return fieldFromRise(model, chol.solve(model.powerVector(power)));
+}
+
+thermal::TemperatureField
+referenceStepTransient(const thermal::GridModel &model,
+                       const thermal::TemperatureField &current,
+                       const thermal::PowerMap &power, double dt)
+{
+    XYLEM_ASSERT(dt > 0.0, "referenceStepTransient: dt must be positive");
+    XYLEM_ASSERT(current.numNodes() == model.numNodes(),
+                 "referenceStepTransient: state has wrong shape");
+    const std::size_t n = model.numNodes();
+    std::vector<double> extra(n);
+    for (std::size_t i = 0; i < n; ++i)
+        extra[i] = model.capacities()[i] / dt;
+
+    std::vector<double> b = model.powerVector(power);
+    const double ambient = model.options().ambientCelsius;
+    for (std::size_t i = 0; i < n; ++i)
+        b[i] += extra[i] * (current.nodes()[i] - ambient);
+
+    const DenseSpd chol(model.denseMatrix(&extra), n);
+    return fieldFromRise(model, chol.solve(b));
+}
+
+} // namespace xylem::verify

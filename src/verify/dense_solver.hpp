@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The dense direct reference solver of the verification subsystem.
+ *
+ * The iterative grid solver (`thermal::GridModel`) is the trust root
+ * of every experiment, so it is cross-checked against an independent
+ * method: the assembled conductance matrix is factored with a dense
+ * Cholesky decomposition (the matrix is symmetric positive definite)
+ * and solved by forward/back substitution. No part of the CG code
+ * path — preconditioners, warm starts, convergence tests — is
+ * involved, so any disagreement beyond round-off implicates one of
+ * the two solvers. Dense factorisation is O(n³): feasible for the
+ * verification grids (up to ~16×16 cells × a full stack's layers),
+ * not for production solves.
+ */
+
+#ifndef XYLEM_VERIFY_DENSE_SOLVER_HPP
+#define XYLEM_VERIFY_DENSE_SOLVER_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "thermal/grid_model.hpp"
+#include "thermal/power_map.hpp"
+#include "thermal/temperature.hpp"
+
+namespace xylem::verify {
+
+/**
+ * A dense symmetric-positive-definite system, factored once (Cholesky
+ * L·Lᵀ) and solved for any number of right-hand sides.
+ */
+class DenseSpd
+{
+  public:
+    /** Factor a row-major n×n matrix. Throws if not SPD. */
+    DenseSpd(std::vector<double> matrix, std::size_t n);
+
+    std::size_t size() const { return n_; }
+
+    /** Solve A x = b by forward/back substitution. */
+    std::vector<double> solve(const std::vector<double> &b) const;
+
+  private:
+    std::size_t n_;
+    std::vector<double> l_; ///< lower-triangular factor, row-major
+};
+
+/**
+ * Steady state by direct solve: assemble G densely, factor, solve
+ * G·ΔT = P. The returned field is absolute °C like
+ * GridModel::solveSteady.
+ */
+thermal::TemperatureField
+referenceSolveSteady(const thermal::GridModel &model,
+                     const thermal::PowerMap &power);
+
+/**
+ * One implicit-Euler transient step by direct solve:
+ * (C/Δt + G)·ΔT' = C/Δt·ΔT + P. Mirrors GridModel::stepTransient.
+ */
+thermal::TemperatureField
+referenceStepTransient(const thermal::GridModel &model,
+                       const thermal::TemperatureField &current,
+                       const thermal::PowerMap &power, double dt);
+
+} // namespace xylem::verify
+
+#endif // XYLEM_VERIFY_DENSE_SOLVER_HPP

@@ -1,0 +1,215 @@
+#include "verify/invariants.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace xylem::verify {
+
+namespace {
+
+std::atomic<bool> g_self_check{false};
+
+/** Solve and insist the solver itself reports success. */
+thermal::TemperatureField
+solveChecked(const thermal::GridModel &model,
+             const thermal::PowerMap &power)
+{
+    thermal::SolveStats stats;
+    auto field = model.solveSteady(power, &stats);
+    XYLEM_ASSERT(stats.converged,
+                 "verification solve did not converge: residual ",
+                 stats.relativeResidual, " after ", stats.iterations,
+                 " iterations");
+    return field;
+}
+
+} // namespace
+
+std::string
+InvariantReport::summary() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < failures.size(); ++i)
+        os << (i ? "; " : "") << failures[i];
+    return os.str();
+}
+
+InvariantReport
+checkSolution(const thermal::GridModel &model,
+              const thermal::PowerMap &power,
+              const thermal::TemperatureField &field,
+              const InvariantOptions &opts)
+{
+    XYLEM_ASSERT(field.numNodes() == model.numNodes(),
+                 "checkSolution: field has wrong shape");
+    InvariantReport rep;
+    auto fail = [&rep](const std::string &msg) {
+        rep.pass = false;
+        rep.failures.push_back(msg);
+    };
+    const double ambient = model.options().ambientCelsius;
+    const std::size_t n = model.numNodes();
+    const std::vector<double> b = model.powerVector(power);
+    for (double w : b)
+        rep.totalPowerW += w;
+
+    // --- energy balance -------------------------------------------
+    rep.outflowW = model.heatOutflow(field);
+    const double scale = std::max(rep.totalPowerW, 1e-12);
+    rep.energyErrorRel = std::abs(rep.outflowW - rep.totalPowerW) / scale;
+    if (rep.energyErrorRel > opts.energyBalanceRel) {
+        std::ostringstream os;
+        os << "energy balance: outflow " << rep.outflowW << " W vs power "
+           << rep.totalPowerW << " W (rel err " << rep.energyErrorRel
+           << ")";
+        fail(os.str());
+    }
+
+    // --- maximum principle ----------------------------------------
+    rep.minRiseK = 0.0;
+    double max_powered = -1e300, max_unpowered = -1e300;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double rise = field.nodes()[i] - ambient;
+        rep.minRiseK = std::min(rep.minRiseK, rise);
+        if (b[i] > 0.0)
+            max_powered = std::max(max_powered, rise);
+        else
+            max_unpowered = std::max(max_unpowered, rise);
+    }
+    if (rep.minRiseK < -opts.belowAmbientTolK) {
+        std::ostringstream os;
+        os << "maximum principle: node " << rep.minRiseK
+           << " K below ambient";
+        fail(os.str());
+    }
+    if (rep.totalPowerW > 0.0 &&
+        max_unpowered > max_powered + opts.maximumPrincipleTolK) {
+        std::ostringstream os;
+        os << "maximum principle: hottest node is unpowered ("
+           << max_unpowered << " K rise vs " << max_powered
+           << " K at the sources)";
+        fail(os.str());
+    }
+
+    // --- achieved residual ----------------------------------------
+    if (rep.totalPowerW > 0.0) {
+        std::vector<double> x(n), gx(n);
+        for (std::size_t i = 0; i < n; ++i)
+            x[i] = field.nodes()[i] - ambient;
+        model.apply(x, gx);
+        double r2 = 0.0, b2 = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double r = b[i] - gx[i];
+            r2 += r * r;
+            b2 += b[i] * b[i];
+        }
+        rep.achievedResidual = std::sqrt(r2 / b2);
+        const double limit =
+            model.options().tolerance * opts.residualSafety;
+        if (rep.achievedResidual > limit) {
+            std::ostringstream os;
+            os << "residual: achieved " << rep.achievedResidual
+               << " exceeds " << limit << " (tolerance "
+               << model.options().tolerance << " x safety "
+               << opts.residualSafety << ")";
+            fail(os.str());
+        }
+    }
+    return rep;
+}
+
+bool
+checkMirrorSymmetry(const thermal::GridModel &model,
+                    const thermal::PowerMap &power, double tol_k,
+                    std::string *msg)
+{
+    const auto &stk = model.stackRef();
+    const std::size_t nx = stk.grid.nx(), ny = stk.grid.ny();
+
+    thermal::PowerMap mirrored(stk);
+    for (std::size_t l = 0; l < stk.layers.size(); ++l) {
+        const auto &src = power.layer(static_cast<int>(l));
+        auto &dst = mirrored.layer(static_cast<int>(l));
+        for (std::size_t iy = 0; iy < ny; ++iy)
+            for (std::size_t ix = 0; ix < nx; ++ix)
+                dst.at(ix, iy) = src.at(nx - 1 - ix, iy);
+    }
+
+    const auto f = solveChecked(model, power);
+    const auto g = solveChecked(model, mirrored);
+    double worst = 0.0;
+    for (std::size_t l = 0; l < model.numLayers(); ++l)
+        for (std::size_t iy = 0; iy < ny; ++iy)
+            for (std::size_t ix = 0; ix < nx; ++ix)
+                worst = std::max(worst,
+                                 std::abs(g.at(l, ix, iy) -
+                                          f.at(l, nx - 1 - ix, iy)));
+    // Periphery nodes are lateral aggregates: mirroring fixes them.
+    for (std::size_t i = model.numLayers() * model.cellsPerLayer();
+         i < model.numNodes(); ++i)
+        worst = std::max(worst,
+                         std::abs(g.nodes()[i] - f.nodes()[i]));
+    if (worst > tol_k) {
+        if (msg) {
+            std::ostringstream os;
+            os << "mirrored power map gives a field off by " << worst
+               << " K (tol " << tol_k << " K)";
+            *msg = os.str();
+        }
+        return false;
+    }
+    return true;
+}
+
+bool
+checkPowerMonotonicity(const thermal::GridModel &model,
+                       const thermal::PowerMap &base,
+                       const thermal::PowerMap &extra, double tol_k,
+                       std::string *msg)
+{
+    const auto &stk = model.stackRef();
+    thermal::PowerMap combined(stk);
+    for (std::size_t l = 0; l < stk.layers.size(); ++l) {
+        const auto &a = base.layer(static_cast<int>(l)).data();
+        const auto &e = extra.layer(static_cast<int>(l)).data();
+        auto &c = combined.layer(static_cast<int>(l)).data();
+        for (std::size_t i = 0; i < c.size(); ++i) {
+            XYLEM_ASSERT(e[i] >= 0.0,
+                         "checkPowerMonotonicity: extra power must be "
+                         "non-negative");
+            c[i] = a[i] + e[i];
+        }
+    }
+    const auto f = solveChecked(model, base);
+    const auto g = solveChecked(model, combined);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < model.numNodes(); ++i)
+        worst = std::max(worst, f.nodes()[i] - g.nodes()[i]);
+    if (worst > tol_k) {
+        if (msg) {
+            std::ostringstream os;
+            os << "adding power cooled a node by " << worst << " K (tol "
+               << tol_k << " K)";
+            *msg = os.str();
+        }
+        return false;
+    }
+    return true;
+}
+
+void
+setSelfCheckEnabled(bool enabled)
+{
+    g_self_check.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+selfCheckEnabled()
+{
+    return g_self_check.load(std::memory_order_relaxed);
+}
+
+} // namespace xylem::verify

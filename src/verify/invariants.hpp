@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Physics invariant checkers for solved temperature fields. Each check
+ * encodes a property that must hold for *any* correct solution of the
+ * conductance network, independent of which solver produced it:
+ *
+ *  - global energy balance: in steady state, the heat leaving through
+ *    the convection legs equals the deposited power;
+ *  - discrete maximum principle: no node below ambient, and the
+ *    hottest node carries injected power (an unpowered node is a
+ *    weighted average of its neighbours, so it cannot be a strict
+ *    maximum);
+ *  - achieved residual: ‖P − G·ΔT‖ / ‖P‖ within the solver's
+ *    configured tolerance (recomputed independently with apply());
+ *  - mirror symmetry: on a laterally symmetric stack, mirroring the
+ *    power map mirrors the temperature field;
+ *  - power monotonicity: adding non-negative power can cool no node
+ *    (G⁻¹ is entrywise non-negative for this M-matrix).
+ *
+ * checkSolution() runs the first three on an existing field (cheap,
+ * usable as an always-on self-check); the symmetry and monotonicity
+ * checks run extra solves and live in the test suites. The bench
+ * binaries expose the cheap set behind `--selfcheck` via the global
+ * flag below.
+ */
+
+#ifndef XYLEM_VERIFY_INVARIANTS_HPP
+#define XYLEM_VERIFY_INVARIANTS_HPP
+
+#include <string>
+#include <vector>
+
+#include "thermal/grid_model.hpp"
+#include "thermal/power_map.hpp"
+#include "thermal/temperature.hpp"
+
+namespace xylem::verify {
+
+/** Tolerances for checkSolution. */
+struct InvariantOptions
+{
+    /** Relative slack on energy balance (scaled by total power). */
+    double energyBalanceRel = 1e-3;
+    /** How far below ambient a node may sit (round-off slack) [K]. */
+    double belowAmbientTolK = 1e-6;
+    /** Achieved residual may exceed the configured tolerance by this
+        factor (stepTransient shifts the RHS, warm starts round). */
+    double residualSafety = 10.0;
+    /** Slack when comparing powered vs unpowered maxima [K]. */
+    double maximumPrincipleTolK = 1e-6;
+};
+
+/** Outcome of checkSolution: pass/fail plus the measured quantities. */
+struct InvariantReport
+{
+    bool pass = true;
+    std::vector<std::string> failures; ///< one message per failed check
+
+    double totalPowerW = 0.0;
+    double outflowW = 0.0;        ///< heat through the convection legs
+    double energyErrorRel = 0.0;  ///< |outflow − power| / power
+    double minRiseK = 0.0;        ///< most-negative rise above ambient
+    double achievedResidual = 0.0;///< ‖P − G·ΔT‖ / ‖P‖
+
+    /** All failure messages joined for logging. */
+    std::string summary() const;
+};
+
+/**
+ * Run the solve-free invariants (energy balance, maximum principle,
+ * achieved residual) on a steady-state solution.
+ */
+InvariantReport checkSolution(const thermal::GridModel &model,
+                              const thermal::PowerMap &power,
+                              const thermal::TemperatureField &field,
+                              const InvariantOptions &opts = {});
+
+/**
+ * Solve `power` and its x-mirror and compare the mirrored fields
+ * within `tol_k`. Precondition: the stack must be laterally symmetric
+ * in x (true for the slab stacks of oracles.hpp; paper stacks have
+ * asymmetric floorplans). Returns false and fills `msg` on violation.
+ */
+bool checkMirrorSymmetry(const thermal::GridModel &model,
+                         const thermal::PowerMap &power, double tol_k,
+                         std::string *msg = nullptr);
+
+/**
+ * Solve `base` and `base + extra` (extra must be entrywise
+ * non-negative) and verify no node got cooler and the peak did not
+ * drop. Returns false and fills `msg` on violation.
+ */
+bool checkPowerMonotonicity(const thermal::GridModel &model,
+                            const thermal::PowerMap &base,
+                            const thermal::PowerMap &extra, double tol_k,
+                            std::string *msg = nullptr);
+
+/**
+ * Global switch for the always-on self-check: when enabled,
+ * StackSystem runs checkSolution() after every steady solve and
+ * fails fatally on violation (bench `--selfcheck`). Counted in
+ * Metrics as verify.selfcheck.checks / verify.selfcheck.failures.
+ */
+void setSelfCheckEnabled(bool enabled);
+bool selfCheckEnabled();
+
+} // namespace xylem::verify
+
+#endif // XYLEM_VERIFY_INVARIANTS_HPP

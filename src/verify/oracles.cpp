@@ -1,0 +1,91 @@
+#include "verify/oracles.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace xylem::verify {
+
+stack::BuiltStack
+buildSlabStack(const std::vector<SlabLayer> &layers, std::size_t nx,
+               std::size_t ny, double side)
+{
+    XYLEM_ASSERT(!layers.empty(), "slab stack needs at least one layer");
+    XYLEM_ASSERT(side > 0.0 && nx > 0 && ny > 0, "bad slab geometry");
+
+    stack::BuiltStack s;
+    s.grid = geometry::Grid2D(geometry::Rect{0.0, 0.0, side, side}, nx, ny);
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+        XYLEM_ASSERT(layers[l].thickness > 0.0 &&
+                         layers[l].conductivity > 0.0,
+                     "slab layer ", l, " needs positive thickness and λ");
+        const bool top = l + 1 == layers.size();
+        stack::Layer layer{top ? stack::LayerKind::HeatSink
+                               : stack::LayerKind::Tim,
+                           "slab" + std::to_string(l),
+                           layers[l].thickness,
+                           -1,
+                           /*heatSource=*/true,
+                           /*fullSide=*/0.0,
+                           geometry::Field2D(s.grid,
+                                             layers[l].conductivity),
+                           geometry::Field2D(s.grid,
+                                             layers[l].heatCapacity)};
+        s.layers.push_back(std::move(layer));
+    }
+    s.heatSink = static_cast<int>(layers.size()) - 1;
+    return s;
+}
+
+std::vector<double>
+slabSteadyCelsius(const std::vector<SlabLayer> &layers,
+                  const std::vector<double> &watts,
+                  const thermal::SolverOptions &opts, double side)
+{
+    const std::size_t n = layers.size();
+    XYLEM_ASSERT(watts.size() == n, "one power entry per slab layer");
+    const double area = side * side;
+    const double total = [&] {
+        double t = 0.0;
+        for (double w : watts)
+            t += w;
+        return t;
+    }();
+
+    // Heat crossing the interface between layer k and k+1 is the power
+    // injected at or below k (adiabatic bottom).
+    std::vector<double> flux(n, 0.0); // flux[k]: k -> k+1; flux[n-1] -> air
+    double below = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        below += watts[k];
+        flux[k] = below;
+    }
+    XYLEM_ASSERT(std::abs(flux[n - 1] - total) < 1e-12 * (1.0 + total),
+                 "slab flux accounting broke");
+
+    std::vector<double> celsius(n, 0.0);
+    // Top node: lumped convection in series with the sink layer's top
+    // half-thickness (exactly the grid model's ground leg).
+    const auto &sink = layers[n - 1];
+    celsius[n - 1] =
+        opts.ambientCelsius +
+        total * (opts.convectionResistance +
+                 0.5 * sink.thickness / (sink.conductivity * area));
+    for (std::size_t k = n - 1; k-- > 0;) {
+        const double r_between =
+            (0.5 * layers[k].thickness / layers[k].conductivity +
+             0.5 * layers[k + 1].thickness / layers[k + 1].conductivity) /
+            area;
+        celsius[k] = celsius[k + 1] + flux[k] * r_between;
+    }
+    return celsius;
+}
+
+double
+uniformPowerSteadyCelsius(double watts, const SlabLayer &layer,
+                          const thermal::SolverOptions &opts, double side)
+{
+    return slabSteadyCelsius({layer}, {watts}, opts, side)[0];
+}
+
+} // namespace xylem::verify

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Analytic oracles for the verification subsystem: problems small and
+ * regular enough that the exact steady-state answer is a closed form,
+ * so the grid solver can be checked against pencil-and-paper truth
+ * rather than against another numerical method.
+ *
+ * The workhorse is the 1D layered slab: a stack of laterally uniform
+ * layers (no TTSVs, no extended IHS/sink footprint) with spatially
+ * uniform power per layer. Every XY column is then identical, no
+ * lateral heat flows, and the discrete model collapses to the layer
+ * R_th chain of §2.3: each interface contributes
+ * (t_a/2λ_a + t_b/2λ_b)/A, the sink contributes
+ * R_conv + t_sink/(2·λ_sink·A), and the temperature of a layer is
+ * ambient plus the sum of (resistance × heat crossing it) above it.
+ * Layers below the lowest source sit at the source temperature
+ * (adiabatic bottom, zero flux).
+ */
+
+#ifndef XYLEM_VERIFY_ORACLES_HPP
+#define XYLEM_VERIFY_ORACLES_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "stack/stack.hpp"
+#include "thermal/grid_model.hpp"
+
+namespace xylem::verify {
+
+/** One laterally uniform layer of an analytic slab stack. */
+struct SlabLayer
+{
+    double thickness;          ///< [m]
+    double conductivity;       ///< λ [W/mK]
+    double heatCapacity = 1.75e6; ///< volumetric [J/(m³K)]
+};
+
+/**
+ * Build a BuiltStack for a uniform slab: `layers` bottom-to-top on an
+ * nx×ny grid over a `side`×`side` die, the last layer acting as the
+ * heat sink (convective top, die-sized — no periphery nodes). The
+ * result feeds GridModel directly; it is not a paper stack.
+ */
+stack::BuiltStack buildSlabStack(const std::vector<SlabLayer> &layers,
+                                 std::size_t nx, std::size_t ny,
+                                 double side = 8e-3);
+
+/**
+ * Exact steady temperature of every slab layer [absolute °C] when
+ * `watts[l]` is deposited uniformly in layer l. The discrete grid
+ * model reproduces these values to solver tolerance (the chain is
+ * exact for the discretisation, not an approximation).
+ */
+std::vector<double>
+slabSteadyCelsius(const std::vector<SlabLayer> &layers,
+                  const std::vector<double> &watts,
+                  const thermal::SolverOptions &opts, double side = 8e-3);
+
+/**
+ * Closed form for the single-layer special case: a uniformly powered
+ * slab of one material sees T = ambient + P·(R_conv + t/(2·λ·A)).
+ */
+double uniformPowerSteadyCelsius(double watts, const SlabLayer &layer,
+                                 const thermal::SolverOptions &opts,
+                                 double side = 8e-3);
+
+} // namespace xylem::verify
+
+#endif // XYLEM_VERIFY_ORACLES_HPP

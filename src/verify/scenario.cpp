@@ -1,0 +1,82 @@
+#include "verify/scenario.hpp"
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace xylem::verify {
+
+double
+RandomScenario::totalWatts() const
+{
+    double total = 0.0;
+    for (const auto &d : deposits)
+        total += d.watts;
+    return total;
+}
+
+RandomScenario
+randomScenario(std::uint64_t seed, const ScenarioLimits &limits)
+{
+    XYLEM_ASSERT(limits.minGrid >= 2 && limits.maxGrid >= limits.minGrid,
+                 "bad scenario grid limits");
+    // Offset the seed so scenario 0 is not the Rng's default stream.
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x0defaced0c0ffee1ull);
+
+    RandomScenario s;
+    s.seed = seed;
+    s.spec.numDramDies =
+        1 + static_cast<int>(rng.below(
+                static_cast<std::uint64_t>(limits.maxDramDies)));
+    s.spec.gridNx = limits.minGrid +
+                    rng.below(limits.maxGrid - limits.minGrid + 1);
+    s.spec.gridNy = limits.minGrid +
+                    rng.below(limits.maxGrid - limits.minGrid + 1);
+    s.spec.scheme = stack::allSchemes()[rng.below(
+        stack::allSchemes().size())];
+    s.spec.dieThickness = rng.uniform(40e-6, 200e-6);
+    if (rng.chance(0.2))
+        s.spec.d2dLambdaOverride = rng.uniform(1.5, 100.0);
+    if (rng.chance(limits.customSitesChance)) {
+        // A random TTSV layout instead of the scheme's placement; keep
+        // sites inside the die with a margin for the 100 µm footprint.
+        const std::size_t count = 2 + rng.below(32);
+        for (std::size_t i = 0; i < count; ++i)
+            s.spec.customTtsvSites.push_back(
+                {rng.uniform(0.5e-3, 7.5e-3), rng.uniform(0.5e-3, 7.5e-3)});
+    }
+
+    s.solver.ambientCelsius = rng.uniform(25.0, 55.0);
+    s.solver.convectionResistance = rng.uniform(0.05, 0.5);
+
+    const int deposits = 1 + static_cast<int>(rng.below(
+                                 static_cast<std::uint64_t>(
+                                     limits.maxDeposits)));
+    for (int k = 0; k < deposits; ++k) {
+        PowerDeposit d;
+        d.onProc = rng.chance(0.7);
+        d.dramDie = static_cast<int>(rng.below(
+            static_cast<std::uint64_t>(s.spec.numDramDies)));
+        d.rect = geometry::Rect{rng.uniform(0.0, 6e-3),
+                                rng.uniform(0.0, 6e-3),
+                                rng.uniform(0.5e-3, 2e-3),
+                                rng.uniform(0.5e-3, 2e-3)};
+        d.watts = rng.uniform(0.5, limits.maxWatts);
+        s.deposits.push_back(d);
+    }
+    return s;
+}
+
+thermal::PowerMap
+buildPowerMap(const stack::BuiltStack &stk, const RandomScenario &scenario)
+{
+    thermal::PowerMap map(stk);
+    for (const auto &d : scenario.deposits) {
+        const int layer =
+            d.onProc ? stk.procMetal
+                     : stk.dramMetal[static_cast<std::size_t>(d.dramDie)];
+        map.deposit(layer, d.rect, d.watts);
+    }
+    return map;
+}
+
+} // namespace xylem::verify

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Seeded random scenario generation for the verification and property
+ * tests: one place that knows how to draw a "reasonable but
+ * adversarial" stack (scheme, die count, thickness, grid, TTSV
+ * layout), solver options and power map, so every randomized suite
+ * exercises the same distribution and any failure reproduces from its
+ * seed alone.
+ */
+
+#ifndef XYLEM_VERIFY_SCENARIO_HPP
+#define XYLEM_VERIFY_SCENARIO_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "stack/stack.hpp"
+#include "thermal/grid_model.hpp"
+#include "thermal/power_map.hpp"
+
+namespace xylem::verify {
+
+/** One power deposit, addressed by role so it survives re-building. */
+struct PowerDeposit
+{
+    bool onProc = true; ///< processor metal, else a DRAM metal layer
+    int dramDie = 0;    ///< target die when !onProc
+    geometry::Rect rect;
+    double watts = 0.0;
+};
+
+/** Bounds for the generator (defaults keep the dense solver feasible). */
+struct ScenarioLimits
+{
+    std::size_t minGrid = 6;
+    std::size_t maxGrid = 12;
+    int maxDramDies = 3;
+    int maxDeposits = 5;
+    double maxWatts = 8.0;
+    /** Probability of replacing the scheme layout by random TTSV sites. */
+    double customSitesChance = 0.25;
+};
+
+/** A fully reproducible randomized test case. */
+struct RandomScenario
+{
+    std::uint64_t seed = 0;
+    stack::StackSpec spec;
+    thermal::SolverOptions solver;
+    std::vector<PowerDeposit> deposits;
+
+    double totalWatts() const;
+};
+
+/** Draw scenario number `seed` (same seed ⇒ same scenario, always). */
+RandomScenario randomScenario(std::uint64_t seed,
+                              const ScenarioLimits &limits = {});
+
+/** Materialise the scenario's power map on its built stack. */
+thermal::PowerMap buildPowerMap(const stack::BuiltStack &stk,
+                                const RandomScenario &scenario);
+
+} // namespace xylem::verify
+
+#endif // XYLEM_VERIFY_SCENARIO_HPP

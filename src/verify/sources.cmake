@@ -1,0 +1,5 @@
+set(XYLEM_VERIFY_SOURCES
+    ${CMAKE_CURRENT_LIST_DIR}/dense_solver.cpp
+    ${CMAKE_CURRENT_LIST_DIR}/oracles.cpp
+    ${CMAKE_CURRENT_LIST_DIR}/scenario.cpp
+    ${CMAKE_CURRENT_LIST_DIR}/invariants.cpp)

@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "runtime/metrics.hpp"
+#include "verify/invariants.hpp"
 #include "xylem/painter.hpp"
 #include "xylem/sim_cache.hpp"
 
@@ -19,6 +20,8 @@ recordSolve(const thermal::SolveStats &stats, bool warm)
     metrics.counter("solver.solves").increment();
     metrics.counter("solver.iterations")
         .add(static_cast<std::uint64_t>(stats.iterations));
+    if (!stats.converged)
+        metrics.counter("solver.nonconverged").increment();
     if (warm) {
         metrics.counter("solver.warm_solves").increment();
         metrics.counter("solver.warm_iterations")
@@ -27,6 +30,29 @@ recordSolve(const thermal::SolveStats &stats, bool warm)
         metrics.counter("solver.cold_solves").increment();
         metrics.counter("solver.cold_iterations")
             .add(static_cast<std::uint64_t>(stats.iterations));
+    }
+}
+
+/**
+ * Optional always-on verification (bench --selfcheck): run the
+ * solve-free invariant checkers on the solution just produced and
+ * fail fatally on any violation, so a figure computed from a bad
+ * field can never be published silently.
+ */
+void
+selfCheck(const thermal::GridModel &model, const thermal::PowerMap &map,
+          const thermal::TemperatureField &field)
+{
+    if (!verify::selfCheckEnabled())
+        return;
+    auto &metrics = runtime::Metrics::global();
+    metrics.counter("verify.selfcheck.checks").increment();
+    const verify::InvariantReport rep =
+        verify::checkSolution(model, map, field);
+    if (!rep.pass) {
+        metrics.counter("verify.selfcheck.failures").increment();
+        fatal("--selfcheck: solution violates invariants: ",
+              rep.summary());
     }
 }
 
@@ -94,6 +120,7 @@ StackSystem::evaluateAtFreqs(const std::vector<cpu::ThreadSpec> &threads,
                                     scaled ? &scaled.value() : nullptr);
     out.cgIterations += stats.iterations;
     recordSolve(stats, out.warmStarted);
+    selfCheck(*model_, map, out.field);
     last_ = out.field;
     last_power_ = map.totalPower();
 
@@ -125,6 +152,7 @@ StackSystem::evaluateAtFreqs(const std::vector<cpu::ThreadSpec> &threads,
         out.field = model_->solveSteady(fb_map, &fb_stats, &out.field);
         out.cgIterations += fb_stats.iterations;
         recordSolve(fb_stats, /*warm=*/true);
+        selfCheck(*model_, fb_map, out.field);
         last_ = out.field;
         last_power_ = fb_map.totalPower();
         fill_temps(out);

@@ -6,6 +6,8 @@
  */
 
 #include <algorithm>
+#include <iomanip>
+#include <locale>
 #include <set>
 #include <sstream>
 
@@ -348,6 +350,45 @@ TEST(Heatmap, CsvRoundTrip)
     thermal::writeCsv(os, f, 1);
     EXPECT_EQ(os.str(), "1,1,1\n1,1,7\n");
     EXPECT_THROW(thermal::writeCsv(os, f, 2), PanicError);
+}
+
+TEST(Heatmap, CsvHeaderAndCellCount)
+{
+    thermal::TemperatureField f(1, 4, 3, 0, 25.0);
+    std::ostringstream os;
+    thermal::writeCsv(os, f, 0, /*header=*/true);
+    std::istringstream in(os.str());
+    std::string line;
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));
+    EXPECT_EQ(line, "x0,x1,x2,x3");
+    std::size_t rows = 0, cells = 0;
+    while (std::getline(in, line)) {
+        ++rows;
+        cells += static_cast<std::size_t>(
+                     std::count(line.begin(), line.end(), ',')) +
+                 1;
+    }
+    EXPECT_EQ(rows, f.ny());
+    EXPECT_EQ(cells, f.nx() * f.ny());
+}
+
+TEST(Heatmap, CsvIgnoresStreamLocaleAndFormatState)
+{
+    // A numpunct that prints ',' as the decimal separator — the worst
+    // case for a comma-separated format. writeCsv must not consult it.
+    struct CommaPunct : std::numpunct<char>
+    {
+        char do_decimal_point() const override { return ','; }
+        std::string do_grouping() const override { return "\3"; }
+        char do_thousands_sep() const override { return '.'; }
+    };
+    thermal::TemperatureField f(1, 2, 1, 0, 1.5);
+    f.at(0, 1, 0) = 1234.25;
+    std::ostringstream os;
+    os.imbue(std::locale(os.getloc(), new CommaPunct));
+    os << std::fixed << std::setprecision(1); // sticky state, ignored too
+    thermal::writeCsv(os, f, 0);
+    EXPECT_EQ(os.str(), "1.5,1234.25\n");
 }
 
 } // namespace

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Golden-file regression tests: small, fast-shaped versions of the
+ * paper's Fig. 7 (temperature sweep) and Fig. 9 (iso-temperature
+ * frequency boost) experiments, recomputed and diffed against CSVs
+ * checked into tests/golden/. Any drift in the thermal model, power
+ * model or simulator shows up as a numeric diff here with a named
+ * column, instead of as a silently different figure.
+ *
+ * Regenerate after an intentional model change with
+ *
+ *   XYLEM_UPDATE_GOLDEN=1 ./golden_test
+ *
+ * and review the CSV diff like any other code change.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "xylem/experiments.hpp"
+
+namespace xylem::core {
+namespace {
+
+using stack::Scheme;
+
+/** Same shrink knobs as experiments_test, so a golden run stays fast. */
+ExperimentConfig
+tiny()
+{
+    ExperimentConfig cfg = ExperimentConfig::small();
+    cfg.base.cpu.instsPerThread = 60000;
+    cfg.base.cpu.warmupInsts = 200000;
+    return cfg;
+}
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(XYLEM_GOLDEN_DIR) + "/" + name;
+}
+
+bool
+updateRequested()
+{
+    const char *env = std::getenv("XYLEM_UPDATE_GOLDEN");
+    return env != nullptr && *env != '\0';
+}
+
+std::string
+fmt(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", v);
+    return buf;
+}
+
+void
+writeGolden(const std::string &path, const std::string &header,
+            const std::vector<std::string> &rows)
+{
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write golden file " << path;
+    out << header << "\n";
+    for (const auto &row : rows)
+        out << row << "\n";
+}
+
+/** Parsed golden CSV: header fields + numeric-or-text cells per row. */
+std::vector<std::vector<std::string>>
+readGolden(const std::string &path, const std::string &header)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in) << "missing golden file " << path
+                    << " — run with XYLEM_UPDATE_GOLDEN=1 to create it";
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, header) << path << ": header drift";
+    std::vector<std::vector<std::string>> rows;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::vector<std::string> cells;
+        std::stringstream ss(line);
+        std::string cell;
+        while (std::getline(ss, cell, ','))
+            cells.push_back(cell);
+        rows.push_back(std::move(cells));
+    }
+    return rows;
+}
+
+double
+num(const std::string &cell)
+{
+    return std::strtod(cell.c_str(), nullptr);
+}
+
+constexpr double kTempTolC = 0.1;   ///< hotspot agreement [°C]
+constexpr double kFreqTolGHz = 5e-4; ///< 0.5 MHz on boosted frequency
+constexpr double kPctTol = 0.1;     ///< perf/power/energy percentages
+
+TEST(Golden, Fig07TemperatureSweepSmall)
+{
+    const std::string header =
+        "app,scheme,freq_ghz,proc_hotspot_c,dram_bottom_hotspot_c,"
+        "proc_power_w,dram_power_w";
+    const auto sweep =
+        runTemperatureSweep(tiny(), {Scheme::Base, Scheme::BankE});
+    ASSERT_FALSE(sweep.empty());
+
+    std::vector<std::string> rows;
+    for (const auto &e : sweep)
+        rows.push_back(e.app + "," + stack::toString(e.scheme) + "," +
+                       fmt(e.freqGHz) + "," + fmt(e.procHotspotC) + "," +
+                       fmt(e.dramBottomHotspotC) + "," +
+                       fmt(e.procPowerW) + "," + fmt(e.dramPowerW));
+
+    const std::string path = goldenPath("fig07_small.csv");
+    if (updateRequested()) {
+        writeGolden(path, header, rows);
+        GTEST_SKIP() << "golden file regenerated: " << path;
+    }
+
+    const auto golden = readGolden(path, header);
+    ASSERT_EQ(golden.size(), sweep.size()) << "sweep shape changed";
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const auto &g = golden[i];
+        const auto &e = sweep[i];
+        ASSERT_EQ(g.size(), 7u) << "row " << i;
+        EXPECT_EQ(g[0], e.app) << "row " << i;
+        EXPECT_EQ(g[1], stack::toString(e.scheme)) << "row " << i;
+        EXPECT_NEAR(num(g[2]), e.freqGHz, 1e-9) << "row " << i;
+        EXPECT_NEAR(num(g[3]), e.procHotspotC, kTempTolC)
+            << e.app << "/" << g[1] << "@" << g[2]
+            << ": processor hotspot drifted";
+        EXPECT_NEAR(num(g[4]), e.dramBottomHotspotC, kTempTolC)
+            << e.app << "/" << g[1] << "@" << g[2]
+            << ": DRAM hotspot drifted";
+        EXPECT_NEAR(num(g[5]), e.procPowerW,
+                    0.01 + 0.001 * num(g[5]))
+            << e.app << "/" << g[1] << "@" << g[2]
+            << ": processor power drifted";
+        EXPECT_NEAR(num(g[6]), e.dramPowerW,
+                    0.01 + 0.001 * num(g[6]))
+            << e.app << "/" << g[1] << "@" << g[2]
+            << ": DRAM power drifted";
+    }
+}
+
+TEST(Golden, Fig09BoostSmall)
+{
+    const std::string header =
+        "app,scheme,ref_temp_c,freq_ghz,freq_gain_mhz,perf_gain_pct,"
+        "power_increase_pct,energy_change_pct";
+    const auto boost =
+        runBoostExperiment(tiny(), {Scheme::Bank, Scheme::BankE});
+    ASSERT_FALSE(boost.empty());
+
+    std::vector<std::string> rows;
+    for (const auto &e : boost)
+        rows.push_back(e.app + "," + stack::toString(e.scheme) + "," +
+                       fmt(e.refTempC) + "," + fmt(e.freqGHz) + "," +
+                       fmt(e.freqGainMHz) + "," + fmt(e.perfGainPct) +
+                       "," + fmt(e.powerIncreasePct) + "," +
+                       fmt(e.energyChangePct));
+
+    const std::string path = goldenPath("fig09_small.csv");
+    if (updateRequested()) {
+        writeGolden(path, header, rows);
+        GTEST_SKIP() << "golden file regenerated: " << path;
+    }
+
+    const auto golden = readGolden(path, header);
+    ASSERT_EQ(golden.size(), boost.size()) << "boost shape changed";
+    for (std::size_t i = 0; i < boost.size(); ++i) {
+        const auto &g = golden[i];
+        const auto &e = boost[i];
+        ASSERT_EQ(g.size(), 8u) << "row " << i;
+        EXPECT_EQ(g[0], e.app) << "row " << i;
+        EXPECT_EQ(g[1], stack::toString(e.scheme)) << "row " << i;
+        EXPECT_NEAR(num(g[2]), e.refTempC, kTempTolC)
+            << e.app << "/" << g[1] << ": reference temperature drifted";
+        EXPECT_NEAR(num(g[3]), e.freqGHz, kFreqTolGHz)
+            << e.app << "/" << g[1] << ": boosted frequency drifted";
+        EXPECT_NEAR(num(g[4]), e.freqGainMHz, 1000.0 * kFreqTolGHz)
+            << e.app << "/" << g[1] << ": frequency gain drifted";
+        EXPECT_NEAR(num(g[5]), e.perfGainPct, kPctTol)
+            << e.app << "/" << g[1] << ": performance gain drifted";
+        EXPECT_NEAR(num(g[6]), e.powerIncreasePct, kPctTol)
+            << e.app << "/" << g[1] << ": power increase drifted";
+        EXPECT_NEAR(num(g[7]), e.energyChangePct, kPctTol)
+            << e.app << "/" << g[1] << ": energy change drifted";
+    }
+}
+
+} // namespace
+} // namespace xylem::core

@@ -4,6 +4,7 @@
  * and the gem5-style statistics report.
  */
 
+#include <filesystem>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -126,6 +127,67 @@ TEST(ConfigIo, FormatParseRoundTrip)
 TEST(ConfigIo, MissingFileFails)
 {
     EXPECT_THROW(loadSystemConfig("/no/such/file.cfg"), FatalError);
+}
+
+TEST(ConfigIo, ShippedConfigsRoundTrip)
+{
+    // Every .cfg we ship must load, and the format must be a fixed
+    // point: format(parse(format(cfg))) == format(cfg). That proves
+    // formatting loses nothing the parser can read back.
+    namespace fs = std::filesystem;
+    std::size_t seen = 0;
+    for (const auto &entry : fs::directory_iterator(XYLEM_CONFIGS_DIR)) {
+        if (entry.path().extension() != ".cfg")
+            continue;
+        ++seen;
+        const SystemConfig cfg = loadSystemConfig(entry.path().string());
+        const std::string text = formatSystemConfig(cfg);
+        std::istringstream in(text);
+        const SystemConfig back = parseSystemConfig(in);
+        EXPECT_EQ(formatSystemConfig(back), text) << entry.path();
+        EXPECT_EQ(back.stackSpec.scheme, cfg.stackSpec.scheme)
+            << entry.path();
+        EXPECT_EQ(back.stackSpec.numDramDies, cfg.stackSpec.numDramDies)
+            << entry.path();
+        EXPECT_DOUBLE_EQ(back.stackSpec.dieThickness,
+                         cfg.stackSpec.dieThickness)
+            << entry.path();
+        EXPECT_DOUBLE_EQ(back.solver.tolerance, cfg.solver.tolerance)
+            << entry.path();
+        EXPECT_EQ(back.electroThermalIterations,
+                  cfg.electroThermalIterations)
+            << entry.path();
+    }
+    EXPECT_GE(seen, 3u) << "expected the shipped configs under "
+                        << XYLEM_CONFIGS_DIR;
+}
+
+TEST(ConfigIo, RejectsMoreMalformedInput)
+{
+    {
+        // A second '=' becomes trailing junk in the value.
+        std::istringstream in("gridNx = 12 = 13\n");
+        EXPECT_THROW(parseSystemConfig(in), FatalError);
+    }
+    {
+        // Counts must be non-negative integers.
+        std::istringstream in("numDramDies = -2\n");
+        EXPECT_THROW(parseSystemConfig(in), FatalError);
+    }
+    {
+        // A missing key is an unknown (empty) key, not a crash.
+        std::istringstream in("= 5\n");
+        EXPECT_THROW(parseSystemConfig(in), FatalError);
+    }
+    {
+        // Comments may hide the value but not excuse the key.
+        std::istringstream in("gridNx = # gone\n");
+        EXPECT_THROW(parseSystemConfig(in), FatalError);
+    }
+    {
+        std::istringstream in("solverTolerance = 1e\n");
+        EXPECT_THROW(parseSystemConfig(in), FatalError);
+    }
 }
 
 // ---------------------------------------------------------------------

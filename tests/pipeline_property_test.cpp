@@ -12,51 +12,41 @@
 #include "dram/wideio.hpp"
 #include "stack/stack.hpp"
 #include "thermal/grid_model.hpp"
+#include "verify/invariants.hpp"
+#include "verify/scenario.hpp"
 #include "workloads/profile.hpp"
 
 namespace xylem {
 namespace {
 
-/** Energy balance must hold for arbitrary stacks and power maps. */
+/**
+ * Energy balance must hold for arbitrary stacks and power maps. The
+ * scenarios come from the verification subsystem's shared generator,
+ * so any failure reproduces from its seed in verify_test as well.
+ */
 TEST(PipelineProperty, EnergyBalanceOnRandomStacks)
 {
-    Rng rng(2024);
-    for (int trial = 0; trial < 6; ++trial) {
-        stack::StackSpec spec;
-        spec.numDramDies = 1 + static_cast<int>(rng.below(4));
-        spec.gridNx = 8 + rng.below(3) * 8;
-        spec.gridNy = spec.gridNx;
-        spec.scheme = stack::allSchemes()[rng.below(5)];
-        spec.dieThickness = rng.uniform(40e-6, 200e-6);
-        const auto stk = stack::buildStack(spec);
+    for (std::uint64_t seed = 100; seed < 110; ++seed) {
+        verify::RandomScenario sc = verify::randomScenario(seed);
+        sc.solver.tolerance = 1e-10;
+        const auto stk = stack::buildStack(sc.spec);
+        const thermal::GridModel model(stk, sc.solver);
+        const auto power = verify::buildPowerMap(stk, sc);
 
-        thermal::SolverOptions opts;
-        opts.tolerance = 1e-10;
-        opts.convectionResistance = rng.uniform(0.05, 0.5);
-        const thermal::GridModel model(stk, opts);
+        thermal::SolveStats stats;
+        const auto field = model.solveSteady(power, &stats);
+        ASSERT_TRUE(stats.converged)
+            << "seed " << seed << ": residual " << stats.relativeResidual
+            << " after " << stats.iterations << " iterations";
+        EXPECT_LE(stats.relativeResidual, sc.solver.tolerance)
+            << "seed " << seed;
 
-        thermal::PowerMap power(stk);
-        double total = 0.0;
-        for (int k = 0; k < 4; ++k) {
-            const double watts = rng.uniform(0.5, 8.0);
-            const geometry::Rect r{rng.uniform(0, 6e-3),
-                                   rng.uniform(0, 6e-3),
-                                   rng.uniform(0.5e-3, 2e-3),
-                                   rng.uniform(0.5e-3, 2e-3)};
-            const int layer = rng.chance(0.7)
-                                  ? stk.procMetal
-                                  : stk.dramMetal[rng.below(
-                                        static_cast<std::uint64_t>(
-                                            spec.numDramDies))];
-            power.deposit(layer, r, watts);
-            total += watts;
-        }
-        const auto field = model.solveSteady(power);
-        EXPECT_NEAR(model.heatOutflow(field), total, total * 1e-3 + 1e-6)
-            << "trial " << trial;
-        // Nothing below ambient, hotspot above ambient.
-        for (double t : field.nodes())
-            EXPECT_GE(t, opts.ambientCelsius - 1e-6);
+        const verify::InvariantReport rep =
+            verify::checkSolution(model, power, field);
+        EXPECT_TRUE(rep.pass) << "seed " << seed << ": " << rep.summary();
+        EXPECT_NEAR(rep.outflowW, sc.totalWatts(),
+                    sc.totalWatts() * 1e-3 + 1e-6)
+            << "seed " << seed;
     }
 }
 

@@ -66,6 +66,28 @@ analyticBottomRise(const std::vector<std::pair<double, double>> &t_lambda,
     return power * r;
 }
 
+/**
+ * Solve and assert the reported statistics: converged, achieved
+ * residual within the configured tolerance, and a positive iteration
+ * count — a solver-tolerance regression fails here with the numbers
+ * in the message instead of surfacing as a mysteriously drifted
+ * temperature.
+ */
+TemperatureField
+solveChecked(const GridModel &model, const PowerMap &power)
+{
+    SolveStats stats;
+    const TemperatureField f = model.solveSteady(power, &stats);
+    EXPECT_TRUE(stats.converged)
+        << "CG did not converge: residual " << stats.relativeResidual
+        << " after " << stats.iterations << " iterations";
+    EXPECT_LE(stats.relativeResidual, model.options().tolerance)
+        << "achieved residual above tolerance after " << stats.iterations
+        << " iterations";
+    EXPECT_GT(stats.iterations, 0);
+    return f;
+}
+
 TEST(GridModel1D, MatchesClosedFormSeriesStack)
 {
     const std::vector<std::pair<double, double>> slabs = {
@@ -80,7 +102,7 @@ TEST(GridModel1D, MatchesClosedFormSeriesStack)
 
     PowerMap power(stk);
     power.deposit(0, stk.grid.extent(), 10.0);
-    const TemperatureField field = model.solveSteady(power);
+    const TemperatureField field = solveChecked(model, power);
 
     const double expected =
         40.0 + analyticBottomRise(slabs, stk.grid.extent().area(), 0.5,
@@ -100,7 +122,7 @@ TEST(GridModel1D, TemperatureDecreasesTowardsTheSink)
     const GridModel model(stk, {});
     PowerMap power(stk);
     power.deposit(0, stk.grid.extent(), 5.0);
-    const TemperatureField field = model.solveSteady(power);
+    const TemperatureField field = solveChecked(model, power);
     for (std::size_t l = 0; l + 1 < stk.layers.size(); ++l)
         EXPECT_GT(field.meanOfLayer(l), field.meanOfLayer(l + 1));
 }
@@ -117,7 +139,7 @@ TEST(GridModel1D, D2DLayerCarriesTheLargestDrop)
     const GridModel model(stk, {});
     PowerMap power(stk);
     power.deposit(0, stk.grid.extent(), 5.0);
-    const TemperatureField f = model.solveSteady(power);
+    const TemperatureField f = solveChecked(model, power);
     const double drop_si_si = f.meanOfLayer(0) - f.meanOfLayer(1);
     const double drop_si_d2d = f.meanOfLayer(1) - f.meanOfLayer(2);
     EXPECT_GT(drop_si_d2d, 4.0 * drop_si_si);
@@ -137,7 +159,7 @@ TEST(GridModelEnergy, OutflowEqualsInputPower)
     PowerMap power(stk);
     power.deposit(stk.procMetal, Rect{1e-3, 1e-3, 2e-3, 2e-3}, 11.0);
     power.deposit(stk.dramMetal[1], Rect{4e-3, 4e-3, 3e-3, 3e-3}, 2.5);
-    const TemperatureField field = model.solveSteady(power);
+    const TemperatureField field = solveChecked(model, power);
     EXPECT_NEAR(model.heatOutflow(field), 13.5, 0.01);
 }
 
@@ -186,7 +208,7 @@ TEST_F(FullStackThermalTest, SymmetricPowerGivesSymmetricField)
     const GridModel model(stk, {});
     PowerMap power(stk);
     power.deposit(stk.procMetal, stk.grid.extent(), 16.0);
-    const TemperatureField f = model.solveSteady(power);
+    const TemperatureField f = solveChecked(model, power);
     // The stack is mirror-symmetric in x and y (the TSV bus is a
     // centred horizontal bar, so x<->y swap symmetry does NOT hold).
     const std::size_t n = stk.grid.nx();
@@ -204,8 +226,8 @@ TEST_F(FullStackThermalTest, RiseIsLinearInPower)
     SolverOptions opts;
     opts.tolerance = 1e-9;
     const GridModel model(stk, opts);
-    const TemperatureField f1 = model.solveSteady(hotCornerPower(stk, 8));
-    const TemperatureField f2 = model.solveSteady(hotCornerPower(stk, 16));
+    const TemperatureField f1 = solveChecked(model, hotCornerPower(stk, 8));
+    const TemperatureField f2 = solveChecked(model, hotCornerPower(stk, 16));
     const double amb = opts.ambientCelsius;
     for (std::size_t i = 0; i < f1.numNodes(); i += 97) {
         EXPECT_NEAR(f2.nodes()[i] - amb, 2.0 * (f1.nodes()[i] - amb),
@@ -217,8 +239,8 @@ TEST_F(FullStackThermalTest, MorePowerIsHotterEverywhere)
 {
     const auto stk = makeStack(stack::Scheme::Base);
     const GridModel model(stk, {});
-    const TemperatureField f1 = model.solveSteady(hotCornerPower(stk, 8));
-    const TemperatureField f2 = model.solveSteady(hotCornerPower(stk, 12));
+    const TemperatureField f1 = solveChecked(model, hotCornerPower(stk, 8));
+    const TemperatureField f2 = solveChecked(model, hotCornerPower(stk, 12));
     for (std::size_t i = 0; i < f1.numNodes(); ++i)
         EXPECT_GT(f2.nodes()[i], f1.nodes()[i] - 1e-6);
 }
@@ -233,9 +255,9 @@ TEST_F(FullStackThermalTest, ShortedPillarsLowerTheHotspot)
     const GridModel m_prior(prior, {});
 
     const PowerMap p = hotCornerPower(base, 18.0);
-    const double t_base = m_base.solveSteady(p).maxOfLayer(0);
-    const double t_banke = m_banke.solveSteady(p).maxOfLayer(0);
-    const double t_prior = m_prior.solveSteady(p).maxOfLayer(0);
+    const double t_base = solveChecked(m_base, p).maxOfLayer(0);
+    const double t_banke = solveChecked(m_banke, p).maxOfLayer(0);
+    const double t_prior = solveChecked(m_prior, p).maxOfLayer(0);
 
     EXPECT_LT(t_banke, t_base - 1.0);         // Xylem clearly helps
     EXPECT_NEAR(t_prior, t_base, 0.5);        // TTSVs alone do not
@@ -252,7 +274,7 @@ TEST_F(FullStackThermalTest, WarmStartDoesNotChangeTheSolution)
     const TemperatureField cold = model.solveSteady(p);
     // Warm-start from a wrong-but-plausible field.
     const TemperatureField other =
-        model.solveSteady(hotCornerPower(stk, 5.0));
+        solveChecked(model, hotCornerPower(stk, 5.0));
     SolveStats stats;
     const TemperatureField warm = model.solveSteady(p, &stats, &other);
     EXPECT_TRUE(stats.converged);
@@ -270,8 +292,8 @@ TEST_F(FullStackThermalTest, PreconditionersAgree)
     const GridModel m_jac(stk, jac);
     const GridModel m_line(stk, line);
     const PowerMap p = hotCornerPower(stk, 14.0);
-    const TemperatureField f1 = m_jac.solveSteady(p);
-    const TemperatureField f2 = m_line.solveSteady(p);
+    const TemperatureField f1 = solveChecked(m_jac, p);
+    const TemperatureField f2 = solveChecked(m_line, p);
     for (std::size_t i = 0; i < f1.numNodes(); i += 31)
         EXPECT_NEAR(f1.nodes()[i], f2.nodes()[i], 1e-3);
 }
@@ -305,7 +327,7 @@ TEST(Transient, SteadyStateIsAFixedPoint)
     const GridModel model(stk, {});
     PowerMap power(stk);
     power.deposit(stk.procMetal, stk.grid.extent(), 12.0);
-    const TemperatureField steady = model.solveSteady(power);
+    const TemperatureField steady = solveChecked(model, power);
     const TemperatureField next =
         model.stepTransient(steady, power, 0.01);
     for (std::size_t i = 0; i < steady.numNodes(); i += 17)
@@ -344,7 +366,7 @@ TEST(Transient, ConvergesToTheSteadyState)
     const GridModel model(stk, opts);
     PowerMap power(stk);
     power.deposit(0, stk.grid.extent(), 5.0);
-    const TemperatureField steady = model.solveSteady(power);
+    const TemperatureField steady = solveChecked(model, power);
 
     TemperatureField f = model.ambientField();
     // Thin slabs: the time constant is far below a second.
@@ -363,7 +385,7 @@ TEST(Transient, CoolsDownAfterPowerRemoval)
     const GridModel model(stk, {});
     PowerMap power(stk);
     power.deposit(stk.procMetal, stk.grid.extent(), 12.0);
-    TemperatureField f = model.solveSteady(power);
+    TemperatureField f = solveChecked(model, power);
     const double hot = f.maxOfLayer(0);
     f = model.stepTransient(f, PowerMap(stk), 0.05);
     EXPECT_LT(f.maxOfLayer(0), hot);

@@ -1,0 +1,559 @@
+/**
+ * @file
+ * The verification subsystem's differential suite: the iterative grid
+ * solver (both preconditioners, warm and cold starts) against the
+ * dense Cholesky reference on randomized scenarios, the analytic slab
+ * oracles, the transient stepper against its steady fixed point, and
+ * the invariant checkers (including proof that they actually detect
+ * corrupted fields).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "thermal/grid_model.hpp"
+#include "verify/dense_solver.hpp"
+#include "verify/invariants.hpp"
+#include "verify/oracles.hpp"
+#include "verify/scenario.hpp"
+
+namespace xylem::verify {
+namespace {
+
+using thermal::GridModel;
+using thermal::Preconditioner;
+using thermal::SolveStats;
+using thermal::SolverOptions;
+using thermal::TemperatureField;
+
+/**
+ * Every solve in this suite must report convergence AND an achieved
+ * residual within the configured tolerance; a tolerance regression
+ * fails loudly here instead of drifting into the figures.
+ */
+void
+expectConverged(const SolveStats &stats, const SolverOptions &opts,
+                const char *what)
+{
+    EXPECT_TRUE(stats.converged)
+        << what << ": CG reported non-convergence, residual "
+        << stats.relativeResidual << " after " << stats.iterations
+        << " iterations";
+    EXPECT_LE(stats.relativeResidual, opts.tolerance)
+        << what << ": achieved residual above tolerance after "
+        << stats.iterations << " iterations";
+    EXPECT_GT(stats.iterations, 0) << what;
+}
+
+double
+maxAbsDiff(const TemperatureField &a, const TemperatureField &b)
+{
+    EXPECT_EQ(a.numNodes(), b.numNodes());
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.numNodes(); ++i)
+        worst = std::max(worst, std::abs(a.nodes()[i] - b.nodes()[i]));
+    return worst;
+}
+
+// ---------------------------------------------------------------------
+// Dense Cholesky core
+// ---------------------------------------------------------------------
+
+TEST(DenseSpd, SolvesAHandCheckableSystem)
+{
+    // A = [[4,2,0],[2,5,1],[0,1,3]], x = [1,2,3] => b = A x.
+    const std::vector<double> a = {4, 2, 0, 2, 5, 1, 0, 1, 3};
+    const DenseSpd chol(a, 3);
+    const std::vector<double> x = chol.solve({8.0, 15.0, 11.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+    EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(DenseSpd, RejectsIndefiniteMatrices)
+{
+    const std::vector<double> a = {1, 2, 2, 1}; // eigenvalues 3, -1
+    EXPECT_THROW(DenseSpd(a, 2), PanicError);
+}
+
+TEST(DenseMatrix, AgreesWithApplyOnRandomStacks)
+{
+    // The dense assembly and the matrix-free apply() are written
+    // independently; they must describe the same operator.
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+        const RandomScenario sc = randomScenario(seed);
+        const auto stk = stack::buildStack(sc.spec);
+        const GridModel model(stk, sc.solver);
+        const std::size_t n = model.numNodes();
+        const std::vector<double> dense = model.denseMatrix();
+
+        // Symmetry of the assembled matrix.
+        for (std::size_t i = 0; i < n; i += 7)
+            for (std::size_t j = i; j < n; j += 13)
+                ASSERT_DOUBLE_EQ(dense[i * n + j], dense[j * n + i]);
+
+        Rng rng(seed + 99);
+        std::vector<double> x(n), y_apply(n), y_dense(n, 0.0);
+        for (auto &v : x)
+            v = rng.uniform(-1.0, 1.0);
+        model.apply(x, y_apply);
+        for (std::size_t i = 0; i < n; ++i) {
+            double acc = 0.0;
+            const double *row = dense.data() + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                acc += row[j] * x[j];
+            y_dense[i] = acc;
+        }
+        double scale = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            scale = std::max(scale, std::abs(y_apply[i]));
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_NEAR(y_apply[i], y_dense[i], 1e-9 * (scale + 1.0))
+                << "seed " << seed << " node " << i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Randomized differential suite: CG vs dense reference
+// ---------------------------------------------------------------------
+
+class DifferentialTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(DifferentialTest, CgMatchesDenseReference)
+{
+    const std::uint64_t seed = GetParam();
+    RandomScenario sc = randomScenario(seed);
+    sc.solver.tolerance = 1e-10; // tight so the 1e-6 K bound is honest
+    const auto stk = stack::buildStack(sc.spec);
+    const auto power = buildPowerMap(stk, sc);
+
+    // The trusted answer: direct factorisation, no CG code involved.
+    const GridModel jacobi(stk, sc.solver);
+    const TemperatureField ref = referenceSolveSteady(jacobi, power);
+
+    for (Preconditioner pre :
+         {Preconditioner::Jacobi, Preconditioner::VerticalLine}) {
+        SolverOptions opts = sc.solver;
+        opts.preconditioner = pre;
+        const GridModel model(stk, opts);
+        const char *name = pre == Preconditioner::Jacobi
+                               ? "jacobi"
+                               : "vertical-line";
+
+        SolveStats cold_stats;
+        const TemperatureField cold = model.solveSteady(power,
+                                                        &cold_stats);
+        expectConverged(cold_stats, opts, name);
+        EXPECT_LT(maxAbsDiff(cold, ref), 1e-6)
+            << "seed " << seed << " cold " << name;
+
+        // Warm start from a deliberately wrong scaling of the truth:
+        // must converge back to the same answer.
+        TemperatureField guess = ref;
+        const double ambient = opts.ambientCelsius;
+        for (double &v : guess.nodes())
+            v = ambient + 0.8 * (v - ambient);
+        SolveStats warm_stats;
+        const TemperatureField warm =
+            model.solveSteady(power, &warm_stats, &guess);
+        expectConverged(warm_stats, opts, name);
+        EXPECT_LT(maxAbsDiff(warm, ref), 1e-6)
+            << "seed " << seed << " warm " << name;
+        EXPECT_LE(warm_stats.iterations, cold_stats.iterations)
+            << "warm start should not cost extra iterations (seed "
+            << seed << ", " << name << ")";
+    }
+}
+
+// 26 scenarios x 2 preconditioners x {cold, warm}.
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, DifferentialTest,
+                         ::testing::Range<std::uint64_t>(0, 26));
+
+TEST(Differential, SixteenBySixteenStackMatchesReference)
+{
+    // The largest shape the dense reference is meant to cover.
+    RandomScenario sc = randomScenario(7);
+    sc.spec.gridNx = 16;
+    sc.spec.gridNy = 16;
+    sc.spec.numDramDies = 2;
+    sc.solver.tolerance = 1e-10;
+    const auto stk = stack::buildStack(sc.spec);
+    const auto power = buildPowerMap(stk, sc);
+    const GridModel model(stk, sc.solver);
+    SolveStats stats;
+    const TemperatureField cg = model.solveSteady(power, &stats);
+    expectConverged(stats, sc.solver, "16x16");
+    EXPECT_LT(maxAbsDiff(cg, referenceSolveSteady(model, power)), 1e-6);
+}
+
+TEST(Differential, TransientStepMatchesDenseReference)
+{
+    for (std::uint64_t seed : {3ull, 11ull, 19ull}) {
+        RandomScenario sc = randomScenario(seed);
+        // Tighter than the steady tests: at small dt the RHS is
+        // dominated by the C/dt terms, so a relative-residual stop
+        // leaves a larger absolute temperature error.
+        sc.solver.tolerance = 1e-13;
+        const auto stk = stack::buildStack(sc.spec);
+        const auto power = buildPowerMap(stk, sc);
+        const GridModel model(stk, sc.solver);
+
+        // Start half-way to steady state and step from there.
+        TemperatureField state = referenceSolveSteady(model, power);
+        const double ambient = sc.solver.ambientCelsius;
+        for (double &v : state.nodes())
+            v = ambient + 0.5 * (v - ambient);
+
+        for (double dt : {1e-4, 0.02}) {
+            SolveStats stats;
+            const TemperatureField stepped =
+                model.stepTransient(state, power, dt, &stats);
+            EXPECT_TRUE(stats.converged || stats.relativeResidual < 1e-11)
+                << "transient seed " << seed << " dt " << dt
+                << ": residual " << stats.relativeResidual;
+            const TemperatureField ref =
+                referenceStepTransient(model, state, power, dt);
+            EXPECT_LT(maxAbsDiff(stepped, ref), 1e-6)
+                << "seed " << seed << " dt " << dt;
+        }
+    }
+}
+
+TEST(Differential, TransientHoldsTheSteadyFixedPoint)
+{
+    RandomScenario sc = randomScenario(5);
+    sc.solver.tolerance = 1e-10;
+    const auto stk = stack::buildStack(sc.spec);
+    const auto power = buildPowerMap(stk, sc);
+    const GridModel model(stk, sc.solver);
+    const TemperatureField steady = model.solveSteady(power);
+
+    // The steady state is a fixed point of the implicit-Euler map for
+    // every dt; stepping must stay put to solver accuracy.
+    TemperatureField state = steady;
+    for (double dt : {1e-3, 0.05, 1.0})
+        state = model.stepTransient(state, power, dt);
+    EXPECT_LT(maxAbsDiff(state, steady), 1e-5);
+}
+
+TEST(Differential, TransientRelaxesToTheSteadyState)
+{
+    RandomScenario sc = randomScenario(9);
+    sc.solver.tolerance = 1e-10;
+    const auto stk = stack::buildStack(sc.spec);
+    const auto power = buildPowerMap(stk, sc);
+    const GridModel model(stk, sc.solver);
+    const TemperatureField steady = model.solveSteady(power);
+
+    // The slowest mode (the extended heat-sink mass discharging into
+    // the convection resistance) has a time constant of tens of
+    // seconds; implicit Euler is unconditionally stable, so large
+    // steps shrink that mode by ~1/(1 + dt/tau) each.
+    TemperatureField state = model.ambientField();
+    double prev_gap = maxAbsDiff(state, steady);
+    for (int i = 0; i < 60; ++i) {
+        state = model.stepTransient(state, power, 20.0);
+        const double gap = maxAbsDiff(state, steady);
+        EXPECT_LE(gap, prev_gap + 1e-5) << "step " << i;
+        prev_gap = gap;
+    }
+    EXPECT_LT(prev_gap, 0.05);
+}
+
+// ---------------------------------------------------------------------
+// Analytic oracles
+// ---------------------------------------------------------------------
+
+/** A Table-1-flavoured five-layer slab: metal/si/d2d/si/sink. */
+std::vector<SlabLayer>
+paperishSlab()
+{
+    return {{12e-6, 12.0, 2.2e6},
+            {100e-6, 120.0, 1.75e6},
+            {20e-6, 1.5, 2.0e6},
+            {100e-6, 120.0, 1.75e6},
+            {7e-3, 400.0, 3.55e6}};
+}
+
+TEST(Oracles, SlabChainMatchesGridSolver)
+{
+    const auto slab = paperishSlab();
+    const std::vector<double> watts = {10.0, 0.0, 0.0, 2.0, 0.0};
+    SolverOptions opts;
+    opts.tolerance = 1e-12;
+    opts.convectionResistance = 0.15;
+    opts.ambientCelsius = 45.0;
+
+    const auto stk = buildSlabStack(slab, 8, 8);
+    const GridModel model(stk, opts);
+    thermal::PowerMap power(stk);
+    for (std::size_t l = 0; l < slab.size(); ++l)
+        if (watts[l] > 0.0)
+            power.deposit(static_cast<int>(l), stk.grid.extent(),
+                          watts[l]);
+    SolveStats stats;
+    const TemperatureField field = model.solveSteady(power, &stats);
+    expectConverged(stats, opts, "slab");
+
+    const std::vector<double> oracle =
+        slabSteadyCelsius(slab, watts, opts);
+    for (std::size_t l = 0; l < slab.size(); ++l) {
+        const double rise = oracle[l] - opts.ambientCelsius;
+        ASSERT_GT(rise, 0.0);
+        for (std::size_t iy = 0; iy < stk.grid.ny(); ++iy)
+            for (std::size_t ix = 0; ix < stk.grid.nx(); ++ix)
+                ASSERT_NEAR(field.at(l, ix, iy), oracle[l],
+                            1e-3 * rise + 1e-9) // 0.1 % acceptance
+                    << "layer " << l;
+    }
+}
+
+TEST(Oracles, SlabChainMatchesDenseReference)
+{
+    // The direct solver against the closed form: agreement here is
+    // pure round-off, no iterative tolerance involved.
+    const auto slab = paperishSlab();
+    const std::vector<double> watts = {8.0, 0.0, 1.0, 0.0, 0.5};
+    SolverOptions opts;
+    opts.convectionResistance = 0.1;
+    const auto stk = buildSlabStack(slab, 6, 6);
+    const GridModel model(stk, opts);
+    thermal::PowerMap power(stk);
+    for (std::size_t l = 0; l < slab.size(); ++l)
+        if (watts[l] > 0.0)
+            power.deposit(static_cast<int>(l), stk.grid.extent(),
+                          watts[l]);
+    const TemperatureField ref = referenceSolveSteady(model, power);
+    const std::vector<double> oracle =
+        slabSteadyCelsius(slab, watts, opts);
+    for (std::size_t l = 0; l < slab.size(); ++l)
+        EXPECT_NEAR(ref.at(l, 3, 2), oracle[l],
+                    1e-8 * (oracle[l] - opts.ambientCelsius) + 1e-10)
+            << "layer " << l;
+}
+
+TEST(Oracles, UniformPowerClosedForm)
+{
+    const SlabLayer cu{1e-3, 400.0, 3.55e6};
+    SolverOptions opts;
+    opts.ambientCelsius = 40.0;
+    opts.convectionResistance = 0.2;
+    const double side = 8e-3;
+    // T = ambient + P (R_conv + t / (2 λ A)).
+    const double expected =
+        40.0 + 5.0 * (0.2 + 0.5e-3 / (400.0 * side * side));
+    EXPECT_NEAR(uniformPowerSteadyCelsius(5.0, cu, opts, side), expected,
+                1e-12);
+
+    const auto stk = buildSlabStack({cu}, 4, 4, side);
+    SolverOptions tight = opts;
+    tight.tolerance = 1e-12;
+    const GridModel model(stk, tight);
+    thermal::PowerMap power(stk);
+    power.deposit(0, stk.grid.extent(), 5.0);
+    const TemperatureField f = model.solveSteady(power);
+    EXPECT_NEAR(f.at(0, 1, 1), expected, 1e-3 * (expected - 40.0));
+}
+
+// ---------------------------------------------------------------------
+// Invariant checkers
+// ---------------------------------------------------------------------
+
+TEST(Invariants, PassOnRandomScenarios)
+{
+    for (std::uint64_t seed = 30; seed < 38; ++seed) {
+        RandomScenario sc = randomScenario(seed);
+        sc.solver.tolerance = 1e-9;
+        const auto stk = stack::buildStack(sc.spec);
+        const auto power = buildPowerMap(stk, sc);
+        const GridModel model(stk, sc.solver);
+        const TemperatureField field = model.solveSteady(power);
+        const InvariantReport rep = checkSolution(model, power, field);
+        EXPECT_TRUE(rep.pass)
+            << "seed " << seed << ": " << rep.summary();
+        EXPECT_NEAR(rep.outflowW, sc.totalWatts(),
+                    1e-3 * sc.totalWatts());
+        EXPECT_LE(rep.achievedResidual, sc.solver.tolerance);
+    }
+}
+
+TEST(Invariants, DetectEnergyImbalance)
+{
+    RandomScenario sc = randomScenario(41);
+    const auto stk = stack::buildStack(sc.spec);
+    const auto power = buildPowerMap(stk, sc);
+    const GridModel model(stk, sc.solver);
+    TemperatureField field = model.solveSteady(power);
+    // Inflate every rise by 10 %: outflow no longer matches power.
+    for (double &v : field.nodes())
+        v = sc.solver.ambientCelsius +
+            1.1 * (v - sc.solver.ambientCelsius);
+    const InvariantReport rep = checkSolution(model, power, field);
+    EXPECT_FALSE(rep.pass);
+    EXPECT_GT(rep.energyErrorRel, 0.05);
+}
+
+TEST(Invariants, DetectBelowAmbientNodes)
+{
+    RandomScenario sc = randomScenario(42);
+    const auto stk = stack::buildStack(sc.spec);
+    const auto power = buildPowerMap(stk, sc);
+    const GridModel model(stk, sc.solver);
+    TemperatureField field = model.solveSteady(power);
+    field.nodes()[field.numNodes() / 2] = sc.solver.ambientCelsius - 1.0;
+    const InvariantReport rep = checkSolution(model, power, field);
+    EXPECT_FALSE(rep.pass);
+    EXPECT_LT(rep.minRiseK, -0.5);
+}
+
+TEST(Invariants, DetectResidualRegressions)
+{
+    RandomScenario sc = randomScenario(43);
+    sc.solver.tolerance = 1e-10;
+    const auto stk = stack::buildStack(sc.spec);
+    const auto power = buildPowerMap(stk, sc);
+    const GridModel model(stk, sc.solver);
+    TemperatureField field = model.solveSteady(power);
+    // A tiny smooth perturbation: energy balance stays close, but the
+    // residual check (tolerance 1e-10 x safety 10) must trip.
+    for (std::size_t i = 0; i < field.numNodes(); ++i)
+        field.nodes()[i] += 1e-4 * std::sin(static_cast<double>(i));
+    const InvariantReport rep = checkSolution(model, power, field);
+    EXPECT_FALSE(rep.pass);
+    EXPECT_GT(rep.achievedResidual, 1e-9);
+}
+
+TEST(Invariants, MirrorSymmetryHoldsOnSlabStacks)
+{
+    const auto stk = buildSlabStack(paperishSlab(), 10, 9);
+    SolverOptions opts;
+    opts.tolerance = 1e-11;
+    const GridModel model(stk, opts);
+    thermal::PowerMap power(stk);
+    // Deliberately off-centre power: only the physics makes the
+    // mirrored answer match.
+    power.deposit(0, geometry::Rect{0.5e-3, 2e-3, 1.5e-3, 3e-3}, 9.0);
+    power.deposit(3, geometry::Rect{5e-3, 1e-3, 2e-3, 1e-3}, 2.0);
+    std::string msg;
+    EXPECT_TRUE(checkMirrorSymmetry(model, power, 1e-6, &msg)) << msg;
+}
+
+TEST(Invariants, PowerMonotonicityOnRandomScenario)
+{
+    RandomScenario sc = randomScenario(44);
+    sc.solver.tolerance = 1e-10;
+    const auto stk = stack::buildStack(sc.spec);
+    const GridModel model(stk, sc.solver);
+    const auto base = buildPowerMap(stk, sc);
+    thermal::PowerMap extra(stk);
+    extra.deposit(stk.procMetal, geometry::Rect{2e-3, 5e-3, 2e-3, 2e-3},
+                  3.0);
+    std::string msg;
+    EXPECT_TRUE(checkPowerMonotonicity(model, base, extra, 1e-6, &msg))
+        << msg;
+}
+
+TEST(Invariants, SelfCheckFlagRoundTrips)
+{
+    EXPECT_FALSE(selfCheckEnabled());
+    setSelfCheckEnabled(true);
+    EXPECT_TRUE(selfCheckEnabled());
+    setSelfCheckEnabled(false);
+    EXPECT_FALSE(selfCheckEnabled());
+}
+
+// ---------------------------------------------------------------------
+// Scenario generator
+// ---------------------------------------------------------------------
+
+TEST(Scenario, SameSeedReproducesExactly)
+{
+    const RandomScenario a = randomScenario(123);
+    const RandomScenario b = randomScenario(123);
+    EXPECT_EQ(a.spec.scheme, b.spec.scheme);
+    EXPECT_EQ(a.spec.numDramDies, b.spec.numDramDies);
+    EXPECT_EQ(a.spec.gridNx, b.spec.gridNx);
+    EXPECT_EQ(a.spec.gridNy, b.spec.gridNy);
+    EXPECT_DOUBLE_EQ(a.spec.dieThickness, b.spec.dieThickness);
+    EXPECT_EQ(a.spec.customTtsvSites.size(),
+              b.spec.customTtsvSites.size());
+    ASSERT_EQ(a.deposits.size(), b.deposits.size());
+    for (std::size_t i = 0; i < a.deposits.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.deposits[i].watts, b.deposits[i].watts);
+        EXPECT_DOUBLE_EQ(a.deposits[i].rect.x, b.deposits[i].rect.x);
+    }
+    EXPECT_DOUBLE_EQ(a.totalWatts(), b.totalWatts());
+}
+
+TEST(Scenario, SeedsCoverTheSpace)
+{
+    // Over a modest seed range the generator must exercise multiple
+    // schemes, die counts and grid sizes, and produce custom TTSV
+    // layouts sometimes.
+    std::set<stack::Scheme> schemes;
+    std::set<int> dies;
+    std::set<std::size_t> grids;
+    int custom = 0;
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+        const RandomScenario sc = randomScenario(seed);
+        schemes.insert(sc.spec.scheme);
+        dies.insert(sc.spec.numDramDies);
+        grids.insert(sc.spec.gridNx);
+        custom += sc.spec.customTtsvSites.empty() ? 0 : 1;
+        EXPECT_GE(sc.spec.gridNx, 6u);
+        EXPECT_LE(sc.spec.gridNx, 12u);
+        EXPECT_GE(sc.deposits.size(), 1u);
+        EXPECT_GT(sc.totalWatts(), 0.0);
+    }
+    EXPECT_GE(schemes.size(), 4u);
+    EXPECT_EQ(dies.size(), 3u);
+    EXPECT_GE(grids.size(), 5u);
+    EXPECT_GT(custom, 2);
+    EXPECT_LT(custom, 30);
+}
+
+TEST(Scenario, BuildsSolvableStacks)
+{
+    // Every scenario in the differential range must build and solve.
+    for (std::uint64_t seed = 50; seed < 54; ++seed) {
+        const RandomScenario sc = randomScenario(seed);
+        const auto stk = stack::buildStack(sc.spec);
+        const auto power = buildPowerMap(stk, sc);
+        EXPECT_NEAR(power.totalPower(), sc.totalWatts(),
+                    1e-9 * sc.totalWatts())
+            << "seed " << seed;
+    }
+}
+
+// ---------------------------------------------------------------------
+// SolveStats reporting
+// ---------------------------------------------------------------------
+
+TEST(SolveStats, LinePreconditionerBeatsJacobiAndBothReport)
+{
+    RandomScenario sc = randomScenario(60);
+    sc.solver.tolerance = 1e-9;
+    const auto stk = stack::buildStack(sc.spec);
+    const auto power = buildPowerMap(stk, sc);
+
+    SolverOptions jac = sc.solver;
+    SolverOptions line = sc.solver;
+    line.preconditioner = Preconditioner::VerticalLine;
+    SolveStats js, ls;
+    GridModel(stk, jac).solveSteady(power, &js);
+    GridModel(stk, line).solveSteady(power, &ls);
+    expectConverged(js, jac, "jacobi");
+    expectConverged(ls, line, "line");
+    // The stack is strongly vertically coupled; the tridiagonal
+    // preconditioner must cut the iteration count substantially.
+    EXPECT_LT(ls.iterations, js.iterations / 2)
+        << "jacobi " << js.iterations << " vs line " << ls.iterations;
+}
+
+} // namespace
+} // namespace xylem::verify

@@ -15,6 +15,16 @@
  *   --selfcheck       run the verification invariant checkers (energy
  *                     balance, maximum principle, achieved residual)
  *                     on every thermal solution; abort on violation
+ *   --max-retries N   same-rung retries per failed sweep task before
+ *                     escalation/quarantine (default: XYLEM_MAX_RETRIES
+ *                     or 1; 0 disables the resilience layer)
+ *   --task-timeout S  cooperative per-task wall-clock deadline in
+ *                     seconds (default: XYLEM_TASK_TIMEOUT; 0 = none)
+ *   --resume          adopt the sweep checkpoint manifest from a
+ *                     previous interrupted run in --cache-dir
+ *   --fault-spec SPEC arm the deterministic fault-injection harness
+ *                     (see runtime/fault_injection.hpp for the syntax;
+ *                     default: XYLEM_FAULT_SPEC)
  */
 
 #ifndef XYLEM_BENCH_BENCH_UTIL_HPP
@@ -22,13 +32,17 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "common/error.hpp"
 #include "common/table.hpp"
+#include "runtime/fault_injection.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/sweep_runner.hpp"
 #include "verify/invariants.hpp"
 #include "xylem/experiments.hpp"
 #include "xylem/sim_cache.hpp"
@@ -100,6 +114,11 @@ class BenchReporter
              << snap.count("solver.iterations")
              << ",\"sim_cache_hits\":" << snap.count("simcache.hits")
              << ",\"sim_cache_misses\":" << snap.count("simcache.misses")
+             << ",\"retries\":" << snap.count("runner.retries")
+             << ",\"escalations\":" << snap.count("runner.escalations")
+             << ",\"failed\":" << snap.count("runner.failed")
+             << ",\"deadline_exceeded\":"
+             << snap.count("runner.deadline_exceeded")
              << ",\"metrics\":" << metrics.toJson() << "}";
         std::cout << "JSON summary: " << json.str() << "\n";
         if (!json_path_.empty()) {
@@ -155,6 +174,32 @@ configFromArgs(int argc, char **argv)
             json_path = value(i, "--json");
         } else if (arg == "--selfcheck") {
             verify::setSelfCheckEnabled(true);
+        } else if (arg == "--max-retries") {
+            try {
+                cfg.runner.maxRetries =
+                    std::stoi(value(i, "--max-retries"));
+            } catch (const std::exception &) {
+                std::cerr << "invalid --max-retries value\n";
+                std::exit(2);
+            }
+        } else if (arg == "--task-timeout") {
+            try {
+                cfg.runner.taskTimeoutSeconds =
+                    std::stod(value(i, "--task-timeout"));
+            } catch (const std::exception &) {
+                std::cerr << "invalid --task-timeout value\n";
+                std::exit(2);
+            }
+        } else if (arg == "--resume") {
+            cfg.runner.resume = true;
+        } else if (arg == "--fault-spec") {
+            try {
+                runtime::FaultInjector::global().configure(
+                    value(i, "--fault-spec"));
+            } catch (const Error &e) {
+                std::cerr << e.what() << "\n";
+                std::exit(2);
+            }
         } else {
             std::cerr << "unknown argument '" << arg << "'\n";
             std::exit(2);
@@ -168,6 +213,33 @@ configFromArgs(int argc, char **argv)
     }
     if (cfg.runner.jobs > 1)
         std::cout << "[--jobs " << cfg.runner.jobs << "]\n";
+    if (cfg.runner.resume)
+        std::cout << "[--resume: adopting checkpoint manifest when "
+                     "present]\n";
+    if (runtime::FaultInjector::global().active())
+        std::cout << "[fault injection armed: "
+                  << runtime::FaultInjector::global().spec() << "]\n";
+    // SIGINT/SIGTERM drain in-flight sweep tasks and write the
+    // checkpoint manifest instead of killing the process mid-write.
+    runtime::SweepRunner::installSignalHandlers();
+    // A drained sweep surfaces as Error(Interrupted) from run(); exit
+    // with the conventional interrupt status (and still emit the
+    // telemetry summary via static destructors) instead of aborting.
+    std::set_terminate([] {
+        if (auto eptr = std::current_exception()) {
+            try {
+                std::rethrow_exception(eptr);
+            } catch (const Error &e) {
+                std::cerr << e.what() << "\n";
+                std::exit(e.code() == ErrorCode::Interrupted ? 130 : 1);
+            } catch (const std::exception &e) {
+                std::cerr << "fatal: " << e.what() << "\n";
+                std::exit(1);
+            } catch (...) {
+            }
+        }
+        std::abort();
+    });
     if (verify::selfCheckEnabled())
         std::cout << "[--selfcheck: invariant checkers armed on every "
                      "thermal solution]\n";

@@ -1,0 +1,70 @@
+#include "common/error.hpp"
+
+namespace xylem {
+
+const char *
+toString(ErrorCode code)
+{
+    switch (code) {
+    case ErrorCode::Unknown:
+        return "unknown";
+    case ErrorCode::Config:
+        return "config";
+    case ErrorCode::Io:
+        return "io";
+    case ErrorCode::SolverNonConvergence:
+        return "solver-nonconvergence";
+    case ErrorCode::SolverBreakdown:
+        return "solver-breakdown";
+    case ErrorCode::DeadlineExceeded:
+        return "deadline-exceeded";
+    case ErrorCode::Interrupted:
+        return "interrupted";
+    case ErrorCode::CacheCorrupt:
+        return "cache-corrupt";
+    case ErrorCode::CacheUnwritable:
+        return "cache-unwritable";
+    case ErrorCode::InjectedFault:
+        return "injected-fault";
+    case ErrorCode::TaskFailed:
+        return "task-failed";
+    }
+    return "unknown";
+}
+
+Error::Error(ErrorCode code, std::string message)
+    : std::runtime_error(message), code_(code), message_(std::move(message))
+{
+    rebuild();
+}
+
+Error &
+Error::addContext(std::string frame)
+{
+    context_.push_back(std::move(frame));
+    rebuild();
+    return *this;
+}
+
+void
+Error::rebuild()
+{
+    composed_ = std::string(toString(code_)) + ": " + message_;
+    if (!context_.empty()) {
+        composed_ += " (";
+        for (std::size_t i = 0; i < context_.size(); ++i) {
+            if (i)
+                composed_ += "; ";
+            composed_ += "while " + context_[i];
+        }
+        composed_ += ")";
+    }
+}
+
+const char *
+Error::what() const noexcept
+{
+    return composed_.c_str();
+}
+
+} // namespace xylem

@@ -1,0 +1,39 @@
+#include "common/task_context.hpp"
+
+#include "common/error.hpp"
+
+namespace xylem {
+
+namespace {
+
+thread_local TaskContext *tls_context = nullptr;
+
+} // namespace
+
+TaskContext *
+currentTaskContext()
+{
+    return tls_context;
+}
+
+ScopedTaskContext::ScopedTaskContext(TaskContext &ctx)
+    : previous_(tls_context)
+{
+    tls_context = &ctx;
+}
+
+ScopedTaskContext::~ScopedTaskContext()
+{
+    tls_context = previous_;
+}
+
+void
+taskCheckpoint()
+{
+    const TaskContext *ctx = tls_context;
+    if (ctx && ctx->deadlineExpired())
+        raise(ErrorCode::DeadlineExceeded,
+              "task exceeded its wall-clock deadline");
+}
+
+} // namespace xylem

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The thread-local task context: how the sweep runner's resilience
+ * policy reaches code that runs deep inside a task (the CG loop, the
+ * system evaluation pipeline) without threading a parameter through
+ * every signature or creating a runtime→thermal dependency cycle.
+ *
+ * The runner installs a ScopedTaskContext around each task attempt;
+ * the solver and the evaluation pipeline consult currentTaskContext()
+ * (null outside any managed task, in which case behaviour is exactly
+ * the pre-fault-tolerance default: warn on non-convergence, no
+ * deadline, no escalation).
+ *
+ * Escalation ladder (one rung per solver-level failure):
+ *   0  normal solve — warm starts, configured preconditioner
+ *   1  cold solve — warm starts disabled
+ *   2  alternate preconditioner — Jacobi <-> VerticalLine, still cold
+ *   3  dense direct solve — the verification subsystem's Cholesky
+ *      reference solver replaces CG entirely (small grids only)
+ */
+
+#ifndef XYLEM_COMMON_TASK_CONTEXT_HPP
+#define XYLEM_COMMON_TASK_CONTEXT_HPP
+
+#include <chrono>
+#include <cstdint>
+
+namespace xylem {
+
+/** Named rungs of the solver escalation ladder. */
+enum class Escalation : int
+{
+    Normal = 0,
+    ColdStart = 1,
+    AlternatePreconditioner = 2,
+    DenseSolve = 3,
+};
+
+constexpr int kMaxEscalation = static_cast<int>(Escalation::DenseSolve);
+
+/** Per-attempt execution policy installed by the sweep runner. */
+struct TaskContext
+{
+    /** Current rung of the escalation ladder (0 = normal). */
+    int escalation = 0;
+
+    /**
+     * When true, a solve that misses its tolerance throws
+     * Error(SolverNonConvergence) instead of warning, so the runner
+     * can escalate; direct (non-runner) solves keep the warn-only
+     * behaviour.
+     */
+    bool strictSolver = false;
+
+    /** Fault injection: force the next CG solves to miss tolerance. */
+    bool forceCgNonConvergence = false;
+
+    /** Cooperative wall-clock deadline; zero time_point = none. */
+    std::chrono::steady_clock::time_point deadline{};
+    bool hasDeadline = false;
+
+    bool coldStart() const
+    {
+        return escalation >= static_cast<int>(Escalation::ColdStart);
+    }
+    bool alternatePreconditioner() const
+    {
+        return escalation >=
+               static_cast<int>(Escalation::AlternatePreconditioner);
+    }
+    bool denseSolve() const
+    {
+        return escalation >= static_cast<int>(Escalation::DenseSolve);
+    }
+
+    bool deadlineExpired() const
+    {
+        return hasDeadline &&
+               std::chrono::steady_clock::now() >= deadline;
+    }
+};
+
+/** The installed context, or null outside any managed task. */
+TaskContext *currentTaskContext();
+
+/**
+ * RAII installer; nesting restores the previous context (a task may
+ * itself run a nested runner, e.g. boost phase 2 inside phase 1).
+ */
+class ScopedTaskContext
+{
+  public:
+    explicit ScopedTaskContext(TaskContext &ctx);
+    ~ScopedTaskContext();
+    ScopedTaskContext(const ScopedTaskContext &) = delete;
+    ScopedTaskContext &operator=(const ScopedTaskContext &) = delete;
+
+  private:
+    TaskContext *previous_;
+};
+
+/**
+ * Cooperative cancellation point for long-running task code (the CG
+ * loop calls it every few iterations; custom tasks may call it from
+ * their own loops). Throws Error(DeadlineExceeded) when the current
+ * task's deadline has passed; no-op outside a managed task.
+ */
+void taskCheckpoint();
+
+} // namespace xylem
+
+#endif // XYLEM_COMMON_TASK_CONTEXT_HPP

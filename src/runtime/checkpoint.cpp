@@ -1,0 +1,226 @@
+#include "runtime/checkpoint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "common/logging.hpp"
+
+namespace fs = std::filesystem;
+
+namespace xylem::runtime {
+
+namespace {
+
+constexpr const char *kHeader = "xylem-sweep-manifest v1";
+
+std::string
+oneLine(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out)
+        if (c == '\n' || c == '\r')
+            c = ' ';
+    return out;
+}
+
+} // namespace
+
+std::string
+SweepManifest::pathFor(const std::string &dir, std::uint64_t sweep_id)
+{
+    std::ostringstream os;
+    os << dir << "/sweep-" << std::hex << sweep_id << ".manifest";
+    return os.str();
+}
+
+bool
+SweepManifest::save(const std::string &path) const
+{
+    std::ostringstream body;
+    body << kHeader << "\n";
+    body << "sweep " << std::hex << sweepId << std::dec << "\n";
+    body << "tasks " << numTasks << "\n";
+    body << "interrupted " << (interrupted ? 1 : 0) << "\n";
+    for (const auto &[index, hash] : completed)
+        body << "completed " << index << " " << std::hex << hash
+             << std::dec << "\n";
+    for (const auto &f : failures)
+        body << "failed " << f.index << " " << f.attempts << " " << f.code
+             << " " << oneLine(f.message) << "\n";
+
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            warn("checkpoint: cannot open temp file '", tmp, "'");
+            return false;
+        }
+        out << body.str();
+        if (!out.good()) {
+            warn("checkpoint: short write to '", tmp, "'");
+            out.close();
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return false;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        warn("checkpoint: rename into '", path, "' failed: ", ec.message());
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+std::optional<SweepManifest>
+SweepManifest::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+    std::string line;
+    if (!std::getline(in, line) || line != kHeader) {
+        warn("checkpoint: '", path, "' is not a sweep manifest");
+        return std::nullopt;
+    }
+    SweepManifest m;
+    bool saw_sweep = false, saw_tasks = false;
+    while (std::getline(in, line)) {
+        std::istringstream is(line);
+        std::string tag;
+        is >> tag;
+        if (tag == "sweep") {
+            is >> std::hex >> m.sweepId >> std::dec;
+            saw_sweep = !is.fail();
+        } else if (tag == "tasks") {
+            is >> m.numTasks;
+            saw_tasks = !is.fail();
+        } else if (tag == "interrupted") {
+            int v = 0;
+            is >> v;
+            m.interrupted = v != 0;
+        } else if (tag == "completed") {
+            std::uint64_t index = 0, hash = 0;
+            is >> index >> std::hex >> hash >> std::dec;
+            if (is.fail()) {
+                warn("checkpoint: malformed line in '", path, "': ", line);
+                return std::nullopt;
+            }
+            m.completed[index] = hash;
+        } else if (tag == "failed") {
+            TaskFailure f;
+            is >> f.index >> f.attempts >> f.code;
+            if (is.fail()) {
+                warn("checkpoint: malformed line in '", path, "': ", line);
+                return std::nullopt;
+            }
+            std::getline(is >> std::ws, f.message);
+            m.failures.push_back(std::move(f));
+        } else if (!tag.empty()) {
+            warn("checkpoint: unknown tag '", tag, "' in '", path, "'");
+            return std::nullopt;
+        }
+    }
+    if (!saw_sweep || !saw_tasks) {
+        warn("checkpoint: '", path, "' is missing sweep/tasks headers");
+        return std::nullopt;
+    }
+    return m;
+}
+
+SweepProgress::SweepProgress(std::string path, std::uint64_t sweep_id,
+                             std::uint64_t num_tasks,
+                             int checkpoint_interval)
+    : path_(std::move(path)),
+      interval_(checkpoint_interval > 0 ? checkpoint_interval : 16)
+{
+    manifest_.sweepId = sweep_id;
+    manifest_.numTasks = num_tasks;
+}
+
+std::size_t
+SweepProgress::adoptExisting()
+{
+    if (path_.empty())
+        return 0;
+    auto previous = SweepManifest::load(path_);
+    if (!previous)
+        return 0;
+    if (previous->sweepId != manifest_.sweepId ||
+        previous->numTasks != manifest_.numTasks) {
+        warn("checkpoint: manifest '", path_,
+             "' belongs to a different sweep; ignoring it");
+        return 0;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    manifest_.completed = std::move(previous->completed);
+    // Failures are not adopted: a resumed run retries previously
+    // quarantined tasks from scratch (the fault may have been
+    // environmental).
+    return manifest_.completed.size();
+}
+
+void
+SweepProgress::markCompleted(std::uint64_t index, std::uint64_t key_hash)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    manifest_.completed[index] = key_hash;
+    if (++sinceSave_ >= interval_) {
+        sinceSave_ = 0;
+        saveLocked();
+    }
+}
+
+void
+SweepProgress::markFailed(TaskFailure failure)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    manifest_.failures.push_back(std::move(failure));
+}
+
+void
+SweepProgress::finalise(bool interrupted)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    manifest_.interrupted = interrupted;
+    std::sort(manifest_.failures.begin(), manifest_.failures.end(),
+              [](const TaskFailure &a, const TaskFailure &b) {
+                  return a.index < b.index;
+              });
+    saveLocked();
+}
+
+std::vector<TaskFailure>
+SweepProgress::failures() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto out = manifest_.failures;
+    std::sort(out.begin(), out.end(),
+              [](const TaskFailure &a, const TaskFailure &b) {
+                  return a.index < b.index;
+              });
+    return out;
+}
+
+std::size_t
+SweepProgress::completedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return manifest_.completed.size();
+}
+
+void
+SweepProgress::saveLocked()
+{
+    if (!path_.empty())
+        manifest_.save(path_);
+}
+
+} // namespace xylem::runtime

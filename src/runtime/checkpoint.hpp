@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Sweep checkpoint manifests: the durable record that lets an
+ * interrupted multi-hour grid resume instead of restarting.
+ *
+ * A manifest is one small text file per sweep, keyed by the sweep id
+ * (a hash of the task count and every task's cache key, so a resumed
+ * run can only adopt progress from an identical grid). It lists the
+ * completed task indices with their cache-key hashes, plus a failure
+ * record per quarantined task — the "failure manifest" that makes a
+ * multi-failure grid debuggable in one pass.
+ *
+ * Writes go through a temp file + atomic rename (the DiskCache::store
+ * discipline), so a manifest is never observed torn; a manifest that
+ * fails to parse or names a different sweep id is ignored with a
+ * warning. The persisted results themselves live in the DiskCache —
+ * the manifest records *progress*, the cache records *data* — which
+ * is what makes `--resume` bit-identical: a resumed run replays
+ * completed tasks as cache hits and computes only the remainder.
+ */
+
+#ifndef XYLEM_RUNTIME_CHECKPOINT_HPP
+#define XYLEM_RUNTIME_CHECKPOINT_HPP
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xylem::runtime {
+
+/** One permanently failed (quarantined) sweep task. */
+struct TaskFailure
+{
+    std::uint64_t index = 0;
+    int attempts = 0;        ///< total attempts, retries included
+    std::string code;        ///< ErrorCode token, e.g. "injected-fault"
+    std::string message;     ///< what() of the final attempt's error
+};
+
+/** The persisted progress + failure record of one sweep. */
+struct SweepManifest
+{
+    std::uint64_t sweepId = 0;
+    std::uint64_t numTasks = 0;
+    bool interrupted = false; ///< last run was drained by SIGINT/SIGTERM
+    std::map<std::uint64_t, std::uint64_t> completed; ///< index -> key hash
+    std::vector<TaskFailure> failures;
+
+    /** Canonical manifest path inside a cache directory. */
+    static std::string pathFor(const std::string &dir,
+                               std::uint64_t sweep_id);
+
+    /** Atomic-rename write; returns false (with a warning) on error. */
+    bool save(const std::string &path) const;
+
+    /** Parse a manifest; nullopt (with a warning) when malformed. */
+    static std::optional<SweepManifest> load(const std::string &path);
+};
+
+/**
+ * Thread-safe progress tracker that persists a SweepManifest every
+ * `checkpoint_interval` completions and at finalise(). An empty path
+ * disables persistence (no cache directory configured) while the
+ * in-memory failure aggregation keeps working.
+ */
+class SweepProgress
+{
+  public:
+    SweepProgress(std::string path, std::uint64_t sweep_id,
+                  std::uint64_t num_tasks, int checkpoint_interval);
+
+    /**
+     * Adopt a previous run's manifest (resume). Returns the number of
+     * completed tasks adopted; 0 when absent or from a different
+     * sweep.
+     */
+    std::size_t adoptExisting();
+
+    void markCompleted(std::uint64_t index, std::uint64_t key_hash);
+    void markFailed(TaskFailure failure);
+
+    /** Write the final manifest (also records interruption). */
+    void finalise(bool interrupted);
+
+    /** Failures so far, sorted by task index. */
+    std::vector<TaskFailure> failures() const;
+    std::size_t completedCount() const;
+
+  private:
+    void saveLocked();
+
+    mutable std::mutex mutex_;
+    SweepManifest manifest_;
+    std::string path_;
+    int interval_;
+    int sinceSave_ = 0;
+};
+
+} // namespace xylem::runtime
+
+#endif // XYLEM_RUNTIME_CHECKPOINT_HPP

@@ -51,8 +51,16 @@ DiskCache::DiskCache(std::string dir, std::uint32_t version)
     std::error_code ec;
     fs::create_directories(dir_, ec);
     if (ec)
-        fatal("cannot create cache directory '", dir_, "': ",
-              ec.message());
+        disablePersistence("cannot create cache directory '" + dir_ +
+                           "': " + ec.message());
+}
+
+void
+DiskCache::disablePersistence(const std::string &why) const
+{
+    if (!disabled_.exchange(true, std::memory_order_relaxed))
+        warn("cache: ", why, "; persisting disabled for this run "
+             "(reads still served when possible)");
 }
 
 std::uint64_t
@@ -121,6 +129,8 @@ void
 DiskCache::store(const std::string &key,
                  const std::vector<std::uint8_t> &payload) const
 {
+    if (disabled_.load(std::memory_order_relaxed))
+        return;
     BinaryWriter w;
     w.u32(kMagic);
     w.u32(kContainerVersion);
@@ -138,7 +148,8 @@ DiskCache::store(const std::string &key,
     {
         std::ofstream out(tmp.str(), std::ios::binary | std::ios::trunc);
         if (!out) {
-            warn("cache: cannot open temp file '", tmp.str(), "'");
+            disablePersistence("cannot open temp file '" + tmp.str() +
+                               "'");
             return;
         }
         out.write(reinterpret_cast<const char *>(record.data()),
@@ -150,7 +161,7 @@ DiskCache::store(const std::string &key,
         out.write(reinterpret_cast<const char *>(&checksum),
                   sizeof checksum);
         if (!out.good()) {
-            warn("cache: short write to '", tmp.str(), "'");
+            disablePersistence("short write to '" + tmp.str() + "'");
             out.close();
             std::error_code ec;
             fs::remove(tmp.str(), ec);
@@ -160,8 +171,8 @@ DiskCache::store(const std::string &key,
     std::error_code ec;
     fs::rename(tmp.str(), pathFor(key), ec);
     if (ec) {
-        warn("cache: rename into '", pathFor(key),
-             "' failed: ", ec.message());
+        disablePersistence("rename into '" + pathFor(key) +
+                           "' failed: " + ec.message());
         fs::remove(tmp.str(), ec);
     }
 }

@@ -17,6 +17,7 @@
 #ifndef XYLEM_RUNTIME_DISK_CACHE_HPP
 #define XYLEM_RUNTIME_DISK_CACHE_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -28,12 +29,20 @@ class DiskCache
 {
   public:
     /**
-     * @param dir     cache directory; created when absent
+     * @param dir     cache directory; created when absent. When it
+     *                cannot be created (or later proves unwritable),
+     *                the cache degrades gracefully: one warning,
+     *                persistence disabled, loads keep working — a
+     *                broken cache must never fail a sweep.
      * @param version caller's record-schema version — bump it when
      *                the payload layout changes and old records read
      *                as misses
      */
     DiskCache(std::string dir, std::uint32_t version);
+
+    DiskCache(DiskCache &&other) noexcept
+        : dir_(std::move(other.dir_)), version_(other.version_),
+          disabled_(other.disabled_.load()) {}
 
     const std::string &directory() const { return dir_; }
     std::uint32_t version() const { return version_; }
@@ -42,9 +51,19 @@ class DiskCache
     std::optional<std::vector<std::uint8_t>>
     load(const std::string &key) const;
 
-    /** Persist `payload` under `key` (atomic replace). */
+    /**
+     * Persist `payload` under `key` (atomic replace). A store failure
+     * (unwritable directory, full disk) warns once, disables further
+     * persistence, and returns — it never throws out of a task.
+     */
     void store(const std::string &key,
                const std::vector<std::uint8_t> &payload) const;
+
+    /** Has persistence been disabled by a directory/write failure? */
+    bool persistenceDisabled() const
+    {
+        return disabled_.load(std::memory_order_relaxed);
+    }
 
     /** Number of records currently on disk (tests/diagnostics). */
     std::size_t recordCount() const;
@@ -56,8 +75,12 @@ class DiskCache
   private:
     std::string pathFor(const std::string &key) const;
 
+    /** Warn once and stop persisting; loads are unaffected. */
+    void disablePersistence(const std::string &why) const;
+
     std::string dir_;
     std::uint32_t version_;
+    mutable std::atomic<bool> disabled_{false};
 };
 
 } // namespace xylem::runtime

@@ -1,0 +1,269 @@
+#include "runtime/fault_injection.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "runtime/disk_cache.hpp"
+#include "runtime/metrics.hpp"
+
+namespace xylem::runtime {
+
+namespace {
+
+/**
+ * Deterministic decision in [0, 1): a pure hash of (seed, kind, id),
+ * so outcomes never depend on thread interleaving or attempt history.
+ */
+double
+decision(std::uint64_t seed, const char *kind, std::uint64_t id)
+{
+    std::uint64_t h = DiskCache::fnv1a(&seed, sizeof seed);
+    h ^= DiskCache::fnv1a(kind, std::char_traits<char>::length(kind));
+    h *= 0x100000001b3ull;
+    h ^= DiskCache::fnv1a(&id, sizeof id);
+    h *= 0x100000001b3ull;
+    h ^= h >> 33;
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool
+contains(const std::vector<std::uint64_t> &v, std::uint64_t x)
+{
+    for (std::uint64_t e : v)
+        if (e == x)
+            return true;
+    return false;
+}
+
+double
+parseProbability(const std::string &key, const std::string &value)
+{
+    double p = 0.0;
+    try {
+        p = std::stod(value);
+    } catch (const std::exception &) {
+        raise(ErrorCode::Config, "fault spec: invalid value '", value,
+              "' for ", key);
+    }
+    if (p < 0.0 || p > 1.0)
+        raise(ErrorCode::Config, "fault spec: ", key,
+              " must be in [0, 1], got ", value);
+    return p;
+}
+
+std::vector<std::uint64_t>
+parseIndexList(const std::string &key, const std::string &value)
+{
+    std::vector<std::uint64_t> out;
+    std::size_t pos = 0;
+    while (pos < value.size()) {
+        const std::size_t semi = value.find(';', pos);
+        const std::string tok = value.substr(
+            pos, semi == std::string::npos ? std::string::npos : semi - pos);
+        try {
+            out.push_back(std::stoull(tok));
+        } catch (const std::exception &) {
+            raise(ErrorCode::Config, "fault spec: invalid index '", tok,
+                  "' for ", key);
+        }
+        if (semi == std::string::npos)
+            break;
+        pos = semi + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+FaultSpec::any() const
+{
+    return cacheCorrupt > 0.0 || taskFail > 0.0 || !taskKill.empty() ||
+           !cgNoconv.empty() || cgNoconvP > 0.0 || delay > 0.0;
+}
+
+FaultSpec
+FaultSpec::parse(const std::string &spec)
+{
+    FaultSpec out;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::string item = spec.substr(
+            pos,
+            comma == std::string::npos ? std::string::npos : comma - pos);
+        if (!item.empty()) {
+            const std::size_t eq = item.find('=');
+            if (eq == std::string::npos)
+                raise(ErrorCode::Config,
+                      "fault spec: expected key=value, got '", item, "'");
+            const std::string key = item.substr(0, eq);
+            const std::string value = item.substr(eq + 1);
+            try {
+                if (key == "seed") {
+                    out.seed = std::stoull(value);
+                } else if (key == "cache_corrupt") {
+                    out.cacheCorrupt = parseProbability(key, value);
+                } else if (key == "task_fail") {
+                    out.taskFail = parseProbability(key, value);
+                } else if (key == "task_fail_attempts") {
+                    out.taskFailAttempts = std::stoi(value);
+                } else if (key == "task_kill") {
+                    out.taskKill = parseIndexList(key, value);
+                } else if (key == "cg_noconv") {
+                    out.cgNoconv = parseIndexList(key, value);
+                } else if (key == "cg_noconv_p") {
+                    out.cgNoconvP = parseProbability(key, value);
+                } else if (key == "delay") {
+                    out.delay = parseProbability(key, value);
+                } else if (key == "delay_ms") {
+                    out.delayMs = std::stoi(value);
+                } else {
+                    raise(ErrorCode::Config, "fault spec: unknown key '",
+                          key, "'");
+                }
+            } catch (const Error &) {
+                throw;
+            } catch (const std::exception &) {
+                raise(ErrorCode::Config, "fault spec: invalid value '",
+                      value, "' for ", key);
+            }
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+FaultInjector &
+FaultInjector::global()
+{
+    static FaultInjector injector;
+    static std::once_flag once;
+    std::call_once(once, [] {
+        if (const char *env = std::getenv("XYLEM_FAULT_SPEC")) {
+            try {
+                injector.configure(env);
+                if (injector.active())
+                    warn("fault injection armed from XYLEM_FAULT_SPEC: ",
+                         env);
+            } catch (const Error &e) {
+                warn("ignoring malformed XYLEM_FAULT_SPEC: ", e.what());
+            }
+        }
+    });
+    return injector;
+}
+
+void
+FaultInjector::configure(const std::string &spec)
+{
+    auto parsed = std::make_shared<const FaultSpec>(FaultSpec::parse(spec));
+    std::lock_guard<std::mutex> lock(mutex_);
+    spec_ = parsed->any() ? std::move(parsed) : nullptr;
+    spec_string_ = spec_ ? spec : std::string();
+}
+
+std::shared_ptr<const FaultSpec>
+FaultInjector::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spec_;
+}
+
+bool
+FaultInjector::active() const
+{
+    return snapshot() != nullptr;
+}
+
+std::string
+FaultInjector::spec() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spec_string_;
+}
+
+bool
+FaultInjector::injectTaskFailure(std::uint64_t index, int attempt) const
+{
+    const auto spec = snapshot();
+    if (!spec)
+        return false;
+    if (contains(spec->taskKill, index)) {
+        Metrics::global().counter("fault.task_failures").increment();
+        return true;
+    }
+    if (attempt < spec->taskFailAttempts && spec->taskFail > 0.0 &&
+        decision(spec->seed, "task_fail", index) < spec->taskFail) {
+        Metrics::global().counter("fault.task_failures").increment();
+        return true;
+    }
+    return false;
+}
+
+bool
+FaultInjector::forceCgNonConvergence(std::uint64_t index) const
+{
+    const auto spec = snapshot();
+    if (!spec)
+        return false;
+    if (contains(spec->cgNoconv, index))
+        return true;
+    return spec->cgNoconvP > 0.0 &&
+           decision(spec->seed, "cg_noconv", index) < spec->cgNoconvP;
+}
+
+bool
+FaultInjector::maybeCorruptCachePayload(
+    const std::string &key, std::vector<std::uint8_t> &payload) const
+{
+    const auto spec = snapshot();
+    if (!spec || spec->cacheCorrupt <= 0.0)
+        return false;
+    if (decision(spec->seed, "cache_corrupt", DiskCache::fnv1a(key)) >=
+        spec->cacheCorrupt)
+        return false;
+    // Truncate so any codec that reads its full record throws, and
+    // flip the remaining bytes so even a prefix-tolerant decoder sees
+    // garbage rather than a silently-valid half record.
+    payload.resize(payload.size() / 2);
+    for (auto &b : payload)
+        b ^= 0xA5;
+    Metrics::global().counter("fault.cache_corruptions").increment();
+    return true;
+}
+
+void
+FaultInjector::maybeDelay(std::uint64_t index) const
+{
+    const auto spec = snapshot();
+    if (!spec || spec->delay <= 0.0 || spec->delayMs <= 0)
+        return;
+    if (decision(spec->seed, "delay", index) < spec->delay) {
+        Metrics::global().counter("fault.delays").increment();
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(spec->delayMs));
+    }
+}
+
+FaultInjector::ScopedSpec::ScopedSpec(const std::string &spec)
+    : previous_(FaultInjector::global().spec())
+{
+    FaultInjector::global().configure(spec);
+}
+
+FaultInjector::ScopedSpec::~ScopedSpec()
+{
+    try {
+        FaultInjector::global().configure(previous_);
+    } catch (const Error &) {
+        // The previous spec parsed once already; parsing cannot fail.
+    }
+}
+
+} // namespace xylem::runtime

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Deterministic fault-injection harness for the experiment runtime.
+ *
+ * Every recovery path in the fault-tolerance layer (retry, solver
+ * escalation, cache-corruption fallback, deadline abort, quarantine)
+ * must be testable on demand, not only when real hardware misbehaves.
+ * The injector is driven by a spec string (XYLEM_FAULT_SPEC or
+ * `--fault-spec`), e.g.
+ *
+ *   seed=7,cache_corrupt=0.5,task_fail=0.05,cg_noconv=0;3,delay=0.1,delay_ms=20
+ *
+ * Keys:
+ *   seed=N               decision seed (default 1)
+ *   cache_corrupt=P      corrupt a loaded cache record with prob. P
+ *                        (truncated so decoding throws; the runner
+ *                        must fall back to recompute)
+ *   task_fail=P          a task's first `task_fail_attempts` attempts
+ *                        throw Error(InjectedFault) with prob. P
+ *   task_fail_attempts=N leading attempts that fail (default 1)
+ *   task_kill=I;J        task indices that fail on EVERY attempt
+ *                        (exhausts the ladder -> quarantine)
+ *   cg_noconv=I;J        task indices whose CG solves are forced to
+ *                        miss tolerance (dense rung still succeeds)
+ *   cg_noconv_p=P        probabilistic variant of cg_noconv
+ *   delay=P              delay a task by delay_ms with prob. P
+ *   delay_ms=M           artificial task delay (default 50)
+ *
+ * Every decision is a pure hash of (seed, fault kind, task index or
+ * cache key) — independent of thread count, scheduling, and attempt
+ * history — so a faulty run is exactly reproducible and a test can
+ * query the injector to predict which tasks are hit.
+ */
+
+#ifndef XYLEM_RUNTIME_FAULT_INJECTION_HPP
+#define XYLEM_RUNTIME_FAULT_INJECTION_HPP
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xylem::runtime {
+
+/** Parsed form of a fault spec string. */
+struct FaultSpec
+{
+    std::uint64_t seed = 1;
+    double cacheCorrupt = 0.0;
+    double taskFail = 0.0;
+    int taskFailAttempts = 1;
+    std::vector<std::uint64_t> taskKill;
+    std::vector<std::uint64_t> cgNoconv;
+    double cgNoconvP = 0.0;
+    double delay = 0.0;
+    int delayMs = 50;
+
+    bool any() const;
+
+    /** Parse a spec string; throws Error(Config) on malformed input. */
+    static FaultSpec parse(const std::string &spec);
+};
+
+class FaultInjector
+{
+  public:
+    /**
+     * The process-wide injector. First use configures it from
+     * XYLEM_FAULT_SPEC when set (a malformed environment spec warns
+     * and disables injection; the `--fault-spec` flag path surfaces
+     * the parse error instead).
+     */
+    static FaultInjector &global();
+
+    /** Install a spec; "" disables injection. Throws Error(Config). */
+    void configure(const std::string &spec);
+
+    bool active() const;
+    std::string spec() const;
+
+    /** Should this attempt of task `index` throw InjectedFault? */
+    bool injectTaskFailure(std::uint64_t index, int attempt) const;
+
+    /** Should CG solves of task `index` be forced non-convergent? */
+    bool forceCgNonConvergence(std::uint64_t index) const;
+
+    /**
+     * Possibly corrupt a just-loaded cache payload (truncate + flip,
+     * guaranteeing the decoder throws). Returns true when corrupted.
+     */
+    bool maybeCorruptCachePayload(const std::string &key,
+                                  std::vector<std::uint8_t> &payload) const;
+
+    /** Possibly sleep the artificial task delay. */
+    void maybeDelay(std::uint64_t index) const;
+
+    /** RAII spec override for tests; restores the old spec on exit. */
+    class ScopedSpec
+    {
+      public:
+        explicit ScopedSpec(const std::string &spec);
+        ~ScopedSpec();
+        ScopedSpec(const ScopedSpec &) = delete;
+        ScopedSpec &operator=(const ScopedSpec &) = delete;
+
+      private:
+        std::string previous_;
+    };
+
+  private:
+    std::shared_ptr<const FaultSpec> snapshot() const;
+
+    mutable std::mutex mutex_;
+    std::shared_ptr<const FaultSpec> spec_;
+    std::string spec_string_;
+};
+
+} // namespace xylem::runtime
+
+#endif // XYLEM_RUNTIME_FAULT_INJECTION_HPP

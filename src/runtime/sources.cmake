@@ -2,4 +2,6 @@ set(XYLEM_RUNTIME_SOURCES
     ${CMAKE_CURRENT_LIST_DIR}/thread_pool.cpp
     ${CMAKE_CURRENT_LIST_DIR}/metrics.cpp
     ${CMAKE_CURRENT_LIST_DIR}/disk_cache.cpp
+    ${CMAKE_CURRENT_LIST_DIR}/fault_injection.cpp
+    ${CMAKE_CURRENT_LIST_DIR}/checkpoint.cpp
     ${CMAKE_CURRENT_LIST_DIR}/sweep_runner.cpp)

@@ -1,8 +1,24 @@
 #include "runtime/sweep_runner.hpp"
 
+#include <atomic>
 #include <cstdlib>
 
+#include <csignal>
+
 namespace xylem::runtime {
+
+namespace {
+
+/// Set from the signal handler; only async-signal-safe ops allowed.
+std::atomic<bool> g_interrupt_requested{false};
+
+extern "C" void
+xylemSweepSignalHandler(int)
+{
+    g_interrupt_requested.store(true, std::memory_order_relaxed);
+}
+
+} // namespace
 
 RunnerOptions
 RunnerOptions::fromEnv()
@@ -11,18 +27,82 @@ RunnerOptions::fromEnv()
     opts.jobs = ThreadPool::defaultJobs();
     if (const char *dir = std::getenv("XYLEM_CACHE_DIR"))
         opts.cacheDir = dir;
+    if (const char *retries = std::getenv("XYLEM_MAX_RETRIES"))
+        opts.maxRetries = std::atoi(retries);
+    if (const char *timeout = std::getenv("XYLEM_TASK_TIMEOUT"))
+        opts.taskTimeoutSeconds = std::atof(timeout);
+    if (const char *resume = std::getenv("XYLEM_RESUME"))
+        opts.resume = std::atoi(resume) != 0;
     return opts;
 }
 
 SweepRunner::SweepRunner(RunnerOptions opts)
-    : jobs_(ThreadPool::resolveJobs(opts.jobs))
+    : opts_(std::move(opts)), jobs_(ThreadPool::resolveJobs(opts_.jobs))
 {
-    if (!opts.cacheDir.empty())
-        cache_.emplace(opts.cacheDir, kResultCacheVersion);
+    if (!opts_.cacheDir.empty())
+        cache_.emplace(opts_.cacheDir, kResultCacheVersion);
     if (jobs_ > 1)
         pool_ = std::make_unique<ThreadPool>(jobs_);
 }
 
 SweepRunner::~SweepRunner() = default;
+
+void
+SweepRunner::installSignalHandlers()
+{
+    static std::atomic<bool> installed{false};
+    if (installed.exchange(true))
+        return;
+    struct sigaction action = {};
+    action.sa_handler = xylemSweepSignalHandler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0; // no SA_RESTART: interrupt blocking syscalls
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+}
+
+bool
+SweepRunner::interruptRequested()
+{
+    return g_interrupt_requested.load(std::memory_order_relaxed);
+}
+
+void
+SweepRunner::requestInterrupt()
+{
+    g_interrupt_requested.store(true, std::memory_order_relaxed);
+}
+
+void
+SweepRunner::clearInterruptRequest()
+{
+    g_interrupt_requested.store(false, std::memory_order_relaxed);
+}
+
+std::unique_ptr<SweepProgress>
+SweepRunner::makeProgress(std::size_t n,
+                          const std::vector<std::string> &keys)
+{
+    // The sweep id fingerprints the whole grid: task count + every
+    // cache key. A manifest from a different grid can never be
+    // adopted by accident.
+    std::uint64_t id = DiskCache::fnv1a(&n, sizeof n);
+    for (const std::string &key : keys) {
+        id ^= DiskCache::fnv1a(key);
+        id *= 0x100000001b3ull;
+    }
+    std::string path;
+    if (cache_)
+        path = SweepManifest::pathFor(cache_->directory(), id);
+    auto progress = std::make_unique<SweepProgress>(
+        path, id, n, opts_.checkpointInterval);
+    if (opts_.resume) {
+        const std::size_t adopted = progress->adoptExisting();
+        if (adopted > 0)
+            inform("resume: adopted ", adopted, " of ", n,
+                   " completed tasks from '", path, "'");
+    }
+    return progress;
+}
 
 } // namespace xylem::runtime

@@ -1,8 +1,10 @@
 /**
  * @file
  * SweepRunner: executes an experiment grid as independent tasks on
- * the work-stealing pool, with deterministic result ordering and an
- * optional persistent result cache.
+ * the work-stealing pool, with deterministic result ordering, an
+ * optional persistent result cache, and a per-task fault-tolerance
+ * policy (retries, a solver escalation ladder, cooperative deadlines,
+ * quarantine, and checkpoint/resume).
  *
  * An experiment expresses its grid as `n` index-addressed tasks; the
  * runner guarantees that results come back in index order regardless
@@ -14,19 +16,47 @@
  * string that fully fingerprints its inputs; hits skip the compute
  * entirely and decode the stored record, misses compute and persist.
  * Corrupt or stale records fall back to compute transparently.
+ *
+ * Failure model. Each task attempt runs under a thread-local
+ * TaskContext. A generic exception (including injected faults and
+ * records that throw during decode) is retried up to
+ * `RunnerOptions::maxRetries` times at the same rung — a retried task
+ * replays bit-identically, because tasks are deterministic. A
+ * *solver-level* failure (non-convergence, CG breakdown, a missed
+ * deadline) instead advances the escalation ladder: cold start →
+ * alternate preconditioner → dense direct solve (see
+ * common/task_context.hpp). A task that exhausts both budgets is
+ * quarantined: the rest of the grid still completes, the failure is
+ * recorded in the sweep manifest, and run() reports every failure in
+ * one aggregated SweepError instead of rethrowing only the first.
+ * Only rung-0 results are persisted to the cache, so escalated
+ * recoveries can never leak byte-different records into later runs.
+ *
+ * Checkpoint/resume. With a cache directory configured the runner
+ * persists a SweepManifest (completed task indices + key hashes,
+ * atomic rename) every `checkpointInterval` completions and on
+ * SIGINT/SIGTERM, which drain in-flight tasks instead of aborting.
+ * A re-run with `resume` (or simply the same cache directory) replays
+ * completed tasks as cache hits, bit-identically.
  */
 
 #ifndef XYLEM_RUNTIME_SWEEP_RUNNER_HPP
 #define XYLEM_RUNTIME_SWEEP_RUNNER_HPP
 
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/task_context.hpp"
+#include "runtime/checkpoint.hpp"
 #include "runtime/disk_cache.hpp"
+#include "runtime/fault_injection.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/serialize.hpp"
 #include "runtime/thread_pool.hpp"
@@ -46,9 +76,55 @@ struct RunnerOptions
     int jobs = 1;
     /** Persistent result cache directory; empty disables it. */
     std::string cacheDir;
+    /**
+     * Plain same-rung replays of a failed task before it counts as a
+     * solver-escalation candidate or quarantine; 0 disables the whole
+     * resilience layer (first failure is final, solver failures only
+     * warn — the pre-fault-tolerance behaviour).
+     */
+    int maxRetries = 1;
+    /** Per-attempt cooperative wall-clock deadline; 0 disables. */
+    double taskTimeoutSeconds = 0.0;
+    /** Adopt a previous run's checkpoint manifest when present. */
+    bool resume = false;
+    /** Completions between periodic manifest writes. */
+    int checkpointInterval = 16;
 
-    /** Read XYLEM_JOBS / XYLEM_CACHE_DIR. */
+    /**
+     * Read XYLEM_JOBS / XYLEM_CACHE_DIR / XYLEM_MAX_RETRIES /
+     * XYLEM_TASK_TIMEOUT / XYLEM_RESUME.
+     */
     static RunnerOptions fromEnv();
+};
+
+/**
+ * Aggregate failure report of a sweep: every quarantined task, not
+ * just the first exception.
+ */
+class SweepError : public Error
+{
+  public:
+    SweepError(std::string message, std::vector<TaskFailure> failures)
+        : Error(ErrorCode::TaskFailed, std::move(message)),
+          failures_(std::move(failures))
+    {}
+
+    const std::vector<TaskFailure> &failures() const { return failures_; }
+
+  private:
+    std::vector<TaskFailure> failures_;
+};
+
+/** Result of a fault-tolerant sweep: per-task results or failures. */
+template <typename R>
+struct SweepOutcome
+{
+    /** Index-ordered; nullopt = the task was quarantined. */
+    std::vector<std::optional<R>> results;
+    /** One record per quarantined task, sorted by index. */
+    std::vector<TaskFailure> failures;
+
+    bool complete() const { return failures.empty(); }
 };
 
 class SweepRunner
@@ -58,6 +134,7 @@ class SweepRunner
     ~SweepRunner();
 
     int jobs() const { return jobs_; }
+    const RunnerOptions &options() const { return opts_; }
     bool hasDiskCache() const { return cache_.has_value(); }
     const DiskCache *diskCache() const
     {
@@ -65,10 +142,25 @@ class SweepRunner
     }
 
     /**
+     * Install SIGINT/SIGTERM handlers that request a cooperative
+     * drain: running tasks finish, queued tasks are skipped, the
+     * checkpoint manifest is written, and the sweep throws
+     * Error(Interrupted). Idempotent.
+     */
+    static void installSignalHandlers();
+    /** Has a drain been requested (signal or requestInterrupt())? */
+    static bool interruptRequested();
+    /** Programmatic drain request (tests, embedding applications). */
+    static void requestInterrupt();
+    /** Reset the drain flag (a new sweep after a handled interrupt). */
+    static void clearInterruptRequest();
+
+    /**
      * Run `n` independent tasks and return their results in index
-     * order. `key_fn` may return "" for an uncachable task. The first
-     * task exception (lowest index) is rethrown after the grid
-     * drains.
+     * order. `key_fn` may return "" for an uncachable task. Failures
+     * are retried/escalated per RunnerOptions; if any task is
+     * quarantined, every failure is aggregated into one SweepError
+     * thrown after the grid drains.
      */
     template <typename R>
     std::vector<R>
@@ -78,50 +170,213 @@ class SweepRunner
         const std::function<void(BinaryWriter &, const R &)> &encode_fn,
         const std::function<R(BinaryReader &)> &decode_fn)
     {
-        std::vector<std::optional<R>> slots(n);
-        auto &tasks_total = Metrics::global().counter("runner.tasks");
-        auto &cache_hits =
-            Metrics::global().counter("runner.cache_hits");
-        auto &computed = Metrics::global().counter("runner.computed");
-
-        ThreadPool::parallelFor(pool_.get(), n, [&](std::size_t i) {
-            tasks_total.increment();
-            const std::string key = key_fn ? key_fn(i) : std::string();
-            if (cache_ && !key.empty()) {
-                if (auto payload = cache_->load(key)) {
-                    try {
-                        BinaryReader r(*payload);
-                        slots[i] = decode_fn(r);
-                        cache_hits.increment();
-                        return;
-                    } catch (const SerializeError &) {
-                        // stale/corrupt record: recompute below
-                    }
-                }
-            }
-            {
-                ScopedTimer timer("runner.task_seconds");
-                slots[i] = compute_fn(i);
-            }
-            computed.increment();
-            if (cache_ && !key.empty()) {
-                BinaryWriter w;
-                encode_fn(w, *slots[i]);
-                cache_->store(key, w.bytes());
-            }
-        });
-
+        SweepOutcome<R> outcome =
+            runTolerant<R>(n, key_fn, compute_fn, encode_fn, decode_fn);
+        if (!outcome.failures.empty()) {
+            std::ostringstream os;
+            os << outcome.failures.size() << " of " << n
+               << " sweep tasks failed permanently:";
+            for (const auto &f : outcome.failures)
+                os << " [task " << f.index << ", " << f.attempts
+                   << " attempts] " << f.message << ";";
+            throw SweepError(os.str(), std::move(outcome.failures));
+        }
         std::vector<R> out;
         out.reserve(n);
         for (std::size_t i = 0; i < n; ++i) {
-            XYLEM_ASSERT(slots[i].has_value(),
+            XYLEM_ASSERT(outcome.results[i].has_value(),
                          "sweep task produced no result");
-            out.push_back(std::move(*slots[i]));
+            out.push_back(std::move(*outcome.results[i]));
         }
         return out;
     }
 
+    /**
+     * The fault-tolerant core: like run(), but task failures never
+     * throw — quarantined tasks come back as nullopt plus a
+     * TaskFailure, so callers can keep partial results. Throws only
+     * Error(Interrupted) after a drain (the checkpoint manifest is
+     * written first, so the run is resumable).
+     */
+    template <typename R>
+    SweepOutcome<R>
+    runTolerant(std::size_t n,
+                const std::function<std::string(std::size_t)> &key_fn,
+                const std::function<R(std::size_t)> &compute_fn,
+                const std::function<void(BinaryWriter &, const R &)>
+                    &encode_fn,
+                const std::function<R(BinaryReader &)> &decode_fn)
+    {
+        SweepOutcome<R> outcome;
+        outcome.results.resize(n);
+
+        // Keys are needed up front for the sweep identity; reuse them
+        // in the tasks instead of re-deriving.
+        std::vector<std::string> keys(n);
+        if (key_fn)
+            for (std::size_t i = 0; i < n; ++i)
+                keys[i] = key_fn(i);
+        auto progress = makeProgress(n, keys);
+
+        auto &tasks_total = Metrics::global().counter("runner.tasks");
+        auto &cache_hits =
+            Metrics::global().counter("runner.cache_hits");
+        auto &computed = Metrics::global().counter("runner.computed");
+        auto &corrupt_records =
+            Metrics::global().counter("runner.cache_corrupt_records");
+
+        ThreadPool::parallelFor(pool_.get(), n, [&](std::size_t i) {
+            if (interruptRequested())
+                return; // drain: leave queued tasks untouched
+            tasks_total.increment();
+            const std::string &key = keys[i];
+            const FaultInjector &faults = FaultInjector::global();
+            if (cache_ && !key.empty()) {
+                if (auto payload = cache_->load(key)) {
+                    faults.maybeCorruptCachePayload(key, *payload);
+                    try {
+                        BinaryReader r(*payload);
+                        outcome.results[i] = decode_fn(r);
+                        cache_hits.increment();
+                        progress->markCompleted(i, DiskCache::fnv1a(key));
+                        return;
+                    } catch (const std::exception &) {
+                        // Corrupt record: recompute (and re-store)
+                        // below. Any decoder failure counts — a
+                        // mangled length prefix surfaces as
+                        // std::length_error from the vector, not as a
+                        // SerializeError.
+                        corrupt_records.increment();
+                    }
+                }
+            }
+            TaskFailure failure;
+            const int rung =
+                attemptTask<R>(i, compute_fn, outcome.results[i],
+                               failure);
+            if (!outcome.results[i].has_value()) {
+                if (interruptRequested() && failure.attempts == 0)
+                    return; // drained before the first attempt started
+                Metrics::global().counter("runner.failed").increment();
+                progress->markFailed(failure);
+                return;
+            }
+            computed.increment();
+            // Persist rung-0 results only: an escalated recovery is
+            // numerically sound but not bit-identical to the normal
+            // path, and must not leak into later (healthy) runs.
+            if (cache_ && !key.empty() && rung == 0) {
+                BinaryWriter w;
+                encode_fn(w, *outcome.results[i]);
+                cache_->store(key, w.bytes());
+            }
+            progress->markCompleted(i, DiskCache::fnv1a(key));
+        });
+
+        const bool interrupted = interruptRequested();
+        progress->finalise(interrupted);
+        if (interrupted) {
+            raise(ErrorCode::Interrupted,
+                  "sweep drained after interrupt: ",
+                  progress->completedCount(), " of ", n,
+                  " tasks completed",
+                  cache_ ? " (re-run with the same cache directory to "
+                           "resume)"
+                         : "");
+        }
+        outcome.failures = progress->failures();
+        return outcome;
+    }
+
   private:
+    /**
+     * Run one task through the retry/escalation ladder. On success
+     * `slot` is filled and the final rung is returned; on permanent
+     * failure `slot` stays empty and `failure` describes the last
+     * error.
+     */
+    template <typename R>
+    int
+    attemptTask(std::size_t i,
+                const std::function<R(std::size_t)> &compute_fn,
+                std::optional<R> &slot, TaskFailure &failure)
+    {
+        const FaultInjector &faults = FaultInjector::global();
+        const bool resilient = opts_.maxRetries > 0;
+        auto &retries = Metrics::global().counter("runner.retries");
+        auto &escalations =
+            Metrics::global().counter("runner.escalations");
+        auto &deadline_exceeded =
+            Metrics::global().counter("runner.deadline_exceeded");
+
+        int rung = 0;
+        int retries_left = opts_.maxRetries;
+        int attempt = 0;
+        for (;;) {
+            if (attempt > 0 && interruptRequested())
+                break; // record the failure; the drain reports overall
+            TaskContext ctx;
+            ctx.escalation = rung;
+            ctx.strictSolver = resilient;
+            ctx.forceCgNonConvergence = faults.forceCgNonConvergence(i);
+            if (opts_.taskTimeoutSeconds > 0.0) {
+                ctx.hasDeadline = true;
+                ctx.deadline =
+                    std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(
+                            opts_.taskTimeoutSeconds));
+            }
+            try {
+                ScopedTaskContext scope(ctx);
+                faults.maybeDelay(i);
+                if (faults.injectTaskFailure(i, attempt))
+                    raise(ErrorCode::InjectedFault,
+                          "injected failure of task ", i, " (attempt ",
+                          attempt, ")");
+                ScopedTimer timer("runner.task_seconds");
+                slot = compute_fn(i);
+                return rung;
+            } catch (const Error &e) {
+                ++attempt;
+                failure = {i, attempt, toString(e.code()), e.what()};
+                if (e.code() == ErrorCode::DeadlineExceeded)
+                    deadline_exceeded.increment();
+                const bool escalatable =
+                    e.code() == ErrorCode::SolverNonConvergence ||
+                    e.code() == ErrorCode::SolverBreakdown ||
+                    e.code() == ErrorCode::DeadlineExceeded;
+                if (resilient && escalatable && rung < kMaxEscalation) {
+                    ++rung;
+                    escalations.increment();
+                    continue;
+                }
+                if (resilient && !escalatable && retries_left > 0) {
+                    --retries_left;
+                    retries.increment();
+                    continue;
+                }
+            } catch (const std::exception &e) {
+                ++attempt;
+                failure = {i, attempt, toString(ErrorCode::Unknown),
+                           e.what()};
+                if (resilient && retries_left > 0) {
+                    --retries_left;
+                    retries.increment();
+                    continue;
+                }
+            }
+            break; // budgets exhausted: quarantine
+        }
+        return rung;
+    }
+
+    /** Build the progress tracker (+ resume adoption) for one sweep. */
+    std::unique_ptr<SweepProgress>
+    makeProgress(std::size_t n, const std::vector<std::string> &keys);
+
+    RunnerOptions opts_;
     int jobs_;
     std::optional<DiskCache> cache_;
     std::unique_ptr<ThreadPool> pool_; ///< null when jobs_ <= 1

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/task_context.hpp"
 
 namespace xylem::thermal {
 
@@ -412,7 +414,20 @@ GridModel::solve(const std::vector<double> &b, std::vector<double> &x,
         XYLEM_ASSERT(d > 0.0, "singular diagonal entry");
         inv_diag[i] = 1.0 / d;
     }
-    const bool line = opts_.preconditioner == Preconditioner::VerticalLine;
+    // The fault-tolerance layer steers the solver through the ambient
+    // task context: a task on the alternate-preconditioner rung flips
+    // Jacobi <-> VerticalLine, a forced-non-convergence fault skips
+    // the iteration loop so the attempt reliably misses tolerance, and
+    // strict mode turns non-convergence into a typed error the sweep
+    // runner can escalate instead of a warning.
+    const TaskContext *ctx = currentTaskContext();
+    bool line = opts_.preconditioner == Preconditioner::VerticalLine;
+    if (ctx && ctx->alternatePreconditioner())
+        line = !line;
+    const bool forced_nonconvergence =
+        ctx && ctx->forceCgNonConvergence && !ctx->denseSolve();
+    const int max_iterations =
+        forced_nonconvergence ? 0 : opts_.maxIterations;
     auto precondition = [&]() {
         if (line) {
             applyLinePrecond(r, z, extra_diag);
@@ -432,12 +447,17 @@ GridModel::solve(const std::vector<double> &b, std::vector<double> &x,
     for (std::size_t i = 0; i < n; ++i)
         r_norm2 += r[i] * r[i];
 
-    for (int it = 0; it < opts_.maxIterations && r_norm2 > target2; ++it) {
+    for (int it = 0; it < max_iterations && r_norm2 > target2; ++it) {
+        if ((it & 31) == 0)
+            taskCheckpoint(); // cooperative deadline/cancel point
         apply(p, q, extra_diag);
         double pq = 0.0;
         for (std::size_t i = 0; i < n; ++i)
             pq += p[i] * q[i];
-        XYLEM_ASSERT(pq > 0.0, "matrix lost positive definiteness");
+        if (!(pq > 0.0))
+            raise(ErrorCode::SolverBreakdown,
+                  "CG breakdown: search direction lost positive "
+                  "definiteness (p'Ap = ", pq, " at iteration ", it, ")");
         const double alpha = rz / pq;
         r_norm2 = 0.0;
         for (std::size_t i = 0; i < n; ++i) {
@@ -456,8 +476,15 @@ GridModel::solve(const std::vector<double> &b, std::vector<double> &x,
         stats.iterations = it + 1;
     }
     stats.relativeResidual = std::sqrt(r_norm2 / b_norm2);
-    stats.converged = r_norm2 <= target2;
+    stats.converged = !forced_nonconvergence && r_norm2 <= target2;
     if (!stats.converged) {
+        if (ctx && ctx->strictSolver)
+            raise(ErrorCode::SolverNonConvergence,
+                  "thermal CG did not converge: residual ",
+                  stats.relativeResidual, " after ", stats.iterations,
+                  " iterations",
+                  forced_nonconvergence ? " (forced by fault injection)"
+                                        : "");
         warn("thermal CG did not converge: residual ",
              stats.relativeResidual, " after ", stats.iterations,
              " iterations");
@@ -483,6 +510,11 @@ GridModel::solveSteady(const PowerMap &power, SolveStats *stats,
 {
     const std::vector<double> b = rhsFromPower(power);
     std::vector<double> x(num_nodes_, 0.0);
+    // On the cold-start escalation rung a stale warm start is a prime
+    // failure suspect, so drop it and solve from ambient.
+    const TaskContext *ctx = currentTaskContext();
+    if (ctx && ctx->coldStart())
+        warm_start = nullptr;
     if (warm_start) {
         XYLEM_ASSERT(warm_start->numNodes() == num_nodes_,
                      "warm start has wrong shape");

@@ -27,6 +27,13 @@
 namespace xylem::verify {
 
 /**
+ * Largest node count the dense path accepts (matches the
+ * denseMatrix() assembly guard). Callers using the dense solver as a
+ * last-resort fallback must check this before committing to it.
+ */
+constexpr std::size_t kDenseNodeLimit = 6144;
+
+/**
  * A dense symmetric-positive-definite system, factored once (Cholesky
  * L·Lᵀ) and solved for any number of right-hand sides.
  */

@@ -3,7 +3,9 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "common/task_context.hpp"
 #include "runtime/metrics.hpp"
+#include "verify/dense_solver.hpp"
 #include "verify/invariants.hpp"
 #include "xylem/painter.hpp"
 #include "xylem/sim_cache.hpp"
@@ -56,6 +58,37 @@ selfCheck(const thermal::GridModel &model, const thermal::PowerMap &map,
     }
 }
 
+/**
+ * One steady solve under the ambient task context. On the dense
+ * escalation rung (the sweep runner's last resort after CG has failed
+ * warm, cold, and with the alternate preconditioner) the field comes
+ * from the direct Cholesky reference solver instead of CG — a
+ * different algorithm, so a CG-specific failure cannot recur. Falls
+ * back to a strict CG solve when the grid exceeds the dense limit.
+ */
+thermal::TemperatureField
+solveSteadyWithContext(const thermal::GridModel &model,
+                       const thermal::PowerMap &map,
+                       thermal::SolveStats *stats,
+                       const thermal::TemperatureField *warm_start)
+{
+    const TaskContext *ctx = currentTaskContext();
+    if (ctx && ctx->denseSolve() &&
+        model.numNodes() <= verify::kDenseNodeLimit) {
+        runtime::Metrics::global()
+            .counter("solver.dense_solves")
+            .increment();
+        thermal::TemperatureField field =
+            verify::referenceSolveSteady(model, map);
+        if (stats) {
+            *stats = {};
+            stats->converged = true; // direct solve: exact to round-off
+        }
+        return field;
+    }
+    return model.solveSteady(map, stats, warm_start);
+}
+
 } // namespace
 
 StackSystem::StackSystem(SystemConfig cfg)
@@ -105,9 +138,13 @@ StackSystem::evaluateAtFreqs(const std::vector<cpu::ThreadSpec> &threads,
 
     // Warm start: the temperature rise is linear in power, so scaling
     // the previous field by the total-power ratio is a near-exact
-    // initial guess when sweeping frequency or similar workloads.
+    // initial guess when sweeping frequency or similar workloads. On
+    // the cold-start escalation rung the carried-over field is a
+    // failure suspect, so don't even build the guess.
+    const TaskContext *task_ctx = currentTaskContext();
+    const bool cold = task_ctx && task_ctx->coldStart();
     std::optional<thermal::TemperatureField> scaled;
-    if (last_ && last_power_ > 0.0) {
+    if (!cold && last_ && last_power_ > 0.0) {
         scaled = *last_;
         const double ambient = cfg_.solver.ambientCelsius;
         const double ratio = map.totalPower() / last_power_;
@@ -116,8 +153,8 @@ StackSystem::evaluateAtFreqs(const std::vector<cpu::ThreadSpec> &threads,
     }
     thermal::SolveStats stats;
     out.warmStarted = scaled.has_value();
-    out.field = model_->solveSteady(map, &stats,
-                                    scaled ? &scaled.value() : nullptr);
+    out.field = solveSteadyWithContext(*model_, map, &stats,
+                                       scaled ? &scaled.value() : nullptr);
     out.cgIterations += stats.iterations;
     recordSolve(stats, out.warmStarted);
     selfCheck(*model_, map, out.field);
@@ -149,7 +186,8 @@ StackSystem::evaluateAtFreqs(const std::vector<cpu::ThreadSpec> &threads,
         paintProcessorPower(fb_map, stack_, out.procPower);
         paintDramPower(fb_map, stack_, out.sim, cfg_.cpu.dram);
         thermal::SolveStats fb_stats;
-        out.field = model_->solveSteady(fb_map, &fb_stats, &out.field);
+        out.field =
+            solveSteadyWithContext(*model_, fb_map, &fb_stats, &out.field);
         out.cgIterations += fb_stats.iterations;
         recordSolve(fb_stats, /*warm=*/true);
         selfCheck(*model_, fb_map, out.field);

@@ -4,13 +4,16 @@
  * deterministic RNG, statistics helpers and the table printer.
  */
 
+#include <chrono>
 #include <cmath>
 #include <set>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/task_context.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -56,6 +59,144 @@ TEST(Logging, FatalThrowsFatalError)
 TEST(Logging, PanicThrowsPanicError)
 {
     EXPECT_THROW(panic("invariant broken"), PanicError);
+}
+
+// ---------------------------------------------------------------------
+// error taxonomy
+// ---------------------------------------------------------------------
+
+TEST(Error, CarriesCodeMessageAndFormattedWhat)
+{
+    const Error e(ErrorCode::SolverNonConvergence,
+                  "residual 3.2e-4 after 50000 iterations");
+    EXPECT_EQ(e.code(), ErrorCode::SolverNonConvergence);
+    EXPECT_EQ(e.message(), "residual 3.2e-4 after 50000 iterations");
+    EXPECT_STREQ(e.what(), "solver-nonconvergence: residual 3.2e-4 "
+                           "after 50000 iterations");
+}
+
+TEST(Error, ContextFramesChainIntoWhat)
+{
+    Error e(ErrorCode::Io, "disk full");
+    e.addContext("storing record 'k17'");
+    e.addContext("running sweep task 4");
+    EXPECT_EQ(e.context().size(), 2u);
+    EXPECT_STREQ(e.what(),
+                 "io: disk full (while storing record 'k17'; while "
+                 "running sweep task 4)");
+}
+
+TEST(Error, RaiseStreamsTheMessage)
+{
+    try {
+        raise(ErrorCode::DeadlineExceeded, "task ", 7, " exceeded ", 1.5,
+              " s");
+        FAIL() << "raise must throw";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::DeadlineExceeded);
+        EXPECT_EQ(e.message(), "task 7 exceeded 1.5 s");
+    }
+}
+
+TEST(Error, RethrowWithContextAppendsOneFrame)
+{
+    try {
+        try {
+            raise(ErrorCode::SolverBreakdown, "p'Ap went negative");
+        } catch (Error &e) {
+            rethrowWithContext(e, "solving steady state");
+        }
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::SolverBreakdown);
+        ASSERT_EQ(e.context().size(), 1u);
+        EXPECT_EQ(e.context()[0], "solving steady state");
+    }
+}
+
+TEST(Error, IsARuntimeErrorForLegacyCatchSites)
+{
+    EXPECT_THROW(raise(ErrorCode::Unknown, "anything"),
+                 std::runtime_error);
+}
+
+TEST(Error, CodeTokensAreStableAndDistinct)
+{
+    std::set<std::string> tokens;
+    for (ErrorCode c :
+         {ErrorCode::Unknown, ErrorCode::Config, ErrorCode::Io,
+          ErrorCode::SolverNonConvergence, ErrorCode::SolverBreakdown,
+          ErrorCode::DeadlineExceeded, ErrorCode::Interrupted,
+          ErrorCode::CacheCorrupt, ErrorCode::CacheUnwritable,
+          ErrorCode::InjectedFault, ErrorCode::TaskFailed})
+        tokens.insert(toString(c));
+    EXPECT_EQ(tokens.size(), 11u);
+    EXPECT_EQ(std::string(toString(ErrorCode::DeadlineExceeded)),
+              "deadline-exceeded");
+    EXPECT_EQ(std::string(toString(ErrorCode::InjectedFault)),
+              "injected-fault");
+}
+
+// ---------------------------------------------------------------------
+// task context
+// ---------------------------------------------------------------------
+
+TEST(TaskContext, AbsentOutsideAnyManagedTask)
+{
+    EXPECT_EQ(currentTaskContext(), nullptr);
+    EXPECT_NO_THROW(taskCheckpoint());
+}
+
+TEST(TaskContext, ScopedInstallAndNestingRestore)
+{
+    TaskContext outer;
+    outer.escalation = 1;
+    {
+        ScopedTaskContext a(outer);
+        ASSERT_EQ(currentTaskContext(), &outer);
+        TaskContext inner;
+        inner.escalation = 3;
+        {
+            ScopedTaskContext b(inner);
+            EXPECT_EQ(currentTaskContext(), &inner);
+        }
+        EXPECT_EQ(currentTaskContext(), &outer);
+    }
+    EXPECT_EQ(currentTaskContext(), nullptr);
+}
+
+TEST(TaskContext, EscalationRungPredicatesAreMonotonic)
+{
+    TaskContext ctx;
+    EXPECT_FALSE(ctx.coldStart());
+    ctx.escalation = static_cast<int>(Escalation::ColdStart);
+    EXPECT_TRUE(ctx.coldStart());
+    EXPECT_FALSE(ctx.alternatePreconditioner());
+    ctx.escalation = static_cast<int>(Escalation::AlternatePreconditioner);
+    EXPECT_TRUE(ctx.coldStart());
+    EXPECT_TRUE(ctx.alternatePreconditioner());
+    EXPECT_FALSE(ctx.denseSolve());
+    ctx.escalation = static_cast<int>(Escalation::DenseSolve);
+    EXPECT_TRUE(ctx.denseSolve());
+    EXPECT_EQ(kMaxEscalation,
+              static_cast<int>(Escalation::DenseSolve));
+}
+
+TEST(TaskContext, CheckpointRaisesOncePastTheDeadline)
+{
+    TaskContext ctx;
+    ctx.hasDeadline = true;
+    ctx.deadline =
+        std::chrono::steady_clock::now() + std::chrono::hours(1);
+    ScopedTaskContext scope(ctx);
+    EXPECT_NO_THROW(taskCheckpoint());
+    ctx.deadline =
+        std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+    try {
+        taskCheckpoint();
+        FAIL() << "expected Error(DeadlineExceeded)";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::DeadlineExceeded);
+    }
 }
 
 TEST(Logging, FatalMessageContainsArguments)

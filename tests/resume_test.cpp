@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Crash/resume test across real process boundaries: run the
+ * sweep_tool helper binary to completion, kill a second instance
+ * mid-grid with a real SIGTERM (it signals itself), then resume the
+ * interrupted run and require a byte-identical output file. This is
+ * the subprocess-level proof behind the in-process
+ * SweepRunner.InterruptDrainsAndResumeCompletesBitIdentically test.
+ */
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <sys/wait.h>
+
+#include <gtest/gtest.h>
+
+#include "runtime/checkpoint.hpp"
+
+#ifndef XYLEM_SWEEP_TOOL
+#error "XYLEM_SWEEP_TOOL must point at the sweep_tool binary"
+#endif
+
+namespace xylem::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+        : path_((fs::temp_directory_path() /
+                 ("xylem_test_" + tag + "_" +
+                  std::to_string(::getpid())))
+                    .string())
+    {
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~TempDir() { fs::remove_all(path_); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** Run a shell command; returns its exit status (or -1). */
+int
+runCommand(const std::string &command)
+{
+    const int rc = std::system(command.c_str());
+    if (rc == -1)
+        return -1;
+    if (WIFEXITED(rc))
+        return WEXITSTATUS(rc);
+    return -1;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+TEST(Resume, KilledSubprocessResumesBitIdentically)
+{
+    TempDir dir("resume");
+    const std::string tool = XYLEM_SWEEP_TOOL;
+    const std::string full_cache = dir.path() + "/cache-full";
+    const std::string kill_cache = dir.path() + "/cache-killed";
+    const std::string out_full = dir.path() + "/full.txt";
+    const std::string out_resumed = dir.path() + "/resumed.txt";
+
+    // Reference: an uninterrupted run.
+    ASSERT_EQ(runCommand(tool + " --jobs 2 --cache-dir " + full_cache +
+                         " --out " + out_full + " >/dev/null 2>&1"),
+              0);
+
+    // A run that SIGTERMs itself after 5 completed tasks: it must
+    // drain, checkpoint, and exit with the interrupt status.
+    ASSERT_EQ(runCommand(tool + " --jobs 2 --cache-dir " + kill_cache +
+                         " --kill-after 5 >/dev/null 2>&1"),
+              130);
+
+    // The drained run left a manifest marked interrupted, with some
+    // but not all tasks completed.
+    bool manifest_seen = false;
+    for (const auto &entry : fs::directory_iterator(kill_cache)) {
+        if (entry.path().extension() != ".manifest")
+            continue;
+        const auto m = SweepManifest::load(entry.path().string());
+        ASSERT_TRUE(m.has_value());
+        EXPECT_TRUE(m->interrupted);
+        EXPECT_GT(m->completed.size(), 0u);
+        EXPECT_LT(m->completed.size(), m->numTasks);
+        manifest_seen = true;
+    }
+    ASSERT_TRUE(manifest_seen);
+
+    // Resume completes the remainder and must reproduce the reference
+    // output byte for byte.
+    ASSERT_EQ(runCommand(tool + " --jobs 2 --cache-dir " + kill_cache +
+                         " --resume --out " + out_resumed +
+                         " >/dev/null 2>&1"),
+              0);
+    const std::string full = readFile(out_full);
+    ASSERT_FALSE(full.empty());
+    EXPECT_EQ(full, readFile(out_resumed));
+}
+
+} // namespace
+} // namespace xylem::runtime

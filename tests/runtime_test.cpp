@@ -16,7 +16,11 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
+#include "common/task_context.hpp"
+#include "runtime/checkpoint.hpp"
 #include "runtime/disk_cache.hpp"
+#include "runtime/fault_injection.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/serialize.hpp"
 #include "runtime/sweep_runner.hpp"
@@ -370,6 +374,8 @@ TEST(SweepRunner, ResultsComeBackInIndexOrder)
 
 TEST(SweepRunner, SecondRunIsServedFromTheDiskCache)
 {
+    // Exact compute counts: opt out of any ambient CI fault spec.
+    FaultInjector::ScopedSpec quiet("");
     TempDir dir("sweepcache");
     RunnerOptions opts;
     opts.jobs = 2;
@@ -400,6 +406,7 @@ TEST(SweepRunner, SecondRunIsServedFromTheDiskCache)
 
 TEST(SweepRunner, EmptyKeysAreNeverCached)
 {
+    FaultInjector::ScopedSpec quiet("");
     TempDir dir("uncachable");
     RunnerOptions opts;
     opts.cacheDir = dir.path();
@@ -449,6 +456,482 @@ TEST(SweepRunner, TaskExceptionsPropagate)
                      },
                      encodeInt, decodeInt),
                  std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// SweepRunner fault tolerance
+// ---------------------------------------------------------------------
+
+TEST(SweepRunner, RetriesRecoverTransientFailures)
+{
+    FaultInjector::ScopedSpec quiet("");
+    Metrics::global().reset();
+    RunnerOptions opts;
+    opts.jobs = 2;
+    opts.maxRetries = 2;
+    SweepRunner runner(opts);
+    std::vector<std::atomic<int>> attempts(10);
+    const auto out = runner.run<int>(
+        10, nullptr,
+        [&](std::size_t i) -> int {
+            // Every third task fails on its first attempt only.
+            if (i % 3 == 0 && attempts[i].fetch_add(1) == 0)
+                throw std::runtime_error("transient");
+            return static_cast<int>(i);
+        },
+        encodeInt, decodeInt);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i));
+    const auto snap = Metrics::global().snapshot();
+    EXPECT_EQ(snap.count("runner.retries"), 4u); // tasks 0, 3, 6, 9
+    EXPECT_EQ(snap.count("runner.failed"), 0u);
+    Metrics::global().reset();
+}
+
+TEST(SweepRunner, AggregatesEveryPermanentFailure)
+{
+    FaultInjector::ScopedSpec quiet("");
+    RunnerOptions opts;
+    opts.jobs = 3;
+    opts.maxRetries = 1;
+    SweepRunner runner(opts);
+    try {
+        runner.run<int>(
+            12, nullptr,
+            [](std::size_t i) -> int {
+                if (i == 2 || i == 7 || i == 11)
+                    throw std::runtime_error("broken task " +
+                                             std::to_string(i));
+                return static_cast<int>(i);
+            },
+            encodeInt, decodeInt);
+        FAIL() << "expected SweepError";
+    } catch (const SweepError &e) {
+        ASSERT_EQ(e.failures().size(), 3u);
+        EXPECT_EQ(e.failures()[0].index, 2u);
+        EXPECT_EQ(e.failures()[1].index, 7u);
+        EXPECT_EQ(e.failures()[2].index, 11u);
+        // maxRetries=1: each task got an initial attempt plus one retry.
+        for (const auto &f : e.failures())
+            EXPECT_EQ(f.attempts, 2);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("task 2"), std::string::npos);
+        EXPECT_NE(what.find("task 7"), std::string::npos);
+        EXPECT_NE(what.find("task 11"), std::string::npos);
+        EXPECT_NE(what.find("broken task 7"), std::string::npos);
+    }
+}
+
+TEST(SweepRunner, RunTolerantQuarantinesAndKeepsPartialResults)
+{
+    FaultInjector::ScopedSpec quiet("");
+    Metrics::global().reset();
+    RunnerOptions opts;
+    opts.maxRetries = 1;
+    SweepRunner runner(opts);
+    const auto outcome = runner.runTolerant<int>(
+        8, nullptr,
+        [](std::size_t i) -> int {
+            if (i == 4)
+                throw std::runtime_error("always fails");
+            return static_cast<int>(i) * 2;
+        },
+        encodeInt, decodeInt);
+    EXPECT_FALSE(outcome.complete());
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    EXPECT_EQ(outcome.failures[0].index, 4u);
+    EXPECT_EQ(outcome.failures[0].code, "unknown");
+    EXPECT_FALSE(outcome.results[4].has_value());
+    for (std::size_t i = 0; i < 8; ++i) {
+        if (i == 4)
+            continue;
+        ASSERT_TRUE(outcome.results[i].has_value());
+        EXPECT_EQ(*outcome.results[i], static_cast<int>(i) * 2);
+    }
+    EXPECT_EQ(Metrics::global().snapshot().count("runner.failed"), 1u);
+    Metrics::global().reset();
+}
+
+TEST(SweepRunner, SolverFailuresClimbTheEscalationLadder)
+{
+    FaultInjector::ScopedSpec quiet("");
+    Metrics::global().reset();
+    RunnerOptions opts;
+    opts.maxRetries = 1;
+    SweepRunner runner(opts);
+    std::vector<int> rungs_seen;
+    const auto out = runner.run<int>(
+        1, nullptr,
+        [&](std::size_t) -> int {
+            const TaskContext *ctx = currentTaskContext();
+            EXPECT_NE(ctx, nullptr);
+            EXPECT_TRUE(ctx->strictSolver);
+            rungs_seen.push_back(ctx->escalation);
+            // Fail like a solver until the dense rung.
+            if (!ctx->denseSolve())
+                raise(ErrorCode::SolverNonConvergence, "missed tolerance");
+            return 42;
+        },
+        encodeInt, decodeInt);
+    EXPECT_EQ(out[0], 42);
+    EXPECT_EQ(rungs_seen, (std::vector<int>{0, 1, 2, 3}));
+    const auto snap = Metrics::global().snapshot();
+    EXPECT_EQ(snap.count("runner.escalations"), 3u);
+    EXPECT_EQ(snap.count("runner.retries"), 0u);
+    Metrics::global().reset();
+}
+
+TEST(SweepRunner, EscalatedResultsAreNotPersisted)
+{
+    FaultInjector::ScopedSpec quiet("");
+    TempDir dir("escalated");
+    RunnerOptions opts;
+    opts.cacheDir = dir.path();
+    opts.maxRetries = 1;
+    auto key = [](std::size_t i) { return "e" + std::to_string(i); };
+    SweepRunner runner(opts);
+    runner.run<int>(
+        2, key,
+        [](std::size_t i) -> int {
+            const TaskContext *ctx = currentTaskContext();
+            // Task 1 only succeeds once escalated off rung 0.
+            if (i == 1 && ctx->escalation == 0)
+                raise(ErrorCode::SolverBreakdown, "rung 0 breaks");
+            return static_cast<int>(i);
+        },
+        encodeInt, decodeInt);
+    // Task 0 recovered nothing (rung 0) and is cached; task 1 finished
+    // on rung 1, which must not be persisted.
+    EXPECT_EQ(runner.diskCache()->recordCount(), 1u);
+}
+
+TEST(SweepRunner, DeadlineQuarantinesRunawayTasks)
+{
+    FaultInjector::ScopedSpec quiet("");
+    Metrics::global().reset();
+    RunnerOptions opts;
+    opts.maxRetries = 1;
+    opts.taskTimeoutSeconds = 0.02;
+    SweepRunner runner(opts);
+    const auto outcome = runner.runTolerant<int>(
+        3, nullptr,
+        [](std::size_t i) -> int {
+            if (i == 1) {
+                // A runaway loop that polls the cooperative checkpoint
+                // (as the CG loop does every few iterations).
+                for (;;)
+                    taskCheckpoint();
+            }
+            return static_cast<int>(i);
+        },
+        encodeInt, decodeInt);
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    EXPECT_EQ(outcome.failures[0].index, 1u);
+    EXPECT_EQ(outcome.failures[0].code, "deadline-exceeded");
+    const auto snap = Metrics::global().snapshot();
+    // A deadline is a solver-level failure: one miss per rung.
+    EXPECT_EQ(snap.count("runner.deadline_exceeded"),
+              static_cast<std::uint64_t>(kMaxEscalation) + 1);
+    EXPECT_EQ(snap.count("runner.failed"), 1u);
+    Metrics::global().reset();
+}
+
+TEST(SweepRunner, ZeroRetriesDisablesTheResilienceLayer)
+{
+    FaultInjector::ScopedSpec quiet("");
+    RunnerOptions opts;
+    opts.maxRetries = 0;
+    SweepRunner runner(opts);
+    int calls = 0;
+    const auto outcome = runner.runTolerant<int>(
+        1, nullptr,
+        [&](std::size_t) -> int {
+            ++calls;
+            const TaskContext *ctx = currentTaskContext();
+            EXPECT_FALSE(ctx->strictSolver);
+            throw std::runtime_error("fails once, quarantined at once");
+        },
+        encodeInt, decodeInt);
+    EXPECT_EQ(calls, 1);
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    EXPECT_EQ(outcome.failures[0].attempts, 1);
+}
+
+TEST(SweepRunner, InterruptDrainsAndResumeCompletesBitIdentically)
+{
+    FaultInjector::ScopedSpec quiet("");
+    TempDir dir("interrupt");
+    RunnerOptions opts;
+    opts.jobs = 1; // serial: the drain point is deterministic
+    opts.cacheDir = dir.path();
+    opts.checkpointInterval = 1;
+    auto key = [](std::size_t i) { return "t" + std::to_string(i); };
+    std::atomic<int> computes{0};
+    auto compute = [&computes](std::size_t i) {
+        computes.fetch_add(1);
+        if (i == 5)
+            SweepRunner::requestInterrupt();
+        return static_cast<int>(i) * 7;
+    };
+    SweepRunner::clearInterruptRequest();
+    {
+        SweepRunner runner(opts);
+        try {
+            runner.run<int>(16, key, compute, encodeInt, decodeInt);
+            FAIL() << "expected Error(Interrupted)";
+        } catch (const Error &e) {
+            EXPECT_EQ(e.code(), ErrorCode::Interrupted);
+        }
+    }
+    // Tasks 0..5 ran (the interrupting task itself completes), the
+    // rest were skipped by the drain.
+    EXPECT_EQ(computes.load(), 6);
+    SweepRunner::clearInterruptRequest();
+    opts.resume = true;
+    SweepRunner runner(opts);
+    const auto out = runner.run<int>(16, key, compute, encodeInt,
+                                     decodeInt);
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i) * 7);
+    // The resumed run replayed 0..5 from the cache.
+    EXPECT_EQ(computes.load(), 16);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint manifests
+// ---------------------------------------------------------------------
+
+TEST(Checkpoint, ManifestRoundTrips)
+{
+    TempDir dir("manifest");
+    fs::create_directories(dir.path());
+    SweepManifest m;
+    m.sweepId = 0xdeadbeefcafeull;
+    m.numTasks = 40;
+    m.interrupted = true;
+    m.completed[3] = 0x111;
+    m.completed[17] = 0x222;
+    m.failures.push_back({9, 4, "injected-fault",
+                          "injected failure of task 9\nwith newline"});
+    const std::string path =
+        SweepManifest::pathFor(dir.path(), m.sweepId);
+    ASSERT_TRUE(m.save(path));
+
+    const auto back = SweepManifest::load(path);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->sweepId, m.sweepId);
+    EXPECT_EQ(back->numTasks, 40u);
+    EXPECT_TRUE(back->interrupted);
+    EXPECT_EQ(back->completed, m.completed);
+    ASSERT_EQ(back->failures.size(), 1u);
+    EXPECT_EQ(back->failures[0].index, 9u);
+    EXPECT_EQ(back->failures[0].attempts, 4);
+    EXPECT_EQ(back->failures[0].code, "injected-fault");
+    // Newlines are flattened so one failure = one manifest line.
+    EXPECT_EQ(back->failures[0].message,
+              "injected failure of task 9 with newline");
+}
+
+TEST(Checkpoint, MalformedManifestReadsAsAbsent)
+{
+    TempDir dir("badmanifest");
+    fs::create_directories(dir.path());
+    const std::string path = dir.path() + "/sweep-1.manifest";
+    std::ofstream(path) << "not a manifest\n";
+    EXPECT_FALSE(SweepManifest::load(path).has_value());
+}
+
+TEST(Checkpoint, ProgressIgnoresManifestOfDifferentSweep)
+{
+    TempDir dir("othersweep");
+    fs::create_directories(dir.path());
+    SweepManifest other;
+    other.sweepId = 1;
+    other.numTasks = 10;
+    other.completed[0] = 1;
+    const std::string path = SweepManifest::pathFor(dir.path(), 2);
+    ASSERT_TRUE(other.save(path));
+    // Same path, different sweep id: must not adopt.
+    SweepProgress progress(path, /*sweep_id=*/2, /*num_tasks=*/10, 4);
+    EXPECT_EQ(progress.adoptExisting(), 0u);
+}
+
+TEST(Checkpoint, FailuresAreNotAdoptedOnResume)
+{
+    TempDir dir("failadopt");
+    fs::create_directories(dir.path());
+    SweepManifest m;
+    m.sweepId = 7;
+    m.numTasks = 5;
+    m.completed[1] = 0xabc;
+    m.failures.push_back({4, 2, "unknown", "flaky"});
+    const std::string path = SweepManifest::pathFor(dir.path(), 7);
+    ASSERT_TRUE(m.save(path));
+    SweepProgress progress(path, 7, 5, 4);
+    EXPECT_EQ(progress.adoptExisting(), 1u);
+    // The quarantined task gets a fresh chance on resume.
+    EXPECT_TRUE(progress.failures().empty());
+}
+
+// ---------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------
+
+TEST(FaultSpec, ParsesTheFullGrammar)
+{
+    const FaultSpec s = FaultSpec::parse(
+        "seed=9,cache_corrupt=0.25,task_fail=0.5,task_fail_attempts=2,"
+        "task_kill=3;11,cg_noconv=0;4,cg_noconv_p=0.1,delay=0.75,"
+        "delay_ms=5");
+    EXPECT_EQ(s.seed, 9u);
+    EXPECT_DOUBLE_EQ(s.cacheCorrupt, 0.25);
+    EXPECT_DOUBLE_EQ(s.taskFail, 0.5);
+    EXPECT_EQ(s.taskFailAttempts, 2);
+    EXPECT_EQ(s.taskKill, (std::vector<std::uint64_t>{3, 11}));
+    EXPECT_EQ(s.cgNoconv, (std::vector<std::uint64_t>{0, 4}));
+    EXPECT_DOUBLE_EQ(s.cgNoconvP, 0.1);
+    EXPECT_DOUBLE_EQ(s.delay, 0.75);
+    EXPECT_EQ(s.delayMs, 5);
+    EXPECT_TRUE(s.any());
+    EXPECT_FALSE(FaultSpec::parse("").any());
+    EXPECT_FALSE(FaultSpec::parse("seed=4").any());
+}
+
+TEST(FaultSpec, MalformedSpecsRaiseConfigErrors)
+{
+    for (const char *bad :
+         {"task_fail", "task_fail=2.0", "task_fail=x", "bogus_key=1",
+          "cache_corrupt=-0.1", "task_kill=1;x"}) {
+        try {
+            FaultSpec::parse(bad);
+            FAIL() << "expected Error(Config) for '" << bad << "'";
+        } catch (const Error &e) {
+            EXPECT_EQ(e.code(), ErrorCode::Config) << bad;
+        }
+    }
+}
+
+TEST(FaultInjector, DecisionsAreDeterministic)
+{
+    FaultInjector::ScopedSpec spec("seed=5,task_fail=0.4");
+    auto &inj = FaultInjector::global();
+    ASSERT_TRUE(inj.active());
+    int hits = 0;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        const bool first = inj.injectTaskFailure(i, 0);
+        // Re-querying the same (task, attempt) never flips.
+        EXPECT_EQ(inj.injectTaskFailure(i, 0), first);
+        // Attempt 1 is beyond the default task_fail_attempts=1 budget.
+        EXPECT_FALSE(inj.injectTaskFailure(i, 1));
+        hits += first ? 1 : 0;
+    }
+    // ~40% of 64: deterministic, but sanity-check the ballpark.
+    EXPECT_GT(hits, 10);
+    EXPECT_LT(hits, 54);
+}
+
+TEST(FaultInjector, ScopedSpecRestoresThePreviousSpec)
+{
+    FaultInjector::ScopedSpec outer("task_fail=1.0");
+    EXPECT_TRUE(FaultInjector::global().active());
+    {
+        FaultInjector::ScopedSpec inner("");
+        EXPECT_FALSE(FaultInjector::global().active());
+    }
+    EXPECT_TRUE(FaultInjector::global().active());
+    EXPECT_EQ(FaultInjector::global().spec(), "task_fail=1.0");
+}
+
+TEST(FaultInjector, CorruptedPayloadsFailToDecode)
+{
+    FaultInjector::ScopedSpec spec("cache_corrupt=1.0");
+    std::vector<std::uint8_t> payload;
+    {
+        BinaryWriter w;
+        w.vecF64({1.0, 2.0, 3.0});
+        payload = w.bytes();
+    }
+    const std::vector<std::uint8_t> original = payload;
+    ASSERT_TRUE(FaultInjector::global().maybeCorruptCachePayload(
+        "some-key", payload));
+    EXPECT_NE(payload, original);
+    BinaryReader r(payload);
+    EXPECT_THROW((void)r.vecF64(), SerializeError);
+}
+
+TEST(FaultInjector, InjectedTaskFailuresAreRecoveredByRetry)
+{
+    // End-to-end: every task fails its first attempt, one retry each
+    // recovers the full sweep.
+    FaultInjector::ScopedSpec spec("task_fail=1.0");
+    Metrics::global().reset();
+    RunnerOptions opts;
+    opts.maxRetries = 1;
+    SweepRunner runner(opts);
+    const auto out = runner.run<int>(
+        6, nullptr, [](std::size_t i) { return static_cast<int>(i); },
+        encodeInt, decodeInt);
+    for (std::size_t i = 0; i < 6; ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i));
+    const auto snap = Metrics::global().snapshot();
+    EXPECT_EQ(snap.count("runner.retries"), 6u);
+    EXPECT_EQ(snap.count("fault.task_failures"), 6u);
+    EXPECT_EQ(snap.count("runner.failed"), 0u);
+    Metrics::global().reset();
+}
+
+// ---------------------------------------------------------------------
+// DiskCache degradation
+// ---------------------------------------------------------------------
+
+TEST(DiskCache, UnwritableDirectoryDegradesToAMissCache)
+{
+    // A path *under a regular file* cannot be created, even by root
+    // (chmod-based read-only checks are bypassed when uid 0).
+    TempDir dir("unwritable");
+    fs::create_directories(dir.path());
+    const std::string blocker = dir.path() + "/blocker";
+    std::ofstream(blocker) << "x";
+    DiskCache cache(blocker + "/cache", 1);
+    EXPECT_TRUE(cache.persistenceDisabled());
+    // Neither store nor load may throw out of a sweep task.
+    EXPECT_NO_THROW(cache.store("key", {1, 2, 3}));
+    EXPECT_FALSE(cache.load("key").has_value());
+    EXPECT_EQ(cache.recordCount(), 0u);
+}
+
+TEST(DiskCache, MidRunStoreFailureDisablesPersistence)
+{
+    TempDir dir("midrun");
+    DiskCache cache(dir.path(), 1);
+    cache.store("a", {1});
+    EXPECT_TRUE(cache.load("a").has_value());
+    EXPECT_FALSE(cache.persistenceDisabled());
+    // The directory vanishes mid-run (operator cleanup, quota purge).
+    fs::remove_all(dir.path());
+    EXPECT_NO_THROW(cache.store("b", {2}));
+    EXPECT_TRUE(cache.persistenceDisabled());
+    // Later stores are silent no-ops.
+    EXPECT_NO_THROW(cache.store("c", {3}));
+}
+
+TEST(DiskCache, SweepStillCompletesWithAnUnwritableCache)
+{
+    FaultInjector::ScopedSpec quiet("");
+    TempDir dir("degraded");
+    fs::create_directories(dir.path());
+    const std::string blocker = dir.path() + "/blocker";
+    std::ofstream(blocker) << "x";
+    RunnerOptions opts;
+    opts.cacheDir = blocker + "/cache";
+    SweepRunner runner(opts);
+    const auto out = runner.run<int>(
+        8, [](std::size_t i) { return "k" + std::to_string(i); },
+        [](std::size_t i) { return static_cast<int>(i) + 1; }, encodeInt,
+        decodeInt);
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i) + 1);
+    EXPECT_TRUE(runner.diskCache()->persistenceDisabled());
 }
 
 } // namespace

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Small deterministic sweep driver used by resume_test to exercise the
+ * crash/resume path across real process boundaries: a run can be made
+ * to SIGTERM itself mid-grid (--kill-after), after which a --resume
+ * run against the same cache directory must produce a byte-identical
+ * output file.
+ *
+ * Exit status: 0 on success, 130 when the sweep was drained by a
+ * signal (the shell convention for SIGINT-terminated jobs), 1 on any
+ * permanent task failure.
+ */
+
+#include <atomic>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "runtime/serialize.hpp"
+#include "runtime/sweep_runner.hpp"
+
+namespace {
+
+using namespace xylem;
+using runtime::BinaryReader;
+using runtime::BinaryWriter;
+using runtime::RunnerOptions;
+using runtime::SweepRunner;
+
+/** Deterministic, mildly expensive stand-in for a real experiment. */
+double
+computeTask(std::size_t i)
+{
+    double x = static_cast<double>(i) + 1.0;
+    for (int k = 0; k < 200000; ++k)
+        x = x * 1.0000001 + std::sin(static_cast<double>(k) * 1e-3) * 1e-6;
+    return x;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    RunnerOptions opts;
+    opts.jobs = 1;
+    std::size_t num_tasks = 24;
+    long kill_after = -1;
+    std::string out_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--cache-dir")
+            opts.cacheDir = value();
+        else if (arg == "--jobs")
+            opts.jobs = std::stoi(value());
+        else if (arg == "--tasks")
+            num_tasks = std::stoull(value());
+        else if (arg == "--kill-after")
+            kill_after = std::stol(value());
+        else if (arg == "--resume")
+            opts.resume = true;
+        else if (arg == "--out")
+            out_path = value();
+        else {
+            std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+
+    SweepRunner::installSignalHandlers();
+
+    std::atomic<long> completions{0};
+    auto compute = [&](std::size_t i) {
+        const double x = computeTask(i);
+        // Simulate an operator interrupt mid-grid: the process sends
+        // itself a real SIGTERM, caught by the installed handler.
+        if (kill_after >= 0 &&
+            completions.fetch_add(1) + 1 == kill_after)
+            std::raise(SIGTERM);
+        return x;
+    };
+    auto key = [](std::size_t i) {
+        return "sweep-tool|" + std::to_string(i) + "|v1";
+    };
+
+    SweepRunner runner(opts);
+    std::vector<double> results;
+    try {
+        results = runner.run<double>(
+            num_tasks, key, compute,
+            [](BinaryWriter &w, const double &v) { w.f64(v); },
+            [](BinaryReader &r) { return r.f64(); });
+    } catch (const Error &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return e.code() == ErrorCode::Interrupted ? 130 : 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+
+    if (!out_path.empty()) {
+        std::FILE *out = std::fopen(out_path.c_str(), "w");
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+            return 1;
+        }
+        // %a: exact hexadecimal doubles — the byte-identity witness.
+        for (std::size_t i = 0; i < results.size(); ++i)
+            std::fprintf(out, "%zu %a\n", i, results[i]);
+        std::fclose(out);
+    }
+    return 0;
+}

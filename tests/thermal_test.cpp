@@ -5,11 +5,14 @@
  * (warm starts, preconditioners), and the transient integrator.
  */
 
+#include <chrono>
 #include <cmath>
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/task_context.hpp"
 #include "stack/stack.hpp"
 #include "thermal/grid_model.hpp"
 
@@ -458,6 +461,137 @@ TEST(TemperatureField, MeanOfLayer)
     TemperatureField f(1, 2, 2, 0, 10.0);
     f.at(0, 0, 0) = 30.0;
     EXPECT_DOUBLE_EQ(f.meanOfLayer(0), 15.0);
+}
+
+// ---------------------------------------------------------------------
+// Task-context hooks (fault-tolerance layer)
+// ---------------------------------------------------------------------
+
+stack::BuiltStack
+contextTestStack()
+{
+    return makeSlabStack({{50e-6, 50.0}, {100e-6, 120.0}, {1e-3, 400.0}},
+                         6);
+}
+
+TEST(GridModelTaskContext, StrictSolverRaisesOnForcedNonConvergence)
+{
+    const auto stk = contextTestStack();
+    const GridModel model(stk, SolverOptions{});
+    PowerMap power(stk);
+    power.deposit(0, stk.grid.extent(), 5.0);
+
+    TaskContext ctx;
+    ctx.strictSolver = true;
+    ctx.forceCgNonConvergence = true;
+    ScopedTaskContext scope(ctx);
+    try {
+        model.solveSteady(power);
+        FAIL() << "expected Error(SolverNonConvergence)";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::SolverNonConvergence);
+    }
+}
+
+TEST(GridModelTaskContext, NonStrictForcedNonConvergenceOnlyWarns)
+{
+    const auto stk = contextTestStack();
+    const GridModel model(stk, SolverOptions{});
+    PowerMap power(stk);
+    power.deposit(0, stk.grid.extent(), 5.0);
+
+    TaskContext ctx; // strictSolver = false: legacy warn-only path
+    ctx.forceCgNonConvergence = true;
+    ScopedTaskContext scope(ctx);
+    SolveStats stats;
+    EXPECT_NO_THROW(model.solveSteady(power, &stats));
+    EXPECT_FALSE(stats.converged);
+    EXPECT_EQ(stats.iterations, 0);
+}
+
+TEST(GridModelTaskContext, DenseRungLiftsTheForcedFault)
+{
+    // At the dense escalation rung the CG-specific fault no longer
+    // applies (the dense path replaces CG; a direct GridModel caller
+    // simply solves normally again).
+    const auto stk = contextTestStack();
+    const GridModel model(stk, SolverOptions{});
+    PowerMap power(stk);
+    power.deposit(0, stk.grid.extent(), 5.0);
+
+    TaskContext ctx;
+    ctx.strictSolver = true;
+    ctx.forceCgNonConvergence = true;
+    ctx.escalation = static_cast<int>(Escalation::DenseSolve);
+    ScopedTaskContext scope(ctx);
+    SolveStats stats;
+    EXPECT_NO_THROW(model.solveSteady(power, &stats));
+    EXPECT_TRUE(stats.converged);
+}
+
+TEST(GridModelTaskContext, ExpiredDeadlineAbortsTheSolve)
+{
+    const auto stk = contextTestStack();
+    SolverOptions opts;
+    opts.tolerance = 1e-12; // enough iterations to hit a checkpoint
+    const GridModel model(stk, opts);
+    PowerMap power(stk);
+    power.deposit(0, stk.grid.extent(), 5.0);
+
+    TaskContext ctx;
+    ctx.hasDeadline = true;
+    ctx.deadline = std::chrono::steady_clock::now() -
+                   std::chrono::milliseconds(1); // already expired
+    ScopedTaskContext scope(ctx);
+    try {
+        model.solveSteady(power);
+        FAIL() << "expected Error(DeadlineExceeded)";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::DeadlineExceeded);
+    }
+}
+
+TEST(GridModelTaskContext, AlternatePreconditionerRungStillConverges)
+{
+    const auto stk = contextTestStack();
+    SolverOptions opts;
+    opts.preconditioner = Preconditioner::VerticalLine;
+    const GridModel model(stk, opts);
+    PowerMap power(stk);
+    power.deposit(0, stk.grid.extent(), 5.0);
+
+    const TemperatureField normal = model.solveSteady(power);
+
+    TaskContext ctx;
+    ctx.strictSolver = true;
+    ctx.escalation =
+        static_cast<int>(Escalation::AlternatePreconditioner);
+    ScopedTaskContext scope(ctx);
+    SolveStats stats;
+    const TemperatureField alt = model.solveSteady(power, &stats);
+    EXPECT_TRUE(stats.converged);
+    for (std::size_t i = 0; i < normal.numNodes(); ++i)
+        EXPECT_NEAR(alt.nodes()[i], normal.nodes()[i], 1e-3);
+}
+
+TEST(GridModelTaskContext, ColdStartRungIgnoresTheWarmStart)
+{
+    const auto stk = contextTestStack();
+    const GridModel model(stk, SolverOptions{});
+    PowerMap power(stk);
+    power.deposit(0, stk.grid.extent(), 5.0);
+    const TemperatureField prior = model.solveSteady(power);
+
+    // Warm-started from the exact solution, the solve is ~free...
+    SolveStats warm_stats;
+    model.solveSteady(power, &warm_stats, &prior);
+    // ...but on the cold-start rung the warm start must be ignored.
+    TaskContext ctx;
+    ctx.escalation = static_cast<int>(Escalation::ColdStart);
+    ScopedTaskContext scope(ctx);
+    SolveStats cold_stats;
+    model.solveSteady(power, &cold_stats, &prior);
+    EXPECT_GT(cold_stats.iterations, warm_stats.iterations);
 }
 
 } // namespace

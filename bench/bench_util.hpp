@@ -112,6 +112,12 @@ class BenchReporter
              << ",\"cache_hits\":" << snap.count("runner.cache_hits")
              << ",\"solver_iterations\":"
              << snap.count("solver.iterations")
+             << ",\"workspace_reuses\":"
+             << snap.count("solver.workspace_reuses")
+             << ",\"apply_seconds\":"
+             << snap.timingTotal("solver.apply_seconds")
+             << ",\"precond_seconds\":"
+             << snap.timingTotal("solver.precond_seconds")
              << ",\"sim_cache_hits\":" << snap.count("simcache.hits")
              << ",\"sim_cache_misses\":" << snap.count("simcache.misses")
              << ",\"retries\":" << snap.count("runner.retries")

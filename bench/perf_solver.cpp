@@ -1,20 +1,48 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the thermal solver itself:
- * steady-state solves (cold and warm-started) and transient steps at
- * several grid resolutions, plus the multicore simulator.
+ * Microbenchmark of the thermal solver hot path: steady-state solves
+ * (cold and warm-started), transient steps, and the raw mat-vec, at
+ * several grid resolutions and with both preconditioners.
+ *
+ * Unlike the figure benches this binary times the solver itself, so
+ * it uses its own minimal harness instead of the experiment runtime:
+ * every benchmark is warmed up once, then run for enough repetitions
+ * to fill a wall-clock budget, and the per-solve mean is reported.
+ *
+ * Flags:
+ *   --json [PATH]   write a machine-readable summary (default path
+ *                   BENCH_solver.json) with ns/solve, solves/s and CG
+ *                   iteration counts per benchmark, plus the full
+ *                   telemetry registry (solver.apply_seconds,
+ *                   solver.precond_seconds, solver.workspace_reuses)
+ *   --grids A,B,..  grid edge lengths to sweep (default 32,64,128)
+ *   --threads N     intra-solve worker threads (SolverOptions::threads)
+ *   --fast          smoke configuration: 32-grid only, small budget
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
-#include "cpu/multicore.hpp"
+#include "common/table.hpp"
+#include "runtime/metrics.hpp"
 #include "stack/stack.hpp"
 #include "thermal/grid_model.hpp"
-#include "workloads/profile.hpp"
 
 namespace {
 
 using namespace xylem;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
 
 stack::BuiltStack
 makeStack(std::size_t grid)
@@ -37,92 +65,217 @@ makePower(const stack::BuiltStack &stk)
     return power;
 }
 
-void
-BM_SteadySolveCold(benchmark::State &state)
+struct BenchResult
 {
-    const auto stk = makeStack(static_cast<std::size_t>(state.range(0)));
-    const thermal::GridModel model(stk, {});
-    const auto power = makePower(stk);
-    for (auto _ : state) {
-        thermal::SolveStats stats;
-        auto field = model.solveSteady(power, &stats);
-        benchmark::DoNotOptimize(field.nodes().data());
-        state.counters["iters"] = stats.iterations;
-    }
-    state.counters["nodes"] = static_cast<double>(model.numNodes());
-}
-BENCHMARK(BM_SteadySolveCold)->Arg(40)->Arg(80)->Unit(
-    benchmark::kMillisecond);
+    std::string name;
+    std::size_t grid = 0;
+    std::string mode;       ///< cold | warm | transient | matvec
+    std::string precond;    ///< jacobi | line | -
+    std::size_t nodes = 0;
+    int threads = 1;
+    int reps = 0;
+    double nsPerSolve = 0.0;
+    int cgIterations = 0;   ///< per solve (0 for matvec)
 
-void
-BM_SteadySolveWarm(benchmark::State &state)
-{
-    const auto stk = makeStack(static_cast<std::size_t>(state.range(0)));
-    const thermal::GridModel model(stk, {});
-    const auto power = makePower(stk);
-    const auto warm = model.solveSteady(power);
-    // Perturbed power: the realistic warm-start scenario.
-    auto power2 = power;
-    power2.deposit(stk.procMetal, stk.grid.extent(), 1.0);
-    for (auto _ : state) {
-        auto field = model.solveSteady(power2, nullptr, &warm);
-        benchmark::DoNotOptimize(field.nodes().data());
+    double solvesPerSecond() const
+    {
+        return nsPerSolve > 0.0 ? 1e9 / nsPerSolve : 0.0;
     }
-}
-BENCHMARK(BM_SteadySolveWarm)->Arg(40)->Arg(80)->Unit(
-    benchmark::kMillisecond);
+};
 
-void
-BM_TransientStep(benchmark::State &state)
+/**
+ * Time `fn` (one solve per call): one untimed warmup call, then as
+ * many repetitions as fit the budget (at least one, at most 200).
+ */
+template <typename F>
+BenchResult
+run(const std::string &name, double budget_seconds, F &&fn)
 {
-    const auto stk = makeStack(static_cast<std::size_t>(state.range(0)));
-    const thermal::GridModel model(stk, {});
-    const auto power = makePower(stk);
-    auto power2 = power;
-    power2.deposit(stk.procMetal, geometry::Rect{0, 0, 8e-3, 2.6e-3},
-                   4.0);
-    auto field = model.solveSteady(power);
-    for (auto _ : state) {
-        field = model.stepTransient(field, power2, 0.005);
-        benchmark::DoNotOptimize(field.nodes().data());
-    }
+    BenchResult r;
+    r.name = name;
+    fn(); // warmup: page in, compute warm-start fields, size caches
+    const auto probe0 = Clock::now();
+    r.cgIterations = fn();
+    const double probe = secondsSince(probe0);
+    int reps = probe > 0.0
+                   ? static_cast<int>(budget_seconds / probe)
+                   : 200;
+    if (reps < 1)
+        reps = 1;
+    if (reps > 200)
+        reps = 200;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < reps; ++i)
+        fn();
+    const double elapsed = secondsSince(t0);
+    r.reps = reps;
+    r.nsPerSolve = elapsed / reps * 1e9;
+    return r;
 }
-BENCHMARK(BM_TransientStep)->Arg(40)->Arg(80)->Unit(
-    benchmark::kMillisecond);
 
-void
-BM_MatVec(benchmark::State &state)
+const char *
+precondName(thermal::Preconditioner p)
 {
-    const auto stk = makeStack(static_cast<std::size_t>(state.range(0)));
-    const thermal::GridModel model(stk, {});
-    std::vector<double> x(model.numNodes(), 1.0), y;
-    for (auto _ : state) {
-        model.apply(x, y);
-        benchmark::DoNotOptimize(y.data());
-    }
+    return p == thermal::Preconditioner::VerticalLine ? "line" : "jacobi";
 }
-BENCHMARK(BM_MatVec)->Arg(40)->Arg(80)->Unit(benchmark::kMicrosecond);
-
-void
-BM_MulticoreSim(benchmark::State &state)
-{
-    const auto &app = workloads::profileByName(
-        state.range(0) == 0 ? "LU(NAS)" : "IS");
-    cpu::MulticoreConfig cfg;
-    cfg.instsPerThread = 100000;
-    cfg.warmupInsts = 100000;
-    const auto threads = cpu::allCoresRunning(app);
-    for (auto _ : state) {
-        auto result = cpu::simulate(cfg, threads);
-        benchmark::DoNotOptimize(&result);
-        state.counters["MIPS"] =
-            static_cast<double>(result.totalInsts()) / 1e6 /
-            (state.iterations() ? 1.0 : 1.0);
-    }
-}
-BENCHMARK(BM_MulticoreSim)->Arg(0)->Arg(1)->Unit(
-    benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::vector<std::size_t> grids = {32, 64, 128};
+    std::string json_path;
+    bool want_json = false;
+    double budget = 1.0;
+    int threads = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--fast") {
+            grids = {32};
+            budget = 0.1;
+        } else if (arg == "--json") {
+            want_json = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                json_path = argv[++i];
+            else
+                json_path = "BENCH_solver.json";
+        } else if (arg == "--grids") {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for --grids\n";
+                return 2;
+            }
+            grids.clear();
+            std::stringstream ss(argv[++i]);
+            std::string tok;
+            while (std::getline(ss, tok, ','))
+                grids.push_back(
+                    static_cast<std::size_t>(std::atoi(tok.c_str())));
+        } else if (arg == "--threads") {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for --threads\n";
+                return 2;
+            }
+            threads = std::atoi(argv[++i]);
+        } else {
+            std::cerr << "unknown argument '" << arg << "'\n";
+            return 2;
+        }
+    }
+
+    const auto wall0 = Clock::now();
+    std::vector<BenchResult> results;
+
+    for (const std::size_t g : grids) {
+        const auto stk = makeStack(g);
+        const auto power = makePower(stk);
+        auto power2 = power;
+        power2.deposit(stk.procMetal, stk.grid.extent(), 1.0);
+
+        for (const auto pc : {thermal::Preconditioner::Jacobi,
+                              thermal::Preconditioner::VerticalLine}) {
+            thermal::SolverOptions opts;
+            opts.preconditioner = pc;
+            opts.threads = threads;
+            const thermal::GridModel model(stk, opts);
+            const std::string suffix =
+                std::string("_") + precondName(pc) + "_" +
+                std::to_string(g);
+
+            // Steady-state, cold start (x = 0).
+            BenchResult cold = run("steady_cold" + suffix, budget, [&] {
+                thermal::SolveStats stats;
+                const auto f = model.solveSteady(power, &stats);
+                (void)f;
+                return stats.iterations;
+            });
+
+            // Steady-state, warm-started from the perturbed solution.
+            const auto warm_field = model.solveSteady(power);
+            BenchResult warm = run("steady_warm" + suffix, budget, [&] {
+                thermal::SolveStats stats;
+                const auto f =
+                    model.solveSteady(power2, &stats, &warm_field);
+                (void)f;
+                return stats.iterations;
+            });
+
+            // One implicit-Euler step from a fixed (ambient) state, so
+            // every repetition does identical work and the CG loop
+            // actually has to close a non-trivial residual.
+            const auto ambient = model.ambientField();
+            BenchResult transient =
+                run("transient" + suffix, budget, [&] {
+                    thermal::SolveStats stats;
+                    const auto f = model.stepTransient(ambient, power2,
+                                                       0.005, &stats);
+                    (void)f;
+                    return stats.iterations;
+                });
+
+            // Raw mat-vec (the per-iteration kernel).
+            std::vector<double> x(model.numNodes(), 1.0), y;
+            BenchResult matvec = run("matvec" + suffix, budget / 4, [&] {
+                model.apply(x, y);
+                return 0;
+            });
+
+            for (BenchResult *r : {&cold, &warm, &transient, &matvec}) {
+                r->grid = g;
+                r->precond = precondName(pc);
+                r->nodes = model.numNodes();
+                r->threads = threads;
+            }
+            cold.mode = "cold";
+            warm.mode = "warm";
+            transient.mode = "transient";
+            matvec.mode = "matvec";
+            results.push_back(cold);
+            results.push_back(warm);
+            results.push_back(transient);
+            results.push_back(matvec);
+        }
+    }
+
+    Table table({"benchmark", "nodes", "reps", "ns/solve", "solves/s",
+                 "CG iters"});
+    for (const auto &r : results) {
+        table.addRow({r.name, std::to_string(r.nodes),
+                      std::to_string(r.reps), Table::num(r.nsPerSolve, 0),
+                      Table::num(r.solvesPerSecond(), 2),
+                      std::to_string(r.cgIterations)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+    runtime::Metrics::global().printSummary(std::cout);
+
+    if (want_json) {
+        std::ostringstream json;
+        json << "{\"bench\":\"perf_solver\",\"wall_seconds\":"
+             << secondsSince(wall0) << ",\"threads\":" << threads
+             << ",\"benchmarks\":[";
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const auto &r = results[i];
+            json << (i ? "," : "") << "{\"name\":\"" << r.name
+                 << "\",\"grid\":" << r.grid << ",\"mode\":\"" << r.mode
+                 << "\",\"precond\":\"" << r.precond
+                 << "\",\"nodes\":" << r.nodes
+                 << ",\"threads\":" << r.threads << ",\"reps\":" << r.reps
+                 << ",\"ns_per_solve\":" << r.nsPerSolve
+                 << ",\"solves_per_s\":" << r.solvesPerSecond()
+                 << ",\"cg_iterations\":" << r.cgIterations << "}";
+        }
+        json << "],\"metrics\":" << runtime::Metrics::global().toJson()
+             << "}";
+        std::ofstream out(json_path, std::ios::trunc);
+        if (out) {
+            out << json.str() << "\n";
+            std::cout << "JSON written to " << json_path << "\n";
+        } else {
+            std::cerr << "warn: cannot write JSON summary to '"
+                      << json_path << "'\n";
+            return 1;
+        }
+    }
+    return 0;
+}

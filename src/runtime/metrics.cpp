@@ -44,6 +44,13 @@ Metrics::Snapshot::count(const std::string &name) const
     return it == counters.end() ? 0 : it->second;
 }
 
+double
+Metrics::Snapshot::timingTotal(const std::string &name) const
+{
+    auto it = timings.find(name);
+    return it == timings.end() ? 0.0 : it->second.totalSeconds;
+}
+
 Metrics::Snapshot
 Metrics::snapshot() const
 {

@@ -87,6 +87,9 @@ class Metrics
 
         /** Counter value or 0 when absent. */
         std::uint64_t count(const std::string &name) const;
+
+        /** Total seconds of a timing, or 0 when absent. */
+        double timingTotal(const std::string &name) const;
     };
     Snapshot snapshot() const;
 

@@ -1,12 +1,253 @@
 #include "thermal/grid_model.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/task_context.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/thread_pool.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define XYLEM_RESTRICT __restrict__
+#else
+#define XYLEM_RESTRICT
+#endif
 
 namespace xylem::thermal {
+
+namespace {
+
+// Deterministic block sizes for the partitioned kernels. The block
+// structure depends only on the problem size — never on the thread
+// count — and every reduction sums its per-block partials serially in
+// ascending block order, so a solve is bit-identical whether the
+// blocks run inline (threads = 1) or on a pool (threads = N).
+constexpr std::size_t kDotBlock = 4096; ///< flat vector-kernel block
+constexpr std::size_t kRowChunk = 16;   ///< grid rows per apply block
+constexpr std::size_t kColChunk = 1024; ///< XY columns per line chunk
+
+std::size_t
+blockCount(std::size_t n, std::size_t block)
+{
+    return (n + block - 1) / block;
+}
+
+using runtime::ThreadPool;
+
+/** r = b (cold start: A·0 = 0 exactly); returns Σ b². */
+double
+blockedCopyResidual(const double *XYLEM_RESTRICT b, double *XYLEM_RESTRICT r,
+                    std::size_t n, ThreadPool *pool, double *bs)
+{
+    const std::size_t nb = blockCount(n, kDotBlock);
+    ThreadPool::parallelFor(pool, nb, [&](std::size_t blk) {
+        const std::size_t i0 = blk * kDotBlock;
+        const std::size_t i1 = std::min(n, i0 + kDotBlock);
+        double s = 0.0;
+        for (std::size_t i = i0; i < i1; ++i) {
+            r[i] = b[i];
+            s += b[i] * b[i];
+        }
+        bs[blk] = s;
+    });
+    double total = 0.0;
+    for (std::size_t blk = 0; blk < nb; ++blk)
+        total += bs[blk];
+    return total;
+}
+
+/** r = b - q (warm start); returns Σ b². */
+double
+blockedInitResidual(const double *XYLEM_RESTRICT b,
+                    const double *XYLEM_RESTRICT q,
+                    double *XYLEM_RESTRICT r, std::size_t n,
+                    ThreadPool *pool, double *bs)
+{
+    const std::size_t nb = blockCount(n, kDotBlock);
+    ThreadPool::parallelFor(pool, nb, [&](std::size_t blk) {
+        const std::size_t i0 = blk * kDotBlock;
+        const std::size_t i1 = std::min(n, i0 + kDotBlock);
+        double s = 0.0;
+        for (std::size_t i = i0; i < i1; ++i) {
+            r[i] = b[i] - q[i];
+            s += b[i] * b[i];
+        }
+        bs[blk] = s;
+    });
+    double total = 0.0;
+    for (std::size_t blk = 0; blk < nb; ++blk)
+        total += bs[blk];
+    return total;
+}
+
+double
+blockedSumSq(const double *XYLEM_RESTRICT v, std::size_t n,
+             ThreadPool *pool, double *bs)
+{
+    const std::size_t nb = blockCount(n, kDotBlock);
+    ThreadPool::parallelFor(pool, nb, [&](std::size_t blk) {
+        const std::size_t i0 = blk * kDotBlock;
+        const std::size_t i1 = std::min(n, i0 + kDotBlock);
+        double s = 0.0;
+        for (std::size_t i = i0; i < i1; ++i)
+            s += v[i] * v[i];
+        bs[blk] = s;
+    });
+    double total = 0.0;
+    for (std::size_t blk = 0; blk < nb; ++blk)
+        total += bs[blk];
+    return total;
+}
+
+/** x += α p;  r -= α q;  returns the new Σ r². */
+double
+blockedAxpyResidual(double alpha, const double *XYLEM_RESTRICT p,
+                    const double *XYLEM_RESTRICT q,
+                    double *XYLEM_RESTRICT x, double *XYLEM_RESTRICT r,
+                    std::size_t n, ThreadPool *pool, double *bs)
+{
+    const std::size_t nb = blockCount(n, kDotBlock);
+    ThreadPool::parallelFor(pool, nb, [&](std::size_t blk) {
+        const std::size_t i0 = blk * kDotBlock;
+        const std::size_t i1 = std::min(n, i0 + kDotBlock);
+        double s = 0.0;
+        for (std::size_t i = i0; i < i1; ++i) {
+            x[i] += alpha * p[i];
+            const double ri = r[i] - alpha * q[i];
+            r[i] = ri;
+            s += ri * ri;
+        }
+        bs[blk] = s;
+    });
+    double total = 0.0;
+    for (std::size_t blk = 0; blk < nb; ++blk)
+        total += bs[blk];
+    return total;
+}
+
+/** z = r .* inv_diag (Jacobi), fused with the r·z reduction. */
+double
+blockedJacobi(const double *XYLEM_RESTRICT r,
+              const double *XYLEM_RESTRICT inv_diag,
+              double *XYLEM_RESTRICT z, std::size_t n, ThreadPool *pool,
+              double *bs)
+{
+    const std::size_t nb = blockCount(n, kDotBlock);
+    ThreadPool::parallelFor(pool, nb, [&](std::size_t blk) {
+        const std::size_t i0 = blk * kDotBlock;
+        const std::size_t i1 = std::min(n, i0 + kDotBlock);
+        double s = 0.0;
+        for (std::size_t i = i0; i < i1; ++i) {
+            const double zi = r[i] * inv_diag[i];
+            z[i] = zi;
+            s += r[i] * zi;
+        }
+        bs[blk] = s;
+    });
+    double total = 0.0;
+    for (std::size_t blk = 0; blk < nb; ++blk)
+        total += bs[blk];
+    return total;
+}
+
+/** p = z + β p. */
+void
+blockedUpdateDirection(double beta, const double *XYLEM_RESTRICT z,
+                       double *XYLEM_RESTRICT p, std::size_t n,
+                       ThreadPool *pool)
+{
+    const std::size_t nb = blockCount(n, kDotBlock);
+    ThreadPool::parallelFor(pool, nb, [&](std::size_t blk) {
+        const std::size_t i0 = blk * kDotBlock;
+        const std::size_t i1 = std::min(n, i0 + kDotBlock);
+        for (std::size_t i = i0; i < i1; ++i)
+            p[i] = z[i] + beta * p[i];
+    });
+}
+
+/**
+ * The fused per-row stencil: for every cell of one grid row,
+ *   y = (diag + extra) x  -  Σ g_neighbour x_neighbour
+ * gathering the vertical (below/above), lateral (west/east,
+ * south/north), and periphery-rim legs in a single pass. Absent
+ * neighbours arrive as an all-zero coefficient stream paired with any
+ * in-bounds dummy x pointer (0 · x = 0), so the loop body is
+ * branch-free. Only y is written, so the many read streams may alias
+ * each other freely under restrict.
+ *
+ * Returns Σ x·y over the row (the caller's fused dot product).
+ */
+double
+fusedApplyRow(std::size_t nx, const double *XYLEM_RESTRICT dg,
+              const double *XYLEM_RESTRICT ed,
+              const double *XYLEM_RESTRICT xc,
+              const double *XYLEM_RESTRICT xb,
+              const double *XYLEM_RESTRICT xa,
+              const double *XYLEM_RESTRICT xs,
+              const double *XYLEM_RESTRICT xn,
+              const double *XYLEM_RESTRICT gvd,
+              const double *XYLEM_RESTRICT gvu,
+              const double *XYLEM_RESTRICT gys,
+              const double *XYLEM_RESTRICT gyn,
+              const double *XYLEM_RESTRICT gx,
+              const double *XYLEM_RESTRICT rim, double x_peri,
+              double *XYLEM_RESTRICT y)
+{
+    if (nx == 1) {
+        const double v = (dg[0] + ed[0]) * xc[0] -
+                         (gvd[0] * xb[0] + gvu[0] * xa[0] +
+                          gys[0] * xs[0] + gyn[0] * xn[0] +
+                          rim[0] * x_peri);
+        y[0] = v;
+        return xc[0] * v;
+    }
+    double dot = 0.0;
+    {
+        // west edge: no x-1 neighbour
+        const double v = (dg[0] + ed[0]) * xc[0] -
+                         (gvd[0] * xb[0] + gvu[0] * xa[0] +
+                          gys[0] * xs[0] + gyn[0] * xn[0] +
+                          rim[0] * x_peri + gx[0] * xc[1]);
+        y[0] = v;
+        dot += xc[0] * v;
+    }
+    for (std::size_t ix = 1; ix + 1 < nx; ++ix) {
+        const double v = (dg[ix] + ed[ix]) * xc[ix] -
+                         (gvd[ix] * xb[ix] + gvu[ix] * xa[ix] +
+                          gys[ix] * xs[ix] + gyn[ix] * xn[ix] +
+                          rim[ix] * x_peri + gx[ix - 1] * xc[ix - 1] +
+                          gx[ix] * xc[ix + 1]);
+        y[ix] = v;
+        dot += xc[ix] * v;
+    }
+    {
+        // east edge: no x+1 neighbour
+        const std::size_t ix = nx - 1;
+        const double v = (dg[ix] + ed[ix]) * xc[ix] -
+                         (gvd[ix] * xb[ix] + gvu[ix] * xa[ix] +
+                          gys[ix] * xs[ix] + gyn[ix] * xn[ix] +
+                          rim[ix] * x_peri + gx[ix - 1] * xc[ix - 1]);
+        y[ix] = v;
+        dot += xc[ix] * v;
+    }
+    return dot;
+}
+
+double
+seconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+SolverWorkspace::SolverWorkspace() = default;
+SolverWorkspace::~SolverWorkspace() = default;
 
 GridModel::GridModel(const stack::BuiltStack &stk, SolverOptions opts)
     : stack_(&stk), opts_(opts)
@@ -54,6 +295,9 @@ GridModel::assemble()
     diag_.assign(num_nodes_, 0.0);
     capacity_.assign(num_nodes_, 0.0);
     periph_vert_.assign(periphery_.empty() ? 0 : periphery_.size() - 1, 0.0);
+    rim_g_.assign(num_layers_, {});
+    periph_node_of_layer_.assign(num_layers_, -1);
+    zeros_.assign(cells_, 0.0);
 
     const double dx = grid.cellWidth();
     const double dy = grid.cellHeight();
@@ -128,7 +372,12 @@ GridModel::assemble()
                   ((dx + dy) / 2.0) / spread_dist;
         // Boundary edges: attach one edgeG per die-rim cell edge.
         // (The diag of the boundary cells and of the periphery node
-        //  both grow by edgeG per edge.)
+        //  both grow by edgeG per edge.) rim_g_ keeps the same
+        //  coupling as a dense per-cell array so the fused sweep can
+        //  gather it branch-free.
+        periph_node_of_layer_[p.layer] =
+            static_cast<std::ptrdiff_t>(p.node);
+        rim_g_[p.layer].assign(cells_, 0.0);
         std::size_t num_edges = 0;
         for (std::size_t iy = 0; iy < ny_; ++iy) {
             for (std::size_t ix = 0; ix < nx_; ++ix) {
@@ -141,6 +390,8 @@ GridModel::assemble()
                     continue;
                 const std::size_t node = p.layer * cells_ + iy * nx_ + ix;
                 diag_[node] += p.edgeG * static_cast<double>(edges);
+                rim_g_[p.layer][iy * nx_ + ix] =
+                    p.edgeG * static_cast<double>(edges);
                 num_edges += edges;
             }
         }
@@ -198,90 +449,105 @@ GridModel::assemble()
 }
 
 void
+GridModel::fusedApply(const double *x, double *y, const double *extra_diag,
+                      runtime::ThreadPool *pool, double *dot_out,
+                      double *block_sums) const
+{
+    // One gather sweep per grid row: every node's value is produced by
+    // exactly one block, so the blocks are race-free by construction
+    // and the kernel writes y exactly once per node.
+    const std::size_t row_chunks = blockCount(ny_, kRowChunk);
+    const std::size_t nblocks = num_layers_ * row_chunks;
+    const double *zeros = zeros_.data();
+    ThreadPool::parallelFor(pool, nblocks, [&](std::size_t blk) {
+        const std::size_t l = blk / row_chunks;
+        const std::size_t iy0 = (blk % row_chunks) * kRowChunk;
+        const std::size_t iy1 = std::min(ny_, iy0 + kRowChunk);
+        const std::size_t base = l * cells_;
+        const double *xl = x + base;
+        const double *gx_l = lat_x_[l].data();
+        const double *gy_l = lat_y_[l].data();
+        const bool below = l > 0;
+        const bool above = l + 1 < num_layers_;
+        const double *gvd_l = below ? vert_[l - 1].data() : zeros;
+        const double *xb_l = below ? x + base - cells_ : x;
+        const double *gvu_l = above ? vert_[l].data() : zeros;
+        const double *xa_l = above ? x + base + cells_ : x;
+        const bool rimmed = !rim_g_[l].empty();
+        const double *rim_l = rimmed ? rim_g_[l].data() : zeros;
+        const double x_peri =
+            rimmed ? x[periph_node_of_layer_[l]] : 0.0;
+        double sum = 0.0;
+        for (std::size_t iy = iy0; iy < iy1; ++iy) {
+            const std::size_t roff = iy * nx_;
+            const double *gys = iy > 0 ? gy_l + roff - nx_ : zeros;
+            const double *xs = iy > 0 ? xl + roff - nx_ : xl;
+            // lat_y_ entries of the last row are already zero.
+            const double *gyn = gy_l + roff;
+            const double *xn = iy + 1 < ny_ ? xl + roff + nx_ : xl;
+            const double *edp =
+                extra_diag ? extra_diag + base + roff : zeros;
+            sum += fusedApplyRow(nx_, diag_.data() + base + roff, edp,
+                                 xl + roff, xb_l + roff, xa_l + roff, xs,
+                                 xn, gvd_l + roff, gvu_l + roff, gys, gyn,
+                                 gx_l + roff, rim_l + roff, x_peri,
+                                 y + base + roff);
+        }
+        if (block_sums)
+            block_sums[blk] = sum;
+    });
+
+    // Periphery tail, serial and in fixed order: each node gathers its
+    // rim coupling (boundary cells visited row 0, then the two edge
+    // columns of the middle rows, then the last row) plus the vertical
+    // legs to the neighbouring periphery nodes.
+    for (std::size_t k = 0; k < periphery_.size(); ++k) {
+        const auto &p = periphery_[k];
+        const double *xl = x + p.layer * cells_;
+        const double *rim = rim_g_[p.layer].data();
+        double acc = 0.0;
+        for (std::size_t ix = 0; ix < nx_; ++ix)
+            acc += rim[ix] * xl[ix];
+        for (std::size_t iy = 1; iy + 1 < ny_; ++iy) {
+            acc += rim[iy * nx_] * xl[iy * nx_];
+            if (nx_ > 1)
+                acc += rim[iy * nx_ + nx_ - 1] * xl[iy * nx_ + nx_ - 1];
+        }
+        if (ny_ > 1) {
+            const std::size_t roff = (ny_ - 1) * nx_;
+            for (std::size_t ix = 0; ix < nx_; ++ix)
+                acc += rim[roff + ix] * xl[roff + ix];
+        }
+        double d = diag_[p.node];
+        if (extra_diag)
+            d += extra_diag[p.node];
+        double v = d * x[p.node] - acc;
+        if (k > 0)
+            v -= periph_vert_[k - 1] * x[periphery_[k - 1].node];
+        if (k + 1 < periphery_.size())
+            v -= periph_vert_[k] * x[periphery_[k + 1].node];
+        y[p.node] = v;
+    }
+
+    if (dot_out) {
+        double dot = 0.0;
+        for (std::size_t blk = 0; blk < nblocks; ++blk)
+            dot += block_sums[blk];
+        for (const auto &p : periphery_)
+            dot += x[p.node] * y[p.node];
+        *dot_out = dot;
+    }
+}
+
+void
 GridModel::apply(const std::vector<double> &x, std::vector<double> &y,
                  const std::vector<double> *extra_diag) const
 {
     XYLEM_ASSERT(x.size() == num_nodes_, "apply: wrong vector size");
-    y.assign(num_nodes_, 0.0);
-
-    // Ground legs (convection) and optional extra diagonal.
-    for (std::size_t i = 0; i < num_nodes_; ++i) {
-        double d = ground_[i];
-        if (extra_diag)
-            d += (*extra_diag)[i];
-        y[i] = d * x[i];
-    }
-
-    // Vertical legs.
-    for (std::size_t l = 0; l + 1 < num_layers_; ++l) {
-        const double *g = vert_[l].data();
-        const double *xa = x.data() + l * cells_;
-        const double *xb = x.data() + (l + 1) * cells_;
-        double *ya = y.data() + l * cells_;
-        double *yb = y.data() + (l + 1) * cells_;
-        for (std::size_t c = 0; c < cells_; ++c) {
-            const double f = g[c] * (xa[c] - xb[c]);
-            ya[c] += f;
-            yb[c] -= f;
-        }
-    }
-
-    // Lateral legs.
-    for (std::size_t l = 0; l < num_layers_; ++l) {
-        const double *gx = lat_x_[l].data();
-        const double *gy = lat_y_[l].data();
-        const double *xl = x.data() + l * cells_;
-        double *yl = y.data() + l * cells_;
-        for (std::size_t iy = 0; iy < ny_; ++iy) {
-            const std::size_t row = iy * nx_;
-            for (std::size_t ix = 0; ix + 1 < nx_; ++ix) {
-                const std::size_t c = row + ix;
-                const double f = gx[c] * (xl[c] - xl[c + 1]);
-                yl[c] += f;
-                yl[c + 1] -= f;
-            }
-        }
-        for (std::size_t iy = 0; iy + 1 < ny_; ++iy) {
-            const std::size_t row = iy * nx_;
-            for (std::size_t ix = 0; ix < nx_; ++ix) {
-                const std::size_t c = row + ix;
-                const double f = gy[c] * (xl[c] - xl[c + nx_]);
-                yl[c] += f;
-                yl[c + nx_] -= f;
-            }
-        }
-    }
-
-    // Periphery legs.
-    for (std::size_t k = 0; k < periphery_.size(); ++k) {
-        const auto &p = periphery_[k];
-        const double *xl = x.data() + p.layer * cells_;
-        double *yl = y.data() + p.layer * cells_;
-        double acc = 0.0;
-        auto couple = [&](std::size_t c, double mult) {
-            const double f = p.edgeG * mult * (xl[c] - x[p.node]);
-            yl[c] += f;
-            acc -= f;
-        };
-        for (std::size_t iy = 0; iy < ny_; ++iy) {
-            for (std::size_t ix = 0; ix < nx_; ++ix) {
-                double edges = 0.0;
-                if (ix == 0 || ix + 1 == nx_)
-                    edges += 1.0;
-                if (iy == 0 || iy + 1 == ny_)
-                    edges += 1.0;
-                if (edges > 0.0)
-                    couple(iy * nx_ + ix, edges);
-            }
-        }
-        y[p.node] += acc;
-        if (k + 1 < periphery_.size()) {
-            const double f = periph_vert_[k] *
-                             (x[p.node] - x[periphery_[k + 1].node]);
-            y[p.node] += f;
-            y[periphery_[k + 1].node] -= f;
-        }
-    }
+    y.resize(num_nodes_);
+    fusedApply(x.data(), y.data(),
+               extra_diag ? extra_diag->data() : nullptr, nullptr, nullptr,
+               nullptr);
 }
 
 std::vector<double>
@@ -343,77 +609,229 @@ GridModel::denseMatrix(const std::vector<double> *extra_diag) const
 }
 
 void
-GridModel::applyLinePrecond(const std::vector<double> &r,
-                            std::vector<double> &z,
-                            const std::vector<double> *extra_diag) const
+GridModel::buildLineFactorization(const double *extra_diag,
+                                  SolverWorkspace &w) const
+{
+    // Invariant: the factorisation depends only on diag_ + extra_diag.
+    // diag_ is immutable after assemble(), and extra_diag is constant
+    // for the duration of one solve (it is the transient C/Δt shift,
+    // built once per step), so this runs ONCE per solve and every CG
+    // iteration reuses w.line_cp_ / w.line_inv_denom_ — the historic
+    // per-iteration Thomas refactorisation (with its two heap
+    // allocations and two divisions per node) is gone.
+    const std::size_t L = num_layers_;
+    const std::size_t nchunks = blockCount(cells_, kColChunk);
+    double *XYLEM_RESTRICT cp = w.line_cp_.data();
+    double *XYLEM_RESTRICT inv = w.line_inv_denom_.data();
+    const double *dgv = diag_.data();
+    const double *zeros = zeros_.data();
+    ThreadPool::parallelFor(nullptr, nchunks, [&](std::size_t chunk) {
+        const std::size_t c0 = chunk * kColChunk;
+        const std::size_t c1 = std::min(cells_, c0 + kColChunk);
+        const double *g0 = L > 1 ? vert_[0].data() : zeros;
+        for (std::size_t c = c0; c < c1; ++c) {
+            double d = dgv[c];
+            if (extra_diag)
+                d += extra_diag[c];
+            XYLEM_ASSERT(d > 0.0, "singular diagonal entry");
+            const double i = 1.0 / d;
+            inv[c] = i;
+            cp[c] = -g0[c] * i;
+        }
+        for (std::size_t l = 1; l < L; ++l) {
+            const double *g = vert_[l - 1].data();
+            const double *gu = l + 1 < L ? vert_[l].data() : zeros;
+            const std::size_t off = l * cells_;
+            for (std::size_t c = c0; c < c1; ++c) {
+                double d = dgv[off + c];
+                if (extra_diag)
+                    d += extra_diag[off + c];
+                // denom = d - off·cp_prev with off = -g: the Thomas
+                // pivot; SPD assembly keeps it positive.
+                const double den = d + g[c] * cp[off - cells_ + c];
+                XYLEM_ASSERT(den > 0.0,
+                             "line preconditioner lost positivity");
+                const double i = 1.0 / den;
+                inv[off + c] = i;
+                cp[off + c] = -gu[c] * i;
+            }
+        }
+    });
+    for (std::size_t k = 0; k < periphery_.size(); ++k) {
+        const std::size_t node = periphery_[k].node;
+        double d = diag_[node];
+        if (extra_diag)
+            d += extra_diag[node];
+        XYLEM_ASSERT(d > 0.0, "singular diagonal entry");
+        w.periph_inv_diag_[k] = 1.0 / d;
+    }
+}
+
+double
+GridModel::applyLineCached(const double *r, double *z, SolverWorkspace &w,
+                           runtime::ThreadPool *pool) const
 {
     const std::size_t L = num_layers_;
-    // Thomas algorithm per XY column over the layer dimension.
-    // Scratch buffers are per-call (solve() is const and re-entrant).
-    std::vector<double> cp(L), dp(L);
-    for (std::size_t c = 0; c < cells_; ++c) {
-        auto d_at = [&](std::size_t l) {
-            const std::size_t node = l * cells_ + c;
-            double d = diag_[node];
-            if (extra_diag)
-                d += (*extra_diag)[node];
-            return d;
-        };
-        // Forward sweep. Off-diagonal between layers l and l+1 is
-        // -vert_[l][c].
-        double denom = d_at(0);
-        cp[0] = (L > 1) ? -vert_[0][c] / denom : 0.0;
-        dp[0] = r[c] / denom;
+    const double *XYLEM_RESTRICT cp = w.line_cp_.data();
+    const double *XYLEM_RESTRICT inv = w.line_inv_denom_.data();
+    const std::size_t nchunks = blockCount(cells_, kColChunk);
+    double *bs = w.block_sums_.data();
+    ThreadPool::parallelFor(pool, nchunks, [&](std::size_t chunk) {
+        const std::size_t c0 = chunk * kColChunk;
+        const std::size_t c1 = std::min(cells_, c0 + kColChunk);
+        // Forward sweep, layer-major so each pass streams contiguous
+        // memory: dp is written straight into z.
+        for (std::size_t c = c0; c < c1; ++c)
+            z[c] = r[c] * inv[c];
         for (std::size_t l = 1; l < L; ++l) {
-            const double off = -vert_[l - 1][c];
-            denom = d_at(l) - off * cp[l - 1];
-            cp[l] = (l + 1 < L) ? -vert_[l][c] / denom : 0.0;
-            dp[l] = (r[l * cells_ + c] - off * dp[l - 1]) / denom;
+            const double *g = vert_[l - 1].data();
+            const std::size_t off = l * cells_;
+            for (std::size_t c = c0; c < c1; ++c)
+                z[off + c] =
+                    (r[off + c] + g[c] * z[off - cells_ + c]) * inv[off + c];
         }
-        // Back substitution.
-        z[(L - 1) * cells_ + c] = dp[L - 1];
-        for (std::size_t l = L - 1; l-- > 0;)
-            z[l * cells_ + c] = dp[l] - cp[l] * z[(l + 1) * cells_ + c];
-    }
+        // Back substitution with the r·z reduction fused in: top layer
+        // first, then descending — a fixed order per chunk.
+        double sum = 0.0;
+        {
+            const std::size_t off = (L - 1) * cells_;
+            for (std::size_t c = c0; c < c1; ++c)
+                sum += r[off + c] * z[off + c];
+        }
+        for (std::size_t l = L - 1; l-- > 0;) {
+            const std::size_t off = l * cells_;
+            for (std::size_t c = c0; c < c1; ++c) {
+                const double v = z[off + c] - cp[off + c] * z[off + cells_ + c];
+                z[off + c] = v;
+                sum += r[off + c] * v;
+            }
+        }
+        bs[chunk] = sum;
+    });
+    double rz = 0.0;
+    for (std::size_t chunk = 0; chunk < nchunks; ++chunk)
+        rz += bs[chunk];
     // Periphery nodes: plain Jacobi.
-    for (const auto &p : periphery_) {
-        double d = diag_[p.node];
-        if (extra_diag)
-            d += (*extra_diag)[p.node];
-        z[p.node] = r[p.node] / d;
+    for (std::size_t k = 0; k < periphery_.size(); ++k) {
+        const std::size_t node = periphery_[k].node;
+        const double v = r[node] * w.periph_inv_diag_[k];
+        z[node] = v;
+        rz += r[node] * v;
     }
+    return rz;
+}
+
+void
+GridModel::applyLinePreconditioner(const std::vector<double> &r,
+                                   std::vector<double> &z,
+                                   const std::vector<double> *extra_diag)
+    const
+{
+    XYLEM_ASSERT(r.size() == num_nodes_,
+                 "applyLinePreconditioner: wrong vector size");
+    z.resize(num_nodes_);
+    SolverWorkspace &w = threadLocalWorkspace();
+    prepare(w);
+    buildLineFactorization(extra_diag ? extra_diag->data() : nullptr, w);
+    applyLineCached(r.data(), z.data(), w, nullptr);
+}
+
+SolverWorkspace &
+GridModel::threadLocalWorkspace()
+{
+    thread_local SolverWorkspace ws;
+    return ws;
+}
+
+void
+GridModel::prepare(SolverWorkspace &w) const
+{
+    const std::size_t n = num_nodes_;
+    const std::size_t line_n = num_layers_ * cells_;
+    const std::size_t blocks =
+        std::max({blockCount(n, kDotBlock),
+                  num_layers_ * blockCount(ny_, kRowChunk),
+                  blockCount(cells_, kColChunk)});
+    if (w.sized_for_ == n && w.line_cp_.size() == line_n &&
+        w.periph_inv_diag_.size() == periphery_.size() &&
+        w.block_sums_.size() >= blocks) {
+        runtime::Metrics::global().counter("solver.workspace_reuses")
+            .increment();
+        return;
+    }
+    w.r_.resize(n);
+    w.z_.resize(n);
+    w.p_.resize(n);
+    w.q_.resize(n);
+    w.inv_diag_.resize(n);
+    w.b_.resize(n);
+    w.x_.resize(n);
+    w.extra_.resize(n);
+    w.line_cp_.resize(line_n);
+    w.line_inv_denom_.resize(line_n);
+    w.periph_inv_diag_.resize(periphery_.size());
+    w.block_sums_.resize(blocks);
+    w.sized_for_ = n;
+}
+
+runtime::ThreadPool *
+GridModel::poolFor(SolverWorkspace &w) const
+{
+    const int want = runtime::ThreadPool::resolveJobs(opts_.threads);
+    if (want <= 1)
+        return nullptr;
+    if (!w.pool_ || w.pool_threads_ != want) {
+        w.pool_ = std::make_unique<runtime::ThreadPool>(want);
+        w.pool_threads_ = want;
+    }
+    return w.pool_.get();
 }
 
 SolveStats
 GridModel::solve(const std::vector<double> &b, std::vector<double> &x,
-                 const std::vector<double> *extra_diag) const
+                 const std::vector<double> *extra_diag, SolverWorkspace &w,
+                 bool x_is_zero) const
 {
     SolveStats stats;
     const std::size_t n = num_nodes_;
     XYLEM_ASSERT(b.size() == n && x.size() == n, "solve: wrong vector size");
 
-    std::vector<double> r(n), z(n), p(n), q(n);
-    apply(x, q, extra_diag);
-    double b_norm2 = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-        r[i] = b[i] - q[i];
-        b_norm2 += b[i] * b[i];
+    using Clock = std::chrono::steady_clock;
+    runtime::ThreadPool *pool = poolFor(w);
+    const double *ed = extra_diag ? extra_diag->data() : nullptr;
+    double *bs = w.block_sums_.data();
+    double *rv = w.r_.data();
+    double *zv = w.z_.data();
+    double *pv = w.p_.data();
+    double *qv = w.q_.data();
+    double *xv = x.data();
+    const double *bv = b.data();
+    w.apply_seconds_ = 0.0;
+    w.precond_seconds_ = 0.0;
+    auto flushTimings = [&] {
+        auto &metrics = runtime::Metrics::global();
+        metrics.addTiming("solver.apply_seconds", w.apply_seconds_);
+        metrics.addTiming("solver.precond_seconds", w.precond_seconds_);
+    };
+
+    double b_norm2;
+    if (x_is_zero) {
+        // A·0 = 0 exactly, so r = b bit-identically — skip the mat-vec.
+        b_norm2 = blockedCopyResidual(bv, rv, n, pool, bs);
+    } else {
+        const auto t0 = Clock::now();
+        fusedApply(xv, qv, ed, pool, nullptr, nullptr);
+        w.apply_seconds_ += seconds(t0);
+        b_norm2 = blockedInitResidual(bv, qv, rv, n, pool, bs);
     }
     if (b_norm2 == 0.0) {
         x.assign(n, 0.0);
         stats.converged = true;
+        flushTimings();
         return stats;
     }
     const double target2 = opts_.tolerance * opts_.tolerance * b_norm2;
 
-    std::vector<double> inv_diag(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        double d = diag_[i];
-        if (extra_diag)
-            d += (*extra_diag)[i];
-        XYLEM_ASSERT(d > 0.0, "singular diagonal entry");
-        inv_diag[i] = 1.0 / d;
-    }
     // The fault-tolerance layer steers the solver through the ambient
     // task context: a task on the alternate-preconditioner rung flips
     // Jacobi <-> VerticalLine, a forced-non-convergence fault skips
@@ -428,55 +846,68 @@ GridModel::solve(const std::vector<double> &b, std::vector<double> &x,
         ctx && ctx->forceCgNonConvergence && !ctx->denseSolve();
     const int max_iterations =
         forced_nonconvergence ? 0 : opts_.maxIterations;
-    auto precondition = [&]() {
+
+    {
+        const auto t0 = Clock::now();
         if (line) {
-            applyLinePrecond(r, z, extra_diag);
+            buildLineFactorization(ed, w);
         } else {
-            for (std::size_t i = 0; i < n; ++i)
-                z[i] = r[i] * inv_diag[i];
+            double *invd = w.inv_diag_.data();
+            const double *dgv = diag_.data();
+            ThreadPool::parallelFor(
+                pool, blockCount(n, kDotBlock), [&](std::size_t blk) {
+                    const std::size_t i0 = blk * kDotBlock;
+                    const std::size_t i1 = std::min(n, i0 + kDotBlock);
+                    for (std::size_t i = i0; i < i1; ++i) {
+                        double d = dgv[i];
+                        if (ed)
+                            d += ed[i];
+                        XYLEM_ASSERT(d > 0.0, "singular diagonal entry");
+                        invd[i] = 1.0 / d;
+                    }
+                });
         }
+        w.precond_seconds_ += seconds(t0);
+    }
+
+    // z = M⁻¹ r with the r·z reduction fused into the same sweep.
+    auto precondition = [&]() -> double {
+        const auto t0 = Clock::now();
+        const double rz =
+            line ? applyLineCached(rv, zv, w, pool)
+                 : blockedJacobi(rv, w.inv_diag_.data(), zv, n, pool, bs);
+        w.precond_seconds_ += seconds(t0);
+        return rz;
     };
 
-    precondition();
-    double rz = 0.0;
-    for (std::size_t i = 0; i < n; ++i)
-        rz += r[i] * z[i];
-    p = z;
-
-    double r_norm2 = 0.0;
-    for (std::size_t i = 0; i < n; ++i)
-        r_norm2 += r[i] * r[i];
+    double rz = precondition();
+    std::copy(w.z_.begin(), w.z_.end(), w.p_.begin());
+    double r_norm2 = blockedSumSq(rv, n, pool, bs);
 
     for (int it = 0; it < max_iterations && r_norm2 > target2; ++it) {
         if ((it & 31) == 0)
             taskCheckpoint(); // cooperative deadline/cancel point
-        apply(p, q, extra_diag);
-        double pq = 0.0;
-        for (std::size_t i = 0; i < n; ++i)
-            pq += p[i] * q[i];
+        double pq;
+        {
+            const auto t0 = Clock::now();
+            fusedApply(pv, qv, ed, pool, &pq, bs);
+            w.apply_seconds_ += seconds(t0);
+        }
         if (!(pq > 0.0))
             raise(ErrorCode::SolverBreakdown,
                   "CG breakdown: search direction lost positive "
                   "definiteness (p'Ap = ", pq, " at iteration ", it, ")");
         const double alpha = rz / pq;
-        r_norm2 = 0.0;
-        for (std::size_t i = 0; i < n; ++i) {
-            x[i] += alpha * p[i];
-            r[i] -= alpha * q[i];
-            r_norm2 += r[i] * r[i];
-        }
-        precondition();
-        double rz_next = 0.0;
-        for (std::size_t i = 0; i < n; ++i)
-            rz_next += r[i] * z[i];
+        r_norm2 = blockedAxpyResidual(alpha, pv, qv, xv, rv, n, pool, bs);
+        const double rz_next = precondition();
         const double beta = rz_next / rz;
         rz = rz_next;
-        for (std::size_t i = 0; i < n; ++i)
-            p[i] = z[i] + beta * p[i];
+        blockedUpdateDirection(beta, zv, pv, n, pool);
         stats.iterations = it + 1;
     }
     stats.relativeResidual = std::sqrt(r_norm2 / b_norm2);
     stats.converged = !forced_nonconvergence && r_norm2 <= target2;
+    flushTimings();
     if (!stats.converged) {
         if (ctx && ctx->strictSolver)
             raise(ErrorCode::SolverNonConvergence,
@@ -492,75 +923,80 @@ GridModel::solve(const std::vector<double> &b, std::vector<double> &x,
     return stats;
 }
 
-std::vector<double>
-GridModel::rhsFromPower(const PowerMap &power) const
+void
+GridModel::fillRhs(const PowerMap &power, double *b) const
 {
-    std::vector<double> b(num_nodes_, 0.0);
     for (std::size_t l = 0; l < num_layers_; ++l) {
         const auto &f = power.layer(static_cast<int>(l)).data();
         for (std::size_t c = 0; c < cells_; ++c)
             b[l * cells_ + c] = f[c];
     }
-    return b;
+    for (const auto &p : periphery_)
+        b[p.node] = 0.0;
 }
 
 TemperatureField
 GridModel::solveSteady(const PowerMap &power, SolveStats *stats,
-                       const TemperatureField *warm_start) const
+                       const TemperatureField *warm_start,
+                       SolverWorkspace *workspace) const
 {
-    const std::vector<double> b = rhsFromPower(power);
-    std::vector<double> x(num_nodes_, 0.0);
+    SolverWorkspace &w = workspace ? *workspace : threadLocalWorkspace();
+    prepare(w);
+    fillRhs(power, w.b_.data());
     // On the cold-start escalation rung a stale warm start is a prime
     // failure suspect, so drop it and solve from ambient.
     const TaskContext *ctx = currentTaskContext();
     if (ctx && ctx->coldStart())
         warm_start = nullptr;
+    bool x_is_zero = true;
     if (warm_start) {
         XYLEM_ASSERT(warm_start->numNodes() == num_nodes_,
                      "warm start has wrong shape");
         for (std::size_t i = 0; i < num_nodes_; ++i)
-            x[i] = warm_start->nodes()[i] - opts_.ambientCelsius;
+            w.x_[i] = warm_start->nodes()[i] - opts_.ambientCelsius;
+        x_is_zero = false;
+    } else {
+        std::fill(w.x_.begin(), w.x_.end(), 0.0);
     }
-    const SolveStats s = solve(b, x, nullptr);
+    const SolveStats s = solve(w.b_, w.x_, nullptr, w, x_is_zero);
     if (stats)
         *stats = s;
 
     TemperatureField out(num_layers_, nx_, ny_, periphery_.size(),
                          opts_.ambientCelsius);
     for (std::size_t i = 0; i < num_nodes_; ++i)
-        out.nodes()[i] = x[i] + opts_.ambientCelsius;
+        out.nodes()[i] = w.x_[i] + opts_.ambientCelsius;
     return out;
 }
 
 TemperatureField
 GridModel::stepTransient(const TemperatureField &current,
                          const PowerMap &power, double dt,
-                         SolveStats *stats) const
+                         SolveStats *stats, SolverWorkspace *workspace) const
 {
     XYLEM_ASSERT(dt > 0.0, "transient step needs positive dt");
     XYLEM_ASSERT(current.numNodes() == num_nodes_,
                  "transient state has wrong shape");
-    std::vector<double> extra(num_nodes_);
+    SolverWorkspace &w = workspace ? *workspace : threadLocalWorkspace();
+    prepare(w);
     for (std::size_t i = 0; i < num_nodes_; ++i)
-        extra[i] = capacity_[i] / dt;
+        w.extra_[i] = capacity_[i] / dt;
 
-    std::vector<double> b = rhsFromPower(power);
+    fillRhs(power, w.b_.data());
     for (std::size_t i = 0; i < num_nodes_; ++i) {
-        b[i] += extra[i] * (current.nodes()[i] - opts_.ambientCelsius);
+        const double dT = current.nodes()[i] - opts_.ambientCelsius;
+        w.b_[i] += w.extra_[i] * dT;
+        w.x_[i] = dT; // warm-start from the current state
     }
-    // Warm-start from the current state.
-    std::vector<double> x(num_nodes_);
-    for (std::size_t i = 0; i < num_nodes_; ++i)
-        x[i] = current.nodes()[i] - opts_.ambientCelsius;
 
-    const SolveStats s = solve(b, x, &extra);
+    const SolveStats s = solve(w.b_, w.x_, &w.extra_, w, false);
     if (stats)
         *stats = s;
 
     TemperatureField out(num_layers_, nx_, ny_, periphery_.size(),
                          opts_.ambientCelsius);
     for (std::size_t i = 0; i < num_nodes_; ++i)
-        out.nodes()[i] = x[i] + opts_.ambientCelsius;
+        out.nodes()[i] = w.x_[i] + opts_.ambientCelsius;
     return out;
 }
 

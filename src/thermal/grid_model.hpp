@@ -13,20 +13,35 @@
  * convection resistance distributed over the sink area.
  *
  * The steady-state problem  G · ΔT = P  (ΔT = rise above ambient) is
- * solved with Jacobi-preconditioned conjugate gradients (the matrix is
+ * solved with preconditioned conjugate gradients (the matrix is
  * symmetric positive definite). The transient problem uses implicit
  * Euler:  (C/Δt + G) · ΔT' = C/Δt · ΔT + P, reusing the same CG core.
+ *
+ * The CG hot path is built for memory-bandwidth-bound performance
+ * (DESIGN.md §12): the mat-vec is one fused layer-major gather sweep
+ * (ground + vertical + lateral + periphery rim in a single pass per
+ * row), the vertical-line preconditioner factorisation is computed
+ * once per solve and applied allocation- and division-free, every
+ * solve runs out of a reusable SolverWorkspace (thread-local by
+ * default, caller-providable), and `SolverOptions::threads` opts into
+ * intra-solve parallelism whose fixed-order block-sum reductions keep
+ * results bit-identical at any thread count.
  */
 
 #ifndef XYLEM_THERMAL_GRID_MODEL_HPP
 #define XYLEM_THERMAL_GRID_MODEL_HPP
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "stack/stack.hpp"
 #include "thermal/power_map.hpp"
 #include "thermal/temperature.hpp"
+
+namespace xylem::runtime {
+class ThreadPool;
+}
 
 namespace xylem::thermal {
 
@@ -45,6 +60,16 @@ struct SolverOptions
     double tolerance = 1e-6;          ///< relative residual target
     int maxIterations = 50000;        ///< CG iteration cap
     Preconditioner preconditioner = Preconditioner::Jacobi;
+
+    /**
+     * Intra-solve worker threads. 1 (the default) runs serially; 0
+     * resolves through XYLEM_JOBS like the experiment runtime; N > 1
+     * partitions every kernel into fixed, thread-count-independent
+     * blocks executed on a runtime::ThreadPool owned by the
+     * workspace. All reductions sum per-block partials in a fixed
+     * order, so the solution is bit-identical at any thread count.
+     */
+    int threads = 1;
 };
 
 /** Convergence report of one solve. */
@@ -56,10 +81,59 @@ struct SolveStats
 };
 
 /**
+ * Reusable scratch memory for one solver call chain: the CG vectors,
+ * the cached preconditioner factorisation, the block-sum reduction
+ * buffer, and (when SolverOptions::threads > 1) the intra-solve
+ * thread pool.
+ *
+ * Every solve entry point takes an optional workspace; passing none
+ * uses a thread-local instance, so repeated solves allocate nothing
+ * after the first. A workspace may be reused across models (it
+ * resizes as needed) and across steady/transient solves freely, but
+ * it must not be used by two solves running concurrently — give each
+ * thread its own (the thread-local default does exactly that).
+ */
+class SolverWorkspace
+{
+  public:
+    SolverWorkspace();
+    ~SolverWorkspace();
+    SolverWorkspace(const SolverWorkspace &) = delete;
+    SolverWorkspace &operator=(const SolverWorkspace &) = delete;
+
+  private:
+    friend class GridModel;
+
+    // CG vectors (residual, preconditioned residual, search
+    // direction, mat-vec product), sized to numNodes().
+    std::vector<double> r_, z_, p_, q_;
+    // Jacobi: 1 / (diag + extra_diag), rebuilt once per solve.
+    std::vector<double> inv_diag_;
+    // Steady/transient driver buffers (rhs, solution, C/dt diagonal).
+    std::vector<double> b_, x_, extra_;
+    // Cached vertical-line factorisation (see
+    // GridModel::buildLineFactorization), rebuilt once per solve.
+    std::vector<double> line_cp_, line_inv_denom_, periph_inv_diag_;
+    // Per-block partial sums of the deterministic reductions.
+    std::vector<double> block_sums_;
+    // Lazily created intra-solve pool (threads > 1 only).
+    std::unique_ptr<runtime::ThreadPool> pool_;
+    int pool_threads_ = 0;
+    // Per-solve kernel-time accumulators, folded into
+    // runtime::Metrics ("solver.apply_seconds" /
+    // "solver.precond_seconds") once per solve.
+    double apply_seconds_ = 0.0;
+    double precond_seconds_ = 0.0;
+    // numNodes() the buffers are currently sized for (0 = unsized).
+    std::size_t sized_for_ = 0;
+};
+
+/**
  * The assembled conductance network for one built stack.
  *
  * The model is immutable after construction; solves are const and can
- * run concurrently from multiple threads.
+ * run concurrently from multiple threads (each solve uses its own
+ * workspace — the thread-local default or an explicit argument).
  */
 class GridModel
 {
@@ -80,10 +154,14 @@ class GridModel
      * @param power      per-layer power map [W per cell]
      * @param stats      optional convergence report
      * @param warm_start optional previous solution to start from
+     * @param workspace  optional reusable scratch memory; defaults to
+     *                   a thread-local workspace
      */
     TemperatureField solveSteady(const PowerMap &power,
                                  SolveStats *stats = nullptr,
                                  const TemperatureField *warm_start
+                                 = nullptr,
+                                 SolverWorkspace *workspace
                                  = nullptr) const;
 
     /**
@@ -92,7 +170,9 @@ class GridModel
      */
     TemperatureField stepTransient(const TemperatureField &current,
                                    const PowerMap &power, double dt,
-                                   SolveStats *stats = nullptr) const;
+                                   SolveStats *stats = nullptr,
+                                   SolverWorkspace *workspace
+                                   = nullptr) const;
 
     /** An all-ambient field (transient initial condition). */
     TemperatureField ambientField() const;
@@ -110,6 +190,18 @@ class GridModel
      */
     void apply(const std::vector<double> &x, std::vector<double> &y,
                const std::vector<double> *extra_diag = nullptr) const;
+
+    /**
+     * Apply the vertical-line preconditioner: z = M⁻¹ r, where M is
+     * the block-diagonal matrix of per-column vertical tridiagonals
+     * (periphery nodes use plain Jacobi). Exposed for tests — the
+     * equivalence suite checks the cached factorisation against a
+     * naive per-application Thomas reference.
+     */
+    void applyLinePreconditioner(const std::vector<double> &r,
+                                 std::vector<double> &z,
+                                 const std::vector<double> *extra_diag
+                                 = nullptr) const;
 
     /**
      * Assemble G (+ optional extra diagonal) as a dense row-major
@@ -133,30 +225,63 @@ class GridModel
      */
     std::vector<double> powerVector(const PowerMap &power) const
     {
-        return rhsFromPower(power);
+        std::vector<double> b(num_nodes_, 0.0);
+        fillRhs(power, b.data());
+        return b;
     }
 
   private:
     void assemble();
     void addGround(std::size_t node, double g);
 
-    /** CG on (G + extra_diag) x = b. Returns stats. */
+    /**
+     * CG on (G + extra_diag) x = b using `w` for every buffer.
+     * `x_is_zero` marks a cold start (x all-zero), which skips the
+     * initial mat-vec (A·0 = 0 exactly, so r = b bit-identically).
+     */
     SolveStats solve(const std::vector<double> &b, std::vector<double> &x,
-                     const std::vector<double> *extra_diag) const;
+                     const std::vector<double> *extra_diag,
+                     SolverWorkspace &w, bool x_is_zero) const;
+
+    /** Thread-local fallback when the caller passes no workspace. */
+    static SolverWorkspace &threadLocalWorkspace();
+
+    /** Size `w` for this model; counts solver.workspace_reuses. */
+    void prepare(SolverWorkspace &w) const;
+
+    /** The workspace's pool per opts_.threads (null = serial). */
+    runtime::ThreadPool *poolFor(SolverWorkspace &w) const;
 
     /**
-     * Vertical-line preconditioner: solve, for every XY column, the
-     * tridiagonal system formed by the column's diagonal and vertical
-     * conductances (Thomas algorithm); periphery nodes use plain
-     * Jacobi. The stack is strongly anisotropic (thin, highly coupled
-     * layers), so this cuts CG iterations by an order of magnitude
-     * compared with Jacobi.
+     * y = (G + extra_diag) x as one fused layer-major gather sweep.
+     * With `dot_out` non-null, also computes x·y: per-block partials
+     * land in `block_sums`, the periphery tail is added serially, and
+     * the fixed-order total is written to *dot_out.
      */
-    void applyLinePrecond(const std::vector<double> &r,
-                          std::vector<double> &z,
-                          const std::vector<double> *extra_diag) const;
+    void fusedApply(const double *x, double *y, const double *extra_diag,
+                    runtime::ThreadPool *pool, double *dot_out,
+                    double *block_sums) const;
 
-    std::vector<double> rhsFromPower(const PowerMap &power) const;
+    /**
+     * Factor the vertical-line preconditioner into w.line_cp_ /
+     * w.line_inv_denom_ / w.periph_inv_diag_. The factorisation
+     * depends only on diag_ + extra_diag: diag_ is immutable after
+     * assembly and extra_diag is constant for the duration of one
+     * solve (the transient C/Δt shift), so one factorisation serves
+     * every CG iteration of that solve — this is the invariant that
+     * lets applyLineCached() run allocation- and division-free.
+     */
+    void buildLineFactorization(const double *extra_diag,
+                                SolverWorkspace &w) const;
+
+    /**
+     * z = M⁻¹ r from the cached factorisation; returns r·z reduced in
+     * fixed column-chunk order (deterministic at any thread count).
+     */
+    double applyLineCached(const double *r, double *z, SolverWorkspace &w,
+                           runtime::ThreadPool *pool) const;
+
+    void fillRhs(const PowerMap &power, double *b) const;
 
     const stack::BuiltStack *stack_;
     SolverOptions opts_;
@@ -186,6 +311,16 @@ class GridModel
     std::vector<Periphery> periphery_;
     // vertical conductances between consecutive periphery nodes
     std::vector<double> periph_vert_;
+    // rim_g_[l][c] = edgeG * (number of boundary edges of cell c) for
+    // extended layers, so the fused sweep can gather the rim coupling
+    // branch-free; empty for layers without a periphery node.
+    std::vector<std::vector<double>> rim_g_;
+    // Periphery node id per layer (-1 = none), for the fused sweep.
+    std::vector<std::ptrdiff_t> periph_node_of_layer_;
+    // All-zero length-cells_ array: boundary rows/layers point their
+    // absent-neighbour conductance stream here, keeping the fused
+    // kernels branch-free (coefficient 0 × any in-bounds value = 0).
+    std::vector<double> zeros_;
 
     // Precomputed diagonal of G and per-node capacitance.
     std::vector<double> diag_;

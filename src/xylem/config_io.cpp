@@ -90,6 +90,9 @@ parseSystemConfig(std::istream &in)
             cfg.solver.convectionResistance = parseNumber(value, line_no);
         } else if (key == "solverTolerance") {
             cfg.solver.tolerance = parseNumber(value, line_no);
+        } else if (key == "solverThreads") {
+            cfg.solver.threads =
+                static_cast<int>(parseCount(value, line_no));
         } else if (key == "instsPerThread") {
             cfg.cpu.instsPerThread = parseCount(value, line_no);
         } else if (key == "warmupInsts") {
@@ -136,6 +139,7 @@ formatSystemConfig(const SystemConfig &cfg)
     os << "convectionResistance = " << cfg.solver.convectionResistance
        << "\n";
     os << "solverTolerance = " << cfg.solver.tolerance << "\n";
+    os << "solverThreads = " << cfg.solver.threads << "\n";
     os << "instsPerThread = " << cfg.cpu.instsPerThread << "\n";
     os << "warmupInsts = " << cfg.cpu.warmupInsts << "\n";
     os << "seed = " << cfg.cpu.seed << "\n";

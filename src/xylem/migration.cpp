@@ -46,7 +46,11 @@ runMigration(StackSystem &system, const workloads::Profile &profile,
             data[c] = 0.5 * (data[c] + other[c]);
     }
     const auto &model = system.thermalModel();
-    thermal::TemperatureField field = model.solveSteady(avg);
+    // One workspace for the whole trace: the initial steady solve and
+    // every transient step reuse the same CG buffers/factorisation.
+    thermal::SolverWorkspace workspace;
+    thermal::TemperatureField field =
+        model.solveSteady(avg, nullptr, nullptr, &workspace);
 
     const double dt = opts.periodSeconds /
                       static_cast<double>(opts.stepsPerPhase);
@@ -60,7 +64,8 @@ runMigration(StackSystem &system, const workloads::Profile &profile,
         const thermal::PowerMap &map = maps[
             static_cast<std::size_t>(phase % 2)];
         for (int s = 0; s < opts.stepsPerPhase; ++s) {
-            field = model.stepTransient(field, map, dt);
+            field = model.stepTransient(field, map, dt, nullptr,
+                                        &workspace);
             const double hot = field.maxOfLayer(proc_layer);
             out.trace.push_back(hot);
             if (phase >= opts.warmupPhases) {

@@ -70,7 +70,8 @@ thermal::TemperatureField
 solveSteadyWithContext(const thermal::GridModel &model,
                        const thermal::PowerMap &map,
                        thermal::SolveStats *stats,
-                       const thermal::TemperatureField *warm_start)
+                       const thermal::TemperatureField *warm_start,
+                       thermal::SolverWorkspace *workspace)
 {
     const TaskContext *ctx = currentTaskContext();
     if (ctx && ctx->denseSolve() &&
@@ -86,7 +87,7 @@ solveSteadyWithContext(const thermal::GridModel &model,
         }
         return field;
     }
-    return model.solveSteady(map, stats, warm_start);
+    return model.solveSteady(map, stats, warm_start, workspace);
 }
 
 } // namespace
@@ -154,7 +155,8 @@ StackSystem::evaluateAtFreqs(const std::vector<cpu::ThreadSpec> &threads,
     thermal::SolveStats stats;
     out.warmStarted = scaled.has_value();
     out.field = solveSteadyWithContext(*model_, map, &stats,
-                                       scaled ? &scaled.value() : nullptr);
+                                       scaled ? &scaled.value() : nullptr,
+                                       &workspace_);
     out.cgIterations += stats.iterations;
     recordSolve(stats, out.warmStarted);
     selfCheck(*model_, map, out.field);
@@ -186,8 +188,8 @@ StackSystem::evaluateAtFreqs(const std::vector<cpu::ThreadSpec> &threads,
         paintProcessorPower(fb_map, stack_, out.procPower);
         paintDramPower(fb_map, stack_, out.sim, cfg_.cpu.dram);
         thermal::SolveStats fb_stats;
-        out.field =
-            solveSteadyWithContext(*model_, fb_map, &fb_stats, &out.field);
+        out.field = solveSteadyWithContext(*model_, fb_map, &fb_stats,
+                                           &out.field, &workspace_);
         out.cgIterations += fb_stats.iterations;
         recordSolve(fb_stats, /*warm=*/true);
         selfCheck(*model_, fb_map, out.field);

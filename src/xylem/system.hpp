@@ -161,6 +161,11 @@ class StackSystem
     power::McPatLite mcpat_;
     std::optional<thermal::TemperatureField> last_;
     double last_power_ = 0.0;
+    // Scratch memory reused across every solve this system issues
+    // (CG vectors + preconditioner factorisation). StackSystem is not
+    // itself thread-safe, so one workspace per system is exactly the
+    // reuse granularity the solver's reentrancy rules require.
+    thermal::SolverWorkspace workspace_;
 };
 
 } // namespace xylem::core

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Equivalence suite for the optimised solver hot path: the fused
+ * gather mat-vec against the dense assembly, the cached line-
+ * preconditioner factorisation against a naive per-application Thomas
+ * reference, threaded solves against serial ones (bit-identical, by
+ * design of the fixed-order block reductions), caller-provided
+ * workspaces against the thread-local default, and concurrent solves
+ * sharing one GridModel (the ConcurrentSolver* suites also run under
+ * the ThreadSanitizer CI job).
+ */
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "runtime/metrics.hpp"
+#include "stack/stack.hpp"
+#include "thermal/grid_model.hpp"
+#include "verify/scenario.hpp"
+
+namespace xylem::thermal {
+namespace {
+
+using verify::buildPowerMap;
+using verify::randomScenario;
+using verify::RandomScenario;
+
+/** Max |a - b| over two equally sized node vectors. */
+double
+maxAbsDiff(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+/** A random node vector with entries in [-1, 1]. */
+std::vector<double>
+randomVector(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> v(n);
+    for (auto &x : v)
+        x = rng.uniform(-1.0, 1.0);
+    return v;
+}
+
+TEST(SolverEquivalence, FusedApplyMatchesDenseMatVec)
+{
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        const RandomScenario sc = randomScenario(seed);
+        const auto stk = stack::buildStack(sc.spec);
+        const GridModel model(stk, sc.solver);
+        const std::size_t n = model.numNodes();
+
+        // With and without an extra diagonal (the transient C/Δt
+        // shift goes through the same fused kernel).
+        std::vector<double> extra(n);
+        {
+            Rng rng(seed * 31 + 7);
+            for (auto &e : extra)
+                e = rng.uniform(0.0, 50.0);
+        }
+        const std::vector<double> *variants[] = {nullptr, &extra};
+        for (const std::vector<double> *ed : variants) {
+            const std::vector<double> x = randomVector(n, seed + 1000);
+            const std::vector<double> dense = model.denseMatrix(ed);
+            std::vector<double> y_fused, y_dense(n);
+            model.apply(x, y_fused, ed);
+            double scale = 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                double acc = 0.0;
+                const double *row = dense.data() + i * n;
+                for (std::size_t j = 0; j < n; ++j)
+                    acc += row[j] * x[j];
+                y_dense[i] = acc;
+                scale = std::max(scale, std::abs(acc));
+            }
+            EXPECT_LT(maxAbsDiff(y_fused, y_dense), 1e-9 * scale)
+                << "seed " << seed << (ed ? " with" : " without")
+                << " extra diagonal";
+        }
+    }
+}
+
+/**
+ * The pre-refactor preconditioner, kept verbatim as the reference:
+ * one Thomas factorisation + solve per application, reading the
+ * tridiagonal straight out of the dense assembly so it shares no code
+ * with the cached implementation.
+ */
+std::vector<double>
+naiveLinePrecond(const GridModel &model, const std::vector<double> &dense,
+                 const std::vector<double> &r)
+{
+    const std::size_t n = model.numNodes();
+    const std::size_t L = model.numLayers();
+    const std::size_t cells = model.cellsPerLayer();
+    std::vector<double> z(n);
+    std::vector<double> cp(L), dp(L);
+    for (std::size_t c = 0; c < cells; ++c) {
+        auto node = [&](std::size_t l) { return l * cells + c; };
+        auto diag = [&](std::size_t l) {
+            return dense[node(l) * n + node(l)];
+        };
+        auto off = [&](std::size_t l) { // between layers l and l+1
+            return dense[node(l) * n + node(l + 1)];
+        };
+        double denom = diag(0);
+        cp[0] = (L > 1) ? off(0) / denom : 0.0;
+        dp[0] = r[node(0)] / denom;
+        for (std::size_t l = 1; l < L; ++l) {
+            const double o = off(l - 1);
+            denom = diag(l) - o * cp[l - 1];
+            cp[l] = (l + 1 < L) ? off(l) / denom : 0.0;
+            dp[l] = (r[node(l)] - o * dp[l - 1]) / denom;
+        }
+        z[node(L - 1)] = dp[L - 1];
+        for (std::size_t l = L - 1; l-- > 0;)
+            z[node(l)] = dp[l] - cp[l] * z[node(l + 1)];
+    }
+    for (std::size_t i = L * cells; i < n; ++i)
+        z[i] = r[i] / dense[i * n + i];
+    return z;
+}
+
+TEST(SolverEquivalence, CachedLinePreconditionerMatchesNaiveThomas)
+{
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        const RandomScenario sc = randomScenario(seed);
+        const auto stk = stack::buildStack(sc.spec);
+        const GridModel model(stk, sc.solver);
+        const std::size_t n = model.numNodes();
+
+        std::vector<double> extra(n);
+        {
+            Rng rng(seed * 17 + 3);
+            for (auto &e : extra)
+                e = rng.uniform(0.0, 50.0);
+        }
+        const std::vector<double> *variants[] = {nullptr, &extra};
+        for (const std::vector<double> *ed : variants) {
+            const std::vector<double> dense = model.denseMatrix(ed);
+            const std::vector<double> r = randomVector(n, seed + 2000);
+            const std::vector<double> ref =
+                naiveLinePrecond(model, dense, r);
+            std::vector<double> z;
+            model.applyLinePreconditioner(r, z, ed);
+            double scale = 0.0;
+            for (const double v : ref)
+                scale = std::max(scale, std::abs(v));
+            EXPECT_LT(maxAbsDiff(z, ref), 1e-12 * std::max(scale, 1.0))
+                << "seed " << seed << (ed ? " with" : " without")
+                << " extra diagonal";
+        }
+    }
+}
+
+/** Cold + warm steady solves and one transient step for one option set. */
+struct SolveOutputs
+{
+    TemperatureField cold, warm, transient;
+    SolveStats coldStats, warmStats, transientStats;
+};
+
+SolveOutputs
+runAllSolves(const stack::BuiltStack &stk, const RandomScenario &sc,
+             SolverOptions opts, SolverWorkspace *workspace = nullptr)
+{
+    const GridModel model(stk, opts);
+    const auto power = buildPowerMap(stk, sc);
+    SolveOutputs out{model.ambientField(), model.ambientField(),
+                     model.ambientField(), {}, {}, {}};
+    out.cold = model.solveSteady(power, &out.coldStats, nullptr, workspace);
+    // Perturb the warm start so CG has real work left to do.
+    TemperatureField start = out.cold;
+    for (auto &v : start.nodes())
+        v += 0.5;
+    out.warm =
+        model.solveSteady(power, &out.warmStats, &start, workspace);
+    out.transient = model.stepTransient(out.warm, power, 1e-3,
+                                        &out.transientStats, workspace);
+    return out;
+}
+
+void
+expectBitIdentical(const TemperatureField &a, const TemperatureField &b,
+                   const char *what)
+{
+    ASSERT_EQ(a.numNodes(), b.numNodes());
+    for (std::size_t i = 0; i < a.numNodes(); ++i)
+        ASSERT_EQ(a.nodes()[i], b.nodes()[i])
+            << what << ": node " << i << " differs";
+}
+
+/**
+ * The determinism guarantee of the tentpole: the fixed-order block
+ * reductions make a threaded solve bit-identical to the serial one,
+ * for every solve mode and both preconditioners.
+ */
+TEST(SolverDeterminism, ThreadedSolvesBitIdenticalToSerial)
+{
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+        const RandomScenario sc = randomScenario(seed);
+        const auto stk = stack::buildStack(sc.spec);
+        for (const Preconditioner pre :
+             {Preconditioner::Jacobi, Preconditioner::VerticalLine}) {
+            SolverOptions serial = sc.solver;
+            serial.preconditioner = pre;
+            serial.threads = 1;
+            SolverOptions threaded = serial;
+            threaded.threads = 3;
+
+            const SolveOutputs a = runAllSolves(stk, sc, serial);
+            const SolveOutputs b = runAllSolves(stk, sc, threaded);
+            EXPECT_EQ(a.coldStats.iterations, b.coldStats.iterations);
+            EXPECT_EQ(a.warmStats.iterations, b.warmStats.iterations);
+            EXPECT_EQ(a.transientStats.iterations,
+                      b.transientStats.iterations);
+            expectBitIdentical(a.cold, b.cold, "steady cold");
+            expectBitIdentical(a.warm, b.warm, "steady warm");
+            expectBitIdentical(a.transient, b.transient, "transient");
+        }
+    }
+}
+
+TEST(SolverWorkspaceTest, CallerProvidedWorkspaceMatchesThreadLocal)
+{
+    const RandomScenario sc = randomScenario(11);
+    const auto stk = stack::buildStack(sc.spec);
+    SolverWorkspace workspace;
+    const SolveOutputs own = runAllSolves(stk, sc, sc.solver, &workspace);
+    const SolveOutputs tls = runAllSolves(stk, sc, sc.solver);
+    expectBitIdentical(own.cold, tls.cold, "steady cold");
+    expectBitIdentical(own.warm, tls.warm, "steady warm");
+    expectBitIdentical(own.transient, tls.transient, "transient");
+}
+
+TEST(SolverWorkspaceTest, ReusesAreCounted)
+{
+    const RandomScenario sc = randomScenario(12);
+    const auto stk = stack::buildStack(sc.spec);
+    const GridModel model(stk, sc.solver);
+    const auto power = buildPowerMap(stk, sc);
+
+    SolverWorkspace workspace;
+    const auto before = runtime::Metrics::global().snapshot();
+    model.solveSteady(power, nullptr, nullptr, &workspace); // sizes it
+    model.solveSteady(power, nullptr, nullptr, &workspace); // reuses it
+    model.stepTransient(model.ambientField(), power, 1e-3, nullptr,
+                        &workspace);                        // reuses it
+    const auto after = runtime::Metrics::global().snapshot();
+    EXPECT_GE(after.count("solver.workspace_reuses") -
+                  before.count("solver.workspace_reuses"),
+              2u);
+}
+
+/**
+ * GridModel is immutable after construction and every solve runs out
+ * of its own (thread-local) workspace, so concurrent solves on one
+ * shared model must be data-race-free and agree exactly with the
+ * serial answer. The suite name matches the ThreadSanitizer CI job's
+ * 'Concurrent' filter.
+ */
+TEST(ConcurrentSolverEquivalence, SharedModelThreadLocalWorkspaces)
+{
+    const RandomScenario sc = randomScenario(21);
+    const auto stk = stack::buildStack(sc.spec);
+    const GridModel model(stk, sc.solver);
+    const auto power = buildPowerMap(stk, sc);
+    const TemperatureField expected = model.solveSteady(power);
+
+    constexpr int kThreads = 4;
+    std::vector<TemperatureField> got(
+        static_cast<std::size_t>(kThreads), model.ambientField());
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            got[static_cast<std::size_t>(t)] = model.solveSteady(power);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    for (int t = 0; t < kThreads; ++t)
+        expectBitIdentical(got[static_cast<std::size_t>(t)], expected,
+                           "concurrent solve");
+}
+
+TEST(ConcurrentSolverEquivalence, ThreadedInnerSolvesFromManyCallers)
+{
+    // Outer concurrency (many caller threads) combined with inner
+    // parallelism (each solve partitions its kernels on its own
+    // workspace-owned pool) — the worst-case reentrancy mix.
+    const RandomScenario sc = randomScenario(22);
+    const auto stk = stack::buildStack(sc.spec);
+    SolverOptions opts = sc.solver;
+    opts.threads = 2;
+    const GridModel model(stk, opts);
+    const auto power = buildPowerMap(stk, sc);
+    const TemperatureField expected = model.solveSteady(power);
+
+    constexpr int kThreads = 3;
+    std::vector<TemperatureField> got(
+        static_cast<std::size_t>(kThreads), model.ambientField());
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            SolverWorkspace workspace;
+            got[static_cast<std::size_t>(t)] =
+                model.solveSteady(power, nullptr, nullptr, &workspace);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    for (int t = 0; t < kThreads; ++t)
+        expectBitIdentical(got[static_cast<std::size_t>(t)], expected,
+                           "threaded inner solve");
+}
+
+} // namespace
+} // namespace xylem::thermal

@@ -15,8 +15,9 @@
 #include "xylem/system.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    xylem::bench::simpleArgs(argc, argv);
     using namespace xylem;
     using stack::Scheme;
 

@@ -37,8 +37,9 @@ gridSites(int n)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    xylem::bench::simpleArgs(argc, argv);
     using namespace xylem;
 
     bench::banner(

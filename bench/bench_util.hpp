@@ -35,8 +35,10 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/table.hpp"
@@ -58,6 +60,136 @@ banner(const std::string &experiment, const std::string &paper_result)
     std::cout << "(absolute numbers differ — our substrate is a "
                  "reimplemented simulator; the shape is the claim)\n\n";
 }
+
+/**
+ * The shared flag parser of every bench/tool binary: consistent
+ * `--help` (usage text, exit 0), `--flag VALUE` extraction with typed
+ * accessors, and a uniform unknown-argument error (exit 2). Flags are
+ * consumed as they are queried; call finish() last so leftovers are
+ * reported instead of silently ignored.
+ */
+class Args
+{
+  public:
+    Args(int argc, char **argv, std::string usage)
+        : usage_(std::move(usage))
+    {
+        program_ = argc > 0 ? argv[0] : "bench";
+        if (const auto slash = program_.find_last_of('/');
+            slash != std::string::npos)
+            program_ = program_.substr(slash + 1);
+        for (int i = 1; i < argc; ++i)
+            args_.emplace_back(argv[i]);
+        for (const auto &arg : args_)
+            if (arg == "--help" || arg == "-h") {
+                std::cout << "usage: " << program_ << " [flags]\n"
+                          << usage_;
+                std::exit(0);
+            }
+    }
+
+    const std::string &program() const { return program_; }
+
+    /** True (and consumed) when `name` is present. */
+    bool
+    flag(const std::string &name)
+    {
+        for (auto it = args_.begin(); it != args_.end(); ++it)
+            if (*it == name) {
+                args_.erase(it);
+                return true;
+            }
+        return false;
+    }
+
+    /** Value of `--name VALUE`; nullopt when absent. */
+    std::optional<std::string>
+    option(const std::string &name)
+    {
+        for (auto it = args_.begin(); it != args_.end(); ++it)
+            if (*it == name) {
+                auto vit = std::next(it);
+                if (vit == args_.end())
+                    die("missing value for " + name);
+                std::string value = *vit;
+                args_.erase(it, std::next(vit));
+                return value;
+            }
+        return std::nullopt;
+    }
+
+    /**
+     * `--name [VALUE]` with the value optional (e.g. `--json [PATH]`):
+     * returns presence, leaves `value` at `fallback` when the next
+     * token is another flag or missing.
+     */
+    bool
+    optionOrDefault(const std::string &name, std::string &value,
+                    const std::string &fallback)
+    {
+        for (auto it = args_.begin(); it != args_.end(); ++it)
+            if (*it == name) {
+                auto vit = std::next(it);
+                if (vit != args_.end() && !vit->empty() &&
+                    (*vit)[0] != '-') {
+                    value = *vit;
+                    args_.erase(it, std::next(vit));
+                } else {
+                    value = fallback;
+                    args_.erase(it);
+                }
+                return true;
+            }
+        return false;
+    }
+
+    int
+    intOption(const std::string &name, int fallback)
+    {
+        if (const auto v = option(name)) {
+            try {
+                return std::stoi(*v);
+            } catch (const std::exception &) {
+                die("invalid value for " + name);
+            }
+        }
+        return fallback;
+    }
+
+    double
+    numberOption(const std::string &name, double fallback)
+    {
+        if (const auto v = option(name)) {
+            try {
+                return std::stod(*v);
+            } catch (const std::exception &) {
+                die("invalid value for " + name);
+            }
+        }
+        return fallback;
+    }
+
+    /** Reject anything not consumed by the queries above (exit 2). */
+    void
+    finish()
+    {
+        if (!args_.empty())
+            die("unknown argument '" + args_.front() + "'");
+    }
+
+    [[noreturn]] void
+    die(const std::string &message) const
+    {
+        std::cerr << program_ << ": " << message
+                  << " (--help for usage)\n";
+        std::exit(2);
+    }
+
+  private:
+    std::string program_;
+    std::string usage_;
+    std::vector<std::string> args_;
+};
 
 /**
  * Emits the telemetry summary table and the JSON summary when the
@@ -149,68 +281,46 @@ class BenchReporter
  * XYLEM_CACHE_DIR) and overridden by --jobs / --cache-dir. Also
  * installs the exit-time JSON/telemetry reporter.
  */
+inline const char *const kExperimentUsage =
+    "  --fast            shrunk smoke configuration\n"
+    "  --jobs N          worker threads (default: XYLEM_JOBS or 1)\n"
+    "  --cache-dir DIR   persistent result cache (XYLEM_CACHE_DIR)\n"
+    "  --json PATH       also write the JSON summary to PATH\n"
+    "  --selfcheck       arm the verification invariant checkers\n"
+    "  --max-retries N   same-rung retries before escalation\n"
+    "  --task-timeout S  cooperative per-task deadline in seconds\n"
+    "  --resume          adopt a previous run's checkpoint manifest\n"
+    "  --fault-spec SPEC arm deterministic fault injection\n";
+
 inline core::ExperimentConfig
 configFromArgs(int argc, char **argv)
 {
-    bool fast = false;
-    std::string json_path;
-    auto value = [&](int &i, const char *flag) -> std::string {
-        if (i + 1 >= argc) {
-            std::cerr << "missing value for " << flag << "\n";
-            std::exit(2);
-        }
-        return argv[++i];
-    };
+    Args args(argc, argv, kExperimentUsage);
     core::ExperimentConfig cfg = core::ExperimentConfig::standard();
     cfg.runner = runtime::RunnerOptions::fromEnv();
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--fast") {
-            fast = true;
-        } else if (arg == "--jobs") {
-            try {
-                cfg.runner.jobs = std::stoi(value(i, "--jobs"));
-            } catch (const std::exception &) {
-                std::cerr << "invalid --jobs value\n";
-                std::exit(2);
-            }
-        } else if (arg == "--cache-dir") {
-            cfg.runner.cacheDir = value(i, "--cache-dir");
-        } else if (arg == "--json") {
-            json_path = value(i, "--json");
-        } else if (arg == "--selfcheck") {
-            verify::setSelfCheckEnabled(true);
-        } else if (arg == "--max-retries") {
-            try {
-                cfg.runner.maxRetries =
-                    std::stoi(value(i, "--max-retries"));
-            } catch (const std::exception &) {
-                std::cerr << "invalid --max-retries value\n";
-                std::exit(2);
-            }
-        } else if (arg == "--task-timeout") {
-            try {
-                cfg.runner.taskTimeoutSeconds =
-                    std::stod(value(i, "--task-timeout"));
-            } catch (const std::exception &) {
-                std::cerr << "invalid --task-timeout value\n";
-                std::exit(2);
-            }
-        } else if (arg == "--resume") {
-            cfg.runner.resume = true;
-        } else if (arg == "--fault-spec") {
-            try {
-                runtime::FaultInjector::global().configure(
-                    value(i, "--fault-spec"));
-            } catch (const Error &e) {
-                std::cerr << e.what() << "\n";
-                std::exit(2);
-            }
-        } else {
-            std::cerr << "unknown argument '" << arg << "'\n";
-            std::exit(2);
+    const bool fast = args.flag("--fast");
+    cfg.runner.jobs = args.intOption("--jobs", cfg.runner.jobs);
+    if (const auto dir = args.option("--cache-dir"))
+        cfg.runner.cacheDir = *dir;
+    std::string json_path;
+    if (const auto path = args.option("--json"))
+        json_path = *path;
+    if (args.flag("--selfcheck"))
+        verify::setSelfCheckEnabled(true);
+    cfg.runner.maxRetries =
+        args.intOption("--max-retries", cfg.runner.maxRetries);
+    cfg.runner.taskTimeoutSeconds = args.numberOption(
+        "--task-timeout", cfg.runner.taskTimeoutSeconds);
+    if (args.flag("--resume"))
+        cfg.runner.resume = true;
+    if (const auto spec = args.option("--fault-spec")) {
+        try {
+            runtime::FaultInjector::global().configure(*spec);
+        } catch (const Error &e) {
+            args.die(e.what());
         }
     }
+    args.finish();
     if (fast) {
         auto runner = cfg.runner;
         cfg = core::ExperimentConfig::small();
@@ -255,12 +365,27 @@ configFromArgs(int argc, char **argv)
         core::setSimCacheDisk(cfg.runner.cacheDir + "/sim");
     }
 
-    std::string name = argv[0];
-    if (const auto slash = name.find_last_of('/');
-        slash != std::string::npos)
-        name = name.substr(slash + 1);
-    static BenchReporter reporter(name, json_path);
+    static BenchReporter reporter(args.program(), json_path);
     return cfg;
+}
+
+/**
+ * Flag handling for the closed-form/table benches that take no
+ * experiment knobs: `--help` and `--json [PATH]` only, plus the same
+ * exit-time telemetry reporter every experiment bench installs via
+ * configFromArgs().
+ */
+inline void
+simpleArgs(int argc, char **argv)
+{
+    Args args(argc, argv,
+              "  --json [PATH]   also write the JSON summary to PATH\n"
+              "                  (default: BENCH_<name>.json)\n");
+    std::string json_path;
+    args.optionOrDefault("--json", json_path,
+                         "BENCH_" + args.program() + ".json");
+    args.finish();
+    static BenchReporter reporter(args.program(), json_path);
 }
 
 /** Short scheme label for table cells. */

@@ -13,8 +13,9 @@
 #include "materials/library.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    xylem::bench::simpleArgs(argc, argv);
     using namespace xylem;
     using namespace xylem::materials;
     namespace mc = materials::constants;

@@ -1,0 +1,464 @@
+/**
+ * @file
+ * Load generator for the thermal simulation service: N concurrent
+ * clients fire steady-state queries at a daemon (an in-process server
+ * by default, or an external xylem_serve via --socket) with a
+ * configurable duplicate-scenario fraction, then report throughput,
+ * client-side latency percentiles (p50/p95/p99), dedup hits, and
+ * admission-control drops, and verify that a served response is
+ * bit-identical to the same query run directly in batch mode.
+ *
+ * The duplicate mix is deterministic and shared across clients: the
+ * same request index maps to the same scenario in every client, so
+ * concurrent duplicates actually collide in the daemon's in-flight
+ * map and exercise the micro-batching path.
+ *
+ * Flags:
+ *   --socket PATH      use an external daemon instead of in-process
+ *   --clients N        concurrent client connections (default 8)
+ *   --requests N       requests per client (default 24)
+ *   --dup-percent P    share of duplicate-scenario requests (default 50)
+ *   --jobs N           in-process server worker threads (default 4)
+ *   --queue-capacity N in-process server queue bound (default 64)
+ *   --verify N         scenarios to check bit-identical vs batch mode
+ *                      (default 3; 0 disables)
+ *   --json [PATH]      summary JSON (default BENCH_service.json)
+ *   --fast             smoke configuration (4 clients x 6 requests)
+ *
+ * Exit status: 0 on success; 1 when any transport error occurs, a
+ * response is not bit-identical to batch mode, no dedup hit was
+ * observed despite duplicate traffic, or requests were shed although
+ * the offered load fits the queue bound.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_util.hpp"
+#include "service/json.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/socket.hpp"
+#include "workloads/profile.hpp"
+#include "xylem/config_io.hpp"
+#include "xylem/system.hpp"
+
+namespace {
+
+using namespace xylem;
+using Clock = std::chrono::steady_clock;
+
+/** The benchmark stack: small grid so a steady solve is fast. */
+constexpr const char *kGridNx = "32";
+constexpr const char *kGridNy = "32";
+
+const std::vector<std::string> kApps = {"FFT", "LU", "Radix",
+                                        "Cholesky"};
+
+struct Scenario
+{
+    std::string app;
+    double freqGHz = 0.0;
+};
+
+/** Same request index -> same scenario in every client (collides). */
+Scenario
+sharedScenario(int r)
+{
+    Scenario s;
+    s.app = kApps[static_cast<std::size_t>(r) % kApps.size()];
+    s.freqGHz = 2.0 + 0.1 * (r % 5);
+    return s;
+}
+
+/** Client-unique scenario: never collides across clients. */
+Scenario
+uniqueScenario(int client, int r)
+{
+    Scenario s;
+    s.app = kApps[static_cast<std::size_t>(client + r) % kApps.size()];
+    s.freqGHz = 1.0 + 0.001 * (client * 1000 + r);
+    return s;
+}
+
+/** Deterministic duplicate mix, identical across clients. */
+bool
+isShared(int r, int dup_percent)
+{
+    return (r * 37) % 100 < dup_percent;
+}
+
+std::string
+requestFrame(std::uint64_t id, const Scenario &s)
+{
+    service::JsonValue::Object config;
+    config.emplace("gridNx", service::JsonValue(kGridNx));
+    config.emplace("gridNy", service::JsonValue(kGridNy));
+    service::JsonValue::Object req;
+    req.emplace("id", service::JsonValue(static_cast<double>(id)));
+    req.emplace("query", service::JsonValue("steady"));
+    req.emplace("app", service::JsonValue(s.app));
+    req.emplace("freqGHz", service::JsonValue(s.freqGHz));
+    req.emplace("config", service::JsonValue(std::move(config)));
+    std::string frame = service::JsonValue(std::move(req)).dump();
+    frame += '\n';
+    return frame;
+}
+
+struct ClientStats
+{
+    std::vector<double> latencies;
+    int ok = 0;
+    int overloaded = 0;
+    int errors = 0;
+    int transport_failures = 0;
+};
+
+/** One client: a connection firing requests back-to-back. */
+ClientStats
+runClient(const std::string &socket_path, int client, int requests,
+          int dup_percent)
+{
+    ClientStats stats;
+    try {
+        const service::FdGuard fd = service::connectUnix(socket_path);
+        service::LineReader reader(fd.get(), service::kMaxFrameBytes);
+        for (int r = 0; r < requests; ++r) {
+            const Scenario s = isShared(r, dup_percent)
+                                   ? sharedScenario(r)
+                                   : uniqueScenario(client, r);
+            const std::uint64_t id =
+                static_cast<std::uint64_t>(client) * 100000 +
+                static_cast<std::uint64_t>(r);
+            const auto t0 = Clock::now();
+            if (!service::sendAll(fd.get(), requestFrame(id, s))) {
+                ++stats.transport_failures;
+                break;
+            }
+            std::string line;
+            if (reader.next(line) != service::ReadStatus::Frame) {
+                ++stats.transport_failures;
+                break;
+            }
+            stats.latencies.push_back(
+                std::chrono::duration<double>(Clock::now() - t0)
+                    .count());
+            const service::JsonValue resp = service::parseJson(line);
+            const service::JsonValue *ok = resp.find("ok");
+            if (ok && ok->isBoolean() && ok->boolean()) {
+                ++stats.ok;
+            } else {
+                const service::JsonValue *error = resp.find("error");
+                const service::JsonValue *code =
+                    error ? error->find("code") : nullptr;
+                if (code && code->isString() &&
+                    code->str() == "overloaded")
+                    ++stats.overloaded;
+                else
+                    ++stats.errors;
+            }
+        }
+    } catch (const Error &e) {
+        std::cerr << "client " << client << ": " << e.what() << "\n";
+        ++stats.transport_failures;
+    }
+    return stats;
+}
+
+double
+quantile(std::vector<double> sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+/** Fetch a counter from the daemon's metrics query (over the wire). */
+std::uint64_t
+wireCounter(const service::JsonValue &metrics, const std::string &name)
+{
+    const service::JsonValue *counters = metrics.find("counters");
+    const service::JsonValue *v = counters ? counters->find(name)
+                                           : nullptr;
+    return v && v->isNumber()
+               ? static_cast<std::uint64_t>(v->number())
+               : 0;
+}
+
+/**
+ * Ask the daemon for `scenario` once more and compare every double in
+ * the response bit-for-bit with a cold batch-mode solve of the same
+ * query. Returns false (and explains) on any mismatch.
+ */
+bool
+verifyBitIdentical(const std::string &socket_path,
+                   const Scenario &scenario)
+{
+    const service::FdGuard fd = service::connectUnix(socket_path);
+    if (!service::sendAll(fd.get(), requestFrame(1, scenario)))
+        return false;
+    service::LineReader reader(fd.get(), service::kMaxFrameBytes);
+    std::string line;
+    if (reader.next(line) != service::ReadStatus::Frame)
+        return false;
+    const service::JsonValue resp = service::parseJson(line);
+    const service::JsonValue *ok = resp.find("ok");
+    if (!ok || !ok->isBoolean() || !ok->boolean())
+        return false;
+
+    // The same query, cold, through the batch-mode pipeline.
+    std::istringstream config_text(std::string("gridNx = ") + kGridNx +
+                                   "\ngridNy = " + kGridNy + "\n");
+    core::StackSystem system(core::parseSystemConfig(config_text));
+    const core::EvalResult eval = system.evaluate(
+        workloads::profileByName(scenario.app), scenario.freqGHz);
+
+    const auto bitEqual = [](double a, double b) {
+        return std::memcmp(&a, &b, sizeof a) == 0;
+    };
+    const auto field = [&](const char *name) {
+        const service::JsonValue *v = resp.find(name);
+        return v && v->isNumber() ? v->number() : -1.0;
+    };
+    struct Check
+    {
+        const char *name;
+        double served;
+        double batch;
+    };
+    const Check checks[] = {
+        {"procHotspotC", field("procHotspotC"), eval.procHotspot},
+        {"dramBottomHotspotC", field("dramBottomHotspotC"),
+         eval.dramBottomHotspot},
+        {"procPowerW", field("procPowerW"), eval.procPowerTotal},
+        {"dramPowerW", field("dramPowerW"), eval.dramPowerTotal},
+        {"simSeconds", field("simSeconds"), eval.seconds},
+    };
+    for (const Check &c : checks) {
+        if (!bitEqual(c.served, c.batch)) {
+            std::cerr << "bit-identity violation: " << c.name
+                      << " served " << service::formatDouble(c.served)
+                      << " != batch "
+                      << service::formatDouble(c.batch) << " (app "
+                      << scenario.app << ", freq " << scenario.freqGHz
+                      << ")\n";
+            return false;
+        }
+    }
+    const service::JsonValue *cores = resp.find("coreHotspotC");
+    if (!cores || !cores->isArray() ||
+        cores->array().size() != eval.coreHotspot.size())
+        return false;
+    for (std::size_t i = 0; i < eval.coreHotspot.size(); ++i)
+        if (!bitEqual(cores->array()[i].number(),
+                      eval.coreHotspot[i])) {
+            std::cerr << "bit-identity violation: coreHotspotC[" << i
+                      << "]\n";
+            return false;
+        }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Args args(
+        argc, argv,
+        "  --socket PATH      external daemon (default: in-process)\n"
+        "  --clients N        concurrent clients (default 8)\n"
+        "  --requests N       requests per client (default 24)\n"
+        "  --dup-percent P    duplicate-scenario share (default 50)\n"
+        "  --jobs N           in-process server workers (default 4)\n"
+        "  --queue-capacity N in-process queue bound (default 64)\n"
+        "  --verify N         bit-identity scenarios (default 3)\n"
+        "  --json [PATH]      summary JSON "
+        "(default BENCH_service.json)\n"
+        "  --fast             smoke configuration\n");
+    int clients = 8;
+    int requests = 24;
+    if (args.flag("--fast")) {
+        clients = 4;
+        requests = 6;
+    }
+    std::string external_socket;
+    if (const auto path = args.option("--socket"))
+        external_socket = *path;
+    clients = args.intOption("--clients", clients);
+    requests = args.intOption("--requests", requests);
+    const int dup_percent = args.intOption("--dup-percent", 50);
+    const int jobs = args.intOption("--jobs", 4);
+    const int queue_capacity = args.intOption("--queue-capacity", 64);
+    const int verify_n = args.intOption("--verify", 3);
+    std::string json_path;
+    const bool want_json =
+        args.optionOrDefault("--json", json_path, "BENCH_service.json");
+    args.finish();
+
+    bench::banner("perf_service",
+                  "n/a (serving-layer microbenchmark, not a paper "
+                  "figure)");
+
+    // In-process daemon unless an external one was named.
+    std::string socket_path = external_socket;
+    std::unique_ptr<service::Server> server;
+    std::thread server_thread;
+    if (socket_path.empty()) {
+        socket_path = "/tmp/xylem_perf_" + std::to_string(::getpid()) +
+                      ".sock";
+        service::ServerOptions opts;
+        opts.socketPath = socket_path;
+        opts.workers = jobs;
+        opts.queueCapacity = static_cast<std::size_t>(queue_capacity);
+        server = std::make_unique<service::Server>(opts);
+        server->start();
+        server_thread = std::thread([&server] { server->run(); });
+    }
+
+    std::cout << clients << " clients x " << requests << " requests, "
+              << dup_percent << "% duplicate scenarios, socket "
+              << socket_path << "\n";
+
+    const auto t0 = Clock::now();
+    std::vector<ClientStats> stats(
+        static_cast<std::size_t>(clients));
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<std::size_t>(clients));
+        for (int c = 0; c < clients; ++c)
+            threads.emplace_back([&, c] {
+                stats[static_cast<std::size_t>(c)] = runClient(
+                    socket_path, c, requests, dup_percent);
+            });
+        for (auto &t : threads)
+            t.join();
+    }
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    ClientStats total;
+    for (const auto &s : stats) {
+        total.latencies.insert(total.latencies.end(),
+                               s.latencies.begin(), s.latencies.end());
+        total.ok += s.ok;
+        total.overloaded += s.overloaded;
+        total.errors += s.errors;
+        total.transport_failures += s.transport_failures;
+    }
+    std::sort(total.latencies.begin(), total.latencies.end());
+    const double p50 = quantile(total.latencies, 0.50);
+    const double p95 = quantile(total.latencies, 0.95);
+    const double p99 = quantile(total.latencies, 0.99);
+    const double throughput =
+        wall > 0.0 ? static_cast<double>(total.ok) / wall : 0.0;
+
+    // Server-side telemetry over the wire (works for external daemons
+    // too), incl. the dedup counter the acceptance criteria name.
+    std::uint64_t dedup_hits = 0;
+    std::uint64_t shed = 0;
+    std::string metrics_json = "{}";
+    try {
+        const service::FdGuard fd = service::connectUnix(socket_path);
+        service::sendAll(fd.get(), "{\"query\":\"metrics\"}\n");
+        service::LineReader reader(fd.get(), service::kMaxFrameBytes);
+        std::string line;
+        if (reader.next(line) == service::ReadStatus::Frame) {
+            const service::JsonValue resp = service::parseJson(line);
+            if (const service::JsonValue *m = resp.find("metrics")) {
+                dedup_hits = wireCounter(*m, "service.dedup_hits");
+                shed = wireCounter(*m, "service.shed");
+                metrics_json = m->dump();
+            }
+        }
+    } catch (const Error &e) {
+        std::cerr << "metrics query failed: " << e.what() << "\n";
+    }
+
+    bool bit_identical = true;
+    for (int i = 0; i < verify_n; ++i)
+        bit_identical =
+            verifyBitIdentical(socket_path, sharedScenario(i)) &&
+            bit_identical;
+
+    if (server) {
+        server->requestStop();
+        server_thread.join();
+    }
+
+    std::cout << "\nresponses: " << total.ok << " ok, "
+              << total.overloaded << " overloaded, " << total.errors
+              << " errors, " << total.transport_failures
+              << " transport failures\n";
+    std::cout << "throughput: " << Table::num(throughput, 1)
+              << " req/s over " << Table::num(wall, 2) << " s\n";
+    std::cout << "latency: p50 " << Table::num(p50 * 1e3, 2)
+              << " ms, p95 " << Table::num(p95 * 1e3, 2)
+              << " ms, p99 " << Table::num(p99 * 1e3, 2) << " ms\n";
+    std::cout << "dedup hits: " << dedup_hits << ", shed: " << shed
+              << ", bit-identical vs batch: "
+              << (verify_n > 0 ? (bit_identical ? "yes" : "NO")
+                               : "skipped")
+              << "\n";
+
+    if (want_json) {
+        std::ostringstream json;
+        json << "{\"bench\":\"perf_service\",\"clients\":" << clients
+             << ",\"requests_per_client\":" << requests
+             << ",\"dup_percent\":" << dup_percent
+             << ",\"wall_seconds\":" << wall
+             << ",\"responses_ok\":" << total.ok
+             << ",\"overloaded\":" << total.overloaded
+             << ",\"errors\":" << total.errors
+             << ",\"transport_failures\":" << total.transport_failures
+             << ",\"throughput_rps\":" << throughput
+             << ",\"p50_s\":" << service::formatDouble(p50)
+             << ",\"p95_s\":" << service::formatDouble(p95)
+             << ",\"p99_s\":" << service::formatDouble(p99)
+             << ",\"dedup_hits\":" << dedup_hits
+             << ",\"shed\":" << shed << ",\"bit_identical\":"
+             << (bit_identical ? "true" : "false")
+             << ",\"metrics\":" << metrics_json << "}";
+        std::ofstream out(json_path, std::ios::trunc);
+        if (out) {
+            out << json.str() << "\n";
+            std::cout << "JSON written to " << json_path << "\n";
+        } else {
+            std::cerr << "warn: cannot write JSON summary to '"
+                      << json_path << "'\n";
+            return 1;
+        }
+    }
+
+    // Acceptance gates: every request answered; no shedding when the
+    // offered load fits the queue; duplicates actually deduped;
+    // served results bit-identical to batch mode.
+    if (total.transport_failures > 0 || total.errors > 0)
+        return 1;
+    if (!bit_identical)
+        return 1;
+    if (clients <= queue_capacity && total.overloaded > 0) {
+        std::cerr << "unexpected shedding: " << total.overloaded
+                  << " requests below the queue bound\n";
+        return 1;
+    }
+    if (clients > 1 && requests > 1 && dup_percent >= 50 &&
+        dedup_hits == 0) {
+        std::cerr << "no dedup hits despite duplicate traffic\n";
+        return 1;
+    }
+    return 0;
+}

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "runtime/metrics.hpp"
 #include "stack/stack.hpp"
@@ -124,44 +125,33 @@ precondName(thermal::Preconditioner p)
 int
 main(int argc, char **argv)
 {
+    bench::Args args(
+        argc, argv,
+        "  --json [PATH]   machine-readable summary "
+        "(default BENCH_solver.json)\n"
+        "  --grids A,B,..  grid edge lengths to sweep "
+        "(default 32,64,128)\n"
+        "  --threads N     intra-solve worker threads\n"
+        "  --fast          smoke configuration\n");
     std::vector<std::size_t> grids = {32, 64, 128};
-    std::string json_path;
-    bool want_json = false;
     double budget = 1.0;
-    int threads = 1;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--fast") {
-            grids = {32};
-            budget = 0.1;
-        } else if (arg == "--json") {
-            want_json = true;
-            if (i + 1 < argc && argv[i + 1][0] != '-')
-                json_path = argv[++i];
-            else
-                json_path = "BENCH_solver.json";
-        } else if (arg == "--grids") {
-            if (i + 1 >= argc) {
-                std::cerr << "missing value for --grids\n";
-                return 2;
-            }
-            grids.clear();
-            std::stringstream ss(argv[++i]);
-            std::string tok;
-            while (std::getline(ss, tok, ','))
-                grids.push_back(
-                    static_cast<std::size_t>(std::atoi(tok.c_str())));
-        } else if (arg == "--threads") {
-            if (i + 1 >= argc) {
-                std::cerr << "missing value for --threads\n";
-                return 2;
-            }
-            threads = std::atoi(argv[++i]);
-        } else {
-            std::cerr << "unknown argument '" << arg << "'\n";
-            return 2;
-        }
+    if (args.flag("--fast")) {
+        grids = {32};
+        budget = 0.1;
     }
+    std::string json_path;
+    const bool want_json =
+        args.optionOrDefault("--json", json_path, "BENCH_solver.json");
+    if (const auto spec = args.option("--grids")) {
+        grids.clear();
+        std::stringstream ss(*spec);
+        std::string tok;
+        while (std::getline(ss, tok, ','))
+            grids.push_back(
+                static_cast<std::size_t>(std::atoi(tok.c_str())));
+    }
+    const int threads = args.intOption("--threads", 1);
+    args.finish();
 
     const auto wall0 = Clock::now();
     std::vector<BenchResult> results;

@@ -11,8 +11,9 @@
 #include "stack/stack.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    xylem::bench::simpleArgs(argc, argv);
     using namespace xylem;
 
     bench::banner("Table 2 / §7.1 — schemes and TTSV area overheads",

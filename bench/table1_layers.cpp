@@ -12,8 +12,9 @@
 #include "stack/stack.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    xylem::bench::simpleArgs(argc, argv);
     using namespace xylem;
 
     bench::banner("Table 1 — stack dimensions and conductivities",

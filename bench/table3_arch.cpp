@@ -14,8 +14,9 @@
 #include "power/dvfs.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    xylem::bench::simpleArgs(argc, argv);
     using namespace xylem;
 
     bench::banner("Table 3 — architectural parameters",

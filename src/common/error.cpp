@@ -28,6 +28,10 @@ toString(ErrorCode code)
         return "injected-fault";
     case ErrorCode::TaskFailed:
         return "task-failed";
+    case ErrorCode::Protocol:
+        return "protocol";
+    case ErrorCode::Overloaded:
+        return "overloaded";
     }
     return "unknown";
 }

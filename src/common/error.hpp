@@ -46,6 +46,8 @@ enum class ErrorCode
     CacheUnwritable,      ///< cache directory cannot persist records
     InjectedFault,        ///< deterministic fault-injection harness
     TaskFailed,           ///< aggregate sweep-task failure
+    Protocol,             ///< malformed service request frame
+    Overloaded,           ///< admission control shed the request
 };
 
 /** Stable lower-case token for manifests, logs, and tests. */

@@ -1,0 +1,53 @@
+#include "common/signal.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace xylem {
+
+namespace {
+
+/// Set from the signal handler; only async-signal-safe ops allowed.
+std::atomic<bool> g_shutdown_requested{false};
+
+extern "C" void
+xylemShutdownSignalHandler(int)
+{
+    g_shutdown_requested.store(true, std::memory_order_relaxed);
+}
+
+} // namespace
+
+void
+ShutdownSignal::install()
+{
+    static std::atomic<bool> installed{false};
+    if (installed.exchange(true))
+        return;
+    struct sigaction action = {};
+    action.sa_handler = xylemShutdownSignalHandler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0; // no SA_RESTART: interrupt blocking syscalls
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+}
+
+bool
+ShutdownSignal::requested()
+{
+    return g_shutdown_requested.load(std::memory_order_relaxed);
+}
+
+void
+ShutdownSignal::request()
+{
+    g_shutdown_requested.store(true, std::memory_order_relaxed);
+}
+
+void
+ShutdownSignal::clear()
+{
+    g_shutdown_requested.store(false, std::memory_order_relaxed);
+}
+
+} // namespace xylem

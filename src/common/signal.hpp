@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Process-wide cooperative shutdown flag shared by every long-running
+ * driver (the sweep runner's checkpoint drain, the simulation
+ * service's graceful drain).
+ *
+ * Exactly one SIGINT/SIGTERM disposition exists per process; before
+ * this header both SweepRunner and any embedding daemon would have
+ * raced to install their own handler and only one of them would have
+ * observed the signal. ShutdownSignal owns the handler (installed
+ * once, idempotently) and every subsystem polls the same flag, so a
+ * sweep running inside a draining daemon stops too.
+ *
+ * The handler only stores into an atomic (async-signal-safe) and is
+ * installed without SA_RESTART, so blocking syscalls (accept, poll,
+ * read) return EINTR and their callers re-check requested().
+ */
+
+#ifndef XYLEM_COMMON_SIGNAL_HPP
+#define XYLEM_COMMON_SIGNAL_HPP
+
+namespace xylem {
+
+class ShutdownSignal
+{
+  public:
+    /**
+     * Install the SIGINT/SIGTERM handler that requests a cooperative
+     * shutdown. Idempotent: repeated calls (from the sweep runner and
+     * the service in one process) install exactly one handler.
+     */
+    static void install();
+
+    /** Has a shutdown been requested (signal or request())? */
+    static bool requested();
+
+    /** Programmatic shutdown request (tests, embedding applications). */
+    static void request();
+
+    /** Reset the flag (a new run after a handled interrupt). */
+    static void clear();
+};
+
+} // namespace xylem
+
+#endif // XYLEM_COMMON_SIGNAL_HPP

@@ -3,5 +3,6 @@ set(XYLEM_COMMON_SOURCES
     ${CMAKE_CURRENT_LIST_DIR}/logging.cpp
     ${CMAKE_CURRENT_LIST_DIR}/task_context.cpp
     ${CMAKE_CURRENT_LIST_DIR}/rng.cpp
+    ${CMAKE_CURRENT_LIST_DIR}/signal.cpp
     ${CMAKE_CURRENT_LIST_DIR}/stats.cpp
     ${CMAKE_CURRENT_LIST_DIR}/table.cpp)

@@ -1,11 +1,91 @@
 #include "runtime/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/table.hpp"
 
 namespace xylem::runtime {
+
+namespace {
+
+/** Per-bucket growth factor: kMin * growth^kBuckets ≈ 1.1e3 s. */
+const double kBucketGrowth =
+    std::pow(1e9, 1.0 / LatencyHistogram::kBuckets);
+const double kLogBucketGrowth = std::log(kBucketGrowth);
+
+/** Upper bound of bucket i (1-based grid bucket). */
+double
+bucketUpperBound(int i)
+{
+    return LatencyHistogram::kMinSeconds *
+           std::pow(kBucketGrowth, static_cast<double>(i));
+}
+
+} // namespace
+
+void
+LatencyHistogram::observe(double seconds)
+{
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_seconds_.fetch_add(seconds, std::memory_order_relaxed);
+    int idx;
+    if (!(seconds > kMinSeconds)) {
+        idx = 0; // underflow (and NaN, which compares false)
+    } else {
+        idx = static_cast<int>(std::floor(std::log(seconds / kMinSeconds) /
+                                          kLogBucketGrowth)) +
+              1;
+        if (idx < 1)
+            idx = 1;
+        else if (idx > kBuckets)
+            idx = kBuckets + 1; // overflow
+    }
+    buckets_[static_cast<std::size_t>(idx)].fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot
+LatencyHistogram::snapshot() const
+{
+    Snapshot snap;
+    snap.count = count_.load(std::memory_order_relaxed);
+    snap.totalSeconds = total_seconds_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    return snap;
+}
+
+double
+LatencyHistogram::Snapshot::quantile(double q) const
+{
+    // The per-bucket totals may lag `count` slightly under concurrent
+    // observe() calls; rank against the bucket sum for consistency.
+    std::uint64_t total = 0;
+    for (const std::uint64_t b : buckets)
+        total += b;
+    if (total == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the q-th observation, 1-based.
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
+        if (seen >= std::max<std::uint64_t>(rank, 1)) {
+            if (i == 0)
+                return kMinSeconds;
+            if (i == buckets.size() - 1)
+                return bucketUpperBound(kBuckets);
+            // Geometric midpoint of [lower, upper).
+            return std::sqrt(bucketUpperBound(static_cast<int>(i) - 1) *
+                             bucketUpperBound(static_cast<int>(i)));
+        }
+    }
+    return bucketUpperBound(kBuckets);
+}
 
 Metrics &
 Metrics::global()
@@ -19,6 +99,13 @@ Metrics::counter(const std::string &name)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return counters_[name];
+}
+
+LatencyHistogram &
+Metrics::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return histograms_[name];
 }
 
 void
@@ -51,6 +138,14 @@ Metrics::Snapshot::timingTotal(const std::string &name) const
     return it == timings.end() ? 0.0 : it->second.totalSeconds;
 }
 
+double
+Metrics::Snapshot::histogramQuantile(const std::string &name,
+                                     double q) const
+{
+    auto it = histograms.find(name);
+    return it == histograms.end() ? 0.0 : it->second.quantile(q);
+}
+
 Metrics::Snapshot
 Metrics::snapshot() const
 {
@@ -59,6 +154,8 @@ Metrics::snapshot() const
     for (const auto &[name, c] : counters_)
         snap.counters[name] = c.value();
     snap.timings = timings_;
+    for (const auto &[name, h] : histograms_)
+        snap.histograms[name] = h.snapshot();
     return snap;
 }
 
@@ -68,6 +165,7 @@ Metrics::reset()
     std::lock_guard<std::mutex> lock(mutex_);
     counters_.clear();
     timings_.clear();
+    histograms_.clear();
 }
 
 void
@@ -94,6 +192,19 @@ Metrics::printSummary(std::ostream &os) const
         os << "Telemetry timings:\n";
         t.print(os);
     }
+    if (!snap.histograms.empty()) {
+        Table t({"histogram", "count", "mean [s]", "p50 [s]", "p95 [s]",
+                 "p99 [s]"});
+        for (const auto &[name, h] : snap.histograms) {
+            t.addRow({name, std::to_string(h.count),
+                      Table::num(h.meanSeconds(), 5),
+                      Table::num(h.quantile(0.50), 5),
+                      Table::num(h.quantile(0.95), 5),
+                      Table::num(h.quantile(0.99), 5)});
+        }
+        os << "Telemetry latency histograms:\n";
+        t.print(os);
+    }
 }
 
 std::string
@@ -115,6 +226,17 @@ Metrics::toJson() const
            << ",\"mean_s\":" << ts.meanSeconds()
            << ",\"min_s\":" << ts.minSeconds
            << ",\"max_s\":" << ts.maxSeconds << '}';
+        first = false;
+    }
+    os << "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : snap.histograms) {
+        os << (first ? "" : ",") << '"' << name << "\":{\"count\":"
+           << h.count << ",\"total_s\":" << h.totalSeconds
+           << ",\"mean_s\":" << h.meanSeconds()
+           << ",\"p50_s\":" << h.quantile(0.50)
+           << ",\"p95_s\":" << h.quantile(0.95)
+           << ",\"p99_s\":" << h.quantile(0.99) << '}';
         first = false;
     }
     os << "}}";

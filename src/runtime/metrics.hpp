@@ -1,8 +1,9 @@
 /**
  * @file
  * Per-task telemetry for the experiment runtime: a process-wide
- * registry of named counters (monotonic, atomic) and timings
- * (count/total/min/max wall seconds).
+ * registry of named counters (monotonic, atomic), timings
+ * (count/total/min/max wall seconds), and bounded-memory latency
+ * histograms (fixed log-spaced buckets with p50/p95/p99 extraction).
  *
  * Producers grab a counter once and bump it from any thread:
  *
@@ -21,6 +22,8 @@
  *   solver.*            CG solves/iterations, warm vs cold split, and
  *                       solver.nonconverged (tolerance misses)
  *   runner.* simcache.* experiment-runtime task and cache telemetry
+ *   service.*           simulation-service queue/batching/latency
+ *                       telemetry (requests, dedup_hits, shed)
  *   verify.selfcheck.*  invariant checks run / failed when the bench
  *                       --selfcheck flag arms the verification layer
  */
@@ -28,6 +31,7 @@
 #ifndef XYLEM_RUNTIME_METRICS_HPP
 #define XYLEM_RUNTIME_METRICS_HPP
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -53,6 +57,52 @@ class Counter
     std::atomic<std::uint64_t> value_{0};
 };
 
+/**
+ * A bounded-memory latency histogram: fixed log-spaced buckets from
+ * 1 µs to ~1000 s (constant ~24% bucket width), lock-free observe()
+ * from any thread, and percentile extraction from a snapshot. Memory
+ * is a fixed ~1 KiB per histogram regardless of observation count —
+ * the property that lets the service keep one per latency stage for
+ * the life of the daemon.
+ */
+class LatencyHistogram
+{
+  public:
+    /** kMinSeconds * kGrowth^kBuckets ≈ 1.1e3 s. */
+    static constexpr int kBuckets = 96;
+    static constexpr double kMinSeconds = 1e-6;
+
+    /** Record one observation (thread-safe, wait-free). */
+    void observe(double seconds);
+
+    /** Immutable copy of the bucket state. */
+    struct Snapshot
+    {
+        std::uint64_t count = 0;
+        double totalSeconds = 0.0;
+        /** [0] = underflow (< kMinSeconds), [kBuckets+1] = overflow. */
+        std::array<std::uint64_t, kBuckets + 2> buckets{};
+
+        /**
+         * Value at quantile q in [0, 1]: the geometric midpoint of
+         * the bucket holding the q-th observation (≤ ~12% off the
+         * true value by construction). 0 when empty.
+         */
+        double quantile(double q) const;
+
+        double meanSeconds() const
+        {
+            return count ? totalSeconds / static_cast<double>(count) : 0.0;
+        }
+    };
+    Snapshot snapshot() const;
+
+  private:
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> total_seconds_{0.0};
+    std::array<std::atomic<std::uint64_t>, kBuckets + 2> buckets_{};
+};
+
 /** Aggregated wall-time observations for one named timing. */
 struct TimingStats
 {
@@ -76,20 +126,27 @@ class Metrics
     /** Find-or-create; the reference stays valid until reset(). */
     Counter &counter(const std::string &name);
 
+    /** Find-or-create; the reference stays valid until reset(). */
+    LatencyHistogram &histogram(const std::string &name);
+
     /** Fold one wall-time observation into the named timing. */
     void addTiming(const std::string &name, double seconds);
 
-    /** A consistent copy of every counter and timing. */
+    /** A consistent copy of every counter, timing, and histogram. */
     struct Snapshot
     {
         std::map<std::string, std::uint64_t> counters;
         std::map<std::string, TimingStats> timings;
+        std::map<std::string, LatencyHistogram::Snapshot> histograms;
 
         /** Counter value or 0 when absent. */
         std::uint64_t count(const std::string &name) const;
 
         /** Total seconds of a timing, or 0 when absent. */
         double timingTotal(const std::string &name) const;
+
+        /** Histogram quantile, or 0 when the histogram is absent. */
+        double histogramQuantile(const std::string &name, double q) const;
     };
     Snapshot snapshot() const;
 
@@ -104,30 +161,40 @@ class Metrics
 
   private:
     mutable std::mutex mutex_;
-    // node-based: counter() hands out long-lived references
+    // node-based: counter()/histogram() hand out long-lived references
     std::map<std::string, Counter> counters_;
     std::map<std::string, TimingStats> timings_;
+    std::map<std::string, LatencyHistogram> histograms_;
 };
 
-/** Records the wall time of a scope into Metrics::global(). */
+/**
+ * Records the wall time of a scope into Metrics::global() — as a
+ * timing always, and additionally into the same-named latency
+ * histogram when `with_histogram` is set (tail percentiles then show
+ * up in printSummary() and every bench --json summary).
+ */
 class ScopedTimer
 {
   public:
-    explicit ScopedTimer(std::string name)
-        : name_(std::move(name)),
+    explicit ScopedTimer(std::string name, bool with_histogram = false)
+        : name_(std::move(name)), with_histogram_(with_histogram),
           start_(std::chrono::steady_clock::now())
     {}
     ~ScopedTimer()
     {
         const auto end = std::chrono::steady_clock::now();
-        Metrics::global().addTiming(
-            name_, std::chrono::duration<double>(end - start_).count());
+        const double seconds =
+            std::chrono::duration<double>(end - start_).count();
+        Metrics::global().addTiming(name_, seconds);
+        if (with_histogram_)
+            Metrics::global().histogram(name_).observe(seconds);
     }
     ScopedTimer(const ScopedTimer &) = delete;
     ScopedTimer &operator=(const ScopedTimer &) = delete;
 
   private:
     std::string name_;
+    bool with_histogram_;
     std::chrono::steady_clock::time_point start_;
 };
 

@@ -1,24 +1,10 @@
 #include "runtime/sweep_runner.hpp"
 
-#include <atomic>
 #include <cstdlib>
 
-#include <csignal>
+#include "common/signal.hpp"
 
 namespace xylem::runtime {
-
-namespace {
-
-/// Set from the signal handler; only async-signal-safe ops allowed.
-std::atomic<bool> g_interrupt_requested{false};
-
-extern "C" void
-xylemSweepSignalHandler(int)
-{
-    g_interrupt_requested.store(true, std::memory_order_relaxed);
-}
-
-} // namespace
 
 RunnerOptions
 RunnerOptions::fromEnv()
@@ -47,36 +33,32 @@ SweepRunner::SweepRunner(RunnerOptions opts)
 
 SweepRunner::~SweepRunner() = default;
 
+// The sweep runner shares the process-wide shutdown flag with every
+// other long-running driver (see common/signal.hpp); these wrappers
+// keep the historical SweepRunner API working.
+
 void
 SweepRunner::installSignalHandlers()
 {
-    static std::atomic<bool> installed{false};
-    if (installed.exchange(true))
-        return;
-    struct sigaction action = {};
-    action.sa_handler = xylemSweepSignalHandler;
-    sigemptyset(&action.sa_mask);
-    action.sa_flags = 0; // no SA_RESTART: interrupt blocking syscalls
-    sigaction(SIGINT, &action, nullptr);
-    sigaction(SIGTERM, &action, nullptr);
+    ShutdownSignal::install();
 }
 
 bool
 SweepRunner::interruptRequested()
 {
-    return g_interrupt_requested.load(std::memory_order_relaxed);
+    return ShutdownSignal::requested();
 }
 
 void
 SweepRunner::requestInterrupt()
 {
-    g_interrupt_requested.store(true, std::memory_order_relaxed);
+    ShutdownSignal::request();
 }
 
 void
 SweepRunner::clearInterruptRequest()
 {
-    g_interrupt_requested.store(false, std::memory_order_relaxed);
+    ShutdownSignal::clear();
 }
 
 std::unique_ptr<SweepProgress>

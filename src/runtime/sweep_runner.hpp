@@ -335,7 +335,8 @@ class SweepRunner
                     raise(ErrorCode::InjectedFault,
                           "injected failure of task ", i, " (attempt ",
                           attempt, ")");
-                ScopedTimer timer("runner.task_seconds");
+                ScopedTimer timer("runner.task_seconds",
+                                  /*with_histogram=*/true);
                 slot = compute_fn(i);
                 return rung;
             } catch (const Error &e) {

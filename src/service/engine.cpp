@@ -1,0 +1,207 @@
+#include "service/engine.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/task_context.hpp"
+#include "cpu/multicore.hpp"
+#include "runtime/metrics.hpp"
+#include "workloads/profile.hpp"
+#include "xylem/sim_cache.hpp"
+
+namespace xylem::service {
+
+namespace {
+
+void
+fillFromEval(EvalSummary &out, const core::EvalResult &r)
+{
+    out.procHotspotC = r.procHotspot;
+    out.dramBottomHotspotC = r.dramBottomHotspot;
+    out.procPowerW = r.procPowerTotal;
+    out.dramPowerW = r.dramPowerTotal;
+    out.simSeconds = r.seconds;
+    out.coreHotspotC = r.coreHotspot;
+    out.cgIterations = r.cgIterations;
+    out.converged = true;
+}
+
+} // namespace
+
+Engine::Engine(EngineOptions opts)
+    : opts_(opts)
+{}
+
+std::size_t
+Engine::residentSystems() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return systems_.size();
+}
+
+std::shared_ptr<Engine::Slot>
+Engine::slotFor(const Request &req)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = systems_.find(req.configText);
+    if (it != systems_.end()) {
+        lru_.remove(req.configText);
+        lru_.push_front(req.configText);
+        return it->second;
+    }
+    auto slot = std::make_shared<Slot>(req.config);
+    systems_.emplace(req.configText, slot);
+    lru_.push_front(req.configText);
+    runtime::Metrics::global()
+        .counter("service.systems_built")
+        .increment();
+    // Evict least-recently-used idle systems beyond the cap. A system
+    // another worker still holds (use_count > 1) is skipped — the cap
+    // may be exceeded transiently rather than invalidate a live solve.
+    auto pos = lru_.end();
+    while (systems_.size() > opts_.maxResidentSystems &&
+           pos != lru_.begin()) {
+        --pos;
+        auto victim = systems_.find(*pos);
+        if (*pos != req.configText && victim != systems_.end() &&
+            victim->second.use_count() == 1) {
+            systems_.erase(victim);
+            pos = lru_.erase(pos);
+            runtime::Metrics::global()
+                .counter("service.systems_evicted")
+                .increment();
+        }
+    }
+    return slot;
+}
+
+EvalSummary
+Engine::runOnce(const Request &req, core::StackSystem &system)
+{
+    const workloads::Profile *profile = nullptr;
+    try {
+        profile = &workloads::profileByName(req.app);
+    } catch (const FatalError &e) {
+        // Unknown workload is the client's mistake, not a solver
+        // failure: surface it typed, outside the retry budget.
+        raise(ErrorCode::Config, e.what());
+    }
+
+    const core::SystemConfig &cfg = system.config();
+    EvalSummary out;
+    switch (req.query) {
+    case QueryType::Steady: {
+        fillFromEval(out, system.evaluate(*profile, req.freqGHz));
+        break;
+    }
+    case QueryType::Boost: {
+        const double proc_cap =
+            req.procCapC > 0.0 ? req.procCapC : cfg.tjMaxProc;
+        const double dram_cap =
+            req.dramCapC > 0.0 ? req.dramCapC : cfg.tMaxDram;
+        core::BoostResult boost =
+            system.maxUniformFrequency(*profile, proc_cap, dram_cap);
+        fillFromEval(out, boost.eval);
+        out.feasible = boost.feasible;
+        out.freqGHz = boost.freqGHz;
+        break;
+    }
+    case QueryType::Transient: {
+        const std::vector<double> freqs(
+            static_cast<std::size_t>(cfg.cpu.numCores), req.freqGHz);
+        cpu::MulticoreConfig sim_cfg = cfg.cpu;
+        sim_cfg.coreFreqGHz = freqs;
+        const core::SimResultPtr sim = core::cachedSimulate(
+            sim_cfg, cpu::allCoresRunning(*profile, cfg.cpu.numCores));
+        const thermal::PowerMap map = system.powerMapFor(*sim, freqs);
+
+        const thermal::GridModel &model = system.thermalModel();
+        thermal::TemperatureField field = model.ambientField();
+        thermal::SolveStats stats;
+        for (int step = 0; step < req.steps; ++step) {
+            field = model.stepTransient(field, map, req.dtSeconds,
+                                        &stats);
+            out.cgIterations += stats.iterations;
+            out.converged = out.converged && stats.converged;
+        }
+        const stack::BuiltStack &layers = system.builtStack();
+        out.procHotspotC = field.maxOfLayer(
+            static_cast<std::size_t>(layers.procMetal));
+        if (!layers.dramMetal.empty())
+            out.dramBottomHotspotC = field.maxOfLayer(
+                static_cast<std::size_t>(layers.dramMetal.front()));
+        out.procPowerW =
+            system.powerModel().procPower(*sim, freqs).total();
+        out.dramPowerW = sim->dramAveragePowerW();
+        out.simSeconds = sim->seconds;
+        break;
+    }
+    case QueryType::Metrics:
+        raise(ErrorCode::Protocol,
+              "metrics queries are answered by the server, not the "
+              "engine");
+    }
+    return out;
+}
+
+EvalSummary
+Engine::run(const Request &req)
+{
+    auto slot = slotFor(req);
+    std::lock_guard<std::mutex> guard(slot->mutex);
+
+    auto &retries = runtime::Metrics::global().counter("service.retries");
+    auto &escalations =
+        runtime::Metrics::global().counter("service.escalations");
+    const bool resilient = opts_.maxRetries > 0;
+    int rung = 0;
+    int retries_left = opts_.maxRetries;
+    for (;;) {
+        TaskContext ctx;
+        ctx.escalation = rung;
+        ctx.strictSolver = resilient;
+        if (opts_.taskTimeoutSeconds > 0.0) {
+            ctx.hasDeadline = true;
+            ctx.deadline =
+                std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(
+                        opts_.taskTimeoutSeconds));
+        }
+        try {
+            ScopedTaskContext scope(ctx);
+            // Determinism contract: never inherit a warm start from a
+            // previous request, so this response is bit-identical to
+            // the same query run cold in a batch binary.
+            slot->system.clearWarmStart();
+            EvalSummary out = runOnce(req, slot->system);
+            out.escalation = rung;
+            return out;
+        } catch (const Error &e) {
+            const bool escalatable =
+                e.code() == ErrorCode::SolverNonConvergence ||
+                e.code() == ErrorCode::SolverBreakdown ||
+                e.code() == ErrorCode::DeadlineExceeded;
+            if (resilient && escalatable && rung < kMaxEscalation) {
+                ++rung;
+                escalations.increment();
+                continue;
+            }
+            // Client mistakes replay identically; don't burn retries.
+            const bool deterministic_client_error =
+                e.code() == ErrorCode::Config ||
+                e.code() == ErrorCode::Protocol;
+            if (resilient && !escalatable &&
+                !deterministic_client_error && retries_left > 0) {
+                --retries_left;
+                retries.increment();
+                continue;
+            }
+            throw;
+        }
+    }
+}
+
+} // namespace xylem::service

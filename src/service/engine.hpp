@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The service's query engine: turns a validated Request into an
+ * EvalSummary by driving the existing pipeline (StackSystem →
+ * cachedSimulate → GridModel), with the PR-3 retry/escalation ladder
+ * wrapped around every request.
+ *
+ * Hot-system reuse: one StackSystem per distinct config text stays
+ * resident (bounded LRU), so a stream of what-if queries against the
+ * same stack skips the model assembly cost — the cold-start work a
+ * batch binary pays on every invocation. Each system's SolverWorkspace
+ * is reused across requests (PR-4), and the process-wide sim cache
+ * deduplicates the multicore simulations underneath.
+ *
+ * Determinism contract: the warm-start field is cleared before every
+ * request, so a served result is bit-identical to the same query run
+ * cold in a batch binary, independent of what the daemon served
+ * before. (Warm starts would be faster but would make a response
+ * depend on request history; a serving layer must not do that.)
+ */
+
+#ifndef XYLEM_SERVICE_ENGINE_HPP
+#define XYLEM_SERVICE_ENGINE_HPP
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "service/protocol.hpp"
+#include "xylem/system.hpp"
+
+namespace xylem::service {
+
+struct EngineOptions
+{
+    /** Same-rung retries per request (0 disables the ladder). */
+    int maxRetries = 1;
+    /** Cooperative per-request deadline; 0 disables. */
+    double taskTimeoutSeconds = 0.0;
+    /** Resident StackSystem cap (LRU eviction beyond it). */
+    std::size_t maxResidentSystems = 8;
+};
+
+class Engine
+{
+  public:
+    explicit Engine(EngineOptions opts);
+
+    /**
+     * Execute the request's query. Thread-safe; concurrent requests
+     * against the same config serialise on that system's lock.
+     * Throws Error on permanent failure (after the ladder), with the
+     * code of the last attempt.
+     */
+    EvalSummary run(const Request &req);
+
+    /** Resident systems right now (telemetry/tests). */
+    std::size_t residentSystems() const;
+
+  private:
+    /** One resident system; the mutex serialises its (stateful) use. */
+    struct Slot
+    {
+        explicit Slot(core::SystemConfig cfg)
+            : system(std::move(cfg))
+        {}
+        std::mutex mutex;
+        core::StackSystem system;
+    };
+
+    std::shared_ptr<Slot> slotFor(const Request &req);
+    EvalSummary runOnce(const Request &req, core::StackSystem &system);
+
+    EngineOptions opts_;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_ptr<Slot>> systems_;
+    /** Most-recent first; parallel to systems_ keys. */
+    std::list<std::string> lru_;
+};
+
+} // namespace xylem::service
+
+#endif // XYLEM_SERVICE_ENGINE_HPP

@@ -1,0 +1,451 @@
+#include "service/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace xylem::service {
+
+namespace {
+
+/** Parser recursion bound: deeper nesting is hostile, not data. */
+constexpr int kMaxDepth = 64;
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        skipWhitespace();
+        JsonValue v = parseValue(0);
+        skipWhitespace();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON value");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        raise(ErrorCode::Protocol, "invalid JSON at byte ", pos_, ": ",
+              what);
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    char
+    next()
+    {
+        if (atEnd())
+            fail("unexpected end of input");
+        return text_[pos_++];
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (!atEnd()) {
+            const char c = peek();
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    void
+    expect(char c)
+    {
+        if (atEnd() || peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    void
+    expectLiteral(std::string_view lit)
+    {
+        if (text_.substr(pos_, lit.size()) != lit)
+            fail("invalid literal");
+        pos_ += lit.size();
+    }
+
+    JsonValue
+    parseValue(int depth)
+    {
+        if (depth > kMaxDepth)
+            fail("nesting too deep");
+        if (atEnd())
+            fail("unexpected end of input");
+        switch (peek()) {
+        case '{':
+            return parseObject(depth);
+        case '[':
+            return parseArray(depth);
+        case '"':
+            return JsonValue(parseString());
+        case 't':
+            expectLiteral("true");
+            return JsonValue(true);
+        case 'f':
+            expectLiteral("false");
+            return JsonValue(false);
+        case 'n':
+            expectLiteral("null");
+            return JsonValue();
+        default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject(int depth)
+    {
+        expect('{');
+        JsonValue::Object obj;
+        skipWhitespace();
+        if (!atEnd() && peek() == '}') {
+            ++pos_;
+            return JsonValue(std::move(obj));
+        }
+        for (;;) {
+            skipWhitespace();
+            if (atEnd() || peek() != '"')
+                fail("expected object key string");
+            std::string key = parseString();
+            skipWhitespace();
+            expect(':');
+            skipWhitespace();
+            // Duplicate keys: last one wins (the common convention).
+            obj[std::move(key)] = parseValue(depth + 1);
+            skipWhitespace();
+            const char c = next();
+            if (c == '}')
+                return JsonValue(std::move(obj));
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    JsonValue
+    parseArray(int depth)
+    {
+        expect('[');
+        JsonValue::Array arr;
+        skipWhitespace();
+        if (!atEnd() && peek() == ']') {
+            ++pos_;
+            return JsonValue(std::move(arr));
+        }
+        for (;;) {
+            skipWhitespace();
+            arr.push_back(parseValue(depth + 1));
+            skipWhitespace();
+            const char c = next();
+            if (c == ']')
+                return JsonValue(std::move(arr));
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    int
+    hexDigit()
+    {
+        const char c = next();
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        fail("invalid \\u escape digit");
+    }
+
+    unsigned
+    parseHex4()
+    {
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i)
+            v = v * 16 + static_cast<unsigned>(hexDigit());
+        return v;
+    }
+
+    void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            const char c = next();
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            const char esc = next();
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                unsigned cp = parseHex4();
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    // High surrogate: a low surrogate must follow.
+                    if (next() != '\\' || next() != 'u')
+                        fail("unpaired UTF-16 surrogate");
+                    const unsigned lo = parseHex4();
+                    if (lo < 0xDC00 || lo > 0xDFFF)
+                        fail("invalid low surrogate");
+                    cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                    fail("unpaired UTF-16 surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+            }
+            default:
+                fail("invalid escape character");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (!atEnd() && peek() == '-')
+            ++pos_;
+        auto digits = [&] {
+            std::size_t n = 0;
+            while (!atEnd() && peek() >= '0' && peek() <= '9') {
+                ++pos_;
+                ++n;
+            }
+            return n;
+        };
+        // JSON grammar: int part is 0 or [1-9][0-9]*.
+        if (atEnd() || peek() < '0' || peek() > '9')
+            fail("invalid number");
+        if (peek() == '0') {
+            ++pos_;
+            if (!atEnd() && peek() >= '0' && peek() <= '9')
+                fail("leading zero in number");
+        } else {
+            digits();
+        }
+        if (!atEnd() && peek() == '.') {
+            ++pos_;
+            if (digits() == 0)
+                fail("missing digits after decimal point");
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!atEnd() && (peek() == '+' || peek() == '-'))
+                ++pos_;
+            if (digits() == 0)
+                fail("missing exponent digits");
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        // The token already matches the JSON grammar; strtod consumes
+        // exactly it. Out-of-range values clamp to ±inf, which the
+        // protocol layer rejects with a range check where it matters.
+        const double v = std::strtod(token.c_str(), nullptr);
+        return JsonValue(v);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+[[noreturn]] void
+typeMismatch(const char *wanted)
+{
+    raise(ErrorCode::Protocol, "JSON value is not ", wanted);
+}
+
+} // namespace
+
+bool
+JsonValue::boolean() const
+{
+    if (type_ != Type::Boolean)
+        typeMismatch("a boolean");
+    return bool_;
+}
+
+double
+JsonValue::number() const
+{
+    if (type_ != Type::Number)
+        typeMismatch("a number");
+    return number_;
+}
+
+const std::string &
+JsonValue::str() const
+{
+    if (type_ != Type::String)
+        typeMismatch("a string");
+    return string_;
+}
+
+const JsonValue::Array &
+JsonValue::array() const
+{
+    if (type_ != Type::Array)
+        typeMismatch("an array");
+    return array_;
+}
+
+const JsonValue::Object &
+JsonValue::object() const
+{
+    if (type_ != Type::Object)
+        typeMismatch("an object");
+    return object_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    const auto it = object_.find(key);
+    return it == object_.end() ? nullptr : &it->second;
+}
+
+std::string
+JsonValue::dump() const
+{
+    std::string out;
+    dumpTo(out);
+    return out;
+}
+
+void
+JsonValue::dumpTo(std::string &out) const
+{
+    switch (type_) {
+    case Type::Null:
+        out += "null";
+        break;
+    case Type::Boolean:
+        out += bool_ ? "true" : "false";
+        break;
+    case Type::Number:
+        out += formatDouble(number_);
+        break;
+    case Type::String:
+        appendJsonString(out, string_);
+        break;
+    case Type::Array: {
+        out += '[';
+        bool first = true;
+        for (const JsonValue &v : array_) {
+            if (!first)
+                out += ',';
+            first = false;
+            v.dumpTo(out);
+        }
+        out += ']';
+        break;
+    }
+    case Type::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto &[key, v] : object_) {
+            if (!first)
+                out += ',';
+            first = false;
+            appendJsonString(out, key);
+            out += ':';
+            v.dumpTo(out);
+        }
+        out += '}';
+        break;
+    }
+    }
+}
+
+JsonValue
+parseJson(std::string_view text)
+{
+    return Parser(text).parse();
+}
+
+std::string
+formatDouble(double v)
+{
+    // JSON has no inf/nan literals; emit null (never produced by the
+    // solver on the happy path, but a response must stay parseable).
+    if (!std::isfinite(v))
+        return "null";
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    return std::string(buf, res.ptr);
+}
+
+void
+appendJsonString(std::string &out, std::string_view s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+} // namespace xylem::service

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Minimal JSON support for the simulation service's wire protocol: a
+ * tree value type, a strict recursive-descent parser, and a writer
+ * whose doubles round-trip bit-exactly.
+ *
+ * The parser is built for hostile input (the daemon reads frames from
+ * arbitrary local clients): it never recurses deeper than kMaxDepth,
+ * rejects trailing junk, validates UTF-16 escapes, and reports every
+ * failure as Error(ErrorCode::Protocol) with a byte offset — a
+ * malformed frame can produce a typed error response but never a
+ * crash or unbounded work.
+ *
+ * Doubles are formatted with std::to_chars (shortest round-trip), so
+ * a value written by the server and re-parsed by a client compares
+ * bit-identical — the property the service's "responses match batch
+ * mode exactly" guarantee rests on.
+ */
+
+#ifndef XYLEM_SERVICE_JSON_HPP
+#define XYLEM_SERVICE_JSON_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xylem::service {
+
+class JsonValue
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Boolean,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    using Array = std::vector<JsonValue>;
+    /** std::map: object members serialise in sorted (canonical) order. */
+    using Object = std::map<std::string, JsonValue>;
+
+    JsonValue() : type_(Type::Null) {}
+    JsonValue(bool b) : type_(Type::Boolean), bool_(b) {}
+    JsonValue(double n) : type_(Type::Number), number_(n) {}
+    JsonValue(int n) : type_(Type::Number), number_(n) {}
+    JsonValue(const char *s) : type_(Type::String), string_(s) {}
+    JsonValue(std::string s) : type_(Type::String), string_(std::move(s)) {}
+    JsonValue(Array a) : type_(Type::Array), array_(std::move(a)) {}
+    JsonValue(Object o) : type_(Type::Object), object_(std::move(o)) {}
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBoolean() const { return type_ == Type::Boolean; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Checked accessors: throw Error(Protocol) on a type mismatch. */
+    bool boolean() const;
+    double number() const;
+    const std::string &str() const;
+    const Array &array() const;
+    const Object &object() const;
+
+    /** Object member, or null when absent / not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Serialise (compact, members in sorted key order). */
+    std::string dump() const;
+    void dumpTo(std::string &out) const;
+
+  private:
+    Type type_;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    Array array_;
+    Object object_;
+};
+
+/**
+ * Parse one complete JSON value (plus surrounding whitespace only).
+ * Throws Error(ErrorCode::Protocol) on any syntax violation, with the
+ * byte offset of the problem in the message.
+ */
+JsonValue parseJson(std::string_view text);
+
+/** Shortest decimal form that parses back to the identical double. */
+std::string formatDouble(double v);
+
+/** Append `s` as a quoted, escaped JSON string literal. */
+void appendJsonString(std::string &out, std::string_view s);
+
+} // namespace xylem::service
+
+#endif // XYLEM_SERVICE_JSON_HPP

@@ -1,0 +1,289 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "service/json.hpp"
+#include "xylem/config_io.hpp"
+
+namespace xylem::service {
+
+namespace {
+
+/** Checked finite-number field access. */
+double
+numberField(const JsonValue &v, const char *name)
+{
+    if (!v.isNumber())
+        raise(ErrorCode::Protocol, "request field '", name,
+              "' must be a number");
+    const double d = v.number();
+    if (!std::isfinite(d))
+        raise(ErrorCode::Protocol, "request field '", name,
+              "' is out of range");
+    return d;
+}
+
+QueryType
+queryFromString(const std::string &s)
+{
+    if (s == "steady")
+        return QueryType::Steady;
+    if (s == "transient")
+        return QueryType::Transient;
+    if (s == "boost")
+        return QueryType::Boost;
+    if (s == "metrics")
+        return QueryType::Metrics;
+    raise(ErrorCode::Protocol, "unknown query type '", s,
+          "' (expected steady|transient|boost|metrics)");
+}
+
+/**
+ * Render the request's config-override object into the config_io
+ * `key = value` text form and parse it, so the service accepts
+ * exactly the keys (and applies exactly the validation) of the
+ * offline configuration files.
+ */
+core::SystemConfig
+configFromOverrides(const JsonValue *overrides)
+{
+    std::ostringstream text;
+    if (overrides) {
+        if (!overrides->isObject())
+            raise(ErrorCode::Protocol,
+                  "request field 'config' must be an object");
+        for (const auto &[key, value] : overrides->object()) {
+            if (key.find_first_of("=#\n\r") != std::string::npos)
+                raise(ErrorCode::Protocol, "invalid config key '", key,
+                      "'");
+            text << key << " = ";
+            if (value.isString()) {
+                const std::string &s = value.str();
+                if (s.find_first_of("#\n\r") != std::string::npos ||
+                    s.empty())
+                    raise(ErrorCode::Protocol,
+                          "invalid config value for '", key, "'");
+                text << s;
+            } else if (value.isNumber()) {
+                text << formatDouble(numberField(value, key.c_str()));
+            } else {
+                raise(ErrorCode::Protocol, "config value for '", key,
+                      "' must be a number or string");
+            }
+            text << "\n";
+        }
+    }
+    try {
+        std::istringstream in(text.str());
+        return core::parseSystemConfig(in);
+    } catch (const FatalError &e) {
+        // Unknown keys / malformed values are the client's fault.
+        raise(ErrorCode::Protocol, "bad config override: ", e.what());
+    }
+}
+
+void
+appendTelemetry(std::string &out, const RequestTelemetry &t)
+{
+    out += "\"telemetry\":{\"queue_s\":";
+    out += formatDouble(t.queueSeconds);
+    out += ",\"solve_s\":";
+    out += formatDouble(t.solveSeconds);
+    out += ",\"service_s\":";
+    out += formatDouble(t.serviceSeconds);
+    out += ",\"dedup\":";
+    out += t.dedup ? "true" : "false";
+    out += "}";
+}
+
+} // namespace
+
+const char *
+toString(QueryType q)
+{
+    switch (q) {
+    case QueryType::Steady:
+        return "steady";
+    case QueryType::Transient:
+        return "transient";
+    case QueryType::Boost:
+        return "boost";
+    case QueryType::Metrics:
+        return "metrics";
+    }
+    return "steady";
+}
+
+Request
+parseRequest(const std::string &frame)
+{
+    if (frame.size() > kMaxFrameBytes)
+        raise(ErrorCode::Protocol, "request frame of ", frame.size(),
+              " bytes exceeds the ", kMaxFrameBytes, "-byte limit");
+    const JsonValue root = parseJson(frame);
+    if (!root.isObject())
+        raise(ErrorCode::Protocol, "request must be a JSON object");
+
+    // Catch client typos early: an unknown top-level field is a
+    // protocol error, not silently ignored configuration.
+    static const char *const known[] = {"id",      "query",   "config",
+                                        "app",     "freqGHz", "steps",
+                                        "dtSeconds", "procCapC",
+                                        "dramCapC"};
+    for (const auto &[key, value] : root.object()) {
+        (void)value;
+        bool ok = false;
+        for (const char *k : known)
+            ok = ok || key == k;
+        if (!ok)
+            raise(ErrorCode::Protocol, "unknown request field '", key,
+                  "'");
+    }
+
+    Request req;
+    if (const JsonValue *id = root.find("id")) {
+        const double v = numberField(*id, "id");
+        if (v < 0 || v != std::floor(v) || v > 1e15)
+            raise(ErrorCode::Protocol,
+                  "request field 'id' must be a non-negative integer");
+        req.id = static_cast<std::uint64_t>(v);
+    }
+    const JsonValue *query = root.find("query");
+    if (!query || !query->isString())
+        raise(ErrorCode::Protocol,
+              "request field 'query' (string) is required");
+    req.query = queryFromString(query->str());
+
+    req.config = configFromOverrides(root.find("config"));
+    req.configText = core::formatSystemConfig(req.config);
+
+    if (const JsonValue *app = root.find("app")) {
+        if (!app->isString())
+            raise(ErrorCode::Protocol,
+                  "request field 'app' must be a string");
+        req.app = app->str();
+    }
+    if (const JsonValue *freq = root.find("freqGHz")) {
+        req.freqGHz = numberField(*freq, "freqGHz");
+        if (req.freqGHz <= 0.0 || req.freqGHz > 100.0)
+            raise(ErrorCode::Protocol,
+                  "request field 'freqGHz' is out of range");
+    }
+    if (const JsonValue *steps = root.find("steps")) {
+        const double v = numberField(*steps, "steps");
+        if (v < 1 || v != std::floor(v) || v > 10000)
+            raise(ErrorCode::Protocol,
+                  "request field 'steps' must be an integer in [1, 10000]");
+        req.steps = static_cast<int>(v);
+    }
+    if (const JsonValue *dt = root.find("dtSeconds")) {
+        req.dtSeconds = numberField(*dt, "dtSeconds");
+        if (req.dtSeconds <= 0.0 || req.dtSeconds > 1e3)
+            raise(ErrorCode::Protocol,
+                  "request field 'dtSeconds' is out of range");
+    }
+    if (const JsonValue *cap = root.find("procCapC"))
+        req.procCapC = numberField(*cap, "procCapC");
+    if (const JsonValue *cap = root.find("dramCapC"))
+        req.dramCapC = numberField(*cap, "dramCapC");
+
+    if (req.query != QueryType::Metrics && req.app.empty())
+        raise(ErrorCode::Protocol, "request field 'app' is required for ",
+              toString(req.query), " queries");
+    return req;
+}
+
+std::string
+scenarioKey(const Request &req)
+{
+    std::string key = toString(req.query);
+    key += '|';
+    key += req.app;
+    key += '|';
+    key += formatDouble(req.freqGHz);
+    if (req.query == QueryType::Transient) {
+        key += '|';
+        key += std::to_string(req.steps);
+        key += '|';
+        key += formatDouble(req.dtSeconds);
+    }
+    if (req.query == QueryType::Boost) {
+        key += '|';
+        key += formatDouble(req.procCapC);
+        key += '|';
+        key += formatDouble(req.dramCapC);
+    }
+    key += '|';
+    key += req.configText;
+    return key;
+}
+
+std::string
+formatOkResponse(const Request &req, const EvalSummary &s,
+                 const RequestTelemetry &t)
+{
+    std::string out = "{\"id\":";
+    out += std::to_string(req.id);
+    out += ",\"ok\":true,\"query\":\"";
+    out += toString(req.query);
+    out += "\",\"procHotspotC\":";
+    out += formatDouble(s.procHotspotC);
+    out += ",\"dramBottomHotspotC\":";
+    out += formatDouble(s.dramBottomHotspotC);
+    out += ",\"procPowerW\":";
+    out += formatDouble(s.procPowerW);
+    out += ",\"dramPowerW\":";
+    out += formatDouble(s.dramPowerW);
+    out += ",\"simSeconds\":";
+    out += formatDouble(s.simSeconds);
+    out += ",\"coreHotspotC\":[";
+    for (std::size_t i = 0; i < s.coreHotspotC.size(); ++i) {
+        if (i)
+            out += ',';
+        out += formatDouble(s.coreHotspotC[i]);
+    }
+    out += "],\"cgIterations\":";
+    out += std::to_string(s.cgIterations);
+    out += ",\"converged\":";
+    out += s.converged ? "true" : "false";
+    out += ",\"escalation\":";
+    out += std::to_string(s.escalation);
+    if (req.query == QueryType::Boost) {
+        out += ",\"feasible\":";
+        out += s.feasible ? "true" : "false";
+        out += ",\"freqGHz\":";
+        out += formatDouble(s.freqGHz);
+    }
+    out += ',';
+    appendTelemetry(out, t);
+    out += '}';
+    return out;
+}
+
+std::string
+formatErrorResponse(std::uint64_t id, ErrorCode code,
+                    const std::string &message)
+{
+    std::string out = "{\"id\":";
+    out += std::to_string(id);
+    out += ",\"ok\":false,\"error\":{\"code\":\"";
+    out += xylem::toString(code);
+    out += "\",\"message\":";
+    appendJsonString(out, message);
+    out += "}}";
+    return out;
+}
+
+std::string
+formatMetricsResponse(std::uint64_t id, const std::string &metrics_json)
+{
+    std::string out = "{\"id\":";
+    out += std::to_string(id);
+    out += ",\"ok\":true,\"query\":\"metrics\",\"metrics\":";
+    out += metrics_json;
+    out += '}';
+    return out;
+}
+
+} // namespace xylem::service

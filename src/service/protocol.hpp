@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Wire protocol of the thermal simulation service (xylem_serve).
+ *
+ * Transport: a local SOCK_STREAM Unix-domain socket carrying
+ * newline-delimited JSON — one request object per line from the
+ * client, one response object per line from the server. Frames are
+ * capped at kMaxFrameBytes; responses to one connection may arrive
+ * out of order (requests are matched by `id`, chosen by the client).
+ *
+ * Request object:
+ *   id        number   client-chosen correlation id (default 0)
+ *   query     string   "steady" | "transient" | "boost" | "metrics"
+ *   config    object   optional SystemConfig overrides; keys are
+ *                      exactly the config_io keys ("scheme",
+ *                      "gridNx", "ambientCelsius", ...), values are
+ *                      numbers or strings. Unknown keys are a
+ *                      protocol error.
+ *   app       string   workload profile name (e.g. "FFT"); required
+ *                      for steady/transient/boost
+ *   freqGHz   number   uniform core frequency (default 2.4); ignored
+ *                      by boost
+ *   steps     number   transient only: implicit-Euler steps from
+ *                      ambient (default 1)
+ *   dtSeconds number   transient only: step size (default 1e-3)
+ *   procCapC  number   boost only: processor cap (default tjMaxProc)
+ *   dramCapC  number   boost only: DRAM cap (default tMaxDram)
+ *
+ * Response object (ok): {"id":..,"ok":true,"query":..., results...,
+ * "telemetry":{...}}; see protocol.cpp formatters for the exact
+ * fields. All doubles round-trip bit-exactly (shortest to_chars), so
+ * a served temperature equals the batch-mode double bit for bit.
+ *
+ * Response object (error):
+ *   {"id":..,"ok":false,"error":{"code":"protocol","message":"..."}}
+ * where code is the ErrorCode token — a malformed frame, an unknown
+ * query type, an over-capacity queue ("overloaded"), or a failed
+ * solve each map to their own code and never tear down the server.
+ */
+
+#ifndef XYLEM_SERVICE_PROTOCOL_HPP
+#define XYLEM_SERVICE_PROTOCOL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "thermal/grid_model.hpp"
+#include "xylem/system.hpp"
+
+namespace xylem::service {
+
+/** Hard cap on one request/response line (admission control). */
+constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+enum class QueryType
+{
+    Steady,    ///< steady-state evaluate at (app, freq)
+    Transient, ///< N implicit-Euler steps from ambient
+    Boost,     ///< max uniform frequency under the temperature caps
+    Metrics,   ///< server telemetry snapshot (never queued)
+};
+
+const char *toString(QueryType q);
+
+/** A parsed, validated simulation request. */
+struct Request
+{
+    std::uint64_t id = 0;
+    QueryType query = QueryType::Steady;
+    /** Full effective SystemConfig (defaults + overrides). */
+    core::SystemConfig config;
+    /**
+     * Canonical formatSystemConfig() text of `config`: the system
+     * cache key and the config part of the dedup scenario key.
+     */
+    std::string configText;
+    std::string app;
+    double freqGHz = 2.4;
+    int steps = 1;
+    double dtSeconds = 1e-3;
+    double procCapC = 0.0; ///< 0 = config.tjMaxProc
+    double dramCapC = 0.0; ///< 0 = config.tMaxDram
+};
+
+/**
+ * Parse one request frame. Throws Error(Protocol) on malformed JSON,
+ * wrong field types, unknown query types, unknown config keys, or
+ * out-of-range values.
+ */
+Request parseRequest(const std::string &frame);
+
+/**
+ * Canonical identity of the simulation a request asks for: requests
+ * with equal keys are satisfied by one solve (dedup/micro-batching)
+ * and must produce bit-identical results.
+ */
+std::string scenarioKey(const Request &req);
+
+/** Scalar results of one query (the response payload). */
+struct EvalSummary
+{
+    double procHotspotC = 0.0;
+    double dramBottomHotspotC = 0.0;
+    double procPowerW = 0.0;
+    double dramPowerW = 0.0;
+    double simSeconds = 0.0;
+    std::vector<double> coreHotspotC;
+    int cgIterations = 0;
+    bool converged = true;
+    int escalation = 0; ///< resilience-ladder rung that produced it
+    // Boost only.
+    bool feasible = false;
+    double freqGHz = 0.0;
+};
+
+/** Per-request service telemetry echoed in the response. */
+struct RequestTelemetry
+{
+    double queueSeconds = 0.0;   ///< admission -> worker pickup
+    double solveSeconds = 0.0;   ///< engine compute time
+    double serviceSeconds = 0.0; ///< admission -> response write
+    bool dedup = false;          ///< satisfied by another request's solve
+};
+
+std::string formatOkResponse(const Request &req, const EvalSummary &s,
+                             const RequestTelemetry &t);
+std::string formatErrorResponse(std::uint64_t id, ErrorCode code,
+                                const std::string &message);
+/** `metrics_json` must already be valid JSON (Metrics::toJson()). */
+std::string formatMetricsResponse(std::uint64_t id,
+                                  const std::string &metrics_json);
+
+} // namespace xylem::service
+
+#endif // XYLEM_SERVICE_PROTOCOL_HPP

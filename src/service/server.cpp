@@ -1,0 +1,381 @@
+#include "service/server.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hpp"
+#include "common/signal.hpp"
+#include "runtime/metrics.hpp"
+
+namespace xylem::service {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)), engine_(opts_.engine)
+{}
+
+Server::~Server()
+{
+    requestStop();
+    if (started_)
+        drain();
+}
+
+bool
+Server::stopRequested() const
+{
+    return stop_.load(std::memory_order_relaxed) ||
+           ShutdownSignal::requested();
+}
+
+void
+Server::start()
+{
+    if (started_)
+        return;
+    listener_ = listenUnix(opts_.socketPath);
+    const int n = opts_.workers > 0 ? opts_.workers : 1;
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    started_ = true;
+    inform("serving on ", opts_.socketPath, " (", n, " workers, queue ",
+           opts_.queueCapacity, ")");
+}
+
+int
+Server::run()
+{
+    start();
+    acceptLoop();
+    drain();
+    return 0;
+}
+
+void
+Server::acceptLoop()
+{
+    auto &accepted =
+        runtime::Metrics::global().counter("service.connections");
+    while (!stopRequested()) {
+        pollfd pfd = {};
+        pfd.fd = listener_.get();
+        pfd.events = POLLIN;
+        const int pr = ::poll(&pfd, 1, 100);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue; // signal: re-check stopRequested()
+            warn("accept poll failed: ", std::strerror(errno));
+            break;
+        }
+        if (pr == 0) {
+            reapConnections(/*join_all=*/false);
+            continue;
+        }
+        FdGuard fd(::accept(listener_.get(), nullptr, nullptr));
+        if (!fd.valid()) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            warn("accept failed: ", std::strerror(errno));
+            break;
+        }
+        accepted.increment();
+        auto conn = std::make_shared<Connection>();
+        conn->fd = std::move(fd);
+        {
+            std::lock_guard<std::mutex> lock(connections_mutex_);
+            connections_.push_back(conn);
+        }
+        conn->reader =
+            std::thread([this, conn] { readerLoop(conn); });
+    }
+}
+
+void
+Server::readerLoop(const std::shared_ptr<Connection> &conn)
+{
+    LineReader reader(conn->fd.get(), kMaxFrameBytes);
+    auto &protocol_errors =
+        runtime::Metrics::global().counter("service.protocol_errors");
+    std::string frame;
+    for (bool open = true; open;) {
+        const ReadStatus status =
+            reader.next(frame, [this] { return stopRequested(); });
+        switch (status) {
+        case ReadStatus::Frame:
+            handleFrame(conn, frame);
+            break;
+        case ReadStatus::Oversized:
+            protocol_errors.increment();
+            writeLine(conn,
+                      formatErrorResponse(
+                          0, ErrorCode::Protocol,
+                          "request frame exceeds " +
+                              std::to_string(kMaxFrameBytes) +
+                              " bytes"));
+            break;
+        case ReadStatus::Truncated:
+            // EOF mid-frame: the peer can still read (half-close),
+            // so tell it what went wrong before hanging up.
+            protocol_errors.increment();
+            writeLine(conn,
+                      formatErrorResponse(
+                          0, ErrorCode::Protocol,
+                          "connection closed inside a frame "
+                          "(missing newline terminator)"));
+            open = false;
+            break;
+        case ReadStatus::Eof:
+        case ReadStatus::Stopped:
+        case ReadStatus::Error:
+            open = false;
+            break;
+        }
+    }
+    conn->done.store(true, std::memory_order_release);
+}
+
+void
+Server::handleFrame(const std::shared_ptr<Connection> &conn,
+                    const std::string &frame)
+{
+    auto &metrics = runtime::Metrics::global();
+    Request req;
+    try {
+        req = parseRequest(frame);
+    } catch (const Error &e) {
+        metrics.counter("service.protocol_errors").increment();
+        writeLine(conn, formatErrorResponse(0, e.code(), e.what()));
+        return;
+    } catch (const std::exception &e) {
+        metrics.counter("service.protocol_errors").increment();
+        writeLine(conn,
+                  formatErrorResponse(0, ErrorCode::Unknown, e.what()));
+        return;
+    }
+    metrics.counter("service.requests").increment();
+
+    if (req.query == QueryType::Metrics) {
+        // Telemetry must stay observable when the queue is saturated,
+        // so it is answered here and never takes a queue slot.
+        writeLine(conn,
+                  formatMetricsResponse(req.id, metrics.toJson()));
+        return;
+    }
+
+    Job job;
+    job.req = std::move(req);
+    job.conn = conn;
+    job.admitted = std::chrono::steady_clock::now();
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        if (queue_.size() >= opts_.queueCapacity) {
+            metrics.counter("service.shed").increment();
+            writeLine(conn,
+                      formatErrorResponse(
+                          job.req.id, ErrorCode::Overloaded,
+                          "request queue is full (capacity " +
+                              std::to_string(opts_.queueCapacity) +
+                              "); retry later"));
+            return;
+        }
+        queue_.push_back(std::move(job));
+    }
+    queue_cv_.notify_one();
+}
+
+void
+Server::workerLoop()
+{
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock, [this] {
+                return !queue_.empty() || workers_exit_;
+            });
+            if (queue_.empty())
+                return; // workers_exit_ and the queue is drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        process(std::move(job));
+    }
+}
+
+void
+Server::process(Job job)
+{
+    auto &metrics = runtime::Metrics::global();
+    job.queueSeconds = secondsSince(job.admitted);
+    metrics.histogram("service.queue_seconds").observe(job.queueSeconds);
+
+    const std::string key = scenarioKey(job.req);
+    {
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        auto it = inflight_.find(key);
+        if (it != inflight_.end()) {
+            // Identical solve already running: park as a follower;
+            // the leader answers us from its result.
+            it->second->followers.push_back(std::move(job));
+            metrics.counter("service.dedup_hits").increment();
+            return;
+        }
+        inflight_.emplace(key, std::make_shared<Batch>());
+    }
+
+    EvalSummary summary;
+    ErrorCode code = ErrorCode::Unknown;
+    std::string message;
+    bool ok = true;
+    const auto solve_start = std::chrono::steady_clock::now();
+    try {
+        summary = engine_.run(job.req);
+    } catch (const Error &e) {
+        ok = false;
+        code = e.code();
+        message = e.what();
+    } catch (const std::exception &e) {
+        ok = false;
+        message = e.what();
+    }
+    const double solve_seconds = secondsSince(solve_start);
+    metrics.histogram("service.solve_seconds").observe(solve_seconds);
+    metrics.counter(ok ? "service.solves" : "service.solve_failures")
+        .increment();
+
+    // Detach the batch: followers that raced in after this point find
+    // no in-flight entry and become leaders of a fresh solve.
+    std::shared_ptr<Batch> batch;
+    {
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        auto it = inflight_.find(key);
+        batch = it->second;
+        inflight_.erase(it);
+    }
+
+    respond(job, ok, summary, code, message, solve_seconds,
+            /*dedup=*/false);
+    for (const Job &follower : batch->followers)
+        respond(follower, ok, summary, code, message, solve_seconds,
+                /*dedup=*/true);
+}
+
+void
+Server::respond(const Job &job, bool ok, const EvalSummary &summary,
+                ErrorCode code, const std::string &message,
+                double solve_seconds, bool dedup)
+{
+    RequestTelemetry t;
+    t.queueSeconds = job.queueSeconds;
+    t.solveSeconds = solve_seconds;
+    t.serviceSeconds = secondsSince(job.admitted);
+    t.dedup = dedup;
+    writeLine(job.conn,
+              ok ? formatOkResponse(job.req, summary, t)
+                 : formatErrorResponse(job.req.id, code, message));
+    auto &metrics = runtime::Metrics::global();
+    metrics.histogram("service.latency_seconds")
+        .observe(t.serviceSeconds);
+    metrics.counter(ok ? "service.responses" : "service.errors")
+        .increment();
+}
+
+void
+Server::writeLine(const std::shared_ptr<Connection> &conn,
+                  const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(conn->writeMutex);
+    std::string framed = line;
+    framed += '\n';
+    if (!sendAll(conn->fd.get(), framed))
+        runtime::Metrics::global()
+            .counter("service.write_failures")
+            .increment();
+}
+
+void
+Server::reapConnections(bool join_all)
+{
+    std::vector<std::shared_ptr<Connection>> reaped;
+    {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        auto keep = connections_.begin();
+        for (auto &conn : connections_) {
+            if (join_all || conn->done.load(std::memory_order_acquire))
+                reaped.push_back(std::move(conn));
+            else
+                *keep++ = std::move(conn);
+        }
+        connections_.erase(keep, connections_.end());
+    }
+    for (auto &conn : reaped)
+        if (conn->reader.joinable())
+            conn->reader.join();
+    // Connections close here (last shared_ptr) — after their readers
+    // have exited and every queued response has been written.
+}
+
+void
+Server::drain()
+{
+    if (!started_)
+        return;
+    started_ = false;
+    stop_.store(true, std::memory_order_relaxed);
+
+    // 1. Stop accepting: close the listener and remove the socket
+    //    file so new clients fail fast instead of hanging.
+    listener_.reset();
+    ::unlink(opts_.socketPath.c_str());
+
+    // 2. The connection readers observe the stop in their next poll
+    //    slice; joining them ends request admission.
+    reapConnections(/*join_all=*/true);
+
+    // 3. Workers drain every already-admitted job, then exit: an
+    //    accepted request is always answered.
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        workers_exit_ = true;
+    }
+    queue_cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+    workers_.clear();
+
+    // 4. Flush telemetry.
+    if (!opts_.metricsJsonPath.empty()) {
+        std::ofstream out(opts_.metricsJsonPath);
+        if (out)
+            out << runtime::Metrics::global().toJson() << "\n";
+        else
+            warn("cannot write metrics to ", opts_.metricsJsonPath);
+    }
+    auto &metrics = runtime::Metrics::global();
+    inform("drained: ", metrics.counter("service.responses").value(),
+           " responses, ",
+           metrics.counter("service.dedup_hits").value(),
+           " dedup hits, ", metrics.counter("service.shed").value(),
+           " shed");
+}
+
+} // namespace xylem::service

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The simulation daemon: accepts newline-delimited JSON requests on a
+ * Unix-domain socket, runs them through a bounded queue + worker pool
+ * on the Engine, and answers each with one JSON line.
+ *
+ * Concurrency layout. One accept loop (the thread that calls run()),
+ * one reader thread per connection, `workers` solver threads sharing
+ * a bounded job queue. Admission control is immediate: a frame that
+ * arrives while the queue is at capacity is answered with an
+ * "overloaded" error at once instead of blocking the connection —
+ * shedding over queueing keeps tail latency bounded and lets the
+ * client decide to back off.
+ *
+ * Dedup / micro-batching. Workers coalesce requests whose
+ * scenarioKey() matches an in-flight solve: the first becomes the
+ * leader and computes, the rest park as followers and are answered
+ * from the leader's result (counted in service.dedup_hits). Because
+ * the engine clears warm-start state per request, a deduped response
+ * is bit-identical to the solo one.
+ *
+ * Graceful drain. requestStop() — or SIGINT/SIGTERM via the shared
+ * ShutdownSignal — makes the accept loop exit, after which run():
+ * closes the listener and unlinks the socket, joins the connection
+ * readers (their poll slices observe the stop), lets the workers
+ * drain every queued job (in-flight requests are answered, never
+ * dropped), flushes telemetry, then closes the connections.
+ */
+
+#ifndef XYLEM_SERVICE_SERVER_HPP
+#define XYLEM_SERVICE_SERVER_HPP
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/engine.hpp"
+#include "service/protocol.hpp"
+#include "service/socket.hpp"
+
+namespace xylem::service {
+
+struct ServerOptions
+{
+    /** Unix-domain socket path the daemon listens on. */
+    std::string socketPath = "/tmp/xylem.sock";
+    /** Solver worker threads. */
+    int workers = 2;
+    /** Bounded queue depth; requests beyond it are shed. */
+    std::size_t queueCapacity = 64;
+    /** Engine policy (retry ladder, deadline, resident systems). */
+    EngineOptions engine;
+    /** Write Metrics::toJson() here on drain; empty disables. */
+    std::string metricsJsonPath;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions opts);
+    ~Server();
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind the listener and spawn the workers; after start() returns
+     * clients can connect. Throws Error(Io) when the socket cannot be
+     * bound. Idempotent.
+     */
+    void start();
+
+    /**
+     * Serve until a stop is requested (requestStop() or the process
+     * shutdown signal), then drain and return 0. Runs the accept loop
+     * on the calling thread; calls start() first if needed.
+     */
+    int run();
+
+    /** Ask the accept loop to exit; run() then drains. Thread-safe. */
+    void requestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+    const ServerOptions &options() const { return opts_; }
+
+  private:
+    /** One client connection and its reader thread. */
+    struct Connection
+    {
+        FdGuard fd;
+        std::mutex writeMutex; ///< serialises response lines
+        std::thread reader;
+        std::atomic<bool> done{false}; ///< reader finished (reapable)
+    };
+
+    /** One admitted request waiting for (or holding) a worker. */
+    struct Job
+    {
+        Request req;
+        std::shared_ptr<Connection> conn;
+        std::chrono::steady_clock::time_point admitted;
+        double queueSeconds = 0.0; ///< set at worker pickup
+    };
+
+    /** Followers parked on an in-flight identical solve. */
+    struct Batch
+    {
+        std::vector<Job> followers;
+    };
+
+    bool stopRequested() const;
+    void acceptLoop();
+    void readerLoop(const std::shared_ptr<Connection> &conn);
+    void handleFrame(const std::shared_ptr<Connection> &conn,
+                     const std::string &frame);
+    void workerLoop();
+    void process(Job job);
+    void respond(const Job &job, bool ok, const EvalSummary &summary,
+                 ErrorCode code, const std::string &message,
+                 double solve_seconds, bool dedup);
+    void writeLine(const std::shared_ptr<Connection> &conn,
+                   const std::string &line);
+    void reapConnections(bool join_all);
+    void drain();
+
+    ServerOptions opts_;
+    Engine engine_;
+    FdGuard listener_;
+    bool started_ = false;
+    std::atomic<bool> stop_{false};
+
+    std::mutex connections_mutex_;
+    std::vector<std::shared_ptr<Connection>> connections_;
+
+    std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<Job> queue_;
+    bool workers_exit_ = false;
+    std::vector<std::thread> workers_;
+
+    std::mutex inflight_mutex_;
+    std::unordered_map<std::string, std::shared_ptr<Batch>> inflight_;
+};
+
+} // namespace xylem::service
+
+#endif // XYLEM_SERVICE_SERVER_HPP

@@ -1,0 +1,170 @@
+#include "service/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+
+namespace xylem::service {
+
+namespace {
+
+sockaddr_un
+unixAddress(const std::string &path)
+{
+    sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof addr.sun_path)
+        raise(ErrorCode::Config, "socket path '", path,
+              "' is empty or exceeds ", sizeof addr.sun_path - 1,
+              " bytes");
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+} // namespace
+
+void
+FdGuard::reset(int fd)
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = fd;
+}
+
+FdGuard
+listenUnix(const std::string &path, int backlog)
+{
+    const sockaddr_un addr = unixAddress(path);
+    FdGuard fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid())
+        raise(ErrorCode::Io, "socket(): ", std::strerror(errno));
+    // A previous daemon instance may have left its socket file behind;
+    // binding over it needs the unlink (ignore ENOENT).
+    ::unlink(path.c_str());
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
+               sizeof addr) != 0)
+        raise(ErrorCode::Io, "bind('", path, "'): ",
+              std::strerror(errno));
+    if (::listen(fd.get(), backlog) != 0)
+        raise(ErrorCode::Io, "listen('", path, "'): ",
+              std::strerror(errno));
+    return fd;
+}
+
+FdGuard
+connectUnix(const std::string &path)
+{
+    const sockaddr_un addr = unixAddress(path);
+    FdGuard fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid())
+        raise(ErrorCode::Io, "socket(): ", std::strerror(errno));
+    for (;;) {
+        if (::connect(fd.get(),
+                      reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof addr) == 0)
+            return fd;
+        if (errno != EINTR)
+            raise(ErrorCode::Io, "connect('", path, "'): ",
+                  std::strerror(errno));
+    }
+}
+
+bool
+sendAll(int fd, std::string_view data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + off,
+                                 data.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false; // peer gone (EPIPE/ECONNRESET) or fatal error
+    }
+    return true;
+}
+
+LineReader::LineReader(int fd, std::size_t max_bytes, int poll_ms)
+    : fd_(fd), max_bytes_(max_bytes), poll_ms_(poll_ms)
+{}
+
+ReadStatus
+LineReader::next(std::string &line, const std::function<bool()> &stop)
+{
+    for (;;) {
+        // Serve a buffered complete frame first.
+        const auto nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            if (discarding_) {
+                // Tail of an oversized frame: drop through the
+                // newline and report the truncation once.
+                buffer_.erase(0, nl + 1);
+                discarding_ = false;
+                return ReadStatus::Oversized;
+            }
+            line.assign(buffer_, 0, nl);
+            buffer_.erase(0, nl + 1);
+            return ReadStatus::Frame;
+        }
+        if (buffer_.size() > max_bytes_ && !discarding_) {
+            // Oversized and still no newline: switch to discard mode
+            // so one hostile frame cannot grow the buffer unboundedly.
+            buffer_.clear();
+            discarding_ = true;
+        }
+
+        if (stop && stop())
+            return ReadStatus::Stopped;
+        pollfd pfd = {};
+        pfd.fd = fd_;
+        pfd.events = POLLIN;
+        const int pr = ::poll(&pfd, 1, poll_ms_);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue; // signal: loop re-checks the stop predicate
+            return ReadStatus::Error;
+        }
+        if (pr == 0)
+            continue; // timeout slice: re-check stop, poll again
+        char chunk[4096];
+        const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return ReadStatus::Error;
+        }
+        if (n == 0) {
+            if (discarding_ || !buffer_.empty()) {
+                buffer_.clear();
+                discarding_ = false;
+                return ReadStatus::Truncated;
+            }
+            return ReadStatus::Eof;
+        }
+        if (discarding_) {
+            // Keep only bytes after a newline, if one arrived.
+            const char *p = static_cast<const char *>(
+                std::memchr(chunk, '\n', static_cast<std::size_t>(n)));
+            if (p) {
+                buffer_.assign(p + 1,
+                               static_cast<std::size_t>(chunk + n -
+                                                        (p + 1)));
+                discarding_ = false;
+                return ReadStatus::Oversized;
+            }
+        } else {
+            buffer_.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+}
+
+} // namespace xylem::service

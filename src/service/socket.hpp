@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unix-domain stream sockets for the simulation service: RAII fd
+ * ownership, listen/connect helpers, SIGPIPE-safe full writes, and a
+ * bounded, interruptible line-frame reader shared by the daemon's
+ * connection readers and the clients.
+ *
+ * All failures surface as Error(ErrorCode::Io); nothing in this file
+ * installs signal handlers or blocks uninterruptibly — reads poll in
+ * short slices and re-check a caller-supplied stop predicate, which
+ * is how the daemon's graceful drain reaches threads parked on idle
+ * connections.
+ */
+
+#ifndef XYLEM_SERVICE_SOCKET_HPP
+#define XYLEM_SERVICE_SOCKET_HPP
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace xylem::service {
+
+/** Close-on-destruct file descriptor. */
+class FdGuard
+{
+  public:
+    FdGuard() = default;
+    explicit FdGuard(int fd) : fd_(fd) {}
+    ~FdGuard() { reset(); }
+    FdGuard(FdGuard &&other) noexcept : fd_(other.release()) {}
+    FdGuard &
+    operator=(FdGuard &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.release();
+        }
+        return *this;
+    }
+    FdGuard(const FdGuard &) = delete;
+    FdGuard &operator=(const FdGuard &) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    int
+    release()
+    {
+        const int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+    void reset(int fd = -1);
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Bind and listen on a Unix-domain socket. A stale socket file from a
+ * previous run is unlinked first. Throws Error(Io) on failure, and
+ * Error(Config) when `path` exceeds the sun_path limit.
+ */
+FdGuard listenUnix(const std::string &path, int backlog = 64);
+
+/** Connect to a listening Unix-domain socket. Throws Error(Io). */
+FdGuard connectUnix(const std::string &path);
+
+/**
+ * Write all of `data`, retrying partial writes and EINTR; SIGPIPE is
+ * suppressed (MSG_NOSIGNAL). Returns false when the peer is gone.
+ */
+bool sendAll(int fd, std::string_view data);
+
+/** Outcome of LineReader::next(). */
+enum class ReadStatus
+{
+    Frame,     ///< one complete line is in `line` (newline stripped)
+    Eof,       ///< orderly shutdown; no partial data pending
+    Truncated, ///< EOF with an unterminated partial frame buffered
+    Oversized, ///< frame exceeded the byte cap; discarded to newline
+    Stopped,   ///< the stop predicate fired before a frame completed
+    Error,     ///< read error; connection unusable
+};
+
+/**
+ * Incremental newline-delimited frame reader over a blocking socket.
+ * Reads in poll() slices of `poll_ms` so the stop predicate is
+ * re-checked at that granularity; frames longer than `max_bytes` are
+ * discarded (through the next newline) and reported as Oversized —
+ * the reader stays usable for subsequent frames.
+ */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd, std::size_t max_bytes,
+                        int poll_ms = 100);
+
+    ReadStatus next(std::string &line,
+                    const std::function<bool()> &stop = {});
+
+  private:
+    int fd_;
+    std::size_t max_bytes_;
+    int poll_ms_;
+    std::string buffer_;
+    bool discarding_ = false; ///< inside an oversized frame
+};
+
+} // namespace xylem::service
+
+#endif // XYLEM_SERVICE_SOCKET_HPP

@@ -1,0 +1,522 @@
+/**
+ * @file
+ * Tests of the simulation service subsystem: the JSON layer (strict
+ * parsing of hostile input, bit-exact double round-trips), the wire
+ * protocol (request validation, scenario keys, response formatting),
+ * and the live server (malformed frames answered with typed errors,
+ * dedup of concurrent identical requests, bit-identity with batch
+ * mode, admission-control shedding, graceful drain).
+ *
+ * Server tests run an in-process Server on a per-test abstract
+ * socket path under /tmp and talk to it over real sockets, so the
+ * reader/worker/drain machinery is exercised exactly as in
+ * production (and under TSan in CI).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "runtime/metrics.hpp"
+#include "service/json.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/socket.hpp"
+#include "workloads/profile.hpp"
+#include "xylem/config_io.hpp"
+#include "xylem/system.hpp"
+
+namespace {
+
+using namespace xylem;
+using service::JsonValue;
+
+// ---------------------------------------------------------------- JSON
+
+TEST(JsonTest, ParsesScalarsAndContainers)
+{
+    EXPECT_TRUE(service::parseJson("null").isNull());
+    EXPECT_TRUE(service::parseJson("true").boolean());
+    EXPECT_DOUBLE_EQ(service::parseJson("-2.5e3").number(), -2500.0);
+    EXPECT_EQ(service::parseJson("\"a\\nb\"").str(), "a\nb");
+    EXPECT_EQ(service::parseJson("[1,2,3]").array().size(), 3u);
+    const JsonValue obj = service::parseJson(
+        " {\"a\": 1, \"b\": {\"c\": [true, null]}} ");
+    ASSERT_NE(obj.find("b"), nullptr);
+    EXPECT_EQ(obj.find("b")->find("c")->array().size(), 2u);
+}
+
+TEST(JsonTest, RejectsMalformedInput)
+{
+    const char *bad[] = {
+        "",           "{",          "}",        "[1,",
+        "{\"a\":}",   "{\"a\" 1}",  "nul",      "tru",
+        "01",         "1.",         "1e",       "+1",
+        "\"\\x\"",    "\"\\u12\"",  "\"unterminated",
+        "[1] junk",   "{}{}",       "\"\x01\"", "{\"a\":1,}",
+        "[1,,2]",     "--1",        "1ee5",     "\"\\ud800\"",
+    };
+    for (const char *text : bad)
+        EXPECT_THROW(service::parseJson(text), Error)
+            << "accepted: " << text;
+}
+
+TEST(JsonTest, ReportsProtocolErrorCode)
+{
+    try {
+        service::parseJson("{broken");
+        FAIL() << "no exception";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Protocol);
+    }
+}
+
+TEST(JsonTest, DepthBombIsRejectedNotStackOverflow)
+{
+    std::string deep(2000, '[');
+    deep += std::string(2000, ']');
+    EXPECT_THROW(service::parseJson(deep), Error);
+}
+
+TEST(JsonTest, SurrogatePairDecodesToUtf8)
+{
+    const JsonValue v = service::parseJson("\"\\ud83d\\ude00\"");
+    EXPECT_EQ(v.str(), "\xf0\x9f\x98\x80"); // U+1F600
+}
+
+TEST(JsonTest, DoublesRoundTripBitExactly)
+{
+    const double values[] = {0.0,    -0.0,       1.0 / 3.0,
+                             1e-300, 88.4834897, 0.1 + 0.2};
+    for (const double v : values) {
+        const std::string text = service::formatDouble(v);
+        const double back = service::parseJson(text).number();
+        EXPECT_EQ(std::memcmp(&v, &back, sizeof v), 0)
+            << text << " round-tripped to a different bit pattern";
+    }
+}
+
+TEST(JsonTest, DumpEscapesAndSortsKeys)
+{
+    JsonValue::Object obj;
+    obj.emplace("b", JsonValue("x\"y\n"));
+    obj.emplace("a", JsonValue(true));
+    EXPECT_EQ(JsonValue(std::move(obj)).dump(),
+              "{\"a\":true,\"b\":\"x\\\"y\\n\"}");
+}
+
+// ------------------------------------------------------------ protocol
+
+TEST(ProtocolTest, ParsesFullRequest)
+{
+    const service::Request req = service::parseRequest(
+        "{\"id\":7,\"query\":\"steady\",\"app\":\"FFT\","
+        "\"freqGHz\":3.2,\"config\":{\"gridNx\":24,\"gridNy\":24}}");
+    EXPECT_EQ(req.id, 7u);
+    EXPECT_EQ(req.query, service::QueryType::Steady);
+    EXPECT_EQ(req.app, "FFT");
+    EXPECT_DOUBLE_EQ(req.freqGHz, 3.2);
+    EXPECT_EQ(req.config.stackSpec.gridNx, 24u);
+}
+
+TEST(ProtocolTest, RejectsBadRequests)
+{
+    const char *bad[] = {
+        "[1,2]",                                   // not an object
+        "{\"query\":\"warp\",\"app\":\"FFT\"}",    // unknown query
+        "{\"query\":\"steady\"}",                  // app missing
+        "{\"query\":\"steady\",\"app\":7}",        // app wrong type
+        "{\"query\":\"steady\",\"app\":\"FFT\",\"bogus\":1}",
+        "{\"query\":\"steady\",\"app\":\"FFT\",\"freqGHz\":-1}",
+        "{\"query\":\"steady\",\"app\":\"FFT\",\"id\":-3}",
+        "{\"query\":\"steady\",\"app\":\"FFT\",\"id\":1.5}",
+        "{\"query\":\"transient\",\"app\":\"FFT\",\"steps\":0}",
+        "{\"query\":\"transient\",\"app\":\"FFT\",\"dtSeconds\":0}",
+        "{\"query\":\"steady\",\"app\":\"FFT\","
+        "\"config\":{\"noSuchKey\":1}}",
+        "{\"query\":\"steady\",\"app\":\"FFT\",\"config\":3}",
+    };
+    for (const char *frame : bad) {
+        try {
+            service::parseRequest(frame);
+            FAIL() << "accepted: " << frame;
+        } catch (const Error &e) {
+            EXPECT_EQ(e.code(), ErrorCode::Protocol) << frame;
+        }
+    }
+}
+
+TEST(ProtocolTest, ScenarioKeyIdentifiesTheSimulation)
+{
+    const auto parse = [](const std::string &frame) {
+        return service::parseRequest(frame);
+    };
+    const auto a = parse(
+        "{\"id\":1,\"query\":\"steady\",\"app\":\"FFT\",\"freqGHz\":3}");
+    const auto b = parse(
+        "{\"id\":2,\"query\":\"steady\",\"app\":\"FFT\",\"freqGHz\":3}");
+    const auto c = parse(
+        "{\"id\":1,\"query\":\"steady\",\"app\":\"LU\",\"freqGHz\":3}");
+    const auto d = parse(
+        "{\"id\":1,\"query\":\"boost\",\"app\":\"FFT\",\"freqGHz\":3}");
+    // Same simulation, different correlation ids: identical keys.
+    EXPECT_EQ(service::scenarioKey(a), service::scenarioKey(b));
+    EXPECT_NE(service::scenarioKey(a), service::scenarioKey(c));
+    EXPECT_NE(service::scenarioKey(a), service::scenarioKey(d));
+}
+
+TEST(ProtocolTest, ErrorResponseCarriesTypedCode)
+{
+    const std::string resp = service::formatErrorResponse(
+        9, ErrorCode::Overloaded, "queue full");
+    const JsonValue v = service::parseJson(resp);
+    EXPECT_EQ(v.find("id")->number(), 9.0);
+    EXPECT_FALSE(v.find("ok")->boolean());
+    EXPECT_EQ(v.find("error")->find("code")->str(), "overloaded");
+}
+
+// --------------------------------------------------------- live server
+
+/** Unique per-test socket path (parallel ctest runs share /tmp). */
+std::string
+testSocket(const char *tag)
+{
+    return std::string("/tmp/xylem_test_") + tag + "_" +
+           std::to_string(::getpid()) + ".sock";
+}
+
+/** An in-process server plus a thread running its accept loop. */
+class LiveServer
+{
+  public:
+    explicit LiveServer(service::ServerOptions opts)
+        : server_(std::move(opts))
+    {
+        server_.start();
+        thread_ = std::thread([this] { server_.run(); });
+    }
+    ~LiveServer() { stop(); }
+
+    void
+    stop()
+    {
+        server_.requestStop();
+        if (thread_.joinable())
+            thread_.join();
+    }
+
+    service::Server &server() { return server_; }
+
+  private:
+    service::Server server_;
+    std::thread thread_;
+};
+
+/** Send one frame, wait for one response line. */
+std::string
+roundTrip(const std::string &socket_path, const std::string &frame)
+{
+    const service::FdGuard fd = service::connectUnix(socket_path);
+    std::string framed = frame;
+    framed += '\n';
+    EXPECT_TRUE(service::sendAll(fd.get(), framed));
+    service::LineReader reader(fd.get(), service::kMaxFrameBytes);
+    std::string line;
+    EXPECT_EQ(reader.next(line), service::ReadStatus::Frame);
+    return line;
+}
+
+service::ServerOptions
+smallServerOptions(const char *tag)
+{
+    service::ServerOptions opts;
+    opts.socketPath = testSocket(tag);
+    opts.workers = 2;
+    opts.queueCapacity = 16;
+    return opts;
+}
+
+/** A cheap valid steady request (tiny grid). */
+std::string
+steadyFrame(std::uint64_t id, const std::string &app, double freq)
+{
+    std::ostringstream os;
+    os << "{\"id\":" << id << ",\"query\":\"steady\",\"app\":\"" << app
+       << "\",\"freqGHz\":" << freq
+       << ",\"config\":{\"gridNx\":16,\"gridNy\":16}}";
+    return os.str();
+}
+
+TEST(ServiceTest, MalformedFramesGetTypedErrorsAndServerSurvives)
+{
+    LiveServer live(smallServerOptions("malformed"));
+    const std::string &path = live.server().options().socketPath;
+
+    const char *bad[] = {
+        "not json at all",
+        "{\"query\":\"warp\"}",
+        "{\"query\":\"steady\"}",
+        "{\"query\":\"steady\",\"app\":\"NoSuchApp99\","
+        "\"config\":{\"gridNx\":16,\"gridNy\":16}}",
+        "{\"query\":\"steady\",\"app\":\"FFT\",\"badField\":1}",
+    };
+    for (const char *frame : bad) {
+        const JsonValue resp = service::parseJson(roundTrip(path, frame));
+        EXPECT_FALSE(resp.find("ok")->boolean()) << frame;
+        EXPECT_NE(resp.find("error"), nullptr) << frame;
+    }
+    // The server still answers a healthy request afterwards.
+    const JsonValue ok =
+        service::parseJson(roundTrip(path, steadyFrame(1, "FFT", 2.0)));
+    EXPECT_TRUE(ok.find("ok")->boolean());
+}
+
+TEST(ServiceTest, OversizedFrameIsSheddedNotFatal)
+{
+    LiveServer live(smallServerOptions("oversized"));
+    const std::string &path = live.server().options().socketPath;
+
+    const service::FdGuard fd = service::connectUnix(path);
+    std::string huge(service::kMaxFrameBytes + 64, 'x');
+    huge += '\n';
+    ASSERT_TRUE(service::sendAll(fd.get(), huge));
+    service::LineReader reader(fd.get(), service::kMaxFrameBytes);
+    std::string line;
+    ASSERT_EQ(reader.next(line), service::ReadStatus::Frame);
+    const JsonValue resp = service::parseJson(line);
+    EXPECT_FALSE(resp.find("ok")->boolean());
+    EXPECT_EQ(resp.find("error")->find("code")->str(), "protocol");
+
+    // Same connection keeps working after the oversized frame.
+    std::string frame = steadyFrame(2, "FFT", 2.0);
+    frame += '\n';
+    ASSERT_TRUE(service::sendAll(fd.get(), frame));
+    ASSERT_EQ(reader.next(line), service::ReadStatus::Frame);
+    EXPECT_TRUE(service::parseJson(line).find("ok")->boolean());
+}
+
+TEST(ServiceTest, TruncatedFrameGetsErrorBeforeClose)
+{
+    LiveServer live(smallServerOptions("truncated"));
+    const std::string &path = live.server().options().socketPath;
+
+    const service::FdGuard fd = service::connectUnix(path);
+    // Half a frame, then half-close: no newline ever arrives.
+    ASSERT_TRUE(service::sendAll(fd.get(), "{\"query\":\"ste"));
+    ::shutdown(fd.get(), SHUT_WR);
+    service::LineReader reader(fd.get(), service::kMaxFrameBytes);
+    std::string line;
+    ASSERT_EQ(reader.next(line), service::ReadStatus::Frame);
+    const JsonValue resp = service::parseJson(line);
+    EXPECT_FALSE(resp.find("ok")->boolean());
+    EXPECT_EQ(resp.find("error")->find("code")->str(), "protocol");
+}
+
+TEST(ServiceTest, MetricsQueryAnswersInline)
+{
+    LiveServer live(smallServerOptions("metrics"));
+    const std::string &path = live.server().options().socketPath;
+    const JsonValue resp = service::parseJson(
+        roundTrip(path, "{\"id\":3,\"query\":\"metrics\"}"));
+    EXPECT_TRUE(resp.find("ok")->boolean());
+    ASSERT_NE(resp.find("metrics"), nullptr);
+    EXPECT_NE(resp.find("metrics")->find("counters"), nullptr);
+}
+
+TEST(ServiceTest, ConcurrentIdenticalRequestsDedupAndMatch)
+{
+    runtime::Metrics::global().reset();
+    LiveServer live(smallServerOptions("dedup"));
+    const std::string &path = live.server().options().socketPath;
+
+    constexpr int kClients = 6;
+    std::vector<std::string> responses(kClients);
+    {
+        std::vector<std::thread> threads;
+        for (int c = 0; c < kClients; ++c)
+            threads.emplace_back([&, c] {
+                responses[static_cast<std::size_t>(c)] =
+                    roundTrip(path, steadyFrame(42, "FFT", 2.4));
+            });
+        for (auto &t : threads)
+            t.join();
+    }
+    int dedup_responses = 0;
+    const JsonValue first = service::parseJson(responses[0]);
+    const double first_hotspot = first.find("procHotspotC")->number();
+    for (const std::string &text : responses) {
+        const JsonValue resp = service::parseJson(text);
+        ASSERT_TRUE(resp.find("ok")->boolean());
+        // Payload identical across the batch, bit for bit.
+        const double hotspot = resp.find("procHotspotC")->number();
+        EXPECT_EQ(std::memcmp(&first_hotspot, &hotspot,
+                              sizeof(double)),
+                  0);
+        EXPECT_EQ(first.find("cgIterations")->number(),
+                  resp.find("cgIterations")->number());
+        if (resp.find("telemetry")->find("dedup")->boolean())
+            ++dedup_responses;
+    }
+    // Six identical frames fired concurrently against two workers:
+    // whatever batches formed, every follower response maps 1:1 to a
+    // dedup_hits increment, and at least one must have coalesced.
+    EXPECT_EQ(runtime::Metrics::global()
+                  .counter("service.dedup_hits")
+                  .value(),
+              static_cast<std::uint64_t>(dedup_responses));
+    EXPECT_GE(dedup_responses, 1);
+}
+
+TEST(ServiceTest, ServedResponseBitIdenticalToBatchMode)
+{
+    LiveServer live(smallServerOptions("bitident"));
+    const std::string &path = live.server().options().socketPath;
+    const JsonValue resp =
+        service::parseJson(roundTrip(path, steadyFrame(5, "LU", 2.6)));
+    ASSERT_TRUE(resp.find("ok")->boolean());
+
+    std::istringstream config_text("gridNx = 16\ngridNy = 16\n");
+    core::StackSystem system(core::parseSystemConfig(config_text));
+    const core::EvalResult eval =
+        system.evaluate(workloads::profileByName("LU"), 2.6);
+
+    const double served = resp.find("procHotspotC")->number();
+    EXPECT_EQ(std::memcmp(&served, &eval.procHotspot, sizeof served), 0)
+        << "served " << service::formatDouble(served) << " vs batch "
+        << service::formatDouble(eval.procHotspot);
+    const double dram = resp.find("dramBottomHotspotC")->number();
+    EXPECT_EQ(std::memcmp(&dram, &eval.dramBottomHotspot, sizeof dram),
+              0);
+}
+
+TEST(ServiceTest, QueueOverflowShedsWithOverloadedCode)
+{
+    runtime::Metrics::global().reset();
+    service::ServerOptions opts;
+    opts.socketPath = testSocket("shed");
+    opts.workers = 1;
+    opts.queueCapacity = 1; // one slot: concurrent floods must shed
+    LiveServer live(std::move(opts));
+    const std::string &path = live.server().options().socketPath;
+
+    constexpr int kClients = 8;
+    std::atomic<int> overloaded{0};
+    std::atomic<int> ok{0};
+    {
+        std::vector<std::thread> threads;
+        for (int c = 0; c < kClients; ++c)
+            threads.emplace_back([&, c] {
+                const JsonValue resp = service::parseJson(roundTrip(
+                    path,
+                    steadyFrame(static_cast<std::uint64_t>(c), "FFT",
+                                2.0 + 0.25 * c)));
+                if (resp.find("ok")->boolean())
+                    ++ok;
+                else if (resp.find("error")->find("code")->str() ==
+                         "overloaded")
+                    ++overloaded;
+            });
+        for (auto &t : threads)
+            t.join();
+    }
+    // Every request is answered one way or the other; any shed request
+    // carries the typed overloaded code.
+    EXPECT_EQ(ok.load() + overloaded.load(), kClients);
+    EXPECT_EQ(runtime::Metrics::global().counter("service.shed").value(),
+              static_cast<std::uint64_t>(overloaded.load()));
+}
+
+TEST(ServiceTest, DrainAnswersQueuedRequestsThenStops)
+{
+    runtime::Metrics::global().reset();
+    LiveServer live(smallServerOptions("drain"));
+    const std::string &path = live.server().options().socketPath;
+
+    // Launch a few requests and wait until the server has admitted
+    // all of them, then stop it: every in-flight request must still
+    // be answered (graceful drain, not abort).
+    constexpr int kClients = 4;
+    std::vector<std::string> responses(kClients);
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c)
+        threads.emplace_back([&, c] {
+            responses[static_cast<std::size_t>(c)] = roundTrip(
+                path, steadyFrame(static_cast<std::uint64_t>(c), "FFT",
+                                  2.0 + 0.2 * c));
+        });
+    const auto &admitted =
+        runtime::Metrics::global().counter("service.requests");
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (admitted.value() < kClients &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_EQ(admitted.value(), static_cast<std::uint64_t>(kClients));
+    live.stop(); // graceful: drains the queue before returning
+    for (auto &t : threads)
+        t.join();
+    for (const std::string &text : responses) {
+        ASSERT_FALSE(text.empty());
+        const JsonValue resp = service::parseJson(text);
+        EXPECT_TRUE(resp.find("ok")->boolean());
+    }
+    // The socket file is gone after the drain.
+    EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+// ------------------------------------------------- latency histogram
+
+TEST(MetricsHistogramTest, QuantilesLandInTheRightBucket)
+{
+    runtime::LatencyHistogram h;
+    for (int i = 0; i < 90; ++i)
+        h.observe(1e-3); // 90% at 1 ms
+    for (int i = 0; i < 10; ++i)
+        h.observe(1.0); // 10% at 1 s
+    const auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, 100u);
+    // Log-spaced buckets are ~24% wide: accept that tolerance.
+    EXPECT_NEAR(snap.quantile(0.50), 1e-3, 0.3e-3);
+    EXPECT_NEAR(snap.quantile(0.99), 1.0, 0.3);
+    EXPECT_NEAR(snap.meanSeconds(), 0.1009, 0.01);
+}
+
+TEST(MetricsHistogramTest, UnderflowOverflowAndGarbageAreBounded)
+{
+    runtime::LatencyHistogram h;
+    h.observe(0.0);
+    h.observe(-1.0);
+    h.observe(1e12);
+    h.observe(std::numeric_limits<double>::quiet_NaN());
+    const auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, 4u);
+    EXPECT_GT(snap.quantile(0.99), 0.0);
+}
+
+TEST(MetricsHistogramTest, SurfacesInMetricsJson)
+{
+    runtime::Metrics::global().reset();
+    runtime::Metrics::global()
+        .histogram("test.histogram_seconds")
+        .observe(0.5);
+    const std::string json = runtime::Metrics::global().toJson();
+    EXPECT_NE(json.find("\"test.histogram_seconds\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"p99_s\""), std::string::npos);
+    const auto snap = runtime::Metrics::global().snapshot();
+    EXPECT_GT(snap.histogramQuantile("test.histogram_seconds", 0.5),
+              0.3);
+    runtime::Metrics::global().reset();
+}
+
+} // namespace

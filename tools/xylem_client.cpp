@@ -1,0 +1,110 @@
+/**
+ * @file
+ * xylem_client: one-shot command-line client for xylem_serve. Builds
+ * a request from flags, sends it as one JSON line over the daemon's
+ * Unix-domain socket, and prints the JSON response line.
+ *
+ * Examples:
+ *   xylem_client --query steady --app FFT --freq 3.0
+ *   xylem_client --query boost --app LU --set scheme=bank
+ *   xylem_client --query transient --app Radix --steps 10 --dt 0.002
+ *   xylem_client --query metrics
+ *
+ * Exit status: 0 when the response has "ok":true, 1 on an error
+ * response or transport failure, 2 on usage errors.
+ */
+
+#include <iostream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "service/json.hpp"
+#include "service/protocol.hpp"
+#include "service/socket.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace xylem;
+    bench::Args args(
+        argc, argv,
+        "  --socket PATH   daemon socket (default /tmp/xylem.sock)\n"
+        "  --query TYPE    steady | transient | boost | metrics "
+        "(default steady)\n"
+        "  --app NAME      workload profile (required except metrics)\n"
+        "  --freq GHZ      uniform core frequency (default 2.4)\n"
+        "  --steps N       transient: implicit-Euler steps\n"
+        "  --dt S          transient: step size in seconds\n"
+        "  --proc-cap C    boost: processor temperature cap\n"
+        "  --dram-cap C    boost: DRAM temperature cap\n"
+        "  --set KEY=VALUE config override (repeatable; config_io "
+        "keys)\n"
+        "  --id N          correlation id echoed in the response\n");
+
+    std::string socket_path = "/tmp/xylem.sock";
+    if (const auto path = args.option("--socket"))
+        socket_path = *path;
+
+    service::JsonValue::Object request;
+    request.emplace("query",
+                    service::JsonValue(
+                        args.option("--query").value_or("steady")));
+    if (const auto app = args.option("--app"))
+        request.emplace("app", service::JsonValue(*app));
+    request.emplace("id",
+                    service::JsonValue(args.intOption("--id", 1)));
+    const double freq = args.numberOption("--freq", 0.0);
+    if (freq > 0.0)
+        request.emplace("freqGHz", service::JsonValue(freq));
+    const int steps = args.intOption("--steps", 0);
+    if (steps > 0)
+        request.emplace("steps", service::JsonValue(steps));
+    const double dt = args.numberOption("--dt", 0.0);
+    if (dt > 0.0)
+        request.emplace("dtSeconds", service::JsonValue(dt));
+    const double proc_cap = args.numberOption("--proc-cap", 0.0);
+    if (proc_cap > 0.0)
+        request.emplace("procCapC", service::JsonValue(proc_cap));
+    const double dram_cap = args.numberOption("--dram-cap", 0.0);
+    if (dram_cap > 0.0)
+        request.emplace("dramCapC", service::JsonValue(dram_cap));
+
+    service::JsonValue::Object overrides;
+    while (const auto kv = args.option("--set")) {
+        const auto eq = kv->find('=');
+        if (eq == std::string::npos || eq == 0)
+            args.die("--set expects KEY=VALUE, got '" + *kv + "'");
+        overrides.insert_or_assign(
+            kv->substr(0, eq),
+            service::JsonValue(kv->substr(eq + 1)));
+    }
+    if (!overrides.empty())
+        request.emplace("config",
+                        service::JsonValue(std::move(overrides)));
+    args.finish();
+
+    try {
+        const service::FdGuard fd = service::connectUnix(socket_path);
+        std::string frame =
+            service::JsonValue(std::move(request)).dump();
+        frame += '\n';
+        if (!service::sendAll(fd.get(), frame)) {
+            std::cerr << "error: daemon closed the connection\n";
+            return 1;
+        }
+        service::LineReader reader(fd.get(), service::kMaxFrameBytes);
+        std::string line;
+        const service::ReadStatus status = reader.next(line);
+        if (status != service::ReadStatus::Frame) {
+            std::cerr << "error: no response from daemon\n";
+            return 1;
+        }
+        std::cout << line << "\n";
+        const service::JsonValue response = service::parseJson(line);
+        const service::JsonValue *ok = response.find("ok");
+        return ok && ok->isBoolean() && ok->boolean() ? 0 : 1;
+    } catch (const Error &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * xylem_serve: the long-lived thermal simulation daemon. Listens on a
+ * Unix-domain socket for newline-delimited JSON requests (see
+ * service/protocol.hpp for the wire format), runs them through the
+ * bounded queue + dedup + retry-ladder service, and drains gracefully
+ * on SIGINT/SIGTERM (in-flight requests are answered, telemetry is
+ * flushed, exit status 0).
+ *
+ * Flags:
+ *   --socket PATH      listening socket (default /tmp/xylem.sock)
+ *   --jobs N           solver worker threads (default 2)
+ *   --queue-capacity N admission-control queue bound (default 64)
+ *   --max-retries N    same-rung retries before escalation (default 1)
+ *   --task-timeout S   per-request cooperative deadline (default none)
+ *   --max-systems N    resident StackSystem cap (default 8)
+ *   --json PATH        write Metrics::toJson() here on drain
+ *   --quiet            suppress status output
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/signal.hpp"
+#include "service/server.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace xylem;
+    bench::Args args(
+        argc, argv,
+        "  --socket PATH      listening socket "
+        "(default /tmp/xylem.sock)\n"
+        "  --jobs N           solver worker threads (default 2)\n"
+        "  --queue-capacity N admission-control bound (default 64)\n"
+        "  --max-retries N    same-rung retries (default 1)\n"
+        "  --task-timeout S   per-request deadline in seconds\n"
+        "  --max-systems N    resident StackSystem cap (default 8)\n"
+        "  --json PATH        write drain-time metrics JSON to PATH\n"
+        "  --quiet            suppress status output\n");
+
+    service::ServerOptions opts;
+    if (const auto path = args.option("--socket"))
+        opts.socketPath = *path;
+    opts.workers = args.intOption("--jobs", opts.workers);
+    opts.queueCapacity = static_cast<std::size_t>(args.intOption(
+        "--queue-capacity", static_cast<int>(opts.queueCapacity)));
+    opts.engine.maxRetries =
+        args.intOption("--max-retries", opts.engine.maxRetries);
+    opts.engine.taskTimeoutSeconds = args.numberOption(
+        "--task-timeout", opts.engine.taskTimeoutSeconds);
+    opts.engine.maxResidentSystems = static_cast<std::size_t>(
+        args.intOption("--max-systems",
+                       static_cast<int>(opts.engine.maxResidentSystems)));
+    if (const auto path = args.option("--json"))
+        opts.metricsJsonPath = *path;
+    const bool quiet = args.flag("--quiet");
+    args.finish();
+
+    setVerbose(!quiet);
+    // SIGINT/SIGTERM request the graceful drain instead of killing the
+    // process; syscalls return EINTR so the poll loops notice quickly.
+    ShutdownSignal::install();
+    try {
+        service::Server server(opts);
+        return server.run();
+    } catch (const Error &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    } catch (const std::exception &e) {
+        std::cerr << "fatal: " << e.what() << "\n";
+        return 1;
+    }
+}

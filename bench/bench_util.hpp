@@ -169,6 +169,52 @@ class Args
         return fallback;
     }
 
+    /**
+     * `--name VALUE` restricted to `choices`; `fallback` when absent.
+     * Unknown values fail fast (exit 2) listing the valid choices —
+     * never a silent fall-through to the default.
+     */
+    std::string
+    choiceOption(const std::string &name,
+                 std::initializer_list<const char *> choices,
+                 const std::string &fallback)
+    {
+        if (const auto v = option(name)) {
+            for (const char *c : choices)
+                if (*v == c)
+                    return *v;
+            dieInvalidChoice(name, *v, choices);
+        }
+        return fallback;
+    }
+
+    /** Comma-separated `--name A,B` with the same validation. */
+    std::vector<std::string>
+    choiceListOption(const std::string &name,
+                     std::initializer_list<const char *> choices,
+                     std::vector<std::string> fallback)
+    {
+        const auto v = option(name);
+        if (!v)
+            return fallback;
+        std::vector<std::string> out;
+        std::stringstream ss(*v);
+        std::string item;
+        while (std::getline(ss, item, ',')) {
+            if (item.empty())
+                continue;
+            bool ok = false;
+            for (const char *c : choices)
+                ok = ok || item == c;
+            if (!ok)
+                dieInvalidChoice(name, item, choices);
+            out.push_back(item);
+        }
+        if (out.empty())
+            die("empty value for " + name);
+        return out;
+    }
+
     /** Reject anything not consumed by the queries above (exit 2). */
     void
     finish()
@@ -186,6 +232,20 @@ class Args
     }
 
   private:
+    [[noreturn]] void
+    dieInvalidChoice(const std::string &name, const std::string &value,
+                     std::initializer_list<const char *> choices) const
+    {
+        std::string valid;
+        for (const char *c : choices) {
+            if (!valid.empty())
+                valid += ", ";
+            valid += c;
+        }
+        die("invalid value '" + value + "' for " + name +
+            " (valid choices: " + valid + ")");
+    }
+
     std::string program_;
     std::string usage_;
     std::vector<std::string> args_;

@@ -17,6 +17,13 @@
  *                   solver.precond_seconds, solver.workspace_reuses)
  *   --grids A,B,..  grid edge lengths to sweep (default 32,64,128)
  *   --threads N     intra-solve worker threads (SolverOptions::threads)
+ *   --setups A,B,.. solver setups to run: jacobi, line (CG with that
+ *                   preconditioner), mgcg (multigrid-preconditioned
+ *                   CG), mg (standalone multigrid); default all
+ *   --precond P,..  keep only setups using these preconditioners
+ *                   (jacobi, line, mg); unknown values fail fast
+ *   --solver S,..   keep only setups with this outer iteration
+ *                   (cg, mg); unknown values fail fast
  *   --fast          smoke configuration: 32-grid only, small budget
  */
 
@@ -33,6 +40,7 @@
 #include "runtime/metrics.hpp"
 #include "stack/stack.hpp"
 #include "thermal/grid_model.hpp"
+#include "thermal/mg/multigrid.hpp"
 
 namespace {
 
@@ -71,10 +79,12 @@ struct BenchResult
     std::string name;
     std::size_t grid = 0;
     std::string mode;       ///< cold | warm | transient | matvec
-    std::string precond;    ///< jacobi | line | -
+    std::string solver;     ///< cg | mg
+    std::string precond;    ///< jacobi | line | mg
     std::size_t nodes = 0;
     int threads = 1;
     int reps = 0;
+    int mgLevels = 0;       ///< multigrid hierarchy depth (0 = no MG)
     double nsPerSolve = 0.0;
     int cgIterations = 0;   ///< per solve (0 for matvec)
 
@@ -82,6 +92,24 @@ struct BenchResult
     {
         return nsPerSolve > 0.0 ? 1e9 / nsPerSolve : 0.0;
     }
+};
+
+/** One benchmarked solver configuration (outer iteration + precond). */
+struct SolverSetup
+{
+    const char *tag;    ///< benchmark-name component
+    thermal::SolverKind kind;
+    thermal::Preconditioner precond;
+};
+
+constexpr SolverSetup kSetups[] = {
+    {"jacobi", thermal::SolverKind::CG, thermal::Preconditioner::Jacobi},
+    {"line", thermal::SolverKind::CG,
+     thermal::Preconditioner::VerticalLine},
+    {"mgcg", thermal::SolverKind::CG,
+     thermal::Preconditioner::Multigrid},
+    {"mg", thermal::SolverKind::Multigrid,
+     thermal::Preconditioner::Multigrid},
 };
 
 /**
@@ -114,12 +142,6 @@ run(const std::string &name, double budget_seconds, F &&fn)
     return r;
 }
 
-const char *
-precondName(thermal::Preconditioner p)
-{
-    return p == thermal::Preconditioner::VerticalLine ? "line" : "jacobi";
-}
-
 } // namespace
 
 int
@@ -132,6 +154,9 @@ main(int argc, char **argv)
         "  --grids A,B,..  grid edge lengths to sweep "
         "(default 32,64,128)\n"
         "  --threads N     intra-solve worker threads\n"
+        "  --setups A,B,.. solver setups (jacobi, line, mgcg, mg)\n"
+        "  --precond P,..  filter by preconditioner (jacobi, line, mg)\n"
+        "  --solver S,..   filter by outer iteration (cg, mg)\n"
         "  --fast          smoke configuration\n");
     std::vector<std::size_t> grids = {32, 64, 128};
     double budget = 1.0;
@@ -151,7 +176,33 @@ main(int argc, char **argv)
                 static_cast<std::size_t>(std::atoi(tok.c_str())));
     }
     const int threads = args.intOption("--threads", 1);
+    const auto setup_tags = args.choiceListOption(
+        "--setups", {"jacobi", "line", "mgcg", "mg"},
+        {"jacobi", "line", "mgcg", "mg"});
+    const auto precond_filter = args.choiceListOption(
+        "--precond", {"jacobi", "line", "mg"}, {});
+    const auto solver_filter =
+        args.choiceListOption("--solver", {"cg", "mg"}, {});
     args.finish();
+
+    const auto keep = [&](const SolverSetup &s) {
+        const auto has = [](const std::vector<std::string> &v,
+                            const char *x) {
+            for (const auto &e : v)
+                if (e == x)
+                    return true;
+            return false;
+        };
+        if (!has(setup_tags, s.tag))
+            return false;
+        if (!precond_filter.empty() &&
+            !has(precond_filter, thermal::toString(s.precond)))
+            return false;
+        if (!solver_filter.empty() &&
+            !has(solver_filter, thermal::toString(s.kind)))
+            return false;
+        return true;
+    };
 
     const auto wall0 = Clock::now();
     std::vector<BenchResult> results;
@@ -162,15 +213,16 @@ main(int argc, char **argv)
         auto power2 = power;
         power2.deposit(stk.procMetal, stk.grid.extent(), 1.0);
 
-        for (const auto pc : {thermal::Preconditioner::Jacobi,
-                              thermal::Preconditioner::VerticalLine}) {
+        for (const SolverSetup &setup : kSetups) {
+            if (!keep(setup))
+                continue;
             thermal::SolverOptions opts;
-            opts.preconditioner = pc;
+            opts.kind = setup.kind;
+            opts.preconditioner = setup.precond;
             opts.threads = threads;
             const thermal::GridModel model(stk, opts);
             const std::string suffix =
-                std::string("_") + precondName(pc) + "_" +
-                std::to_string(g);
+                std::string("_") + setup.tag + "_" + std::to_string(g);
 
             // Steady-state, cold start (x = 0).
             BenchResult cold = run("steady_cold" + suffix, budget, [&] {
@@ -210,11 +262,17 @@ main(int argc, char **argv)
                 return 0;
             });
 
+            const int mg_levels =
+                model.multigrid()
+                    ? static_cast<int>(model.multigrid()->numLevels())
+                    : 0;
             for (BenchResult *r : {&cold, &warm, &transient, &matvec}) {
                 r->grid = g;
-                r->precond = precondName(pc);
+                r->solver = thermal::toString(setup.kind);
+                r->precond = thermal::toString(setup.precond);
                 r->nodes = model.numNodes();
                 r->threads = threads;
+                r->mgLevels = mg_levels;
             }
             cold.mode = "cold";
             warm.mode = "warm";
@@ -248,9 +306,11 @@ main(int argc, char **argv)
             const auto &r = results[i];
             json << (i ? "," : "") << "{\"name\":\"" << r.name
                  << "\",\"grid\":" << r.grid << ",\"mode\":\"" << r.mode
+                 << "\",\"solver\":\"" << r.solver
                  << "\",\"precond\":\"" << r.precond
                  << "\",\"nodes\":" << r.nodes
                  << ",\"threads\":" << r.threads << ",\"reps\":" << r.reps
+                 << ",\"mg_levels\":" << r.mgLevels
                  << ",\"ns_per_solve\":" << r.nsPerSolve
                  << ",\"solves_per_s\":" << r.solvesPerSecond()
                  << ",\"cg_iterations\":" << r.cgIterations << "}";

@@ -12,11 +12,15 @@
  * deadline, no escalation).
  *
  * Escalation ladder (one rung per solver-level failure):
- *   0  normal solve — warm starts, configured preconditioner
+ *   0  normal solve — warm starts, configured solver/preconditioner
  *   1  cold solve — warm starts disabled
- *   2  alternate preconditioner — Jacobi <-> VerticalLine, still cold
+ *   2  alternate method, still cold — a multigrid configuration
+ *      (solver or preconditioner) drops to line-CG, plain CG flips
+ *      Jacobi <-> VerticalLine; for the default multigrid setup the
+ *      ladder thus reads MG-CG → cold MG-CG → line-CG → dense
  *   3  dense direct solve — the verification subsystem's Cholesky
- *      reference solver replaces CG entirely (small grids only)
+ *      reference solver replaces the iteration entirely (small grids
+ *      only)
  */
 
 #ifndef XYLEM_COMMON_TASK_CONTEXT_HPP

@@ -9,6 +9,7 @@
 #include "common/task_context.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
+#include "thermal/mg/multigrid.hpp"
 
 #if defined(__GNUC__) || defined(__clang__)
 #define XYLEM_RESTRICT __restrict__
@@ -249,13 +250,40 @@ seconds(std::chrono::steady_clock::time_point t0)
 SolverWorkspace::SolverWorkspace() = default;
 SolverWorkspace::~SolverWorkspace() = default;
 
+const char *
+toString(Preconditioner p)
+{
+    switch (p) {
+    case Preconditioner::Jacobi:
+        return "jacobi";
+    case Preconditioner::VerticalLine:
+        return "line";
+    case Preconditioner::Multigrid:
+        return "mg";
+    }
+    return "jacobi";
+}
+
+const char *
+toString(SolverKind k)
+{
+    return k == SolverKind::Multigrid ? "mg" : "cg";
+}
+
 GridModel::GridModel(const stack::BuiltStack &stk, SolverOptions opts)
     : stack_(&stk), opts_(opts)
 {
     XYLEM_ASSERT(opts_.convectionResistance > 0.0,
                  "convection resistance must be positive");
     assemble();
+    // Build the multigrid hierarchy eagerly (solves are const and may
+    // run concurrently; there must be no lazy mutable setup).
+    if (opts_.kind == SolverKind::Multigrid ||
+        opts_.preconditioner == Preconditioner::Multigrid)
+        mg_ = std::make_unique<mg::Hierarchy>(*this);
 }
+
+GridModel::~GridModel() = default;
 
 void
 GridModel::addGround(std::size_t node, double g)
@@ -754,7 +782,8 @@ GridModel::prepare(SolverWorkspace &w) const
                   blockCount(cells_, kColChunk)});
     if (w.sized_for_ == n && w.line_cp_.size() == line_n &&
         w.periph_inv_diag_.size() == periphery_.size() &&
-        w.block_sums_.size() >= blocks) {
+        w.block_sums_.size() >= blocks &&
+        (!mg_ || (w.mg_ && w.mg_->sized_for == mg_->id()))) {
         runtime::Metrics::global().counter("solver.workspace_reuses")
             .increment();
         return;
@@ -772,6 +801,8 @@ GridModel::prepare(SolverWorkspace &w) const
     w.periph_inv_diag_.resize(periphery_.size());
     w.block_sums_.resize(blocks);
     w.sized_for_ = n;
+    if (mg_)
+        mg_->prepareWorkspace(w);
 }
 
 runtime::ThreadPool *
@@ -808,11 +839,61 @@ GridModel::solve(const std::vector<double> &b, std::vector<double> &x,
     const double *bv = b.data();
     w.apply_seconds_ = 0.0;
     w.precond_seconds_ = 0.0;
+
+    // The fault-tolerance layer steers the solver through the ambient
+    // task context. On the alternate-method rung a multigrid
+    // configuration falls back to line-CG (the PR-3 ladder thus reads
+    // MG-CG → cold MG-CG → line-CG → dense reference) and the classic
+    // preconditioners flip Jacobi <-> VerticalLine; a forced-non-
+    // convergence fault skips the iteration loop so the attempt
+    // reliably misses tolerance, and strict mode turns non-convergence
+    // into a typed error the sweep runner can escalate.
+    const TaskContext *ctx = currentTaskContext();
+    SolverKind kind = opts_.kind;
+    Preconditioner pre = opts_.preconditioner;
+    if (ctx && ctx->alternatePreconditioner()) {
+        kind = SolverKind::CG;
+        if (opts_.kind == SolverKind::Multigrid ||
+            opts_.preconditioner == Preconditioner::Multigrid)
+            pre = Preconditioner::VerticalLine;
+        else
+            pre = opts_.preconditioner == Preconditioner::VerticalLine
+                      ? Preconditioner::Jacobi
+                      : Preconditioner::VerticalLine;
+    }
+    if (!mg_ && (kind == SolverKind::Multigrid ||
+                 pre == Preconditioner::Multigrid)) {
+        // No hierarchy built (options changed behind our back); the
+        // line preconditioner is the closest safe fallback.
+        kind = SolverKind::CG;
+        pre = Preconditioner::VerticalLine;
+    }
+    const bool use_mg = kind == SolverKind::Multigrid ||
+                        pre == Preconditioner::Multigrid;
+    const bool line = pre == Preconditioner::VerticalLine;
+    const bool forced_nonconvergence =
+        ctx && ctx->forceCgNonConvergence && !ctx->denseSolve();
+    const int max_iterations =
+        forced_nonconvergence ? 0 : opts_.maxIterations;
+
     auto flushTimings = [&] {
         auto &metrics = runtime::Metrics::global();
         metrics.addTiming("solver.apply_seconds", w.apply_seconds_);
         metrics.addTiming("solver.precond_seconds", w.precond_seconds_);
+        if (use_mg && w.mg_) {
+            // cycle_seconds is the V-cycle share of precond_seconds.
+            metrics.addTiming("solver.mg.cycle_seconds",
+                              w.mg_->cycle_seconds);
+            metrics.counter("solver.mg.cycles").add(w.mg_->cycles);
+        }
     };
+
+    if (use_mg && w.mg_) {
+        // Reset the per-solve cycle telemetry up front so an early
+        // return below cannot flush a previous solve's numbers.
+        w.mg_->cycle_seconds = 0.0;
+        w.mg_->cycles = 0;
+    }
 
     double b_norm2;
     if (x_is_zero) {
@@ -832,24 +913,15 @@ GridModel::solve(const std::vector<double> &b, std::vector<double> &x,
     }
     const double target2 = opts_.tolerance * opts_.tolerance * b_norm2;
 
-    // The fault-tolerance layer steers the solver through the ambient
-    // task context: a task on the alternate-preconditioner rung flips
-    // Jacobi <-> VerticalLine, a forced-non-convergence fault skips
-    // the iteration loop so the attempt reliably misses tolerance, and
-    // strict mode turns non-convergence into a typed error the sweep
-    // runner can escalate instead of a warning.
-    const TaskContext *ctx = currentTaskContext();
-    bool line = opts_.preconditioner == Preconditioner::VerticalLine;
-    if (ctx && ctx->alternatePreconditioner())
-        line = !line;
-    const bool forced_nonconvergence =
-        ctx && ctx->forceCgNonConvergence && !ctx->denseSolve();
-    const int max_iterations =
-        forced_nonconvergence ? 0 : opts_.maxIterations;
-
     {
         const auto t0 = Clock::now();
-        if (line) {
+        if (use_mg) {
+            // The fine-level smoother reuses the cached line
+            // factorisation; the hierarchy then coarsens the C/Δt
+            // shift and factors its own levels.
+            buildLineFactorization(ed, w);
+            mg_->prepareSolve(extra_diag, w);
+        } else if (line) {
             buildLineFactorization(ed, w);
         } else {
             double *invd = w.inv_diag_.data();
@@ -870,40 +942,64 @@ GridModel::solve(const std::vector<double> &b, std::vector<double> &x,
         w.precond_seconds_ += seconds(t0);
     }
 
-    // z = M⁻¹ r with the r·z reduction fused into the same sweep.
+    // z = M⁻¹ r (or B r for multigrid) with the r·z reduction fused
+    // into the same sweep.
     auto precondition = [&]() -> double {
         const auto t0 = Clock::now();
         const double rz =
-            line ? applyLineCached(rv, zv, w, pool)
-                 : blockedJacobi(rv, w.inv_diag_.data(), zv, n, pool, bs);
+            use_mg ? mg_->applyVCycle(rv, zv, ed, w, pool)
+            : line ? applyLineCached(rv, zv, w, pool)
+                   : blockedJacobi(rv, w.inv_diag_.data(), zv, n, pool, bs);
         w.precond_seconds_ += seconds(t0);
         return rz;
     };
 
-    double rz = precondition();
-    std::copy(w.z_.begin(), w.z_.end(), w.p_.begin());
-    double r_norm2 = blockedSumSq(rv, n, pool, bs);
-
-    for (int it = 0; it < max_iterations && r_norm2 > target2; ++it) {
-        if ((it & 31) == 0)
-            taskCheckpoint(); // cooperative deadline/cancel point
-        double pq;
-        {
-            const auto t0 = Clock::now();
-            fusedApply(pv, qv, ed, pool, &pq, bs);
-            w.apply_seconds_ += seconds(t0);
+    double r_norm2;
+    if (kind == SolverKind::Multigrid) {
+        // Standalone V-cycle iteration: x += B r, r = b - A x. The
+        // update reuses the CG z/q buffers (free in this mode).
+        r_norm2 = blockedSumSq(rv, n, pool, bs);
+        for (int it = 0; it < max_iterations && r_norm2 > target2; ++it) {
+            if ((it & 7) == 0)
+                taskCheckpoint(); // cooperative deadline/cancel point
+            precondition();
+            {
+                const auto t0 = Clock::now();
+                fusedApply(zv, qv, ed, pool, nullptr, nullptr);
+                w.apply_seconds_ += seconds(t0);
+            }
+            r_norm2 =
+                blockedAxpyResidual(1.0, zv, qv, xv, rv, n, pool, bs);
+            stats.iterations = it + 1;
         }
-        if (!(pq > 0.0))
-            raise(ErrorCode::SolverBreakdown,
-                  "CG breakdown: search direction lost positive "
-                  "definiteness (p'Ap = ", pq, " at iteration ", it, ")");
-        const double alpha = rz / pq;
-        r_norm2 = blockedAxpyResidual(alpha, pv, qv, xv, rv, n, pool, bs);
-        const double rz_next = precondition();
-        const double beta = rz_next / rz;
-        rz = rz_next;
-        blockedUpdateDirection(beta, zv, pv, n, pool);
-        stats.iterations = it + 1;
+    } else {
+        double rz = precondition();
+        std::copy(w.z_.begin(), w.z_.end(), w.p_.begin());
+        r_norm2 = blockedSumSq(rv, n, pool, bs);
+
+        for (int it = 0; it < max_iterations && r_norm2 > target2; ++it) {
+            if ((it & 31) == 0)
+                taskCheckpoint(); // cooperative deadline/cancel point
+            double pq;
+            {
+                const auto t0 = Clock::now();
+                fusedApply(pv, qv, ed, pool, &pq, bs);
+                w.apply_seconds_ += seconds(t0);
+            }
+            if (!(pq > 0.0))
+                raise(ErrorCode::SolverBreakdown,
+                      "CG breakdown: search direction lost positive "
+                      "definiteness (p'Ap = ", pq, " at iteration ", it,
+                      ")");
+            const double alpha = rz / pq;
+            r_norm2 =
+                blockedAxpyResidual(alpha, pv, qv, xv, rv, n, pool, bs);
+            const double rz_next = precondition();
+            const double beta = rz_next / rz;
+            rz = rz_next;
+            blockedUpdateDirection(beta, zv, pv, n, pool);
+            stats.iterations = it + 1;
+        }
     }
     stats.relativeResidual = std::sqrt(r_norm2 / b_norm2);
     stats.converged = !forced_nonconvergence && r_norm2 <= target2;

@@ -45,12 +45,29 @@ class ThreadPool;
 
 namespace xylem::thermal {
 
+namespace mg {
+class Hierarchy;
+struct Workspace;
+} // namespace mg
+
 /** CG preconditioner choice. */
 enum class Preconditioner
 {
-    Jacobi,       ///< diagonal scaling (default; cheapest per iteration)
+    Jacobi,       ///< diagonal scaling (cheapest per iteration)
     VerticalLine, ///< exact tridiagonal solve per XY column
+    Multigrid,    ///< semicoarsened V-cycle (default; DESIGN.md §14)
 };
+
+/** Outer iteration choice. */
+enum class SolverKind
+{
+    CG,        ///< preconditioned conjugate gradients (default)
+    Multigrid, ///< V-cycle iteration (no Krylov acceleration)
+};
+
+/** Config-file spellings ("jacobi"/"line"/"mg", "cg"/"mg"). */
+const char *toString(Preconditioner p);
+const char *toString(SolverKind k);
 
 /** Boundary/solver parameters. */
 struct SolverOptions
@@ -59,7 +76,8 @@ struct SolverOptions
     double convectionResistance = 0.10; ///< lumped sink-to-air R [K/W] (active)
     double tolerance = 1e-6;          ///< relative residual target
     int maxIterations = 50000;        ///< CG iteration cap
-    Preconditioner preconditioner = Preconditioner::Jacobi;
+    Preconditioner preconditioner = Preconditioner::Multigrid;
+    SolverKind kind = SolverKind::CG;
 
     /**
      * Intra-solve worker threads. 1 (the default) runs serially; 0
@@ -103,6 +121,7 @@ class SolverWorkspace
 
   private:
     friend class GridModel;
+    friend class mg::Hierarchy;
 
     // CG vectors (residual, preconditioned residual, search
     // direction, mat-vec product), sized to numNodes().
@@ -124,6 +143,9 @@ class SolverWorkspace
     // "solver.precond_seconds") once per solve.
     double apply_seconds_ = 0.0;
     double precond_seconds_ = 0.0;
+    // Multigrid scratch (per-level vectors, coarsest dense factor);
+    // created on first use by a multigrid-configured model.
+    std::unique_ptr<mg::Workspace> mg_;
     // numNodes() the buffers are currently sized for (0 = unsized).
     std::size_t sized_for_ = 0;
 };
@@ -139,9 +161,19 @@ class GridModel
 {
   public:
     GridModel(const stack::BuiltStack &stk, SolverOptions opts = {});
+    ~GridModel();
+    GridModel(const GridModel &) = delete;
+    GridModel &operator=(const GridModel &) = delete;
 
     const stack::BuiltStack &stackRef() const { return *stack_; }
     const SolverOptions &options() const { return opts_; }
+
+    /**
+     * The multigrid hierarchy, built at construction when the options
+     * select SolverKind::Multigrid or Preconditioner::Multigrid;
+     * nullptr otherwise. Exposed for tests and bench telemetry.
+     */
+    const mg::Hierarchy *multigrid() const { return mg_.get(); }
 
     std::size_t numLayers() const { return num_layers_; }
     std::size_t cellsPerLayer() const { return cells_; }
@@ -231,6 +263,8 @@ class GridModel
     }
 
   private:
+    friend class mg::Hierarchy;
+
     void assemble();
     void addGround(std::size_t node, double g);
 
@@ -325,6 +359,11 @@ class GridModel
     // Precomputed diagonal of G and per-node capacitance.
     std::vector<double> diag_;
     std::vector<double> capacity_;
+
+    // The semicoarsened V-cycle hierarchy (DESIGN.md §14), built
+    // eagerly at construction when the options select multigrid so
+    // concurrent const solves never race on lazy setup.
+    std::unique_ptr<mg::Hierarchy> mg_;
 };
 
 } // namespace xylem::thermal

@@ -1,0 +1,753 @@
+#include "thermal/mg/multigrid.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/thread_pool.hpp"
+#include "thermal/grid_model.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define XYLEM_RESTRICT __restrict__
+#else
+#define XYLEM_RESTRICT
+#endif
+
+namespace xylem::thermal::mg {
+
+namespace {
+
+using runtime::ThreadPool;
+
+// Fine-level kernels follow the GridModel blocking discipline: fixed
+// problem-size-dependent blocks, per-block partials reduced serially
+// in ascending order — bit-identical at any thread count. Coarse
+// levels (≤ 1/3 of the fine work combined) always run serially.
+constexpr std::size_t kDotBlock = 4096;
+constexpr std::size_t kRowChunk = 16;
+
+std::size_t
+blockCount(std::size_t n, std::size_t block)
+{
+    return (n + block - 1) / block;
+}
+
+void
+blockedScale(double *XYLEM_RESTRICT z, double a, std::size_t n,
+             ThreadPool *pool)
+{
+    ThreadPool::parallelFor(pool, blockCount(n, kDotBlock),
+                            [&](std::size_t blk) {
+                                const std::size_t i0 = blk * kDotBlock;
+                                const std::size_t i1 =
+                                    std::min(n, i0 + kDotBlock);
+                                for (std::size_t i = i0; i < i1; ++i)
+                                    z[i] *= a;
+                            });
+}
+
+/** t = r - q. */
+void
+blockedResidual(const double *XYLEM_RESTRICT r,
+                const double *XYLEM_RESTRICT q, double *XYLEM_RESTRICT t,
+                std::size_t n, ThreadPool *pool)
+{
+    ThreadPool::parallelFor(pool, blockCount(n, kDotBlock),
+                            [&](std::size_t blk) {
+                                const std::size_t i0 = blk * kDotBlock;
+                                const std::size_t i1 =
+                                    std::min(n, i0 + kDotBlock);
+                                for (std::size_t i = i0; i < i1; ++i)
+                                    t[i] = r[i] - q[i];
+                            });
+}
+
+/** x += a s. */
+void
+blockedAxpy(double *XYLEM_RESTRICT x, double a,
+            const double *XYLEM_RESTRICT s, std::size_t n, ThreadPool *pool)
+{
+    ThreadPool::parallelFor(pool, blockCount(n, kDotBlock),
+                            [&](std::size_t blk) {
+                                const std::size_t i0 = blk * kDotBlock;
+                                const std::size_t i1 =
+                                    std::min(n, i0 + kDotBlock);
+                                for (std::size_t i = i0; i < i1; ++i)
+                                    x[i] += a * s[i];
+                            });
+}
+
+/** Fixed-block-order a·b. */
+double
+blockedDot(const double *XYLEM_RESTRICT a, const double *XYLEM_RESTRICT b,
+           std::size_t n, ThreadPool *pool, double *bs)
+{
+    const std::size_t nb = blockCount(n, kDotBlock);
+    ThreadPool::parallelFor(pool, nb, [&](std::size_t blk) {
+        const std::size_t i0 = blk * kDotBlock;
+        const std::size_t i1 = std::min(n, i0 + kDotBlock);
+        double s = 0.0;
+        for (std::size_t i = i0; i < i1; ++i)
+            s += a[i] * b[i];
+        bs[blk] = s;
+    });
+    double total = 0.0;
+    for (std::size_t blk = 0; blk < nb; ++blk)
+        total += bs[blk];
+    return total;
+}
+
+/** In-place lower Cholesky A = L Lᵀ of a row-major n×n SPD matrix. */
+void
+choleskyFactorInPlace(std::vector<double> &a, std::size_t n)
+{
+    for (std::size_t j = 0; j < n; ++j) {
+        double d = a[j * n + j];
+        for (std::size_t k = 0; k < j; ++k)
+            d -= a[j * n + k] * a[j * n + k];
+        XYLEM_ASSERT(d > 0.0, "multigrid coarsest operator lost positive "
+                              "definiteness (pivot ", d, " at row ", j, ")");
+        const double lj = std::sqrt(d);
+        a[j * n + j] = lj;
+        const double inv = 1.0 / lj;
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double s = a[i * n + j];
+            for (std::size_t k = 0; k < j; ++k)
+                s -= a[i * n + k] * a[j * n + k];
+            a[i * n + j] = s * inv;
+        }
+    }
+}
+
+/** x = A⁻¹ b from the in-place factor (forward + back substitution). */
+void
+choleskySolve(const std::vector<double> &a, std::size_t n, const double *b,
+              double *x)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = b[i];
+        for (std::size_t k = 0; k < i; ++k)
+            s -= a[i * n + k] * x[k];
+        x[i] = s / a[i * n + i];
+    }
+    for (std::size_t i = n; i-- > 0;) {
+        double s = x[i];
+        for (std::size_t k = i + 1; k < n; ++k)
+            s -= a[k * n + i] * x[k];
+        x[i] = s / a[i * n + i];
+    }
+}
+
+double
+seconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Hierarchy construction
+// ---------------------------------------------------------------------
+
+Hierarchy::Src
+Hierarchy::viewOf(const Level &level)
+{
+    Src src;
+    src.nx = level.nx;
+    src.ny = level.ny;
+    src.layers = level.layers;
+    src.cells = level.cells;
+    src.vert = &level.vert;
+    src.latx = &level.latx;
+    src.laty = &level.laty;
+    src.rim = &level.rim;
+    src.ground = &level.ground;
+    src.periphVert = &level.periphVert;
+    src.periphNodes = level.periphNodes;
+    src.periphLayers = level.periphLayer;
+    return src;
+}
+
+Hierarchy::Level
+Hierarchy::coarsen(const Src &src, double lateral_scale)
+{
+    Level out;
+    out.nx = (src.nx + 1) / 2;
+    out.ny = (src.ny + 1) / 2;
+    out.layers = src.layers;
+    out.cells = out.nx * out.ny;
+    out.nperiph = src.periphNodes.size();
+    out.nodes = out.layers * out.cells + out.nperiph;
+
+    out.vert.assign(out.layers > 0 ? out.layers - 1 : 0,
+                    std::vector<double>(out.cells, 0.0));
+    out.latx.assign(out.layers, std::vector<double>(out.cells, 0.0));
+    out.laty.assign(out.layers, std::vector<double>(out.cells, 0.0));
+    out.rim.assign(out.layers, {});
+    out.ground.assign(out.nodes, 0.0);
+    out.diag.assign(out.nodes, 0.0);
+    out.periphVert = *src.periphVert;
+    out.periphLayer = src.periphLayers;
+    out.periphNodeOfLayer.assign(out.layers, -1);
+    out.periphNodes.resize(out.nperiph);
+    for (std::size_t k = 0; k < out.nperiph; ++k) {
+        out.periphNodes[k] = out.layers * out.cells + k;
+        out.periphNodeOfLayer[src.periphLayers[k]] =
+            static_cast<std::ptrdiff_t>(out.periphNodes[k]);
+    }
+
+    // Aggregate the conductances: each coarse coupling is the sum of
+    // the fine couplings it replaces (intra-aggregate couplings drop —
+    // they cancel in P'AP for piecewise-constant P). Lateral sums get
+    // the per-level rescale (see Options::lateralScale); vertical,
+    // rim, and ground sums are exact for both variants because the
+    // aggregation is purely lateral.
+    for (std::size_t l = 0; l < src.layers; ++l) {
+        const bool rimmed = !(*src.rim)[l].empty();
+        if (rimmed)
+            out.rim[l].assign(out.cells, 0.0);
+        for (std::size_t iy = 0; iy < src.ny; ++iy) {
+            const std::size_t cy = iy >> 1;
+            for (std::size_t ix = 0; ix < src.nx; ++ix) {
+                const std::size_t fc = iy * src.nx + ix;
+                const std::size_t cc = cy * out.nx + (ix >> 1);
+                if (l + 1 < src.layers)
+                    out.vert[l][cc] += (*src.vert)[l][fc];
+                if ((ix & 1) && ix + 1 < src.nx)
+                    out.latx[l][cc] += lateral_scale * (*src.latx)[l][fc];
+                if ((iy & 1) && iy + 1 < src.ny)
+                    out.laty[l][cc] += lateral_scale * (*src.laty)[l][fc];
+                if (rimmed)
+                    out.rim[l][cc] += (*src.rim)[l][fc];
+                out.ground[l * out.cells + cc] +=
+                    (*src.ground)[l * src.cells + fc];
+            }
+        }
+    }
+    for (std::size_t k = 0; k < out.nperiph; ++k)
+        out.ground[out.periphNodes[k]] +=
+            (*src.ground)[src.periphNodes[k]];
+
+    // Assemble the diagonal from the aggregated couplings, exactly
+    // mirroring GridModel::assemble.
+    for (std::size_t i = 0; i < out.nodes; ++i)
+        out.diag[i] = out.ground[i];
+    for (std::size_t l = 0; l + 1 < out.layers; ++l)
+        for (std::size_t c = 0; c < out.cells; ++c) {
+            out.diag[l * out.cells + c] += out.vert[l][c];
+            out.diag[(l + 1) * out.cells + c] += out.vert[l][c];
+        }
+    for (std::size_t l = 0; l < out.layers; ++l) {
+        for (std::size_t iy = 0; iy < out.ny; ++iy)
+            for (std::size_t ix = 0; ix < out.nx; ++ix) {
+                const std::size_t c = iy * out.nx + ix;
+                if (ix + 1 < out.nx) {
+                    out.diag[l * out.cells + c] += out.latx[l][c];
+                    out.diag[l * out.cells + c + 1] += out.latx[l][c];
+                }
+                if (iy + 1 < out.ny) {
+                    out.diag[l * out.cells + c] += out.laty[l][c];
+                    out.diag[l * out.cells + c + out.nx] += out.laty[l][c];
+                }
+            }
+        if (!out.rim[l].empty()) {
+            const std::size_t pn = static_cast<std::size_t>(
+                out.periphNodeOfLayer[l]);
+            for (std::size_t c = 0; c < out.cells; ++c) {
+                out.diag[l * out.cells + c] += out.rim[l][c];
+                out.diag[pn] += out.rim[l][c];
+            }
+        }
+    }
+    for (std::size_t k = 0; k + 1 < out.nperiph; ++k) {
+        out.diag[out.periphNodes[k]] += out.periphVert[k];
+        out.diag[out.periphNodes[k + 1]] += out.periphVert[k];
+    }
+    return out;
+}
+
+namespace {
+
+/** Process-unique hierarchy ids, starting at 1 (0 = "none"). */
+std::uint64_t
+nextHierarchyId()
+{
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+} // namespace
+
+Hierarchy::Hierarchy(const GridModel &fine, Options opts)
+    : fine_(&fine), opts_(opts), id_(nextHierarchyId())
+{
+    opts_.coarsestCells = std::max<std::size_t>(1, opts_.coarsestCells);
+    opts_.preSmooth = std::max(1, opts_.preSmooth);
+    opts_.postSmooth = std::max(0, opts_.postSmooth);
+    for (const auto &p : fine.periphery_)
+        finePeriphNodes_.push_back(p.node);
+
+    // Count the levels first so coarse_ never reallocates while a Src
+    // view still points into its back element.
+    std::size_t nlev = 0;
+    {
+        std::size_t cx = fine.nx_, cy = fine.ny_;
+        while (cx * cy > opts_.coarsestCells &&
+               nlev < static_cast<std::size_t>(std::max(0, opts_.maxLevels))) {
+            cx = (cx + 1) / 2;
+            cy = (cy + 1) / 2;
+            ++nlev;
+        }
+    }
+    coarse_.reserve(nlev);
+
+    Src src;
+    src.nx = fine.nx_;
+    src.ny = fine.ny_;
+    src.layers = fine.num_layers_;
+    src.cells = fine.cells_;
+    src.vert = &fine.vert_;
+    src.latx = &fine.lat_x_;
+    src.laty = &fine.lat_y_;
+    src.rim = &fine.rim_g_;
+    src.ground = &fine.ground_;
+    src.periphVert = &fine.periph_vert_;
+    src.periphNodes = finePeriphNodes_;
+    for (const auto &p : fine.periphery_)
+        src.periphLayers.push_back(p.layer);
+
+    for (std::size_t k = 0; k < nlev; ++k) {
+        coarse_.push_back(coarsen(src, opts_.lateralScale));
+        src = viewOf(coarse_.back());
+    }
+
+    const std::size_t coarsest_nodes =
+        coarse_.empty() ? fine.num_nodes_ : coarse_.back().nodes;
+    XYLEM_ASSERT(coarsest_nodes <= 8192,
+                 "multigrid coarsest level too large for a dense solve (",
+                 coarsest_nodes, " nodes)");
+    runtime::Metrics::global().counter("solver.mg.levels").add(numLevels());
+}
+
+// ---------------------------------------------------------------------
+// Per-solve preparation
+// ---------------------------------------------------------------------
+
+void
+Hierarchy::prepareWorkspace(SolverWorkspace &w) const
+{
+    if (!w.mg_)
+        w.mg_ = std::make_unique<Workspace>();
+    Workspace &mw = *w.mg_;
+    if (mw.sized_for == id_)
+        return;
+    const std::size_t n0 = fine_->num_nodes_;
+    mw.t0.assign(n0, 0.0);
+    mw.s0.assign(n0, 0.0);
+    mw.q0.assign(n0, 0.0);
+    mw.levels.assign(coarse_.size(), {});
+    for (std::size_t k = 0; k < coarse_.size(); ++k) {
+        const Level &L = coarse_[k];
+        LevelScratch &S = mw.levels[k];
+        S.x.assign(L.nodes, 0.0);
+        S.b.assign(L.nodes, 0.0);
+        S.r.assign(L.nodes, 0.0);
+        S.t.assign(L.nodes, 0.0);
+        S.extra.assign(L.nodes, 0.0);
+        if (k + 1 < coarse_.size()) {
+            S.lineCp.assign(L.layers * L.cells, 0.0);
+            S.lineInv.assign(L.layers * L.cells, 0.0);
+            S.periphInv.assign(L.nperiph, 0.0);
+        }
+    }
+    const std::size_t nc =
+        coarse_.empty() ? n0 : coarse_.back().nodes;
+    mw.dense.assign(nc * nc, 0.0);
+    mw.sized_for = id_;
+}
+
+namespace {
+
+/**
+ * Aggregation restriction src → dst level: every coarse grid cell sums
+ * its (up to four) source cells in ascending (iy, ix) order; periphery
+ * nodes inject 1:1.
+ */
+void
+restrictVector(std::size_t snx, std::size_t sny, std::size_t scells,
+               std::size_t layers, const std::size_t *speriph,
+               std::size_t nperiph, std::size_t dnx, std::size_t dny,
+               const double *XYLEM_RESTRICT src, double *XYLEM_RESTRICT dst,
+               ThreadPool *pool)
+{
+    const std::size_t dcells = dnx * dny;
+    const std::size_t row_chunks = blockCount(dny, kRowChunk);
+    ThreadPool::parallelFor(
+        pool, layers * row_chunks, [&](std::size_t blk) {
+            const std::size_t l = blk / row_chunks;
+            const std::size_t cy0 = (blk % row_chunks) * kRowChunk;
+            const std::size_t cy1 = std::min(dny, cy0 + kRowChunk);
+            const double *sl = src + l * scells;
+            double *dl = dst + l * dcells;
+            for (std::size_t cy = cy0; cy < cy1; ++cy) {
+                const std::size_t iy0 = 2 * cy;
+                const std::size_t iy1 = std::min(sny, iy0 + 2);
+                for (std::size_t cx = 0; cx < dnx; ++cx) {
+                    const std::size_t ix0 = 2 * cx;
+                    const std::size_t ix1 = std::min(snx, ix0 + 2);
+                    double s = 0.0;
+                    for (std::size_t iy = iy0; iy < iy1; ++iy)
+                        for (std::size_t ix = ix0; ix < ix1; ++ix)
+                            s += sl[iy * snx + ix];
+                    dl[cy * dnx + cx] = s;
+                }
+            }
+        });
+    for (std::size_t k = 0; k < nperiph; ++k)
+        dst[layers * dcells + k] = src[speriph[k]];
+}
+
+/** Prolongation (the restriction transpose): piecewise-constant. */
+void
+prolongVector(std::size_t dnx, std::size_t dny, std::size_t dcells,
+              std::size_t layers, const std::size_t *dperiph,
+              std::size_t nperiph, std::size_t snx,
+              const double *XYLEM_RESTRICT src, double *XYLEM_RESTRICT dst,
+              ThreadPool *pool)
+{
+    // src is the coarse vector (snx wide); dst the finer one.
+    const std::size_t scells_rows = snx; // coarse row stride
+    const std::size_t row_chunks = blockCount(dny, kRowChunk);
+    const std::size_t sny = (dny + 1) / 2;
+    const std::size_t scells = snx * sny;
+    ThreadPool::parallelFor(
+        pool, layers * row_chunks, [&](std::size_t blk) {
+            const std::size_t l = blk / row_chunks;
+            const std::size_t iy0 = (blk % row_chunks) * kRowChunk;
+            const std::size_t iy1 = std::min(dny, iy0 + kRowChunk);
+            const double *sl = src + l * scells;
+            double *dl = dst + l * dcells;
+            for (std::size_t iy = iy0; iy < iy1; ++iy) {
+                const double *srow = sl + (iy >> 1) * scells_rows;
+                for (std::size_t ix = 0; ix < dnx; ++ix)
+                    dl[iy * dnx + ix] += srow[ix >> 1];
+            }
+        });
+    for (std::size_t k = 0; k < nperiph; ++k)
+        dst[dperiph[k]] += src[layers * scells + k];
+}
+
+} // namespace
+
+void
+Hierarchy::prepareSolve(const std::vector<double> *fine_extra,
+                        SolverWorkspace &w) const
+{
+    prepareWorkspace(w);
+    Workspace &mw = *w.mg_;
+    mw.cycle_seconds = 0.0;
+    mw.cycles = 0;
+
+    // Coarsen the transient C/Δt diagonal shift down the hierarchy
+    // (capacitance aggregates by summation, like ground).
+    for (std::size_t k = 0; k < coarse_.size(); ++k) {
+        const Level &L = coarse_[k];
+        LevelScratch &S = mw.levels[k];
+        if (fine_extra == nullptr) {
+            std::fill(S.extra.begin(), S.extra.end(), 0.0);
+            continue;
+        }
+        if (k == 0)
+            restrictVector(fine_->nx_, fine_->ny_, fine_->cells_,
+                           fine_->num_layers_, finePeriphNodes_.data(),
+                           finePeriphNodes_.size(), L.nx, L.ny,
+                           fine_extra->data(), S.extra.data(), nullptr);
+        else {
+            const Level &P = coarse_[k - 1];
+            restrictVector(P.nx, P.ny, P.cells, P.layers,
+                           P.periphNodes.data(), P.nperiph, L.nx, L.ny,
+                           mw.levels[k - 1].extra.data(), S.extra.data(),
+                           nullptr);
+        }
+    }
+
+    // Factor the vertical lines of every smoothed coarse level.
+    for (std::size_t k = 0; k + 1 < coarse_.size(); ++k)
+        levelLineFactor(coarse_[k], mw.levels[k]);
+
+    // Dense-factor the coarsest operator.
+    if (coarse_.empty()) {
+        mw.dense = fine_->denseMatrix(fine_extra);
+        choleskyFactorInPlace(mw.dense, fine_->num_nodes_);
+    } else {
+        const Level &L = coarse_.back();
+        buildLevelDense(L, mw.levels.back().extra, mw.dense);
+        choleskyFactorInPlace(mw.dense, L.nodes);
+    }
+}
+
+void
+Hierarchy::levelLineFactor(const Level &L, LevelScratch &S)
+{
+    const std::size_t cells = L.cells;
+    const std::size_t layers = L.layers;
+    const double *extra = S.extra.data();
+    for (std::size_t c = 0; c < cells; ++c) {
+        const double d = L.diag[c] + extra[c];
+        XYLEM_ASSERT(d > 0.0, "singular coarse diagonal entry");
+        const double inv = 1.0 / d;
+        S.lineInv[c] = inv;
+        S.lineCp[c] = layers > 1 ? -L.vert[0][c] * inv : 0.0;
+    }
+    for (std::size_t l = 1; l < layers; ++l) {
+        const std::size_t off = l * cells;
+        for (std::size_t c = 0; c < cells; ++c) {
+            const double d = L.diag[off + c] + extra[off + c];
+            const double den = d + L.vert[l - 1][c] * S.lineCp[off - cells + c];
+            XYLEM_ASSERT(den > 0.0,
+                         "coarse line smoother lost positivity");
+            const double inv = 1.0 / den;
+            S.lineInv[off + c] = inv;
+            S.lineCp[off + c] =
+                l + 1 < layers ? -L.vert[l][c] * inv : 0.0;
+        }
+    }
+    for (std::size_t k = 0; k < L.nperiph; ++k) {
+        const std::size_t node = L.periphNodes[k];
+        const double d = L.diag[node] + extra[node];
+        XYLEM_ASSERT(d > 0.0, "singular coarse diagonal entry");
+        S.periphInv[k] = 1.0 / d;
+    }
+}
+
+void
+Hierarchy::levelLineSolve(const Level &L, const LevelScratch &S,
+                          const double *r, double *z)
+{
+    const std::size_t cells = L.cells;
+    const std::size_t layers = L.layers;
+    for (std::size_t c = 0; c < cells; ++c)
+        z[c] = r[c] * S.lineInv[c];
+    for (std::size_t l = 1; l < layers; ++l) {
+        const std::size_t off = l * cells;
+        const double *g = L.vert[l - 1].data();
+        for (std::size_t c = 0; c < cells; ++c)
+            z[off + c] =
+                (r[off + c] + g[c] * z[off - cells + c]) * S.lineInv[off + c];
+    }
+    for (std::size_t l = layers - 1; l-- > 0;) {
+        const std::size_t off = l * cells;
+        for (std::size_t c = 0; c < cells; ++c)
+            z[off + c] -= S.lineCp[off + c] * z[off + cells + c];
+    }
+    for (std::size_t k = 0; k < L.nperiph; ++k)
+        z[L.periphNodes[k]] = r[L.periphNodes[k]] * S.periphInv[k];
+}
+
+void
+Hierarchy::levelApply(const Level &L, const std::vector<double> &extra,
+                      const double *x, double *y)
+{
+    const std::size_t nx = L.nx, ny = L.ny, cells = L.cells;
+    for (std::size_t l = 0; l < L.layers; ++l) {
+        const std::size_t base = l * cells;
+        const bool rimmed = !L.rim[l].empty();
+        const double x_peri =
+            rimmed ? x[static_cast<std::size_t>(L.periphNodeOfLayer[l])]
+                   : 0.0;
+        for (std::size_t iy = 0; iy < ny; ++iy)
+            for (std::size_t ix = 0; ix < nx; ++ix) {
+                const std::size_t c = iy * nx + ix;
+                const std::size_t node = base + c;
+                double v = (L.diag[node] + extra[node]) * x[node];
+                if (l > 0)
+                    v -= L.vert[l - 1][c] * x[node - cells];
+                if (l + 1 < L.layers)
+                    v -= L.vert[l][c] * x[node + cells];
+                if (ix > 0)
+                    v -= L.latx[l][c - 1] * x[node - 1];
+                if (ix + 1 < nx)
+                    v -= L.latx[l][c] * x[node + 1];
+                if (iy > 0)
+                    v -= L.laty[l][c - nx] * x[node - nx];
+                if (iy + 1 < ny)
+                    v -= L.laty[l][c] * x[node + nx];
+                if (rimmed)
+                    v -= L.rim[l][c] * x_peri;
+                y[node] = v;
+            }
+    }
+    for (std::size_t k = 0; k < L.nperiph; ++k) {
+        const std::size_t node = L.periphNodes[k];
+        const std::size_t layer = L.periphLayer[k];
+        const double *xl = x + layer * cells;
+        const double *rim = L.rim[layer].data();
+        double acc = 0.0;
+        for (std::size_t c = 0; c < cells; ++c)
+            acc += rim[c] * xl[c];
+        double v = (L.diag[node] + extra[node]) * x[node] - acc;
+        if (k > 0)
+            v -= L.periphVert[k - 1] * x[node - 1];
+        if (k + 1 < L.nperiph)
+            v -= L.periphVert[k] * x[node + 1];
+        y[node] = v;
+    }
+}
+
+void
+Hierarchy::buildLevelDense(const Level &L, const std::vector<double> &extra,
+                           std::vector<double> &out)
+{
+    const std::size_t n = L.nodes;
+    out.assign(n * n, 0.0);
+    auto couple = [&](std::size_t a, std::size_t b, double g) {
+        out[a * n + a] += g;
+        out[b * n + b] += g;
+        out[a * n + b] -= g;
+        out[b * n + a] -= g;
+    };
+    for (std::size_t i = 0; i < n; ++i)
+        out[i * n + i] += L.ground[i] + extra[i];
+    for (std::size_t l = 0; l + 1 < L.layers; ++l)
+        for (std::size_t c = 0; c < L.cells; ++c)
+            couple(l * L.cells + c, (l + 1) * L.cells + c, L.vert[l][c]);
+    for (std::size_t l = 0; l < L.layers; ++l) {
+        for (std::size_t iy = 0; iy < L.ny; ++iy)
+            for (std::size_t ix = 0; ix < L.nx; ++ix) {
+                const std::size_t c = iy * L.nx + ix;
+                if (ix + 1 < L.nx)
+                    couple(l * L.cells + c, l * L.cells + c + 1,
+                           L.latx[l][c]);
+                if (iy + 1 < L.ny)
+                    couple(l * L.cells + c, l * L.cells + c + L.nx,
+                           L.laty[l][c]);
+            }
+        if (!L.rim[l].empty()) {
+            const std::size_t pn =
+                static_cast<std::size_t>(L.periphNodeOfLayer[l]);
+            for (std::size_t c = 0; c < L.cells; ++c)
+                if (L.rim[l][c] > 0.0)
+                    couple(l * L.cells + c, pn, L.rim[l][c]);
+        }
+    }
+    for (std::size_t k = 0; k + 1 < L.nperiph; ++k)
+        couple(L.periphNodes[k], L.periphNodes[k + 1], L.periphVert[k]);
+}
+
+// ---------------------------------------------------------------------
+// The V-cycle
+// ---------------------------------------------------------------------
+
+void
+Hierarchy::levelSmooth(const Level &L, LevelScratch &S) const
+{
+    levelApply(L, S.extra, S.x.data(), S.t.data());
+    for (std::size_t i = 0; i < L.nodes; ++i)
+        S.r[i] = S.b[i] - S.t[i];
+    levelLineSolve(L, S, S.r.data(), S.t.data());
+    const double a = opts_.damping;
+    for (std::size_t i = 0; i < L.nodes; ++i)
+        S.x[i] += a * S.t[i];
+}
+
+void
+Hierarchy::coarseVCycle(std::size_t k, Workspace &mw) const
+{
+    const Level &L = coarse_[k];
+    LevelScratch &S = mw.levels[k];
+    if (k + 1 == coarse_.size()) {
+        choleskySolve(mw.dense, L.nodes, S.b.data(), S.x.data());
+        return;
+    }
+    // Pre-smooth from the zero initial guess: x = ω M⁻¹ b.
+    levelLineSolve(L, S, S.b.data(), S.x.data());
+    if (opts_.damping != 1.0)
+        for (std::size_t i = 0; i < L.nodes; ++i)
+            S.x[i] *= opts_.damping;
+    for (int s = 1; s < opts_.preSmooth; ++s)
+        levelSmooth(L, S);
+
+    // Coarse-grid correction.
+    levelApply(L, S.extra, S.x.data(), S.t.data());
+    for (std::size_t i = 0; i < L.nodes; ++i)
+        S.r[i] = S.b[i] - S.t[i];
+    const Level &C = coarse_[k + 1];
+    restrictVector(L.nx, L.ny, L.cells, L.layers, L.periphNodes.data(),
+                   L.nperiph, C.nx, C.ny, S.r.data(),
+                   mw.levels[k + 1].b.data(), nullptr);
+    coarseVCycle(k + 1, mw);
+    prolongVector(L.nx, L.ny, L.cells, L.layers, L.periphNodes.data(),
+                  L.nperiph, C.nx, mw.levels[k + 1].x.data(), S.x.data(),
+                  nullptr);
+
+    for (int s = 0; s < opts_.postSmooth; ++s)
+        levelSmooth(L, S);
+}
+
+double
+Hierarchy::applyVCycle(const double *r, double *z, const double *fine_extra,
+                       SolverWorkspace &w, runtime::ThreadPool *pool) const
+{
+    using Clock = std::chrono::steady_clock;
+    const auto t_start = Clock::now();
+    Workspace &mw = *w.mg_;
+    const GridModel &F = *fine_;
+    const std::size_t n = F.num_nodes_;
+    double rz;
+    if (coarse_.empty()) {
+        // The fine grid itself is the (dense-solved) coarsest level:
+        // B = A⁻¹ and CG converges in one iteration.
+        choleskySolve(mw.dense, n, r, z);
+        rz = blockedDot(r, z, n, pool, w.block_sums_.data());
+    } else {
+        // Pre-smooth from the zero initial guess: z = ω M⁻¹ r reuses
+        // the fine line factorisation already cached in `w`.
+        F.applyLineCached(r, z, w, pool);
+        if (opts_.damping != 1.0)
+            blockedScale(z, opts_.damping, n, pool);
+        for (int s = 1; s < opts_.preSmooth; ++s)
+            smoothFine(r, z, fine_extra, w, pool);
+
+        // Coarse-grid correction: restrict the residual, recurse,
+        // prolongate the correction back up.
+        F.fusedApply(z, mw.q0.data(), fine_extra, pool, nullptr, nullptr);
+        blockedResidual(r, mw.q0.data(), mw.t0.data(), n, pool);
+        const Level &C = coarse_.front();
+        restrictVector(F.nx_, F.ny_, F.cells_, F.num_layers_,
+                       finePeriphNodes_.data(), finePeriphNodes_.size(),
+                       C.nx, C.ny, mw.t0.data(), mw.levels[0].b.data(),
+                       pool);
+        coarseVCycle(0, mw);
+        prolongVector(F.nx_, F.ny_, F.cells_, F.num_layers_,
+                      finePeriphNodes_.data(), finePeriphNodes_.size(),
+                      C.nx, mw.levels[0].x.data(), z, pool);
+
+        for (int s = 0; s < opts_.postSmooth; ++s)
+            smoothFine(r, z, fine_extra, w, pool);
+        rz = blockedDot(r, z, n, pool, w.block_sums_.data());
+    }
+    mw.cycle_seconds += seconds(t_start);
+    ++mw.cycles;
+    return rz;
+}
+
+void
+Hierarchy::smoothFine(const double *r, double *z, const double *fine_extra,
+                      SolverWorkspace &w, runtime::ThreadPool *pool) const
+{
+    Workspace &mw = *w.mg_;
+    const GridModel &F = *fine_;
+    const std::size_t n = F.num_nodes_;
+    F.fusedApply(z, mw.q0.data(), fine_extra, pool, nullptr, nullptr);
+    blockedResidual(r, mw.q0.data(), mw.t0.data(), n, pool);
+    F.applyLineCached(mw.t0.data(), mw.s0.data(), w, pool);
+    blockedAxpy(z, opts_.damping, mw.s0.data(), n, pool);
+}
+
+} // namespace xylem::thermal::mg

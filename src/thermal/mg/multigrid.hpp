@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Geometric multigrid for the structured stack grid (DESIGN.md §14).
+ *
+ * The thermal grid is fully structured — layers × rows × cols with
+ * smooth lateral conductances and strong vertical coupling — which is
+ * the textbook case for geometric multigrid with semicoarsening: the
+ * hierarchy coarsens the lateral (x, y) dimensions by two per level
+ * and never coarsens layers, so the vertical-line smoother (the PR-4
+ * cached Thomas factorisation) solves the stiff direction exactly at
+ * every level while the lateral error is handed down the hierarchy.
+ *
+ * Coarse operators are built by conductance aggregation (piecewise-
+ * constant Galerkin: inter-aggregate couplings are sums of the fine
+ * couplings they replace, so every coarse level is again an SPD
+ * resistor network of the same structured form), with an optional
+ * per-level lateral rescale that turns the aggregated operator into
+ * the rediscretised 2h operator. Periphery nodes survive uncoarsened
+ * as singleton aggregates. The coarsest level — a handful of lateral
+ * cells times the layer count — is solved exactly with a dense
+ * Cholesky factorisation computed once per solve.
+ *
+ * One symmetric V-cycle (damped vertical-line pre-smooth, coarse-grid
+ * correction, damped vertical-line post-smooth) is exposed as a fixed
+ * SPD linear operator, usable either as a CG preconditioner
+ * (Preconditioner::Multigrid) or iterated standalone
+ * (SolverKind::Multigrid). Determinism: the fine level reuses the
+ * fused, fixed-block-order kernels of GridModel, all transfers are
+ * gather-style with a fixed summation order, and every coarse level
+ * runs serially — so a solve is bit-identical at any thread count,
+ * exactly like the CG core.
+ */
+
+#ifndef XYLEM_THERMAL_MG_MULTIGRID_HPP
+#define XYLEM_THERMAL_MG_MULTIGRID_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xylem::runtime {
+class ThreadPool;
+}
+
+namespace xylem::thermal {
+class GridModel;
+class SolverWorkspace;
+} // namespace xylem::thermal
+
+namespace xylem::thermal::mg {
+
+/** Cycle tuning knobs (defaults chosen by bench/perf_solver sweeps). */
+struct Options
+{
+    int preSmooth = 2;        ///< damped line-smooth sweeps before CGC
+    int postSmooth = 2;       ///< sweeps after CGC (keep == preSmooth)
+    double damping = 0.85;     ///< smoother damping ω (ω·ρ(M⁻¹A) < 2)
+    /**
+     * Per-level scale of the aggregated lateral conductances. 1.0
+     * keeps the exact Galerkin operator P'AP (lateral couplings twice
+     * the rediscretised 2h value); 0.5 yields the rediscretised
+     * coarse operator, which converges faster in practice.
+     */
+    double lateralScale = 0.5;
+    std::size_t coarsestCells = 4; ///< stop coarsening at ≤ this many
+                                   ///< lateral cells; solve dense there
+    int maxLevels = 24;            ///< hierarchy depth safety cap
+};
+
+/** Per-coarse-level scratch (sized once, reused across solves). */
+struct LevelScratch
+{
+    std::vector<double> x, b, r, t; ///< correction, rhs, residual, temp
+    std::vector<double> extra;      ///< coarsened C/Δt diagonal shift
+    std::vector<double> lineCp, lineInv, periphInv; ///< Thomas factors
+};
+
+/**
+ * Multigrid scratch memory, owned by a SolverWorkspace (one per
+ * solving thread, never shared between concurrent solves).
+ */
+struct Workspace
+{
+    std::vector<double> t0, s0, q0;   ///< fine-level residual/smooth/Ax
+    std::vector<LevelScratch> levels; ///< one per coarse level
+    std::vector<double> dense;        ///< coarsest Cholesky factor
+    /**
+     * Unique id of the hierarchy the buffers are sized for (0 =
+     * none). Deliberately an id, not the Hierarchy pointer: a
+     * workspace outlives models (thread-local reuse across solves),
+     * and a new hierarchy allocated at a freed one's address would
+     * make a pointer compare claim stale buffers fit.
+     */
+    std::uint64_t sized_for = 0;
+    // Per-solve telemetry, flushed by GridModel::solve into
+    // "solver.mg.cycle_seconds" / "solver.mg.cycles".
+    double cycle_seconds = 0.0;
+    std::uint64_t cycles = 0;
+};
+
+/**
+ * The immutable coarse-level hierarchy of one GridModel. Built once
+ * at model construction (when the options select multigrid); solves
+ * are const and may run concurrently, each with its own workspace.
+ */
+class Hierarchy
+{
+  public:
+    Hierarchy(const GridModel &fine, Options opts = {});
+
+    /** Fine level plus the coarse levels (1 = fine is coarsest). */
+    std::size_t numLevels() const { return coarse_.size() + 1; }
+    const Options &options() const { return opts_; }
+
+    /** Process-unique id (never 0, never reused); see Workspace. */
+    std::uint64_t id() const { return id_; }
+
+    /** Nodes at coarse level k (1-based; exposed for tests). */
+    std::size_t coarseNodes(std::size_t k) const
+    {
+        return coarse_[k - 1].nodes;
+    }
+
+    /** Size `w`'s multigrid scratch for this hierarchy (idempotent). */
+    void prepareWorkspace(SolverWorkspace &w) const;
+
+    /**
+     * Once-per-solve preparation: coarsen the transient C/Δt diagonal
+     * shift down the hierarchy, factor the vertical lines of every
+     * intermediate level, and Cholesky-factor the coarsest operator.
+     * The fine level's own line factorisation must already be built
+     * (GridModel::buildLineFactorization) — the fine smoother reuses
+     * it. Resets the per-solve cycle telemetry.
+     */
+    void prepareSolve(const std::vector<double> *fine_extra,
+                      SolverWorkspace &w) const;
+
+    /**
+     * z = B·r: one symmetric V-cycle from a zero initial guess — a
+     * fixed SPD linear operator. Returns r·z reduced in a fixed block
+     * order (bit-identical at any thread count).
+     */
+    double applyVCycle(const double *r, double *z,
+                       const double *fine_extra, SolverWorkspace &w,
+                       runtime::ThreadPool *pool) const;
+
+  private:
+    /** One coarse level: the same structured network, smaller. */
+    struct Level
+    {
+        std::size_t nx = 0, ny = 0, layers = 0, cells = 0, nodes = 0;
+        std::size_t nperiph = 0;
+        // Conductances, mirroring GridModel's layout: vert[l][c]
+        // couples (l,c)-(l+1,c); latx/laty couple +x/+y neighbours
+        // (last column/row entries zero); rim[l] couples boundary
+        // cells to the layer's periphery node (empty = no periphery).
+        std::vector<std::vector<double>> vert, latx, laty, rim;
+        std::vector<double> ground, diag, periphVert;
+        std::vector<std::ptrdiff_t> periphNodeOfLayer;
+        // Periphery node k has id layers*cells + k at every level.
+        std::vector<std::size_t> periphNodes; ///< this level's node ids
+        std::vector<std::size_t> periphLayer; ///< layer of node k
+    };
+
+    /** Uniform read-view over the fine model or a coarse level. */
+    struct Src
+    {
+        std::size_t nx = 0, ny = 0, layers = 0, cells = 0;
+        const std::vector<std::vector<double>> *vert = nullptr,
+                                               *latx = nullptr,
+                                               *laty = nullptr,
+                                               *rim = nullptr;
+        const std::vector<double> *ground = nullptr;
+        const std::vector<double> *periphVert = nullptr;
+        std::vector<std::size_t> periphNodes;  ///< source node ids
+        std::vector<std::size_t> periphLayers; ///< layer of node k
+    };
+
+    static Level coarsen(const Src &src, double lateral_scale);
+    static Src viewOf(const Level &level);
+    static void levelLineFactor(const Level &level, LevelScratch &scratch);
+    static void levelLineSolve(const Level &level,
+                               const LevelScratch &scratch, const double *r,
+                               double *z);
+    static void levelApply(const Level &level,
+                           const std::vector<double> &extra, const double *x,
+                           double *y);
+    static void buildLevelDense(const Level &level,
+                                const std::vector<double> &extra,
+                                std::vector<double> &out);
+
+    void levelSmooth(const Level &level, LevelScratch &scratch) const;
+    void smoothFine(const double *r, double *z, const double *fine_extra,
+                    SolverWorkspace &w, runtime::ThreadPool *pool) const;
+    void coarseVCycle(std::size_t k, Workspace &mw) const;
+
+    const GridModel *fine_;
+    Options opts_;
+    std::uint64_t id_; ///< from a process-global counter; see id()
+    std::vector<Level> coarse_; ///< levels 1..K, fine-to-coarse
+    std::vector<std::size_t> finePeriphNodes_;
+};
+
+} // namespace xylem::thermal::mg
+
+#endif // XYLEM_THERMAL_MG_MULTIGRID_HPP

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 
 namespace xylem::core {
@@ -93,6 +94,31 @@ parseSystemConfig(std::istream &in)
         } else if (key == "solverThreads") {
             cfg.solver.threads =
                 static_cast<int>(parseCount(value, line_no));
+        } else if (key == "solver") {
+            // Typed Error (not fatal()): a bad solver choice arriving
+            // over the service wire must surface as a recoverable
+            // ErrorCode::Config, not tear the daemon down.
+            if (value == "cg")
+                cfg.solver.kind = thermal::SolverKind::CG;
+            else if (value == "mg")
+                cfg.solver.kind = thermal::SolverKind::Multigrid;
+            else
+                raise(ErrorCode::Config, "config line ", line_no,
+                      ": invalid solver '", value,
+                      "' (valid choices: cg, mg)");
+        } else if (key == "precond") {
+            if (value == "jacobi")
+                cfg.solver.preconditioner = thermal::Preconditioner::Jacobi;
+            else if (value == "line")
+                cfg.solver.preconditioner =
+                    thermal::Preconditioner::VerticalLine;
+            else if (value == "mg")
+                cfg.solver.preconditioner =
+                    thermal::Preconditioner::Multigrid;
+            else
+                raise(ErrorCode::Config, "config line ", line_no,
+                      ": invalid precond '", value,
+                      "' (valid choices: jacobi, line, mg)");
         } else if (key == "instsPerThread") {
             cfg.cpu.instsPerThread = parseCount(value, line_no);
         } else if (key == "warmupInsts") {
@@ -140,6 +166,9 @@ formatSystemConfig(const SystemConfig &cfg)
        << "\n";
     os << "solverTolerance = " << cfg.solver.tolerance << "\n";
     os << "solverThreads = " << cfg.solver.threads << "\n";
+    os << "solver = " << thermal::toString(cfg.solver.kind) << "\n";
+    os << "precond = " << thermal::toString(cfg.solver.preconditioner)
+       << "\n";
     os << "instsPerThread = " << cfg.cpu.instsPerThread << "\n";
     os << "warmupInsts = " << cfg.cpu.warmupInsts << "\n";
     os << "seed = " << cfg.cpu.seed << "\n";

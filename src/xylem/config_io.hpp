@@ -15,6 +15,9 @@
  *   ambientCelsius         °C
  *   convectionResistance   K/W
  *   solverTolerance        relative residual
+ *   solverThreads          intra-solve workers (0 = XYLEM_JOBS)
+ *   solver                 cg|mg (outer iteration)
+ *   precond                jacobi|line|mg (CG preconditioner)
  *   instsPerThread         instructions
  *   warmupInsts            instructions
  *   seed                   integer

@@ -52,8 +52,7 @@ configFingerprint(const ExperimentConfig &cfg, stack::Scheme scheme)
     sys.stackSpec.scheme = scheme;
     std::ostringstream os;
     os << formatSystemConfig(sys);
-    os << "preconditioner = "
-       << static_cast<int>(sys.solver.preconditioner) << "\n";
+    // solver/precond are already covered by formatSystemConfig.
     os << "maxIterations = " << sys.solver.maxIterations << "\n";
     os << "ttsvSites =";
     for (const auto &p : sys.stackSpec.customTtsvSites)

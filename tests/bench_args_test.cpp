@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The bench flag parser's failure modes: unknown values for
+ * restricted-choice options (--precond, --solver, --setups) must fail
+ * fast with the list of valid choices — exit code 2, like every other
+ * argument error — never silently fall back to the default.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using xylem::bench::Args;
+
+/** argv builder: owns the strings, hands out mutable char*. */
+class Argv
+{
+  public:
+    explicit Argv(std::vector<std::string> args) : strings_(std::move(args))
+    {
+        for (auto &s : strings_)
+            ptrs_.push_back(s.data());
+    }
+    int argc() const { return static_cast<int>(ptrs_.size()); }
+    char **argv() { return ptrs_.data(); }
+
+  private:
+    std::vector<std::string> strings_;
+    std::vector<char *> ptrs_;
+};
+
+TEST(BenchArgs, ChoiceOptionAcceptsValidValue)
+{
+    Argv av({"perf_solver", "--precond", "mg"});
+    Args args(av.argc(), av.argv(), "");
+    EXPECT_EQ(args.choiceOption("--precond", {"jacobi", "line", "mg"},
+                                "line"),
+              "mg");
+    args.finish();
+}
+
+TEST(BenchArgs, ChoiceOptionFallsBackWhenAbsent)
+{
+    Argv av({"perf_solver"});
+    Args args(av.argc(), av.argv(), "");
+    EXPECT_EQ(args.choiceOption("--precond", {"jacobi", "line", "mg"},
+                                "line"),
+              "line");
+}
+
+TEST(BenchArgsDeathTest, ChoiceOptionRejectsUnknownValue)
+{
+    Argv av({"perf_solver", "--precond", "ilu"});
+    Args args(av.argc(), av.argv(), "");
+    EXPECT_EXIT(args.choiceOption("--precond", {"jacobi", "line", "mg"},
+                                  "line"),
+                ::testing::ExitedWithCode(2),
+                "invalid value 'ilu' for --precond "
+                "\\(valid choices: jacobi, line, mg\\)");
+}
+
+TEST(BenchArgs, ChoiceListParsesCommaSeparatedValues)
+{
+    Argv av({"perf_solver", "--solver", "cg,mg"});
+    Args args(av.argc(), av.argv(), "");
+    const auto v =
+        args.choiceListOption("--solver", {"cg", "mg"}, {"cg"});
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[0], "cg");
+    EXPECT_EQ(v[1], "mg");
+    args.finish();
+}
+
+TEST(BenchArgs, ChoiceListFallsBackWhenAbsent)
+{
+    Argv av({"perf_solver"});
+    Args args(av.argc(), av.argv(), "");
+    const auto v =
+        args.choiceListOption("--solver", {"cg", "mg"}, {"cg"});
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], "cg");
+}
+
+TEST(BenchArgsDeathTest, ChoiceListRejectsUnknownElement)
+{
+    Argv av({"perf_solver", "--solver", "cg,pcg"});
+    Args args(av.argc(), av.argv(), "");
+    EXPECT_EXIT(args.choiceListOption("--solver", {"cg", "mg"}, {}),
+                ::testing::ExitedWithCode(2),
+                "invalid value 'pcg' for --solver "
+                "\\(valid choices: cg, mg\\)");
+}
+
+TEST(BenchArgsDeathTest, ChoiceListRejectsEmptyList)
+{
+    Argv av({"perf_solver", "--solver", ","});
+    Args args(av.argc(), av.argv(), "");
+    EXPECT_EXIT(args.choiceListOption("--solver", {"cg", "mg"}, {}),
+                ::testing::ExitedWithCode(2),
+                "empty value for --solver");
+}
+
+TEST(BenchArgsDeathTest, UnknownLeftoverArgumentStillDies)
+{
+    Argv av({"perf_solver", "--no-such-flag"});
+    Args args(av.argc(), av.argv(), "");
+    EXPECT_EXIT(args.finish(), ::testing::ExitedWithCode(2),
+                "unknown argument");
+}
+
+} // namespace

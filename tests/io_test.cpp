@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 #include "cpu/multicore.hpp"
 #include "cpu/stats_report.hpp"
@@ -31,6 +32,8 @@ d2dLambdaOverride = 2.5
 ambientCelsius = 42
 convectionResistance = 0.2
 solverTolerance = 1e-7
+solver = mg
+precond = line
 instsPerThread = 123456
 warmupInsts = 1000
 seed = 99
@@ -49,6 +52,9 @@ leakageTempCoefficient = 0.015
     EXPECT_DOUBLE_EQ(cfg.solver.ambientCelsius, 42.0);
     EXPECT_DOUBLE_EQ(cfg.solver.convectionResistance, 0.2);
     EXPECT_DOUBLE_EQ(cfg.solver.tolerance, 1e-7);
+    EXPECT_EQ(cfg.solver.kind, thermal::SolverKind::Multigrid);
+    EXPECT_EQ(cfg.solver.preconditioner,
+              thermal::Preconditioner::VerticalLine);
     EXPECT_EQ(cfg.cpu.instsPerThread, 123456u);
     EXPECT_EQ(cfg.cpu.warmupInsts, 1000u);
     EXPECT_EQ(cfg.cpu.seed, 99u);
@@ -113,6 +119,8 @@ TEST(ConfigIo, FormatParseRoundTrip)
     cfg.stackSpec.scheme = stack::Scheme::IsoCount;
     cfg.stackSpec.numDramDies = 4;
     cfg.solver.ambientCelsius = 37.5;
+    cfg.solver.kind = thermal::SolverKind::Multigrid;
+    cfg.solver.preconditioner = thermal::Preconditioner::Jacobi;
     cfg.cpu.seed = 777;
     cfg.electroThermalIterations = 2;
     std::istringstream in(formatSystemConfig(cfg));
@@ -120,8 +128,70 @@ TEST(ConfigIo, FormatParseRoundTrip)
     EXPECT_EQ(back.stackSpec.scheme, stack::Scheme::IsoCount);
     EXPECT_EQ(back.stackSpec.numDramDies, 4);
     EXPECT_DOUBLE_EQ(back.solver.ambientCelsius, 37.5);
+    EXPECT_EQ(back.solver.kind, thermal::SolverKind::Multigrid);
+    EXPECT_EQ(back.solver.preconditioner,
+              thermal::Preconditioner::Jacobi);
     EXPECT_EQ(back.cpu.seed, 777u);
     EXPECT_EQ(back.electroThermalIterations, 2);
+}
+
+TEST(ConfigIo, SolverSelectionRoundTripsEveryCombination)
+{
+    for (const auto kind :
+         {thermal::SolverKind::CG, thermal::SolverKind::Multigrid}) {
+        for (const auto pre : {thermal::Preconditioner::Jacobi,
+                               thermal::Preconditioner::VerticalLine,
+                               thermal::Preconditioner::Multigrid}) {
+            SystemConfig cfg;
+            cfg.solver.kind = kind;
+            cfg.solver.preconditioner = pre;
+            std::istringstream in(formatSystemConfig(cfg));
+            const SystemConfig back = parseSystemConfig(in);
+            EXPECT_EQ(back.solver.kind, kind)
+                << thermal::toString(kind) << "/"
+                << thermal::toString(pre);
+            EXPECT_EQ(back.solver.preconditioner, pre)
+                << thermal::toString(kind) << "/"
+                << thermal::toString(pre);
+        }
+    }
+}
+
+TEST(ConfigIo, InvalidSolverChoiceIsATypedError)
+{
+    // Unlike the fatal() paths, a bad solver/precond choice must
+    // surface as a recoverable ErrorCode::Config (the service engine
+    // forwards it over the wire instead of tearing the daemon down),
+    // with the line number and the valid choices in the message.
+    {
+        std::istringstream in("solver = gauss-seidel\n");
+        try {
+            parseSystemConfig(in);
+            FAIL() << "expected Error";
+        } catch (const Error &e) {
+            EXPECT_EQ(e.code(), ErrorCode::Config);
+            const std::string msg = e.what();
+            EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+            EXPECT_NE(msg.find("gauss-seidel"), std::string::npos) << msg;
+            EXPECT_NE(msg.find("valid choices: cg, mg"),
+                      std::string::npos)
+                << msg;
+        }
+    }
+    {
+        std::istringstream in("\nprecond = ilu\n");
+        try {
+            parseSystemConfig(in);
+            FAIL() << "expected Error";
+        } catch (const Error &e) {
+            EXPECT_EQ(e.code(), ErrorCode::Config);
+            const std::string msg = e.what();
+            EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+            EXPECT_NE(msg.find("valid choices: jacobi, line, mg"),
+                      std::string::npos)
+                << msg;
+        }
+    }
 }
 
 TEST(ConfigIo, MissingFileFails)

@@ -20,6 +20,8 @@
 #include "runtime/metrics.hpp"
 #include "stack/stack.hpp"
 #include "thermal/grid_model.hpp"
+#include "thermal/mg/multigrid.hpp"
+#include "verify/dense_solver.hpp"
 #include "verify/scenario.hpp"
 
 namespace xylem::thermal {
@@ -209,7 +211,8 @@ TEST(SolverDeterminism, ThreadedSolvesBitIdenticalToSerial)
         const RandomScenario sc = randomScenario(seed);
         const auto stk = stack::buildStack(sc.spec);
         for (const Preconditioner pre :
-             {Preconditioner::Jacobi, Preconditioner::VerticalLine}) {
+             {Preconditioner::Jacobi, Preconditioner::VerticalLine,
+              Preconditioner::Multigrid}) {
             SolverOptions serial = sc.solver;
             serial.preconditioner = pre;
             serial.threads = 1;
@@ -227,6 +230,131 @@ TEST(SolverDeterminism, ThreadedSolvesBitIdenticalToSerial)
             expectBitIdentical(a.transient, b.transient, "transient");
         }
     }
+}
+
+/**
+ * Differential coverage for the multigrid subsystem: MG-preconditioned
+ * CG and the standalone V-cycle iteration against the dense Cholesky
+ * reference (no iterative code shared), cold and warm, over the seeded
+ * RandomScenario suite. The 1e-6 K bound matches the verify suite.
+ */
+TEST(MultigridEquivalence, MgCgMatchesDenseReferenceOnRandomSuite)
+{
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        RandomScenario sc = randomScenario(seed);
+        sc.solver.tolerance = 1e-10; // tight so 1e-6 K is honest
+        sc.solver.kind = SolverKind::CG;
+        sc.solver.preconditioner = Preconditioner::Multigrid;
+        const auto stk = stack::buildStack(sc.spec);
+        const auto power = buildPowerMap(stk, sc);
+        const GridModel model(stk, sc.solver);
+        const TemperatureField ref =
+            verify::referenceSolveSteady(model, power);
+
+        SolveStats cold_stats;
+        const TemperatureField cold =
+            model.solveSteady(power, &cold_stats);
+        EXPECT_LT(maxAbsDiff(cold.nodes(), ref.nodes()), 1e-6)
+            << "seed " << seed << " cold";
+
+        TemperatureField guess = ref;
+        for (auto &v : guess.nodes())
+            v += 0.25;
+        SolveStats warm_stats;
+        const TemperatureField warm =
+            model.solveSteady(power, &warm_stats, &guess);
+        EXPECT_LT(maxAbsDiff(warm.nodes(), ref.nodes()), 1e-6)
+            << "seed " << seed << " warm";
+
+        const TemperatureField stepped =
+            model.stepTransient(ref, power, 1e-3);
+        const TemperatureField stepped_ref =
+            verify::referenceStepTransient(model, ref, power, 1e-3);
+        EXPECT_LT(maxAbsDiff(stepped.nodes(), stepped_ref.nodes()), 1e-6)
+            << "seed " << seed << " transient";
+    }
+}
+
+TEST(MultigridEquivalence, StandaloneMgMatchesDenseReference)
+{
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+        RandomScenario sc = randomScenario(seed + 40);
+        sc.solver.tolerance = 1e-10;
+        sc.solver.kind = SolverKind::Multigrid;
+        sc.solver.preconditioner = Preconditioner::Multigrid;
+        const auto stk = stack::buildStack(sc.spec);
+        const auto power = buildPowerMap(stk, sc);
+        const GridModel model(stk, sc.solver);
+        const TemperatureField ref =
+            verify::referenceSolveSteady(model, power);
+        SolveStats stats;
+        const TemperatureField got = model.solveSteady(power, &stats);
+        EXPECT_LT(maxAbsDiff(got.nodes(), ref.nodes()), 1e-6)
+            << "seed " << sc.seed;
+    }
+}
+
+/**
+ * Coarsening edge cases. The thin/odd shapes are dense-comparable;
+ * 48×48 exceeds the dense node limit, so MG-CG is checked against
+ * line-CG at a tight shared tolerance instead (both must land on the
+ * same continuous answer well below 1e-6 K apart).
+ */
+TEST(MultigridEquivalence, OddAndThinGridsMatchDenseReference)
+{
+    struct Shape
+    {
+        std::size_t nx, ny;
+        int dies;
+    };
+    const Shape shapes[] = {{8, 8, 1}, {9, 7, 2}, {11, 5, 1}};
+    for (const Shape &s : shapes) {
+        RandomScenario sc = randomScenario(5);
+        sc.spec.gridNx = s.nx;
+        sc.spec.gridNy = s.ny;
+        sc.spec.numDramDies = s.dies;
+        // The scenario's deposits target the die count it was drawn
+        // with; clamp them to the overridden (smaller) stack.
+        for (auto &d : sc.deposits)
+            d.dramDie = std::min(d.dramDie, s.dies - 1);
+        sc.solver.tolerance = 1e-10;
+        sc.solver.preconditioner = Preconditioner::Multigrid;
+        const auto stk = stack::buildStack(sc.spec);
+        const auto power = buildPowerMap(stk, sc);
+        const GridModel model(stk, sc.solver);
+        const TemperatureField ref =
+            verify::referenceSolveSteady(model, power);
+        const TemperatureField got = model.solveSteady(power);
+        EXPECT_LT(maxAbsDiff(got.nodes(), ref.nodes()), 1e-6)
+            << s.nx << "x" << s.ny << " dies=" << s.dies;
+    }
+}
+
+TEST(MultigridEquivalence, FortyEightGridMatchesLineCgAtTightTolerance)
+{
+    RandomScenario sc = randomScenario(9);
+    sc.spec.gridNx = 48;
+    sc.spec.gridNy = 48;
+    sc.spec.numDramDies = 2;
+    for (auto &d : sc.deposits)
+        d.dramDie = std::min(d.dramDie, 1);
+    sc.solver.tolerance = 1e-11;
+    const auto stk = stack::buildStack(sc.spec);
+    const auto power = buildPowerMap(stk, sc);
+
+    SolverOptions mg_opts = sc.solver;
+    mg_opts.preconditioner = Preconditioner::Multigrid;
+    const GridModel mg_model(stk, mg_opts);
+    ASSERT_NE(mg_model.multigrid(), nullptr);
+    EXPECT_GE(mg_model.multigrid()->numLevels(), 3u);
+
+    SolverOptions line_opts = sc.solver;
+    line_opts.preconditioner = Preconditioner::VerticalLine;
+    const GridModel line_model(stk, line_opts);
+
+    const TemperatureField a = mg_model.solveSteady(power);
+    const TemperatureField b = line_model.solveSteady(power);
+    EXPECT_LT(maxAbsDiff(a.nodes(), b.nodes()), 1e-7);
 }
 
 TEST(SolverWorkspaceTest, CallerProvidedWorkspaceMatchesThreadLocal)

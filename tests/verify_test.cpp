@@ -137,13 +137,12 @@ TEST_P(DifferentialTest, CgMatchesDenseReference)
     const TemperatureField ref = referenceSolveSteady(jacobi, power);
 
     for (Preconditioner pre :
-         {Preconditioner::Jacobi, Preconditioner::VerticalLine}) {
+         {Preconditioner::Jacobi, Preconditioner::VerticalLine,
+          Preconditioner::Multigrid}) {
         SolverOptions opts = sc.solver;
         opts.preconditioner = pre;
         const GridModel model(stk, opts);
-        const char *name = pre == Preconditioner::Jacobi
-                               ? "jacobi"
-                               : "vertical-line";
+        const char *name = thermal::toString(pre);
 
         SolveStats cold_stats;
         const TemperatureField cold = model.solveSteady(power,
@@ -170,7 +169,7 @@ TEST_P(DifferentialTest, CgMatchesDenseReference)
     }
 }
 
-// 26 scenarios x 2 preconditioners x {cold, warm}.
+// 26 scenarios x 3 preconditioners x {cold, warm}.
 INSTANTIATE_TEST_SUITE_P(RandomScenarios, DifferentialTest,
                          ::testing::Range<std::uint64_t>(0, 26));
 
@@ -542,6 +541,7 @@ TEST(SolveStats, LinePreconditionerBeatsJacobiAndBothReport)
     const auto power = buildPowerMap(stk, sc);
 
     SolverOptions jac = sc.solver;
+    jac.preconditioner = Preconditioner::Jacobi; // not the MG default
     SolverOptions line = sc.solver;
     line.preconditioner = Preconditioner::VerticalLine;
     SolveStats js, ls;

@@ -156,6 +156,18 @@ class Args
         return fallback;
     }
 
+    /** `--name N` restricted to [lo, hi]; out-of-range fails fast. */
+    int
+    boundedIntOption(const std::string &name, int fallback, int lo,
+                     int hi)
+    {
+        const int v = intOption(name, fallback);
+        if (v < lo || v > hi)
+            die("invalid value for " + name + " (must be in [" +
+                std::to_string(lo) + ", " + std::to_string(hi) + "])");
+        return v;
+    }
+
     double
     numberOption(const std::string &name, double fallback)
     {

@@ -22,13 +22,20 @@
  *   --queue-capacity N in-process server queue bound (default 64)
  *   --verify N         scenarios to check bit-identical vs batch mode
  *                      (default 3; 0 disables)
+ *   --batch            also run the engine-level block-solve sweep:
+ *                      batches of 1..32 distinct steady requests on a
+ *                      64x64 stack through Engine::runBatch, reporting
+ *                      solves/s and speedup over batch-1, with every
+ *                      column verified bit-identical to Engine::run
+ *                      (emitted as "batch_sweep" in the JSON)
  *   --json [PATH]      summary JSON (default BENCH_service.json)
  *   --fast             smoke configuration (4 clients x 6 requests)
  *
  * Exit status: 0 on success; 1 when any transport error occurs, a
- * response is not bit-identical to batch mode, no dedup hit was
- * observed despite duplicate traffic, or requests were shed although
- * the offered load fits the queue bound.
+ * response is not bit-identical to batch mode, a sweep column diverges
+ * from its solo solve, no dedup hit was observed despite duplicate
+ * traffic, or requests were shed although the offered load fits the
+ * queue bound.
  */
 
 #include <algorithm>
@@ -46,6 +53,7 @@
 #include <unistd.h>
 
 #include "bench_util.hpp"
+#include "service/engine.hpp"
 #include "service/json.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
@@ -100,11 +108,15 @@ isShared(int r, int dup_percent)
 }
 
 std::string
-requestFrame(std::uint64_t id, const Scenario &s)
+requestFrame(std::uint64_t id, const Scenario &s,
+             const char *nx = kGridNx, const char *ny = kGridNy,
+             const char *precond = nullptr)
 {
     service::JsonValue::Object config;
-    config.emplace("gridNx", service::JsonValue(kGridNx));
-    config.emplace("gridNy", service::JsonValue(kGridNy));
+    config.emplace("gridNx", service::JsonValue(nx));
+    config.emplace("gridNy", service::JsonValue(ny));
+    if (precond)
+        config.emplace("precond", service::JsonValue(precond));
     service::JsonValue::Object req;
     req.emplace("id", service::JsonValue(static_cast<double>(id)));
     req.emplace("query", service::JsonValue("steady"));
@@ -272,6 +284,144 @@ verifyBitIdentical(const std::string &socket_path,
     return true;
 }
 
+/** One batch size of the engine-level block-solve sweep. */
+struct SweepPoint
+{
+    int batch = 0;
+    double nsPerSolve = 0.0;
+    double solvesPerS = 0.0;
+    double speedupVs1 = 0.0;
+    bool bitIdentical = true;
+};
+
+struct SweepResult
+{
+    /** Per-request cost of serial serving (Engine::run), reference. */
+    double soloNsPerSolve = 0.0;
+    std::vector<SweepPoint> points;
+    bool bitIdentical = true;
+};
+
+/** Every scalar and every core temperature, bit for bit. */
+bool
+summariesBitIdentical(const service::EvalSummary &a,
+                      const service::EvalSummary &b)
+{
+    const auto bitEqual = [](double x, double y) {
+        return std::memcmp(&x, &y, sizeof x) == 0;
+    };
+    if (!bitEqual(a.procHotspotC, b.procHotspotC) ||
+        !bitEqual(a.dramBottomHotspotC, b.dramBottomHotspotC) ||
+        !bitEqual(a.procPowerW, b.procPowerW) ||
+        !bitEqual(a.dramPowerW, b.dramPowerW) ||
+        !bitEqual(a.simSeconds, b.simSeconds))
+        return false;
+    if (a.cgIterations != b.cgIterations || a.converged != b.converged ||
+        a.escalation != b.escalation)
+        return false;
+    if (a.coreHotspotC.size() != b.coreHotspotC.size())
+        return false;
+    for (std::size_t i = 0; i < a.coreHotspotC.size(); ++i)
+        if (!bitEqual(a.coreHotspotC[i], b.coreHotspotC[i]))
+            return false;
+    return true;
+}
+
+/**
+ * The block-solve throughput sweep the batching server is built on:
+ * batches of K distinct steady requests (one 64x64 stack, distinct
+ * app/frequency per column) through Engine::runBatch, against a solo
+ * Engine::run reference pass that both warms the model/simulation
+ * caches and supplies the bit-identity baseline. speedup_vs_1 compares
+ * each batch size against the same block-solve path at K=1, isolating
+ * what amortising the coefficient and factorisation streams buys.
+ *
+ * The stack uses the line preconditioner: that is the iteration-heavy
+ * solver the blocked kernels target (hundreds of CG iterations whose
+ * cost is streaming stencil coefficients and cached Thomas factors,
+ * both shared across columns). MG-CG converges in a handful of
+ * iterations dominated by per-column V-cycle traffic, so its
+ * amortisation ceiling is structurally lower (~2x).
+ */
+SweepResult
+runBatchSweep(const std::vector<int> &sizes)
+{
+    const int max_k = *std::max_element(sizes.begin(), sizes.end());
+    service::Engine engine{service::EngineOptions{}};
+
+    std::vector<service::Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(max_k));
+    for (int k = 0; k < max_k; ++k) {
+        Scenario s;
+        s.app = kApps[static_cast<std::size_t>(k) % kApps.size()];
+        s.freqGHz = 2.0 + 0.05 * k;
+        reqs.push_back(service::parseRequest(requestFrame(
+            500000 + static_cast<std::uint64_t>(k), s, "64", "64",
+            "line")));
+    }
+
+    SweepResult result;
+    std::vector<service::EvalSummary> solo;
+    solo.reserve(reqs.size());
+    {
+        const auto t0 = Clock::now();
+        for (const service::Request &req : reqs)
+            solo.push_back(engine.run(req));
+        const double sec =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        result.soloNsPerSolve = sec / static_cast<double>(max_k) * 1e9;
+    }
+
+    for (const int batch : sizes) {
+        std::vector<const service::Request *> ptrs;
+        ptrs.reserve(static_cast<std::size_t>(batch));
+        for (int k = 0; k < batch; ++k)
+            ptrs.push_back(&reqs[static_cast<std::size_t>(k)]);
+        const auto t0 = Clock::now();
+        const auto outcomes = engine.runBatch(ptrs);
+        const double sec =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+
+        SweepPoint p;
+        p.batch = batch;
+        p.nsPerSolve = sec / static_cast<double>(batch) * 1e9;
+        p.solvesPerS = sec > 0.0 ? static_cast<double>(batch) / sec : 0.0;
+        for (int k = 0; k < batch; ++k) {
+            const auto &out = outcomes[static_cast<std::size_t>(k)];
+            if (!out.ok ||
+                !summariesBitIdentical(
+                    out.summary, solo[static_cast<std::size_t>(k)])) {
+                std::cerr << "batch sweep: column " << k << " of batch "
+                          << batch
+                          << (out.ok ? " diverges from its solo solve"
+                                     : " failed: " + out.message);
+                if (out.ok)
+                    std::cerr << " (batch "
+                              << service::formatDouble(
+                                     out.summary.procHotspotC)
+                              << " in " << out.summary.cgIterations
+                              << " iters vs solo "
+                              << service::formatDouble(
+                                     solo[static_cast<std::size_t>(k)]
+                                         .procHotspotC)
+                              << " in "
+                              << solo[static_cast<std::size_t>(k)]
+                                     .cgIterations
+                              << " iters)";
+                std::cerr << "\n";
+                p.bitIdentical = false;
+                result.bitIdentical = false;
+            }
+        }
+        result.points.push_back(p);
+    }
+    for (SweepPoint &p : result.points)
+        p.speedupVs1 = p.nsPerSolve > 0.0
+                           ? result.points.front().nsPerSolve / p.nsPerSolve
+                           : 0.0;
+    return result;
+}
+
 } // namespace
 
 int
@@ -286,6 +436,8 @@ main(int argc, char **argv)
         "  --jobs N           in-process server workers (default 4)\n"
         "  --queue-capacity N in-process queue bound (default 64)\n"
         "  --verify N         bit-identity scenarios (default 3)\n"
+        "  --batch            engine-level block-solve sweep "
+        "(batch 1..32 on 64x64)\n"
         "  --json [PATH]      summary JSON "
         "(default BENCH_service.json)\n"
         "  --fast             smoke configuration\n");
@@ -304,6 +456,7 @@ main(int argc, char **argv)
     const int jobs = args.intOption("--jobs", 4);
     const int queue_capacity = args.intOption("--queue-capacity", 64);
     const int verify_n = args.intOption("--verify", 3);
+    const bool want_batch_sweep = args.flag("--batch");
     std::string json_path;
     const bool want_json =
         args.optionOrDefault("--json", json_path, "BENCH_service.json");
@@ -399,6 +552,28 @@ main(int argc, char **argv)
         server_thread.join();
     }
 
+    SweepResult sweep;
+    if (want_batch_sweep) {
+        std::cout << "\nblock-solve sweep (64x64 stack, distinct "
+                     "scenarios per column):\n";
+        try {
+            sweep = runBatchSweep({1, 2, 4, 8, 16, 32});
+        } catch (const Error &e) {
+            std::cerr << "batch sweep failed: " << e.what() << "\n";
+            return 1;
+        }
+        std::cout << "  solo (Engine::run): "
+                  << Table::num(sweep.soloNsPerSolve / 1e6, 1)
+                  << " ms/solve\n";
+        for (const SweepPoint &p : sweep.points)
+            std::cout << "  batch " << p.batch << ": "
+                      << Table::num(p.nsPerSolve / 1e6, 1)
+                      << " ms/solve, " << Table::num(p.solvesPerS, 2)
+                      << " solves/s, " << Table::num(p.speedupVs1, 2)
+                      << "x vs batch-1, bit-identical "
+                      << (p.bitIdentical ? "yes" : "NO") << "\n";
+    }
+
     std::cout << "\nresponses: " << total.ok << " ok, "
               << total.overloaded << " overloaded, " << total.errors
               << " errors, " << total.transport_failures
@@ -430,8 +605,30 @@ main(int argc, char **argv)
              << ",\"p99_s\":" << service::formatDouble(p99)
              << ",\"dedup_hits\":" << dedup_hits
              << ",\"shed\":" << shed << ",\"bit_identical\":"
-             << (bit_identical ? "true" : "false")
-             << ",\"metrics\":" << metrics_json << "}";
+             << (bit_identical ? "true" : "false");
+        if (want_batch_sweep) {
+            json << ",\"batch_sweep\":{\"gridNx\":64,\"gridNy\":64"
+                 << ",\"precond\":\"line\""
+                 << ",\"solo_ns_per_solve\":"
+                 << service::formatDouble(sweep.soloNsPerSolve)
+                 << ",\"bit_identical\":"
+                 << (sweep.bitIdentical ? "true" : "false")
+                 << ",\"points\":[";
+            for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+                const SweepPoint &p = sweep.points[i];
+                json << (i ? "," : "") << "{\"batch\":" << p.batch
+                     << ",\"ns_per_solve\":"
+                     << service::formatDouble(p.nsPerSolve)
+                     << ",\"solves_per_s\":"
+                     << service::formatDouble(p.solvesPerS)
+                     << ",\"speedup_vs_1\":"
+                     << service::formatDouble(p.speedupVs1)
+                     << ",\"bit_identical\":"
+                     << (p.bitIdentical ? "true" : "false") << "}";
+            }
+            json << "]}";
+        }
+        json << ",\"metrics\":" << metrics_json << "}";
         std::ofstream out(json_path, std::ios::trunc);
         if (out) {
             out << json.str() << "\n";
@@ -449,6 +646,8 @@ main(int argc, char **argv)
     if (total.transport_failures > 0 || total.errors > 0)
         return 1;
     if (!bit_identical)
+        return 1;
+    if (want_batch_sweep && !sweep.bitIdentical)
         return 1;
     if (clients <= queue_capacity && total.overloaded > 0) {
         std::cerr << "unexpected shedding: " << total.overloaded

@@ -24,6 +24,10 @@
  *                   (jacobi, line, mg); unknown values fail fast
  *   --solver S,..   keep only setups with this outer iteration
  *                   (cg, mg); unknown values fail fast
+ *   --rhs N         columns in the batched steady benchmark (default
+ *                   8, range 1..kMaxBatchRhs); its ns/solve and
+ *                   solves/s are per column, so the speedup over
+ *                   steady_cold is the block-solve amortization
  *   --fast          smoke configuration: 32-grid only, small budget
  */
 
@@ -85,6 +89,7 @@ struct BenchResult
     int threads = 1;
     int reps = 0;
     int mgLevels = 0;       ///< multigrid hierarchy depth (0 = no MG)
+    int rhs = 1;            ///< columns per solve (batched steady)
     double nsPerSolve = 0.0;
     int cgIterations = 0;   ///< per solve (0 for matvec)
 
@@ -157,6 +162,8 @@ main(int argc, char **argv)
         "  --setups A,B,.. solver setups (jacobi, line, mgcg, mg)\n"
         "  --precond P,..  filter by preconditioner (jacobi, line, mg)\n"
         "  --solver S,..   filter by outer iteration (cg, mg)\n"
+        "  --rhs N         batched-steady columns (1.."
+        "64, default 8)\n"
         "  --fast          smoke configuration\n");
     std::vector<std::size_t> grids = {32, 64, 128};
     double budget = 1.0;
@@ -183,6 +190,8 @@ main(int argc, char **argv)
         "--precond", {"jacobi", "line", "mg"}, {});
     const auto solver_filter =
         args.choiceListOption("--solver", {"cg", "mg"}, {});
+    const int rhs = args.boundedIntOption(
+        "--rhs", 8, 1, static_cast<int>(thermal::kMaxBatchRhs));
     args.finish();
 
     const auto keep = [&](const SolverSetup &s) {
@@ -262,11 +271,42 @@ main(int argc, char **argv)
                 return 0;
             });
 
+            // Batched steady solve: `rhs` distinct power maps through
+            // one lockstep block solve — the daemon's burst-serving
+            // path. ns/solve is per column, so the ratio to
+            // steady_cold is the block-solve amortization.
+            std::vector<thermal::PowerMap> batch_powers;
+            batch_powers.reserve(static_cast<std::size_t>(rhs));
+            for (int k = 0; k < rhs; ++k) {
+                thermal::PowerMap p = power;
+                p.deposit(stk.procMetal, stk.grid.extent(),
+                          0.5 + 0.25 * k);
+                batch_powers.push_back(std::move(p));
+            }
+            std::vector<const thermal::PowerMap *> batch_ptrs;
+            for (const auto &p : batch_powers)
+                batch_ptrs.push_back(&p);
+            thermal::SolverWorkspace batch_ws;
+            std::vector<thermal::SolveStats> batch_stats;
+            BenchResult batch = run(
+                "steady_batch" + std::to_string(rhs) + suffix, budget,
+                [&] {
+                    const auto fields = model.solveSteadyBatch(
+                        batch_ptrs, &batch_stats, nullptr, &batch_ws);
+                    (void)fields;
+                    return batch_stats.empty()
+                               ? 0
+                               : batch_stats.front().iterations;
+                });
+            batch.nsPerSolve /= rhs; // per column
+            batch.rhs = rhs;
+
             const int mg_levels =
                 model.multigrid()
                     ? static_cast<int>(model.multigrid()->numLevels())
                     : 0;
-            for (BenchResult *r : {&cold, &warm, &transient, &matvec}) {
+            for (BenchResult *r :
+                 {&cold, &warm, &transient, &matvec, &batch}) {
                 r->grid = g;
                 r->solver = thermal::toString(setup.kind);
                 r->precond = thermal::toString(setup.precond);
@@ -278,10 +318,12 @@ main(int argc, char **argv)
             warm.mode = "warm";
             transient.mode = "transient";
             matvec.mode = "matvec";
+            batch.mode = "batch";
             results.push_back(cold);
             results.push_back(warm);
             results.push_back(transient);
             results.push_back(matvec);
+            results.push_back(batch);
         }
     }
 
@@ -311,6 +353,7 @@ main(int argc, char **argv)
                  << "\",\"nodes\":" << r.nodes
                  << ",\"threads\":" << r.threads << ",\"reps\":" << r.reps
                  << ",\"mg_levels\":" << r.mgLevels
+                 << ",\"rhs\":" << r.rhs
                  << ",\"ns_per_solve\":" << r.nsPerSolve
                  << ",\"solves_per_s\":" << r.solvesPerSecond()
                  << ",\"cg_iterations\":" << r.cgIterations << "}";

@@ -69,19 +69,31 @@ LatencyHistogram::Snapshot::quantile(double q) const
         return 0.0;
     q = std::clamp(q, 0.0, 1.0);
     // Rank of the q-th observation, 1-based.
-    const auto rank = static_cast<std::uint64_t>(
-        std::ceil(q * static_cast<double>(total)));
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(
+            std::ceil(q * static_cast<double>(total))),
+        1);
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < buckets.size(); ++i) {
         seen += buckets[i];
-        if (seen >= std::max<std::uint64_t>(rank, 1)) {
+        if (seen >= rank) {
             if (i == 0)
                 return kMinSeconds;
             if (i == buckets.size() - 1)
                 return bucketUpperBound(kBuckets);
-            // Geometric midpoint of [lower, upper).
-            return std::sqrt(bucketUpperBound(static_cast<int>(i) - 1) *
-                             bucketUpperBound(static_cast<int>(i)));
+            // Interpolate geometrically by the rank's fractional
+            // position inside [lower, upper): quantiles sharing a
+            // bucket (p95 vs p99 of a tight distribution) still come
+            // out distinct instead of collapsing to one midpoint.
+            const std::uint64_t before = seen - buckets[i];
+            const double frac = std::clamp(
+                (static_cast<double>(rank - before) - 0.5) /
+                    static_cast<double>(buckets[i]),
+                0.0, 1.0);
+            const double lower =
+                bucketUpperBound(static_cast<int>(i) - 1);
+            const double upper = bucketUpperBound(static_cast<int>(i));
+            return lower * std::pow(upper / lower, frac);
         }
     }
     return bucketUpperBound(kBuckets);

@@ -145,12 +145,34 @@ Engine::runOnce(const Request &req, core::StackSystem &system)
     return out;
 }
 
+TaskContext
+Engine::contextForRung(int rung) const
+{
+    TaskContext ctx;
+    ctx.escalation = rung;
+    ctx.strictSolver = opts_.maxRetries > 0;
+    if (opts_.taskTimeoutSeconds > 0.0) {
+        ctx.hasDeadline = true;
+        ctx.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(
+                               opts_.taskTimeoutSeconds));
+    }
+    return ctx;
+}
+
 EvalSummary
 Engine::run(const Request &req)
 {
     auto slot = slotFor(req);
     std::lock_guard<std::mutex> guard(slot->mutex);
+    return runLadder(req, *slot);
+}
 
+EvalSummary
+Engine::runLadder(const Request &req, Slot &slot)
+{
     auto &retries = runtime::Metrics::global().counter("service.retries");
     auto &escalations =
         runtime::Metrics::global().counter("service.escalations");
@@ -158,25 +180,14 @@ Engine::run(const Request &req)
     int rung = 0;
     int retries_left = opts_.maxRetries;
     for (;;) {
-        TaskContext ctx;
-        ctx.escalation = rung;
-        ctx.strictSolver = resilient;
-        if (opts_.taskTimeoutSeconds > 0.0) {
-            ctx.hasDeadline = true;
-            ctx.deadline =
-                std::chrono::steady_clock::now() +
-                std::chrono::duration_cast<
-                    std::chrono::steady_clock::duration>(
-                    std::chrono::duration<double>(
-                        opts_.taskTimeoutSeconds));
-        }
         try {
+            TaskContext ctx = contextForRung(rung);
             ScopedTaskContext scope(ctx);
             // Determinism contract: never inherit a warm start from a
             // previous request, so this response is bit-identical to
             // the same query run cold in a batch binary.
-            slot->system.clearWarmStart();
-            EvalSummary out = runOnce(req, slot->system);
+            slot.system.clearWarmStart();
+            EvalSummary out = runOnce(req, slot.system);
             out.escalation = rung;
             return out;
         } catch (const Error &e) {
@@ -202,6 +213,88 @@ Engine::run(const Request &req)
             throw;
         }
     }
+}
+
+std::vector<Engine::BatchOutcome>
+Engine::runBatch(const std::vector<const Request *> &reqs)
+{
+    std::vector<BatchOutcome> out(reqs.size());
+    if (reqs.empty())
+        return out;
+    XYLEM_ASSERT(reqs.size() <= thermal::kMaxBatchRhs,
+                 "runBatch: ", reqs.size(),
+                 " requests exceed the block-solve limit of ",
+                 thermal::kMaxBatchRhs);
+    auto slot = slotFor(*reqs.front());
+    std::lock_guard<std::mutex> guard(slot->mutex);
+    auto &metrics = runtime::Metrics::global();
+
+    // Per-request validation up front: a bad app name is that one
+    // request's typed Config error, never the batch's.
+    std::vector<core::StackSystem::SteadyItem> items;
+    std::vector<std::size_t> live; // outcome index of each item
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        const Request &req = *reqs[i];
+        XYLEM_ASSERT(req.query == QueryType::Steady,
+                     "runBatch: only Steady queries batch");
+        XYLEM_ASSERT(req.configText == reqs.front()->configText,
+                     "runBatch: mixed configs in one batch");
+        try {
+            items.push_back(
+                {&workloads::profileByName(req.app), req.freqGHz});
+            live.push_back(i);
+        } catch (const FatalError &e) {
+            out[i].ok = false;
+            out[i].code = ErrorCode::Config;
+            out[i].message = e.what();
+        }
+    }
+    if (items.empty())
+        return out;
+
+    // Fast path: the whole batch through one block solve on the
+    // ladder's first rung (strict, so a non-converged column raises
+    // instead of silently returning a bad field).
+    try {
+        TaskContext ctx = contextForRung(0);
+        ScopedTaskContext scope(ctx);
+        slot->system.clearWarmStart();
+        std::vector<core::EvalResult> evals =
+            slot->system.evaluateSteadyBatch(items);
+        metrics.counter("service.batch_solves").increment();
+        metrics.counter("service.batched_requests")
+            .add(static_cast<std::uint64_t>(items.size()));
+        for (std::size_t j = 0; j < live.size(); ++j) {
+            BatchOutcome &o = out[live[j]];
+            fillFromEval(o.summary, evals[j]);
+            o.summary.escalation = 0;
+            o.ok = true;
+        }
+        return out;
+    } catch (const Error &) {
+        metrics.counter("service.batch_fallbacks").increment();
+    } catch (const std::exception &) {
+        metrics.counter("service.batch_fallbacks").increment();
+    }
+
+    // Fallback: the full per-request resilience ladder, serially —
+    // escalation/retry semantics identical to solo run(), and one
+    // pathological member cannot take healthy ones down with it.
+    for (const std::size_t i : live) {
+        try {
+            out[i].summary = runLadder(*reqs[i], *slot);
+            out[i].ok = true;
+        } catch (const Error &e) {
+            out[i].ok = false;
+            out[i].code = e.code();
+            out[i].message = e.what();
+        } catch (const std::exception &e) {
+            out[i].ok = false;
+            out[i].code = ErrorCode::Unknown;
+            out[i].message = e.what();
+        }
+    }
+    return out;
 }
 
 } // namespace xylem::service

@@ -28,6 +28,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/task_context.hpp"
 #include "service/protocol.hpp"
 #include "xylem/system.hpp"
 
@@ -56,6 +57,29 @@ class Engine
      */
     EvalSummary run(const Request &req);
 
+    /** Per-request result of runBatch (never throws per batch). */
+    struct BatchOutcome
+    {
+        bool ok = false;
+        EvalSummary summary;
+        ErrorCode code = ErrorCode::Unknown;
+        std::string message;
+    };
+
+    /**
+     * Serve 1..kMaxBatchRhs Steady requests against ONE resident
+     * system (all must share configText) through a single multi-RHS
+     * block solve. The fast path runs the whole batch on the ladder's
+     * first rung; if the block solve raises, the batch falls back to
+     * the full per-request ladder serially, so resilience semantics
+     * match run() exactly. Outcomes are positional; a request with a
+     * bad app name gets its own Config outcome without poisoning the
+     * batch. Every response is bit-identical to run() on the same
+     * request (the batch members solve cold, like every request).
+     */
+    std::vector<BatchOutcome>
+    runBatch(const std::vector<const Request *> &reqs);
+
     /** Resident systems right now (telemetry/tests). */
     std::size_t residentSystems() const;
 
@@ -72,6 +96,9 @@ class Engine
 
     std::shared_ptr<Slot> slotFor(const Request &req);
     EvalSummary runOnce(const Request &req, core::StackSystem &system);
+    /** The retry/escalation ladder; caller holds the slot's mutex. */
+    EvalSummary runLadder(const Request &req, Slot &slot);
+    TaskContext contextForRung(int rung) const;
 
     EngineOptions opts_;
     mutable std::mutex mutex_;

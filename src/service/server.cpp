@@ -207,6 +207,7 @@ Server::workerLoop()
 {
     for (;;) {
         Job job;
+        std::vector<Job> extras;
         {
             std::unique_lock<std::mutex> lock(queue_mutex_);
             queue_cv_.wait(lock, [this] {
@@ -216,8 +217,42 @@ Server::workerLoop()
                 return; // workers_exit_ and the queue is drained
             job = std::move(queue_.front());
             queue_.pop_front();
+            // Batch formation: drain the queued Steady jobs against
+            // the same config text (the batch.* policy travels inside
+            // the config) into one multi-RHS block solve. Jobs for
+            // other configs or query kinds stay queued — a mixed
+            // burst splits, it never cross-batches.
+            const core::BatchOptions &policy = job.req.config.batch;
+            if (job.req.query == QueryType::Steady && policy.enabled &&
+                policy.maxRhs > 1) {
+                const std::size_t cap = std::min(
+                    static_cast<std::size_t>(policy.maxRhs),
+                    thermal::kMaxBatchRhs);
+                for (auto it = queue_.begin();
+                     it != queue_.end() && extras.size() + 1 < cap;) {
+                    if (it->req.query == QueryType::Steady &&
+                        it->req.configText == job.req.configText) {
+                        extras.push_back(std::move(*it));
+                        it = queue_.erase(it);
+                    } else {
+                        ++it;
+                    }
+                }
+            }
         }
-        process(std::move(job));
+        if (extras.empty()) {
+            process(std::move(job));
+            continue;
+        }
+        std::vector<Job> jobs;
+        jobs.reserve(extras.size() + 1);
+        jobs.push_back(std::move(job));
+        for (Job &e : extras)
+            jobs.push_back(std::move(e));
+        runtime::Metrics::global()
+            .counter("service.batches_formed")
+            .increment();
+        processBatch(std::move(jobs));
     }
 }
 
@@ -277,6 +312,107 @@ Server::process(Job job)
     for (const Job &follower : batch->followers)
         respond(follower, ok, summary, code, message, solve_seconds,
                 /*dedup=*/true);
+}
+
+void
+Server::processBatch(std::vector<Job> jobs)
+{
+    auto &metrics = runtime::Metrics::global();
+    for (Job &j : jobs) {
+        j.queueSeconds = secondsSince(j.admitted);
+        metrics.histogram("service.queue_seconds")
+            .observe(j.queueSeconds);
+    }
+
+    // Dedup folds into batch formation: a job whose scenarioKey
+    // matches an earlier batch member parks on that member; one that
+    // matches a solve in flight on another worker parks there — the
+    // same leader/follower flow as process(), per member.
+    struct Member
+    {
+        Job job;
+        std::string key;
+        std::vector<Job> local; ///< followers from inside this batch
+    };
+    std::vector<Member> members;
+    members.reserve(jobs.size());
+    for (Job &j : jobs) {
+        const std::string key = scenarioKey(j.req);
+        Member *dup = nullptr;
+        for (Member &m : members)
+            if (m.key == key) {
+                dup = &m;
+                break;
+            }
+        if (dup) {
+            dup->local.push_back(std::move(j));
+            metrics.counter("service.dedup_hits").increment();
+            continue;
+        }
+        bool parked = false;
+        {
+            std::lock_guard<std::mutex> lock(inflight_mutex_);
+            auto it = inflight_.find(key);
+            if (it != inflight_.end()) {
+                it->second->followers.push_back(std::move(j));
+                metrics.counter("service.dedup_hits").increment();
+                parked = true;
+            } else {
+                inflight_.emplace(key, std::make_shared<Batch>());
+            }
+        }
+        if (!parked)
+            members.push_back(Member{std::move(j), key, {}});
+    }
+    if (members.empty())
+        return;
+
+    std::vector<const Request *> reqs;
+    reqs.reserve(members.size());
+    for (const Member &m : members)
+        reqs.push_back(&m.job.req);
+    const auto solve_start = std::chrono::steady_clock::now();
+    std::vector<Engine::BatchOutcome> outcomes;
+    try {
+        outcomes = engine_.runBatch(reqs);
+    } catch (const Error &e) {
+        Engine::BatchOutcome failed;
+        failed.code = e.code();
+        failed.message = e.what();
+        outcomes.assign(members.size(), failed);
+    } catch (const std::exception &e) {
+        Engine::BatchOutcome failed;
+        failed.message = e.what();
+        outcomes.assign(members.size(), failed);
+    }
+    const double solve_seconds = secondsSince(solve_start);
+
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        const Member &m = members[i];
+        const Engine::BatchOutcome &o = outcomes[i];
+        // Per-member telemetry so request accounting matches serial
+        // serving (one observation and one solves tick per request).
+        metrics.histogram("service.solve_seconds")
+            .observe(solve_seconds);
+        metrics
+            .counter(o.ok ? "service.solves" : "service.solve_failures")
+            .increment();
+        std::shared_ptr<Batch> batch;
+        {
+            std::lock_guard<std::mutex> lock(inflight_mutex_);
+            auto it = inflight_.find(m.key);
+            batch = it->second;
+            inflight_.erase(it);
+        }
+        respond(m.job, o.ok, o.summary, o.code, o.message,
+                solve_seconds, /*dedup=*/false);
+        for (const Job &f : m.local)
+            respond(f, o.ok, o.summary, o.code, o.message,
+                    solve_seconds, /*dedup=*/true);
+        for (const Job &f : batch->followers)
+            respond(f, o.ok, o.summary, o.code, o.message,
+                    solve_seconds, /*dedup=*/true);
+    }
 }
 
 void

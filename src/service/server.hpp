@@ -19,6 +19,16 @@
  * the engine clears warm-start state per request, a deduped response
  * is bit-identical to the solo one.
  *
+ * Batch formation (DESIGN.md §15). A worker that picks up a Steady
+ * job additionally drains the queued Steady jobs against the same
+ * config text (up to the config's batch.maxRhs, when batch.enabled)
+ * and answers them all through one Engine::runBatch multi-RHS block
+ * solve. Distinct-scenario requests that previously serialised on the
+ * resident system's lock now share one solve; jobs for other configs
+ * or query kinds stay queued — a mixed burst splits, it never
+ * cross-batches. Responses stay byte-identical (up to telemetry) to
+ * serial serving because every batch column solves cold in lockstep.
+ *
  * Graceful drain. requestStop() — or SIGINT/SIGTERM via the shared
  * ShutdownSignal — makes the accept loop exit, after which run():
  * closes the listener and unlinks the socket, joins the connection
@@ -120,6 +130,12 @@ class Server
                      const std::string &frame);
     void workerLoop();
     void process(Job job);
+    /**
+     * Serve a leader plus the same-config Steady jobs drained behind
+     * it through one Engine::runBatch block solve; responses are
+     * byte-identical (up to telemetry) to serving each serially.
+     */
+    void processBatch(std::vector<Job> jobs);
     void respond(const Job &job, bool ok, const EvalSummary &summary,
                  ErrorCode code, const std::string &message,
                  double solve_seconds, bool dedup);

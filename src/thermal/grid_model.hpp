@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "stack/stack.hpp"
+#include "thermal/multivector.hpp"
 #include "thermal/power_map.hpp"
 #include "thermal/temperature.hpp"
 
@@ -135,6 +136,12 @@ class SolverWorkspace
     std::vector<double> line_cp_, line_inv_denom_, periph_inv_diag_;
     // Per-block partial sums of the deterministic reductions.
     std::vector<double> block_sums_;
+    // Multi-RHS buffers (numNodes() × batch columns, node-major
+    // interleaved; see MultiVector) and the per-block × per-column
+    // reduction partials. Sized on first batch solve.
+    std::vector<double> bb_, bx_, br_, bz_, bp_, bq_;
+    std::vector<double> batch_block_sums_;
+    std::size_t batch_cols_ = 0; ///< columns the batch buffers hold
     // Lazily created intra-solve pool (threads > 1 only).
     std::unique_ptr<runtime::ThreadPool> pool_;
     int pool_threads_ = 0;
@@ -195,6 +202,38 @@ class GridModel
                                  = nullptr,
                                  SolverWorkspace *workspace
                                  = nullptr) const;
+
+    /**
+     * Solve the steady state for a block of power maps in one
+     * multi-RHS sweep (DESIGN.md §15). Every column's result is
+     * bit-identical to the solo solveSteady of the same power map
+     * with the same (optional) warm start: the batched kernels visit
+     * nodes in the solo order with the column loop innermost, and a
+     * column freezes the moment its own convergence test passes, so
+     * per-column iteration counts match too.
+     *
+     * `powers` holds 1..kMaxBatchRhs maps (an empty batch returns an
+     * empty vector; a larger one raises ErrorCode::Config).
+     * `warm_starts`, when given, must match `powers` in size; null
+     * entries mean a cold start for that column. SolverKind::Multigrid
+     * (standalone V-cycle iteration) runs the columns serially — only
+     * the CG kinds have a blocked path.
+     */
+    std::vector<TemperatureField>
+    solveSteadyBatch(const std::vector<const PowerMap *> &powers,
+                     std::vector<SolveStats> *stats = nullptr,
+                     const std::vector<const TemperatureField *>
+                     *warm_starts = nullptr,
+                     SolverWorkspace *workspace = nullptr) const;
+
+    /**
+     * Apply the conductance matrix to every column: Y = G X
+     * (+ extra_diag .* X). Exposed for the differential tests that
+     * prove the blocked matvec matches per-column apply() bitwise.
+     */
+    void applyBlocked(const MultiVector &x, MultiVector &y,
+                      const std::vector<double> *extra_diag
+                      = nullptr) const;
 
     /**
      * Advance a transient solution by `dt` seconds with implicit
@@ -314,6 +353,42 @@ class GridModel
      */
     double applyLineCached(const double *r, double *z, SolverWorkspace &w,
                            runtime::ThreadPool *pool) const;
+
+    // --- multi-RHS (batched) kernels, grid_model_batch.cpp ----------
+    // All operate on node-major interleaved blocks of `cols` columns
+    // and replicate the corresponding solo kernel's per-column
+    // arithmetic order exactly (the bit-identity contract).
+
+    /** Size the workspace's batch buffers for `cols` columns. */
+    void prepareBatch(SolverWorkspace &w, std::size_t cols) const;
+
+    /**
+     * Y = (G + extra_diag) X, blocked. With `dot_out` non-null, also
+     * the per-column dot X·Y (cols values) via `block_sums`
+     * (nblocks × cols partials).
+     */
+    void fusedApplyMulti(const double *x, double *y, std::size_t cols,
+                         const double *extra_diag,
+                         runtime::ThreadPool *pool, double *dot_out,
+                         double *block_sums) const;
+
+    /**
+     * Z = M⁻¹ R per column from the cached line factorisation; when
+     * `rz_out` is non-null, the per-column r·z reductions land there.
+     */
+    void applyLineCachedMulti(const double *r, double *z,
+                              std::size_t cols, SolverWorkspace &w,
+                              runtime::ThreadPool *pool,
+                              double *rz_out) const;
+
+    /**
+     * Lockstep multi-RHS CG on (G + extra_diag) X = B using the
+     * workspace's batch buffers (w.bb_/w.bx_ as input/output).
+     * `x_is_zero[k]` marks cold columns. Fills `stats[k]` per column.
+     */
+    void solveMulti(std::size_t cols, const std::vector<double> *extra_diag,
+                    SolverWorkspace &w, const bool *x_is_zero,
+                    SolveStats *stats) const;
 
     void fillRhs(const PowerMap &power, double *b) const;
 

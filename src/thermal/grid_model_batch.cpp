@@ -1,0 +1,932 @@
+/**
+ * @file
+ * The multi-RHS (batched) solver path of GridModel (DESIGN.md §15).
+ *
+ * Every kernel here is the column-blocked twin of a solo kernel in
+ * grid_model.cpp, operating on node-major interleaved blocks
+ * (MultiVector layout: entry (i, k) at data[i*K + k]) with the column
+ * loop innermost. The contract is bit-identity per column: a batched
+ * kernel visits nodes, blocks, and reduction partials in exactly the
+ * solo order, and every per-column expression mirrors the solo
+ * expression's operand order and parenthesisation — so column k of a
+ * batch solve is bit-for-bit the solo solve of right-hand side k,
+ * at any batch size and any thread count. The column loop is what
+ * vectorises (XYLEM_SIMD_LOOP): SIMD lanes are independent RHS, which
+ * never reorders a single column's arithmetic.
+ *
+ * The CG driver runs the columns in lockstep: one fused matvec and
+ * one preconditioner application serve all K columns per iteration
+ * (reading the coefficient streams once instead of K times — the
+ * bandwidth amortisation that makes batching pay), while each column
+ * keeps its own scalar recurrences (alpha, beta, residual norms) and
+ * freezes the moment its own convergence test passes, so per-column
+ * iteration counts match solo too.
+ */
+
+#include "thermal/grid_model.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/task_context.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/thread_pool.hpp"
+#include "thermal/mg/multigrid.hpp"
+#include "thermal/simd.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define XYLEM_RESTRICT __restrict__
+#else
+#define XYLEM_RESTRICT
+#endif
+
+namespace xylem::thermal {
+
+namespace {
+
+// The same fixed block sizes as the solo kernels (grid_model.cpp):
+// the block structure depends only on the problem size, and every
+// reduction sums per-block partials serially in ascending block
+// order, per column.
+constexpr std::size_t kDotBlock = 4096;
+constexpr std::size_t kRowChunk = 16;
+constexpr std::size_t kColChunk = 1024;
+
+std::size_t
+blockCount(std::size_t n, std::size_t block)
+{
+    return (n + block - 1) / block;
+}
+
+using runtime::ThreadPool;
+
+/** R = B (cold start); per-column Σ b² into out[0..K). */
+void
+blockedCopyResidualMulti(const double *XYLEM_RESTRICT b,
+                         double *XYLEM_RESTRICT r, std::size_t n,
+                         std::size_t K, ThreadPool *pool, double *bs,
+                         double *out)
+{
+    const std::size_t nb = blockCount(n, kDotBlock);
+    ThreadPool::parallelFor(pool, nb, [&](std::size_t blk) {
+        const std::size_t i0 = blk * kDotBlock;
+        const std::size_t i1 = std::min(n, i0 + kDotBlock);
+        double s[kMaxBatchRhs] = {};
+        for (std::size_t i = i0; i < i1; ++i) {
+            const std::size_t base = i * K;
+            XYLEM_SIMD_LOOP
+            for (std::size_t k = 0; k < K; ++k) {
+                const double v = b[base + k];
+                r[base + k] = v;
+                s[k] += v * v;
+            }
+        }
+        for (std::size_t k = 0; k < K; ++k)
+            bs[blk * K + k] = s[k];
+    });
+    for (std::size_t k = 0; k < K; ++k)
+        out[k] = 0.0;
+    for (std::size_t blk = 0; blk < nb; ++blk)
+        for (std::size_t k = 0; k < K; ++k)
+            out[k] += bs[blk * K + k];
+}
+
+/** R = B - Q (warm start); per-column Σ b² into out[0..K). */
+void
+blockedInitResidualMulti(const double *XYLEM_RESTRICT b,
+                         const double *XYLEM_RESTRICT q,
+                         double *XYLEM_RESTRICT r, std::size_t n,
+                         std::size_t K, ThreadPool *pool, double *bs,
+                         double *out)
+{
+    const std::size_t nb = blockCount(n, kDotBlock);
+    ThreadPool::parallelFor(pool, nb, [&](std::size_t blk) {
+        const std::size_t i0 = blk * kDotBlock;
+        const std::size_t i1 = std::min(n, i0 + kDotBlock);
+        double s[kMaxBatchRhs] = {};
+        for (std::size_t i = i0; i < i1; ++i) {
+            const std::size_t base = i * K;
+            XYLEM_SIMD_LOOP
+            for (std::size_t k = 0; k < K; ++k) {
+                r[base + k] = b[base + k] - q[base + k];
+                s[k] += b[base + k] * b[base + k];
+            }
+        }
+        for (std::size_t k = 0; k < K; ++k)
+            bs[blk * K + k] = s[k];
+    });
+    for (std::size_t k = 0; k < K; ++k)
+        out[k] = 0.0;
+    for (std::size_t blk = 0; blk < nb; ++blk)
+        for (std::size_t k = 0; k < K; ++k)
+            out[k] += bs[blk * K + k];
+}
+
+/** Per-column Σ v² into out[0..K). */
+void
+blockedSumSqMulti(const double *XYLEM_RESTRICT v, std::size_t n,
+                  std::size_t K, ThreadPool *pool, double *bs, double *out)
+{
+    const std::size_t nb = blockCount(n, kDotBlock);
+    ThreadPool::parallelFor(pool, nb, [&](std::size_t blk) {
+        const std::size_t i0 = blk * kDotBlock;
+        const std::size_t i1 = std::min(n, i0 + kDotBlock);
+        double s[kMaxBatchRhs] = {};
+        for (std::size_t i = i0; i < i1; ++i) {
+            const std::size_t base = i * K;
+            XYLEM_SIMD_LOOP
+            for (std::size_t k = 0; k < K; ++k)
+                s[k] += v[base + k] * v[base + k];
+        }
+        for (std::size_t k = 0; k < K; ++k)
+            bs[blk * K + k] = s[k];
+    });
+    for (std::size_t k = 0; k < K; ++k)
+        out[k] = 0.0;
+    for (std::size_t blk = 0; blk < nb; ++blk)
+        for (std::size_t k = 0; k < K; ++k)
+            out[k] += bs[blk * K + k];
+}
+
+/**
+ * Per active column k: x += α_k p; r -= α_k q; the new Σ r² into
+ * out[0..K). Frozen columns (active[k] false) are left untouched, but
+ * their residual is re-summed in the same fixed order — bit-identical
+ * to the value at freeze time — so out[] is valid for every column.
+ * `active == nullptr` means all columns are active (the fast path the
+ * column loop vectorises).
+ */
+void
+blockedAxpyResidualMulti(const double *alpha, const bool *active,
+                         const double *XYLEM_RESTRICT p,
+                         const double *XYLEM_RESTRICT q,
+                         double *XYLEM_RESTRICT x, double *XYLEM_RESTRICT r,
+                         std::size_t n, std::size_t K, ThreadPool *pool,
+                         double *bs, double *out)
+{
+    const std::size_t nb = blockCount(n, kDotBlock);
+    ThreadPool::parallelFor(pool, nb, [&](std::size_t blk) {
+        const std::size_t i0 = blk * kDotBlock;
+        const std::size_t i1 = std::min(n, i0 + kDotBlock);
+        double s[kMaxBatchRhs] = {};
+        if (!active) {
+            for (std::size_t i = i0; i < i1; ++i) {
+                const std::size_t base = i * K;
+                XYLEM_SIMD_LOOP
+                for (std::size_t k = 0; k < K; ++k) {
+                    x[base + k] += alpha[k] * p[base + k];
+                    const double ri = r[base + k] - alpha[k] * q[base + k];
+                    r[base + k] = ri;
+                    s[k] += ri * ri;
+                }
+            }
+        } else {
+            for (std::size_t i = i0; i < i1; ++i) {
+                const std::size_t base = i * K;
+                for (std::size_t k = 0; k < K; ++k) {
+                    if (active[k]) {
+                        x[base + k] += alpha[k] * p[base + k];
+                        const double ri =
+                            r[base + k] - alpha[k] * q[base + k];
+                        r[base + k] = ri;
+                        s[k] += ri * ri;
+                    } else {
+                        const double ri = r[base + k];
+                        s[k] += ri * ri;
+                    }
+                }
+            }
+        }
+        for (std::size_t k = 0; k < K; ++k)
+            bs[blk * K + k] = s[k];
+    });
+    for (std::size_t k = 0; k < K; ++k)
+        out[k] = 0.0;
+    for (std::size_t blk = 0; blk < nb; ++blk)
+        for (std::size_t k = 0; k < K; ++k)
+            out[k] += bs[blk * K + k];
+}
+
+/** Z = R .* inv_diag (Jacobi); per-column r·z into out[0..K). */
+void
+blockedJacobiMulti(const double *XYLEM_RESTRICT r,
+                   const double *XYLEM_RESTRICT inv_diag,
+                   double *XYLEM_RESTRICT z, std::size_t n, std::size_t K,
+                   ThreadPool *pool, double *bs, double *out)
+{
+    const std::size_t nb = blockCount(n, kDotBlock);
+    ThreadPool::parallelFor(pool, nb, [&](std::size_t blk) {
+        const std::size_t i0 = blk * kDotBlock;
+        const std::size_t i1 = std::min(n, i0 + kDotBlock);
+        double s[kMaxBatchRhs] = {};
+        for (std::size_t i = i0; i < i1; ++i) {
+            const std::size_t base = i * K;
+            const double inv = inv_diag[i];
+            XYLEM_SIMD_LOOP
+            for (std::size_t k = 0; k < K; ++k) {
+                const double zi = r[base + k] * inv;
+                z[base + k] = zi;
+                s[k] += r[base + k] * zi;
+            }
+        }
+        for (std::size_t k = 0; k < K; ++k)
+            bs[blk * K + k] = s[k];
+    });
+    for (std::size_t k = 0; k < K; ++k)
+        out[k] = 0.0;
+    for (std::size_t blk = 0; blk < nb; ++blk)
+        for (std::size_t k = 0; k < K; ++k)
+            out[k] += bs[blk * K + k];
+}
+
+/** P = Z + β_k P. */
+void
+blockedUpdateDirectionMulti(const double *beta,
+                            const double *XYLEM_RESTRICT z,
+                            double *XYLEM_RESTRICT p, std::size_t n,
+                            std::size_t K, ThreadPool *pool)
+{
+    const std::size_t nb = blockCount(n, kDotBlock);
+    ThreadPool::parallelFor(pool, nb, [&](std::size_t blk) {
+        const std::size_t i0 = blk * kDotBlock;
+        const std::size_t i1 = std::min(n, i0 + kDotBlock);
+        for (std::size_t i = i0; i < i1; ++i) {
+            const std::size_t base = i * K;
+            XYLEM_SIMD_LOOP
+            for (std::size_t k = 0; k < K; ++k)
+                p[base + k] = z[base + k] + beta[k] * p[base + k];
+        }
+    });
+}
+
+/**
+ * The blocked twin of fusedApplyRow: the identical per-cell stencil
+ * expression, evaluated for K interleaved columns per cell. `dot`
+ * accumulates the row's per-column x·y exactly like the solo row dot
+ * (zeroed by the caller per row, added to the block partial after).
+ */
+void
+fusedApplyRowMulti(std::size_t nx, std::size_t K,
+                   const double *XYLEM_RESTRICT dg,
+                   const double *XYLEM_RESTRICT ed,
+                   const double *XYLEM_RESTRICT xc,
+                   const double *XYLEM_RESTRICT xb,
+                   const double *XYLEM_RESTRICT xa,
+                   const double *XYLEM_RESTRICT xs,
+                   const double *XYLEM_RESTRICT xn,
+                   const double *XYLEM_RESTRICT gvd,
+                   const double *XYLEM_RESTRICT gvu,
+                   const double *XYLEM_RESTRICT gys,
+                   const double *XYLEM_RESTRICT gyn,
+                   const double *XYLEM_RESTRICT gx,
+                   const double *XYLEM_RESTRICT rim,
+                   const double *XYLEM_RESTRICT xp,
+                   double *XYLEM_RESTRICT y, double *XYLEM_RESTRICT dot)
+{
+    if (nx == 1) {
+        XYLEM_SIMD_LOOP
+        for (std::size_t k = 0; k < K; ++k) {
+            const double v = (dg[0] + ed[0]) * xc[k] -
+                             (gvd[0] * xb[k] + gvu[0] * xa[k] +
+                              gys[0] * xs[k] + gyn[0] * xn[k] +
+                              rim[0] * xp[k]);
+            y[k] = v;
+            dot[k] += xc[k] * v;
+        }
+        return;
+    }
+    {
+        // west edge: no x-1 neighbour
+        XYLEM_SIMD_LOOP
+        for (std::size_t k = 0; k < K; ++k) {
+            const double v = (dg[0] + ed[0]) * xc[k] -
+                             (gvd[0] * xb[k] + gvu[0] * xa[k] +
+                              gys[0] * xs[k] + gyn[0] * xn[k] +
+                              rim[0] * xp[k] + gx[0] * xc[K + k]);
+            y[k] = v;
+            dot[k] += xc[k] * v;
+        }
+    }
+    for (std::size_t ix = 1; ix + 1 < nx; ++ix) {
+        const std::size_t o = ix * K;
+        XYLEM_SIMD_LOOP
+        for (std::size_t k = 0; k < K; ++k) {
+            const double v =
+                (dg[ix] + ed[ix]) * xc[o + k] -
+                (gvd[ix] * xb[o + k] + gvu[ix] * xa[o + k] +
+                 gys[ix] * xs[o + k] + gyn[ix] * xn[o + k] +
+                 rim[ix] * xp[k] + gx[ix - 1] * xc[o - K + k] +
+                 gx[ix] * xc[o + K + k]);
+            y[o + k] = v;
+            dot[k] += xc[o + k] * v;
+        }
+    }
+    {
+        // east edge: no x+1 neighbour
+        const std::size_t ix = nx - 1;
+        const std::size_t o = ix * K;
+        XYLEM_SIMD_LOOP
+        for (std::size_t k = 0; k < K; ++k) {
+            const double v =
+                (dg[ix] + ed[ix]) * xc[o + k] -
+                (gvd[ix] * xb[o + k] + gvu[ix] * xa[o + k] +
+                 gys[ix] * xs[o + k] + gyn[ix] * xn[o + k] +
+                 rim[ix] * xp[k] + gx[ix - 1] * xc[o - K + k]);
+            y[o + k] = v;
+            dot[k] += xc[o + k] * v;
+        }
+    }
+}
+
+double
+seconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+void
+GridModel::prepareBatch(SolverWorkspace &w, std::size_t cols) const
+{
+    XYLEM_ASSERT(cols >= 1 && cols <= kMaxBatchRhs,
+                 "prepareBatch: column count ", cols, " outside [1, ",
+                 kMaxBatchRhs, "]");
+    const std::size_t need = num_nodes_ * cols;
+    const std::size_t blocks =
+        std::max({blockCount(num_nodes_, kDotBlock),
+                  num_layers_ * blockCount(ny_, kRowChunk),
+                  blockCount(cells_, kColChunk)});
+    if (w.bb_.size() < need) {
+        w.bb_.resize(need);
+        w.bx_.resize(need);
+        w.br_.resize(need);
+        w.bz_.resize(need);
+        w.bp_.resize(need);
+        w.bq_.resize(need);
+    }
+    if (w.batch_block_sums_.size() < blocks * cols)
+        w.batch_block_sums_.resize(blocks * cols);
+    w.batch_cols_ = cols;
+    if (mg_)
+        mg_->prepareBatchWorkspace(w, cols);
+}
+
+void
+GridModel::fusedApplyMulti(const double *x, double *y, std::size_t cols,
+                           const double *extra_diag,
+                           runtime::ThreadPool *pool, double *dot_out,
+                           double *block_sums) const
+{
+    const std::size_t K = cols;
+    const std::size_t row_chunks = blockCount(ny_, kRowChunk);
+    const std::size_t nblocks = num_layers_ * row_chunks;
+    const double *zeros = zeros_.data();
+    // Solo passes x_peri = 0.0 for layers without a periphery node;
+    // the batched twin needs K zero lanes for the same products.
+    const double zero_cols[kMaxBatchRhs] = {};
+    ThreadPool::parallelFor(pool, nblocks, [&](std::size_t blk) {
+        const std::size_t l = blk / row_chunks;
+        const std::size_t iy0 = (blk % row_chunks) * kRowChunk;
+        const std::size_t iy1 = std::min(ny_, iy0 + kRowChunk);
+        const std::size_t base = l * cells_;
+        const double *xl = x + base * K;
+        const double *gx_l = lat_x_[l].data();
+        const double *gy_l = lat_y_[l].data();
+        const bool below = l > 0;
+        const bool above = l + 1 < num_layers_;
+        const double *gvd_l = below ? vert_[l - 1].data() : zeros;
+        const double *xb_l = below ? x + (base - cells_) * K : x;
+        const double *gvu_l = above ? vert_[l].data() : zeros;
+        const double *xa_l = above ? x + (base + cells_) * K : x;
+        const bool rimmed = !rim_g_[l].empty();
+        const double *rim_l = rimmed ? rim_g_[l].data() : zeros;
+        const double *xp =
+            rimmed
+                ? x + static_cast<std::size_t>(periph_node_of_layer_[l]) * K
+                : zero_cols;
+        double sum[kMaxBatchRhs] = {};
+        double rdot[kMaxBatchRhs];
+        for (std::size_t iy = iy0; iy < iy1; ++iy) {
+            const std::size_t roff = iy * nx_;
+            const double *gys = iy > 0 ? gy_l + roff - nx_ : zeros;
+            const double *xs = iy > 0 ? xl + (roff - nx_) * K : xl;
+            // lat_y_ entries of the last row are already zero.
+            const double *gyn = gy_l + roff;
+            const double *xn = iy + 1 < ny_ ? xl + (roff + nx_) * K : xl;
+            const double *edp =
+                extra_diag ? extra_diag + base + roff : zeros;
+            for (std::size_t k = 0; k < K; ++k)
+                rdot[k] = 0.0;
+            fusedApplyRowMulti(nx_, K, diag_.data() + base + roff, edp,
+                               xl + roff * K, xb_l + roff * K,
+                               xa_l + roff * K, xs, xn, gvd_l + roff,
+                               gvu_l + roff, gys, gyn, gx_l + roff,
+                               rim_l + roff, xp, y + (base + roff) * K,
+                               rdot);
+            for (std::size_t k = 0; k < K; ++k)
+                sum[k] += rdot[k];
+        }
+        if (block_sums)
+            for (std::size_t k = 0; k < K; ++k)
+                block_sums[blk * K + k] = sum[k];
+    });
+
+    // Periphery tail, serial and in the solo's fixed gather order.
+    for (std::size_t k = 0; k < periphery_.size(); ++k) {
+        const auto &p = periphery_[k];
+        const double *xl = x + p.layer * cells_ * K;
+        const double *rim = rim_g_[p.layer].data();
+        double acc[kMaxBatchRhs] = {};
+        for (std::size_t ix = 0; ix < nx_; ++ix) {
+            XYLEM_SIMD_LOOP
+            for (std::size_t c = 0; c < K; ++c)
+                acc[c] += rim[ix] * xl[ix * K + c];
+        }
+        for (std::size_t iy = 1; iy + 1 < ny_; ++iy) {
+            const std::size_t cw = iy * nx_;
+            XYLEM_SIMD_LOOP
+            for (std::size_t c = 0; c < K; ++c)
+                acc[c] += rim[cw] * xl[cw * K + c];
+            if (nx_ > 1) {
+                const std::size_t ce = iy * nx_ + nx_ - 1;
+                XYLEM_SIMD_LOOP
+                for (std::size_t c = 0; c < K; ++c)
+                    acc[c] += rim[ce] * xl[ce * K + c];
+            }
+        }
+        if (ny_ > 1) {
+            const std::size_t roff = (ny_ - 1) * nx_;
+            for (std::size_t ix = 0; ix < nx_; ++ix) {
+                XYLEM_SIMD_LOOP
+                for (std::size_t c = 0; c < K; ++c)
+                    acc[c] += rim[roff + ix] * xl[(roff + ix) * K + c];
+            }
+        }
+        double d = diag_[p.node];
+        if (extra_diag)
+            d += extra_diag[p.node];
+        const std::size_t pbase = p.node * K;
+        for (std::size_t c = 0; c < K; ++c) {
+            double v = d * x[pbase + c] - acc[c];
+            if (k > 0)
+                v -= periph_vert_[k - 1] * x[periphery_[k - 1].node * K + c];
+            if (k + 1 < periphery_.size())
+                v -= periph_vert_[k] * x[periphery_[k + 1].node * K + c];
+            y[pbase + c] = v;
+        }
+    }
+
+    if (dot_out) {
+        for (std::size_t k = 0; k < K; ++k)
+            dot_out[k] = 0.0;
+        for (std::size_t blk = 0; blk < nblocks; ++blk)
+            for (std::size_t k = 0; k < K; ++k)
+                dot_out[k] += block_sums[blk * K + k];
+        for (const auto &p : periphery_)
+            for (std::size_t k = 0; k < K; ++k)
+                dot_out[k] += x[p.node * K + k] * y[p.node * K + k];
+    }
+}
+
+void
+GridModel::applyBlocked(const MultiVector &x, MultiVector &y,
+                        const std::vector<double> *extra_diag) const
+{
+    XYLEM_ASSERT(x.nodes() == num_nodes_,
+                 "applyBlocked: wrong node count");
+    if (y.nodes() != num_nodes_ || y.cols() != x.cols())
+        y.resize(num_nodes_, x.cols());
+    fusedApplyMulti(x.data(), y.data(), x.cols(),
+                    extra_diag ? extra_diag->data() : nullptr, nullptr,
+                    nullptr, nullptr);
+}
+
+void
+GridModel::applyLineCachedMulti(const double *r, double *z,
+                                std::size_t cols, SolverWorkspace &w,
+                                runtime::ThreadPool *pool,
+                                double *rz_out) const
+{
+    const std::size_t K = cols;
+    const std::size_t L = num_layers_;
+    const double *XYLEM_RESTRICT cp = w.line_cp_.data();
+    const double *XYLEM_RESTRICT inv = w.line_inv_denom_.data();
+    const std::size_t nchunks = blockCount(cells_, kColChunk);
+    double *bs = w.batch_block_sums_.data();
+    ThreadPool::parallelFor(pool, nchunks, [&](std::size_t chunk) {
+        const std::size_t c0 = chunk * kColChunk;
+        const std::size_t c1 = std::min(cells_, c0 + kColChunk);
+        // Forward sweep, layer-major (solo order).
+        for (std::size_t c = c0; c < c1; ++c) {
+            const double ic = inv[c];
+            XYLEM_SIMD_LOOP
+            for (std::size_t k = 0; k < K; ++k)
+                z[c * K + k] = r[c * K + k] * ic;
+        }
+        for (std::size_t l = 1; l < L; ++l) {
+            const double *g = vert_[l - 1].data();
+            const std::size_t off = l * cells_;
+            for (std::size_t c = c0; c < c1; ++c) {
+                const double gc = g[c];
+                const double ic = inv[off + c];
+                const std::size_t hi = (off + c) * K;
+                const std::size_t lo = (off - cells_ + c) * K;
+                XYLEM_SIMD_LOOP
+                for (std::size_t k = 0; k < K; ++k)
+                    z[hi + k] = (r[hi + k] + gc * z[lo + k]) * ic;
+            }
+        }
+        // Back substitution with the per-column r·z reduction fused
+        // in, top layer first then descending — the solo chunk order.
+        double sum[kMaxBatchRhs] = {};
+        {
+            const std::size_t off = (L - 1) * cells_;
+            for (std::size_t c = c0; c < c1; ++c) {
+                const std::size_t o = (off + c) * K;
+                XYLEM_SIMD_LOOP
+                for (std::size_t k = 0; k < K; ++k)
+                    sum[k] += r[o + k] * z[o + k];
+            }
+        }
+        for (std::size_t l = L - 1; l-- > 0;) {
+            const std::size_t off = l * cells_;
+            for (std::size_t c = c0; c < c1; ++c) {
+                const double cpc = cp[off + c];
+                const std::size_t o = (off + c) * K;
+                const std::size_t oa = (off + cells_ + c) * K;
+                XYLEM_SIMD_LOOP
+                for (std::size_t k = 0; k < K; ++k) {
+                    const double v = z[o + k] - cpc * z[oa + k];
+                    z[o + k] = v;
+                    sum[k] += r[o + k] * v;
+                }
+            }
+        }
+        for (std::size_t k = 0; k < K; ++k)
+            bs[chunk * K + k] = sum[k];
+    });
+    double rz[kMaxBatchRhs] = {};
+    for (std::size_t chunk = 0; chunk < nchunks; ++chunk)
+        for (std::size_t k = 0; k < K; ++k)
+            rz[k] += bs[chunk * K + k];
+    // Periphery nodes: plain Jacobi.
+    for (std::size_t k = 0; k < periphery_.size(); ++k) {
+        const std::size_t node = periphery_[k].node;
+        const double invp = w.periph_inv_diag_[k];
+        for (std::size_t c = 0; c < K; ++c) {
+            const double v = r[node * K + c] * invp;
+            z[node * K + c] = v;
+            rz[c] += r[node * K + c] * v;
+        }
+    }
+    if (rz_out)
+        for (std::size_t k = 0; k < K; ++k)
+            rz_out[k] = rz[k];
+}
+
+void
+GridModel::solveMulti(std::size_t cols,
+                      const std::vector<double> *extra_diag,
+                      SolverWorkspace &w, const bool *x_is_zero,
+                      SolveStats *stats) const
+{
+    const std::size_t K = cols;
+    const std::size_t n = num_nodes_;
+    using Clock = std::chrono::steady_clock;
+    runtime::ThreadPool *pool = poolFor(w);
+    const double *ed = extra_diag ? extra_diag->data() : nullptr;
+    double *bs = w.batch_block_sums_.data();
+    double *rv = w.br_.data();
+    double *zv = w.bz_.data();
+    double *pv = w.bp_.data();
+    double *qv = w.bq_.data();
+    double *xv = w.bx_.data();
+    const double *bv = w.bb_.data();
+    w.apply_seconds_ = 0.0;
+    w.precond_seconds_ = 0.0;
+
+    // The same task-context steering as the solo solve (grid_model.cpp)
+    // so an escalated batch attempt behaves exactly like escalated solo
+    // attempts would.
+    const TaskContext *ctx = currentTaskContext();
+    SolverKind kind = opts_.kind;
+    Preconditioner pre = opts_.preconditioner;
+    if (ctx && ctx->alternatePreconditioner()) {
+        kind = SolverKind::CG;
+        if (opts_.kind == SolverKind::Multigrid ||
+            opts_.preconditioner == Preconditioner::Multigrid)
+            pre = Preconditioner::VerticalLine;
+        else
+            pre = opts_.preconditioner == Preconditioner::VerticalLine
+                      ? Preconditioner::Jacobi
+                      : Preconditioner::VerticalLine;
+    }
+    if (!mg_ && (kind == SolverKind::Multigrid ||
+                 pre == Preconditioner::Multigrid)) {
+        kind = SolverKind::CG;
+        pre = Preconditioner::VerticalLine;
+    }
+    XYLEM_ASSERT(kind == SolverKind::CG,
+                 "solveMulti handles CG kinds only (the standalone "
+                 "multigrid kind runs columns serially)");
+    const bool use_mg = pre == Preconditioner::Multigrid;
+    const bool line = pre == Preconditioner::VerticalLine;
+    const bool forced_nonconvergence =
+        ctx && ctx->forceCgNonConvergence && !ctx->denseSolve();
+    const int max_iterations =
+        forced_nonconvergence ? 0 : opts_.maxIterations;
+
+    auto flushTimings = [&] {
+        auto &metrics = runtime::Metrics::global();
+        metrics.addTiming("solver.apply_seconds", w.apply_seconds_);
+        metrics.addTiming("solver.precond_seconds", w.precond_seconds_);
+        if (use_mg && w.mg_) {
+            metrics.addTiming("solver.mg.cycle_seconds",
+                              w.mg_->cycle_seconds);
+            metrics.counter("solver.mg.cycles").add(w.mg_->cycles);
+        }
+    };
+
+    if (use_mg && w.mg_) {
+        w.mg_->cycle_seconds = 0.0;
+        w.mg_->cycles = 0;
+    }
+
+    // Per-column scalar state, all in the solo recurrence order.
+    double b_norm2[kMaxBatchRhs];
+    double target2[kMaxBatchRhs];
+    double r_norm2[kMaxBatchRhs];
+    double rz[kMaxBatchRhs];
+    double rz_next[kMaxBatchRhs];
+    double pq[kMaxBatchRhs];
+    double alpha[kMaxBatchRhs];
+    double beta[kMaxBatchRhs];
+    bool active[kMaxBatchRhs] = {};
+    bool was_active[kMaxBatchRhs] = {};
+    bool zero_rhs[kMaxBatchRhs] = {};
+
+    bool all_cold = true;
+    for (std::size_t k = 0; k < K; ++k)
+        all_cold = all_cold && x_is_zero[k];
+    if (all_cold) {
+        // A·0 = 0 exactly, so R = B bit-identically — skip the mat-vec.
+        blockedCopyResidualMulti(bv, rv, n, K, pool, bs, b_norm2);
+    } else {
+        // Mixed or warm batch. Cold columns' X is exactly zero, so
+        // their Q lanes come out +0.0 and b - 0.0 ≡ b bitwise (also
+        // for b = -0.0) — still bit-identical to the solo cold path.
+        const auto t0 = Clock::now();
+        fusedApplyMulti(xv, qv, K, ed, pool, nullptr, nullptr);
+        w.apply_seconds_ += seconds(t0);
+        blockedInitResidualMulti(bv, qv, rv, n, K, pool, bs, b_norm2);
+    }
+
+    bool any_live = false;
+    for (std::size_t k = 0; k < K; ++k) {
+        stats[k] = SolveStats{};
+        if (b_norm2[k] == 0.0) {
+            // Solo returns X = 0, converged, zero iterations.
+            zero_rhs[k] = true;
+            for (std::size_t i = 0; i < n; ++i)
+                xv[i * K + k] = 0.0;
+            stats[k].converged = true;
+        } else {
+            any_live = true;
+        }
+        target2[k] = opts_.tolerance * opts_.tolerance * b_norm2[k];
+    }
+    if (!any_live) {
+        flushTimings();
+        return;
+    }
+
+    {
+        const auto t0 = Clock::now();
+        if (use_mg) {
+            buildLineFactorization(ed, w);
+            mg_->prepareSolve(extra_diag, w);
+        } else if (line) {
+            buildLineFactorization(ed, w);
+        } else {
+            double *invd = w.inv_diag_.data();
+            const double *dgv = diag_.data();
+            ThreadPool::parallelFor(
+                pool, blockCount(n, kDotBlock), [&](std::size_t blk) {
+                    const std::size_t i0 = blk * kDotBlock;
+                    const std::size_t i1 = std::min(n, i0 + kDotBlock);
+                    for (std::size_t i = i0; i < i1; ++i) {
+                        double d = dgv[i];
+                        if (ed)
+                            d += ed[i];
+                        XYLEM_ASSERT(d > 0.0, "singular diagonal entry");
+                        invd[i] = 1.0 / d;
+                    }
+                });
+        }
+        w.precond_seconds_ += seconds(t0);
+    }
+
+    auto preconditionMulti = [&](double *rz_out) {
+        const auto t0 = Clock::now();
+        if (use_mg)
+            mg_->applyVCycleMulti(rv, zv, K, ed, w, pool, rz_out);
+        else if (line)
+            applyLineCachedMulti(rv, zv, K, w, pool, rz_out);
+        else
+            blockedJacobiMulti(rv, w.inv_diag_.data(), zv, n, K, pool, bs,
+                               rz_out);
+        w.precond_seconds_ += seconds(t0);
+    };
+
+    preconditionMulti(rz);
+    std::copy(w.bz_.begin(), w.bz_.begin() + static_cast<std::ptrdiff_t>(
+                                                 n * K),
+              w.bp_.begin());
+    blockedSumSqMulti(rv, n, K, pool, bs, r_norm2);
+
+    std::size_t num_active = 0;
+    for (std::size_t k = 0; k < K; ++k) {
+        active[k] = !zero_rhs[k] && r_norm2[k] > target2[k];
+        if (active[k])
+            ++num_active;
+    }
+
+    for (int it = 0; it < max_iterations && num_active > 0; ++it) {
+        if ((it & 31) == 0)
+            taskCheckpoint(); // cooperative deadline/cancel point
+        for (std::size_t k = 0; k < K; ++k)
+            was_active[k] = active[k];
+        {
+            const auto t0 = Clock::now();
+            fusedApplyMulti(pv, qv, K, ed, pool, pq, bs);
+            w.apply_seconds_ += seconds(t0);
+        }
+        for (std::size_t k = 0; k < K; ++k)
+            if (active[k] && !(pq[k] > 0.0))
+                raise(ErrorCode::SolverBreakdown,
+                      "CG breakdown: search direction lost positive "
+                      "definiteness (p'Ap = ", pq[k], " at iteration ", it,
+                      ", batch column ", k, ")");
+        for (std::size_t k = 0; k < K; ++k)
+            alpha[k] = rz[k] / pq[k];
+        blockedAxpyResidualMulti(alpha,
+                                 num_active == K ? nullptr : active, pv,
+                                 qv, xv, rv, n, K, pool, bs, r_norm2);
+        // A column freezes the moment its own test passes — exactly
+        // where the solo loop's top-of-iteration check would exit.
+        // The trailing precondition/beta/direction update of this
+        // iteration still runs for it, as it does in the solo solve
+        // (it touches neither x nor r).
+        for (std::size_t k = 0; k < K; ++k)
+            if (active[k] && r_norm2[k] <= target2[k]) {
+                active[k] = false;
+                --num_active;
+            }
+        preconditionMulti(rz_next);
+        for (std::size_t k = 0; k < K; ++k) {
+            beta[k] = rz_next[k] / rz[k];
+            rz[k] = rz_next[k];
+        }
+        blockedUpdateDirectionMulti(beta, zv, pv, n, K, pool);
+        for (std::size_t k = 0; k < K; ++k)
+            if (was_active[k])
+                stats[k].iterations = it + 1;
+    }
+
+    bool any_nonconverged = false;
+    std::size_t first_bad = 0;
+    for (std::size_t k = 0; k < K; ++k) {
+        if (zero_rhs[k])
+            continue;
+        stats[k].relativeResidual = std::sqrt(r_norm2[k] / b_norm2[k]);
+        stats[k].converged =
+            !forced_nonconvergence && r_norm2[k] <= target2[k];
+        if (!stats[k].converged && !any_nonconverged) {
+            any_nonconverged = true;
+            first_bad = k;
+        }
+    }
+    flushTimings();
+    if (any_nonconverged) {
+        if (ctx && ctx->strictSolver)
+            raise(ErrorCode::SolverNonConvergence,
+                  "thermal CG did not converge: residual ",
+                  stats[first_bad].relativeResidual, " after ",
+                  stats[first_bad].iterations, " iterations (batch column ",
+                  first_bad, " of ", K, ")",
+                  forced_nonconvergence ? " (forced by fault injection)"
+                                        : "");
+        for (std::size_t k = 0; k < K; ++k)
+            if (!zero_rhs[k] && !stats[k].converged)
+                warn("thermal CG did not converge: residual ",
+                     stats[k].relativeResidual, " after ",
+                     stats[k].iterations, " iterations (batch column ", k,
+                     ")");
+    }
+}
+
+std::vector<TemperatureField>
+GridModel::solveSteadyBatch(const std::vector<const PowerMap *> &powers,
+                            std::vector<SolveStats> *stats,
+                            const std::vector<const TemperatureField *>
+                            *warm_starts,
+                            SolverWorkspace *workspace) const
+{
+    const std::size_t K = powers.size();
+    std::vector<TemperatureField> out;
+    if (stats)
+        stats->assign(K, SolveStats{});
+    if (K == 0)
+        return out;
+    if (K > kMaxBatchRhs)
+        raise(ErrorCode::Config, "solveSteadyBatch: batch of ", K,
+              " right-hand sides exceeds the limit of ", kMaxBatchRhs);
+    if (warm_starts)
+        XYLEM_ASSERT(warm_starts->size() == K,
+                     "solveSteadyBatch: warm-start list size ",
+                     warm_starts->size(), " != batch size ", K);
+    for (std::size_t k = 0; k < K; ++k)
+        XYLEM_ASSERT(powers[k] != nullptr,
+                     "solveSteadyBatch: null power map at column ", k);
+
+    runtime::Metrics::global().counter("solver.batch_solves").increment();
+    runtime::Metrics::global().counter("solver.batch_columns").add(K);
+
+    // The standalone V-cycle iteration has no blocked driver; its
+    // columns run serially through the solo path (still one call for
+    // the caller, still per-column identical results).
+    if (opts_.kind == SolverKind::Multigrid) {
+        out.reserve(K);
+        for (std::size_t k = 0; k < K; ++k) {
+            SolveStats s;
+            const TemperatureField *warm =
+                warm_starts ? (*warm_starts)[k] : nullptr;
+            out.push_back(solveSteady(*powers[k], &s, warm, workspace));
+            if (stats)
+                (*stats)[k] = s;
+        }
+        return out;
+    }
+
+    SolverWorkspace &w = workspace ? *workspace : threadLocalWorkspace();
+    prepare(w);
+    prepareBatch(w, K);
+
+    // Interleave the right-hand sides (solo fillRhs, K lanes wide).
+    double *bb = w.bb_.data();
+    for (std::size_t l = 0; l < num_layers_; ++l) {
+        for (std::size_t k = 0; k < K; ++k) {
+            const auto &f = powers[k]->layer(static_cast<int>(l)).data();
+            for (std::size_t c = 0; c < cells_; ++c)
+                bb[(l * cells_ + c) * K + k] = f[c];
+        }
+    }
+    for (const auto &p : periphery_)
+        for (std::size_t k = 0; k < K; ++k)
+            bb[p.node * K + k] = 0.0;
+
+    // On the cold-start escalation rung a stale warm start is a prime
+    // failure suspect, so drop it and solve from ambient (solo rule).
+    const TaskContext *ctx = currentTaskContext();
+    const bool drop_warm = ctx && ctx->coldStart();
+    bool x_is_zero[kMaxBatchRhs];
+    double *bx = w.bx_.data();
+    for (std::size_t k = 0; k < K; ++k) {
+        const TemperatureField *warm =
+            (warm_starts && !drop_warm) ? (*warm_starts)[k] : nullptr;
+        if (warm) {
+            XYLEM_ASSERT(warm->numNodes() == num_nodes_,
+                         "warm start has wrong shape");
+            for (std::size_t i = 0; i < num_nodes_; ++i)
+                bx[i * K + k] = warm->nodes()[i] - opts_.ambientCelsius;
+            x_is_zero[k] = false;
+        } else {
+            for (std::size_t i = 0; i < num_nodes_; ++i)
+                bx[i * K + k] = 0.0;
+            x_is_zero[k] = true;
+        }
+    }
+
+    SolveStats batch_stats[kMaxBatchRhs];
+    solveMulti(K, nullptr, w, x_is_zero, batch_stats);
+
+    out.reserve(K);
+    for (std::size_t k = 0; k < K; ++k) {
+        TemperatureField field(num_layers_, nx_, ny_, periphery_.size(),
+                               opts_.ambientCelsius);
+        for (std::size_t i = 0; i < num_nodes_; ++i)
+            field.nodes()[i] = bx[i * K + k] + opts_.ambientCelsius;
+        out.push_back(std::move(field));
+        if (stats)
+            (*stats)[k] = batch_stats[k];
+    }
+    return out;
+}
+
+} // namespace xylem::thermal

@@ -369,6 +369,12 @@ Hierarchy::prepareWorkspace(SolverWorkspace &w) const
     const std::size_t nc =
         coarse_.empty() ? n0 : coarse_.back().nodes;
     mw.dense.assign(nc * nc, 0.0);
+    // Resizing replaced the per-level scratch, dropping any batch
+    // buffers with it; prepareBatchWorkspace must rebuild them.
+    mw.bt0.clear();
+    mw.bs0.clear();
+    mw.bq0.clear();
+    mw.batch_cols = 0;
     mw.sized_for = id_;
 }
 

@@ -73,6 +73,9 @@ struct LevelScratch
     std::vector<double> x, b, r, t; ///< correction, rhs, residual, temp
     std::vector<double> extra;      ///< coarsened C/Δt diagonal shift
     std::vector<double> lineCp, lineInv, periphInv; ///< Thomas factors
+    // Multi-RHS twins of x/b/r/t (nodes × batch columns, node-major
+    // interleaved); sized by Hierarchy::prepareBatchWorkspace.
+    std::vector<double> bx, bb, br, bt;
 };
 
 /**
@@ -84,6 +87,11 @@ struct Workspace
     std::vector<double> t0, s0, q0;   ///< fine-level residual/smooth/Ax
     std::vector<LevelScratch> levels; ///< one per coarse level
     std::vector<double> dense;        ///< coarsest Cholesky factor
+    // Multi-RHS twins of t0/s0/q0; batch_cols is the column capacity
+    // every batch buffer (here and per level) is currently sized for
+    // (0 = unsized; reset whenever the hierarchy buffers resize).
+    std::vector<double> bt0, bs0, bq0;
+    std::size_t batch_cols = 0;
     /**
      * Unique id of the hierarchy the buffers are sized for (0 =
      * none). Deliberately an id, not the Hierarchy pointer: a
@@ -144,6 +152,22 @@ class Hierarchy
                        const double *fine_extra, SolverWorkspace &w,
                        runtime::ThreadPool *pool) const;
 
+    /** Size `w`'s batch scratch for `cols` columns (idempotent). */
+    void prepareBatchWorkspace(SolverWorkspace &w,
+                               std::size_t cols) const;
+
+    /**
+     * Z = B·R per column: the blocked V-cycle (multigrid_batch.cpp).
+     * R/Z are node-major interleaved blocks of `cols` columns; each
+     * column's result is bit-identical to applyVCycle on that column
+     * alone. Per-column r·z lands in rz_out (when non-null).
+     * prepareSolve and prepareBatchWorkspace must have run.
+     */
+    void applyVCycleMulti(const double *r, double *z, std::size_t cols,
+                          const double *fine_extra, SolverWorkspace &w,
+                          runtime::ThreadPool *pool,
+                          double *rz_out) const;
+
   private:
     /** One coarse level: the same structured network, smaller. */
     struct Level
@@ -193,6 +217,24 @@ class Hierarchy
     void smoothFine(const double *r, double *z, const double *fine_extra,
                     SolverWorkspace &w, runtime::ThreadPool *pool) const;
     void coarseVCycle(std::size_t k, Workspace &mw) const;
+
+    // Multi-RHS twins (multigrid_batch.cpp), replicating the solo
+    // kernels' per-column arithmetic order exactly.
+    static void levelApplyMulti(const Level &level,
+                                const std::vector<double> &extra,
+                                const double *x, double *y,
+                                std::size_t cols);
+    static void levelLineSolveMulti(const Level &level,
+                                    const LevelScratch &scratch,
+                                    const double *r, double *z,
+                                    std::size_t cols);
+    void levelSmoothMulti(const Level &level, LevelScratch &scratch,
+                          std::size_t cols) const;
+    void smoothFineMulti(const double *r, double *z, std::size_t cols,
+                         const double *fine_extra, SolverWorkspace &w,
+                         runtime::ThreadPool *pool) const;
+    void coarseVCycleMulti(std::size_t k, Workspace &mw,
+                           std::size_t cols) const;
 
     const GridModel *fine_;
     Options opts_;

@@ -1,0 +1,509 @@
+/**
+ * @file
+ * The multi-RHS (batched) V-cycle (DESIGN.md §15).
+ *
+ * Every function here is the column-blocked twin of a solo kernel in
+ * multigrid.cpp, operating on node-major interleaved blocks with the
+ * column loop innermost. The contract is the same as in
+ * grid_model_batch.cpp: per column, nodes, blocks, and reduction
+ * partials are visited in exactly the solo order, so column k of a
+ * blocked V-cycle is bit-for-bit applyVCycle() on column k alone.
+ * Coefficient streams (conductances, line factors, the coarsest
+ * Cholesky factor) are shared across columns and read once per sweep
+ * — the bandwidth amortisation that makes batched MG-CG pay.
+ */
+
+#include "thermal/mg/multigrid.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "runtime/thread_pool.hpp"
+#include "thermal/grid_model.hpp"
+#include "thermal/multivector.hpp"
+#include "thermal/simd.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define XYLEM_RESTRICT __restrict__
+#else
+#define XYLEM_RESTRICT
+#endif
+
+namespace xylem::thermal::mg {
+
+namespace {
+
+using runtime::ThreadPool;
+
+constexpr std::size_t kDotBlock = 4096;
+constexpr std::size_t kRowChunk = 16;
+
+std::size_t
+blockCount(std::size_t n, std::size_t block)
+{
+    return (n + block - 1) / block;
+}
+
+/** Z *= a over n nodes × K columns (elementwise; no reduction). */
+void
+blockedScaleMulti(double *XYLEM_RESTRICT z, double a, std::size_t n,
+                  std::size_t K, ThreadPool *pool)
+{
+    const std::size_t total = n * K;
+    ThreadPool::parallelFor(pool, blockCount(total, kDotBlock),
+                            [&](std::size_t blk) {
+                                const std::size_t i0 = blk * kDotBlock;
+                                const std::size_t i1 =
+                                    std::min(total, i0 + kDotBlock);
+                                XYLEM_SIMD_LOOP
+                                for (std::size_t i = i0; i < i1; ++i)
+                                    z[i] *= a;
+                            });
+}
+
+/** T = R - Q, elementwise over n nodes × K columns. */
+void
+blockedResidualMulti(const double *XYLEM_RESTRICT r,
+                     const double *XYLEM_RESTRICT q,
+                     double *XYLEM_RESTRICT t, std::size_t n,
+                     std::size_t K, ThreadPool *pool)
+{
+    const std::size_t total = n * K;
+    ThreadPool::parallelFor(pool, blockCount(total, kDotBlock),
+                            [&](std::size_t blk) {
+                                const std::size_t i0 = blk * kDotBlock;
+                                const std::size_t i1 =
+                                    std::min(total, i0 + kDotBlock);
+                                XYLEM_SIMD_LOOP
+                                for (std::size_t i = i0; i < i1; ++i)
+                                    t[i] = r[i] - q[i];
+                            });
+}
+
+/** X += a S, elementwise over n nodes × K columns. */
+void
+blockedAxpyMulti(double *XYLEM_RESTRICT x, double a,
+                 const double *XYLEM_RESTRICT s, std::size_t n,
+                 std::size_t K, ThreadPool *pool)
+{
+    const std::size_t total = n * K;
+    ThreadPool::parallelFor(pool, blockCount(total, kDotBlock),
+                            [&](std::size_t blk) {
+                                const std::size_t i0 = blk * kDotBlock;
+                                const std::size_t i1 =
+                                    std::min(total, i0 + kDotBlock);
+                                XYLEM_SIMD_LOOP
+                                for (std::size_t i = i0; i < i1; ++i)
+                                    x[i] += a * s[i];
+                            });
+}
+
+/** Per-column a·b over n nodes, solo block structure, into out. */
+void
+blockedDotMulti(const double *XYLEM_RESTRICT a,
+                const double *XYLEM_RESTRICT b, std::size_t n,
+                std::size_t K, ThreadPool *pool, double *bs, double *out)
+{
+    const std::size_t nb = blockCount(n, kDotBlock);
+    ThreadPool::parallelFor(pool, nb, [&](std::size_t blk) {
+        const std::size_t i0 = blk * kDotBlock;
+        const std::size_t i1 = std::min(n, i0 + kDotBlock);
+        double s[kMaxBatchRhs] = {};
+        for (std::size_t i = i0; i < i1; ++i) {
+            const std::size_t base = i * K;
+            XYLEM_SIMD_LOOP
+            for (std::size_t k = 0; k < K; ++k)
+                s[k] += a[base + k] * b[base + k];
+        }
+        for (std::size_t k = 0; k < K; ++k)
+            bs[blk * K + k] = s[k];
+    });
+    for (std::size_t k = 0; k < K; ++k)
+        out[k] = 0.0;
+    for (std::size_t blk = 0; blk < nb; ++blk)
+        for (std::size_t k = 0; k < K; ++k)
+            out[k] += bs[blk * K + k];
+}
+
+/**
+ * X = A⁻¹ B per column from the in-place Cholesky factor. Each
+ * column runs the full forward + back substitution independently
+ * (loop-carried along i), so its arithmetic order is the solo
+ * choleskySolve order exactly.
+ */
+void
+choleskySolveMulti(const std::vector<double> &a, std::size_t n,
+                   const double *b, double *x, std::size_t K)
+{
+    for (std::size_t col = 0; col < K; ++col) {
+        for (std::size_t i = 0; i < n; ++i) {
+            double s = b[i * K + col];
+            for (std::size_t k = 0; k < i; ++k)
+                s -= a[i * n + k] * x[k * K + col];
+            x[i * K + col] = s / a[i * n + i];
+        }
+        for (std::size_t i = n; i-- > 0;) {
+            double s = x[i * K + col];
+            for (std::size_t k = i + 1; k < n; ++k)
+                s -= a[k * n + i] * x[k * K + col];
+            x[i * K + col] = s / a[i * n + i];
+        }
+    }
+}
+
+/** Blocked aggregation restriction (solo restrictVector, K lanes). */
+void
+restrictVectorMulti(std::size_t snx, std::size_t sny, std::size_t scells,
+                    std::size_t layers, const std::size_t *speriph,
+                    std::size_t nperiph, std::size_t dnx, std::size_t dny,
+                    const double *XYLEM_RESTRICT src,
+                    double *XYLEM_RESTRICT dst, std::size_t K,
+                    ThreadPool *pool)
+{
+    const std::size_t dcells = dnx * dny;
+    const std::size_t row_chunks = blockCount(dny, kRowChunk);
+    ThreadPool::parallelFor(
+        pool, layers * row_chunks, [&](std::size_t blk) {
+            const std::size_t l = blk / row_chunks;
+            const std::size_t cy0 = (blk % row_chunks) * kRowChunk;
+            const std::size_t cy1 = std::min(dny, cy0 + kRowChunk);
+            const double *sl = src + l * scells * K;
+            double *dl = dst + l * dcells * K;
+            for (std::size_t cy = cy0; cy < cy1; ++cy) {
+                const std::size_t iy0 = 2 * cy;
+                const std::size_t iy1 = std::min(sny, iy0 + 2);
+                for (std::size_t cx = 0; cx < dnx; ++cx) {
+                    const std::size_t ix0 = 2 * cx;
+                    const std::size_t ix1 = std::min(snx, ix0 + 2);
+                    double s[kMaxBatchRhs] = {};
+                    for (std::size_t iy = iy0; iy < iy1; ++iy)
+                        for (std::size_t ix = ix0; ix < ix1; ++ix) {
+                            const std::size_t o = (iy * snx + ix) * K;
+                            XYLEM_SIMD_LOOP
+                            for (std::size_t k = 0; k < K; ++k)
+                                s[k] += sl[o + k];
+                        }
+                    const std::size_t d = (cy * dnx + cx) * K;
+                    for (std::size_t k = 0; k < K; ++k)
+                        dl[d + k] = s[k];
+                }
+            }
+        });
+    for (std::size_t p = 0; p < nperiph; ++p) {
+        const std::size_t d = (layers * dcells + p) * K;
+        const std::size_t s = speriph[p] * K;
+        for (std::size_t k = 0; k < K; ++k)
+            dst[d + k] = src[s + k];
+    }
+}
+
+/** Blocked piecewise-constant prolongation (solo prolongVector). */
+void
+prolongVectorMulti(std::size_t dnx, std::size_t dny, std::size_t dcells,
+                   std::size_t layers, const std::size_t *dperiph,
+                   std::size_t nperiph, std::size_t snx,
+                   const double *XYLEM_RESTRICT src,
+                   double *XYLEM_RESTRICT dst, std::size_t K,
+                   ThreadPool *pool)
+{
+    const std::size_t row_chunks = blockCount(dny, kRowChunk);
+    const std::size_t sny = (dny + 1) / 2;
+    const std::size_t scells = snx * sny;
+    ThreadPool::parallelFor(
+        pool, layers * row_chunks, [&](std::size_t blk) {
+            const std::size_t l = blk / row_chunks;
+            const std::size_t iy0 = (blk % row_chunks) * kRowChunk;
+            const std::size_t iy1 = std::min(dny, iy0 + kRowChunk);
+            const double *sl = src + l * scells * K;
+            double *dl = dst + l * dcells * K;
+            for (std::size_t iy = iy0; iy < iy1; ++iy) {
+                const double *srow = sl + (iy >> 1) * snx * K;
+                for (std::size_t ix = 0; ix < dnx; ++ix) {
+                    const std::size_t d = (iy * dnx + ix) * K;
+                    const std::size_t s = (ix >> 1) * K;
+                    XYLEM_SIMD_LOOP
+                    for (std::size_t k = 0; k < K; ++k)
+                        dl[d + k] += srow[s + k];
+                }
+            }
+        });
+    for (std::size_t p = 0; p < nperiph; ++p) {
+        const std::size_t d = dperiph[p] * K;
+        const std::size_t s = (layers * scells + p) * K;
+        for (std::size_t k = 0; k < K; ++k)
+            dst[d + k] += src[s + k];
+    }
+}
+
+double
+seconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+void
+Hierarchy::prepareBatchWorkspace(SolverWorkspace &w,
+                                 std::size_t cols) const
+{
+    XYLEM_ASSERT(cols >= 1 && cols <= kMaxBatchRhs,
+                 "prepareBatchWorkspace: column count ", cols,
+                 " outside [1, ", kMaxBatchRhs, "]");
+    prepareWorkspace(w);
+    Workspace &mw = *w.mg_;
+    if (mw.batch_cols >= cols)
+        return;
+    const std::size_t n0 = fine_->num_nodes_;
+    mw.bt0.assign(n0 * cols, 0.0);
+    mw.bs0.assign(n0 * cols, 0.0);
+    mw.bq0.assign(n0 * cols, 0.0);
+    for (std::size_t k = 0; k < coarse_.size(); ++k) {
+        const std::size_t nk = coarse_[k].nodes;
+        LevelScratch &S = mw.levels[k];
+        S.bx.assign(nk * cols, 0.0);
+        S.bb.assign(nk * cols, 0.0);
+        S.br.assign(nk * cols, 0.0);
+        S.bt.assign(nk * cols, 0.0);
+    }
+    mw.batch_cols = cols;
+}
+
+void
+Hierarchy::levelApplyMulti(const Level &L, const std::vector<double> &extra,
+                           const double *x, double *y, std::size_t K)
+{
+    const std::size_t nx = L.nx, ny = L.ny, cells = L.cells;
+    for (std::size_t l = 0; l < L.layers; ++l) {
+        const std::size_t base = l * cells;
+        const bool rimmed = !L.rim[l].empty();
+        const double *xp =
+            rimmed
+                ? x + static_cast<std::size_t>(L.periphNodeOfLayer[l]) * K
+                : nullptr;
+        for (std::size_t iy = 0; iy < ny; ++iy)
+            for (std::size_t ix = 0; ix < nx; ++ix) {
+                const std::size_t c = iy * nx + ix;
+                const std::size_t node = base + c;
+                const double dg = L.diag[node] + extra[node];
+                const std::size_t o = node * K;
+                XYLEM_SIMD_LOOP
+                for (std::size_t k = 0; k < K; ++k) {
+                    double v = dg * x[o + k];
+                    if (l > 0)
+                        v -= L.vert[l - 1][c] * x[o - cells * K + k];
+                    if (l + 1 < L.layers)
+                        v -= L.vert[l][c] * x[o + cells * K + k];
+                    if (ix > 0)
+                        v -= L.latx[l][c - 1] * x[o - K + k];
+                    if (ix + 1 < nx)
+                        v -= L.latx[l][c] * x[o + K + k];
+                    if (iy > 0)
+                        v -= L.laty[l][c - nx] * x[o - nx * K + k];
+                    if (iy + 1 < ny)
+                        v -= L.laty[l][c] * x[o + nx * K + k];
+                    if (rimmed)
+                        v -= L.rim[l][c] * xp[k];
+                    y[o + k] = v;
+                }
+            }
+    }
+    for (std::size_t p = 0; p < L.nperiph; ++p) {
+        const std::size_t node = L.periphNodes[p];
+        const std::size_t layer = L.periphLayer[p];
+        const double *xl = x + layer * cells * K;
+        const double *rim = L.rim[layer].data();
+        double acc[kMaxBatchRhs] = {};
+        for (std::size_t c = 0; c < cells; ++c) {
+            XYLEM_SIMD_LOOP
+            for (std::size_t k = 0; k < K; ++k)
+                acc[k] += rim[c] * xl[c * K + k];
+        }
+        const double dg = L.diag[node] + extra[node];
+        const std::size_t o = node * K;
+        for (std::size_t k = 0; k < K; ++k) {
+            double v = dg * x[o + k] - acc[k];
+            if (p > 0)
+                v -= L.periphVert[p - 1] * x[o - K + k];
+            if (p + 1 < L.nperiph)
+                v -= L.periphVert[p] * x[o + K + k];
+            y[o + k] = v;
+        }
+    }
+}
+
+void
+Hierarchy::levelLineSolveMulti(const Level &L, const LevelScratch &S,
+                               const double *r, double *z, std::size_t K)
+{
+    const std::size_t cells = L.cells;
+    const std::size_t layers = L.layers;
+    for (std::size_t c = 0; c < cells; ++c) {
+        const double inv = S.lineInv[c];
+        XYLEM_SIMD_LOOP
+        for (std::size_t k = 0; k < K; ++k)
+            z[c * K + k] = r[c * K + k] * inv;
+    }
+    for (std::size_t l = 1; l < layers; ++l) {
+        const std::size_t off = l * cells;
+        const double *g = L.vert[l - 1].data();
+        for (std::size_t c = 0; c < cells; ++c) {
+            const double gc = g[c];
+            const double inv = S.lineInv[off + c];
+            const std::size_t hi = (off + c) * K;
+            const std::size_t lo = (off - cells + c) * K;
+            XYLEM_SIMD_LOOP
+            for (std::size_t k = 0; k < K; ++k)
+                z[hi + k] = (r[hi + k] + gc * z[lo + k]) * inv;
+        }
+    }
+    for (std::size_t l = layers - 1; l-- > 0;) {
+        const std::size_t off = l * cells;
+        for (std::size_t c = 0; c < cells; ++c) {
+            const double cp = S.lineCp[off + c];
+            const std::size_t o = (off + c) * K;
+            const std::size_t oa = (off + cells + c) * K;
+            XYLEM_SIMD_LOOP
+            for (std::size_t k = 0; k < K; ++k)
+                z[o + k] -= cp * z[oa + k];
+        }
+    }
+    for (std::size_t p = 0; p < L.nperiph; ++p) {
+        const std::size_t o = L.periphNodes[p] * K;
+        const double inv = S.periphInv[p];
+        for (std::size_t k = 0; k < K; ++k)
+            z[o + k] = r[o + k] * inv;
+    }
+}
+
+void
+Hierarchy::levelSmoothMulti(const Level &L, LevelScratch &S,
+                            std::size_t K) const
+{
+    const std::size_t total = L.nodes * K;
+    levelApplyMulti(L, S.extra, S.bx.data(), S.bt.data(), K);
+    for (std::size_t i = 0; i < total; ++i)
+        S.br[i] = S.bb[i] - S.bt[i];
+    levelLineSolveMulti(L, S, S.br.data(), S.bt.data(), K);
+    const double a = opts_.damping;
+    for (std::size_t i = 0; i < total; ++i)
+        S.bx[i] += a * S.bt[i];
+}
+
+void
+Hierarchy::coarseVCycleMulti(std::size_t k, Workspace &mw,
+                             std::size_t K) const
+{
+    const Level &L = coarse_[k];
+    LevelScratch &S = mw.levels[k];
+    if (k + 1 == coarse_.size()) {
+        choleskySolveMulti(mw.dense, L.nodes, S.bb.data(), S.bx.data(), K);
+        return;
+    }
+    // Pre-smooth from the zero initial guess: x = ω M⁻¹ b.
+    levelLineSolveMulti(L, S, S.bb.data(), S.bx.data(), K);
+    if (opts_.damping != 1.0) {
+        const std::size_t total = L.nodes * K;
+        for (std::size_t i = 0; i < total; ++i)
+            S.bx[i] *= opts_.damping;
+    }
+    for (int s = 1; s < opts_.preSmooth; ++s)
+        levelSmoothMulti(L, S, K);
+
+    // Coarse-grid correction.
+    levelApplyMulti(L, S.extra, S.bx.data(), S.bt.data(), K);
+    const std::size_t total = L.nodes * K;
+    for (std::size_t i = 0; i < total; ++i)
+        S.br[i] = S.bb[i] - S.bt[i];
+    const Level &C = coarse_[k + 1];
+    restrictVectorMulti(L.nx, L.ny, L.cells, L.layers,
+                        L.periphNodes.data(), L.nperiph, C.nx, C.ny,
+                        S.br.data(), mw.levels[k + 1].bb.data(), K,
+                        nullptr);
+    coarseVCycleMulti(k + 1, mw, K);
+    prolongVectorMulti(L.nx, L.ny, L.cells, L.layers,
+                       L.periphNodes.data(), L.nperiph, C.nx,
+                       mw.levels[k + 1].bx.data(), S.bx.data(), K,
+                       nullptr);
+
+    for (int s = 0; s < opts_.postSmooth; ++s)
+        levelSmoothMulti(L, S, K);
+}
+
+void
+Hierarchy::smoothFineMulti(const double *r, double *z, std::size_t K,
+                           const double *fine_extra, SolverWorkspace &w,
+                           runtime::ThreadPool *pool) const
+{
+    Workspace &mw = *w.mg_;
+    const GridModel &F = *fine_;
+    const std::size_t n = F.num_nodes_;
+    F.fusedApplyMulti(z, mw.bq0.data(), K, fine_extra, pool, nullptr,
+                      nullptr);
+    blockedResidualMulti(r, mw.bq0.data(), mw.bt0.data(), n, K, pool);
+    F.applyLineCachedMulti(mw.bt0.data(), mw.bs0.data(), K, w, pool,
+                           nullptr);
+    blockedAxpyMulti(z, opts_.damping, mw.bs0.data(), n, K, pool);
+}
+
+void
+Hierarchy::applyVCycleMulti(const double *r, double *z, std::size_t K,
+                            const double *fine_extra, SolverWorkspace &w,
+                            runtime::ThreadPool *pool,
+                            double *rz_out) const
+{
+    using Clock = std::chrono::steady_clock;
+    const auto t_start = Clock::now();
+    Workspace &mw = *w.mg_;
+    const GridModel &F = *fine_;
+    const std::size_t n = F.num_nodes_;
+    XYLEM_ASSERT(mw.batch_cols >= K,
+                 "applyVCycleMulti: batch workspace sized for ",
+                 mw.batch_cols, " columns, need ", K);
+    double rz[kMaxBatchRhs];
+    if (coarse_.empty()) {
+        // The fine grid itself is the (dense-solved) coarsest level.
+        choleskySolveMulti(mw.dense, n, r, z, K);
+        blockedDotMulti(r, z, n, K, pool, w.batch_block_sums_.data(), rz);
+    } else {
+        // Pre-smooth from the zero initial guess: z = ω M⁻¹ r reuses
+        // the fine line factorisation already cached in `w`.
+        F.applyLineCachedMulti(r, z, K, w, pool, nullptr);
+        if (opts_.damping != 1.0)
+            blockedScaleMulti(z, opts_.damping, n, K, pool);
+        for (int s = 1; s < opts_.preSmooth; ++s)
+            smoothFineMulti(r, z, K, fine_extra, w, pool);
+
+        // Coarse-grid correction: restrict the residual, recurse,
+        // prolongate the correction back up.
+        F.fusedApplyMulti(z, mw.bq0.data(), K, fine_extra, pool, nullptr,
+                          nullptr);
+        blockedResidualMulti(r, mw.bq0.data(), mw.bt0.data(), n, K, pool);
+        const Level &C = coarse_.front();
+        restrictVectorMulti(F.nx_, F.ny_, F.cells_, F.num_layers_,
+                            finePeriphNodes_.data(),
+                            finePeriphNodes_.size(), C.nx, C.ny,
+                            mw.bt0.data(), mw.levels[0].bb.data(), K,
+                            pool);
+        coarseVCycleMulti(0, mw, K);
+        prolongVectorMulti(F.nx_, F.ny_, F.cells_, F.num_layers_,
+                           finePeriphNodes_.data(),
+                           finePeriphNodes_.size(), C.nx,
+                           mw.levels[0].bx.data(), z, K, pool);
+
+        for (int s = 0; s < opts_.postSmooth; ++s)
+            smoothFineMulti(r, z, K, fine_extra, w, pool);
+        blockedDotMulti(r, z, n, K, pool, w.batch_block_sums_.data(), rz);
+    }
+    mw.cycle_seconds += seconds(t_start);
+    mw.cycles += K;
+    if (rz_out)
+        for (std::size_t k = 0; k < K; ++k)
+            rz_out[k] = rz[k];
+}
+
+} // namespace xylem::thermal::mg

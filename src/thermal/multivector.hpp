@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A block of right-hand sides / solutions for the multi-RHS solver
+ * path (DESIGN.md §15).
+ *
+ * Layout is node-major interleaved: entry (node i, column k) lives at
+ * data[i * cols + k]. The K columns of one node are contiguous, so
+ * the batched kernels put the column loop innermost — the SIMD lanes
+ * are independent right-hand sides, every per-column arithmetic
+ * sequence visits nodes in exactly the order the solo kernels do, and
+ * vectorising the column loop cannot reorder any column's additions.
+ * That is the invariant behind the batch ≡ solo bit-identity contract
+ * (tests/batch_equivalence_test.cpp).
+ */
+
+#ifndef XYLEM_THERMAL_MULTIVECTOR_HPP
+#define XYLEM_THERMAL_MULTIVECTOR_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace xylem::thermal {
+
+/**
+ * Hard cap on the columns of one block solve. The batched kernels
+ * keep per-column accumulators in fixed-size stack arrays, and the
+ * service clamps batch formation to this bound, so it is a structural
+ * limit rather than a tuning knob.
+ */
+inline constexpr std::size_t kMaxBatchRhs = 64;
+
+class MultiVector
+{
+  public:
+    MultiVector() = default;
+    MultiVector(std::size_t nodes, std::size_t cols) { resize(nodes, cols); }
+
+    void resize(std::size_t nodes, std::size_t cols)
+    {
+        XYLEM_ASSERT(cols >= 1 && cols <= kMaxBatchRhs,
+                     "MultiVector: column count ", cols,
+                     " outside [1, ", kMaxBatchRhs, "]");
+        nodes_ = nodes;
+        cols_ = cols;
+        data_.assign(nodes * cols, 0.0);
+    }
+
+    std::size_t nodes() const { return nodes_; }
+    std::size_t cols() const { return cols_; }
+
+    double *data() { return data_.data(); }
+    const double *data() const { return data_.data(); }
+
+    double &at(std::size_t node, std::size_t col)
+    {
+        return data_[node * cols_ + col];
+    }
+    double at(std::size_t node, std::size_t col) const
+    {
+        return data_[node * cols_ + col];
+    }
+
+    /** Scatter a length-nodes() vector into column `col`. */
+    void setColumn(std::size_t col, const double *src)
+    {
+        for (std::size_t i = 0; i < nodes_; ++i)
+            data_[i * cols_ + col] = src[i];
+    }
+
+    /** Gather column `col` into a length-nodes() vector. */
+    void getColumn(std::size_t col, double *dst) const
+    {
+        for (std::size_t i = 0; i < nodes_; ++i)
+            dst[i] = data_[i * cols_ + col];
+    }
+
+  private:
+    std::size_t nodes_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace xylem::thermal
+
+#endif // XYLEM_THERMAL_MULTIVECTOR_HPP

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Vectorisation pragma for the multi-RHS kernels.
+ *
+ * XYLEM_SIMD_LOOP marks the inner column loop of a batched kernel as
+ * dependence-free so the compiler vectorises it under XYLEM_NATIVE
+ * (the cmake option defines the macro alongside -march=native). The
+ * lanes are independent right-hand sides — vectorising across columns
+ * never reorders any single column's arithmetic, so the pragma is
+ * semantics-preserving under the bit-identity contract. Without
+ * XYLEM_NATIVE the macro is empty and the kernels stay portable
+ * scalar code.
+ */
+
+#ifndef XYLEM_THERMAL_SIMD_HPP
+#define XYLEM_THERMAL_SIMD_HPP
+
+#if defined(XYLEM_NATIVE)
+#if defined(__clang__)
+#define XYLEM_SIMD_LOOP                                                    \
+    _Pragma("clang loop vectorize(enable) interleave(enable)")
+#elif defined(__GNUC__)
+#define XYLEM_SIMD_LOOP _Pragma("GCC ivdep")
+#else
+#define XYLEM_SIMD_LOOP
+#endif
+#else
+#define XYLEM_SIMD_LOOP
+#endif
+
+#endif // XYLEM_THERMAL_SIMD_HPP

@@ -2,5 +2,7 @@ set(XYLEM_THERMAL_SOURCES
     ${CMAKE_CURRENT_LIST_DIR}/power_map.cpp
     ${CMAKE_CURRENT_LIST_DIR}/temperature.cpp
     ${CMAKE_CURRENT_LIST_DIR}/grid_model.cpp
+    ${CMAKE_CURRENT_LIST_DIR}/grid_model_batch.cpp
     ${CMAKE_CURRENT_LIST_DIR}/mg/multigrid.cpp
+    ${CMAKE_CURRENT_LIST_DIR}/mg/multigrid_batch.cpp
     ${CMAKE_CURRENT_LIST_DIR}/heatmap.cpp)

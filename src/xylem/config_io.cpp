@@ -134,6 +134,27 @@ parseSystemConfig(std::istream &in)
                 static_cast<int>(parseCount(value, line_no));
         } else if (key == "leakageTempCoefficient") {
             cfg.leakage.tempCoefficient = parseNumber(value, line_no);
+        } else if (key == "batch.enabled") {
+            // Typed Errors for batch.*: these keys arrive over the
+            // service wire, so bad values must be recoverable
+            // ErrorCode::Config responses, never daemon teardown.
+            if (value == "true" || value == "1")
+                cfg.batch.enabled = true;
+            else if (value == "false" || value == "0")
+                cfg.batch.enabled = false;
+            else
+                raise(ErrorCode::Config, "config line ", line_no,
+                      ": invalid batch.enabled '", value,
+                      "' (valid choices: true, false)");
+        } else if (key == "batch.maxRhs") {
+            const double v = parseNumber(value, line_no);
+            if (v < 1 ||
+                v > static_cast<double>(thermal::kMaxBatchRhs) ||
+                v != static_cast<double>(static_cast<int>(v)))
+                raise(ErrorCode::Config, "config line ", line_no,
+                      ": batch.maxRhs must be an integer in [1, ",
+                      thermal::kMaxBatchRhs, "], got '", value, "'");
+            cfg.batch.maxRhs = static_cast<int>(v);
         } else {
             fatal("config line ", line_no, ": unknown key '", key, "'");
         }
@@ -178,6 +199,9 @@ formatSystemConfig(const SystemConfig &cfg)
        << "\n";
     os << "leakageTempCoefficient = " << cfg.leakage.tempCoefficient
        << "\n";
+    os << "batch.enabled = " << (cfg.batch.enabled ? "true" : "false")
+       << "\n";
+    os << "batch.maxRhs = " << cfg.batch.maxRhs << "\n";
     return os.str();
 }
 

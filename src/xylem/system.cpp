@@ -209,6 +209,92 @@ StackSystem::evaluate(const std::vector<cpu::ThreadSpec> &threads,
     return evaluateAtFreqs(threads, core_freq_ghz);
 }
 
+std::vector<EvalResult>
+StackSystem::evaluateSteadyBatch(const std::vector<SteadyItem> &items)
+{
+    const std::size_t K = items.size();
+    std::vector<EvalResult> out;
+    if (K == 0)
+        return out;
+    // Electrothermal feedback is a per-item fixed point (leakage ↔
+    // temperature) with data-dependent trip counts — no lockstep to
+    // exploit. Serve those configs exactly like serial requests.
+    if (cfg_.electroThermalIterations > 0) {
+        out.reserve(K);
+        for (const SteadyItem &item : items) {
+            clearWarmStart(); // the batch contract: every item cold
+            out.push_back(evaluate(*item.profile, item.freqGHz));
+        }
+        return out;
+    }
+
+    auto &metrics = runtime::Metrics::global();
+    metrics.counter("solver.batch_solves").increment();
+    metrics.counter("solver.batch_columns")
+        .add(static_cast<std::uint64_t>(K));
+
+    // Per-item front half of the pipeline: simulation → power →
+    // painted map. The sim cache deduplicates identical items.
+    out.resize(K);
+    std::vector<thermal::PowerMap> maps;
+    maps.reserve(K);
+    for (std::size_t k = 0; k < K; ++k) {
+        XYLEM_ASSERT(items[k].profile != nullptr,
+                     "evaluateSteadyBatch: null profile at item ", k);
+        EvalResult &r = out[k];
+        std::vector<double> freqs(
+            static_cast<std::size_t>(cfg_.cpu.numCores),
+            items[k].freqGHz);
+        cpu::MulticoreConfig sim_cfg = cfg_.cpu;
+        sim_cfg.coreFreqGHz = freqs;
+        r.sim = *cachedSimulate(
+            sim_cfg,
+            cpu::allCoresRunning(*items[k].profile, cfg_.cpu.numCores));
+        r.seconds = r.sim.seconds;
+        r.procPower = mcpat_.procPower(r.sim, freqs);
+        r.procPowerTotal = r.procPower.total();
+        r.dramPowerTotal = r.sim.dramAveragePowerW();
+        r.stackPowerTotal = r.procPowerTotal + r.dramPowerTotal;
+
+        thermal::PowerMap map(stack_);
+        paintProcessorPower(map, stack_, r.procPower);
+        paintDramPower(map, stack_, r.sim, cfg_.cpu.dram);
+        maps.push_back(std::move(map));
+    }
+
+    // Back half: one lockstep block solve, all columns cold (no warm
+    // starts — each column is bit-identical to a solo cold solve).
+    std::vector<const thermal::PowerMap *> ptrs;
+    ptrs.reserve(K);
+    for (const auto &m : maps)
+        ptrs.push_back(&m);
+    std::vector<thermal::SolveStats> stats;
+    std::vector<thermal::TemperatureField> fields =
+        model_->solveSteadyBatch(ptrs, &stats, nullptr, &workspace_);
+
+    const auto proc_layer = static_cast<std::size_t>(stack_.procMetal);
+    for (std::size_t k = 0; k < K; ++k) {
+        EvalResult &r = out[k];
+        r.warmStarted = false;
+        r.field = std::move(fields[k]);
+        r.cgIterations += stats[k].iterations;
+        recordSolve(stats[k], /*warm=*/false);
+        selfCheck(*model_, maps[k], r.field);
+        r.procHotspot = r.field.maxOfLayer(proc_layer);
+        r.dramBottomHotspot = r.field.maxOfLayer(
+            static_cast<std::size_t>(stack_.dramMetal.front()));
+        r.coreHotspot.clear();
+        for (const auto &core_rect : stack_.procDie.cores)
+            r.coreHotspot.push_back(r.field.maxInRect(
+                proc_layer, core_rect, stack_.grid.extent()));
+    }
+    // Leave the same residual state serial serving would: the last
+    // item's field as the (next clearWarmStart's) warm-start candidate.
+    last_ = out.back().field;
+    last_power_ = maps.back().totalPower();
+    return out;
+}
+
 EvalResult
 StackSystem::evaluate(const workloads::Profile &profile, double freq_ghz)
 {

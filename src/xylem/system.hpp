@@ -23,6 +23,20 @@
 
 namespace xylem::core {
 
+/**
+ * Batch-formation policy for the serving layer (DESIGN.md §15):
+ * whether queued steady queries against this configuration may be
+ * answered through one multi-RHS block solve, and how many columns
+ * one solve may carry. Part of the system config (not a daemon flag)
+ * so the policy travels with the config text that keys the resident
+ * system — and so bad values surface as typed config errors.
+ */
+struct BatchOptions
+{
+    bool enabled = true; ///< allow multi-RHS batching for this config
+    int maxRhs = 16;     ///< columns per block solve (1..kMaxBatchRhs)
+};
+
 /** Configuration of a whole Xylem system. */
 struct SystemConfig
 {
@@ -31,6 +45,7 @@ struct SystemConfig
     cpu::MulticoreConfig cpu;
     power::EnergyParams energy;
     power::LeakageParams leakage;
+    BatchOptions batch;
 
     double tjMaxProc = 100.0;  ///< processor junction limit [°C] (§6.2)
     double tMaxDram = 95.0;    ///< JEDEC extended-range DRAM limit [°C]
@@ -98,6 +113,29 @@ class StackSystem
 
     /** Evaluate `profile` on all cores at a uniform frequency. */
     EvalResult evaluate(const workloads::Profile &profile, double freq_ghz);
+
+    /** One work item of a steady batch: a workload at one frequency. */
+    struct SteadyItem
+    {
+        const workloads::Profile *profile = nullptr;
+        double freqGHz = 2.4;
+    };
+
+    /**
+     * Evaluate up to thermal::kMaxBatchRhs steady items through ONE
+     * multi-RHS block solve (GridModel::solveSteadyBatch): the
+     * simulations and power maps are built per item, then all thermal
+     * right-hand sides solve in lockstep against the shared operator.
+     *
+     * Every item is solved COLD — result k is bit-identical to
+     * clearWarmStart() + evaluate(item k) — matching the serving
+     * layer's determinism contract, which is the only caller that
+     * batches. Configs with electrothermal feedback (an inherently
+     * sequential per-item fixed point) fall back to exactly that
+     * serial loop.
+     */
+    std::vector<EvalResult>
+    evaluateSteadyBatch(const std::vector<SteadyItem> &items);
 
     /**
      * Build the power map for a finished simulation (exposed for the

@@ -1,0 +1,496 @@
+/**
+ * @file
+ * Differential harness for the batched multi-RHS solver path
+ * (DESIGN.md §15): every column of a batch solve must be bit-identical
+ * to the solo solve of that right-hand side — same temperatures, same
+ * iteration count, same convergence report — across preconditioners
+ * (Jacobi, vertical-line, multigrid), cold/warm/mixed starts, batch
+ * sizes 1/3/8/32, thin and odd grids, and thread counts. The
+ * BatchEquivalence suite runs under the ThreadSanitizer CI job too.
+ *
+ * Alongside the bitwise suite: the blocked matvec against per-column
+ * apply(), the seeded RandomScenario property suite with per-column
+ * physics invariants (energy balance, maximum principle, achieved
+ * residual), the edge/death cases (empty batch, oversized batch), and
+ * the multigrid boundary shapes (1-layer stack; a 2×2 grid whose
+ * coarsening bottoms out immediately in the dense solve).
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "stack/stack.hpp"
+#include "thermal/grid_model.hpp"
+#include "thermal/mg/multigrid.hpp"
+#include "thermal/multivector.hpp"
+#include "verify/dense_solver.hpp"
+#include "verify/invariants.hpp"
+#include "verify/oracles.hpp"
+#include "verify/scenario.hpp"
+
+namespace xylem::thermal {
+namespace {
+
+using verify::buildPowerMap;
+using verify::buildSlabStack;
+using verify::randomScenario;
+using verify::RandomScenario;
+using verify::SlabLayer;
+
+/**
+ * K distinct power maps on one stack: the scenario's deposits scaled
+ * by a per-column factor, so every column is a different (but equally
+ * realistic) right-hand side against the same resident model.
+ */
+std::vector<PowerMap>
+scaledPowerMaps(const stack::BuiltStack &stk, const RandomScenario &sc,
+                std::size_t count)
+{
+    std::vector<PowerMap> maps;
+    maps.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+        RandomScenario variant = sc;
+        const double scale = 0.25 + 0.37 * static_cast<double>(k);
+        for (auto &d : variant.deposits)
+            d.watts *= scale;
+        maps.push_back(buildPowerMap(stk, variant));
+    }
+    return maps;
+}
+
+std::vector<const PowerMap *>
+pointersOf(const std::vector<PowerMap> &maps)
+{
+    std::vector<const PowerMap *> ptrs;
+    ptrs.reserve(maps.size());
+    for (const auto &m : maps)
+        ptrs.push_back(&m);
+    return ptrs;
+}
+
+void
+expectColumnsBitIdentical(const GridModel &model,
+                          const std::vector<PowerMap> &maps,
+                          const std::vector<TemperatureField> &batch,
+                          const std::vector<SolveStats> &batch_stats,
+                          const char *what)
+{
+    ASSERT_EQ(batch.size(), maps.size()) << what;
+    ASSERT_EQ(batch_stats.size(), maps.size()) << what;
+    for (std::size_t k = 0; k < maps.size(); ++k) {
+        SolveStats solo_stats;
+        const TemperatureField solo =
+            model.solveSteady(maps[k], &solo_stats);
+        EXPECT_EQ(solo_stats.iterations, batch_stats[k].iterations)
+            << what << ": column " << k << " iteration count";
+        EXPECT_EQ(solo_stats.converged, batch_stats[k].converged)
+            << what << ": column " << k;
+        EXPECT_EQ(solo_stats.relativeResidual,
+                  batch_stats[k].relativeResidual)
+            << what << ": column " << k;
+        ASSERT_EQ(solo.numNodes(), batch[k].numNodes());
+        for (std::size_t i = 0; i < solo.numNodes(); ++i)
+            ASSERT_EQ(solo.nodes()[i], batch[k].nodes()[i])
+                << what << ": column " << k << ", node " << i;
+    }
+}
+
+/**
+ * The headline differential: cold batches of 1, 3 and 8 columns
+ * against solo solves, for all three preconditioners, over seeded
+ * random stacks. Equality is exact (bitwise), not a tolerance.
+ */
+TEST(BatchEquivalence, ColdBatchBitIdenticalToSoloAcrossPreconditioners)
+{
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+        const RandomScenario sc = randomScenario(seed + 60);
+        const auto stk = stack::buildStack(sc.spec);
+        for (const Preconditioner pre :
+             {Preconditioner::Jacobi, Preconditioner::VerticalLine,
+              Preconditioner::Multigrid}) {
+            SolverOptions opts = sc.solver;
+            opts.preconditioner = pre;
+            const GridModel model(stk, opts);
+            for (const std::size_t K : {std::size_t{1}, std::size_t{3},
+                                        std::size_t{8}}) {
+                const auto maps = scaledPowerMaps(stk, sc, K);
+                std::vector<SolveStats> stats;
+                const auto batch =
+                    model.solveSteadyBatch(pointersOf(maps), &stats);
+                expectColumnsBitIdentical(model, maps, batch, stats,
+                                          "cold batch");
+            }
+        }
+    }
+}
+
+TEST(BatchEquivalence, LargeBatchOfThirtyTwoColumns)
+{
+    const RandomScenario sc = randomScenario(70);
+    const auto stk = stack::buildStack(sc.spec);
+    SolverOptions opts = sc.solver;
+    opts.preconditioner = Preconditioner::VerticalLine;
+    const GridModel model(stk, opts);
+    const auto maps = scaledPowerMaps(stk, sc, 32);
+    std::vector<SolveStats> stats;
+    const auto batch = model.solveSteadyBatch(pointersOf(maps), &stats);
+    expectColumnsBitIdentical(model, maps, batch, stats, "batch of 32");
+}
+
+/**
+ * Mixed cold and warm columns in one batch: null warm-start entries
+ * are cold columns; warm columns start from a perturbed converged
+ * field (so CG has real work left). Both kinds must match their solo
+ * counterpart bitwise — including the cold columns, which exercise
+ * the b − A·0 = b residual path inside a matvec-initialised batch.
+ */
+TEST(BatchEquivalence, MixedColdAndWarmColumnsMatchSolo)
+{
+    for (const Preconditioner pre :
+         {Preconditioner::VerticalLine, Preconditioner::Multigrid}) {
+        const RandomScenario sc = randomScenario(71);
+        const auto stk = stack::buildStack(sc.spec);
+        SolverOptions opts = sc.solver;
+        opts.preconditioner = pre;
+        const GridModel model(stk, opts);
+        constexpr std::size_t K = 6;
+        const auto maps = scaledPowerMaps(stk, sc, K);
+
+        std::vector<TemperatureField> starts;
+        starts.reserve(K);
+        for (std::size_t k = 0; k < K; ++k) {
+            TemperatureField f = model.solveSteady(maps[k]);
+            for (auto &v : f.nodes())
+                v += 0.5;
+            starts.push_back(std::move(f));
+        }
+        std::vector<const TemperatureField *> warm(K, nullptr);
+        for (std::size_t k = 0; k < K; k += 2) // every other column warm
+            warm[k] = &starts[k];
+
+        std::vector<SolveStats> stats;
+        const auto batch =
+            model.solveSteadyBatch(pointersOf(maps), &stats, &warm);
+        ASSERT_EQ(batch.size(), K);
+        for (std::size_t k = 0; k < K; ++k) {
+            SolveStats solo_stats;
+            const TemperatureField solo =
+                model.solveSteady(maps[k], &solo_stats, warm[k]);
+            EXPECT_EQ(solo_stats.iterations, stats[k].iterations)
+                << "column " << k << (warm[k] ? " warm" : " cold");
+            for (std::size_t i = 0; i < solo.numNodes(); ++i)
+                ASSERT_EQ(solo.nodes()[i], batch[k].nodes()[i])
+                    << "column " << k << (warm[k] ? " warm" : " cold")
+                    << ", node " << i;
+        }
+    }
+}
+
+/** Deterministic lockstep: threading must not change a single bit. */
+TEST(BatchEquivalence, ThreadedBatchBitIdenticalToSerialBatch)
+{
+    const RandomScenario sc = randomScenario(72);
+    const auto stk = stack::buildStack(sc.spec);
+    for (const Preconditioner pre :
+         {Preconditioner::VerticalLine, Preconditioner::Multigrid}) {
+        SolverOptions serial = sc.solver;
+        serial.preconditioner = pre;
+        serial.threads = 1;
+        SolverOptions threaded = serial;
+        threaded.threads = 3;
+        const GridModel a(stk, serial);
+        const GridModel b(stk, threaded);
+        const auto maps = scaledPowerMaps(stk, sc, 5);
+        std::vector<SolveStats> sa, sb;
+        const auto ra = a.solveSteadyBatch(pointersOf(maps), &sa);
+        const auto rb = b.solveSteadyBatch(pointersOf(maps), &sb);
+        for (std::size_t k = 0; k < maps.size(); ++k) {
+            EXPECT_EQ(sa[k].iterations, sb[k].iterations) << "col " << k;
+            for (std::size_t i = 0; i < ra[k].numNodes(); ++i)
+                ASSERT_EQ(ra[k].nodes()[i], rb[k].nodes()[i])
+                    << "column " << k << ", node " << i;
+        }
+    }
+}
+
+/**
+ * Thin and odd lateral shapes hit the matvec's nx==1 and edge-row
+ * special cases and the semicoarsening ceil-division; all must stay
+ * bitwise solo-equal. The 1-wide slab exercises the single-cell-row
+ * kernel that has no west/east neighbours at all.
+ */
+TEST(BatchEquivalence, ThinAndOddGridsMatchSolo)
+{
+    struct Shape
+    {
+        std::size_t nx, ny;
+        int dies;
+    };
+    for (const Shape &s :
+         {Shape{9, 7, 2}, Shape{11, 5, 1}, Shape{6, 12, 3}}) {
+        RandomScenario sc = randomScenario(73);
+        sc.spec.gridNx = s.nx;
+        sc.spec.gridNy = s.ny;
+        sc.spec.numDramDies = s.dies;
+        for (auto &d : sc.deposits)
+            d.dramDie = std::min(d.dramDie, s.dies - 1);
+        sc.solver.preconditioner = Preconditioner::Multigrid;
+        const auto stk = stack::buildStack(sc.spec);
+        const GridModel model(stk, sc.solver);
+        const auto maps = scaledPowerMaps(stk, sc, 4);
+        std::vector<SolveStats> stats;
+        const auto batch =
+            model.solveSteadyBatch(pointersOf(maps), &stats);
+        expectColumnsBitIdentical(model, maps, batch, stats,
+                                  "odd shape");
+    }
+
+    // nx == 1: a slab column one cell wide.
+    const std::vector<SlabLayer> slab = {
+        {5e-4, 120.0}, {2e-5, 2.0}, {5e-4, 120.0}, {1e-3, 380.0}};
+    const auto stk = buildSlabStack(slab, 1, 6);
+    SolverOptions opts;
+    opts.tolerance = 1e-9;
+    opts.preconditioner = Preconditioner::VerticalLine;
+    const GridModel model(stk, opts);
+    std::vector<PowerMap> maps;
+    for (std::size_t k = 0; k < 3; ++k) {
+        PowerMap p(stk);
+        p.deposit(0, stk.grid.extent(), 2.0 + static_cast<double>(k));
+        maps.push_back(std::move(p));
+    }
+    std::vector<SolveStats> stats;
+    const auto batch = model.solveSteadyBatch(pointersOf(maps), &stats);
+    expectColumnsBitIdentical(model, maps, batch, stats, "1-wide slab");
+}
+
+/**
+ * A zero-power column inside a live batch must converge instantly to
+ * ambient (solo does: ‖b‖ = 0 short-circuits) without perturbing its
+ * neighbours, whose lockstep recurrences divide by quantities the
+ * frozen column no longer contributes to.
+ */
+TEST(BatchEquivalence, ZeroPowerColumnMatchesSoloInsideLiveBatch)
+{
+    const RandomScenario sc = randomScenario(74);
+    const auto stk = stack::buildStack(sc.spec);
+    const GridModel model(stk, sc.solver);
+    std::vector<PowerMap> maps = scaledPowerMaps(stk, sc, 3);
+    maps.insert(maps.begin() + 1, PowerMap(stk)); // all-zero column
+    std::vector<SolveStats> stats;
+    const auto batch = model.solveSteadyBatch(pointersOf(maps), &stats);
+    expectColumnsBitIdentical(model, maps, batch, stats,
+                              "zero-power column");
+    EXPECT_EQ(stats[1].iterations, 0u);
+    EXPECT_TRUE(stats[1].converged);
+}
+
+TEST(BatchEquivalence, EmptyBatchReturnsEmpty)
+{
+    const RandomScenario sc = randomScenario(75);
+    const auto stk = stack::buildStack(sc.spec);
+    const GridModel model(stk, sc.solver);
+    std::vector<SolveStats> stats(7); // stale entries must be cleared
+    const auto out = model.solveSteadyBatch({}, &stats);
+    EXPECT_TRUE(out.empty());
+    EXPECT_TRUE(stats.empty());
+}
+
+TEST(BatchEquivalence, OversizedBatchRaisesTypedConfigError)
+{
+    const RandomScenario sc = randomScenario(75);
+    const auto stk = stack::buildStack(sc.spec);
+    const GridModel model(stk, sc.solver);
+    const PowerMap zero(stk);
+    const std::vector<const PowerMap *> too_many(kMaxBatchRhs + 1,
+                                                 &zero);
+    try {
+        model.solveSteadyBatch(too_many);
+        FAIL() << "expected ErrorCode::Config";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Config);
+    }
+}
+
+/**
+ * SolverKind::Multigrid (standalone V-cycle iteration) has no blocked
+ * path; the batch entry point must fall back to serial solo solves —
+ * trivially bitwise-equal, and proving the fallback wiring.
+ */
+TEST(BatchEquivalence, StandaloneMgKindFallsBackToSerialSolves)
+{
+    RandomScenario sc = randomScenario(76);
+    sc.solver.kind = SolverKind::Multigrid;
+    sc.solver.preconditioner = Preconditioner::Multigrid;
+    const auto stk = stack::buildStack(sc.spec);
+    const GridModel model(stk, sc.solver);
+    const auto maps = scaledPowerMaps(stk, sc, 3);
+    std::vector<SolveStats> stats;
+    const auto batch = model.solveSteadyBatch(pointersOf(maps), &stats);
+    expectColumnsBitIdentical(model, maps, batch, stats,
+                              "standalone MG fallback");
+}
+
+/**
+ * The blocked matvec against per-column apply(), bitwise, with and
+ * without the transient extra diagonal — the kernel-level half of the
+ * differential harness (solveSteadyBatch covers the driver half).
+ */
+TEST(BatchEquivalence, BlockedApplyMatchesPerColumnApply)
+{
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+        const RandomScenario sc = randomScenario(seed + 77);
+        const auto stk = stack::buildStack(sc.spec);
+        const GridModel model(stk, sc.solver);
+        const std::size_t n = model.numNodes();
+        constexpr std::size_t K = 5;
+
+        std::vector<double> extra(n);
+        Rng rng(seed * 13 + 1);
+        for (auto &e : extra)
+            e = rng.uniform(0.0, 50.0);
+
+        MultiVector x, y;
+        x.resize(n, K);
+        std::vector<std::vector<double>> cols(K);
+        for (std::size_t k = 0; k < K; ++k) {
+            cols[k].resize(n);
+            for (auto &v : cols[k])
+                v = rng.uniform(-1.0, 1.0);
+            x.setColumn(k, cols[k].data());
+        }
+        const std::vector<double> *variants[] = {nullptr, &extra};
+        for (const std::vector<double> *ed : variants) {
+            model.applyBlocked(x, y, ed);
+            for (std::size_t k = 0; k < K; ++k) {
+                std::vector<double> solo;
+                model.apply(cols[k], solo, ed);
+                for (std::size_t i = 0; i < n; ++i)
+                    ASSERT_EQ(solo[i], y.at(i, k))
+                        << "seed " << seed << ", column " << k
+                        << ", node " << i
+                        << (ed ? " with" : " without") << " extra";
+            }
+        }
+    }
+}
+
+/**
+ * Property suite (satellite): seeded RandomScenario batches where
+ * every column's solution must independently satisfy the physics
+ * invariants — energy balance, maximum principle, achieved residual —
+ * via the same verify::checkSolution the solo suites use, plus the
+ * solo-equal convergence report.
+ */
+TEST(BatchPropertyTest, EveryColumnOfRandomBatchesSatisfiesInvariants)
+{
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        const RandomScenario sc = randomScenario(seed + 90);
+        const auto stk = stack::buildStack(sc.spec);
+        const GridModel model(stk, sc.solver);
+        const std::size_t K = 2 + seed % 5; // batch sizes 2..6
+        const auto maps = scaledPowerMaps(stk, sc, K);
+        std::vector<SolveStats> stats;
+        const auto batch =
+            model.solveSteadyBatch(pointersOf(maps), &stats);
+        ASSERT_EQ(batch.size(), K);
+        for (std::size_t k = 0; k < K; ++k) {
+            EXPECT_TRUE(stats[k].converged) << "seed " << seed
+                                            << " column " << k;
+            EXPECT_LE(stats[k].relativeResidual, sc.solver.tolerance)
+                << "seed " << seed << " column " << k;
+            const verify::InvariantReport rep =
+                verify::checkSolution(model, maps[k], batch[k]);
+            EXPECT_TRUE(rep.pass)
+                << "seed " << seed << " column " << k << ": "
+                << rep.summary();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multigrid boundary shapes (satellite): the hierarchy must stay
+// correct when there is nothing to coarsen vertically (1 layer) or
+// laterally (a 2×2 grid is already at the coarsest-cell threshold).
+// ---------------------------------------------------------------------
+
+TEST(MultigridEdgeShapes, SingleLayerStackVCycle)
+{
+    // One layer: the vertical-line smoother degenerates to a diagonal
+    // solve and every level has layer count 1.
+    const std::vector<SlabLayer> slab = {{1e-3, 150.0}};
+    const auto stk = buildSlabStack(slab, 12, 10);
+    SolverOptions opts;
+    opts.tolerance = 1e-10;
+    opts.preconditioner = Preconditioner::Multigrid;
+    const GridModel model(stk, opts);
+    ASSERT_NE(model.multigrid(), nullptr);
+    EXPECT_GE(model.multigrid()->numLevels(), 2u);
+
+    PowerMap power(stk);
+    power.deposit(0, stk.grid.extent(), 6.0);
+    SolveStats stats;
+    const TemperatureField got = model.solveSteady(power, &stats);
+    EXPECT_TRUE(stats.converged);
+    const TemperatureField ref =
+        verify::referenceSolveSteady(model, power);
+    for (std::size_t i = 0; i < got.numNodes(); ++i)
+        EXPECT_NEAR(got.nodes()[i], ref.nodes()[i], 1e-6) << i;
+
+    // And the batched path over the same degenerate hierarchy.
+    std::vector<PowerMap> maps;
+    for (std::size_t k = 0; k < 3; ++k) {
+        PowerMap p(stk);
+        p.deposit(0, stk.grid.extent(), 1.0 + 2.0 * static_cast<double>(k));
+        maps.push_back(std::move(p));
+    }
+    std::vector<SolveStats> bstats;
+    const auto batch = model.solveSteadyBatch(pointersOf(maps), &bstats);
+    expectColumnsBitIdentical(model, maps, batch, bstats,
+                              "1-layer MG batch");
+}
+
+TEST(MultigridEdgeShapes, TwoByTwoGridBottomsOutImmediately)
+{
+    // 2×2 lateral cells ≤ coarsestCells: no coarse levels get built
+    // and the V-cycle is a dense solve of the fine operator itself
+    // (CG then converges in one iteration).
+    const std::vector<SlabLayer> slab = {
+        {5e-4, 120.0}, {2e-5, 2.0}, {1e-3, 380.0}};
+    const auto stk = buildSlabStack(slab, 2, 2);
+    SolverOptions opts;
+    opts.tolerance = 1e-10;
+    opts.preconditioner = Preconditioner::Multigrid;
+    const GridModel model(stk, opts);
+    ASSERT_NE(model.multigrid(), nullptr);
+    EXPECT_EQ(model.multigrid()->numLevels(), 1u);
+
+    PowerMap power(stk);
+    power.deposit(0, stk.grid.extent(), 4.0);
+    SolveStats stats;
+    const TemperatureField got = model.solveSteady(power, &stats);
+    EXPECT_TRUE(stats.converged);
+    EXPECT_LE(stats.iterations, 2u); // B = A⁻¹ exactly
+    const TemperatureField ref =
+        verify::referenceSolveSteady(model, power);
+    for (std::size_t i = 0; i < got.numNodes(); ++i)
+        EXPECT_NEAR(got.nodes()[i], ref.nodes()[i], 1e-6) << i;
+
+    std::vector<PowerMap> maps;
+    for (std::size_t k = 0; k < 4; ++k) {
+        PowerMap p(stk);
+        p.deposit(0, stk.grid.extent(), 0.5 + static_cast<double>(k));
+        maps.push_back(std::move(p));
+    }
+    std::vector<SolveStats> bstats;
+    const auto batch = model.solveSteadyBatch(pointersOf(maps), &bstats);
+    expectColumnsBitIdentical(model, maps, batch, bstats,
+                              "2x2 dense-bottom batch");
+}
+
+} // namespace
+} // namespace xylem::thermal

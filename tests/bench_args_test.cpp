@@ -105,6 +105,34 @@ TEST(BenchArgsDeathTest, ChoiceListRejectsEmptyList)
                 "empty value for --solver");
 }
 
+TEST(BenchArgs, BoundedIntAcceptsInRangeValue)
+{
+    Argv av({"perf_solver", "--rhs", "32"});
+    Args args(av.argc(), av.argv(), "");
+    EXPECT_EQ(args.boundedIntOption("--rhs", 8, 1, 64), 32);
+    args.finish();
+}
+
+TEST(BenchArgsDeathTest, RhsZeroIsRejected)
+{
+    // `--rhs 0` would mean a zero-column block solve; the flag parser
+    // must fail fast instead of handing the solver an empty batch.
+    Argv av({"perf_solver", "--rhs", "0"});
+    Args args(av.argc(), av.argv(), "");
+    EXPECT_EXIT(args.boundedIntOption("--rhs", 8, 1, 64),
+                ::testing::ExitedWithCode(2),
+                "invalid value for --rhs \\(must be in \\[1, 64\\]\\)");
+}
+
+TEST(BenchArgsDeathTest, RhsBeyondBatchLimitIsRejected)
+{
+    Argv av({"perf_solver", "--rhs", "65"});
+    Args args(av.argc(), av.argv(), "");
+    EXPECT_EXIT(args.boundedIntOption("--rhs", 8, 1, 64),
+                ::testing::ExitedWithCode(2),
+                "invalid value for --rhs \\(must be in \\[1, 64\\]\\)");
+}
+
 TEST(BenchArgsDeathTest, UnknownLeftoverArgumentStillDies)
 {
     Argv av({"perf_solver", "--no-such-flag"});

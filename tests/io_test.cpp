@@ -194,6 +194,48 @@ TEST(ConfigIo, InvalidSolverChoiceIsATypedError)
     }
 }
 
+TEST(ConfigIo, BatchKeysRoundTrip)
+{
+    SystemConfig cfg;
+    cfg.batch.enabled = false;
+    cfg.batch.maxRhs = 32;
+    std::istringstream in(formatSystemConfig(cfg));
+    const SystemConfig back = parseSystemConfig(in);
+    EXPECT_FALSE(back.batch.enabled);
+    EXPECT_EQ(back.batch.maxRhs, 32);
+    // Absent keys keep the batching defaults (on, 16 columns).
+    std::istringstream empty("");
+    const SystemConfig defaults = parseSystemConfig(empty);
+    EXPECT_TRUE(defaults.batch.enabled);
+    EXPECT_EQ(defaults.batch.maxRhs, 16);
+}
+
+TEST(ConfigIo, InvalidBatchKeysAreTypedErrors)
+{
+    // batch.* arrives over the service wire inside request configs, so
+    // a bad value must come back as a recoverable ErrorCode::Config
+    // response — the same contract as solver/precond above.
+    const char *bad[] = {
+        "batch.enabled = maybe\n",
+        "batch.maxRhs = 0\n",
+        "batch.maxRhs = -4\n",
+        "batch.maxRhs = 2.5\n",
+        "batch.maxRhs = 1000\n", // beyond kMaxBatchRhs
+    };
+    for (const char *text : bad) {
+        std::istringstream in(text);
+        try {
+            parseSystemConfig(in);
+            FAIL() << "accepted: " << text;
+        } catch (const Error &e) {
+            EXPECT_EQ(e.code(), ErrorCode::Config) << text;
+            EXPECT_NE(std::string(e.what()).find("line 1"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+}
+
 TEST(ConfigIo, MissingFileFails)
 {
     EXPECT_THROW(loadSystemConfig("/no/such/file.cfg"), FatalError);

@@ -474,6 +474,251 @@ TEST(ServiceTest, DrainAnswersQueuedRequestsThenStops)
     EXPECT_NE(::access(path.c_str(), F_OK), 0);
 }
 
+// ------------------------------------------------------------ batching
+
+/** Response payload up to the telemetry block (which holds timings). */
+std::string
+payloadPrefix(const std::string &resp)
+{
+    const auto pos = resp.find("\"telemetry\"");
+    return pos == std::string::npos ? resp : resp.substr(0, pos);
+}
+
+/** Every response-visible summary field, compared bit for bit. */
+void
+expectSummariesBitIdentical(const service::EvalSummary &a,
+                            const service::EvalSummary &b)
+{
+    const auto same = [](double x, double y) {
+        return std::memcmp(&x, &y, sizeof x) == 0;
+    };
+    EXPECT_TRUE(same(a.procHotspotC, b.procHotspotC));
+    EXPECT_TRUE(same(a.dramBottomHotspotC, b.dramBottomHotspotC));
+    EXPECT_TRUE(same(a.procPowerW, b.procPowerW));
+    EXPECT_TRUE(same(a.dramPowerW, b.dramPowerW));
+    EXPECT_TRUE(same(a.simSeconds, b.simSeconds));
+    EXPECT_EQ(a.cgIterations, b.cgIterations);
+    EXPECT_EQ(a.converged, b.converged);
+    EXPECT_EQ(a.escalation, b.escalation);
+    ASSERT_EQ(a.coreHotspotC.size(), b.coreHotspotC.size());
+    for (std::size_t c = 0; c < a.coreHotspotC.size(); ++c)
+        EXPECT_TRUE(same(a.coreHotspotC[c], b.coreHotspotC[c]));
+}
+
+TEST(EngineBatchTest, BatchOutcomesBitIdenticalToSerialRuns)
+{
+    service::Engine engine{service::EngineOptions{}};
+    const char *apps[] = {"FFT", "LU", "Radix", "Barnes", "CG"};
+    std::vector<service::Request> reqs;
+    for (int i = 0; i < 5; ++i)
+        reqs.push_back(service::parseRequest(
+            steadyFrame(static_cast<std::uint64_t>(i),
+                        apps[static_cast<std::size_t>(i)],
+                        2.0 + 0.2 * i)));
+    std::vector<const service::Request *> ptrs;
+    for (const auto &r : reqs)
+        ptrs.push_back(&r);
+    const auto outcomes = engine.runBatch(ptrs);
+    ASSERT_EQ(outcomes.size(), reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        ASSERT_TRUE(outcomes[i].ok) << outcomes[i].message;
+        const service::EvalSummary solo = engine.run(reqs[i]);
+        expectSummariesBitIdentical(outcomes[i].summary, solo);
+    }
+}
+
+TEST(EngineBatchTest, BadAppNameGetsItsOwnOutcomeNotTheBatchs)
+{
+    service::Engine engine{service::EngineOptions{}};
+    std::vector<service::Request> reqs;
+    reqs.push_back(service::parseRequest(steadyFrame(1, "FFT", 2.4)));
+    reqs.push_back(
+        service::parseRequest(steadyFrame(2, "NoSuchApp99", 2.4)));
+    reqs.push_back(service::parseRequest(steadyFrame(3, "LU", 2.4)));
+    std::vector<const service::Request *> ptrs;
+    for (const auto &r : reqs)
+        ptrs.push_back(&r);
+    const auto outcomes = engine.runBatch(ptrs);
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_FALSE(outcomes[1].ok);
+    EXPECT_EQ(outcomes[1].code, ErrorCode::Config);
+    for (const std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+        ASSERT_TRUE(outcomes[i].ok) << outcomes[i].message;
+        expectSummariesBitIdentical(outcomes[i].summary,
+                                    engine.run(reqs[i]));
+    }
+}
+
+/** steadyFrame with an explicit square grid edge. */
+std::string
+steadyFrameOnGrid(std::uint64_t id, const std::string &app, double freq,
+                  int edge)
+{
+    std::ostringstream os;
+    os << "{\"id\":" << id << ",\"query\":\"steady\",\"app\":\"" << app
+       << "\",\"freqGHz\":" << freq << ",\"config\":{\"gridNx\":" << edge
+       << ",\"gridNy\":" << edge << "}}";
+    return os.str();
+}
+
+TEST(ServiceTest, DistinctRequestBurstDrainsIntoOneBlockSolve)
+{
+    runtime::Metrics::global().reset();
+    service::ServerOptions opts;
+    opts.socketPath = testSocket("burst");
+    opts.workers = 1; // the burst must queue behind the blocker
+    opts.queueCapacity = 32;
+    LiveServer live(std::move(opts));
+    const std::string &path = live.server().options().socketPath;
+
+    // Occupy the single worker with a cold large-grid solve so the
+    // burst piles up in the queue and drains into one block solve.
+    std::thread blocker([&] {
+        roundTrip(path, steadyFrameOnGrid(99, "FFT", 2.0, 64));
+    });
+    const auto &admitted =
+        runtime::Metrics::global().counter("service.requests");
+    while (admitted.value() < 1)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    const char *apps[] = {"FFT", "LU", "Radix", "Barnes", "CG", "FT"};
+    constexpr int kBurst = 6;
+    std::vector<std::string> burst(kBurst);
+    {
+        std::vector<std::thread> threads;
+        for (int c = 0; c < kBurst; ++c)
+            threads.emplace_back([&, c] {
+                burst[static_cast<std::size_t>(c)] = roundTrip(
+                    path,
+                    steadyFrame(static_cast<std::uint64_t>(c),
+                                apps[static_cast<std::size_t>(c)],
+                                2.0 + 0.1 * c));
+            });
+        for (auto &t : threads)
+            t.join();
+    }
+    blocker.join();
+
+    auto &snap = runtime::Metrics::global();
+    EXPECT_GE(snap.counter("service.batches_formed").value(), 1u);
+    EXPECT_GE(snap.counter("service.batched_requests").value(), 2u);
+    EXPECT_EQ(snap.counter("service.batch_fallbacks").value(), 0u);
+
+    // Byte-identical to serial serving: replay each burst request on
+    // the now-idle server (one at a time, so no batch forms) and
+    // compare everything before the telemetry block.
+    for (int c = 0; c < kBurst; ++c) {
+        const std::string solo = roundTrip(
+            path, steadyFrame(static_cast<std::uint64_t>(c),
+                              apps[static_cast<std::size_t>(c)],
+                              2.0 + 0.1 * c));
+        EXPECT_TRUE(
+            service::parseJson(burst[static_cast<std::size_t>(c)])
+                .find("ok")
+                ->boolean());
+        EXPECT_EQ(payloadPrefix(burst[static_cast<std::size_t>(c)]),
+                  payloadPrefix(solo))
+            << "batched response for " << apps[c]
+            << " differs from serial serving";
+    }
+}
+
+TEST(ServiceTest, MixedConfigBurstSplitsIntoPerConfigBatches)
+{
+    runtime::Metrics::global().reset();
+    service::ServerOptions opts;
+    opts.socketPath = testSocket("mixed");
+    opts.workers = 1;
+    opts.queueCapacity = 32;
+    LiveServer live(std::move(opts));
+    const std::string &path = live.server().options().socketPath;
+
+    std::thread blocker([&] {
+        roundTrip(path, steadyFrameOnGrid(99, "FFT", 2.0, 64));
+    });
+    const auto &admitted =
+        runtime::Metrics::global().counter("service.requests");
+    while (admitted.value() < 1)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // Two distinct configs interleaved: the drain must never put them
+    // in the same batch (Engine::runBatch asserts one config text per
+    // batch, so cross-batching would abort the daemon, not just give
+    // wrong answers).
+    const char *apps[] = {"FFT", "LU", "Radix", "Barnes"};
+    constexpr int kPerConfig = 4;
+    std::vector<std::string> responses(2 * kPerConfig);
+    {
+        std::vector<std::thread> threads;
+        for (int c = 0; c < 2 * kPerConfig; ++c)
+            threads.emplace_back([&, c] {
+                const int edge = (c % 2 == 0) ? 16 : 20;
+                responses[static_cast<std::size_t>(c)] = roundTrip(
+                    path,
+                    steadyFrameOnGrid(
+                        static_cast<std::uint64_t>(c),
+                        apps[static_cast<std::size_t>(c / 2)],
+                        2.0 + 0.1 * c, edge));
+            });
+        for (auto &t : threads)
+            t.join();
+    }
+    blocker.join();
+
+    for (int c = 0; c < 2 * kPerConfig; ++c) {
+        const std::string &text =
+            responses[static_cast<std::size_t>(c)];
+        ASSERT_FALSE(text.empty());
+        EXPECT_TRUE(service::parseJson(text).find("ok")->boolean())
+            << text;
+        const int edge = (c % 2 == 0) ? 16 : 20;
+        const std::string solo = roundTrip(
+            path, steadyFrameOnGrid(
+                      static_cast<std::uint64_t>(c),
+                      apps[static_cast<std::size_t>(c / 2)],
+                      2.0 + 0.1 * c, edge));
+        EXPECT_EQ(payloadPrefix(text), payloadPrefix(solo));
+    }
+}
+
+TEST(ServiceTest, BurstBeyondQueueCapacityShedsThenBatchesTheRest)
+{
+    runtime::Metrics::global().reset();
+    service::ServerOptions opts;
+    opts.socketPath = testSocket("bigburst");
+    opts.workers = 1;
+    opts.queueCapacity = 4; // well below batch.maxRhs (16)
+    LiveServer live(std::move(opts));
+    const std::string &path = live.server().options().socketPath;
+
+    constexpr int kClients = 12;
+    std::atomic<int> ok{0};
+    std::atomic<int> overloaded{0};
+    {
+        std::vector<std::thread> threads;
+        for (int c = 0; c < kClients; ++c)
+            threads.emplace_back([&, c] {
+                const service::JsonValue resp =
+                    service::parseJson(roundTrip(
+                        path,
+                        steadyFrame(static_cast<std::uint64_t>(c),
+                                    "FFT", 2.0 + 0.05 * c)));
+                if (resp.find("ok")->boolean())
+                    ++ok;
+                else if (resp.find("error")->find("code")->str() ==
+                         "overloaded")
+                    ++overloaded;
+            });
+        for (auto &t : threads)
+            t.join();
+    }
+    // Every request is either answered or shed with the typed code; a
+    // batch can only ever drain what admission let through.
+    EXPECT_EQ(ok.load() + overloaded.load(), kClients);
+    EXPECT_EQ(runtime::Metrics::global().counter("service.shed").value(),
+              static_cast<std::uint64_t>(overloaded.load()));
+}
+
 // ------------------------------------------------- latency histogram
 
 TEST(MetricsHistogramTest, QuantilesLandInTheRightBucket)
@@ -489,6 +734,26 @@ TEST(MetricsHistogramTest, QuantilesLandInTheRightBucket)
     EXPECT_NEAR(snap.quantile(0.50), 1e-3, 0.3e-3);
     EXPECT_NEAR(snap.quantile(0.99), 1.0, 0.3);
     EXPECT_NEAR(snap.meanSeconds(), 0.1009, 0.01);
+}
+
+TEST(MetricsHistogramTest, NearbyTailQuantilesStayDistinct)
+{
+    // Regression: with 96 wide (~24%) buckets and midpoint
+    // extraction, a tight latency distribution put p95 and p99 in the
+    // same bucket and both collapsed to one midpoint — perf_service
+    // reported p95_s == p99_s for every run. Narrower buckets plus
+    // rank interpolation keep nearby tail quantiles ordered.
+    runtime::LatencyHistogram h;
+    for (int i = 0; i < 1000; ++i)
+        h.observe(1e-3 * (1.0 + 2e-4 * i)); // 1.0 ms .. 1.2 ms
+    const auto snap = h.snapshot();
+    const double p50 = snap.quantile(0.50);
+    const double p95 = snap.quantile(0.95);
+    const double p99 = snap.quantile(0.99);
+    EXPECT_LT(p50, p95);
+    EXPECT_LT(p95, p99);
+    EXPECT_NEAR(p95, 1.19e-3, 0.15e-3);
+    EXPECT_NEAR(p99, 1.198e-3, 0.15e-3);
 }
 
 TEST(MetricsHistogramTest, UnderflowOverflowAndGarbageAreBounded)

@@ -13,10 +13,19 @@
  * concurrent duplicates actually collide in the daemon's in-flight
  * map and exercise the micro-batching path.
  *
+ * Resilience: clients reconnect with capped exponential backoff
+ * (deterministic jitter) on transport failures and retry overloaded
+ * responses a bounded number of times; retry/reconnect counts are
+ * reported. --deadline-ms attaches an end-to-end budget to every
+ * request, and the latency percentiles are split by outcome (ok /
+ * overloaded / deadline-exceeded / error) so a shed request's fast
+ * typed answer cannot masquerade as solve throughput.
+ *
  * Flags:
  *   --socket PATH      use an external daemon instead of in-process
  *   --clients N        concurrent client connections (default 8)
  *   --requests N       requests per client (default 24)
+ *   --deadline-ms MS   per-request end-to-end deadline (default none)
  *   --dup-percent P    share of duplicate-scenario requests (default 50)
  *   --jobs N           in-process server worker threads (default 4)
  *   --queue-capacity N in-process server queue bound (default 64)
@@ -110,7 +119,7 @@ isShared(int r, int dup_percent)
 std::string
 requestFrame(std::uint64_t id, const Scenario &s,
              const char *nx = kGridNx, const char *ny = kGridNy,
-             const char *precond = nullptr)
+             const char *precond = nullptr, double deadline_ms = 0.0)
 {
     service::JsonValue::Object config;
     config.emplace("gridNx", service::JsonValue(nx));
@@ -122,68 +131,149 @@ requestFrame(std::uint64_t id, const Scenario &s,
     req.emplace("query", service::JsonValue("steady"));
     req.emplace("app", service::JsonValue(s.app));
     req.emplace("freqGHz", service::JsonValue(s.freqGHz));
+    if (deadline_ms > 0.0)
+        req.emplace("deadline_ms", service::JsonValue(deadline_ms));
     req.emplace("config", service::JsonValue(std::move(config)));
     std::string frame = service::JsonValue(std::move(req)).dump();
     frame += '\n';
     return frame;
 }
 
-struct ClientStats
+/** Capped exponential backoff with deterministic hash jitter. */
+std::chrono::milliseconds
+backoffDelay(int client, int attempt)
 {
-    std::vector<double> latencies;
-    int ok = 0;
-    int overloaded = 0;
-    int errors = 0;
-    int transport_failures = 0;
+    double ms = 20.0;
+    for (int i = 1; i < attempt && ms < 500.0; ++i)
+        ms *= 2.0;
+    if (ms > 500.0)
+        ms = 500.0;
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = (h ^ static_cast<std::uint64_t>(client)) * 0x100000001b3ull;
+    h = (h ^ static_cast<std::uint64_t>(attempt)) * 0x100000001b3ull;
+    h ^= h >> 33;
+    const double jitter =
+        0.75 + 0.5 * static_cast<double>(h % 1024) / 1024.0;
+    return std::chrono::milliseconds(
+        static_cast<long>(ms * jitter + 0.5));
+}
+
+enum class Outcome
+{
+    Ok,
+    Overloaded,
+    DeadlineExceeded,
+    Error
 };
 
-/** One client: a connection firing requests back-to-back. */
+struct ClientStats
+{
+    /** Latencies split by final outcome (seconds, unsorted). */
+    std::vector<double> byOutcome[4];
+    int ok = 0;
+    int overloaded = 0;
+    int deadline_exceeded = 0;
+    int errors = 0;
+    int transport_failures = 0;
+    int retries = 0;    ///< re-sent requests (overload/transport)
+    int reconnects = 0; ///< connections re-established mid-run
+};
+
+constexpr int kMaxAttempts = 3;
+
+/** One client: a connection firing requests back-to-back, with
+ *  reconnect + bounded retry on transport failure and overload. */
 ClientStats
 runClient(const std::string &socket_path, int client, int requests,
-          int dup_percent)
+          int dup_percent, double deadline_ms)
 {
     ClientStats stats;
-    try {
-        const service::FdGuard fd = service::connectUnix(socket_path);
-        service::LineReader reader(fd.get(), service::kMaxFrameBytes);
-        for (int r = 0; r < requests; ++r) {
-            const Scenario s = isShared(r, dup_percent)
-                                   ? sharedScenario(r)
-                                   : uniqueScenario(client, r);
-            const std::uint64_t id =
-                static_cast<std::uint64_t>(client) * 100000 +
-                static_cast<std::uint64_t>(r);
-            const auto t0 = Clock::now();
-            if (!service::sendAll(fd.get(), requestFrame(id, s))) {
-                ++stats.transport_failures;
-                break;
+    service::FdGuard fd;
+    std::unique_ptr<service::LineReader> reader;
+    const auto connect = [&]() -> bool {
+        try {
+            fd = service::connectUnix(socket_path);
+            reader = std::make_unique<service::LineReader>(
+                fd.get(), service::kMaxFrameBytes);
+            return true;
+        } catch (const Error &) {
+            return false;
+        }
+    };
+    if (!connect()) {
+        std::cerr << "client " << client << ": cannot connect\n";
+        ++stats.transport_failures;
+        return stats;
+    }
+    for (int r = 0; r < requests; ++r) {
+        const Scenario s = isShared(r, dup_percent)
+                               ? sharedScenario(r)
+                               : uniqueScenario(client, r);
+        const std::uint64_t id =
+            static_cast<std::uint64_t>(client) * 100000 +
+            static_cast<std::uint64_t>(r);
+        const std::string frame = requestFrame(
+            id, s, kGridNx, kGridNy, nullptr, deadline_ms);
+        const auto t0 = Clock::now();
+        bool answered = false;
+        for (int attempt = 1; attempt <= kMaxAttempts && !answered;
+             ++attempt) {
+            if (attempt > 1) {
+                ++stats.retries;
+                std::this_thread::sleep_for(
+                    backoffDelay(client, attempt));
             }
             std::string line;
-            if (reader.next(line) != service::ReadStatus::Frame) {
-                ++stats.transport_failures;
-                break;
+            if (!service::sendAll(fd.get(), frame) ||
+                reader->next(line) != service::ReadStatus::Frame) {
+                // Transport failure: reconnect (the daemon may have
+                // restarted) and let the attempt loop resend.
+                if (connect())
+                    ++stats.reconnects;
+                continue;
             }
-            stats.latencies.push_back(
+            const double latency =
                 std::chrono::duration<double>(Clock::now() - t0)
-                    .count());
+                    .count();
             const service::JsonValue resp = service::parseJson(line);
             const service::JsonValue *ok = resp.find("ok");
+            Outcome outcome = Outcome::Error;
             if (ok && ok->isBoolean() && ok->boolean()) {
-                ++stats.ok;
+                outcome = Outcome::Ok;
             } else {
                 const service::JsonValue *error = resp.find("error");
                 const service::JsonValue *code =
                     error ? error->find("code") : nullptr;
-                if (code && code->isString() &&
-                    code->str() == "overloaded")
-                    ++stats.overloaded;
-                else
-                    ++stats.errors;
+                const std::string token =
+                    code && code->isString() ? code->str() : "";
+                if (token == "overloaded")
+                    outcome = Outcome::Overloaded;
+                else if (token == "deadline-exceeded")
+                    outcome = Outcome::DeadlineExceeded;
+            }
+            if (outcome == Outcome::Overloaded &&
+                attempt < kMaxAttempts)
+                continue; // shed: back off and resend
+            answered = true;
+            stats.byOutcome[static_cast<int>(outcome)].push_back(
+                latency);
+            switch (outcome) {
+            case Outcome::Ok:
+                ++stats.ok;
+                break;
+            case Outcome::Overloaded:
+                ++stats.overloaded;
+                break;
+            case Outcome::DeadlineExceeded:
+                ++stats.deadline_exceeded;
+                break;
+            case Outcome::Error:
+                ++stats.errors;
+                break;
             }
         }
-    } catch (const Error &e) {
-        std::cerr << "client " << client << ": " << e.what() << "\n";
-        ++stats.transport_failures;
+        if (!answered)
+            ++stats.transport_failures;
     }
     return stats;
 }
@@ -432,6 +522,7 @@ main(int argc, char **argv)
         "  --socket PATH      external daemon (default: in-process)\n"
         "  --clients N        concurrent clients (default 8)\n"
         "  --requests N       requests per client (default 24)\n"
+        "  --deadline-ms MS   per-request deadline (default none)\n"
         "  --dup-percent P    duplicate-scenario share (default 50)\n"
         "  --jobs N           in-process server workers (default 4)\n"
         "  --queue-capacity N in-process queue bound (default 64)\n"
@@ -452,6 +543,7 @@ main(int argc, char **argv)
         external_socket = *path;
     clients = args.intOption("--clients", clients);
     requests = args.intOption("--requests", requests);
+    const double deadline_ms = args.numberOption("--deadline-ms", 0.0);
     const int dup_percent = args.intOption("--dup-percent", 50);
     const int jobs = args.intOption("--jobs", 4);
     const int queue_capacity = args.intOption("--queue-capacity", 64);
@@ -495,7 +587,8 @@ main(int argc, char **argv)
         for (int c = 0; c < clients; ++c)
             threads.emplace_back([&, c] {
                 stats[static_cast<std::size_t>(c)] = runClient(
-                    socket_path, c, requests, dup_percent);
+                    socket_path, c, requests, dup_percent,
+                    deadline_ms);
             });
         for (auto &t : threads)
             t.join();
@@ -505,17 +598,29 @@ main(int argc, char **argv)
 
     ClientStats total;
     for (const auto &s : stats) {
-        total.latencies.insert(total.latencies.end(),
-                               s.latencies.begin(), s.latencies.end());
+        for (int o = 0; o < 4; ++o)
+            total.byOutcome[o].insert(total.byOutcome[o].end(),
+                                      s.byOutcome[o].begin(),
+                                      s.byOutcome[o].end());
         total.ok += s.ok;
         total.overloaded += s.overloaded;
+        total.deadline_exceeded += s.deadline_exceeded;
         total.errors += s.errors;
         total.transport_failures += s.transport_failures;
+        total.retries += s.retries;
+        total.reconnects += s.reconnects;
     }
-    std::sort(total.latencies.begin(), total.latencies.end());
-    const double p50 = quantile(total.latencies, 0.50);
-    const double p95 = quantile(total.latencies, 0.95);
-    const double p99 = quantile(total.latencies, 0.99);
+    std::vector<double> all_latencies;
+    for (int o = 0; o < 4; ++o) {
+        all_latencies.insert(all_latencies.end(),
+                             total.byOutcome[o].begin(),
+                             total.byOutcome[o].end());
+        std::sort(total.byOutcome[o].begin(), total.byOutcome[o].end());
+    }
+    std::sort(all_latencies.begin(), all_latencies.end());
+    const double p50 = quantile(all_latencies, 0.50);
+    const double p95 = quantile(all_latencies, 0.95);
+    const double p99 = quantile(all_latencies, 0.99);
     const double throughput =
         wall > 0.0 ? static_cast<double>(total.ok) / wall : 0.0;
 
@@ -575,14 +680,34 @@ main(int argc, char **argv)
     }
 
     std::cout << "\nresponses: " << total.ok << " ok, "
-              << total.overloaded << " overloaded, " << total.errors
-              << " errors, " << total.transport_failures
-              << " transport failures\n";
+              << total.overloaded << " overloaded, "
+              << total.deadline_exceeded << " deadline-exceeded, "
+              << total.errors << " errors, "
+              << total.transport_failures << " transport failures ("
+              << total.retries << " retries, " << total.reconnects
+              << " reconnects)\n";
     std::cout << "throughput: " << Table::num(throughput, 1)
               << " req/s over " << Table::num(wall, 2) << " s\n";
     std::cout << "latency: p50 " << Table::num(p50 * 1e3, 2)
               << " ms, p95 " << Table::num(p95 * 1e3, 2)
               << " ms, p99 " << Table::num(p99 * 1e3, 2) << " ms\n";
+    static const char *const kOutcomeNames[] = {
+        "ok", "overloaded", "deadline_exceeded", "error"};
+    for (int o = 0; o < 4; ++o)
+        if (!total.byOutcome[o].empty())
+            std::cout << "  " << kOutcomeNames[o] << ": p50 "
+                      << Table::num(
+                             quantile(total.byOutcome[o], 0.50) * 1e3,
+                             2)
+                      << " ms, p95 "
+                      << Table::num(
+                             quantile(total.byOutcome[o], 0.95) * 1e3,
+                             2)
+                      << " ms, p99 "
+                      << Table::num(
+                             quantile(total.byOutcome[o], 0.99) * 1e3,
+                             2)
+                      << " ms (" << total.byOutcome[o].size() << ")\n";
     std::cout << "dedup hits: " << dedup_hits << ", shed: " << shed
               << ", bit-identical vs batch: "
               << (verify_n > 0 ? (bit_identical ? "yes" : "NO")
@@ -594,16 +719,37 @@ main(int argc, char **argv)
         json << "{\"bench\":\"perf_service\",\"clients\":" << clients
              << ",\"requests_per_client\":" << requests
              << ",\"dup_percent\":" << dup_percent
+             << ",\"deadline_ms\":"
+             << service::formatDouble(deadline_ms)
              << ",\"wall_seconds\":" << wall
              << ",\"responses_ok\":" << total.ok
              << ",\"overloaded\":" << total.overloaded
+             << ",\"deadline_exceeded\":" << total.deadline_exceeded
              << ",\"errors\":" << total.errors
              << ",\"transport_failures\":" << total.transport_failures
+             << ",\"retries\":" << total.retries
+             << ",\"reconnects\":" << total.reconnects
              << ",\"throughput_rps\":" << throughput
              << ",\"p50_s\":" << service::formatDouble(p50)
              << ",\"p95_s\":" << service::formatDouble(p95)
-             << ",\"p99_s\":" << service::formatDouble(p99)
-             << ",\"dedup_hits\":" << dedup_hits
+             << ",\"p99_s\":" << service::formatDouble(p99);
+        json << ",\"latency_by_outcome\":{";
+        for (int o = 0; o < 4; ++o) {
+            json << (o ? "," : "") << "\"" << kOutcomeNames[o]
+                 << "\":{\"count\":" << total.byOutcome[o].size()
+                 << ",\"p50_s\":"
+                 << service::formatDouble(
+                        quantile(total.byOutcome[o], 0.50))
+                 << ",\"p95_s\":"
+                 << service::formatDouble(
+                        quantile(total.byOutcome[o], 0.95))
+                 << ",\"p99_s\":"
+                 << service::formatDouble(
+                        quantile(total.byOutcome[o], 0.99))
+                 << "}";
+        }
+        json << "}";
+        json << ",\"dedup_hits\":" << dedup_hits
              << ",\"shed\":" << shed << ",\"bit_identical\":"
              << (bit_identical ? "true" : "false");
         if (want_batch_sweep) {

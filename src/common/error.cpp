@@ -32,6 +32,8 @@ toString(ErrorCode code)
         return "protocol";
     case ErrorCode::Overloaded:
         return "overloaded";
+    case ErrorCode::ConnectionLost:
+        return "connection-lost";
     }
     return "unknown";
 }

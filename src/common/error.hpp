@@ -48,6 +48,7 @@ enum class ErrorCode
     TaskFailed,           ///< aggregate sweep-task failure
     Protocol,             ///< malformed service request frame
     Overloaded,           ///< admission control shed the request
+    ConnectionLost,       ///< peer reset / transport failure mid-exchange
 };
 
 /** Stable lower-case token for manifests, logs, and tests. */

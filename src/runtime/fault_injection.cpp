@@ -82,7 +82,9 @@ bool
 FaultSpec::any() const
 {
     return cacheCorrupt > 0.0 || taskFail > 0.0 || !taskKill.empty() ||
-           !cgNoconv.empty() || cgNoconvP > 0.0 || delay > 0.0;
+           !cgNoconv.empty() || cgNoconvP > 0.0 || delay > 0.0 ||
+           acceptFail > 0.0 || readTorn > 0.0 || writeTorn > 0.0 ||
+           slowClient > 0.0 || connReset > 0.0 || workerStall > 0.0;
 }
 
 FaultSpec
@@ -121,6 +123,20 @@ FaultSpec::parse(const std::string &spec)
                     out.delay = parseProbability(key, value);
                 } else if (key == "delay_ms") {
                     out.delayMs = std::stoi(value);
+                } else if (key == "accept_fail") {
+                    out.acceptFail = parseProbability(key, value);
+                } else if (key == "read_torn") {
+                    out.readTorn = parseProbability(key, value);
+                } else if (key == "write_torn") {
+                    out.writeTorn = parseProbability(key, value);
+                } else if (key == "slow_client") {
+                    out.slowClient = parseProbability(key, value);
+                } else if (key == "conn_reset") {
+                    out.connReset = parseProbability(key, value);
+                } else if (key == "worker_stall") {
+                    out.workerStall = parseProbability(key, value);
+                } else if (key == "stall_ms") {
+                    out.stallMs = std::stoi(value);
                 } else {
                     raise(ErrorCode::Config, "fault spec: unknown key '",
                           key, "'");
@@ -249,6 +265,78 @@ FaultInjector::maybeDelay(std::uint64_t index) const
         std::this_thread::sleep_for(
             std::chrono::milliseconds(spec->delayMs));
     }
+}
+
+bool
+FaultInjector::injectAcceptFailure(std::uint64_t conn_id) const
+{
+    const auto spec = snapshot();
+    if (!spec || spec->acceptFail <= 0.0)
+        return false;
+    if (decision(spec->seed, "accept_fail", conn_id) >= spec->acceptFail)
+        return false;
+    Metrics::global().counter("fault.accept_failures").increment();
+    return true;
+}
+
+std::size_t
+FaultInjector::tornReadLimit(std::uint64_t conn_id) const
+{
+    const auto spec = snapshot();
+    if (!spec || spec->readTorn <= 0.0)
+        return 0;
+    if (decision(spec->seed, "read_torn", conn_id) >= spec->readTorn)
+        return 0;
+    Metrics::global().counter("fault.torn_reads").increment();
+    return 3; // a few bytes per read: frames reassemble over many slices
+}
+
+bool
+FaultInjector::injectTornWrite(std::uint64_t conn_id) const
+{
+    const auto spec = snapshot();
+    if (!spec || spec->writeTorn <= 0.0)
+        return false;
+    if (decision(spec->seed, "write_torn", conn_id) >= spec->writeTorn)
+        return false;
+    Metrics::global().counter("fault.torn_writes").increment();
+    return true;
+}
+
+int
+FaultInjector::slowClientPauseMs(std::uint64_t conn_id) const
+{
+    const auto spec = snapshot();
+    if (!spec || spec->slowClient <= 0.0 || spec->stallMs <= 0)
+        return 0;
+    if (decision(spec->seed, "slow_client", conn_id) >= spec->slowClient)
+        return 0;
+    Metrics::global().counter("fault.slow_clients").increment();
+    return spec->stallMs;
+}
+
+bool
+FaultInjector::injectConnReset(std::uint64_t conn_id) const
+{
+    const auto spec = snapshot();
+    if (!spec || spec->connReset <= 0.0)
+        return false;
+    if (decision(spec->seed, "conn_reset", conn_id) >= spec->connReset)
+        return false;
+    Metrics::global().counter("fault.conn_resets").increment();
+    return true;
+}
+
+int
+FaultInjector::workerStallMs(std::uint64_t seq) const
+{
+    const auto spec = snapshot();
+    if (!spec || spec->workerStall <= 0.0 || spec->stallMs <= 0)
+        return 0;
+    if (decision(spec->seed, "worker_stall", seq) >= spec->workerStall)
+        return 0;
+    Metrics::global().counter("fault.worker_stalls").increment();
+    return spec->stallMs;
 }
 
 FaultInjector::ScopedSpec::ScopedSpec(const std::string &spec)

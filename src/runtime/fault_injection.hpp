@@ -26,10 +26,27 @@
  *   delay=P              delay a task by delay_ms with prob. P
  *   delay_ms=M           artificial task delay (default 50)
  *
+ * Service-layer keys (the ServiceFaultInjector vocabulary, enacted by
+ * the daemon's socket/server layers and by chaos-test clients):
+ *   accept_fail=P        close an accepted connection immediately
+ *   read_torn=P          cap a connection's reads to a few bytes, so
+ *                        frames arrive torn across many poll slices
+ *   write_torn=P         write a connection's responses in tiny
+ *                        chunks with sub-ms pauses between them
+ *   slow_client=P        a chaos client trickles its request bytes
+ *                        (server side must reap it via the idle-read
+ *                        timeout, never pin a reader thread)
+ *   conn_reset=P         a chaos client hard-resets (SO_LINGER 0)
+ *                        after sending a frame
+ *   worker_stall=P       a worker sleeps stall_ms before serving a
+ *                        picked-up job (the watchdog must notice)
+ *   stall_ms=M           worker stall / slow-client pause (default 200)
+ *
  * Every decision is a pure hash of (seed, fault kind, task index or
  * cache key) — independent of thread count, scheduling, and attempt
  * history — so a faulty run is exactly reproducible and a test can
- * query the injector to predict which tasks are hit.
+ * query the injector to predict which tasks are hit. Service decisions
+ * hash the connection or job sequence number the same way.
  */
 
 #ifndef XYLEM_RUNTIME_FAULT_INJECTION_HPP
@@ -55,6 +72,14 @@ struct FaultSpec
     double cgNoconvP = 0.0;
     double delay = 0.0;
     int delayMs = 50;
+    // Service-layer (socket/server) faults.
+    double acceptFail = 0.0;
+    double readTorn = 0.0;
+    double writeTorn = 0.0;
+    double slowClient = 0.0;
+    double connReset = 0.0;
+    double workerStall = 0.0;
+    int stallMs = 200;
 
     bool any() const;
 
@@ -94,6 +119,32 @@ class FaultInjector
 
     /** Possibly sleep the artificial task delay. */
     void maybeDelay(std::uint64_t index) const;
+
+    // Service-layer decisions (see the spec vocabulary above). All are
+    // pure hashes of (seed, kind, id), so the daemon and a chaos-test
+    // client armed with the same spec agree on which connection or job
+    // is hit.
+
+    /** Should connection `conn_id` be dropped right after accept? */
+    bool injectAcceptFailure(std::uint64_t conn_id) const;
+
+    /**
+     * Torn-read cap for connection `conn_id` in bytes (0 = no fault):
+     * the reader consumes at most this many bytes per read call.
+     */
+    std::size_t tornReadLimit(std::uint64_t conn_id) const;
+
+    /** Should responses on `conn_id` be written in torn chunks? */
+    bool injectTornWrite(std::uint64_t conn_id) const;
+
+    /** Milliseconds a slow-loris client pauses mid-frame (0 = none). */
+    int slowClientPauseMs(std::uint64_t conn_id) const;
+
+    /** Should a chaos client hard-reset connection `conn_id`? */
+    bool injectConnReset(std::uint64_t conn_id) const;
+
+    /** Milliseconds worker processing of job `seq` stalls (0 = none). */
+    int workerStallMs(std::uint64_t seq) const;
 
     /** RAII spec override for tests; restores the old spec on exit. */
     class ScopedSpec

@@ -138,15 +138,16 @@ Engine::runOnce(const Request &req, core::StackSystem &system)
         break;
     }
     case QueryType::Metrics:
+    case QueryType::Health:
         raise(ErrorCode::Protocol,
-              "metrics queries are answered by the server, not the "
-              "engine");
+              "metrics/health queries are answered by the server, not "
+              "the engine");
     }
     return out;
 }
 
 TaskContext
-Engine::contextForRung(int rung) const
+Engine::contextForRung(int rung, Deadline deadline) const
 {
     TaskContext ctx;
     ctx.escalation = rung;
@@ -159,29 +160,44 @@ Engine::contextForRung(int rung) const
                            std::chrono::duration<double>(
                                opts_.taskTimeoutSeconds));
     }
+    // The request's end-to-end budget tightens (never loosens) the
+    // per-rung cooperative timeout.
+    if (deadline != Deadline{} &&
+        (!ctx.hasDeadline || deadline < ctx.deadline)) {
+        ctx.hasDeadline = true;
+        ctx.deadline = deadline;
+    }
     return ctx;
 }
 
 EvalSummary
-Engine::run(const Request &req)
+Engine::run(const Request &req, Deadline deadline)
 {
     auto slot = slotFor(req);
     std::lock_guard<std::mutex> guard(slot->mutex);
-    return runLadder(req, *slot);
+    return runLadder(req, *slot, deadline);
 }
 
 EvalSummary
-Engine::runLadder(const Request &req, Slot &slot)
+Engine::runLadder(const Request &req, Slot &slot, Deadline deadline)
 {
     auto &retries = runtime::Metrics::global().counter("service.retries");
     auto &escalations =
         runtime::Metrics::global().counter("service.escalations");
     const bool resilient = opts_.maxRetries > 0;
+    const auto budget_gone = [&] {
+        return deadline != Deadline{} &&
+               std::chrono::steady_clock::now() >= deadline;
+    };
     int rung = 0;
     int retries_left = opts_.maxRetries;
     for (;;) {
+        if (budget_gone())
+            raise(ErrorCode::DeadlineExceeded,
+                  "request deadline expired before attempt at rung ",
+                  rung);
         try {
-            TaskContext ctx = contextForRung(rung);
+            TaskContext ctx = contextForRung(rung, deadline);
             ScopedTaskContext scope(ctx);
             // Determinism contract: never inherit a warm start from a
             // previous request, so this response is bit-identical to
@@ -191,6 +207,12 @@ Engine::runLadder(const Request &req, Slot &slot)
             out.escalation = rung;
             return out;
         } catch (const Error &e) {
+            // A DeadlineExceeded caused by the REQUEST budget running
+            // out ends the ladder: escalating would spend time the
+            // client no longer has. Only a per-rung timeout (budget
+            // still remaining) earns another rung.
+            if (e.code() == ErrorCode::DeadlineExceeded && budget_gone())
+                throw;
             const bool escalatable =
                 e.code() == ErrorCode::SolverNonConvergence ||
                 e.code() == ErrorCode::SolverBreakdown ||
@@ -216,7 +238,8 @@ Engine::runLadder(const Request &req, Slot &slot)
 }
 
 std::vector<Engine::BatchOutcome>
-Engine::runBatch(const std::vector<const Request *> &reqs)
+Engine::runBatch(const std::vector<const Request *> &reqs,
+                 const std::vector<Deadline> &deadlines)
 {
     std::vector<BatchOutcome> out(reqs.size());
     if (reqs.empty())
@@ -225,6 +248,20 @@ Engine::runBatch(const std::vector<const Request *> &reqs)
                  "runBatch: ", reqs.size(),
                  " requests exceed the block-solve limit of ",
                  thermal::kMaxBatchRhs);
+    XYLEM_ASSERT(deadlines.empty() || deadlines.size() == reqs.size(),
+                 "runBatch: deadlines must be empty or positional");
+    const auto deadline_of = [&](std::size_t i) {
+        return i < deadlines.size() ? deadlines[i] : Deadline{};
+    };
+    // The member with the least budget decides when the shared block
+    // attempt gives up; each member keeps its own deadline for the
+    // fallback ladder.
+    Deadline block_deadline{};
+    for (std::size_t i = 0; i < deadlines.size(); ++i)
+        if (deadlines[i] != Deadline{} &&
+            (block_deadline == Deadline{} ||
+             deadlines[i] < block_deadline))
+            block_deadline = deadlines[i];
     auto slot = slotFor(*reqs.front());
     std::lock_guard<std::mutex> guard(slot->mutex);
     auto &metrics = runtime::Metrics::global();
@@ -256,7 +293,7 @@ Engine::runBatch(const std::vector<const Request *> &reqs)
     // ladder's first rung (strict, so a non-converged column raises
     // instead of silently returning a bad field).
     try {
-        TaskContext ctx = contextForRung(0);
+        TaskContext ctx = contextForRung(0, block_deadline);
         ScopedTaskContext scope(ctx);
         slot->system.clearWarmStart();
         std::vector<core::EvalResult> evals =
@@ -282,7 +319,7 @@ Engine::runBatch(const std::vector<const Request *> &reqs)
     // pathological member cannot take healthy ones down with it.
     for (const std::size_t i : live) {
         try {
-            out[i].summary = runLadder(*reqs[i], *slot);
+            out[i].summary = runLadder(*reqs[i], *slot, deadline_of(i));
             out[i].ok = true;
         } catch (const Error &e) {
             out[i].ok = false;

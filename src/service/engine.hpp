@@ -22,11 +22,13 @@
 #ifndef XYLEM_SERVICE_ENGINE_HPP
 #define XYLEM_SERVICE_ENGINE_HPP
 
+#include <chrono>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/task_context.hpp"
 #include "service/protocol.hpp"
@@ -47,15 +49,28 @@ struct EngineOptions
 class Engine
 {
   public:
+    /**
+     * Absolute end-to-end deadline of a request; the default-
+     * constructed value means "none". Distinct from the per-rung
+     * cooperative timeout (EngineOptions::taskTimeoutSeconds): the
+     * rung timeout buys escalation another attempt, the request
+     * deadline ends the whole ladder — once it has passed, escalating
+     * would spend budget the client no longer has.
+     */
+    using Deadline = std::chrono::steady_clock::time_point;
+
     explicit Engine(EngineOptions opts);
 
     /**
      * Execute the request's query. Thread-safe; concurrent requests
      * against the same config serialise on that system's lock.
      * Throws Error on permanent failure (after the ladder), with the
-     * code of the last attempt.
+     * code of the last attempt. A non-default `deadline` bounds the
+     * whole ladder: attempts run under min(rung timeout, remaining
+     * budget), and an expired budget surfaces as
+     * Error(DeadlineExceeded) without further escalation.
      */
-    EvalSummary run(const Request &req);
+    EvalSummary run(const Request &req, Deadline deadline = {});
 
     /** Per-request result of runBatch (never throws per batch). */
     struct BatchOutcome
@@ -76,9 +91,18 @@ class Engine
      * bad app name gets its own Config outcome without poisoning the
      * batch. Every response is bit-identical to run() on the same
      * request (the batch members solve cold, like every request).
+     *
+     * `deadlines`, when non-empty, is positional (one per request;
+     * default value = none). The shared block solve runs under the
+     * MINIMUM member deadline — the member with the least budget
+     * decides when the block attempt gives up — and the fallback
+     * ladder then runs each member under its OWN deadline, so one
+     * slow column cannot blow the whole block's budgets: expired
+     * members get their typed deadline error, the rest complete.
      */
     std::vector<BatchOutcome>
-    runBatch(const std::vector<const Request *> &reqs);
+    runBatch(const std::vector<const Request *> &reqs,
+             const std::vector<Deadline> &deadlines = {});
 
     /** Resident systems right now (telemetry/tests). */
     std::size_t residentSystems() const;
@@ -97,8 +121,9 @@ class Engine
     std::shared_ptr<Slot> slotFor(const Request &req);
     EvalSummary runOnce(const Request &req, core::StackSystem &system);
     /** The retry/escalation ladder; caller holds the slot's mutex. */
-    EvalSummary runLadder(const Request &req, Slot &slot);
-    TaskContext contextForRung(int rung) const;
+    EvalSummary runLadder(const Request &req, Slot &slot,
+                          Deadline deadline = {});
+    TaskContext contextForRung(int rung, Deadline deadline = {}) const;
 
     EngineOptions opts_;
     mutable std::mutex mutex_;

@@ -1,0 +1,200 @@
+#include "service/journal.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "runtime/disk_cache.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/serialize.hpp"
+
+namespace xylem::service {
+
+namespace {
+
+constexpr std::uint32_t kAdmitted = 1;
+constexpr std::uint32_t kAnswered = 2;
+/** Sanity cap on one record's payload: a scenario key is bounded by
+ *  the frame cap, so anything larger is a torn/garbage length. */
+constexpr std::uint32_t kMaxPayload = 2u << 20;
+
+std::vector<std::uint8_t>
+readWholeFile(int fd)
+{
+    std::vector<std::uint8_t> bytes;
+    char chunk[1 << 16];
+    for (;;) {
+        const ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            raise(ErrorCode::Io, "journal read: ", std::strerror(errno));
+        }
+        if (n == 0)
+            return bytes;
+        bytes.insert(bytes.end(), chunk, chunk + n);
+    }
+}
+
+JournalRecovery
+scanBytes(const std::vector<std::uint8_t> &bytes)
+{
+    JournalRecovery out;
+    // seq -> (id, scenario) of admitted-but-not-yet-answered requests.
+    std::map<std::uint64_t, std::pair<std::uint64_t, std::string>> open;
+    std::size_t pos = 0;
+    while (pos < bytes.size()) {
+        runtime::BinaryReader header(bytes.data() + pos,
+                                     bytes.size() - pos);
+        std::uint32_t len = 0;
+        std::uint64_t hash = 0;
+        try {
+            len = header.u32();
+            hash = header.u64();
+        } catch (const runtime::SerializeError &) {
+            out.tornTail = true; // half-written header at the tail
+            break;
+        }
+        const std::size_t payload_at = pos + sizeof len + sizeof hash;
+        if (len > kMaxPayload || payload_at + len > bytes.size()) {
+            out.tornTail = true; // length points past the file
+            break;
+        }
+        const std::uint8_t *payload = bytes.data() + payload_at;
+        if (runtime::DiskCache::fnv1a(payload, len) != hash) {
+            out.tornTail = true; // torn payload
+            break;
+        }
+        try {
+            runtime::BinaryReader rec(payload, len);
+            const std::uint32_t kind = rec.u32();
+            const std::uint64_t seq = rec.u64();
+            const std::uint64_t id = rec.u64();
+            if (kind == kAdmitted) {
+                ++out.admitted;
+                open[seq] = {id, rec.str()};
+            } else if (kind == kAnswered) {
+                ++out.answered;
+                open.erase(seq);
+            }
+            // Unknown kinds are skipped: the hash already proved the
+            // record intact, so this is a future version's record,
+            // not corruption.
+        } catch (const runtime::SerializeError &) {
+            out.tornTail = true;
+            break;
+        }
+        pos = payload_at + len;
+    }
+    for (auto &[seq, rest] : open)
+        out.lost.push_back({seq, rest.first, std::move(rest.second)});
+    return out;
+}
+
+} // namespace
+
+JournalRecovery
+RequestJournal::scan(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        if (errno == ENOENT)
+            return {};
+        raise(ErrorCode::Io, "journal open('", path, "'): ",
+              std::strerror(errno));
+    }
+    std::vector<std::uint8_t> bytes;
+    try {
+        bytes = readWholeFile(fd);
+    } catch (...) {
+        ::close(fd);
+        throw;
+    }
+    ::close(fd);
+    return scanBytes(bytes);
+}
+
+RequestJournal::RequestJournal(const std::string &path)
+{
+    recovery_ = scan(path);
+    // Fresh epoch: the previous incarnation's accounting now lives in
+    // recovery_; O_TRUNC keeps the file from growing across restarts.
+    fd_ = ::open(path.c_str(),
+                 O_WRONLY | O_CREAT | O_TRUNC | O_APPEND | O_CLOEXEC,
+                 0644);
+    if (fd_ < 0)
+        raise(ErrorCode::Io, "journal open('", path, "'): ",
+              std::strerror(errno));
+    if (!recovery_.lost.empty())
+        runtime::Metrics::global()
+            .counter("service.journal_lost")
+            .add(recovery_.lost.size());
+}
+
+RequestJournal::~RequestJournal()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+RequestJournal::append(const std::vector<std::uint8_t> &payload)
+{
+    runtime::BinaryWriter frame;
+    frame.u32(static_cast<std::uint32_t>(payload.size()));
+    frame.u64(runtime::DiskCache::fnv1a(payload.data(), payload.size()));
+    std::vector<std::uint8_t> bytes = frame.take();
+    bytes.insert(bytes.end(), payload.begin(), payload.end());
+
+    // One write(2) per record: O_APPEND makes the offset update and
+    // the data atomic with respect to other appenders, and a SIGKILL
+    // can only ever leave the final record torn, never reorder them.
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::write(fd_, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            // A full disk must not take the serving path down; the
+            // journal degrades to best-effort and says so.
+            runtime::Metrics::global()
+                .counter("service.journal_write_errors")
+                .increment();
+            return;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+void
+RequestJournal::recordAdmitted(std::uint64_t seq, std::uint64_t id,
+                               const std::string &scenario)
+{
+    runtime::BinaryWriter w;
+    w.u32(kAdmitted);
+    w.u64(seq);
+    w.u64(id);
+    w.str(scenario);
+    append(w.bytes());
+}
+
+void
+RequestJournal::recordAnswered(std::uint64_t seq, std::uint64_t id)
+{
+    runtime::BinaryWriter w;
+    w.u32(kAnswered);
+    w.u64(seq);
+    w.u64(id);
+    append(w.bytes());
+}
+
+} // namespace xylem::service

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Crash-safe request journal for the serving daemon.
+ *
+ * The daemon appends one small binary record when a request is
+ * admitted and another when its response has been written back.
+ * After a crash (SIGKILL, OOM-kill, power button) the restarted
+ * daemon scans the previous journal and can report EXACTLY which
+ * admitted-but-unanswered requests were lost — turning "the server
+ * died, who knows what happened to my requests" into an enumerable
+ * list a client can replay.
+ *
+ * Durability model: records are written with a single O_APPEND
+ * write(2) each, no fsync. A killed process loses nothing — the page
+ * cache belongs to the kernel, not the process — so the journal is
+ * exact across every crash short of whole-machine power loss. The
+ * write ordering makes the accounting err only in the safe
+ * direction: `admitted` is journaled before the job becomes visible
+ * to workers, and `answered` is journaled only AFTER the response
+ * bytes were handed to the kernel. A crash between response write
+ * and the answered record over-reports that request as lost
+ * (at-least-once replay), never under-reports.
+ *
+ * Record framing (host-endian, like the result cache):
+ *   u32 payload_len | u64 fnv1a(payload) | payload
+ * payload: u32 kind (1 = admitted, 2 = answered) | u64 seq | u64 id
+ *          | kind 1 adds: str scenarioKey
+ * A torn tail record (half-written length, hash mismatch, truncated
+ * payload) ends the scan — everything before it is intact because
+ * records are appended with a single write each.
+ */
+
+#ifndef XYLEM_SERVICE_JOURNAL_HPP
+#define XYLEM_SERVICE_JOURNAL_HPP
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xylem::service {
+
+/** One request a previous incarnation admitted but never answered. */
+struct LostRequest
+{
+    std::uint64_t seq = 0; ///< server-assigned admission sequence
+    std::uint64_t id = 0;  ///< client-chosen correlation id
+    std::string scenario;  ///< scenarioKey at admission
+};
+
+/** What a journal scan found in a previous incarnation's file. */
+struct JournalRecovery
+{
+    std::uint64_t admitted = 0;
+    std::uint64_t answered = 0;
+    /** admitted - answered, ordered by admission sequence. */
+    std::vector<LostRequest> lost;
+    /** Scan stopped at a half-written tail record. */
+    bool tornTail = false;
+};
+
+class RequestJournal
+{
+  public:
+    /**
+     * Open (creating if needed) the journal at `path`. Any existing
+     * content — the previous incarnation's journal — is scanned
+     * first and summarised in recovery(), then the file is truncated
+     * so this incarnation starts a fresh epoch. Throws Error(Io).
+     */
+    explicit RequestJournal(const std::string &path);
+    ~RequestJournal();
+    RequestJournal(const RequestJournal &) = delete;
+    RequestJournal &operator=(const RequestJournal &) = delete;
+
+    /** What the previous incarnation left behind. */
+    const JournalRecovery &recovery() const { return recovery_; }
+
+    /** Journal an admission; call before workers can see the job. */
+    void recordAdmitted(std::uint64_t seq, std::uint64_t id,
+                        const std::string &scenario);
+
+    /** Journal an answer; call after the response write succeeded. */
+    void recordAnswered(std::uint64_t seq, std::uint64_t id);
+
+    /** Scan a journal file without opening it for writing (tests,
+     *  post-mortem tooling). A missing file is an empty recovery. */
+    static JournalRecovery scan(const std::string &path);
+
+  private:
+    void append(const std::vector<std::uint8_t> &payload);
+
+    std::mutex mutex_;
+    int fd_ = -1;
+    JournalRecovery recovery_;
+};
+
+} // namespace xylem::service
+
+#endif // XYLEM_SERVICE_JOURNAL_HPP

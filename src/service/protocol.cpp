@@ -35,8 +35,10 @@ queryFromString(const std::string &s)
         return QueryType::Boost;
     if (s == "metrics")
         return QueryType::Metrics;
+    if (s == "health")
+        return QueryType::Health;
     raise(ErrorCode::Protocol, "unknown query type '", s,
-          "' (expected steady|transient|boost|metrics)");
+          "' (expected steady|transient|boost|metrics|health)");
 }
 
 /**
@@ -111,6 +113,8 @@ toString(QueryType q)
         return "boost";
     case QueryType::Metrics:
         return "metrics";
+    case QueryType::Health:
+        return "health";
     }
     return "steady";
 }
@@ -130,7 +134,7 @@ parseRequest(const std::string &frame)
     static const char *const known[] = {"id",      "query",   "config",
                                         "app",     "freqGHz", "steps",
                                         "dtSeconds", "procCapC",
-                                        "dramCapC"};
+                                        "dramCapC", "deadline_ms"};
     for (const auto &[key, value] : root.object()) {
         (void)value;
         bool ok = false;
@@ -187,8 +191,15 @@ parseRequest(const std::string &frame)
         req.procCapC = numberField(*cap, "procCapC");
     if (const JsonValue *cap = root.find("dramCapC"))
         req.dramCapC = numberField(*cap, "dramCapC");
+    if (const JsonValue *dl = root.find("deadline_ms")) {
+        req.deadlineMs = numberField(*dl, "deadline_ms");
+        if (req.deadlineMs < 0.0 || req.deadlineMs > 1e9)
+            raise(ErrorCode::Protocol,
+                  "request field 'deadline_ms' is out of range");
+    }
 
-    if (req.query != QueryType::Metrics && req.app.empty())
+    if (req.query != QueryType::Metrics &&
+        req.query != QueryType::Health && req.app.empty())
         raise(ErrorCode::Protocol, "request field 'app' is required for ",
               toString(req.query), " queries");
     return req;
@@ -282,6 +293,35 @@ formatMetricsResponse(std::uint64_t id, const std::string &metrics_json)
     out += std::to_string(id);
     out += ",\"ok\":true,\"query\":\"metrics\",\"metrics\":";
     out += metrics_json;
+    out += '}';
+    return out;
+}
+
+std::string
+formatHealthResponse(std::uint64_t id, const HealthInfo &h)
+{
+    std::string out = "{\"id\":";
+    out += std::to_string(id);
+    out += ",\"ok\":true,\"query\":\"health\",\"ready\":";
+    out += h.ready ? "true" : "false";
+    out += ",\"accepting\":";
+    out += h.accepting ? "true" : "false";
+    out += ",\"queueDepth\":";
+    out += std::to_string(h.queueDepth);
+    out += ",\"workers\":";
+    out += std::to_string(h.workers);
+    out += ",\"stalledWorkers\":";
+    out += std::to_string(h.stalledWorkers);
+    out += ",\"inflight\":";
+    out += std::to_string(h.inflight);
+    out += ",\"oldestInflightSeconds\":";
+    out += formatDouble(h.oldestInflightSeconds);
+    out += ",\"residentSystems\":";
+    out += std::to_string(h.residentSystems);
+    out += ",\"uptimeSeconds\":";
+    out += formatDouble(h.uptimeSeconds);
+    out += ",\"journalLostPrevious\":";
+    out += std::to_string(h.journalLostPrevious);
     out += '}';
     return out;
 }

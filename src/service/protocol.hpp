@@ -10,7 +10,8 @@
  *
  * Request object:
  *   id        number   client-chosen correlation id (default 0)
- *   query     string   "steady" | "transient" | "boost" | "metrics"
+ *   query     string   "steady" | "transient" | "boost" | "metrics" |
+ *                      "health"
  *   config    object   optional SystemConfig overrides; keys are
  *                      exactly the config_io keys ("scheme",
  *                      "gridNx", "ambientCelsius", ...), values are
@@ -25,6 +26,12 @@
  *   dtSeconds number   transient only: step size (default 1e-3)
  *   procCapC  number   boost only: processor cap (default tjMaxProc)
  *   dramCapC  number   boost only: DRAM cap (default tMaxDram)
+ *   deadline_ms number end-to-end deadline budget in milliseconds,
+ *                      measured from server-side admission (0 = no
+ *                      deadline). Work that cannot finish inside the
+ *                      budget is answered with the typed
+ *                      "deadline-exceeded" error — distinct from
+ *                      "overloaded" — in bounded time.
  *
  * Response object (ok): {"id":..,"ok":true,"query":..., results...,
  * "telemetry":{...}}; see protocol.cpp formatters for the exact
@@ -60,6 +67,7 @@ enum class QueryType
     Transient, ///< N implicit-Euler steps from ambient
     Boost,     ///< max uniform frequency under the temperature caps
     Metrics,   ///< server telemetry snapshot (never queued)
+    Health,    ///< liveness/readiness probe (never queued)
 };
 
 const char *toString(QueryType q);
@@ -82,6 +90,12 @@ struct Request
     double dtSeconds = 1e-3;
     double procCapC = 0.0; ///< 0 = config.tjMaxProc
     double dramCapC = 0.0; ///< 0 = config.tMaxDram
+    /**
+     * End-to-end budget in ms from admission (0 = none). Not part of
+     * the scenario key: the deadline changes when an answer is still
+     * useful, never what the answer is.
+     */
+    double deadlineMs = 0.0;
 };
 
 /**
@@ -131,6 +145,26 @@ std::string formatErrorResponse(std::uint64_t id, ErrorCode code,
 /** `metrics_json` must already be valid JSON (Metrics::toJson()). */
 std::string formatMetricsResponse(std::uint64_t id,
                                   const std::string &metrics_json);
+
+/** Snapshot answered by the `health` verb (served inline, never
+ *  queued — a wedged worker pool cannot block the probe). */
+struct HealthInfo
+{
+    bool ready = false; ///< accepting and no worker is stalled
+    bool accepting = false;
+    std::size_t queueDepth = 0;
+    int workers = 0;
+    int stalledWorkers = 0;
+    std::size_t inflight = 0; ///< distinct scenarios being solved
+    double oldestInflightSeconds = 0.0;
+    std::size_t residentSystems = 0;
+    double uptimeSeconds = 0.0;
+    /** Admitted-but-unanswered requests a previous incarnation lost
+     *  (recovered from the request journal at startup). */
+    std::size_t journalLostPrevious = 0;
+};
+
+std::string formatHealthResponse(std::uint64_t id, const HealthInfo &h);
 
 } // namespace xylem::service
 

@@ -12,6 +12,7 @@
 
 #include "common/logging.hpp"
 #include "common/signal.hpp"
+#include "runtime/fault_injection.hpp"
 #include "runtime/metrics.hpp"
 
 namespace xylem::service {
@@ -24,6 +25,23 @@ secondsSince(std::chrono::steady_clock::time_point t0)
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now() - t0)
         .count();
+}
+
+std::uint64_t
+steadyNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Has this job's end-to-end budget run out? (No deadline = never.) */
+bool
+expired(const std::chrono::steady_clock::time_point &deadline)
+{
+    return deadline != std::chrono::steady_clock::time_point{} &&
+           std::chrono::steady_clock::now() >= deadline;
 }
 
 } // namespace
@@ -51,11 +69,33 @@ Server::start()
 {
     if (started_)
         return;
+    if (!opts_.journalPath.empty()) {
+        journal_ = std::make_unique<RequestJournal>(opts_.journalPath);
+        const JournalRecovery &r = journal_->recovery();
+        if (r.admitted > 0 || r.tornTail)
+            inform("journal recovery: ", r.admitted, " admitted, ",
+                   r.answered, " answered, ", r.lost.size(),
+                   " lost in the previous incarnation",
+                   r.tornTail ? " (torn tail record)" : "");
+        for (const LostRequest &lost : journal_->recovery().lost)
+            warn("lost request: seq ", lost.seq, " id ", lost.id, " [",
+                 lost.scenario, "]");
+    }
     listener_ = listenUnix(opts_.socketPath);
     const int n = opts_.workers > 0 ? opts_.workers : 1;
     workers_.reserve(static_cast<std::size_t>(n));
+    worker_states_.clear();
     for (int i = 0; i < n; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        worker_states_.push_back(std::make_unique<WorkerState>());
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back([this, i] {
+            workerLoop(static_cast<std::size_t>(i));
+        });
+    watchdog_exit_.store(false, std::memory_order_relaxed);
+    if (opts_.watchdogIntervalSeconds > 0.0)
+        watchdog_ = std::thread([this] { watchdogLoop(); });
+    start_time_ = std::chrono::steady_clock::now();
+    accepting_.store(true, std::memory_order_relaxed);
     started_ = true;
     inform("serving on ", opts_.socketPath, " (", n, " workers, queue ",
            opts_.queueCapacity, ")");
@@ -98,8 +138,14 @@ Server::acceptLoop()
             break;
         }
         accepted.increment();
+        const std::uint64_t conn_id =
+            next_conn_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (runtime::FaultInjector::global().injectAcceptFailure(
+                conn_id))
+            continue; // fd closes here: the injected accept failure
         auto conn = std::make_shared<Connection>();
         conn->fd = std::move(fd);
+        conn->id = conn_id;
         {
             std::lock_guard<std::mutex> lock(connections_mutex_);
             connections_.push_back(conn);
@@ -113,6 +159,12 @@ void
 Server::readerLoop(const std::shared_ptr<Connection> &conn)
 {
     LineReader reader(conn->fd.get(), kMaxFrameBytes);
+    if (opts_.idleTimeoutSeconds > 0.0)
+        reader.setFrameTimeout(
+            static_cast<int>(opts_.idleTimeoutSeconds * 1000.0));
+    if (const std::size_t torn =
+            runtime::FaultInjector::global().tornReadLimit(conn->id))
+        reader.setReadChunkLimit(torn);
     auto &protocol_errors =
         runtime::Metrics::global().counter("service.protocol_errors");
     std::string frame;
@@ -141,6 +193,29 @@ Server::readerLoop(const std::shared_ptr<Connection> &conn)
                           0, ErrorCode::Protocol,
                           "connection closed inside a frame "
                           "(missing newline terminator)"));
+            open = false;
+            break;
+        case ReadStatus::Reset:
+            // Peer reset mid-stream (ECONNRESET) — not a clean EOF;
+            // count it so chaotic clients are visible in telemetry.
+            runtime::Metrics::global()
+                .counter("service.conn_reset")
+                .increment();
+            open = false;
+            break;
+        case ReadStatus::Idle:
+            // Slow loris: a frame stalled past the idle timeout. Shed
+            // the connection; trickling bytes must never pin a reader.
+            runtime::Metrics::global()
+                .counter("service.idle_timeouts")
+                .increment();
+            writeLine(conn,
+                      formatErrorResponse(
+                          0, ErrorCode::Protocol,
+                          "frame incomplete after " +
+                              std::to_string(static_cast<int>(
+                                  opts_.idleTimeoutSeconds)) +
+                              "s; closing"));
             open = false;
             break;
         case ReadStatus::Eof:
@@ -180,11 +255,29 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
                   formatMetricsResponse(req.id, metrics.toJson()));
         return;
     }
+    if (req.query == QueryType::Health) {
+        // Liveness probe: answered inline for the same reason — a
+        // wedged worker pool must not block the question "are you
+        // wedged?".
+        writeLine(conn, formatHealthResponse(req.id, healthSnapshot()));
+        return;
+    }
 
     Job job;
     job.req = std::move(req);
     job.conn = conn;
     job.admitted = std::chrono::steady_clock::now();
+    if (job.req.deadlineMs > 0.0)
+        job.deadline =
+            job.admitted +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(job.req.deadlineMs /
+                                              1000.0));
+    job.seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const std::uint64_t seq = job.seq;
+    const std::uint64_t rid = job.req.id;
+    const std::string key = scenarioKey(job.req);
     {
         std::lock_guard<std::mutex> lock(queue_mutex_);
         if (queue_.size() >= opts_.queueCapacity) {
@@ -198,13 +291,19 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
             return;
         }
         queue_.push_back(std::move(job));
+        // Journal the admission under the queue lock: no worker can
+        // answer (and journal "answered") a request whose "admitted"
+        // record is not on disk yet.
+        if (journal_)
+            journal_->recordAdmitted(seq, rid, key);
     }
     queue_cv_.notify_one();
 }
 
 void
-Server::workerLoop()
+Server::workerLoop(std::size_t index)
 {
+    WorkerState &state = *worker_states_[index];
     for (;;) {
         Job job;
         std::vector<Job> extras;
@@ -240,20 +339,99 @@ Server::workerLoop()
                 }
             }
         }
+        // Heartbeat for the watchdog: busy from pickup to response.
+        state.busySinceNs.store(steadyNowNs(),
+                                std::memory_order_relaxed);
+        if (const int stall =
+                runtime::FaultInjector::global().workerStallMs(
+                    job.seq))
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(stall));
         if (extras.empty()) {
             process(std::move(job));
-            continue;
+        } else {
+            std::vector<Job> jobs;
+            jobs.reserve(extras.size() + 1);
+            jobs.push_back(std::move(job));
+            for (Job &e : extras)
+                jobs.push_back(std::move(e));
+            runtime::Metrics::global()
+                .counter("service.batches_formed")
+                .increment();
+            processBatch(std::move(jobs));
         }
-        std::vector<Job> jobs;
-        jobs.reserve(extras.size() + 1);
-        jobs.push_back(std::move(job));
-        for (Job &e : extras)
-            jobs.push_back(std::move(e));
-        runtime::Metrics::global()
-            .counter("service.batches_formed")
-            .increment();
-        processBatch(std::move(jobs));
+        state.busySinceNs.store(0, std::memory_order_relaxed);
+        state.stallCounted.store(false, std::memory_order_relaxed);
     }
+}
+
+void
+Server::watchdogLoop()
+{
+    auto &stalls =
+        runtime::Metrics::global().counter("watchdog.stalled_workers");
+    const auto interval = std::chrono::duration<double>(
+        opts_.watchdogIntervalSeconds > 0.0
+            ? opts_.watchdogIntervalSeconds
+            : 1.0);
+    const double threshold = opts_.stallThresholdSeconds;
+    auto next = std::chrono::steady_clock::now() + interval;
+    while (!watchdog_exit_.load(std::memory_order_relaxed)) {
+        // Sleep in short slices so drain() never waits a full period.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        if (std::chrono::steady_clock::now() < next)
+            continue;
+        next = std::chrono::steady_clock::now() + interval;
+        int stalled = 0;
+        for (const auto &state : worker_states_) {
+            const std::uint64_t busy =
+                state->busySinceNs.load(std::memory_order_relaxed);
+            if (busy == 0)
+                continue;
+            const double busy_s =
+                static_cast<double>(steadyNowNs() - busy) * 1e-9;
+            if (threshold > 0.0 && busy_s > threshold) {
+                ++stalled;
+                // Count each stall episode once, not once per tick.
+                if (!state->stallCounted.exchange(
+                        true, std::memory_order_relaxed)) {
+                    stalls.increment();
+                    warn("watchdog: worker busy on one job for ",
+                         busy_s, "s (threshold ", threshold, "s)");
+                }
+            }
+        }
+        stalled_workers_.store(stalled, std::memory_order_relaxed);
+    }
+}
+
+HealthInfo
+Server::healthSnapshot()
+{
+    HealthInfo h;
+    h.accepting = accepting_.load(std::memory_order_relaxed);
+    h.workers = static_cast<int>(worker_states_.size());
+    h.stalledWorkers = stalled_workers_.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        h.queueDepth = queue_.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        h.inflight = inflight_.size();
+        for (const auto &[key, batch] : inflight_) {
+            (void)key;
+            const double age = secondsSince(batch->started);
+            if (age > h.oldestInflightSeconds)
+                h.oldestInflightSeconds = age;
+        }
+    }
+    h.residentSystems = engine_.residentSystems();
+    h.uptimeSeconds = secondsSince(start_time_);
+    h.journalLostPrevious =
+        journal_ ? journal_->recovery().lost.size() : 0;
+    h.ready = h.accepting && h.stalledWorkers == 0;
+    return h;
 }
 
 void
@@ -262,6 +440,16 @@ Server::process(Job job)
     auto &metrics = runtime::Metrics::global();
     job.queueSeconds = secondsSince(job.admitted);
     metrics.histogram("service.queue_seconds").observe(job.queueSeconds);
+
+    // Shed work whose budget expired while queued: starting a solve
+    // nobody is waiting for would only delay the requests behind it.
+    if (expired(job.deadline)) {
+        respond(job, false, EvalSummary{}, ErrorCode::DeadlineExceeded,
+                "deadline expired while queued (" +
+                    std::to_string(job.queueSeconds) + "s in queue)",
+                0.0, /*dedup=*/false);
+        return;
+    }
 
     const std::string key = scenarioKey(job.req);
     {
@@ -283,7 +471,7 @@ Server::process(Job job)
     bool ok = true;
     const auto solve_start = std::chrono::steady_clock::now();
     try {
-        summary = engine_.run(job.req);
+        summary = engine_.run(job.req, job.deadline);
     } catch (const Error &e) {
         ok = false;
         code = e.code();
@@ -369,12 +557,16 @@ Server::processBatch(std::vector<Job> jobs)
 
     std::vector<const Request *> reqs;
     reqs.reserve(members.size());
-    for (const Member &m : members)
+    std::vector<Engine::Deadline> deadlines;
+    deadlines.reserve(members.size());
+    for (const Member &m : members) {
         reqs.push_back(&m.job.req);
+        deadlines.push_back(m.job.deadline);
+    }
     const auto solve_start = std::chrono::steady_clock::now();
     std::vector<Engine::BatchOutcome> outcomes;
     try {
-        outcomes = engine_.runBatch(reqs);
+        outcomes = engine_.runBatch(reqs, deadlines);
     } catch (const Error &e) {
         Engine::BatchOutcome failed;
         failed.code = e.code();
@@ -420,32 +612,75 @@ Server::respond(const Job &job, bool ok, const EvalSummary &summary,
                 ErrorCode code, const std::string &message,
                 double solve_seconds, bool dedup)
 {
+    // A result that arrives after the budget is not the result the
+    // client asked for: convert it to the typed deadline error rather
+    // than pretend to be on time. (Errors keep their original code —
+    // they carry more diagnosis than "too late" does.)
+    std::string late_message;
+    if (ok && expired(job.deadline)) {
+        ok = false;
+        code = ErrorCode::DeadlineExceeded;
+        late_message = "deadline of " +
+                       std::to_string(job.req.deadlineMs) +
+                       "ms exceeded (solve completed late)";
+    }
     RequestTelemetry t;
     t.queueSeconds = job.queueSeconds;
     t.solveSeconds = solve_seconds;
     t.serviceSeconds = secondsSince(job.admitted);
     t.dedup = dedup;
-    writeLine(job.conn,
-              ok ? formatOkResponse(job.req, summary, t)
-                 : formatErrorResponse(job.req.id, code, message));
+    const bool delivered = writeLine(
+        job.conn,
+        ok ? formatOkResponse(job.req, summary, t)
+           : formatErrorResponse(
+                 job.req.id, code,
+                 late_message.empty() ? message : late_message));
+    // Journal "answered" only after the bytes were handed to the
+    // kernel: a crash in between over-reports the request as lost
+    // (at-least-once replay), never under-reports.
+    if (journal_ && delivered)
+        journal_->recordAnswered(job.seq, job.req.id);
     auto &metrics = runtime::Metrics::global();
     metrics.histogram("service.latency_seconds")
         .observe(t.serviceSeconds);
     metrics.counter(ok ? "service.responses" : "service.errors")
         .increment();
+    if (!ok && code == ErrorCode::DeadlineExceeded)
+        metrics.counter("service.deadline_exceeded").increment();
 }
 
-void
+bool
 Server::writeLine(const std::shared_ptr<Connection> &conn,
                   const std::string &line)
 {
+    auto &injector = runtime::FaultInjector::global();
+    std::size_t chunk_limit = 0;
+    int chunk_delay_us = 0;
+    if (injector.injectTornWrite(conn->id)) {
+        chunk_limit = 7;     // responses reassemble from tiny chunks
+        chunk_delay_us = 200;
+    }
+    const int timeout_ms =
+        opts_.writeTimeoutSeconds > 0.0
+            ? static_cast<int>(opts_.writeTimeoutSeconds * 1000.0)
+            : 0;
     std::lock_guard<std::mutex> lock(conn->writeMutex);
     std::string framed = line;
     framed += '\n';
-    if (!sendAll(conn->fd.get(), framed))
-        runtime::Metrics::global()
-            .counter("service.write_failures")
-            .increment();
+    const SendStatus status = sendAllTimed(
+        conn->fd.get(), framed, timeout_ms, chunk_limit, chunk_delay_us);
+    if (status == SendStatus::Ok)
+        return true;
+    auto &metrics = runtime::Metrics::global();
+    if (status == SendStatus::Timeout) {
+        // The peer stopped draining: shed the whole connection so its
+        // reader unblocks and no further work is queued for it.
+        metrics.counter("service.write_timeouts").increment();
+        ::shutdown(conn->fd.get(), SHUT_RDWR);
+    } else {
+        metrics.counter("service.write_failures").increment();
+    }
+    return false;
 }
 
 void
@@ -477,6 +712,7 @@ Server::drain()
         return;
     started_ = false;
     stop_.store(true, std::memory_order_relaxed);
+    accepting_.store(false, std::memory_order_relaxed);
 
     // 1. Stop accepting: close the listener and remove the socket
     //    file so new clients fail fast instead of hanging.
@@ -497,6 +733,12 @@ Server::drain()
     for (auto &worker : workers_)
         worker.join();
     workers_.clear();
+
+    // The watchdog outlives the workers (so a wedged drain would
+    // still be reported), then exits with them.
+    watchdog_exit_.store(true, std::memory_order_relaxed);
+    if (watchdog_.joinable())
+        watchdog_.join();
 
     // 4. Flush telemetry.
     if (!opts_.metricsJsonPath.empty()) {

@@ -35,6 +35,29 @@
  * readers (their poll slices observe the stop), lets the workers
  * drain every queued job (in-flight requests are answered, never
  * dropped), flushes telemetry, then closes the connections.
+ *
+ * End-to-end deadlines (DESIGN.md §16). A request carrying
+ * deadline_ms gets an absolute budget stamped at admission. Work
+ * whose budget has already expired is shed at worker pickup with the
+ * typed "deadline-exceeded" error — distinct from "overloaded": one
+ * says "you asked too late", the other "come back later". A live
+ * budget propagates into the engine's cooperative TaskContext
+ * deadline, bounding every solve attempt; and a response that would
+ * arrive after the budget is answered deadline-exceeded rather than
+ * pretending to be on time.
+ *
+ * Supervision. A watchdog thread heartbeats the workers: a worker
+ * busy on one job past the stall threshold trips
+ * watchdog.stalled_workers and fails readiness. The `health` verb is
+ * answered inline (never queued — a wedged pool cannot block the
+ * probe) with queue depth, in-flight ages, stalled workers, resident
+ * systems, uptime, and the previous incarnation's journal losses.
+ *
+ * Crash safety. With a journal path set, admissions and answers are
+ * journaled (service/journal.hpp); after a SIGKILL the restarted
+ * daemon reports exactly which admitted requests were never
+ * answered. Per-connection write timeouts and a mid-frame idle
+ * timeout bound the damage any single slow or dead peer can do.
  */
 
 #ifndef XYLEM_SERVICE_SERVER_HPP
@@ -52,6 +75,7 @@
 #include <vector>
 
 #include "service/engine.hpp"
+#include "service/journal.hpp"
 #include "service/protocol.hpp"
 #include "service/socket.hpp"
 
@@ -69,6 +93,18 @@ struct ServerOptions
     EngineOptions engine;
     /** Write Metrics::toJson() here on drain; empty disables. */
     std::string metricsJsonPath;
+    /** Per-connection response write timeout; 0 waits forever. */
+    double writeTimeoutSeconds = 10.0;
+    /** A frame must complete within this many seconds of its first
+     *  byte (slow-loris guard); 0 disables. Idle BETWEEN frames is
+     *  legitimate keep-alive and is never timed out. */
+    double idleTimeoutSeconds = 30.0;
+    /** Watchdog heartbeat period. */
+    double watchdogIntervalSeconds = 1.0;
+    /** A worker busy on one job longer than this is stalled. */
+    double stallThresholdSeconds = 30.0;
+    /** Crash-safe request journal path; empty disables journaling. */
+    std::string journalPath;
 };
 
 class Server
@@ -103,6 +139,7 @@ class Server
     struct Connection
     {
         FdGuard fd;
+        std::uint64_t id = 0;  ///< fault-injection decision id
         std::mutex writeMutex; ///< serialises response lines
         std::thread reader;
         std::atomic<bool> done{false}; ///< reader finished (reapable)
@@ -113,7 +150,10 @@ class Server
     {
         Request req;
         std::shared_ptr<Connection> conn;
+        std::uint64_t seq = 0; ///< admission sequence (journal key)
         std::chrono::steady_clock::time_point admitted;
+        /** Absolute end-to-end budget; default value = none. */
+        std::chrono::steady_clock::time_point deadline{};
         double queueSeconds = 0.0; ///< set at worker pickup
     };
 
@@ -121,6 +161,17 @@ class Server
     struct Batch
     {
         std::vector<Job> followers;
+        std::chrono::steady_clock::time_point started =
+            std::chrono::steady_clock::now();
+    };
+
+    /** Watchdog heartbeat slot of one worker thread. */
+    struct WorkerState
+    {
+        /** steady_clock ns when the current job was picked up;
+         *  0 = idle. */
+        std::atomic<std::uint64_t> busySinceNs{0};
+        std::atomic<bool> stallCounted{false};
     };
 
     bool stopRequested() const;
@@ -128,7 +179,9 @@ class Server
     void readerLoop(const std::shared_ptr<Connection> &conn);
     void handleFrame(const std::shared_ptr<Connection> &conn,
                      const std::string &frame);
-    void workerLoop();
+    void workerLoop(std::size_t index);
+    void watchdogLoop();
+    HealthInfo healthSnapshot();
     void process(Job job);
     /**
      * Serve a leader plus the same-config Steady jobs drained behind
@@ -139,7 +192,8 @@ class Server
     void respond(const Job &job, bool ok, const EvalSummary &summary,
                  ErrorCode code, const std::string &message,
                  double solve_seconds, bool dedup);
-    void writeLine(const std::shared_ptr<Connection> &conn,
+    /** Returns false when the response could not be delivered. */
+    bool writeLine(const std::shared_ptr<Connection> &conn,
                    const std::string &line);
     void reapConnections(bool join_all);
     void drain();
@@ -149,6 +203,11 @@ class Server
     FdGuard listener_;
     bool started_ = false;
     std::atomic<bool> stop_{false};
+    std::atomic<bool> accepting_{false};
+    std::chrono::steady_clock::time_point start_time_{};
+    std::atomic<std::uint64_t> next_conn_id_{0};
+    std::atomic<std::uint64_t> next_seq_{0};
+    std::unique_ptr<RequestJournal> journal_;
 
     std::mutex connections_mutex_;
     std::vector<std::shared_ptr<Connection>> connections_;
@@ -158,6 +217,10 @@ class Server
     std::deque<Job> queue_;
     bool workers_exit_ = false;
     std::vector<std::thread> workers_;
+    std::vector<std::unique_ptr<WorkerState>> worker_states_;
+    std::thread watchdog_;
+    std::atomic<bool> watchdog_exit_{false};
+    std::atomic<int> stalled_workers_{0};
 
     std::mutex inflight_mutex_;
     std::unordered_map<std::string, std::shared_ptr<Batch>> inflight_;

@@ -1,7 +1,9 @@
 #include "service/socket.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 
 #include <poll.h>
 #include <sys/socket.h>
@@ -93,6 +95,59 @@ sendAll(int fd, std::string_view data)
     return true;
 }
 
+SendStatus
+sendAllTimed(int fd, std::string_view data, int timeout_ms,
+             std::size_t chunk_limit, int chunk_delay_us)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    std::size_t off = 0;
+    while (off < data.size()) {
+        std::size_t want = data.size() - off;
+        if (chunk_limit > 0)
+            want = std::min(want, chunk_limit);
+        const ssize_t n = ::send(fd, data.data() + off, want,
+                                 MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            if (chunk_limit > 0 && chunk_delay_us > 0 &&
+                off < data.size())
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(chunk_delay_us));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            // Kernel buffer full: wait for the peer to drain it, but
+            // only up to the write timeout — a peer that never reads
+            // must not pin this thread.
+            int wait_ms = -1; // no timeout: wait forever
+            if (timeout_ms > 0) {
+                const auto left =
+                    std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+                if (left <= 0)
+                    return SendStatus::Timeout;
+                wait_ms = static_cast<int>(left);
+            }
+            pollfd pfd = {};
+            pfd.fd = fd;
+            pfd.events = POLLOUT;
+            const int pr = ::poll(&pfd, 1, wait_ms);
+            if (pr < 0 && errno != EINTR)
+                return SendStatus::Closed;
+            if (pr == 0)
+                return SendStatus::Timeout;
+            continue;
+        }
+        return SendStatus::Closed; // EPIPE/ECONNRESET or fatal error
+    }
+    return SendStatus::Ok;
+}
+
 LineReader::LineReader(int fd, std::size_t max_bytes, int poll_ms)
     : fd_(fd), max_bytes_(max_bytes), poll_ms_(poll_ms)
 {}
@@ -109,10 +164,12 @@ LineReader::next(std::string &line, const std::function<bool()> &stop)
                 // newline and report the truncation once.
                 buffer_.erase(0, nl + 1);
                 discarding_ = false;
+                restartFrameClock();
                 return ReadStatus::Oversized;
             }
             line.assign(buffer_, 0, nl);
             buffer_.erase(0, nl + 1);
+            restartFrameClock();
             return ReadStatus::Frame;
         }
         if (buffer_.size() > max_bytes_ && !discarding_) {
@@ -120,6 +177,17 @@ LineReader::next(std::string &line, const std::function<bool()> &stop)
             // so one hostile frame cannot grow the buffer unboundedly.
             buffer_.clear();
             discarding_ = true;
+        }
+        if (frame_timeout_ms_ > 0 && timing_frame_ &&
+            std::chrono::steady_clock::now() - frame_start_ >=
+                std::chrono::milliseconds(frame_timeout_ms_)) {
+            // Slow loris: the frame's first byte arrived long ago and
+            // its newline never did. Abandon it so the caller can shed
+            // the connection instead of holding this thread hostage.
+            buffer_.clear();
+            discarding_ = false;
+            timing_frame_ = false;
+            return ReadStatus::Idle;
         }
 
         if (stop && stop())
@@ -136,10 +204,15 @@ LineReader::next(std::string &line, const std::function<bool()> &stop)
         if (pr == 0)
             continue; // timeout slice: re-check stop, poll again
         char chunk[4096];
-        const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+        std::size_t want = sizeof chunk;
+        if (read_limit_ > 0)
+            want = std::min(want, read_limit_); // torn-read fault
+        const ssize_t n = ::read(fd_, chunk, want);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == ECONNRESET || errno == ECONNABORTED)
+                return ReadStatus::Reset;
             return ReadStatus::Error;
         }
         if (n == 0) {
@@ -150,6 +223,11 @@ LineReader::next(std::string &line, const std::function<bool()> &stop)
             }
             return ReadStatus::Eof;
         }
+        if (!timing_frame_) {
+            // First byte of a new frame starts its completion clock.
+            timing_frame_ = true;
+            frame_start_ = std::chrono::steady_clock::now();
+        }
         if (discarding_) {
             // Keep only bytes after a newline, if one arrived.
             const char *p = static_cast<const char *>(
@@ -159,6 +237,7 @@ LineReader::next(std::string &line, const std::function<bool()> &stop)
                                static_cast<std::size_t>(chunk + n -
                                                         (p + 1)));
                 discarding_ = false;
+                restartFrameClock();
                 return ReadStatus::Oversized;
             }
         } else {

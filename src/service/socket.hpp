@@ -15,6 +15,7 @@
 #ifndef XYLEM_SERVICE_SOCKET_HPP
 #define XYLEM_SERVICE_SOCKET_HPP
 
+#include <chrono>
 #include <functional>
 #include <string>
 #include <string_view>
@@ -72,13 +73,35 @@ FdGuard connectUnix(const std::string &path);
  */
 bool sendAll(int fd, std::string_view data);
 
+/** Outcome of sendAllTimed(). */
+enum class SendStatus
+{
+    Ok,      ///< every byte handed to the kernel
+    Timeout, ///< the peer stopped draining within the write timeout
+    Closed,  ///< peer gone (EPIPE/ECONNRESET) or fatal send error
+};
+
+/**
+ * Write all of `data` with a per-call wall-clock timeout: a peer that
+ * stops reading (slow loris) cannot pin the writing thread past
+ * `timeout_ms` (0 = wait forever). When `chunk_limit` is nonzero the
+ * write is deliberately torn into chunks of at most that many bytes
+ * with `chunk_delay_us` pauses between them — the write_torn fault.
+ * Partial writes and EINTR are retried; SIGPIPE is suppressed.
+ */
+SendStatus sendAllTimed(int fd, std::string_view data, int timeout_ms,
+                        std::size_t chunk_limit = 0,
+                        int chunk_delay_us = 0);
+
 /** Outcome of LineReader::next(). */
 enum class ReadStatus
 {
     Frame,     ///< one complete line is in `line` (newline stripped)
     Eof,       ///< orderly shutdown; no partial data pending
     Truncated, ///< EOF with an unterminated partial frame buffered
+    Reset,     ///< peer reset the connection (ECONNRESET), not clean EOF
     Oversized, ///< frame exceeded the byte cap; discarded to newline
+    Idle,      ///< a partial frame stalled past the frame timeout
     Stopped,   ///< the stop predicate fired before a frame completed
     Error,     ///< read error; connection unusable
 };
@@ -89,6 +112,12 @@ enum class ReadStatus
  * re-checked at that granularity; frames longer than `max_bytes` are
  * discarded (through the next newline) and reported as Oversized —
  * the reader stays usable for subsequent frames.
+ *
+ * A peer that resets mid-stream is reported as Reset, distinct from
+ * the clean-shutdown Eof/Truncated pair. With a frame timeout set, a
+ * frame whose first byte arrived more than that many ms ago without
+ * its newline is abandoned and reported as Idle — the slow-loris
+ * guard: trickling bytes can never pin a reader thread indefinitely.
  */
 class LineReader
 {
@@ -96,13 +125,34 @@ class LineReader
     explicit LineReader(int fd, std::size_t max_bytes,
                         int poll_ms = 100);
 
+    /** Torn-read fault: consume at most `bytes` per read (0 = off). */
+    void setReadChunkLimit(std::size_t bytes) { read_limit_ = bytes; }
+
+    /** Slow-loris guard: a frame must complete within `ms` of its
+     *  first byte (0 = no timeout). */
+    void setFrameTimeout(int ms) { frame_timeout_ms_ = ms; }
+
     ReadStatus next(std::string &line,
                     const std::function<bool()> &stop = {});
 
   private:
+    /** After a frame boundary: leftover buffered bytes are the start
+     *  of the next frame, so their completion clock begins now. */
+    void
+    restartFrameClock()
+    {
+        timing_frame_ = !buffer_.empty();
+        if (timing_frame_)
+            frame_start_ = std::chrono::steady_clock::now();
+    }
+
     int fd_;
     std::size_t max_bytes_;
     int poll_ms_;
+    std::size_t read_limit_ = 0;
+    int frame_timeout_ms_ = 0;
+    bool timing_frame_ = false; ///< frame_start_ is valid
+    std::chrono::steady_clock::time_point frame_start_{};
     std::string buffer_;
     bool discarding_ = false; ///< inside an oversized frame
 };

@@ -1,0 +1,704 @@
+/**
+ * @file
+ * Chaos tests of the serving daemon: end-to-end deadlines, the
+ * socket-layer fault injector, watchdog supervision, and crash-safe
+ * restart with the request journal.
+ *
+ * The in-process tests run a LiveServer (as service_test does) with
+ * fault specs armed through FaultInjector::ScopedSpec, so the exact
+ * accept/read/write paths that production traffic takes are the ones
+ * under fault. The crash test fork/execs the real xylem_serve binary
+ * (XYLEM_SERVE_BIN, like resume_test's XYLEM_SWEEP_TOOL), SIGKILLs it
+ * mid-burst, and checks the journal's accounting: every admitted
+ * request is either answered or enumerated as lost, and answered
+ * responses are bit-identical to a clean replay on the restarted
+ * daemon.
+ *
+ * Suite names carry the Chaos/Watchdog prefixes the CI TSan test
+ * regex selects on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "runtime/fault_injection.hpp"
+#include "runtime/metrics.hpp"
+#include "service/engine.hpp"
+#include "service/journal.hpp"
+#include "service/json.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/socket.hpp"
+
+#ifndef XYLEM_SERVE_BIN
+#error "chaos_test needs XYLEM_SERVE_BIN (the xylem_serve binary path)"
+#endif
+
+namespace {
+
+using namespace xylem;
+using service::JsonValue;
+
+/** Unique per-test path under /tmp (parallel ctest runs share it). */
+std::string
+testPath(const char *tag, const char *suffix)
+{
+    return std::string("/tmp/xylem_chaos_") + tag + "_" +
+           std::to_string(::getpid()) + suffix;
+}
+
+/** An in-process server plus a thread running its accept loop. */
+class LiveServer
+{
+  public:
+    explicit LiveServer(service::ServerOptions opts)
+        : server_(std::move(opts))
+    {
+        server_.start();
+        thread_ = std::thread([this] { server_.run(); });
+    }
+    ~LiveServer() { stop(); }
+
+    void
+    stop()
+    {
+        server_.requestStop();
+        if (thread_.joinable())
+            thread_.join();
+    }
+
+    service::Server &server() { return server_; }
+
+  private:
+    service::Server server_;
+    std::thread thread_;
+};
+
+service::ServerOptions
+smallServerOptions(const char *tag)
+{
+    service::ServerOptions opts;
+    opts.socketPath = testPath(tag, ".sock");
+    opts.workers = 2;
+    opts.queueCapacity = 32;
+    return opts;
+}
+
+/** Send one frame, wait for one response line. */
+std::string
+roundTrip(const std::string &socket_path, const std::string &frame)
+{
+    const service::FdGuard fd = service::connectUnix(socket_path);
+    std::string framed = frame;
+    framed += '\n';
+    EXPECT_TRUE(service::sendAll(fd.get(), framed));
+    service::LineReader reader(fd.get(), service::kMaxFrameBytes);
+    std::string line;
+    EXPECT_EQ(reader.next(line), service::ReadStatus::Frame);
+    return line;
+}
+
+/** A cheap valid steady request on an explicit square grid. */
+std::string
+steadyFrame(std::uint64_t id, const std::string &app, double freq,
+            int edge = 16, double deadline_ms = 0.0)
+{
+    std::ostringstream os;
+    os << "{\"id\":" << id << ",\"query\":\"steady\",\"app\":\"" << app
+       << "\",\"freqGHz\":" << freq;
+    if (deadline_ms > 0.0)
+        os << ",\"deadline_ms\":" << deadline_ms;
+    os << ",\"config\":{\"gridNx\":" << edge << ",\"gridNy\":" << edge
+       << "}}";
+    return os.str();
+}
+
+/** Response payload up to the telemetry block (which holds timings). */
+std::string
+payloadPrefix(const std::string &resp)
+{
+    const auto pos = resp.find("\"telemetry\"");
+    return pos == std::string::npos ? resp : resp.substr(0, pos);
+}
+
+std::string
+errorCodeOf(const JsonValue &resp)
+{
+    const JsonValue *err = resp.find("error");
+    if (!err)
+        return "";
+    const JsonValue *code = err->find("code");
+    return code && code->isString() ? code->str() : "";
+}
+
+// ------------------------------------------------------------ journal
+
+TEST(ChaosJournalTest, ScanEnumeratesAdmittedButUnansweredRequests)
+{
+    const std::string path = testPath("journal_scan", ".jnl");
+    ::unlink(path.c_str());
+    {
+        service::RequestJournal journal(path);
+        journal.recordAdmitted(1, 11, "steady|FFT|2.4");
+        journal.recordAdmitted(2, 12, "steady|LU|2.4");
+        journal.recordAdmitted(3, 13, "steady|CG|2.4");
+        journal.recordAnswered(2, 12);
+        const auto recovery = service::RequestJournal::scan(path);
+        EXPECT_EQ(recovery.admitted, 3u);
+        EXPECT_EQ(recovery.answered, 1u);
+        EXPECT_FALSE(recovery.tornTail);
+        ASSERT_EQ(recovery.lost.size(), 2u);
+        EXPECT_EQ(recovery.lost[0].seq, 1u);
+        EXPECT_EQ(recovery.lost[0].id, 11u);
+        EXPECT_EQ(recovery.lost[0].scenario, "steady|FFT|2.4");
+        EXPECT_EQ(recovery.lost[1].seq, 3u);
+        EXPECT_EQ(recovery.lost[1].id, 13u);
+    }
+    ::unlink(path.c_str());
+}
+
+TEST(ChaosJournalTest, TornTailEndsScanButKeepsThePrefix)
+{
+    const std::string path = testPath("journal_torn", ".jnl");
+    ::unlink(path.c_str());
+    {
+        service::RequestJournal journal(path);
+        journal.recordAdmitted(1, 21, "steady|FFT|2.0");
+        journal.recordAnswered(1, 21);
+        journal.recordAdmitted(2, 22, "steady|LU|2.0");
+    }
+    {
+        // A crash mid-append leaves a half-written record at the tail.
+        std::ofstream torn(path, std::ios::binary | std::ios::app);
+        torn.write("\x40\x00\x00\x00\xde\xad", 6);
+    }
+    const auto recovery = service::RequestJournal::scan(path);
+    EXPECT_TRUE(recovery.tornTail);
+    EXPECT_EQ(recovery.admitted, 2u);
+    EXPECT_EQ(recovery.answered, 1u);
+    ASSERT_EQ(recovery.lost.size(), 1u);
+    EXPECT_EQ(recovery.lost[0].id, 22u);
+    ::unlink(path.c_str());
+}
+
+TEST(ChaosJournalTest, ReopeningReportsRecoveryAndStartsFreshEpoch)
+{
+    const std::string path = testPath("journal_epoch", ".jnl");
+    ::unlink(path.c_str());
+    {
+        service::RequestJournal journal(path);
+        journal.recordAdmitted(7, 70, "steady|Radix|2.2");
+    }
+    {
+        service::RequestJournal reopened(path);
+        ASSERT_EQ(reopened.recovery().lost.size(), 1u);
+        EXPECT_EQ(reopened.recovery().lost[0].id, 70u);
+    }
+    // The reopen truncated the file: a fresh scan sees an empty epoch.
+    const auto recovery = service::RequestJournal::scan(path);
+    EXPECT_EQ(recovery.admitted, 0u);
+    EXPECT_TRUE(recovery.lost.empty());
+    ::unlink(path.c_str());
+}
+
+TEST(ChaosJournalTest, MissingJournalScansAsEmptyRecovery)
+{
+    const auto recovery = service::RequestJournal::scan(
+        testPath("journal_missing", ".jnl"));
+    EXPECT_EQ(recovery.admitted, 0u);
+    EXPECT_EQ(recovery.answered, 0u);
+    EXPECT_TRUE(recovery.lost.empty());
+    EXPECT_FALSE(recovery.tornTail);
+}
+
+// --------------------------------------------------------- fault spec
+
+TEST(ChaosFaultSpecTest, ServiceKeysParseAndDecideDeterministically)
+{
+    const auto spec = runtime::FaultSpec::parse(
+        "seed=9,accept_fail=0.5,read_torn=0.5,write_torn=0.5,"
+        "slow_client=0.5,conn_reset=0.5,worker_stall=0.5,stall_ms=75");
+    EXPECT_DOUBLE_EQ(spec.acceptFail, 0.5);
+    EXPECT_DOUBLE_EQ(spec.readTorn, 0.5);
+    EXPECT_DOUBLE_EQ(spec.writeTorn, 0.5);
+    EXPECT_DOUBLE_EQ(spec.slowClient, 0.5);
+    EXPECT_DOUBLE_EQ(spec.connReset, 0.5);
+    EXPECT_DOUBLE_EQ(spec.workerStall, 0.5);
+    EXPECT_EQ(spec.stallMs, 75);
+    EXPECT_TRUE(spec.any());
+
+    runtime::FaultInjector::ScopedSpec scoped(
+        "seed=9,accept_fail=0.5,read_torn=0.5,worker_stall=0.5,"
+        "stall_ms=75");
+    auto &injector = runtime::FaultInjector::global();
+    int accept_hits = 0, torn_hits = 0, stall_hits = 0;
+    for (std::uint64_t id = 1; id <= 64; ++id) {
+        // Decisions are pure hashes of (seed, kind, id): asking twice
+        // gives the same answer, and the kinds decide independently.
+        EXPECT_EQ(injector.injectAcceptFailure(id),
+                  injector.injectAcceptFailure(id));
+        EXPECT_EQ(injector.tornReadLimit(id), injector.tornReadLimit(id));
+        accept_hits += injector.injectAcceptFailure(id) ? 1 : 0;
+        torn_hits += injector.tornReadLimit(id) > 0 ? 1 : 0;
+        const int stall = injector.workerStallMs(id);
+        EXPECT_TRUE(stall == 0 || stall == 75);
+        stall_hits += stall > 0 ? 1 : 0;
+    }
+    // p=0.5 over 64 ids: each kind fires sometimes, never always.
+    EXPECT_GT(accept_hits, 0);
+    EXPECT_LT(accept_hits, 64);
+    EXPECT_GT(torn_hits, 0);
+    EXPECT_LT(torn_hits, 64);
+    EXPECT_GT(stall_hits, 0);
+    EXPECT_LT(stall_hits, 64);
+}
+
+// ---------------------------------------------------------- deadlines
+
+TEST(ChaosDeadlineTest, SubSolveDeadlineGetsTypedErrorInBoundedTime)
+{
+    runtime::Metrics::global().reset();
+    LiveServer live(smallServerOptions("deadline"));
+    const std::string &path = live.server().options().socketPath;
+
+    // 1 ms of budget against a cold 32x32 solve: the request must be
+    // answered with the typed deadline error (shed at pickup, aborted
+    // by the cooperative task deadline, or converted when the solve
+    // completed late) -- and promptly, not after a full solve ladder.
+    const auto start = std::chrono::steady_clock::now();
+    const JsonValue resp = service::parseJson(
+        roundTrip(path, steadyFrame(1, "FFT", 2.0, 32, 1.0)));
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    EXPECT_FALSE(resp.find("ok")->boolean());
+    EXPECT_EQ(errorCodeOf(resp), "deadline-exceeded");
+    EXPECT_LT(elapsed, 60.0);
+    // The counter increments after the response write, so it can
+    // trail the client's read by a moment: poll instead of asserting.
+    const auto &exceeded = runtime::Metrics::global().counter(
+        "service.deadline_exceeded");
+    const auto counter_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (exceeded.value() < 1 &&
+           std::chrono::steady_clock::now() < counter_deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_GE(exceeded.value(), 1u);
+}
+
+TEST(ChaosDeadlineTest, GenerousDeadlineStillSucceeds)
+{
+    LiveServer live(smallServerOptions("deadline_ok"));
+    const std::string &path = live.server().options().socketPath;
+    const JsonValue resp = service::parseJson(
+        roundTrip(path, steadyFrame(2, "LU", 2.4, 16, 300000.0)));
+    EXPECT_TRUE(resp.find("ok")->boolean());
+}
+
+TEST(ChaosDeadlineTest, ExpiredBatchMemberFailsAloneOthersComplete)
+{
+    service::Engine engine{service::EngineOptions{}};
+    std::vector<service::Request> reqs;
+    reqs.push_back(service::parseRequest(steadyFrame(1, "FFT", 2.0)));
+    reqs.push_back(service::parseRequest(steadyFrame(2, "LU", 2.2)));
+    reqs.push_back(service::parseRequest(steadyFrame(3, "CG", 2.4)));
+    std::vector<const service::Request *> ptrs;
+    for (const auto &r : reqs)
+        ptrs.push_back(&r);
+    // Member 1's budget expired before the batch formed; the others
+    // carry no deadline. One slow column must not blow the block.
+    std::vector<service::Engine::Deadline> deadlines(3);
+    deadlines[1] =
+        std::chrono::steady_clock::now() - std::chrono::seconds(1);
+    const auto outcomes = engine.runBatch(ptrs, deadlines);
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_FALSE(outcomes[1].ok);
+    EXPECT_EQ(outcomes[1].code, ErrorCode::DeadlineExceeded);
+    for (const std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+        ASSERT_TRUE(outcomes[i].ok) << outcomes[i].message;
+        // The survivors' results equal deadline-free solo runs bit
+        // for bit (fallback re-solves cold, same as a fresh request).
+        const service::EvalSummary solo = engine.run(reqs[i]);
+        EXPECT_EQ(outcomes[i].summary.procHotspotC, solo.procHotspotC);
+        EXPECT_EQ(outcomes[i].summary.cgIterations, solo.cgIterations);
+    }
+}
+
+// ----------------------------------------------------------- watchdog
+
+TEST(WatchdogTest, HealthVerbIsAnsweredInlineWithServerShape)
+{
+    LiveServer live(smallServerOptions("health"));
+    const std::string &path = live.server().options().socketPath;
+    const JsonValue resp = service::parseJson(
+        roundTrip(path, "{\"id\":4,\"query\":\"health\"}"));
+    EXPECT_TRUE(resp.find("ok")->boolean());
+    EXPECT_TRUE(resp.find("ready")->boolean());
+    EXPECT_TRUE(resp.find("accepting")->boolean());
+    EXPECT_EQ(resp.find("workers")->number(), 2.0);
+    EXPECT_EQ(resp.find("stalledWorkers")->number(), 0.0);
+    EXPECT_EQ(resp.find("journalLostPrevious")->number(), 0.0);
+    EXPECT_GE(resp.find("uptimeSeconds")->number(), 0.0);
+}
+
+TEST(WatchdogTest, StalledWorkerFailsReadinessThenRecovers)
+{
+    runtime::Metrics::global().reset();
+    service::ServerOptions opts = smallServerOptions("stall");
+    opts.workers = 1;
+    opts.watchdogIntervalSeconds = 0.05;
+    opts.stallThresholdSeconds = 0.1;
+    LiveServer live(std::move(opts));
+    const std::string &path = live.server().options().socketPath;
+
+    // Every picked-up job stalls 700 ms before serving; the watchdog
+    // (threshold 100 ms) must notice, and the health verb -- answered
+    // inline, never queued -- must stay reachable and report it.
+    runtime::FaultInjector::ScopedSpec spec(
+        "seed=1,worker_stall=1,stall_ms=700");
+    std::thread client([&] {
+        roundTrip(path, steadyFrame(1, "FFT", 2.0));
+    });
+    bool saw_stalled = false;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!saw_stalled && std::chrono::steady_clock::now() < deadline) {
+        const JsonValue health = service::parseJson(
+            roundTrip(path, "{\"id\":5,\"query\":\"health\"}"));
+        if (health.find("stalledWorkers")->number() > 0.0) {
+            saw_stalled = true;
+            EXPECT_FALSE(health.find("ready")->boolean());
+        } else {
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+    }
+    client.join();
+    EXPECT_TRUE(saw_stalled);
+    EXPECT_GE(runtime::Metrics::global()
+                  .counter("watchdog.stalled_workers")
+                  .value(),
+              1u);
+    // With the job served, readiness returns within a few ticks.
+    bool recovered = false;
+    while (!recovered && std::chrono::steady_clock::now() < deadline) {
+        const JsonValue health = service::parseJson(
+            roundTrip(path, "{\"id\":6,\"query\":\"health\"}"));
+        recovered = health.find("ready")->boolean();
+        if (!recovered)
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_TRUE(recovered);
+}
+
+// --------------------------------------------------- socket chaos
+
+TEST(ChaosSlowLorisTest, TrickledFrameIsShedByTheIdleTimeout)
+{
+    runtime::Metrics::global().reset();
+    service::ServerOptions opts = smallServerOptions("loris");
+    opts.idleTimeoutSeconds = 0.25;
+    LiveServer live(std::move(opts));
+    const std::string &path = live.server().options().socketPath;
+
+    // Half a frame, then silence: the reader must shed the connection
+    // after the mid-frame idle timeout with a typed protocol error.
+    const service::FdGuard fd = service::connectUnix(path);
+    ASSERT_TRUE(service::sendAll(fd.get(), "{\"id\":9,\"que"));
+    service::LineReader reader(fd.get(), service::kMaxFrameBytes);
+    std::string line;
+    ASSERT_EQ(reader.next(line), service::ReadStatus::Frame);
+    const JsonValue resp = service::parseJson(line);
+    EXPECT_FALSE(resp.find("ok")->boolean());
+    EXPECT_EQ(errorCodeOf(resp), "protocol");
+    EXPECT_NE(resp.find("error")->find("message")->str().find(
+                  "frame incomplete"),
+              std::string::npos);
+    EXPECT_EQ(runtime::Metrics::global()
+                  .counter("service.idle_timeouts")
+                  .value(),
+              1u);
+
+    // A fresh well-behaved connection is unaffected.
+    const JsonValue ok =
+        service::parseJson(roundTrip(path, steadyFrame(1, "FFT", 2.0)));
+    EXPECT_TRUE(ok.find("ok")->boolean());
+}
+
+TEST(ChaosConnResetTest, ClientAbortWithUnreadResponseCountsReset)
+{
+    runtime::Metrics::global().reset();
+    LiveServer live(smallServerOptions("reset"));
+    const std::string &path = live.server().options().socketPath;
+    auto &metrics = runtime::Metrics::global();
+
+    {
+        service::FdGuard fd = service::connectUnix(path);
+        std::string framed = steadyFrame(1, "FFT", 2.0);
+        framed += '\n';
+        ASSERT_TRUE(service::sendAll(fd.get(), framed));
+        // Wait for the response to land in our receive queue, then
+        // close without reading it: on Linux the peer (the server's
+        // reader) observes ECONNRESET, not a clean EOF.
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(60);
+        while (metrics.counter("service.responses").value() < 1 &&
+               std::chrono::steady_clock::now() < deadline)
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        ASSERT_GE(metrics.counter("service.responses").value(), 1u);
+    } // abrupt close with the response unread
+
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (metrics.counter("service.conn_reset").value() < 1 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(metrics.counter("service.conn_reset").value(), 1u);
+
+    // A clean request/read/close cycle must NOT count as a reset.
+    const JsonValue ok =
+        service::parseJson(roundTrip(path, steadyFrame(2, "LU", 2.2)));
+    EXPECT_TRUE(ok.find("ok")->boolean());
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    EXPECT_EQ(metrics.counter("service.conn_reset").value(), 1u);
+}
+
+// ------------------------------------------------------- fault burst
+
+TEST(ChaosBurstTest, BurstUnderAmbientFaultsIsAnsweredBitIdentically)
+{
+    runtime::Metrics::global().reset();
+    LiveServer live(smallServerOptions("burst"));
+    const std::string &path = live.server().options().socketPath;
+
+    const char *apps[] = {"FFT", "LU", "Radix", "Barnes", "CG", "FT"};
+    constexpr int kClients = 6;
+    std::vector<std::string> responses(kClients);
+    {
+        // Ambient chaos on the server's own socket paths: dropped
+        // accepts, reads torn to 3 bytes, responses torn to 7-byte
+        // chunks. Clients retry transport failures with fresh
+        // connections, as the real CLI client does.
+        runtime::FaultInjector::ScopedSpec spec(
+            "seed=11,accept_fail=0.25,read_torn=0.4,write_torn=0.4");
+        std::vector<std::thread> threads;
+        for (int c = 0; c < kClients; ++c)
+            threads.emplace_back([&, c] {
+                std::string framed = steadyFrame(
+                    static_cast<std::uint64_t>(c),
+                    apps[static_cast<std::size_t>(c)], 2.0 + 0.1 * c);
+                framed += '\n';
+                for (int attempt = 0; attempt < 12; ++attempt) {
+                    try {
+                        const service::FdGuard fd =
+                            service::connectUnix(path);
+                        if (!service::sendAll(fd.get(), framed))
+                            continue;
+                        service::LineReader reader(
+                            fd.get(), service::kMaxFrameBytes);
+                        std::string line;
+                        if (reader.next(line) ==
+                            service::ReadStatus::Frame) {
+                            responses[static_cast<std::size_t>(c)] =
+                                line;
+                            return;
+                        }
+                    } catch (const Error &) {
+                        // connect raced a dropped accept; retry
+                    }
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(10));
+                }
+            });
+        for (auto &t : threads)
+            t.join();
+        // The chaos actually happened: the injector's decisions are a
+        // pure hash of (seed, kind, id), so with seed 11 this is
+        // deterministic, not probabilistic.
+        auto &m = runtime::Metrics::global();
+        EXPECT_GE(m.counter("fault.accept_failures").value() +
+                      m.counter("fault.torn_reads").value() +
+                      m.counter("fault.torn_writes").value(),
+                  1u);
+    } // spec disarmed: replays below run clean
+
+    for (int c = 0; c < kClients; ++c) {
+        const std::string &text = responses[static_cast<std::size_t>(c)];
+        ASSERT_FALSE(text.empty())
+            << apps[c] << " never got a response despite retries";
+        EXPECT_TRUE(service::parseJson(text).find("ok")->boolean())
+            << text;
+        // Responses served under fault injection are bit-identical to
+        // a clean replay (faults touch the transport, never the math).
+        const std::string clean = roundTrip(
+            path, steadyFrame(static_cast<std::uint64_t>(c),
+                              apps[static_cast<std::size_t>(c)],
+                              2.0 + 0.1 * c));
+        EXPECT_EQ(payloadPrefix(text), payloadPrefix(clean)) << apps[c];
+    }
+}
+
+// ------------------------------------------------- crash and restart
+
+/** One burst client against the external daemon; tolerates the
+ *  daemon dying mid-request (records an empty response). */
+void
+chaosClient(const std::string &path, const std::string &frame,
+            std::string &out, std::atomic<int> &responded)
+{
+    try {
+        const service::FdGuard fd = service::connectUnix(path);
+        std::string framed = frame;
+        framed += '\n';
+        if (!service::sendAll(fd.get(), framed))
+            return;
+        service::LineReader reader(fd.get(), service::kMaxFrameBytes);
+        std::string line;
+        if (reader.next(line) == service::ReadStatus::Frame) {
+            out = line;
+            responded.fetch_add(1, std::memory_order_relaxed);
+        }
+    } catch (const Error &) {
+        // daemon already gone: the journal must account for us
+    }
+}
+
+pid_t
+spawnServe(const std::string &socket_path, const std::string &journal)
+{
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        ::execl(XYLEM_SERVE_BIN, "xylem_serve", "--socket",
+                socket_path.c_str(), "--journal", journal.c_str(),
+                "--jobs", "1", "--queue-capacity", "32", "--quiet",
+                static_cast<char *>(nullptr));
+        ::_exit(127); // exec failed
+    }
+    return pid;
+}
+
+/** Wait until the daemon accepts connections (or fail the test). */
+void
+awaitServe(const std::string &socket_path)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (std::chrono::steady_clock::now() < deadline) {
+        try {
+            service::FdGuard fd = service::connectUnix(socket_path);
+            return;
+        } catch (const Error &) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+    }
+    FAIL() << "daemon never came up on " << socket_path;
+}
+
+TEST(ChaosRestartTest, SigkillMidBurstIsAccountedExactlyByTheJournal)
+{
+    const std::string socket_path = testPath("crash", ".sock");
+    const std::string journal_path = testPath("crash", ".jnl");
+    ::unlink(journal_path.c_str());
+
+    const pid_t pid = spawnServe(socket_path, journal_path);
+    ASSERT_GT(pid, 0);
+    awaitServe(socket_path);
+
+    // Distinct grids so nothing dedups or batches: with one worker,
+    // six cold solves serialise and the SIGKILL lands mid-burst.
+    constexpr int kClients = 6;
+    const char *apps[] = {"FFT", "LU", "Radix", "Barnes", "CG", "FT"};
+    std::vector<std::string> frames;
+    for (int c = 0; c < kClients; ++c)
+        frames.push_back(steadyFrame(static_cast<std::uint64_t>(c + 1),
+                                     apps[c], 2.0 + 0.1 * c,
+                                     40 + 2 * c));
+    std::vector<std::string> responses(kClients);
+    std::atomic<int> responded{0};
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c)
+        threads.emplace_back([&, c] {
+            chaosClient(socket_path, frames[static_cast<std::size_t>(c)],
+                        responses[static_cast<std::size_t>(c)],
+                        responded);
+        });
+
+    // Kill the daemon once at least one response proves the burst is
+    // in flight. (If the machine is so fast everything finished, the
+    // journal accounting below simply shows zero lost.)
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    while (responded.load(std::memory_order_relaxed) < 1 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_GE(responded.load(std::memory_order_relaxed), 1);
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFSIGNALED(status));
+    for (auto &t : threads)
+        t.join();
+
+    // The crash contract: every admitted request is either answered
+    // or enumerated as lost -- the scan's books must balance exactly,
+    // which also proves "admitted" always hit the journal before its
+    // "answered" could.
+    const auto recovery = service::RequestJournal::scan(journal_path);
+    EXPECT_EQ(recovery.admitted,
+              recovery.answered + recovery.lost.size());
+    std::set<std::uint64_t> lost_ids;
+    for (const auto &lost : recovery.lost) {
+        EXPECT_GE(lost.id, 1u);
+        EXPECT_LE(lost.id, static_cast<std::uint64_t>(kClients));
+        EXPECT_FALSE(lost.scenario.empty());
+        lost_ids.insert(lost.id);
+    }
+
+    // Restart on the same journal: the new incarnation reports the
+    // previous epoch's losses through the health verb, then serves
+    // replays whose payloads are bit-identical to the pre-crash
+    // responses.
+    const pid_t pid2 = spawnServe(socket_path, journal_path);
+    ASSERT_GT(pid2, 0);
+    awaitServe(socket_path);
+    const JsonValue health = service::parseJson(
+        roundTrip(socket_path, "{\"id\":99,\"query\":\"health\"}"));
+    EXPECT_TRUE(health.find("ok")->boolean());
+    EXPECT_EQ(health.find("journalLostPrevious")->number(),
+              static_cast<double>(recovery.lost.size()));
+    for (int c = 0; c < kClients; ++c) {
+        const std::string &text = responses[static_cast<std::size_t>(c)];
+        if (text.empty())
+            continue; // lost to the crash; enumerated above
+        ASSERT_TRUE(service::parseJson(text).find("ok")->boolean())
+            << text;
+        const std::string replay = roundTrip(
+            socket_path, frames[static_cast<std::size_t>(c)]);
+        EXPECT_EQ(payloadPrefix(text), payloadPrefix(replay))
+            << "pre-crash response for " << apps[c]
+            << " differs from the clean replay";
+    }
+
+    // Clean shutdown of the restarted daemon.
+    ASSERT_EQ(::kill(pid2, SIGTERM), 0);
+    ASSERT_EQ(::waitpid(pid2, &status, 0), pid2);
+    EXPECT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+    ::unlink(journal_path.c_str());
+}
+
+} // namespace

@@ -24,6 +24,9 @@
 #include <thread>
 #include <vector>
 
+#include <pthread.h>
+#include <signal.h>
+#include <sys/ioctl.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -185,6 +188,213 @@ TEST(ProtocolTest, ErrorResponseCarriesTypedCode)
     EXPECT_EQ(v.find("error")->find("code")->str(), "overloaded");
 }
 
+TEST(ProtocolTest, ResilienceErrorCodesRoundTrip)
+{
+    // The typed outcomes a resilient client switches on: a missed
+    // budget and a dead transport must stay distinguishable from
+    // "overloaded" (retryable) and "protocol" (never retryable).
+    const struct
+    {
+        ErrorCode code;
+        const char *token;
+    } cases[] = {
+        {ErrorCode::DeadlineExceeded, "deadline-exceeded"},
+        {ErrorCode::ConnectionLost, "connection-lost"},
+        {ErrorCode::Overloaded, "overloaded"},
+    };
+    for (const auto &c : cases) {
+        EXPECT_STREQ(toString(c.code), c.token);
+        const JsonValue v = service::parseJson(
+            service::formatErrorResponse(3, c.code, "m"));
+        EXPECT_EQ(v.find("error")->find("code")->str(), c.token);
+    }
+}
+
+TEST(ProtocolTest, DeadlineIsParsedButNeverPartOfTheScenarioKey)
+{
+    const service::Request with = service::parseRequest(
+        "{\"id\":1,\"query\":\"steady\",\"app\":\"FFT\","
+        "\"deadline_ms\":250.5}");
+    EXPECT_DOUBLE_EQ(with.deadlineMs, 250.5);
+    const service::Request without = service::parseRequest(
+        "{\"id\":1,\"query\":\"steady\",\"app\":\"FFT\"}");
+    // A deadline changes when an answer is still useful, never what
+    // the answer is: the dedup/batching identity must ignore it.
+    EXPECT_EQ(service::scenarioKey(with), service::scenarioKey(without));
+    EXPECT_THROW(service::parseRequest(
+                     "{\"query\":\"steady\",\"app\":\"FFT\","
+                     "\"deadline_ms\":-5}"),
+                 Error);
+}
+
+// -------------------------------------------------------------- socket
+
+/** A connected AF_UNIX stream pair with RAII ends. */
+struct SocketPair
+{
+    service::FdGuard a, b;
+    SocketPair()
+    {
+        int fds[2] = {-1, -1};
+        EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+        a = service::FdGuard(fds[0]);
+        b = service::FdGuard(fds[1]);
+    }
+};
+
+TEST(ServiceSocketTest, CleanEofAfterFrameIsEofNotReset)
+{
+    SocketPair pair;
+    ASSERT_TRUE(service::sendAll(pair.b.get(), "hello\n"));
+    pair.b.reset(); // orderly close, nothing unread on b's side
+    service::LineReader reader(pair.a.get(), 1 << 16);
+    std::string line;
+    EXPECT_EQ(reader.next(line), service::ReadStatus::Frame);
+    EXPECT_EQ(line, "hello");
+    EXPECT_EQ(reader.next(line), service::ReadStatus::Eof);
+}
+
+TEST(ServiceSocketTest, PeerResetMidFrameIsResetNotCleanEof)
+{
+    SocketPair pair;
+    // b starts a frame but never finishes it; a has already sent b
+    // data that b never reads, so b's close is a reset (ECONNRESET on
+    // a's next read), not an orderly shutdown. The reader must report
+    // the difference: Truncated means "peer hung up politely
+    // mid-frame", Reset means "peer was torn away".
+    ASSERT_TRUE(service::sendAll(pair.a.get(), "unread\n"));
+    ASSERT_TRUE(service::sendAll(pair.b.get(), "{\"partial"));
+    pair.b.reset(); // closes with unread data: a reset, not an EOF
+    service::LineReader reader(pair.a.get(), 1 << 16);
+    std::string line;
+    EXPECT_EQ(reader.next(line), service::ReadStatus::Reset);
+}
+
+namespace eintr_test {
+void onSigusr1(int) {} // presence alone makes send() return EINTR
+} // namespace eintr_test
+
+TEST(ServiceSocketTest, SendAllSurvivesPartialWritesAndEintr)
+{
+    SocketPair pair;
+    // A tiny send buffer forces many partial writes; a stream of
+    // SIGUSR1s at the writer forces EINTR returns between them.
+    const int tiny = 1;
+    ASSERT_EQ(::setsockopt(pair.a.get(), SOL_SOCKET, SO_SNDBUF, &tiny,
+                           sizeof tiny),
+              0);
+    struct sigaction sa = {};
+    sa.sa_handler = eintr_test::onSigusr1; // no SA_RESTART: EINTR
+    struct sigaction old = {};
+    ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+    std::string payload(1 << 20, '\0');
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<char>('a' + i % 26);
+    std::atomic<bool> sent_ok{false};
+    std::atomic<bool> stop_pester{false};
+    std::thread writer([&] {
+        sent_ok = service::sendAll(pair.a.get(), payload);
+    });
+    std::thread pester([&] {
+        // Bounded, throttled signal stream: enough to interrupt many
+        // blocked sends without starving a single-core machine.
+        for (int i = 0; i < 2000 && !stop_pester; ++i) {
+            ::pthread_kill(writer.native_handle(), SIGUSR1);
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+    });
+    std::string received;
+    char chunk[2048];
+    while (received.size() < payload.size()) {
+        const ssize_t n = ::read(pair.b.get(), chunk, sizeof chunk);
+        if (n < 0 && errno == EINTR)
+            continue;
+        ASSERT_GT(n, 0);
+        received.append(chunk, static_cast<std::size_t>(n));
+    }
+    stop_pester = true;
+    pester.join(); // before writer.join(): its pthread_t stays valid
+    writer.join();
+    ASSERT_EQ(::sigaction(SIGUSR1, &old, nullptr), 0);
+    EXPECT_TRUE(sent_ok);
+    EXPECT_EQ(received, payload); // every byte, in order, exactly once
+}
+
+TEST(ServiceSocketTest, SendAllTimedTimesOutOnAPeerThatStopsReading)
+{
+    SocketPair pair;
+    const int tiny = 1;
+    ASSERT_EQ(::setsockopt(pair.a.get(), SOL_SOCKET, SO_SNDBUF, &tiny,
+                           sizeof tiny),
+              0);
+    const std::string payload(1 << 20, 'x');
+    const auto start = std::chrono::steady_clock::now();
+    // b never reads: the writer must give up at the timeout instead
+    // of blocking forever (the slow-loris write guard).
+    EXPECT_EQ(service::sendAllTimed(pair.a.get(), payload, 200),
+              service::SendStatus::Timeout);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    EXPECT_LT(elapsed, 30.0);
+}
+
+TEST(ServiceSocketTest, SendAllTimedReportsAClosedPeer)
+{
+    SocketPair pair;
+    pair.b.reset(); // peer gone before the write
+    const std::string payload(1 << 16, 'x');
+    EXPECT_EQ(service::sendAllTimed(pair.a.get(), payload, 1000),
+              service::SendStatus::Closed);
+}
+
+TEST(ServiceSocketTest, FrameCapBoundaryIsExact)
+{
+    // Deterministic boundary semantics with a small cap and writes
+    // torn so the terminator arrives in a later read than the body: a
+    // frame of exactly max_bytes is served, max_bytes + 1 is shed.
+    constexpr std::size_t kCap = 64;
+    {
+        SocketPair pair;
+        const std::string body(kCap, 'y');
+        ASSERT_TRUE(service::sendAll(pair.b.get(), body));
+        ASSERT_TRUE(service::sendAll(pair.b.get(), "\n"));
+        service::LineReader reader(pair.a.get(), kCap);
+        std::string line;
+        EXPECT_EQ(reader.next(line), service::ReadStatus::Frame);
+        EXPECT_EQ(line.size(), kCap);
+    }
+    {
+        SocketPair pair;
+        const std::string body(kCap + 1, 'y');
+        // The terminator must arrive in a read AFTER the over-cap
+        // body has been buffered, or the boundary is not what is
+        // being tested: wait until the reader drained the body (its
+        // receive queue is empty) before sending the newline.
+        std::thread writer([&] {
+            service::sendAll(pair.b.get(), body);
+            int pending = 1;
+            while (pending > 0) {
+                if (::ioctl(pair.a.get(), FIONREAD, &pending) != 0)
+                    break;
+                if (pending > 0)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+            }
+            service::sendAll(pair.b.get(), "\nok\n");
+        });
+        service::LineReader reader(pair.a.get(), kCap);
+        std::string line;
+        EXPECT_EQ(reader.next(line), service::ReadStatus::Oversized);
+        // The reader recovers on the same connection.
+        EXPECT_EQ(reader.next(line), service::ReadStatus::Frame);
+        EXPECT_EQ(line, "ok");
+        writer.join();
+    }
+}
+
 // --------------------------------------------------------- live server
 
 /** Unique per-test socket path (parallel ctest runs share /tmp). */
@@ -303,6 +513,22 @@ TEST(ServiceTest, OversizedFrameIsSheddedNotFatal)
     ASSERT_TRUE(service::sendAll(fd.get(), frame));
     ASSERT_EQ(reader.next(line), service::ReadStatus::Frame);
     EXPECT_TRUE(service::parseJson(line).find("ok")->boolean());
+}
+
+TEST(ServiceTest, FrameOfExactlyMaxFrameBytesIsServed)
+{
+    LiveServer live(smallServerOptions("exactcap"));
+    const std::string &path = live.server().options().socketPath;
+
+    // A frame whose content is exactly kMaxFrameBytes sits ON the
+    // boundary and must be served, not shed: pad a valid metrics
+    // request with trailing whitespace (JSON-insignificant) to the
+    // cap.
+    std::string frame = "{\"id\":8,\"query\":\"metrics\"}";
+    frame.resize(service::kMaxFrameBytes, ' ');
+    const JsonValue resp = service::parseJson(roundTrip(path, frame));
+    EXPECT_TRUE(resp.find("ok")->boolean());
+    EXPECT_NE(resp.find("metrics"), nullptr);
 }
 
 TEST(ServiceTest, TruncatedFrameGetsErrorBeforeClose)

@@ -15,6 +15,12 @@
  *   --task-timeout S   per-request cooperative deadline (default none)
  *   --max-systems N    resident StackSystem cap (default 8)
  *   --json PATH        write Metrics::toJson() here on drain
+ *   --journal PATH     crash-safe request journal (default off); on
+ *                      restart the daemon reports exactly which
+ *                      admitted requests the crash lost
+ *   --write-timeout S  per-connection response write timeout
+ *   --idle-timeout S   mid-frame idle (slow-loris) timeout
+ *   --stall-threshold S  watchdog: busy-on-one-job stall threshold
  *   --quiet            suppress status output
  */
 
@@ -38,6 +44,12 @@ main(int argc, char **argv)
         "  --task-timeout S   per-request deadline in seconds\n"
         "  --max-systems N    resident StackSystem cap (default 8)\n"
         "  --json PATH        write drain-time metrics JSON to PATH\n"
+        "  --journal PATH     crash-safe request journal (default "
+        "off)\n"
+        "  --write-timeout S  response write timeout (default 10)\n"
+        "  --idle-timeout S   mid-frame idle timeout (default 30)\n"
+        "  --stall-threshold S  watchdog stall threshold (default "
+        "30)\n"
         "  --quiet            suppress status output\n");
 
     service::ServerOptions opts;
@@ -55,6 +67,14 @@ main(int argc, char **argv)
                        static_cast<int>(opts.engine.maxResidentSystems)));
     if (const auto path = args.option("--json"))
         opts.metricsJsonPath = *path;
+    if (const auto path = args.option("--journal"))
+        opts.journalPath = *path;
+    opts.writeTimeoutSeconds =
+        args.numberOption("--write-timeout", opts.writeTimeoutSeconds);
+    opts.idleTimeoutSeconds =
+        args.numberOption("--idle-timeout", opts.idleTimeoutSeconds);
+    opts.stallThresholdSeconds = args.numberOption(
+        "--stall-threshold", opts.stallThresholdSeconds);
     const bool quiet = args.flag("--quiet");
     args.finish();
 

@@ -28,6 +28,11 @@
  *   --deadline-ms MS   per-request end-to-end deadline (default none)
  *   --dup-percent P    share of duplicate-scenario requests (default 50)
  *   --jobs N           in-process server worker threads (default 4)
+ *   --solver-threads N in-process daemon's intra-solve thread grant
+ *                      (default 0 = off): the load-adaptive policy
+ *                      threads solves when the queue is shallow and
+ *                      pins them to 1 thread when it is deep; the
+ *                      decision counters land in the JSON
  *   --queue-capacity N in-process server queue bound (default 64)
  *   --verify N         scenarios to check bit-identical vs batch mode
  *                      (default 3; 0 disables)
@@ -525,6 +530,8 @@ main(int argc, char **argv)
         "  --deadline-ms MS   per-request deadline (default none)\n"
         "  --dup-percent P    duplicate-scenario share (default 50)\n"
         "  --jobs N           in-process server workers (default 4)\n"
+        "  --solver-threads N in-process intra-solve thread grant "
+        "(default 0 = off)\n"
         "  --queue-capacity N in-process queue bound (default 64)\n"
         "  --verify N         bit-identity scenarios (default 3)\n"
         "  --batch            engine-level block-solve sweep "
@@ -546,6 +553,7 @@ main(int argc, char **argv)
     const double deadline_ms = args.numberOption("--deadline-ms", 0.0);
     const int dup_percent = args.intOption("--dup-percent", 50);
     const int jobs = args.intOption("--jobs", 4);
+    const int solver_threads = args.intOption("--solver-threads", 0);
     const int queue_capacity = args.intOption("--queue-capacity", 64);
     const int verify_n = args.intOption("--verify", 3);
     const bool want_batch_sweep = args.flag("--batch");
@@ -568,6 +576,7 @@ main(int argc, char **argv)
         service::ServerOptions opts;
         opts.socketPath = socket_path;
         opts.workers = jobs;
+        opts.engine.solverThreads = solver_threads;
         opts.queueCapacity = static_cast<std::size_t>(queue_capacity);
         server = std::make_unique<service::Server>(opts);
         server->start();
@@ -628,6 +637,8 @@ main(int argc, char **argv)
     // too), incl. the dedup counter the acceptance criteria name.
     std::uint64_t dedup_hits = 0;
     std::uint64_t shed = 0;
+    std::uint64_t threaded_solves = 0;
+    std::uint64_t singlethread_solves = 0;
     std::string metrics_json = "{}";
     try {
         const service::FdGuard fd = service::connectUnix(socket_path);
@@ -639,6 +650,10 @@ main(int argc, char **argv)
             if (const service::JsonValue *m = resp.find("metrics")) {
                 dedup_hits = wireCounter(*m, "service.dedup_hits");
                 shed = wireCounter(*m, "service.shed");
+                threaded_solves =
+                    wireCounter(*m, "service.threaded_solves");
+                singlethread_solves =
+                    wireCounter(*m, "service.singlethread_solves");
                 metrics_json = m->dump();
             }
         }
@@ -713,6 +728,10 @@ main(int argc, char **argv)
               << (verify_n > 0 ? (bit_identical ? "yes" : "NO")
                                : "skipped")
               << "\n";
+    if (solver_threads > 0)
+        std::cout << "adaptive threads (grant " << solver_threads
+                  << "): " << threaded_solves << " threaded pickups, "
+                  << singlethread_solves << " pinned to 1\n";
 
     if (want_json) {
         std::ostringstream json;
@@ -750,7 +769,11 @@ main(int argc, char **argv)
         }
         json << "}";
         json << ",\"dedup_hits\":" << dedup_hits
-             << ",\"shed\":" << shed << ",\"bit_identical\":"
+             << ",\"shed\":" << shed
+             << ",\"solver_threads\":" << solver_threads
+             << ",\"threaded_solves\":" << threaded_solves
+             << ",\"singlethread_solves\":" << singlethread_solves
+             << ",\"bit_identical\":"
              << (bit_identical ? "true" : "false");
         if (want_batch_sweep) {
             json << ",\"batch_sweep\":{\"gridNx\":64,\"gridNy\":64"

@@ -28,6 +28,11 @@
  *                   8, range 1..kMaxBatchRhs); its ns/solve and
  *                   solves/s are per column, so the speedup over
  *                   steady_cold is the block-solve amortization
+ *   --threads-sweep additionally run the cold MG-CG solve at threads
+ *                   1, 2, 4 and 8 per grid, emitting `threads_sweep`
+ *                   rows in --json (the intra-solve scaling curve;
+ *                   results are bit-identical across the sweep, only
+ *                   the wall clock moves)
  *   --fast          smoke configuration: 32-grid only, small budget
  */
 
@@ -119,7 +124,9 @@ constexpr SolverSetup kSetups[] = {
 
 /**
  * Time `fn` (one solve per call): one untimed warmup call, then as
- * many repetitions as fit the budget (at least one, at most 200).
+ * many repetitions as fit the budget — at least 3 (a single rep of a
+ * big-grid solve is pure noise, and baseline diffs built on it are
+ * worthless), at most 200.
  */
 template <typename F>
 BenchResult
@@ -134,8 +141,8 @@ run(const std::string &name, double budget_seconds, F &&fn)
     int reps = probe > 0.0
                    ? static_cast<int>(budget_seconds / probe)
                    : 200;
-    if (reps < 1)
-        reps = 1;
+    if (reps < 3)
+        reps = 3;
     if (reps > 200)
         reps = 200;
     const auto t0 = Clock::now();
@@ -164,9 +171,10 @@ main(int argc, char **argv)
         "  --solver S,..   filter by outer iteration (cg, mg)\n"
         "  --rhs N         batched-steady columns (1.."
         "64, default 8)\n"
+        "  --threads-sweep also run cold MG-CG at threads 1/2/4/8\n"
         "  --fast          smoke configuration\n");
     std::vector<std::size_t> grids = {32, 64, 128};
-    double budget = 1.0;
+    double budget = 2.0;
     if (args.flag("--fast")) {
         grids = {32};
         budget = 0.1;
@@ -192,6 +200,7 @@ main(int argc, char **argv)
         args.choiceListOption("--solver", {"cg", "mg"}, {});
     const int rhs = args.boundedIntOption(
         "--rhs", 8, 1, static_cast<int>(thermal::kMaxBatchRhs));
+    const bool threads_sweep = args.flag("--threads-sweep");
     args.finish();
 
     const auto keep = [&](const SolverSetup &s) {
@@ -324,6 +333,45 @@ main(int argc, char **argv)
             results.push_back(transient);
             results.push_back(matvec);
             results.push_back(batch);
+        }
+    }
+
+    // Intra-solve thread scaling: the cold MG-CG solve (the served
+    // hot path) at 1/2/4/8 threads per grid. Same problem, same
+    // bit-identical answer — the curve is pure wall-clock.
+    if (threads_sweep) {
+        for (const std::size_t g : grids) {
+            const auto stk = makeStack(g);
+            const auto power = makePower(stk);
+            for (const int t : {1, 2, 4, 8}) {
+                thermal::SolverOptions opts;
+                opts.kind = thermal::SolverKind::CG;
+                opts.preconditioner = thermal::Preconditioner::Multigrid;
+                opts.threads = t;
+                const thermal::GridModel model(stk, opts);
+                BenchResult r = run("threads_sweep_mgcg_" +
+                                        std::to_string(g) + "_t" +
+                                        std::to_string(t),
+                                    budget, [&] {
+                                        thermal::SolveStats stats;
+                                        const auto f = model.solveSteady(
+                                            power, &stats);
+                                        (void)f;
+                                        return stats.iterations;
+                                    });
+                r.grid = g;
+                r.mode = "threads_sweep";
+                r.solver = "cg";
+                r.precond = "mg";
+                r.nodes = model.numNodes();
+                r.threads = t;
+                r.mgLevels =
+                    model.multigrid()
+                        ? static_cast<int>(
+                              model.multigrid()->numLevels())
+                        : 0;
+                results.push_back(r);
+            }
         }
     }
 

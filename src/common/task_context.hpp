@@ -63,6 +63,17 @@ struct TaskContext
     std::chrono::steady_clock::time_point deadline{};
     bool hasDeadline = false;
 
+    /**
+     * Ambient override of the solver's intra-solve thread count
+     * (0 = no override, use SolverOptions::threads). Installed by the
+     * service's load-adaptive policy: a deep queue pins each solve to
+     * 1 thread (the workers already saturate the cores), a shallow
+     * queue grants the configured count for latency. Thread count
+     * never changes results (DESIGN.md §17), so this is purely a
+     * scheduling knob.
+     */
+    int solverThreads = 0;
+
     bool coldStart() const
     {
         return escalation >= static_cast<int>(Escalation::ColdStart);

@@ -147,11 +147,13 @@ Engine::runOnce(const Request &req, core::StackSystem &system)
 }
 
 TaskContext
-Engine::contextForRung(int rung, Deadline deadline) const
+Engine::contextForRung(int rung, Deadline deadline,
+                       int solverThreads) const
 {
     TaskContext ctx;
     ctx.escalation = rung;
     ctx.strictSolver = opts_.maxRetries > 0;
+    ctx.solverThreads = solverThreads;
     if (opts_.taskTimeoutSeconds > 0.0) {
         ctx.hasDeadline = true;
         ctx.deadline = std::chrono::steady_clock::now() +
@@ -171,15 +173,16 @@ Engine::contextForRung(int rung, Deadline deadline) const
 }
 
 EvalSummary
-Engine::run(const Request &req, Deadline deadline)
+Engine::run(const Request &req, Deadline deadline, int solverThreads)
 {
     auto slot = slotFor(req);
     std::lock_guard<std::mutex> guard(slot->mutex);
-    return runLadder(req, *slot, deadline);
+    return runLadder(req, *slot, deadline, solverThreads);
 }
 
 EvalSummary
-Engine::runLadder(const Request &req, Slot &slot, Deadline deadline)
+Engine::runLadder(const Request &req, Slot &slot, Deadline deadline,
+                  int solverThreads)
 {
     auto &retries = runtime::Metrics::global().counter("service.retries");
     auto &escalations =
@@ -197,7 +200,7 @@ Engine::runLadder(const Request &req, Slot &slot, Deadline deadline)
                   "request deadline expired before attempt at rung ",
                   rung);
         try {
-            TaskContext ctx = contextForRung(rung, deadline);
+            TaskContext ctx = contextForRung(rung, deadline, solverThreads);
             ScopedTaskContext scope(ctx);
             // Determinism contract: never inherit a warm start from a
             // previous request, so this response is bit-identical to
@@ -239,7 +242,8 @@ Engine::runLadder(const Request &req, Slot &slot, Deadline deadline)
 
 std::vector<Engine::BatchOutcome>
 Engine::runBatch(const std::vector<const Request *> &reqs,
-                 const std::vector<Deadline> &deadlines)
+                 const std::vector<Deadline> &deadlines,
+                 int solverThreads)
 {
     std::vector<BatchOutcome> out(reqs.size());
     if (reqs.empty())
@@ -293,7 +297,8 @@ Engine::runBatch(const std::vector<const Request *> &reqs,
     // ladder's first rung (strict, so a non-converged column raises
     // instead of silently returning a bad field).
     try {
-        TaskContext ctx = contextForRung(0, block_deadline);
+        TaskContext ctx =
+            contextForRung(0, block_deadline, solverThreads);
         ScopedTaskContext scope(ctx);
         slot->system.clearWarmStart();
         std::vector<core::EvalResult> evals =
@@ -319,7 +324,8 @@ Engine::runBatch(const std::vector<const Request *> &reqs,
     // pathological member cannot take healthy ones down with it.
     for (const std::size_t i : live) {
         try {
-            out[i].summary = runLadder(*reqs[i], *slot, deadline_of(i));
+            out[i].summary = runLadder(*reqs[i], *slot, deadline_of(i),
+                                       solverThreads);
             out[i].ok = true;
         } catch (const Error &e) {
             out[i].ok = false;

@@ -44,6 +44,14 @@ struct EngineOptions
     double taskTimeoutSeconds = 0.0;
     /** Resident StackSystem cap (LRU eviction beyond it). */
     std::size_t maxResidentSystems = 8;
+    /**
+     * Intra-solve thread grant (`--solver-threads`): the thread count
+     * a solve may use when the server's load-adaptive policy allows
+     * threading (shallow queue). 0 disables the override entirely —
+     * each request's own solver.threads config applies, as before.
+     * Thread count never changes results (DESIGN.md §17).
+     */
+    int solverThreads = 0;
 };
 
 class Engine
@@ -69,8 +77,14 @@ class Engine
      * whole ladder: attempts run under min(rung timeout, remaining
      * budget), and an expired budget surfaces as
      * Error(DeadlineExceeded) without further escalation.
+     *
+     * `solverThreads` is the ambient intra-solve thread override for
+     * this request (0 = none): the server passes the engine's grant
+     * when its queue is shallow and 1 when it is deep. Purely a
+     * scheduling knob — results are bit-identical either way.
      */
-    EvalSummary run(const Request &req, Deadline deadline = {});
+    EvalSummary run(const Request &req, Deadline deadline = {},
+                    int solverThreads = 0);
 
     /** Per-request result of runBatch (never throws per batch). */
     struct BatchOutcome
@@ -102,7 +116,8 @@ class Engine
      */
     std::vector<BatchOutcome>
     runBatch(const std::vector<const Request *> &reqs,
-             const std::vector<Deadline> &deadlines = {});
+             const std::vector<Deadline> &deadlines = {},
+             int solverThreads = 0);
 
     /** Resident systems right now (telemetry/tests). */
     std::size_t residentSystems() const;
@@ -122,8 +137,9 @@ class Engine
     EvalSummary runOnce(const Request &req, core::StackSystem &system);
     /** The retry/escalation ladder; caller holds the slot's mutex. */
     EvalSummary runLadder(const Request &req, Slot &slot,
-                          Deadline deadline = {});
-    TaskContext contextForRung(int rung, Deadline deadline = {}) const;
+                          Deadline deadline = {}, int solverThreads = 0);
+    TaskContext contextForRung(int rung, Deadline deadline = {},
+                               int solverThreads = 0) const;
 
     EngineOptions opts_;
     mutable std::mutex mutex_;

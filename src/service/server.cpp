@@ -316,29 +316,72 @@ Server::workerLoop(std::size_t index)
                 return; // workers_exit_ and the queue is drained
             job = std::move(queue_.front());
             queue_.pop_front();
+            // Load-adaptive thread policy, decided at pickup from the
+            // queue depth left behind: a shallow queue (fewer waiting
+            // jobs than workers) grants the solve the engine's
+            // --solver-threads for latency; a deep queue pins it to 1
+            // thread — the workers already saturate the cores, and
+            // threading individual solves would only add contention.
+            // Purely a scheduling decision: results are bit-identical
+            // at any thread count (DESIGN.md §17).
+            const int thread_grant = opts_.engine.solverThreads;
+            if (thread_grant > 0)
+                job.solverThreads =
+                    queue_.size() <
+                            static_cast<std::size_t>(opts_.workers)
+                        ? thread_grant
+                        : 1;
             // Batch formation: drain the queued Steady jobs against
             // the same config text (the batch.* policy travels inside
             // the config) into one multi-RHS block solve. Jobs for
             // other configs or query kinds stay queued — a mixed
-            // burst splits, it never cross-batches.
+            // burst splits, it never cross-batches. Only a multigrid-
+            // preconditioned CG solve amortises enough coefficient
+            // bandwidth to win as a block (BENCH_solver.json shows
+            // jacobi/line batches *slower* per solve than solo), so
+            // other solver configs skip formation and serve serially.
             const core::BatchOptions &policy = job.req.config.batch;
+            const thermal::SolverOptions &sopts = job.req.config.solver;
+            const bool batch_profitable =
+                sopts.kind == thermal::SolverKind::CG &&
+                sopts.preconditioner ==
+                    thermal::Preconditioner::Multigrid;
             if (job.req.query == QueryType::Steady && policy.enabled &&
                 policy.maxRhs > 1) {
                 const std::size_t cap = std::min(
                     static_cast<std::size_t>(policy.maxRhs),
                     thermal::kMaxBatchRhs);
+                bool had_candidate = false;
                 for (auto it = queue_.begin();
                      it != queue_.end() && extras.size() + 1 < cap;) {
                     if (it->req.query == QueryType::Steady &&
                         it->req.configText == job.req.configText) {
+                        had_candidate = true;
+                        if (!batch_profitable)
+                            break;
                         extras.push_back(std::move(*it));
                         it = queue_.erase(it);
                     } else {
                         ++it;
                     }
                 }
+                if (!batch_profitable && had_candidate)
+                    runtime::Metrics::global()
+                        .counter("service.batch_skipped_unprofitable")
+                        .increment();
             }
         }
+        // The adaptive decision, visible in metrics: which way did
+        // the policy go for this pickup (nothing counted when no
+        // --solver-threads grant is configured).
+        if (job.solverThreads > 1)
+            runtime::Metrics::global()
+                .counter("service.threaded_solves")
+                .increment();
+        else if (job.solverThreads == 1)
+            runtime::Metrics::global()
+                .counter("service.singlethread_solves")
+                .increment();
         // Heartbeat for the watchdog: busy from pickup to response.
         state.busySinceNs.store(steadyNowNs(),
                                 std::memory_order_relaxed);
@@ -471,7 +514,7 @@ Server::process(Job job)
     bool ok = true;
     const auto solve_start = std::chrono::steady_clock::now();
     try {
-        summary = engine_.run(job.req, job.deadline);
+        summary = engine_.run(job.req, job.deadline, job.solverThreads);
     } catch (const Error &e) {
         ok = false;
         code = e.code();
@@ -566,7 +609,10 @@ Server::processBatch(std::vector<Job> jobs)
     const auto solve_start = std::chrono::steady_clock::now();
     std::vector<Engine::BatchOutcome> outcomes;
     try {
-        outcomes = engine_.runBatch(reqs, deadlines);
+        // The leader's pickup decided the thread policy for the whole
+        // block (the drained extras were queued behind it).
+        outcomes = engine_.runBatch(reqs, deadlines,
+                                    members.front().job.solverThreads);
     } catch (const Error &e) {
         Engine::BatchOutcome failed;
         failed.code = e.code();

@@ -155,6 +155,13 @@ class Server
         /** Absolute end-to-end budget; default value = none. */
         std::chrono::steady_clock::time_point deadline{};
         double queueSeconds = 0.0; ///< set at worker pickup
+        /**
+         * Intra-solve thread override decided at worker pickup by the
+         * load-adaptive policy (0 = none): shallow queue ⇒ the
+         * engine's --solver-threads grant, deep queue ⇒ 1 (the
+         * workers already saturate the cores). Never changes results.
+         */
+        int solverThreads = 0;
     };
 
     /** Followers parked on an in-flight identical solve. */

@@ -10,6 +10,7 @@
 #include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 #include "thermal/mg/multigrid.hpp"
+#include "thermal/simd.hpp"
 
 #if defined(__GNUC__) || defined(__clang__)
 #define XYLEM_RESTRICT __restrict__
@@ -29,6 +30,12 @@ namespace {
 constexpr std::size_t kDotBlock = 4096; ///< flat vector-kernel block
 constexpr std::size_t kRowChunk = 16;   ///< grid rows per apply block
 constexpr std::size_t kColChunk = 1024; ///< XY columns per line chunk
+
+// SIMD discipline (DESIGN.md §17): XYLEM_SIMD_LOOP goes only on loops
+// with no floating-point reduction — elementwise updates and
+// independent-column sweeps. Never on the fused dot/norm loops below:
+// vectorising a reduction reassociates the scalar accumulation the
+// batch twins replicate per column, breaking batch ≡ solo identity.
 
 std::size_t
 blockCount(std::size_t n, std::size_t block)
@@ -164,6 +171,7 @@ blockedUpdateDirection(double beta, const double *XYLEM_RESTRICT z,
     ThreadPool::parallelFor(pool, nb, [&](std::size_t blk) {
         const std::size_t i0 = blk * kDotBlock;
         const std::size_t i1 = std::min(n, i0 + kDotBlock);
+        XYLEM_SIMD_LOOP
         for (std::size_t i = i0; i < i1; ++i)
             p[i] = z[i] + beta * p[i];
     });
@@ -205,35 +213,36 @@ fusedApplyRow(std::size_t nx, const double *XYLEM_RESTRICT dg,
         y[0] = v;
         return xc[0] * v;
     }
-    double dot = 0.0;
+    // The stencil pass writes only y[ix] from independent reads, so
+    // the interior loop vectorises freely; the x·y reduction runs as
+    // a separate scalar pass in ascending ix — the exact accumulation
+    // order the batch twins replicate per column, which a vectorised
+    // reduction would reassociate.
     {
         // west edge: no x-1 neighbour
-        const double v = (dg[0] + ed[0]) * xc[0] -
-                         (gvd[0] * xb[0] + gvu[0] * xa[0] +
-                          gys[0] * xs[0] + gyn[0] * xn[0] +
-                          rim[0] * x_peri + gx[0] * xc[1]);
-        y[0] = v;
-        dot += xc[0] * v;
+        y[0] = (dg[0] + ed[0]) * xc[0] -
+               (gvd[0] * xb[0] + gvu[0] * xa[0] + gys[0] * xs[0] +
+                gyn[0] * xn[0] + rim[0] * x_peri + gx[0] * xc[1]);
     }
+    XYLEM_SIMD_LOOP
     for (std::size_t ix = 1; ix + 1 < nx; ++ix) {
-        const double v = (dg[ix] + ed[ix]) * xc[ix] -
-                         (gvd[ix] * xb[ix] + gvu[ix] * xa[ix] +
-                          gys[ix] * xs[ix] + gyn[ix] * xn[ix] +
-                          rim[ix] * x_peri + gx[ix - 1] * xc[ix - 1] +
-                          gx[ix] * xc[ix + 1]);
-        y[ix] = v;
-        dot += xc[ix] * v;
+        y[ix] = (dg[ix] + ed[ix]) * xc[ix] -
+                (gvd[ix] * xb[ix] + gvu[ix] * xa[ix] +
+                 gys[ix] * xs[ix] + gyn[ix] * xn[ix] +
+                 rim[ix] * x_peri + gx[ix - 1] * xc[ix - 1] +
+                 gx[ix] * xc[ix + 1]);
     }
     {
         // east edge: no x+1 neighbour
         const std::size_t ix = nx - 1;
-        const double v = (dg[ix] + ed[ix]) * xc[ix] -
-                         (gvd[ix] * xb[ix] + gvu[ix] * xa[ix] +
-                          gys[ix] * xs[ix] + gyn[ix] * xn[ix] +
-                          rim[ix] * x_peri + gx[ix - 1] * xc[ix - 1]);
-        y[ix] = v;
-        dot += xc[ix] * v;
+        y[ix] = (dg[ix] + ed[ix]) * xc[ix] -
+                (gvd[ix] * xb[ix] + gvu[ix] * xa[ix] +
+                 gys[ix] * xs[ix] + gyn[ix] * xn[ix] +
+                 rim[ix] * x_peri + gx[ix - 1] * xc[ix - 1]);
     }
+    double dot = 0.0;
+    for (std::size_t ix = 0; ix < nx; ++ix)
+        dot += xc[ix] * y[ix];
     return dot;
 }
 
@@ -708,18 +717,24 @@ GridModel::applyLineCached(const double *r, double *z, SolverWorkspace &w,
         const std::size_t c0 = chunk * kColChunk;
         const std::size_t c1 = std::min(cells_, c0 + kColChunk);
         // Forward sweep, layer-major so each pass streams contiguous
-        // memory: dp is written straight into z.
+        // memory: dp is written straight into z. Each XY column's
+        // recurrence is carried along layers only, so vectorising
+        // across columns never reorders a column's arithmetic.
+        XYLEM_SIMD_LOOP
         for (std::size_t c = c0; c < c1; ++c)
             z[c] = r[c] * inv[c];
         for (std::size_t l = 1; l < L; ++l) {
             const double *g = vert_[l - 1].data();
             const std::size_t off = l * cells_;
+            XYLEM_SIMD_LOOP
             for (std::size_t c = c0; c < c1; ++c)
                 z[off + c] =
                     (r[off + c] + g[c] * z[off - cells_ + c]) * inv[off + c];
         }
         // Back substitution with the r·z reduction fused in: top layer
-        // first, then descending — a fixed order per chunk.
+        // first, then descending — a fixed order per chunk. No SIMD
+        // pragma: the fused sum is a reduction (see the discipline
+        // note at the top of this file).
         double sum = 0.0;
         {
             const std::size_t off = (L - 1) * cells_;
@@ -808,7 +823,16 @@ GridModel::prepare(SolverWorkspace &w) const
 runtime::ThreadPool *
 GridModel::poolFor(SolverWorkspace &w) const
 {
-    const int want = runtime::ThreadPool::resolveJobs(opts_.threads);
+    // The ambient task context may override the configured thread
+    // count (the service's load-adaptive policy: deep queue ⇒ 1
+    // thread per solve, shallow queue ⇒ threaded solves) without any
+    // plumbing through StackSystem. 0 = no override. Thread count
+    // never changes results (DESIGN.md §17), only speed.
+    const TaskContext *tctx = currentTaskContext();
+    const int requested = (tctx && tctx->solverThreads > 0)
+                              ? tctx->solverThreads
+                              : opts_.threads;
+    const int want = runtime::ThreadPool::resolveJobs(requested);
     if (want <= 1)
         return nullptr;
     if (!w.pool_ || w.pool_threads_ != want) {
@@ -920,7 +944,7 @@ GridModel::solve(const std::vector<double> &b, std::vector<double> &x,
             // factorisation; the hierarchy then coarsens the C/Δt
             // shift and factors its own levels.
             buildLineFactorization(ed, w);
-            mg_->prepareSolve(extra_diag, w);
+            mg_->prepareSolve(extra_diag, w, pool);
         } else if (line) {
             buildLineFactorization(ed, w);
         } else {

@@ -710,7 +710,7 @@ GridModel::solveMulti(std::size_t cols,
         const auto t0 = Clock::now();
         if (use_mg) {
             buildLineFactorization(ed, w);
-            mg_->prepareSolve(extra_diag, w);
+            mg_->prepareSolve(extra_diag, w, pool);
         } else if (line) {
             buildLineFactorization(ed, w);
         } else {

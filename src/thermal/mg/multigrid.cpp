@@ -9,6 +9,7 @@
 #include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 #include "thermal/grid_model.hpp"
+#include "thermal/simd.hpp"
 
 #if defined(__GNUC__) || defined(__clang__)
 #define XYLEM_RESTRICT __restrict__
@@ -22,12 +23,23 @@ namespace {
 
 using runtime::ThreadPool;
 
-// Fine-level kernels follow the GridModel blocking discipline: fixed
+// Every level follows the GridModel blocking discipline: fixed
 // problem-size-dependent blocks, per-block partials reduced serially
 // in ascending order — bit-identical at any thread count. Coarse
-// levels (≤ 1/3 of the fine work combined) always run serially.
+// levels above the node-count cutoff run the same tiled kernels on
+// the pool; the tiny tail levels run them inline, where the fork/join
+// would cost more than the arithmetic (DESIGN.md §17).
 constexpr std::size_t kDotBlock = 4096;
 constexpr std::size_t kRowChunk = 16;
+constexpr std::size_t kColChunk = 1024;
+constexpr std::size_t kCoarseSerialCutoff = 16384;
+
+/** The pool a coarse level of `nodes` nodes should use (may be null). */
+ThreadPool *
+levelPool(std::size_t nodes, ThreadPool *pool)
+{
+    return nodes >= kCoarseSerialCutoff ? pool : nullptr;
+}
 
 std::size_t
 blockCount(std::size_t n, std::size_t block)
@@ -44,6 +56,7 @@ blockedScale(double *XYLEM_RESTRICT z, double a, std::size_t n,
                                 const std::size_t i0 = blk * kDotBlock;
                                 const std::size_t i1 =
                                     std::min(n, i0 + kDotBlock);
+                                XYLEM_SIMD_LOOP
                                 for (std::size_t i = i0; i < i1; ++i)
                                     z[i] *= a;
                             });
@@ -60,6 +73,7 @@ blockedResidual(const double *XYLEM_RESTRICT r,
                                 const std::size_t i0 = blk * kDotBlock;
                                 const std::size_t i1 =
                                     std::min(n, i0 + kDotBlock);
+                                XYLEM_SIMD_LOOP
                                 for (std::size_t i = i0; i < i1; ++i)
                                     t[i] = r[i] - q[i];
                             });
@@ -75,12 +89,17 @@ blockedAxpy(double *XYLEM_RESTRICT x, double a,
                                 const std::size_t i0 = blk * kDotBlock;
                                 const std::size_t i1 =
                                     std::min(n, i0 + kDotBlock);
+                                XYLEM_SIMD_LOOP
                                 for (std::size_t i = i0; i < i1; ++i)
                                     x[i] += a * s[i];
                             });
 }
 
-/** Fixed-block-order a·b. */
+/**
+ * Fixed-block-order a·b. No SIMD pragma here: vectorising a solo
+ * reduction would reassociate the scalar accumulation the blocked
+ * batch twins replicate per column, breaking batch ≡ solo identity.
+ */
 double
 blockedDot(const double *XYLEM_RESTRICT a, const double *XYLEM_RESTRICT b,
            std::size_t n, ThreadPool *pool, double *bs)
@@ -147,6 +166,27 @@ seconds(std::chrono::steady_clock::time_point t0)
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now() - t0)
         .count();
+}
+
+/**
+ * FNV-1a over the bytes of `v`, seeded so that an empty vector, a
+ * null shift, and different hierarchies all key differently. The
+ * immutable part of the coarsest operator never changes after
+ * construction, so the per-solve C/Δt shift is the whole content key.
+ */
+std::uint64_t
+factorKeyOf(std::uint64_t hierarchy_id, const double *v, std::size_t n)
+{
+    std::uint64_t h = 1469598103934665603ull ^ (hierarchy_id * 0x9e3779b9ull);
+    h ^= n;
+    h *= 1099511628211ull;
+    const unsigned char *bytes = reinterpret_cast<const unsigned char *>(v);
+    for (std::size_t i = 0; i < n * sizeof(double); ++i) {
+        h ^= bytes[i];
+        h *= 1099511628211ull;
+    }
+    // 0 is the "no factor" sentinel; never hand it out as a real key.
+    return h == 0 ? 1 : h;
 }
 
 } // namespace
@@ -369,6 +409,7 @@ Hierarchy::prepareWorkspace(SolverWorkspace &w) const
     const std::size_t nc =
         coarse_.empty() ? n0 : coarse_.back().nodes;
     mw.dense.assign(nc * nc, 0.0);
+    mw.factor_key = 0; // the resize dropped any cached factor
     // Resizing replaced the per-level scratch, dropping any batch
     // buffers with it; prepareBatchWorkspace must rebuild them.
     mw.bt0.clear();
@@ -453,7 +494,7 @@ prolongVector(std::size_t dnx, std::size_t dny, std::size_t dcells,
 
 void
 Hierarchy::prepareSolve(const std::vector<double> *fine_extra,
-                        SolverWorkspace &w) const
+                        SolverWorkspace &w, runtime::ThreadPool *pool) const
 {
     prepareWorkspace(w);
     Workspace &mw = *w.mg_;
@@ -473,13 +514,13 @@ Hierarchy::prepareSolve(const std::vector<double> *fine_extra,
             restrictVector(fine_->nx_, fine_->ny_, fine_->cells_,
                            fine_->num_layers_, finePeriphNodes_.data(),
                            finePeriphNodes_.size(), L.nx, L.ny,
-                           fine_extra->data(), S.extra.data(), nullptr);
+                           fine_extra->data(), S.extra.data(), pool);
         else {
             const Level &P = coarse_[k - 1];
             restrictVector(P.nx, P.ny, P.cells, P.layers,
                            P.periphNodes.data(), P.nperiph, L.nx, L.ny,
                            mw.levels[k - 1].extra.data(), S.extra.data(),
-                           nullptr);
+                           levelPool(P.nodes, pool));
         }
     }
 
@@ -487,7 +528,29 @@ Hierarchy::prepareSolve(const std::vector<double> *fine_extra,
     for (std::size_t k = 0; k + 1 < coarse_.size(); ++k)
         levelLineFactor(coarse_[k], mw.levels[k]);
 
-    // Dense-factor the coarsest operator.
+    // Dense-factor the coarsest operator — unless the cached factor
+    // already matches. The operator's conductances are immutable after
+    // construction; only the coarsened C/Δt shift varies per solve, so
+    // its content hash keys the factor. A steady sweep (shift ≡ 0) and
+    // a fixed-Δt transient run therefore refactor exactly once per
+    // workspace.
+    std::uint64_t key;
+    if (coarse_.empty())
+        key = factorKeyOf(id_, fine_extra ? fine_extra->data() : nullptr,
+                          fine_extra ? fine_extra->size() : 0);
+    else {
+        const std::vector<double> &extra = mw.levels.back().extra;
+        key = fine_extra
+                  ? factorKeyOf(id_, extra.data(), extra.size())
+                  : factorKeyOf(id_, nullptr, 0);
+    }
+    if (mw.factor_key == key) {
+        runtime::Metrics::global()
+            .counter("solver.mg.factor_reuses")
+            .increment();
+        return;
+    }
+    mw.factor_key = 0; // invalid while the rebuild is in progress
     if (coarse_.empty()) {
         mw.dense = fine_->denseMatrix(fine_extra);
         choleskyFactorInPlace(mw.dense, fine_->num_nodes_);
@@ -496,6 +559,7 @@ Hierarchy::prepareSolve(const std::vector<double> *fine_extra,
         buildLevelDense(L, mw.levels.back().extra, mw.dense);
         choleskyFactorInPlace(mw.dense, L.nodes);
     }
+    mw.factor_key = key;
 }
 
 void
@@ -534,40 +598,61 @@ Hierarchy::levelLineFactor(const Level &L, LevelScratch &S)
 
 void
 Hierarchy::levelLineSolve(const Level &L, const LevelScratch &S,
-                          const double *r, double *z)
+                          const double *r, double *z, ThreadPool *pool)
 {
     const std::size_t cells = L.cells;
     const std::size_t layers = L.layers;
-    for (std::size_t c = 0; c < cells; ++c)
-        z[c] = r[c] * S.lineInv[c];
-    for (std::size_t l = 1; l < layers; ++l) {
-        const std::size_t off = l * cells;
-        const double *g = L.vert[l - 1].data();
-        for (std::size_t c = 0; c < cells; ++c)
-            z[off + c] =
-                (r[off + c] + g[c] * z[off - cells + c]) * S.lineInv[off + c];
-    }
-    for (std::size_t l = layers - 1; l-- > 0;) {
-        const std::size_t off = l * cells;
-        for (std::size_t c = 0; c < cells; ++c)
-            z[off + c] -= S.lineCp[off + c] * z[off + cells + c];
-    }
+    // Each XY column's Thomas recurrence runs along layers and never
+    // reads a neighbouring column, so partitioning the columns into
+    // fixed chunks leaves every element's arithmetic untouched —
+    // threaded and inline sweeps are bit-identical.
+    const std::size_t nchunks = blockCount(cells, kColChunk);
+    const double *XYLEM_RESTRICT inv = S.lineInv.data();
+    const double *XYLEM_RESTRICT cp = S.lineCp.data();
+    ThreadPool::parallelFor(pool, nchunks, [&](std::size_t chunk) {
+        const std::size_t c0 = chunk * kColChunk;
+        const std::size_t c1 = std::min(cells, c0 + kColChunk);
+        XYLEM_SIMD_LOOP
+        for (std::size_t c = c0; c < c1; ++c)
+            z[c] = r[c] * inv[c];
+        for (std::size_t l = 1; l < layers; ++l) {
+            const std::size_t off = l * cells;
+            const double *g = L.vert[l - 1].data();
+            XYLEM_SIMD_LOOP
+            for (std::size_t c = c0; c < c1; ++c)
+                z[off + c] =
+                    (r[off + c] + g[c] * z[off - cells + c]) * inv[off + c];
+        }
+        for (std::size_t l = layers - 1; l-- > 0;) {
+            const std::size_t off = l * cells;
+            XYLEM_SIMD_LOOP
+            for (std::size_t c = c0; c < c1; ++c)
+                z[off + c] -= cp[off + c] * z[off + cells + c];
+        }
+    });
     for (std::size_t k = 0; k < L.nperiph; ++k)
         z[L.periphNodes[k]] = r[L.periphNodes[k]] * S.periphInv[k];
 }
 
 void
 Hierarchy::levelApply(const Level &L, const std::vector<double> &extra,
-                      const double *x, double *y)
+                      const double *x, double *y, ThreadPool *pool)
 {
     const std::size_t nx = L.nx, ny = L.ny, cells = L.cells;
-    for (std::size_t l = 0; l < L.layers; ++l) {
+    // Gather-style: every y entry is produced by exactly one tile and
+    // reads only x, so the tiles are race-free and order-independent.
+    const std::size_t row_chunks = blockCount(ny, kRowChunk);
+    ThreadPool::parallelFor(
+        pool, L.layers * row_chunks, [&](std::size_t blk) {
+        const std::size_t l = blk / row_chunks;
+        const std::size_t iy0 = (blk % row_chunks) * kRowChunk;
+        const std::size_t iy1 = std::min(ny, iy0 + kRowChunk);
         const std::size_t base = l * cells;
         const bool rimmed = !L.rim[l].empty();
         const double x_peri =
             rimmed ? x[static_cast<std::size_t>(L.periphNodeOfLayer[l])]
                    : 0.0;
-        for (std::size_t iy = 0; iy < ny; ++iy)
+        for (std::size_t iy = iy0; iy < iy1; ++iy)
             for (std::size_t ix = 0; ix < nx; ++ix) {
                 const std::size_t c = iy * nx + ix;
                 const std::size_t node = base + c;
@@ -588,7 +673,7 @@ Hierarchy::levelApply(const Level &L, const std::vector<double> &extra,
                     v -= L.rim[l][c] * x_peri;
                 y[node] = v;
             }
-    }
+    });
     for (std::size_t k = 0; k < L.nperiph; ++k) {
         const std::size_t node = L.periphNodes[k];
         const std::size_t layer = L.periphLayer[k];
@@ -651,49 +736,49 @@ Hierarchy::buildLevelDense(const Level &L, const std::vector<double> &extra,
 // ---------------------------------------------------------------------
 
 void
-Hierarchy::levelSmooth(const Level &L, LevelScratch &S) const
+Hierarchy::levelSmooth(const Level &L, LevelScratch &S,
+                       ThreadPool *pool) const
 {
-    levelApply(L, S.extra, S.x.data(), S.t.data());
-    for (std::size_t i = 0; i < L.nodes; ++i)
-        S.r[i] = S.b[i] - S.t[i];
-    levelLineSolve(L, S, S.r.data(), S.t.data());
-    const double a = opts_.damping;
-    for (std::size_t i = 0; i < L.nodes; ++i)
-        S.x[i] += a * S.t[i];
+    levelApply(L, S.extra, S.x.data(), S.t.data(), pool);
+    blockedResidual(S.b.data(), S.t.data(), S.r.data(), L.nodes, pool);
+    levelLineSolve(L, S, S.r.data(), S.t.data(), pool);
+    blockedAxpy(S.x.data(), opts_.damping, S.t.data(), L.nodes, pool);
 }
 
 void
-Hierarchy::coarseVCycle(std::size_t k, Workspace &mw) const
+Hierarchy::coarseVCycle(std::size_t k, Workspace &mw,
+                        ThreadPool *pool) const
 {
     const Level &L = coarse_[k];
     LevelScratch &S = mw.levels[k];
+    // Each level decides for itself whether its tiles go on the pool;
+    // deeper (smaller) levels re-gate on their own node counts.
+    ThreadPool *lp = levelPool(L.nodes, pool);
     if (k + 1 == coarse_.size()) {
         choleskySolve(mw.dense, L.nodes, S.b.data(), S.x.data());
         return;
     }
     // Pre-smooth from the zero initial guess: x = ω M⁻¹ b.
-    levelLineSolve(L, S, S.b.data(), S.x.data());
+    levelLineSolve(L, S, S.b.data(), S.x.data(), lp);
     if (opts_.damping != 1.0)
-        for (std::size_t i = 0; i < L.nodes; ++i)
-            S.x[i] *= opts_.damping;
+        blockedScale(S.x.data(), opts_.damping, L.nodes, lp);
     for (int s = 1; s < opts_.preSmooth; ++s)
-        levelSmooth(L, S);
+        levelSmooth(L, S, lp);
 
     // Coarse-grid correction.
-    levelApply(L, S.extra, S.x.data(), S.t.data());
-    for (std::size_t i = 0; i < L.nodes; ++i)
-        S.r[i] = S.b[i] - S.t[i];
+    levelApply(L, S.extra, S.x.data(), S.t.data(), lp);
+    blockedResidual(S.b.data(), S.t.data(), S.r.data(), L.nodes, lp);
     const Level &C = coarse_[k + 1];
     restrictVector(L.nx, L.ny, L.cells, L.layers, L.periphNodes.data(),
                    L.nperiph, C.nx, C.ny, S.r.data(),
-                   mw.levels[k + 1].b.data(), nullptr);
-    coarseVCycle(k + 1, mw);
+                   mw.levels[k + 1].b.data(), lp);
+    coarseVCycle(k + 1, mw, pool);
     prolongVector(L.nx, L.ny, L.cells, L.layers, L.periphNodes.data(),
                   L.nperiph, C.nx, mw.levels[k + 1].x.data(), S.x.data(),
-                  nullptr);
+                  lp);
 
     for (int s = 0; s < opts_.postSmooth; ++s)
-        levelSmooth(L, S);
+        levelSmooth(L, S, lp);
 }
 
 double
@@ -729,7 +814,7 @@ Hierarchy::applyVCycle(const double *r, double *z, const double *fine_extra,
                        finePeriphNodes_.data(), finePeriphNodes_.size(),
                        C.nx, C.ny, mw.t0.data(), mw.levels[0].b.data(),
                        pool);
-        coarseVCycle(0, mw);
+        coarseVCycle(0, mw, pool);
         prolongVector(F.nx_, F.ny_, F.cells_, F.num_layers_,
                       finePeriphNodes_.data(), finePeriphNodes_.size(),
                       C.nx, mw.levels[0].x.data(), z, pool);

@@ -18,7 +18,10 @@
  * the rediscretised 2h operator. Periphery nodes survive uncoarsened
  * as singleton aggregates. The coarsest level — a handful of lateral
  * cells times the layer count — is solved exactly with a dense
- * Cholesky factorisation computed once per solve.
+ * Cholesky factorisation that is cached across solves: the operator
+ * only changes when the transient C/Δt shift does, so the factor is
+ * keyed by a content hash of that shift and reused on a match
+ * (counted in solver.mg.factor_reuses; see DESIGN.md §17).
  *
  * One symmetric V-cycle (damped vertical-line pre-smooth, coarse-grid
  * correction, damped vertical-line post-smooth) is exposed as a fixed
@@ -26,9 +29,12 @@
  * (Preconditioner::Multigrid) or iterated standalone
  * (SolverKind::Multigrid). Determinism: the fine level reuses the
  * fused, fixed-block-order kernels of GridModel, all transfers are
- * gather-style with a fixed summation order, and every coarse level
- * runs serially — so a solve is bit-identical at any thread count,
- * exactly like the CG core.
+ * gather-style with a fixed summation order, and the coarse levels
+ * run the same fixed-tile discipline — threaded over lateral tiles
+ * when a level is large enough to pay for the fork/join, inline below
+ * the node-count cutoff, with the tile layout depending only on the
+ * problem size — so a solve is bit-identical at any thread count,
+ * exactly like the CG core (DESIGN.md §17).
  */
 
 #ifndef XYLEM_THERMAL_MG_MULTIGRID_HPP
@@ -87,6 +93,14 @@ struct Workspace
     std::vector<double> t0, s0, q0;   ///< fine-level residual/smooth/Ax
     std::vector<LevelScratch> levels; ///< one per coarse level
     std::vector<double> dense;        ///< coarsest Cholesky factor
+    /**
+     * Content key of the coarsest operator `dense` currently factors
+     * (a hash of the coarsened C/Δt diagonal shift — the only per-
+     * solve input; 0 = no valid factor). prepareSolve skips the dense
+     * rebuild + refactor when the key matches, counting the hit in
+     * solver.mg.factor_reuses.
+     */
+    std::uint64_t factor_key = 0;
     // Multi-RHS twins of t0/s0/q0; batch_cols is the column capacity
     // every batch buffer (here and per level) is currently sized for
     // (0 = unsized; reset whenever the hierarchy buffers resize).
@@ -135,13 +149,16 @@ class Hierarchy
     /**
      * Once-per-solve preparation: coarsen the transient C/Δt diagonal
      * shift down the hierarchy, factor the vertical lines of every
-     * intermediate level, and Cholesky-factor the coarsest operator.
+     * intermediate level, and Cholesky-factor the coarsest operator —
+     * unless Workspace::factor_key shows the cached factor already
+     * matches this solve's shift, in which case the factor is reused.
      * The fine level's own line factorisation must already be built
      * (GridModel::buildLineFactorization) — the fine smoother reuses
      * it. Resets the per-solve cycle telemetry.
      */
     void prepareSolve(const std::vector<double> *fine_extra,
-                      SolverWorkspace &w) const;
+                      SolverWorkspace &w,
+                      runtime::ThreadPool *pool = nullptr) const;
 
     /**
      * z = B·r: one symmetric V-cycle from a zero initial guess — a
@@ -203,38 +220,47 @@ class Hierarchy
     static Level coarsen(const Src &src, double lateral_scale);
     static Src viewOf(const Level &level);
     static void levelLineFactor(const Level &level, LevelScratch &scratch);
+    // Level kernels partition over lateral tiles whose layout depends
+    // only on the level's size; a null pool runs the same tiles
+    // inline, so the pool argument never changes a result.
     static void levelLineSolve(const Level &level,
                                const LevelScratch &scratch, const double *r,
-                               double *z);
+                               double *z, runtime::ThreadPool *pool);
     static void levelApply(const Level &level,
                            const std::vector<double> &extra, const double *x,
-                           double *y);
+                           double *y, runtime::ThreadPool *pool);
     static void buildLevelDense(const Level &level,
                                 const std::vector<double> &extra,
                                 std::vector<double> &out);
 
-    void levelSmooth(const Level &level, LevelScratch &scratch) const;
+    void levelSmooth(const Level &level, LevelScratch &scratch,
+                     runtime::ThreadPool *pool) const;
     void smoothFine(const double *r, double *z, const double *fine_extra,
                     SolverWorkspace &w, runtime::ThreadPool *pool) const;
-    void coarseVCycle(std::size_t k, Workspace &mw) const;
+    void coarseVCycle(std::size_t k, Workspace &mw,
+                      runtime::ThreadPool *pool) const;
 
     // Multi-RHS twins (multigrid_batch.cpp), replicating the solo
     // kernels' per-column arithmetic order exactly.
     static void levelApplyMulti(const Level &level,
                                 const std::vector<double> &extra,
                                 const double *x, double *y,
-                                std::size_t cols);
+                                std::size_t cols,
+                                runtime::ThreadPool *pool);
     static void levelLineSolveMulti(const Level &level,
                                     const LevelScratch &scratch,
                                     const double *r, double *z,
-                                    std::size_t cols);
+                                    std::size_t cols,
+                                    runtime::ThreadPool *pool);
     void levelSmoothMulti(const Level &level, LevelScratch &scratch,
-                          std::size_t cols) const;
+                          std::size_t cols,
+                          runtime::ThreadPool *pool) const;
     void smoothFineMulti(const double *r, double *z, std::size_t cols,
                          const double *fine_extra, SolverWorkspace &w,
                          runtime::ThreadPool *pool) const;
     void coarseVCycleMulti(std::size_t k, Workspace &mw,
-                           std::size_t cols) const;
+                           std::size_t cols,
+                           runtime::ThreadPool *pool) const;
 
     const GridModel *fine_;
     Options opts_;

@@ -39,6 +39,18 @@ using runtime::ThreadPool;
 
 constexpr std::size_t kDotBlock = 4096;
 constexpr std::size_t kRowChunk = 16;
+constexpr std::size_t kColChunk = 1024;
+// Same node-count cutoff as the solo path (multigrid.cpp), but the
+// batch work per node scales with the column count, so the gate is on
+// nodes × columns: a level too small to thread solo can still pay for
+// the fork/join when K lanes ride along.
+constexpr std::size_t kCoarseSerialCutoff = 16384;
+
+ThreadPool *
+levelPoolMulti(std::size_t nodes, std::size_t K, ThreadPool *pool)
+{
+    return nodes * K >= kCoarseSerialCutoff ? pool : nullptr;
+}
 
 std::size_t
 blockCount(std::size_t n, std::size_t block)
@@ -275,17 +287,26 @@ Hierarchy::prepareBatchWorkspace(SolverWorkspace &w,
 
 void
 Hierarchy::levelApplyMulti(const Level &L, const std::vector<double> &extra,
-                           const double *x, double *y, std::size_t K)
+                           const double *x, double *y, std::size_t K,
+                           ThreadPool *pool)
 {
     const std::size_t nx = L.nx, ny = L.ny, cells = L.cells;
-    for (std::size_t l = 0; l < L.layers; ++l) {
+    // Gather-style partition over (layer, row-chunk) tiles: every node
+    // writes only its own K lanes from values read across the tile
+    // boundary, so the tiling (fixed by the level size alone) cannot
+    // change any result — bit-identical at any thread count.
+    const std::size_t row_chunks = blockCount(ny, kRowChunk);
+    ThreadPool::parallelFor(pool, L.layers * row_chunks, [&](std::size_t blk) {
+        const std::size_t l = blk / row_chunks;
+        const std::size_t iy0 = (blk % row_chunks) * kRowChunk;
+        const std::size_t iy1 = std::min(ny, iy0 + kRowChunk);
         const std::size_t base = l * cells;
         const bool rimmed = !L.rim[l].empty();
         const double *xp =
             rimmed
                 ? x + static_cast<std::size_t>(L.periphNodeOfLayer[l]) * K
                 : nullptr;
-        for (std::size_t iy = 0; iy < ny; ++iy)
+        for (std::size_t iy = iy0; iy < iy1; ++iy)
             for (std::size_t ix = 0; ix < nx; ++ix) {
                 const std::size_t c = iy * nx + ix;
                 const std::size_t node = base + c;
@@ -311,7 +332,7 @@ Hierarchy::levelApplyMulti(const Level &L, const std::vector<double> &extra,
                     y[o + k] = v;
                 }
             }
-    }
+    });
     for (std::size_t p = 0; p < L.nperiph; ++p) {
         const std::size_t node = L.periphNodes[p];
         const std::size_t layer = L.periphLayer[p];
@@ -338,40 +359,50 @@ Hierarchy::levelApplyMulti(const Level &L, const std::vector<double> &extra,
 
 void
 Hierarchy::levelLineSolveMulti(const Level &L, const LevelScratch &S,
-                               const double *r, double *z, std::size_t K)
+                               const double *r, double *z, std::size_t K,
+                               ThreadPool *pool)
 {
     const std::size_t cells = L.cells;
     const std::size_t layers = L.layers;
-    for (std::size_t c = 0; c < cells; ++c) {
-        const double inv = S.lineInv[c];
-        XYLEM_SIMD_LOOP
-        for (std::size_t k = 0; k < K; ++k)
-            z[c * K + k] = r[c * K + k] * inv;
-    }
-    for (std::size_t l = 1; l < layers; ++l) {
-        const std::size_t off = l * cells;
-        const double *g = L.vert[l - 1].data();
-        for (std::size_t c = 0; c < cells; ++c) {
-            const double gc = g[c];
-            const double inv = S.lineInv[off + c];
-            const std::size_t hi = (off + c) * K;
-            const std::size_t lo = (off - cells + c) * K;
-            XYLEM_SIMD_LOOP
-            for (std::size_t k = 0; k < K; ++k)
-                z[hi + k] = (r[hi + k] + gc * z[lo + k]) * inv;
-        }
-    }
-    for (std::size_t l = layers - 1; l-- > 0;) {
-        const std::size_t off = l * cells;
-        for (std::size_t c = 0; c < cells; ++c) {
-            const double cp = S.lineCp[off + c];
-            const std::size_t o = (off + c) * K;
-            const std::size_t oa = (off + cells + c) * K;
-            XYLEM_SIMD_LOOP
-            for (std::size_t k = 0; k < K; ++k)
-                z[o + k] -= cp * z[oa + k];
-        }
-    }
+    // Each XY column's Thomas recurrence is loop-carried along layers
+    // only, so partitioning the columns into fixed kColChunk chunks
+    // never reorders any column's arithmetic: every column, in every
+    // lane, runs the exact serial sweep regardless of thread count.
+    ThreadPool::parallelFor(
+        pool, blockCount(cells, kColChunk), [&](std::size_t blk) {
+            const std::size_t c0 = blk * kColChunk;
+            const std::size_t c1 = std::min(cells, c0 + kColChunk);
+            for (std::size_t c = c0; c < c1; ++c) {
+                const double inv = S.lineInv[c];
+                XYLEM_SIMD_LOOP
+                for (std::size_t k = 0; k < K; ++k)
+                    z[c * K + k] = r[c * K + k] * inv;
+            }
+            for (std::size_t l = 1; l < layers; ++l) {
+                const std::size_t off = l * cells;
+                const double *g = L.vert[l - 1].data();
+                for (std::size_t c = c0; c < c1; ++c) {
+                    const double gc = g[c];
+                    const double inv = S.lineInv[off + c];
+                    const std::size_t hi = (off + c) * K;
+                    const std::size_t lo = (off - cells + c) * K;
+                    XYLEM_SIMD_LOOP
+                    for (std::size_t k = 0; k < K; ++k)
+                        z[hi + k] = (r[hi + k] + gc * z[lo + k]) * inv;
+                }
+            }
+            for (std::size_t l = layers - 1; l-- > 0;) {
+                const std::size_t off = l * cells;
+                for (std::size_t c = c0; c < c1; ++c) {
+                    const double cp = S.lineCp[off + c];
+                    const std::size_t o = (off + c) * K;
+                    const std::size_t oa = (off + cells + c) * K;
+                    XYLEM_SIMD_LOOP
+                    for (std::size_t k = 0; k < K; ++k)
+                        z[o + k] -= cp * z[oa + k];
+                }
+            }
+        });
     for (std::size_t p = 0; p < L.nperiph; ++p) {
         const std::size_t o = L.periphNodes[p] * K;
         const double inv = S.periphInv[p];
@@ -382,56 +413,51 @@ Hierarchy::levelLineSolveMulti(const Level &L, const LevelScratch &S,
 
 void
 Hierarchy::levelSmoothMulti(const Level &L, LevelScratch &S,
-                            std::size_t K) const
+                            std::size_t K, ThreadPool *pool) const
 {
-    const std::size_t total = L.nodes * K;
-    levelApplyMulti(L, S.extra, S.bx.data(), S.bt.data(), K);
-    for (std::size_t i = 0; i < total; ++i)
-        S.br[i] = S.bb[i] - S.bt[i];
-    levelLineSolveMulti(L, S, S.br.data(), S.bt.data(), K);
-    const double a = opts_.damping;
-    for (std::size_t i = 0; i < total; ++i)
-        S.bx[i] += a * S.bt[i];
+    levelApplyMulti(L, S.extra, S.bx.data(), S.bt.data(), K, pool);
+    blockedResidualMulti(S.bb.data(), S.bt.data(), S.br.data(), L.nodes,
+                         K, pool);
+    levelLineSolveMulti(L, S, S.br.data(), S.bt.data(), K, pool);
+    blockedAxpyMulti(S.bx.data(), opts_.damping, S.bt.data(), L.nodes, K,
+                     pool);
 }
 
 void
 Hierarchy::coarseVCycleMulti(std::size_t k, Workspace &mw,
-                             std::size_t K) const
+                             std::size_t K, ThreadPool *pool) const
 {
     const Level &L = coarse_[k];
     LevelScratch &S = mw.levels[k];
+    // Each level decides for itself whether its tiles go on the pool;
+    // deeper (smaller) levels re-gate on their own node counts.
+    ThreadPool *lp = levelPoolMulti(L.nodes, K, pool);
     if (k + 1 == coarse_.size()) {
         choleskySolveMulti(mw.dense, L.nodes, S.bb.data(), S.bx.data(), K);
         return;
     }
     // Pre-smooth from the zero initial guess: x = ω M⁻¹ b.
-    levelLineSolveMulti(L, S, S.bb.data(), S.bx.data(), K);
-    if (opts_.damping != 1.0) {
-        const std::size_t total = L.nodes * K;
-        for (std::size_t i = 0; i < total; ++i)
-            S.bx[i] *= opts_.damping;
-    }
+    levelLineSolveMulti(L, S, S.bb.data(), S.bx.data(), K, lp);
+    if (opts_.damping != 1.0)
+        blockedScaleMulti(S.bx.data(), opts_.damping, L.nodes, K, lp);
     for (int s = 1; s < opts_.preSmooth; ++s)
-        levelSmoothMulti(L, S, K);
+        levelSmoothMulti(L, S, K, lp);
 
     // Coarse-grid correction.
-    levelApplyMulti(L, S.extra, S.bx.data(), S.bt.data(), K);
-    const std::size_t total = L.nodes * K;
-    for (std::size_t i = 0; i < total; ++i)
-        S.br[i] = S.bb[i] - S.bt[i];
+    levelApplyMulti(L, S.extra, S.bx.data(), S.bt.data(), K, lp);
+    blockedResidualMulti(S.bb.data(), S.bt.data(), S.br.data(), L.nodes,
+                         K, lp);
     const Level &C = coarse_[k + 1];
     restrictVectorMulti(L.nx, L.ny, L.cells, L.layers,
                         L.periphNodes.data(), L.nperiph, C.nx, C.ny,
-                        S.br.data(), mw.levels[k + 1].bb.data(), K,
-                        nullptr);
-    coarseVCycleMulti(k + 1, mw, K);
+                        S.br.data(), mw.levels[k + 1].bb.data(), K, lp);
+    coarseVCycleMulti(k + 1, mw, K, pool);
     prolongVectorMulti(L.nx, L.ny, L.cells, L.layers,
                        L.periphNodes.data(), L.nperiph, C.nx,
-                       mw.levels[k + 1].bx.data(), S.bx.data(), K,
-                       nullptr);
+                       mw.levels[k + 1].bx.data(), S.bx.data(), K, lp);
 
     for (int s = 0; s < opts_.postSmooth; ++s)
-        levelSmoothMulti(L, S, K);
+        levelSmoothMulti(L, S, K, lp);
 }
 
 void
@@ -489,7 +515,7 @@ Hierarchy::applyVCycleMulti(const double *r, double *z, std::size_t K,
                             finePeriphNodes_.size(), C.nx, C.ny,
                             mw.bt0.data(), mw.levels[0].bb.data(), K,
                             pool);
-        coarseVCycleMulti(0, mw, K);
+        coarseVCycleMulti(0, mw, K, pool);
         prolongVectorMulti(F.nx_, F.ny_, F.cells_, F.num_layers_,
                            finePeriphNodes_.data(),
                            finePeriphNodes_.size(), C.nx,

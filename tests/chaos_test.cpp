@@ -23,6 +23,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -95,6 +96,13 @@ smallServerOptions(const char *tag)
     opts.socketPath = testPath(tag, ".sock");
     opts.workers = 2;
     opts.queueCapacity = 32;
+    // CI runs the whole suite a second time with an ambient intra-solve
+    // thread grant, so every chaos contract (deadlines, faults,
+    // watchdog, crash-restart) is also exercised with the load-adaptive
+    // threaded solves underneath. Results must not change: the grant is
+    // determinism-neutral by the PR-9 contract.
+    if (const char *grant = std::getenv("XYLEM_CHAOS_SOLVER_THREADS"))
+        opts.engine.solverThreads = std::atoi(grant);
     return opts;
 }
 
@@ -580,12 +588,20 @@ chaosClient(const std::string &path, const std::string &frame,
 pid_t
 spawnServe(const std::string &socket_path, const std::string &journal)
 {
+    const char *grant = std::getenv("XYLEM_CHAOS_SOLVER_THREADS");
     const pid_t pid = ::fork();
     if (pid == 0) {
-        ::execl(XYLEM_SERVE_BIN, "xylem_serve", "--socket",
-                socket_path.c_str(), "--journal", journal.c_str(),
-                "--jobs", "1", "--queue-capacity", "32", "--quiet",
-                static_cast<char *>(nullptr));
+        if (grant)
+            ::execl(XYLEM_SERVE_BIN, "xylem_serve", "--socket",
+                    socket_path.c_str(), "--journal", journal.c_str(),
+                    "--jobs", "1", "--queue-capacity", "32", "--quiet",
+                    "--solver-threads", grant,
+                    static_cast<char *>(nullptr));
+        else
+            ::execl(XYLEM_SERVE_BIN, "xylem_serve", "--socket",
+                    socket_path.c_str(), "--journal", journal.c_str(),
+                    "--jobs", "1", "--queue-capacity", "32", "--quiet",
+                    static_cast<char *>(nullptr));
         ::_exit(127); // exec failed
     }
     return pid;

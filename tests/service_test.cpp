@@ -625,6 +625,58 @@ TEST(ServiceTest, ServedResponseBitIdenticalToBatchMode)
               0);
 }
 
+/**
+ * The batch-profitability guard: only MG-preconditioned CG amortises
+ * the blocked kernels, so line-CG traffic must never form batches —
+ * the worker solves solo and counts each skipped opportunity in
+ * service.batch_skipped_unprofitable instead.
+ */
+TEST(ServiceTest, UnprofitableConfigSkipsBatchFormation)
+{
+    runtime::Metrics::global().reset();
+    service::ServerOptions opts = smallServerOptions("unprofitable");
+    opts.workers = 1; // jobs must pile up behind the single worker
+    LiveServer live(std::move(opts));
+    const std::string &path = live.server().options().socketPath;
+
+    // 6 clients x 3 distinct line-CG scenarios: while the worker
+    // solves one, the rest sit queued as exactly the same-config
+    // steady candidates the drain loop would otherwise batch.
+    constexpr int kClients = 6;
+    constexpr int kPerClient = 3;
+    std::atomic<int> ok{0};
+    {
+        std::vector<std::thread> threads;
+        for (int c = 0; c < kClients; ++c)
+            threads.emplace_back([&, c] {
+                for (int r = 0; r < kPerClient; ++r) {
+                    const int n = c * kPerClient + r;
+                    std::ostringstream os;
+                    os << "{\"id\":" << n
+                       << ",\"query\":\"steady\",\"app\":\"FFT\""
+                       << ",\"freqGHz\":" << 2.0 + 0.1 * n
+                       << ",\"config\":{\"gridNx\":16,\"gridNy\":16,"
+                          "\"precond\":\"line\"}}";
+                    const JsonValue resp =
+                        service::parseJson(roundTrip(path, os.str()));
+                    if (resp.find("ok")->boolean())
+                        ++ok;
+                }
+            });
+        for (auto &t : threads)
+            t.join();
+    }
+    EXPECT_EQ(ok.load(), kClients * kPerClient);
+    EXPECT_EQ(runtime::Metrics::global()
+                  .counter("service.batches_formed")
+                  .value(),
+              0u);
+    EXPECT_GE(runtime::Metrics::global()
+                  .counter("service.batch_skipped_unprofitable")
+                  .value(),
+              1u);
+}
+
 TEST(ServiceTest, QueueOverflowShedsWithOverloadedCode)
 {
     runtime::Metrics::global().reset();

@@ -202,8 +202,9 @@ expectBitIdentical(const TemperatureField &a, const TemperatureField &b,
 
 /**
  * The determinism guarantee of the tentpole: the fixed-order block
- * reductions make a threaded solve bit-identical to the serial one,
- * for every solve mode and both preconditioners.
+ * reductions and fixed-tile partitions make a threaded solve
+ * bit-identical to the serial one — at EVERY thread count, for every
+ * solve mode and all three preconditioners.
  */
 TEST(SolverDeterminism, ThreadedSolvesBitIdenticalToSerial)
 {
@@ -216,20 +217,163 @@ TEST(SolverDeterminism, ThreadedSolvesBitIdenticalToSerial)
             SolverOptions serial = sc.solver;
             serial.preconditioner = pre;
             serial.threads = 1;
-            SolverOptions threaded = serial;
-            threaded.threads = 3;
-
             const SolveOutputs a = runAllSolves(stk, sc, serial);
-            const SolveOutputs b = runAllSolves(stk, sc, threaded);
-            EXPECT_EQ(a.coldStats.iterations, b.coldStats.iterations);
-            EXPECT_EQ(a.warmStats.iterations, b.warmStats.iterations);
-            EXPECT_EQ(a.transientStats.iterations,
-                      b.transientStats.iterations);
-            expectBitIdentical(a.cold, b.cold, "steady cold");
-            expectBitIdentical(a.warm, b.warm, "steady warm");
-            expectBitIdentical(a.transient, b.transient, "transient");
+            for (const int t : {2, 3, 8}) {
+                SolverOptions threaded = serial;
+                threaded.threads = t;
+                const SolveOutputs b = runAllSolves(stk, sc, threaded);
+                EXPECT_EQ(a.coldStats.iterations,
+                          b.coldStats.iterations)
+                    << "threads " << t;
+                EXPECT_EQ(a.warmStats.iterations,
+                          b.warmStats.iterations)
+                    << "threads " << t;
+                EXPECT_EQ(a.transientStats.iterations,
+                          b.transientStats.iterations)
+                    << "threads " << t;
+                expectBitIdentical(a.cold, b.cold, "steady cold");
+                expectBitIdentical(a.warm, b.warm, "steady warm");
+                expectBitIdentical(a.transient, b.transient,
+                                   "transient");
+            }
         }
     }
+}
+
+/**
+ * Same sweep for the standalone multigrid iteration (SolverKind::
+ * Multigrid): the V-cycle IS the solver here, so any tile-order slip
+ * in the threaded coarse levels would surface directly.
+ */
+TEST(SolverDeterminism, StandaloneMgThreadSweepBitIdentical)
+{
+    const RandomScenario base = randomScenario(31);
+    const auto stk = stack::buildStack(base.spec);
+    SolverOptions opts = base.solver;
+    opts.kind = SolverKind::Multigrid;
+    opts.preconditioner = Preconditioner::Multigrid;
+    opts.threads = 1;
+    const SolveOutputs a = runAllSolves(stk, base, opts);
+    for (const int t : {2, 3, 8}) {
+        SolverOptions threaded = opts;
+        threaded.threads = t;
+        const SolveOutputs b = runAllSolves(stk, base, threaded);
+        EXPECT_EQ(a.coldStats.iterations, b.coldStats.iterations)
+            << "threads " << t;
+        expectBitIdentical(a.cold, b.cold, "standalone-MG cold");
+        expectBitIdentical(a.warm, b.warm, "standalone-MG warm");
+        expectBitIdentical(a.transient, b.transient,
+                           "standalone-MG transient");
+    }
+}
+
+/**
+ * The batched block solve composes with intra-solve threads: every
+ * column of a threaded batch is bit-identical to the single-thread
+ * batch, which PR 7's harness already proved identical to solo.
+ */
+TEST(SolverDeterminism, BatchThreadSweepBitIdentical)
+{
+    const RandomScenario sc = randomScenario(32);
+    const auto stk = stack::buildStack(sc.spec);
+    const auto power = buildPowerMap(stk, sc);
+    constexpr int kCols = 5;
+    std::vector<PowerMap> powers;
+    powers.reserve(kCols);
+    for (int k = 0; k < kCols; ++k) {
+        PowerMap p = power;
+        p.deposit(stk.procMetal, stk.grid.extent(), 0.5 + 0.25 * k);
+        powers.push_back(std::move(p));
+    }
+    std::vector<const PowerMap *> ptrs;
+    for (const auto &p : powers)
+        ptrs.push_back(&p);
+
+    SolverOptions opts = sc.solver;
+    opts.preconditioner = Preconditioner::Multigrid;
+    opts.threads = 1;
+    const GridModel serial_model(stk, opts);
+    SolverWorkspace serial_ws;
+    std::vector<SolveStats> serial_stats;
+    const auto serial_fields = serial_model.solveSteadyBatch(
+        ptrs, &serial_stats, nullptr, &serial_ws);
+    for (const int t : {2, 3, 8}) {
+        SolverOptions threaded = opts;
+        threaded.threads = t;
+        const GridModel model(stk, threaded);
+        SolverWorkspace ws;
+        std::vector<SolveStats> stats;
+        const auto fields =
+            model.solveSteadyBatch(ptrs, &stats, nullptr, &ws);
+        ASSERT_EQ(fields.size(), serial_fields.size());
+        for (std::size_t k = 0; k < fields.size(); ++k) {
+            EXPECT_EQ(stats[k].iterations, serial_stats[k].iterations)
+                << "threads " << t << " column " << k;
+            expectBitIdentical(fields[k], serial_fields[k],
+                               "batched column");
+        }
+    }
+}
+
+/**
+ * The coarsest-level Cholesky factor cache: repeated steady solves
+ * reuse the factor (counted in solver.mg.factor_reuses), and a
+ * mutated extra_diag — a transient step's C/Δt shift — must refresh
+ * it rather than answer from the stale factor. Correctness is pinned
+ * by the dense reference on every solve.
+ */
+TEST(MultigridEquivalence, CoarseFactorReusedAndRefreshedOnExtraDiag)
+{
+    RandomScenario sc = randomScenario(33);
+    sc.solver.tolerance = 1e-10;
+    sc.solver.kind = SolverKind::CG;
+    sc.solver.preconditioner = Preconditioner::Multigrid;
+    const auto stk = stack::buildStack(sc.spec);
+    const auto power = buildPowerMap(stk, sc);
+    const GridModel model(stk, sc.solver);
+    ASSERT_NE(model.multigrid(), nullptr);
+    const TemperatureField ref =
+        verify::referenceSolveSteady(model, power);
+
+    SolverWorkspace ws;
+    const auto before = runtime::Metrics::global().snapshot();
+    const TemperatureField first =
+        model.solveSteady(power, nullptr, nullptr, &ws);
+    const TemperatureField second =
+        model.solveSteady(power, nullptr, nullptr, &ws);
+    const auto after_steady = runtime::Metrics::global().snapshot();
+    // Same (absent) extra_diag twice through one workspace: the
+    // second prepareSolve must hit the cache.
+    EXPECT_GE(after_steady.count("solver.mg.factor_reuses") -
+                  before.count("solver.mg.factor_reuses"),
+              1u);
+    expectBitIdentical(first, second, "repeat steady solve");
+    EXPECT_LT(maxAbsDiff(first.nodes(), ref.nodes()), 1e-6);
+
+    // A transient step installs the C/Δt diagonal shift: the key
+    // changes, the factor must refresh, and the answer must match the
+    // dense reference (a stale steady factor would not).
+    const TemperatureField stepped =
+        model.stepTransient(ref, power, 1e-3, nullptr, &ws);
+    const TemperatureField stepped_ref =
+        verify::referenceStepTransient(model, ref, power, 1e-3);
+    EXPECT_LT(maxAbsDiff(stepped.nodes(), stepped_ref.nodes()), 1e-6);
+
+    // And a second identical step reuses the transient factor.
+    const auto before_repeat = runtime::Metrics::global().snapshot();
+    const TemperatureField stepped2 =
+        model.stepTransient(ref, power, 1e-3, nullptr, &ws);
+    const auto after_repeat = runtime::Metrics::global().snapshot();
+    EXPECT_GE(after_repeat.count("solver.mg.factor_reuses") -
+                  before_repeat.count("solver.mg.factor_reuses"),
+              1u);
+    expectBitIdentical(stepped, stepped2, "repeat transient step");
+
+    // Back to steady: the steady key must evict the transient factor
+    // (different extra_diag), not serve from it.
+    const TemperatureField third =
+        model.solveSteady(power, nullptr, nullptr, &ws);
+    expectBitIdentical(first, third, "steady after transient");
 }
 
 /**

@@ -14,6 +14,10 @@
  *   --max-retries N    same-rung retries before escalation (default 1)
  *   --task-timeout S   per-request cooperative deadline (default none)
  *   --max-systems N    resident StackSystem cap (default 8)
+ *   --solver-threads N intra-solve thread grant when the queue is
+ *                      shallow; a deep queue pins solves to 1 thread
+ *                      (default 0 = disabled, requests' own
+ *                      solver.threads config applies)
  *   --json PATH        write Metrics::toJson() here on drain
  *   --journal PATH     crash-safe request journal (default off); on
  *                      restart the daemon reports exactly which
@@ -43,6 +47,8 @@ main(int argc, char **argv)
         "  --max-retries N    same-rung retries (default 1)\n"
         "  --task-timeout S   per-request deadline in seconds\n"
         "  --max-systems N    resident StackSystem cap (default 8)\n"
+        "  --solver-threads N intra-solve threads on a shallow queue "
+        "(default 0 = off)\n"
         "  --json PATH        write drain-time metrics JSON to PATH\n"
         "  --journal PATH     crash-safe request journal (default "
         "off)\n"
@@ -65,6 +71,8 @@ main(int argc, char **argv)
     opts.engine.maxResidentSystems = static_cast<std::size_t>(
         args.intOption("--max-systems",
                        static_cast<int>(opts.engine.maxResidentSystems)));
+    opts.engine.solverThreads =
+        args.intOption("--solver-threads", opts.engine.solverThreads);
     if (const auto path = args.option("--json"))
         opts.metricsJsonPath = *path;
     if (const auto path = args.option("--journal"))

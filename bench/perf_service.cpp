@@ -21,8 +21,27 @@
  * overloaded / deadline-exceeded / error) so a shed request's fast
  * typed answer cannot masquerade as solve throughput.
  *
+ * Scale-out mode (--shards N): forks N real xylem_serve backends on
+ * ephemeral TCP ports plus an xylem_frontend router, drives the same
+ * load generator through the frontend, and gates (a) that every
+ * response recorded through the fleet is byte-identical (up to
+ * telemetry) to a serial replay of the same request set against one
+ * fresh single daemon, and (b) near-linear scaling — >=1.6x solves/s
+ * at 2 shards — on machines with >=4 cores (skipped with a notice on
+ * smaller ones). --shard-sweep additionally measures shards 1/2/4 and
+ * emits a "shard_sweep" JSON section. When the JSON summary path
+ * already holds a previous run, its content is preserved under
+ * "previous_baseline".
+ *
  * Flags:
- *   --socket PATH      use an external daemon instead of in-process
+ *   --endpoint EP      use an external daemon instead of in-process
+ *                      (unix:/path, tcp:host:port, or a bare path)
+ *   --socket PATH      alias for --endpoint (legacy)
+ *   --shards N         multi-daemon scale-out harness with N shards
+ *   --shard-sweep      with --shards: measure shards 1/2/4
+ *   --serve-bin PATH   xylem_serve binary (default: ../tools/ next to
+ *                      this binary)
+ *   --frontend-bin PATH xylem_frontend binary (same default rule)
  *   --clients N        concurrent client connections (default 8)
  *   --requests N       requests per client (default 24)
  *   --deadline-ms MS   per-request end-to-end deadline (default none)
@@ -61,12 +80,16 @@
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include <csignal>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "bench_util.hpp"
+#include "service/client.hpp"
 #include "service/engine.hpp"
 #include "service/json.hpp"
 #include "service/protocol.hpp"
@@ -144,25 +167,6 @@ requestFrame(std::uint64_t id, const Scenario &s,
     return frame;
 }
 
-/** Capped exponential backoff with deterministic hash jitter. */
-std::chrono::milliseconds
-backoffDelay(int client, int attempt)
-{
-    double ms = 20.0;
-    for (int i = 1; i < attempt && ms < 500.0; ++i)
-        ms *= 2.0;
-    if (ms > 500.0)
-        ms = 500.0;
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    h = (h ^ static_cast<std::uint64_t>(client)) * 0x100000001b3ull;
-    h = (h ^ static_cast<std::uint64_t>(attempt)) * 0x100000001b3ull;
-    h ^= h >> 33;
-    const double jitter =
-        0.75 + 0.5 * static_cast<double>(h % 1024) / 1024.0;
-    return std::chrono::milliseconds(
-        static_cast<long>(ms * jitter + 0.5));
-}
-
 enum class Outcome
 {
     Ok,
@@ -186,30 +190,31 @@ struct ClientStats
 
 constexpr int kMaxAttempts = 3;
 
-/** One client: a connection firing requests back-to-back, with
- *  reconnect + bounded retry on transport failure and overload. */
+/** One (request frame, response line) pair captured through the
+ *  scale-out fleet, replayed later against a single fresh daemon. */
+struct RequestRecord
+{
+    std::string frame;
+    std::string response;
+};
+
+/** One client: a kept-alive ServiceClient firing requests
+ *  back-to-back; reconnect, backoff, and overload retry live in
+ *  service/client.hpp (shared with xylem_client and the frontend). */
 ClientStats
-runClient(const std::string &socket_path, int client, int requests,
-          int dup_percent, double deadline_ms)
+runClient(const std::string &endpoint, int client, int requests,
+          int dup_percent, double deadline_ms,
+          std::vector<RequestRecord> *record = nullptr)
 {
     ClientStats stats;
-    service::FdGuard fd;
-    std::unique_ptr<service::LineReader> reader;
-    const auto connect = [&]() -> bool {
-        try {
-            fd = service::connectUnix(socket_path);
-            reader = std::make_unique<service::LineReader>(
-                fd.get(), service::kMaxFrameBytes);
-            return true;
-        } catch (const Error &) {
-            return false;
-        }
-    };
-    if (!connect()) {
-        std::cerr << "client " << client << ": cannot connect\n";
-        ++stats.transport_failures;
-        return stats;
-    }
+    service::ClientOptions copts;
+    copts.endpoint = endpoint;
+    copts.retries = kMaxAttempts - 1;
+    copts.backoffBaseMs = 20.0;
+    copts.backoffCapMs = 500.0;
+    copts.backoffSalt = static_cast<std::uint64_t>(client);
+    copts.keepAlive = true;
+    service::ServiceClient cli(copts);
     for (int r = 0; r < requests; ++r) {
         const Scenario s = isShared(r, dup_percent)
                                ? sharedScenario(r)
@@ -220,65 +225,41 @@ runClient(const std::string &socket_path, int client, int requests,
         const std::string frame = requestFrame(
             id, s, kGridNx, kGridNy, nullptr, deadline_ms);
         const auto t0 = Clock::now();
-        bool answered = false;
-        for (int attempt = 1; attempt <= kMaxAttempts && !answered;
-             ++attempt) {
-            if (attempt > 1) {
-                ++stats.retries;
-                std::this_thread::sleep_for(
-                    backoffDelay(client, attempt));
-            }
-            std::string line;
-            if (!service::sendAll(fd.get(), frame) ||
-                reader->next(line) != service::ReadStatus::Frame) {
-                // Transport failure: reconnect (the daemon may have
-                // restarted) and let the attempt loop resend.
-                if (connect())
-                    ++stats.reconnects;
-                continue;
-            }
-            const double latency =
-                std::chrono::duration<double>(Clock::now() - t0)
-                    .count();
-            const service::JsonValue resp = service::parseJson(line);
-            const service::JsonValue *ok = resp.find("ok");
-            Outcome outcome = Outcome::Error;
-            if (ok && ok->isBoolean() && ok->boolean()) {
-                outcome = Outcome::Ok;
-            } else {
-                const service::JsonValue *error = resp.find("error");
-                const service::JsonValue *code =
-                    error ? error->find("code") : nullptr;
-                const std::string token =
-                    code && code->isString() ? code->str() : "";
-                if (token == "overloaded")
-                    outcome = Outcome::Overloaded;
-                else if (token == "deadline-exceeded")
-                    outcome = Outcome::DeadlineExceeded;
-            }
-            if (outcome == Outcome::Overloaded &&
-                attempt < kMaxAttempts)
-                continue; // shed: back off and resend
-            answered = true;
-            stats.byOutcome[static_cast<int>(outcome)].push_back(
-                latency);
-            switch (outcome) {
-            case Outcome::Ok:
-                ++stats.ok;
-                break;
-            case Outcome::Overloaded:
-                ++stats.overloaded;
-                break;
-            case Outcome::DeadlineExceeded:
-                ++stats.deadline_exceeded;
-                break;
-            case Outcome::Error:
-                ++stats.errors;
-                break;
-            }
-        }
-        if (!answered)
+        const service::CallResult res = cli.call(frame);
+        stats.retries += res.retries;
+        stats.reconnects += res.reconnects;
+        if (res.status == service::CallStatus::TransportFailure ||
+            res.status == service::CallStatus::BudgetExhausted) {
             ++stats.transport_failures;
+            continue;
+        }
+        const double latency =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        Outcome outcome = Outcome::Error;
+        if (res.status == service::CallStatus::Ok)
+            outcome = Outcome::Ok;
+        else if (res.errorCode == toString(ErrorCode::Overloaded))
+            outcome = Outcome::Overloaded;
+        else if (res.errorCode ==
+                 toString(ErrorCode::DeadlineExceeded))
+            outcome = Outcome::DeadlineExceeded;
+        stats.byOutcome[static_cast<int>(outcome)].push_back(latency);
+        switch (outcome) {
+        case Outcome::Ok:
+            ++stats.ok;
+            break;
+        case Outcome::Overloaded:
+            ++stats.overloaded;
+            break;
+        case Outcome::DeadlineExceeded:
+            ++stats.deadline_exceeded;
+            break;
+        case Outcome::Error:
+            ++stats.errors;
+            break;
+        }
+        if (record && outcome == Outcome::Ok)
+            record->push_back(RequestRecord{frame, res.line});
     }
     return stats;
 }
@@ -314,7 +295,7 @@ bool
 verifyBitIdentical(const std::string &socket_path,
                    const Scenario &scenario)
 {
-    const service::FdGuard fd = service::connectUnix(socket_path);
+    const service::FdGuard fd = service::connectEndpoint(socket_path);
     if (!service::sendAll(fd.get(), requestFrame(1, scenario)))
         return false;
     service::LineReader reader(fd.get(), service::kMaxFrameBytes);
@@ -517,6 +498,345 @@ runBatchSweep(const std::vector<int> &sizes)
     return result;
 }
 
+// ---------------------------------------------------------------------------
+// Scale-out harness: fork real xylem_serve shards + xylem_frontend,
+// drive the load generator through the frontend, and gate bit-identity
+// against a single-daemon serial replay plus solves/s scaling.
+// ---------------------------------------------------------------------------
+
+/** Response bytes up to the telemetry object — everything a client
+ *  acts on (id, results, error codes); telemetry carries wall times
+ *  that legitimately differ between runs. */
+std::string_view
+payloadPrefix(const std::string &line)
+{
+    const auto pos = line.find("\"telemetry\"");
+    return std::string_view(line).substr(
+        0, pos == std::string::npos ? line.size() : pos);
+}
+
+std::string
+dirnameOf(const std::string &path)
+{
+    const auto slash = path.rfind('/');
+    return slash == std::string::npos ? std::string(".")
+                                      : path.substr(0, slash);
+}
+
+/** Bind tcp:127.0.0.1:0, read the kernel's port back, release it.
+ *  (The daemon re-binds moments later; the race window is tiny and a
+ *  collision surfaces as a readiness failure, never silently.) */
+std::string
+freeTcpEndpoint()
+{
+    const service::Endpoint want =
+        service::parseEndpoint("tcp:127.0.0.1:0");
+    const service::FdGuard fd = service::listenEndpoint(want);
+    return service::boundEndpoint(fd, want).str();
+}
+
+pid_t
+spawnDaemon(const std::vector<std::string> &argv)
+{
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    std::vector<char *> cargs;
+    cargs.reserve(argv.size() + 1);
+    for (const std::string &a : argv)
+        cargs.push_back(const_cast<char *>(a.c_str()));
+    cargs.push_back(nullptr);
+    ::execv(cargs[0], cargs.data());
+    ::_exit(127);
+}
+
+/** Poll the health verb until the daemon answers ready. */
+bool
+awaitReady(const std::string &endpoint, double timeout_s)
+{
+    service::ClientOptions copts;
+    copts.endpoint = endpoint;
+    service::ServiceClient cli(copts);
+    const auto deadline =
+        Clock::now() + std::chrono::duration<double>(timeout_s);
+    while (Clock::now() < deadline) {
+        const service::CallResult r = cli.call(
+            [](double) {
+                return std::string("{\"id\":0,\"query\":\"health\"}");
+            },
+            500.0);
+        if (r.status == service::CallStatus::Ok) {
+            const service::JsonValue resp = service::parseJson(r.line);
+            const service::JsonValue *ready = resp.find("ready");
+            if (ready && ready->isBoolean() && ready->boolean())
+                return true;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return false;
+}
+
+void
+stopDaemon(pid_t pid)
+{
+    if (pid <= 0)
+        return;
+    ::kill(pid, SIGTERM);
+    int status = 0;
+    for (int i = 0; i < 100; ++i) { // ~5s of graceful drain
+        if (::waitpid(pid, &status, WNOHANG) == pid)
+            return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, &status, 0);
+}
+
+/** One measured fleet run: N shards behind a frontend. */
+struct FleetRunResult
+{
+    int shards = 0;
+    bool ran = false; ///< fleet came up and the load ran
+    ClientStats total;
+    double wall = 0.0;
+    double solvesPerS = 0.0;
+    std::vector<RequestRecord> records;
+};
+
+FleetRunResult
+runFleet(const std::string &serve_bin, const std::string &frontend_bin,
+         int shards, int clients, int requests, int dup_percent,
+         int shard_jobs, bool capture_records)
+{
+    FleetRunResult result;
+    result.shards = shards;
+    std::vector<pid_t> pids;
+    const auto stop_all = [&] {
+        // Frontend first (it holds client connections), then shards.
+        for (auto it = pids.rbegin(); it != pids.rend(); ++it)
+            stopDaemon(*it);
+        pids.clear();
+    };
+
+    std::vector<std::string> shard_eps;
+    for (int s = 0; s < shards; ++s) {
+        const std::string ep = freeTcpEndpoint();
+        shard_eps.push_back(ep);
+        pids.push_back(spawnDaemon(
+            {serve_bin, "--endpoint", ep, "--jobs",
+             std::to_string(shard_jobs), "--quiet"}));
+    }
+    for (const std::string &ep : shard_eps)
+        if (!awaitReady(ep, 10.0)) {
+            std::cerr << "scale-out: shard " << ep
+                      << " never became ready\n";
+            stop_all();
+            return result;
+        }
+
+    const std::string frontend_ep = freeTcpEndpoint();
+    std::vector<std::string> fe_argv = {
+        frontend_bin,        "--endpoint", frontend_ep,
+        "--health-interval", "0.1",        "--quiet"};
+    for (const std::string &ep : shard_eps) {
+        fe_argv.push_back("--shard");
+        fe_argv.push_back(ep);
+    }
+    pids.push_back(spawnDaemon(fe_argv));
+    if (!awaitReady(frontend_ep, 10.0)) {
+        std::cerr << "scale-out: frontend " << frontend_ep
+                  << " never became ready\n";
+        stop_all();
+        return result;
+    }
+
+    std::vector<ClientStats> stats(static_cast<std::size_t>(clients));
+    std::vector<std::vector<RequestRecord>> records(
+        static_cast<std::size_t>(clients));
+    const auto t0 = Clock::now();
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<std::size_t>(clients));
+        for (int c = 0; c < clients; ++c)
+            threads.emplace_back([&, c] {
+                stats[static_cast<std::size_t>(c)] = runClient(
+                    frontend_ep, c, requests, dup_percent,
+                    /*deadline_ms=*/0.0,
+                    capture_records
+                        ? &records[static_cast<std::size_t>(c)]
+                        : nullptr);
+            });
+        for (auto &t : threads)
+            t.join();
+    }
+    result.wall =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    stop_all();
+
+    for (const auto &s : stats) {
+        for (int o = 0; o < 4; ++o)
+            result.total.byOutcome[o].insert(
+                result.total.byOutcome[o].end(),
+                s.byOutcome[o].begin(), s.byOutcome[o].end());
+        result.total.ok += s.ok;
+        result.total.overloaded += s.overloaded;
+        result.total.deadline_exceeded += s.deadline_exceeded;
+        result.total.errors += s.errors;
+        result.total.transport_failures += s.transport_failures;
+        result.total.retries += s.retries;
+        result.total.reconnects += s.reconnects;
+    }
+    for (int o = 0; o < 4; ++o)
+        std::sort(result.total.byOutcome[o].begin(),
+                  result.total.byOutcome[o].end());
+    for (auto &r : records)
+        result.records.insert(result.records.end(),
+                              std::make_move_iterator(r.begin()),
+                              std::make_move_iterator(r.end()));
+    result.solvesPerS =
+        result.wall > 0.0
+            ? static_cast<double>(result.total.ok) / result.wall
+            : 0.0;
+    result.ran = true;
+    return result;
+}
+
+/**
+ * The scale-out correctness gate: every response captured through the
+ * fleet must match — byte for byte, up to telemetry — a serial replay
+ * of the same frames against ONE fresh daemon. Sharding may change
+ * where a request is solved, never what it answers.
+ */
+bool
+serialReplayIdentical(const std::string &serve_bin,
+                      const std::vector<RequestRecord> &records)
+{
+    const std::string ep = "unix:/tmp/xylem_replay_" +
+                           std::to_string(::getpid()) + ".sock";
+    const pid_t pid = spawnDaemon(
+        {serve_bin, "--endpoint", ep, "--jobs", "1", "--quiet"});
+    if (!awaitReady(ep, 10.0)) {
+        std::cerr << "scale-out: replay daemon never became ready\n";
+        stopDaemon(pid);
+        return false;
+    }
+    bool identical = true;
+    {
+        service::ClientOptions copts;
+        copts.endpoint = ep;
+        copts.retries = 2;
+        copts.keepAlive = true;
+        service::ServiceClient cli(copts);
+        std::size_t mismatches = 0;
+        for (const RequestRecord &rec : records) {
+            const service::CallResult r = cli.call(rec.frame);
+            if (r.status != service::CallStatus::Ok ||
+                payloadPrefix(r.line) !=
+                    payloadPrefix(rec.response)) {
+                identical = false;
+                if (++mismatches <= 3)
+                    std::cerr
+                        << "scale-out: replay mismatch\n  fleet:  "
+                        << payloadPrefix(rec.response)
+                        << "\n  replay: "
+                        << (r.status == service::CallStatus::Ok
+                                ? std::string(payloadPrefix(r.line))
+                                : "<" + r.message + ">")
+                        << "\n";
+            }
+        }
+        if (mismatches > 3)
+            std::cerr << "scale-out: ... " << mismatches
+                      << " mismatches total\n";
+    }
+    stopDaemon(pid);
+    return identical;
+}
+
+struct ShardSweepResult
+{
+    bool ran = false;       ///< all fleets came up and ran to completion
+    bool ok = true;         ///< no transport failures or typed errors
+    bool bitIdentical = true;
+    unsigned cores = 0;
+    bool gateEnforced = false; ///< scaling gate active (>=4 cores, 1&2 ran)
+    double ratio2v1 = 0.0;     ///< solves/s(2 shards) / solves/s(1 shard)
+    std::vector<FleetRunResult> points;
+};
+
+ShardSweepResult
+runScaleOut(const std::string &serve_bin,
+            const std::string &frontend_bin, int shards, bool sweep,
+            int clients, int requests, int dup_percent)
+{
+    ShardSweepResult result;
+    result.cores = std::thread::hardware_concurrency();
+
+    std::vector<int> sizes = sweep ? std::vector<int>{1, 2, 4}
+                                   : std::vector<int>{1};
+    sizes.push_back(shards);
+    std::sort(sizes.begin(), sizes.end());
+    sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+
+    // Two workers per shard: enough to overlap solve and I/O without
+    // oversubscribing small machines at the 4-shard sweep point.
+    const int shard_jobs = 2;
+
+    for (const int n : sizes) {
+        const bool primary = n == shards;
+        FleetRunResult run =
+            runFleet(serve_bin, frontend_bin, n, clients, requests,
+                     dup_percent, shard_jobs, primary);
+        if (!run.ran) {
+            result.ok = false;
+            return result;
+        }
+        std::cout << "  shards " << n << ": "
+                  << Table::num(run.solvesPerS, 1) << " solves/s over "
+                  << Table::num(run.wall, 2) << " s (" << run.total.ok
+                  << " ok, " << run.total.overloaded << " overloaded, "
+                  << run.total.errors << " errors, "
+                  << run.total.transport_failures
+                  << " transport failures)\n";
+        if (run.total.transport_failures > 0 || run.total.errors > 0)
+            result.ok = false;
+        if (primary) {
+            result.bitIdentical =
+                serialReplayIdentical(serve_bin, run.records);
+            std::cout << "  bit-identity vs single-daemon serial "
+                         "replay ("
+                      << run.records.size() << " responses): "
+                      << (result.bitIdentical ? "yes" : "NO") << "\n";
+            run.records.clear();
+        }
+        result.points.push_back(std::move(run));
+    }
+    result.ran = true;
+
+    const auto at = [&](int n) -> const FleetRunResult * {
+        for (const FleetRunResult &p : result.points)
+            if (p.shards == n)
+                return &p;
+        return nullptr;
+    };
+    const FleetRunResult *p1 = at(1);
+    const FleetRunResult *p2 = at(2);
+    if (p1 && p2 && p1->solvesPerS > 0.0)
+        result.ratio2v1 = p2->solvesPerS / p1->solvesPerS;
+    result.gateEnforced = p1 && p2 && result.cores >= 4;
+    if (result.gateEnforced)
+        std::cout << "  scaling 2 vs 1 shards: "
+                  << Table::num(result.ratio2v1, 2)
+                  << "x (gate: >= 1.6x)\n";
+    else
+        std::cout << "  scaling gate skipped: "
+                  << (p1 && p2 ? "" : "no 1- and 2-shard points; ")
+                  << result.cores << " core"
+                  << (result.cores == 1 ? "" : "s")
+                  << " < 4 required for a meaningful ratio\n";
+    return result;
+}
+
 } // namespace
 
 int
@@ -524,7 +844,17 @@ main(int argc, char **argv)
 {
     bench::Args args(
         argc, argv,
-        "  --socket PATH      external daemon (default: in-process)\n"
+        "  --endpoint EP      external daemon endpoint (unix:/path, "
+        "tcp:host:port; default: in-process)\n"
+        "  --socket PATH      alias for --endpoint (bare unix path)\n"
+        "  --shards N         multi-daemon harness: N xylem_serve "
+        "shards behind xylem_frontend\n"
+        "  --shard-sweep      with --shards: also measure 1/2/4 "
+        "shards\n"
+        "  --serve-bin PATH   xylem_serve binary (default: sibling "
+        "tools dir)\n"
+        "  --frontend-bin PATH  xylem_frontend binary (default: "
+        "sibling tools dir)\n"
         "  --clients N        concurrent clients (default 8)\n"
         "  --requests N       requests per client (default 24)\n"
         "  --deadline-ms MS   per-request deadline (default none)\n"
@@ -546,8 +876,20 @@ main(int argc, char **argv)
         requests = 6;
     }
     std::string external_socket;
+    if (const auto ep = args.option("--endpoint"))
+        external_socket = *ep;
     if (const auto path = args.option("--socket"))
-        external_socket = *path;
+        external_socket = *path; // alias; wins if both are given
+    const int shard_count = args.intOption("--shards", 0);
+    const bool shard_sweep = args.flag("--shard-sweep");
+    std::string serve_bin =
+        dirnameOf(argv[0]) + "/../tools/xylem_serve";
+    std::string frontend_bin =
+        dirnameOf(argv[0]) + "/../tools/xylem_frontend";
+    if (const auto b = args.option("--serve-bin"))
+        serve_bin = *b;
+    if (const auto b = args.option("--frontend-bin"))
+        frontend_bin = *b;
     clients = args.intOption("--clients", clients);
     requests = args.intOption("--requests", requests);
     const double deadline_ms = args.numberOption("--deadline-ms", 0.0);
@@ -574,7 +916,7 @@ main(int argc, char **argv)
         socket_path = "/tmp/xylem_perf_" + std::to_string(::getpid()) +
                       ".sock";
         service::ServerOptions opts;
-        opts.socketPath = socket_path;
+        opts.endpoint = socket_path;
         opts.workers = jobs;
         opts.engine.solverThreads = solver_threads;
         opts.queueCapacity = static_cast<std::size_t>(queue_capacity);
@@ -641,7 +983,8 @@ main(int argc, char **argv)
     std::uint64_t singlethread_solves = 0;
     std::string metrics_json = "{}";
     try {
-        const service::FdGuard fd = service::connectUnix(socket_path);
+        const service::FdGuard fd =
+            service::connectEndpoint(socket_path);
         service::sendAll(fd.get(), "{\"query\":\"metrics\"}\n");
         service::LineReader reader(fd.get(), service::kMaxFrameBytes);
         std::string line;
@@ -692,6 +1035,30 @@ main(int argc, char **argv)
                       << " solves/s, " << Table::num(p.speedupVs1, 2)
                       << "x vs batch-1, bit-identical "
                       << (p.bitIdentical ? "yes" : "NO") << "\n";
+    }
+
+    ShardSweepResult scaleout;
+    if (shard_count > 0) {
+        std::cout << "\nscale-out harness (" << shard_count
+                  << "-shard fleet behind xylem_frontend"
+                  << (shard_sweep ? ", sweep 1/2/4" : "") << "):\n";
+        if (::access(serve_bin.c_str(), X_OK) != 0 ||
+            ::access(frontend_bin.c_str(), X_OK) != 0) {
+            std::cerr << "scale-out: daemon binaries not found ("
+                      << serve_bin << ", " << frontend_bin
+                      << "); use --serve-bin/--frontend-bin\n";
+            return 1;
+        }
+        try {
+            scaleout =
+                runScaleOut(serve_bin, frontend_bin, shard_count,
+                            shard_sweep, clients, requests,
+                            dup_percent);
+        } catch (const Error &e) {
+            std::cerr << "scale-out harness failed: " << e.what()
+                      << "\n";
+            return 1;
+        }
     }
 
     std::cout << "\nresponses: " << total.ok << " ok, "
@@ -797,6 +1164,81 @@ main(int argc, char **argv)
             }
             json << "]}";
         }
+        if (shard_count > 0 && scaleout.ran) {
+            json << ",\"shard_sweep\":{\"clients\":" << clients
+                 << ",\"requests_per_client\":" << requests
+                 << ",\"dup_percent\":" << dup_percent
+                 << ",\"primary_shards\":" << shard_count
+                 << ",\"bit_identical_vs_serial_replay\":"
+                 << (scaleout.bitIdentical ? "true" : "false")
+                 << ",\"scaling\":{\"cores\":" << scaleout.cores
+                 << ",\"gate_enforced\":"
+                 << (scaleout.gateEnforced ? "true" : "false")
+                 << ",\"ratio_2_vs_1\":"
+                 << service::formatDouble(scaleout.ratio2v1)
+                 << "},\"points\":[";
+            for (std::size_t i = 0; i < scaleout.points.size(); ++i) {
+                const FleetRunResult &p = scaleout.points[i];
+                json << (i ? "," : "") << "{\"shards\":" << p.shards
+                     << ",\"wall_seconds\":"
+                     << service::formatDouble(p.wall)
+                     << ",\"solves_per_s\":"
+                     << service::formatDouble(p.solvesPerS)
+                     << ",\"responses_ok\":" << p.total.ok
+                     << ",\"overloaded\":" << p.total.overloaded
+                     << ",\"deadline_exceeded\":"
+                     << p.total.deadline_exceeded
+                     << ",\"errors\":" << p.total.errors
+                     << ",\"transport_failures\":"
+                     << p.total.transport_failures
+                     << ",\"retries\":" << p.total.retries
+                     << ",\"reconnects\":" << p.total.reconnects
+                     << ",\"latency_by_outcome\":{";
+                for (int o = 0; o < 4; ++o)
+                    json << (o ? "," : "") << "\"" << kOutcomeNames[o]
+                         << "\":{\"count\":"
+                         << p.total.byOutcome[o].size()
+                         << ",\"p50_s\":"
+                         << service::formatDouble(
+                                quantile(p.total.byOutcome[o], 0.50))
+                         << ",\"p95_s\":"
+                         << service::formatDouble(
+                                quantile(p.total.byOutcome[o], 0.95))
+                         << ",\"p99_s\":"
+                         << service::formatDouble(
+                                quantile(p.total.byOutcome[o], 0.99))
+                         << "}";
+                json << "}}";
+            }
+            json << "]}";
+        }
+        // Keep one generation of history: the numbers being replaced
+        // move under "previous_baseline" (its own history stripped so
+        // the file never grows without bound).
+        std::string prev_dump;
+        {
+            std::ifstream prev(json_path);
+            if (prev) {
+                std::ostringstream buf;
+                buf << prev.rdbuf();
+                try {
+                    const service::JsonValue old =
+                        service::parseJson(buf.str());
+                    if (old.isObject()) {
+                        service::JsonValue::Object trimmed =
+                            old.object();
+                        trimmed.erase("previous_baseline");
+                        prev_dump =
+                            service::JsonValue(std::move(trimmed))
+                                .dump();
+                    }
+                } catch (const std::exception &) {
+                    // Unparseable old summary: drop it.
+                }
+            }
+        }
+        if (!prev_dump.empty())
+            json << ",\"previous_baseline\":" << prev_dump;
         json << ",\"metrics\":" << metrics_json << "}";
         std::ofstream out(json_path, std::ios::trunc);
         if (out) {
@@ -818,6 +1260,18 @@ main(int argc, char **argv)
         return 1;
     if (want_batch_sweep && !sweep.bitIdentical)
         return 1;
+    if (shard_count > 0) {
+        if (!scaleout.ran || !scaleout.ok)
+            return 1;
+        if (!scaleout.bitIdentical)
+            return 1;
+        if (scaleout.gateEnforced && scaleout.ratio2v1 < 1.6) {
+            std::cerr << "scale-out: 2-shard scaling "
+                      << Table::num(scaleout.ratio2v1, 2)
+                      << "x is below the 1.6x gate\n";
+            return 1;
+        }
+    }
     if (clients <= queue_capacity && total.overloaded > 0) {
         std::cerr << "unexpected shedding: " << total.overloaded
                   << " requests below the queue bound\n";

@@ -34,6 +34,8 @@ toString(ErrorCode code)
         return "overloaded";
     case ErrorCode::ConnectionLost:
         return "connection-lost";
+    case ErrorCode::Unavailable:
+        return "unavailable";
     }
     return "unknown";
 }

@@ -49,6 +49,7 @@ enum class ErrorCode
     Protocol,             ///< malformed service request frame
     Overloaded,           ///< admission control shed the request
     ConnectionLost,       ///< peer reset / transport failure mid-exchange
+    Unavailable,          ///< no backend shard can take the request
 };
 
 /** Stable lower-case token for manifests, logs, and tests. */

@@ -1,0 +1,597 @@
+#include "frontend/frontend.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/signal.hpp"
+#include "runtime/metrics.hpp"
+#include "service/json.hpp"
+
+namespace xylem::frontend {
+
+using service::CallResult;
+using service::CallStatus;
+using service::JsonValue;
+
+namespace {
+
+/** One request's remaining end-to-end budget, measured from arrival
+ *  at the frontend. Returns 0 when no deadline was set. */
+double
+remainingMs(double deadline_ms,
+            std::chrono::steady_clock::time_point arrival)
+{
+    if (deadline_ms <= 0.0)
+        return 0.0;
+    const double spent =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - arrival)
+            .count();
+    return deadline_ms - spent;
+}
+
+} // namespace
+
+const char *
+toString(ShardState s)
+{
+    switch (s) {
+    case ShardState::Up:
+        return "up";
+    case ShardState::NotReady:
+        return "not-ready";
+    case ShardState::Down:
+        return "down";
+    }
+    return "unknown";
+}
+
+Frontend::Frontend(FrontendOptions opts)
+    : opts_(std::move(opts)),
+      ring_(opts_.shards.size(), opts_.ringReplicas)
+{
+    if (opts_.shards.empty())
+        raise(ErrorCode::Config,
+              "frontend needs at least one --shard endpoint");
+    // Validate every endpoint string now: a typo is a startup Config
+    // error, not a per-request transport failure later.
+    listen_endpoint_ = service::parseEndpoint(opts_.endpoint);
+    shards_.reserve(opts_.shards.size());
+    for (const std::string &ep : opts_.shards) {
+        service::parseEndpoint(ep);
+        auto shard = std::make_unique<Shard>();
+        shard->endpoint = ep;
+        shards_.push_back(std::move(shard));
+    }
+}
+
+Frontend::~Frontend()
+{
+    requestStop();
+    if (started_)
+        drain();
+}
+
+bool
+Frontend::stopRequested() const
+{
+    return stop_.load(std::memory_order_relaxed) ||
+           ShutdownSignal::requested();
+}
+
+void
+Frontend::start()
+{
+    if (started_)
+        return;
+    listener_ = service::listenEndpoint(listen_endpoint_);
+    bound_endpoint_ =
+        service::boundEndpoint(listener_, listen_endpoint_).str();
+    prober_exit_.store(false, std::memory_order_relaxed);
+    if (opts_.healthIntervalSeconds > 0.0)
+        prober_ = std::thread([this] { proberLoop(); });
+    started_ = true;
+    inform("frontend on ", bound_endpoint_, " routing ",
+           shards_.size(), " shards (", opts_.ringReplicas,
+           " ring points each)");
+}
+
+int
+Frontend::run()
+{
+    start();
+    acceptLoop();
+    drain();
+    return 0;
+}
+
+void
+Frontend::acceptLoop()
+{
+    auto &accepted =
+        runtime::Metrics::global().counter("frontend.connections");
+    while (!stopRequested()) {
+        pollfd pfd = {};
+        pfd.fd = listener_.get();
+        pfd.events = POLLIN;
+        const int pr = ::poll(&pfd, 1, 100);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("frontend accept poll failed: ",
+                 std::strerror(errno));
+            break;
+        }
+        if (pr == 0) {
+            reapConnections(/*join_all=*/false);
+            continue;
+        }
+        service::FdGuard fd(
+            ::accept(listener_.get(), nullptr, nullptr));
+        if (!fd.valid()) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            warn("frontend accept failed: ", std::strerror(errno));
+            break;
+        }
+        accepted.increment();
+        if (listen_endpoint_.kind == service::TransportKind::Tcp)
+            service::setTcpNoDelay(fd.get());
+        auto conn = std::make_shared<Connection>();
+        conn->fd = std::move(fd);
+        {
+            std::lock_guard<std::mutex> lock(connections_mutex_);
+            connections_.push_back(conn);
+        }
+        conn->reader = std::thread([this, conn] { readerLoop(conn); });
+    }
+}
+
+void
+Frontend::readerLoop(const std::shared_ptr<Connection> &conn)
+{
+    service::LineReader reader(conn->fd.get(),
+                               service::kMaxFrameBytes);
+    if (opts_.idleTimeoutSeconds > 0.0)
+        reader.setFrameTimeout(
+            static_cast<int>(opts_.idleTimeoutSeconds * 1000.0));
+    std::string frame;
+    for (bool open = true; open;) {
+        const service::ReadStatus status =
+            reader.next(frame, [this] { return stopRequested(); });
+        switch (status) {
+        case service::ReadStatus::Frame:
+            handleFrame(conn, frame);
+            break;
+        case service::ReadStatus::Oversized:
+            writeLine(conn,
+                      service::formatErrorResponse(
+                          0, ErrorCode::Protocol,
+                          "request frame exceeds " +
+                              std::to_string(
+                                  service::kMaxFrameBytes) +
+                              " bytes"));
+            break;
+        case service::ReadStatus::Truncated:
+            writeLine(conn,
+                      service::formatErrorResponse(
+                          0, ErrorCode::Protocol,
+                          "connection closed inside a frame "
+                          "(missing newline terminator)"));
+            open = false;
+            break;
+        case service::ReadStatus::Reset:
+            runtime::Metrics::global()
+                .counter("frontend.conn_reset")
+                .increment();
+            open = false;
+            break;
+        case service::ReadStatus::Idle:
+            runtime::Metrics::global()
+                .counter("frontend.idle_timeouts")
+                .increment();
+            open = false;
+            break;
+        case service::ReadStatus::Eof:
+        case service::ReadStatus::Stopped:
+        case service::ReadStatus::Error:
+            open = false;
+            break;
+        }
+    }
+    conn->done.store(true, std::memory_order_release);
+}
+
+void
+Frontend::handleFrame(const std::shared_ptr<Connection> &conn,
+                      const std::string &frame)
+{
+    auto &metrics = runtime::Metrics::global();
+    metrics.counter("frontend.requests").increment();
+    service::Request req;
+    try {
+        // The same strict parse the shards run: a malformed frame is
+        // rejected here with the identical typed error, and the parse
+        // yields the scenarioKey the ring routes by.
+        req = service::parseRequest(frame);
+    } catch (const Error &e) {
+        metrics.counter("frontend.protocol_errors").increment();
+        writeLine(conn,
+                  service::formatErrorResponse(0, e.code(), e.what()));
+        return;
+    } catch (const std::exception &e) {
+        metrics.counter("frontend.protocol_errors").increment();
+        writeLine(conn, service::formatErrorResponse(
+                            0, ErrorCode::Unknown, e.what()));
+        return;
+    }
+    if (req.query == service::QueryType::Metrics) {
+        answerMetrics(conn, req.id);
+        return;
+    }
+    if (req.query == service::QueryType::Health) {
+        answerHealth(conn, req.id);
+        return;
+    }
+    routeSolve(conn, frame, req);
+}
+
+void
+Frontend::routeSolve(const std::shared_ptr<Connection> &conn,
+                     const std::string &frame,
+                     const service::Request &req)
+{
+    auto &metrics = runtime::Metrics::global();
+    const auto arrival = std::chrono::steady_clock::now();
+    const std::string key = service::scenarioKey(req);
+    const std::vector<std::size_t> order = ring_.preference(key);
+
+    std::string last_failure = "no shard reachable";
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+        Shard &shard = *shards_[order[rank]];
+        const auto state = static_cast<ShardState>(
+            shard.state.load(std::memory_order_relaxed));
+        if (state != ShardState::Up) {
+            last_failure = "shard " + shard.endpoint + " is " +
+                           std::string(toString(state));
+            continue; // skipped shard: the next rank takes its keys
+        }
+        const double left = remainingMs(req.deadlineMs, arrival);
+        if (req.deadlineMs > 0.0 && left <= 0.0) {
+            metrics.counter("frontend.deadline_expired").increment();
+            writeLine(conn,
+                      service::formatErrorResponse(
+                          req.id, ErrorCode::DeadlineExceeded,
+                          "deadline expired at the frontend before a "
+                          "shard answered"));
+            return;
+        }
+        const CallResult r = callShard(shard, frame, req, left);
+        if (r.status == CallStatus::Ok ||
+            r.status == CallStatus::ErrorResponse) {
+            if (rank != 0)
+                metrics.counter("frontend.rerouted").increment();
+            metrics.counter("frontend.forwarded").increment();
+            // The shard's bytes, verbatim — ok payloads and typed
+            // errors alike pass through unmodified.
+            writeLine(conn, r.line);
+            return;
+        }
+        if (r.status == CallStatus::BudgetExhausted) {
+            metrics.counter("frontend.deadline_expired").increment();
+            writeLine(conn,
+                      service::formatErrorResponse(
+                          req.id, ErrorCode::DeadlineExceeded,
+                          "deadline expired awaiting shard " +
+                              shard.endpoint));
+            return;
+        }
+        // Transport failure after the per-shard retries: demote the
+        // shard (the prober revives it) and fail over along the ring.
+        shard.state.store(static_cast<int>(ShardState::Down),
+                          std::memory_order_relaxed);
+        metrics.counter("frontend.shard_down").increment();
+        last_failure = shard.endpoint + ": " + r.message;
+    }
+    metrics.counter("frontend.unavailable").increment();
+    writeLine(conn, service::formatErrorResponse(
+                        req.id, ErrorCode::Unavailable,
+                        "no backend shard available (" + last_failure +
+                            ")"));
+}
+
+CallResult
+Frontend::callShard(Shard &shard, const std::string &frame,
+                    const service::Request &req, double remaining_ms)
+{
+    std::unique_ptr<service::ServiceClient> client =
+        checkoutConnection(shard);
+    CallResult r;
+    if (req.deadlineMs <= 0.0) {
+        // No deadline: forward the client's exact bytes. Nothing to
+        // rewrite, so bit-identity of the whole path is trivial.
+        r = client->call(frame);
+    } else {
+        // Re-serialize with the budget remaining at each attempt.
+        // parseRequest accepted this frame, so it is a JSON object;
+        // the canonical dump (sorted keys, round-trip doubles)
+        // preserves the scenarioKey exactly.
+        const JsonValue original = service::parseJson(frame);
+        r = client->call(
+            [&original](double left) {
+                JsonValue::Object obj = original.object();
+                obj.insert_or_assign("deadline_ms", JsonValue(left));
+                return JsonValue(std::move(obj)).dump();
+            },
+            remaining_ms);
+    }
+    if (r.status == CallStatus::Ok ||
+        r.status == CallStatus::ErrorResponse)
+        returnConnection(shard, std::move(client));
+    // Failed connections are dropped here: a stream that lost frame
+    // sync must never be reused.
+    return r;
+}
+
+std::unique_ptr<service::ServiceClient>
+Frontend::checkoutConnection(Shard &shard)
+{
+    {
+        std::lock_guard<std::mutex> lock(shard.poolMutex);
+        if (!shard.pool.empty()) {
+            auto client = std::move(shard.pool.back());
+            shard.pool.pop_back();
+            return client;
+        }
+    }
+    service::ClientOptions copts;
+    copts.endpoint = shard.endpoint;
+    copts.retries = opts_.retriesPerShard;
+    copts.backoffBaseMs = 20.0;
+    copts.backoffCapMs = 500.0;
+    copts.backoffSalt = fnv1a(shard.endpoint);
+    copts.keepAlive = true;
+    return std::make_unique<service::ServiceClient>(copts);
+}
+
+void
+Frontend::returnConnection(Shard &shard,
+                           std::unique_ptr<service::ServiceClient> c)
+{
+    std::lock_guard<std::mutex> lock(shard.poolMutex);
+    shard.pool.push_back(std::move(c));
+}
+
+void
+Frontend::answerMetrics(const std::shared_ptr<Connection> &conn,
+                        std::uint64_t id)
+{
+    // Merged view: the frontend's own metrics object is the base, and
+    // every counter a shard reports is summed in — so aggregate
+    // counters (service.solves, service.dedup_hits, ...) read the
+    // same through the frontend as the sum over the shards. Shard
+    // histograms are not merged (quantiles do not sum); the
+    // per-shard metrics verb remains available directly.
+    JsonValue merged =
+        service::parseJson(runtime::Metrics::global().toJson());
+    JsonValue::Object merged_obj = merged.object();
+    JsonValue::Object counters;
+    if (const JsonValue *own = merged.find("counters"))
+        if (own->isObject())
+            counters = own->object();
+
+    int reporting = 0;
+    for (const auto &shard_ptr : shards_) {
+        Shard &shard = *shard_ptr;
+        std::unique_ptr<service::ServiceClient> client =
+            checkoutConnection(shard);
+        const CallResult r = client->call(
+            [id](double) {
+                return "{\"id\":" + std::to_string(id) +
+                       ",\"query\":\"metrics\"}";
+            },
+            opts_.healthProbeTimeoutMs);
+        if (r.status != CallStatus::Ok) {
+            continue; // unreachable shard: its counters are absent
+        }
+        returnConnection(shard, std::move(client));
+        ++reporting;
+        const JsonValue resp = service::parseJson(r.line);
+        const JsonValue *m = resp.find("metrics");
+        const JsonValue *c = m ? m->find("counters") : nullptr;
+        if (!c || !c->isObject())
+            continue;
+        for (const auto &[name, value] : c->object()) {
+            if (!value.isNumber())
+                continue;
+            const auto it = counters.find(name);
+            const double prior =
+                it != counters.end() && it->second.isNumber()
+                    ? it->second.number()
+                    : 0.0;
+            counters.insert_or_assign(
+                name, JsonValue(prior + value.number()));
+        }
+    }
+    merged_obj.insert_or_assign("counters",
+                                JsonValue(std::move(counters)));
+    merged_obj.insert_or_assign(
+        "shards_reporting",
+        JsonValue(static_cast<double>(reporting)));
+    merged_obj.insert_or_assign(
+        "shard_count",
+        JsonValue(static_cast<double>(shards_.size())));
+    writeLine(conn,
+              service::formatMetricsResponse(
+                  id, JsonValue(std::move(merged_obj)).dump()));
+}
+
+void
+Frontend::answerHealth(const std::shared_ptr<Connection> &conn,
+                       std::uint64_t id)
+{
+    // Answered from the prober's view — never by fanning out inline,
+    // so a hung shard cannot block the question "is the frontend up?".
+    JsonValue::Array shard_list;
+    int up = 0;
+    for (const auto &shard_ptr : shards_) {
+        const auto state = static_cast<ShardState>(
+            shard_ptr->state.load(std::memory_order_relaxed));
+        up += state == ShardState::Up ? 1 : 0;
+        JsonValue::Object entry;
+        entry.emplace("endpoint", JsonValue(shard_ptr->endpoint));
+        entry.emplace("state", JsonValue(toString(state)));
+        shard_list.push_back(JsonValue(std::move(entry)));
+    }
+    JsonValue::Object resp;
+    resp.emplace("id", JsonValue(static_cast<double>(id)));
+    resp.emplace("ok", JsonValue(true));
+    resp.emplace("query", JsonValue("health"));
+    // Mirrors the shard health response's top-level "ready" flag, so
+    // probes treat frontend and shard endpoints interchangeably.
+    resp.emplace("ready", JsonValue(up > 0));
+    resp.emplace("frontend", JsonValue(true));
+    resp.emplace("upShards", JsonValue(static_cast<double>(up)));
+    resp.emplace("shards", JsonValue(std::move(shard_list)));
+    writeLine(conn, JsonValue(std::move(resp)).dump());
+}
+
+void
+Frontend::proberLoop()
+{
+    const auto interval =
+        std::chrono::duration<double>(opts_.healthIntervalSeconds);
+    auto next = std::chrono::steady_clock::now();
+    while (!prober_exit_.load(std::memory_order_relaxed)) {
+        // Sleep in short slices so drain() never waits a full period.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        if (std::chrono::steady_clock::now() < next)
+            continue;
+        next = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<
+                   std::chrono::steady_clock::duration>(interval);
+        probeAllShards();
+    }
+}
+
+void
+Frontend::probeAllShards()
+{
+    auto &metrics = runtime::Metrics::global();
+    for (const auto &shard_ptr : shards_) {
+        Shard &shard = *shard_ptr;
+        std::unique_ptr<service::ServiceClient> client =
+            checkoutConnection(shard);
+        const CallResult r = client->call(
+            [](double) {
+                return std::string(
+                    "{\"id\":0,\"query\":\"health\"}");
+            },
+            opts_.healthProbeTimeoutMs);
+        ShardState state = ShardState::Down;
+        if (r.status == CallStatus::Ok) {
+            returnConnection(shard, std::move(client));
+            const JsonValue resp = service::parseJson(r.line);
+            const JsonValue *ready = resp.find("ready");
+            state = ready && ready->isBoolean() && ready->boolean()
+                        ? ShardState::Up
+                        : ShardState::NotReady;
+        } else if (r.status == CallStatus::ErrorResponse) {
+            // It answers but cannot serve: alive, not routable.
+            returnConnection(shard, std::move(client));
+            state = ShardState::NotReady;
+        } else {
+            metrics.counter("frontend.probe_failures").increment();
+        }
+        shard.state.store(static_cast<int>(state),
+                          std::memory_order_relaxed);
+        metrics.counter("frontend.health_probes").increment();
+    }
+}
+
+bool
+Frontend::writeLine(const std::shared_ptr<Connection> &conn,
+                    const std::string &line)
+{
+    const int timeout_ms =
+        opts_.writeTimeoutSeconds > 0.0
+            ? static_cast<int>(opts_.writeTimeoutSeconds * 1000.0)
+            : 0;
+    std::lock_guard<std::mutex> lock(conn->writeMutex);
+    std::string framed = line;
+    framed += '\n';
+    const service::SendStatus status =
+        service::sendAllTimed(conn->fd.get(), framed, timeout_ms);
+    if (status == service::SendStatus::Ok)
+        return true;
+    auto &metrics = runtime::Metrics::global();
+    if (status == service::SendStatus::Timeout) {
+        metrics.counter("frontend.write_timeouts").increment();
+        ::shutdown(conn->fd.get(), SHUT_RDWR);
+    } else {
+        metrics.counter("frontend.write_failures").increment();
+    }
+    return false;
+}
+
+void
+Frontend::reapConnections(bool join_all)
+{
+    std::vector<std::shared_ptr<Connection>> reaped;
+    {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        auto keep = connections_.begin();
+        for (auto &conn : connections_) {
+            if (join_all || conn->done.load(std::memory_order_acquire))
+                reaped.push_back(std::move(conn));
+            else
+                *keep++ = std::move(conn);
+        }
+        connections_.erase(keep, connections_.end());
+    }
+    for (auto &conn : reaped)
+        if (conn->reader.joinable())
+            conn->reader.join();
+}
+
+void
+Frontend::drain()
+{
+    if (!started_)
+        return;
+    started_ = false;
+    stop_.store(true, std::memory_order_relaxed);
+
+    listener_.reset();
+    if (listen_endpoint_.kind == service::TransportKind::Unix &&
+        !listen_endpoint_.path.empty())
+        ::unlink(listen_endpoint_.path.c_str());
+
+    reapConnections(/*join_all=*/true);
+
+    prober_exit_.store(true, std::memory_order_relaxed);
+    if (prober_.joinable())
+        prober_.join();
+
+    for (const auto &shard_ptr : shards_) {
+        std::lock_guard<std::mutex> lock(shard_ptr->poolMutex);
+        shard_ptr->pool.clear();
+    }
+    auto &metrics = runtime::Metrics::global();
+    inform("frontend drained: ",
+           metrics.counter("frontend.forwarded").value(),
+           " forwarded, ",
+           metrics.counter("frontend.rerouted").value(),
+           " rerouted, ",
+           metrics.counter("frontend.unavailable").value(),
+           " unavailable");
+}
+
+} // namespace xylem::frontend

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Scale-out frontend: a thin router that makes N xylem_serve shards
+ * look like one daemon on one endpoint.
+ *
+ * Routing. Every solve request (steady/transient/boost) is keyed by
+ * its scenarioKey and routed over the consistent-hash ring
+ * (hash_ring.hpp), so a scenario always lands on the same shard —
+ * that shard's dedup map, resident-StackSystem LRU, and warm caches
+ * stay hot for exactly its slice of the scenario space. Because the
+ * engine's determinism contract makes every shard compute
+ * bit-identical results for the same request, rerouting changes
+ * WHERE a request is solved, never WHAT it answers.
+ *
+ * Forwarding preserves bytes. A request without a deadline is
+ * forwarded verbatim — the exact frame the client sent. A request
+ * with deadline_ms is re-serialized once per attempt with the budget
+ * REMAINING (canonical JSON: sorted keys, round-trip doubles), so the
+ * shard never works past the point the client gave up. Response
+ * frames travel back verbatim, typed errors included — the frontend
+ * never rewrites a shard's answer.
+ *
+ * Shard health. A prober thread issues the `health` verb to every
+ * shard on a fixed period: ok+ready = Up, ok+not-ready (draining or
+ * stalled workers) = NotReady, no answer = Down. Requests skip
+ * non-Up shards along the ring's preference order (counted in
+ * frontend.rerouted when the owner was skipped or failed); a
+ * transport failure mid-forward demotes the shard to Down on the
+ * spot. When no shard can take a request, the client gets the typed
+ * "unavailable" error — admitted requests are answered, never
+ * silently dropped.
+ *
+ * Fan-out verbs. `metrics` queries every shard and answers with the
+ * shard counters SUMMED plus the frontend's own counters (so a
+ * counter like service.dedup_hits reads the same through the
+ * frontend as the sum over shards); `health` answers from the
+ * prober's view — ready iff at least one shard is Up — with a
+ * per-shard state list.
+ *
+ * Concurrency. One accept loop, one reader thread per client
+ * connection; each request is forwarded synchronously on its reader
+ * thread (responses stay in request order per connection), so
+ * cross-request concurrency equals client connections — the same
+ * model the load generator drives. Per-shard connections are pooled
+ * and checked out exclusively; any transport failure discards the
+ * connection instead of risking a desynchronized frame stream.
+ */
+
+#ifndef XYLEM_FRONTEND_FRONTEND_HPP
+#define XYLEM_FRONTEND_FRONTEND_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "frontend/hash_ring.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/socket.hpp"
+
+namespace xylem::frontend {
+
+struct FrontendOptions
+{
+    /** Endpoint the frontend listens on (socket.hpp grammar). */
+    std::string endpoint = "unix:/tmp/xylem_frontend.sock";
+    /** Backend shard endpoints, in ring order. */
+    std::vector<std::string> shards;
+    /** Virtual points per shard on the consistent-hash ring. */
+    std::size_t ringReplicas = 64;
+    /** Same-shard retries (with backoff) before failing over. */
+    int retriesPerShard = 1;
+    /** Health-prober period; 0 disables probing (shards then only
+     *  change state through on-path demotion). */
+    double healthIntervalSeconds = 0.5;
+    /** Budget for one health probe round-trip. */
+    double healthProbeTimeoutMs = 1000.0;
+    /** Per-connection response write timeout; 0 waits forever. */
+    double writeTimeoutSeconds = 10.0;
+    /** Mid-frame idle (slow-loris) timeout; 0 disables. */
+    double idleTimeoutSeconds = 30.0;
+};
+
+/** Prober/on-path view of one shard. */
+enum class ShardState
+{
+    Up,       ///< answered the probe ready (or not yet contradicted)
+    NotReady, ///< answers but reports draining/stalled workers
+    Down,     ///< unreachable (probe or forward failed)
+};
+
+const char *toString(ShardState s);
+
+class Frontend
+{
+  public:
+    explicit Frontend(FrontendOptions opts);
+    ~Frontend();
+    Frontend(const Frontend &) = delete;
+    Frontend &operator=(const Frontend &) = delete;
+
+    /** Bind the listener and start the health prober. Idempotent. */
+    void start();
+
+    /** Serve until requestStop(); drains and returns 0. */
+    int run();
+
+    /** Ask the accept loop to exit; run() then drains. Thread-safe. */
+    void requestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+    /** Canonical endpoint actually bound (resolves tcp port 0).
+     *  Valid after start(). */
+    const std::string &boundEndpoint() const { return bound_endpoint_; }
+
+    const FrontendOptions &options() const { return opts_; }
+
+  private:
+    struct Connection
+    {
+        service::FdGuard fd;
+        std::mutex writeMutex;
+        std::thread reader;
+        std::atomic<bool> done{false};
+    };
+
+    /** One backend shard: health state + exclusive connection pool. */
+    struct Shard
+    {
+        std::string endpoint;
+        std::atomic<int> state{static_cast<int>(ShardState::Up)};
+        std::mutex poolMutex;
+        std::vector<std::unique_ptr<service::ServiceClient>> pool;
+    };
+
+    bool stopRequested() const;
+    void acceptLoop();
+    void readerLoop(const std::shared_ptr<Connection> &conn);
+    void handleFrame(const std::shared_ptr<Connection> &conn,
+                     const std::string &frame);
+    /** Route a solve request along the ring's preference order. */
+    void routeSolve(const std::shared_ptr<Connection> &conn,
+                    const std::string &frame,
+                    const service::Request &req);
+    /** One shard attempt (pooled connection, per-shard retries). */
+    service::CallResult callShard(Shard &shard,
+                                  const std::string &frame,
+                                  const service::Request &req,
+                                  double remaining_ms);
+    void answerMetrics(const std::shared_ptr<Connection> &conn,
+                       std::uint64_t id);
+    void answerHealth(const std::shared_ptr<Connection> &conn,
+                      std::uint64_t id);
+    void proberLoop();
+    void probeAllShards();
+    bool writeLine(const std::shared_ptr<Connection> &conn,
+                   const std::string &line);
+    void reapConnections(bool join_all);
+    void drain();
+
+    std::unique_ptr<service::ServiceClient> checkoutConnection(
+        Shard &shard);
+    /** Return a still-healthy connection to its shard's pool. */
+    void returnConnection(Shard &shard,
+                          std::unique_ptr<service::ServiceClient> c);
+
+    FrontendOptions opts_;
+    HashRing ring_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    service::FdGuard listener_;
+    service::Endpoint listen_endpoint_{};
+    std::string bound_endpoint_;
+    bool started_ = false;
+    std::atomic<bool> stop_{false};
+    std::thread prober_;
+    std::atomic<bool> prober_exit_{false};
+
+    std::mutex connections_mutex_;
+    std::vector<std::shared_ptr<Connection>> connections_;
+};
+
+} // namespace xylem::frontend
+
+#endif // XYLEM_FRONTEND_FRONTEND_HPP

@@ -1,0 +1,101 @@
+#include "frontend/hash_ring.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace xylem::frontend {
+
+std::uint64_t
+fnv1a(std::string_view text)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+namespace {
+
+/**
+ * Finalizing mixer (splitmix64). Raw FNV-1a of short, similar strings
+ * ("0#1", "0#2", ...) leaves the high bits — the ones that decide ring
+ * position — strongly correlated, which clusters a shard's points and
+ * ruins balance. The mixer avalanches every input bit into every
+ * output bit; it is a fixed pure function, so the determinism
+ * contract (same owner in every process) is unchanged.
+ */
+std::uint64_t
+mix64(std::uint64_t h)
+{
+    h += 0x9e3779b97f4a7c15ull;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    return h ^ (h >> 31);
+}
+
+} // namespace
+
+HashRing::HashRing(std::size_t shard_count, std::size_t replicas)
+    : shard_count_(shard_count)
+{
+    if (shard_count_ == 0)
+        return;
+    ring_.reserve(shard_count_ * replicas);
+    for (std::size_t s = 0; s < shard_count_; ++s)
+        for (std::size_t r = 0; r < replicas; ++r) {
+            // "index#replica": stable across processes, independent
+            // of endpoint spelling (a shard keeps its keys whether it
+            // listens on unix: or tcp:).
+            const std::string label =
+                std::to_string(s) + '#' + std::to_string(r);
+            ring_.push_back(Point{mix64(fnv1a(label)), s});
+        }
+    std::sort(ring_.begin(), ring_.end(),
+              [](const Point &a, const Point &b) {
+                  return a.hash != b.hash ? a.hash < b.hash
+                                          : a.shard < b.shard;
+              });
+}
+
+std::size_t
+HashRing::firstAt(std::uint64_t h) const
+{
+    const auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), h,
+        [](const Point &p, std::uint64_t v) { return p.hash < v; });
+    return it == ring_.end()
+               ? 0 // wrap: the smallest point owns the top arc
+               : static_cast<std::size_t>(it - ring_.begin());
+}
+
+std::size_t
+HashRing::owner(std::string_view key) const
+{
+    return ring_.empty() ? 0
+                         : ring_[firstAt(mix64(fnv1a(key)))].shard;
+}
+
+std::vector<std::size_t>
+HashRing::preference(std::string_view key) const
+{
+    std::vector<std::size_t> order;
+    if (ring_.empty())
+        return order;
+    order.reserve(shard_count_);
+    std::vector<bool> seen(shard_count_, false);
+    std::size_t i = firstAt(mix64(fnv1a(key)));
+    for (std::size_t walked = 0;
+         walked < ring_.size() && order.size() < shard_count_;
+         ++walked, i = (i + 1) % ring_.size()) {
+        const std::size_t shard = ring_[i].shard;
+        if (!seen[shard]) {
+            seen[shard] = true;
+            order.push_back(shard);
+        }
+    }
+    return order;
+}
+
+} // namespace xylem::frontend

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Consistent-hash ring for scenario-affine sharding.
+ *
+ * The scale-out frontend routes each request by its scenarioKey, so
+ * every shard sees a stable slice of the scenario space: its
+ * StackSystem LRU, dedup map, and warm caches stay hot for exactly
+ * the scenarios it owns. A plain `hash % N` would reshuffle nearly
+ * every key when N changes; the consistent-hash ring moves only
+ * ~1/N of the keys when a shard joins or leaves, which is what keeps
+ * cache locality through resizes.
+ *
+ * Determinism contract: assignment is a pure function of the ordered
+ * shard list and the key — FNV-1a (plus a fixed avalanche mixer) over
+ * "index#replica" and over the key, no RNG, no time, no pointer
+ * values — so every process
+ * (frontend, tests, a future second frontend replica) computes the
+ * same owner for the same key. The ring never performs I/O; shard
+ * health is the frontend's concern, expressed by asking for the full
+ * preference order and skipping unhealthy entries.
+ */
+
+#ifndef XYLEM_FRONTEND_HASH_RING_HPP
+#define XYLEM_FRONTEND_HASH_RING_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace xylem::frontend {
+
+/** FNV-1a 64-bit — the ring's only hash (stable across platforms). */
+std::uint64_t fnv1a(std::string_view text);
+
+class HashRing
+{
+  public:
+    /**
+     * Build a ring over shards 0..shard_count-1, each contributing
+     * `replicas` virtual points (more replicas = better balance at
+     * O(replicas · shards) build cost; 64 keeps the max/mean load
+     * ratio under ~1.35 for 2..16 shards).
+     */
+    explicit HashRing(std::size_t shard_count,
+                      std::size_t replicas = 64);
+
+    std::size_t shardCount() const { return shard_count_; }
+
+    /** The shard owning `key`: the first ring point at or clockwise
+     *  of the key's hash. */
+    std::size_t owner(std::string_view key) const;
+
+    /**
+     * Full failover order for `key`: the owner first, then each
+     * remaining shard in the order the clockwise walk first meets
+     * them. Every shard appears exactly once; the frontend takes the
+     * first healthy one, so a down shard's keys spread over its ring
+     * successors instead of piling onto one neighbour.
+     */
+    std::vector<std::size_t> preference(std::string_view key) const;
+
+  private:
+    struct Point
+    {
+        std::uint64_t hash;
+        std::size_t shard;
+    };
+
+    /** First ring index at or clockwise of `h` (wraps past the end). */
+    std::size_t firstAt(std::uint64_t h) const;
+
+    std::size_t shard_count_;
+    std::vector<Point> ring_; ///< sorted by hash
+};
+
+} // namespace xylem::frontend
+
+#endif // XYLEM_FRONTEND_HASH_RING_HPP

@@ -1,0 +1,196 @@
+#include "service/client.hpp"
+
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "service/json.hpp"
+#include "service/protocol.hpp"
+
+namespace xylem::service {
+
+std::chrono::milliseconds
+backoffDelay(int attempt, std::uint64_t salt, double base_ms,
+             double cap_ms)
+{
+    double ms = base_ms;
+    for (int i = 1; i < attempt && ms < cap_ms; ++i)
+        ms *= 2.0;
+    if (ms > cap_ms)
+        ms = cap_ms;
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = (h ^ salt) * 0x100000001b3ull;
+    h = (h ^ static_cast<std::uint64_t>(attempt)) * 0x100000001b3ull;
+    h ^= h >> 33;
+    const double jitter =
+        0.75 + 0.5 * static_cast<double>(h % 1024) / 1024.0;
+    return std::chrono::milliseconds(
+        static_cast<long>(ms * jitter + 0.5));
+}
+
+ServiceClient::ServiceClient(ClientOptions opts)
+    : opts_(std::move(opts)), endpoint_(parseEndpoint(opts_.endpoint))
+{}
+
+void
+ServiceClient::disconnect()
+{
+    reader_.reset();
+    fd_.reset();
+}
+
+bool
+ServiceClient::ensureConnected(std::string &error)
+{
+    if (fd_.valid())
+        return true;
+    try {
+        fd_ = connectEndpoint(endpoint_);
+        reader_ =
+            std::make_unique<LineReader>(fd_.get(), kMaxFrameBytes);
+        return true;
+    } catch (const Error &e) {
+        error = e.what();
+        disconnect();
+        return false;
+    }
+}
+
+CallResult
+ServiceClient::call(const std::string &frame)
+{
+    return call([&frame](double) { return frame; });
+}
+
+CallResult
+ServiceClient::call(const FrameBuilder &build)
+{
+    return call(build, opts_.deadlineMs);
+}
+
+CallResult
+ServiceClient::call(const FrameBuilder &build, double deadline_ms)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point start = Clock::now();
+    const auto remaining_ms = [&]() -> double {
+        if (deadline_ms <= 0.0)
+            return 0.0; // no budget: remaining is "unlimited"
+        const double spent =
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      start)
+                .count();
+        return deadline_ms - spent;
+    };
+    const auto budget_gone = [&] {
+        return deadline_ms > 0.0 && remaining_ms() <= 0.0;
+    };
+
+    CallResult result;
+    bool lost_connection = false; // a success after this = reconnect
+    for (int attempt = 0; attempt <= opts_.retries; ++attempt) {
+        if (attempt > 0) {
+            ++result.retries;
+            auto delay =
+                backoffDelay(attempt, opts_.backoffSalt,
+                             opts_.backoffBaseMs, opts_.backoffCapMs);
+            if (deadline_ms > 0.0) {
+                const double left = remaining_ms();
+                if (left <= 0.0)
+                    break;
+                if (std::chrono::duration<double, std::milli>(delay)
+                        .count() > left)
+                    delay = std::chrono::milliseconds(
+                        static_cast<long>(left));
+            }
+            std::this_thread::sleep_for(delay);
+        }
+        if (budget_gone())
+            break;
+        std::string connect_error;
+        if (!ensureConnected(connect_error)) {
+            result.message = connect_error;
+            lost_connection = true;
+            continue; // daemon down or restarting: back off, retry
+        }
+        if (lost_connection) {
+            ++result.reconnects;
+            lost_connection = false;
+        }
+        ++result.attempts;
+
+        std::string frame = build(remaining_ms());
+        if (frame.empty() || frame.back() != '\n')
+            frame += '\n';
+        std::string line;
+        bool transport_ok = sendAll(fd_.get(), frame);
+        if (transport_ok) {
+            const ReadStatus status =
+                reader_->next(line, [&] { return budget_gone(); });
+            if (status == ReadStatus::Stopped) {
+                // The budget expired while waiting; the stream may
+                // still deliver that response later, so the
+                // connection cannot be reused for the next request.
+                disconnect();
+                result.status = CallStatus::BudgetExhausted;
+                result.message = "deadline expired awaiting response";
+                return result;
+            }
+            transport_ok = status == ReadStatus::Frame;
+        }
+        if (!transport_ok) {
+            // Send failed or the peer closed/reset mid-read: the
+            // connection lost frame sync and must be rebuilt.
+            disconnect();
+            lost_connection = true;
+            result.message = "connection lost before a response";
+            continue;
+        }
+
+        result.line = line;
+        JsonValue response;
+        try {
+            response = parseJson(line);
+        } catch (const std::exception &e) {
+            // A frame that is not JSON means the stream is corrupt.
+            disconnect();
+            lost_connection = true;
+            result.line.clear();
+            result.message =
+                std::string("malformed response frame: ") + e.what();
+            continue;
+        }
+        const JsonValue *ok = response.find("ok");
+        if (ok && ok->isBoolean() && ok->boolean()) {
+            result.status = CallStatus::Ok;
+            result.errorCode.clear();
+            if (!opts_.keepAlive)
+                disconnect();
+            return result;
+        }
+        result.status = CallStatus::ErrorResponse;
+        result.errorCode.clear();
+        if (const JsonValue *err = response.find("error"))
+            if (const JsonValue *code = err->find("code"))
+                if (code->isString())
+                    result.errorCode = code->str();
+        if (result.errorCode == toString(ErrorCode::Overloaded) &&
+            attempt < opts_.retries)
+            continue; // typed shed: worth another try after backoff
+        if (!opts_.keepAlive)
+            disconnect();
+        return result; // typed error (or overload out of retries)
+    }
+
+    if (result.status == CallStatus::TransportFailure && budget_gone())
+        result.status = CallStatus::BudgetExhausted;
+    if (result.message.empty())
+        result.message = budget_gone() ? "deadline expired"
+                                       : "no response from "
+                                             + endpoint_.str();
+    if (!opts_.keepAlive)
+        disconnect();
+    return result;
+}
+
+} // namespace xylem::service

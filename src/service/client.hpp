@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Shared client-side call logic for the simulation service: connect
+ * to an endpoint (unix:/path or tcp:host:port), send one JSON request
+ * line, read one JSON response line — with the reconnect/retry/
+ * deadline-budget policy that xylem_client, perf_service, and the
+ * scale-out frontend all need and previously duplicated.
+ *
+ * Retry policy. Transport failures (connect refused, peer closed the
+ * connection, no frame back) and typed "overloaded" responses are the
+ * two outcomes where the same request can legitimately succeed a
+ * moment later; both are retried up to `retries` times with capped
+ * exponential backoff whose jitter is a pure hash of (salt, attempt)
+ * — deterministic, so runs are reproducible. Any other typed error
+ * (protocol, config, solver, deadline-exceeded, unavailable) is
+ * final: replaying it would answer identically.
+ *
+ * Deadline budget. With deadlineMs set, the budget is measured from
+ * call() entry across ALL attempts (including backoff sleeps), every
+ * attempt's frame is built with the budget REMAINING at that moment
+ * (so the server never works past the point the caller gave up), and
+ * the wait for a response aborts at the budget — BudgetExhausted,
+ * never a hang.
+ *
+ * Connections. keepAlive reuses one connection across call()s (the
+ * load generator's and the frontend pool's mode); any transport
+ * failure discards it, because a request/response stream that lost
+ * sync cannot be trusted to pair frames correctly again.
+ */
+
+#ifndef XYLEM_SERVICE_CLIENT_HPP
+#define XYLEM_SERVICE_CLIENT_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "service/socket.hpp"
+
+namespace xylem::service {
+
+/**
+ * Backoff before retry `attempt` (1-based): base·2^(attempt-1) ms,
+ * capped, jittered to [0.75, 1.25)× by an FNV-1a hash of
+ * (salt, attempt) — no RNG state, same delays every run.
+ */
+std::chrono::milliseconds backoffDelay(int attempt,
+                                       std::uint64_t salt = 0,
+                                       double base_ms = 50.0,
+                                       double cap_ms = 1000.0);
+
+struct ClientOptions
+{
+    /** Endpoint string: unix:/path, tcp:host:port, or a bare path. */
+    std::string endpoint;
+    /** Extra attempts after the first (total attempts = retries+1). */
+    int retries = 0;
+    /** End-to-end budget across all attempts; 0 = none. */
+    double deadlineMs = 0.0;
+    /** Jitter stream for backoffDelay (e.g. a client index). */
+    std::uint64_t backoffSalt = 0;
+    double backoffBaseMs = 50.0;
+    double backoffCapMs = 1000.0;
+    /** Reuse the connection across call()s; failures discard it. */
+    bool keepAlive = false;
+};
+
+enum class CallStatus
+{
+    Ok,               ///< a response with "ok":true
+    ErrorResponse,    ///< a typed error response (final, or overload
+                      ///< that survived every retry)
+    TransportFailure, ///< no response after all attempts
+    BudgetExhausted,  ///< the deadline ran out before an answer
+};
+
+struct CallResult
+{
+    CallStatus status = CallStatus::TransportFailure;
+    /** Raw response frame (newline stripped); empty if none arrived. */
+    std::string line;
+    /** error.code token when status == ErrorResponse. */
+    std::string errorCode;
+    /** Transport diagnosis when no response arrived. */
+    std::string message;
+    int attempts = 0;   ///< attempts made (>= 1 unless budget was gone)
+    int retries = 0;    ///< re-sent requests (attempts - 1)
+    int reconnects = 0; ///< connections re-established mid-call
+};
+
+class ServiceClient
+{
+  public:
+    /** Parses the endpoint eagerly: a bad string is a Config error at
+     *  construction, not at the first call. */
+    explicit ServiceClient(ClientOptions opts);
+
+    /**
+     * Builds the frame for one attempt. `remainingMs` is the budget
+     * left at that moment (0 when no deadline is set); the returned
+     * frame need not be newline-terminated. Rebuilding per attempt is
+     * what lets every retry carry the shrunken budget.
+     */
+    using FrameBuilder = std::function<std::string(double remainingMs)>;
+
+    /** Send/receive with the full retry + budget policy. */
+    CallResult call(const FrameBuilder &build);
+
+    /**
+     * Same, with a per-call budget overriding options().deadlineMs —
+     * how the frontend spends each request's REMAINING budget on a
+     * pooled connection whose options were fixed at construction.
+     */
+    CallResult call(const FrameBuilder &build, double deadline_ms);
+
+    /** Fixed-frame convenience: the same bytes on every attempt. */
+    CallResult call(const std::string &frame);
+
+    /** Drop the kept-alive connection (next call reconnects). */
+    void disconnect();
+
+    bool connected() const { return fd_.valid(); }
+
+    const ClientOptions &options() const { return opts_; }
+
+  private:
+    bool ensureConnected(std::string &error);
+
+    ClientOptions opts_;
+    Endpoint endpoint_;
+    FdGuard fd_;
+    std::unique_ptr<LineReader> reader_;
+};
+
+} // namespace xylem::service
+
+#endif // XYLEM_SERVICE_CLIENT_HPP

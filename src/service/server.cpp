@@ -81,7 +81,11 @@ Server::start()
             warn("lost request: seq ", lost.seq, " id ", lost.id, " [",
                  lost.scenario, "]");
     }
-    listener_ = listenUnix(opts_.socketPath);
+    listen_endpoint_ = parseEndpoint(opts_.endpoint);
+    listener_ = listenEndpoint(listen_endpoint_);
+    // Qualified: the boundEndpoint() accessor hides the free helper.
+    bound_endpoint_ =
+        xylem::service::boundEndpoint(listener_, listen_endpoint_).str();
     const int n = opts_.workers > 0 ? opts_.workers : 1;
     workers_.reserve(static_cast<std::size_t>(n));
     worker_states_.clear();
@@ -97,8 +101,8 @@ Server::start()
     start_time_ = std::chrono::steady_clock::now();
     accepting_.store(true, std::memory_order_relaxed);
     started_ = true;
-    inform("serving on ", opts_.socketPath, " (", n, " workers, queue ",
-           opts_.queueCapacity, ")");
+    inform("serving on ", bound_endpoint_, " (", n,
+           " workers, queue ", opts_.queueCapacity, ")");
 }
 
 int
@@ -138,6 +142,8 @@ Server::acceptLoop()
             break;
         }
         accepted.increment();
+        if (listen_endpoint_.kind == TransportKind::Tcp)
+            setTcpNoDelay(fd.get());
         const std::uint64_t conn_id =
             next_conn_id_.fetch_add(1, std::memory_order_relaxed) + 1;
         if (runtime::FaultInjector::global().injectAcceptFailure(
@@ -760,10 +766,13 @@ Server::drain()
     stop_.store(true, std::memory_order_relaxed);
     accepting_.store(false, std::memory_order_relaxed);
 
-    // 1. Stop accepting: close the listener and remove the socket
-    //    file so new clients fail fast instead of hanging.
+    // 1. Stop accepting: close the listener — and for a Unix
+    //    endpoint, remove the socket file so new clients fail fast
+    //    instead of hanging. (TCP has no filesystem residue.)
     listener_.reset();
-    ::unlink(opts_.socketPath.c_str());
+    if (listen_endpoint_.kind == TransportKind::Unix &&
+        !listen_endpoint_.path.empty())
+        ::unlink(listen_endpoint_.path.c_str());
 
     // 2. The connection readers observe the stop in their next poll
     //    slice; joining them ends request admission.

@@ -1,8 +1,10 @@
 /**
  * @file
  * The simulation daemon: accepts newline-delimited JSON requests on a
- * Unix-domain socket, runs them through a bounded queue + worker pool
- * on the Engine, and answers each with one JSON line.
+ * Unix-domain or TCP listener (socket.hpp endpoint strings), runs them
+ * through a bounded queue + worker pool on the Engine, and answers
+ * each with one JSON line. The hardening below (write/idle timeouts,
+ * fault injection, reset accounting) is transport-independent.
  *
  * Concurrency layout. One accept loop (the thread that calls run()),
  * one reader thread per connection, `workers` solver threads sharing
@@ -83,8 +85,10 @@ namespace xylem::service {
 
 struct ServerOptions
 {
-    /** Unix-domain socket path the daemon listens on. */
-    std::string socketPath = "/tmp/xylem.sock";
+    /** Endpoint the daemon listens on: "unix:/path", "tcp:host:port"
+     *  (port 0 binds ephemeral — read it back via boundEndpoint()),
+     *  or a bare path as unix: shorthand. */
+    std::string endpoint = "unix:/tmp/xylem.sock";
     /** Solver worker threads. */
     int workers = 2;
     /** Bounded queue depth; requests beyond it are shed. */
@@ -133,6 +137,13 @@ class Server
     void requestStop() { stop_.store(true, std::memory_order_relaxed); }
 
     const ServerOptions &options() const { return opts_; }
+
+    /**
+     * Canonical endpoint string the listener actually bound — for a
+     * tcp:host:0 request this carries the kernel-assigned port. Valid
+     * after start().
+     */
+    const std::string &boundEndpoint() const { return bound_endpoint_; }
 
   private:
     /** One client connection and its reader thread. */
@@ -208,6 +219,8 @@ class Server
     ServerOptions opts_;
     Engine engine_;
     FdGuard listener_;
+    Endpoint listen_endpoint_{};   ///< parsed from opts_.endpoint
+    std::string bound_endpoint_;   ///< canonical form actually bound
     bool started_ = false;
     std::atomic<bool> stop_{false};
     std::atomic<bool> accepting_{false};

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -26,6 +31,28 @@ unixAddress(const std::string &path)
               "' is empty or exceeds ", sizeof addr.sun_path - 1,
               " bytes");
     std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+/** Resolve host:port to an IPv4 stream address via getaddrinfo. */
+sockaddr_in
+tcpAddress(const std::string &host, int port)
+{
+    addrinfo hints = {};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &res);
+    if (rc != 0 || res == nullptr)
+        raise(ErrorCode::Io, "resolve('", host, "'): ",
+              rc != 0 ? ::gai_strerror(rc) : "no addresses");
+    sockaddr_in addr = {};
+    std::memcpy(&addr, res->ai_addr,
+                std::min(sizeof addr,
+                         static_cast<std::size_t>(res->ai_addrlen)));
+    ::freeaddrinfo(res);
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
     return addr;
 }
 
@@ -75,6 +102,150 @@ connectUnix(const std::string &path)
             raise(ErrorCode::Io, "connect('", path, "'): ",
                   std::strerror(errno));
     }
+}
+
+std::string
+Endpoint::str() const
+{
+    if (kind == TransportKind::Unix)
+        return "unix:" + path;
+    return "tcp:" + host + ":" + std::to_string(port);
+}
+
+std::size_t
+maxUnixPathBytes()
+{
+    return sizeof(sockaddr_un{}.sun_path) - 1;
+}
+
+Endpoint
+parseEndpoint(const std::string &text)
+{
+    Endpoint ep;
+    std::string rest;
+    if (text.rfind("unix:", 0) == 0) {
+        ep.kind = TransportKind::Unix;
+        rest = text.substr(5);
+    } else if (text.rfind("tcp:", 0) == 0) {
+        ep.kind = TransportKind::Tcp;
+        rest = text.substr(4);
+    } else if (text.find(':') == std::string::npos) {
+        // Bare path: shorthand for unix: (pre-TCP endpoint strings).
+        ep.kind = TransportKind::Unix;
+        rest = text;
+    } else {
+        raise(ErrorCode::Config, "endpoint '", text,
+              "' has an unknown scheme (want unix:PATH, tcp:HOST:PORT, "
+              "or a bare socket path)");
+    }
+
+    if (ep.kind == TransportKind::Unix) {
+        if (rest.empty())
+            raise(ErrorCode::Config, "endpoint '", text,
+                  "' names an empty socket path");
+        if (rest.size() > maxUnixPathBytes())
+            raise(ErrorCode::Config, "endpoint '", text, "' path is ",
+                  rest.size(), " bytes; sun_path holds at most ",
+                  maxUnixPathBytes(),
+                  " (the kernel would silently truncate it)");
+        ep.path = rest;
+        return ep;
+    }
+
+    const auto colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == rest.size())
+        raise(ErrorCode::Config, "endpoint '", text,
+              "' is not tcp:HOST:PORT");
+    ep.host = rest.substr(0, colon);
+    const std::string port_text = rest.substr(colon + 1);
+    if (port_text.find_first_not_of("0123456789") != std::string::npos)
+        raise(ErrorCode::Config, "endpoint '", text, "' port '",
+              port_text, "' is not a number");
+    errno = 0;
+    char *end = nullptr;
+    const long port = std::strtol(port_text.c_str(), &end, 10);
+    if (errno != 0 || end == port_text.c_str() || port < 0 ||
+        port > 65535)
+        raise(ErrorCode::Config, "endpoint '", text, "' port '",
+              port_text, "' is outside 0..65535");
+    ep.port = static_cast<int>(port);
+    return ep;
+}
+
+FdGuard
+listenEndpoint(const Endpoint &ep, int backlog)
+{
+    if (ep.kind == TransportKind::Unix)
+        return listenUnix(ep.path, backlog);
+    const sockaddr_in addr = tcpAddress(ep.host, ep.port);
+    FdGuard fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid())
+        raise(ErrorCode::Io, "socket(): ", std::strerror(errno));
+    // Restarted daemons must not trip over TIME_WAIT remnants.
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
+               sizeof addr) != 0)
+        raise(ErrorCode::Io, "bind('", ep.str(), "'): ",
+              std::strerror(errno));
+    if (::listen(fd.get(), backlog) != 0)
+        raise(ErrorCode::Io, "listen('", ep.str(), "'): ",
+              std::strerror(errno));
+    return fd;
+}
+
+FdGuard
+connectEndpoint(const Endpoint &ep)
+{
+    if (ep.kind == TransportKind::Unix)
+        return connectUnix(ep.path);
+    const sockaddr_in addr = tcpAddress(ep.host, ep.port);
+    FdGuard fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid())
+        raise(ErrorCode::Io, "socket(): ", std::strerror(errno));
+    for (;;) {
+        if (::connect(fd.get(),
+                      reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof addr) == 0) {
+            setTcpNoDelay(fd.get());
+            return fd;
+        }
+        if (errno != EINTR)
+            raise(ErrorCode::Io, "connect('", ep.str(), "'): ",
+                  std::strerror(errno));
+    }
+}
+
+FdGuard
+connectEndpoint(const std::string &endpoint)
+{
+    return connectEndpoint(parseEndpoint(endpoint));
+}
+
+Endpoint
+boundEndpoint(const FdGuard &listener, const Endpoint &configured)
+{
+    if (configured.kind == TransportKind::Unix)
+        return configured;
+    sockaddr_in addr = {};
+    socklen_t len = sizeof addr;
+    if (::getsockname(listener.get(),
+                      reinterpret_cast<sockaddr *>(&addr), &len) != 0)
+        raise(ErrorCode::Io, "getsockname('", configured.str(),
+              "'): ", std::strerror(errno));
+    Endpoint ep = configured;
+    ep.port = static_cast<int>(ntohs(addr.sin_port));
+    return ep;
+}
+
+void
+setTcpNoDelay(int fd)
+{
+    const int one = 1;
+    // EOPNOTSUPP on Unix sockets is expected; ignore all failures —
+    // Nagle is a latency knob, never a correctness one.
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 }
 
 bool

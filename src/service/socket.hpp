@@ -1,15 +1,29 @@
 /**
  * @file
- * Unix-domain stream sockets for the simulation service: RAII fd
- * ownership, listen/connect helpers, SIGPIPE-safe full writes, and a
- * bounded, interruptible line-frame reader shared by the daemon's
- * connection readers and the clients.
+ * Stream-socket transport for the simulation service: RAII fd
+ * ownership, endpoint-string listen/connect helpers over Unix-domain
+ * AND TCP sockets, SIGPIPE-safe full writes, and a bounded,
+ * interruptible line-frame reader shared by the daemon's connection
+ * readers and the clients.
  *
- * All failures surface as Error(ErrorCode::Io); nothing in this file
- * installs signal handlers or blocks uninterruptibly — reads poll in
- * short slices and re-check a caller-supplied stop predicate, which
- * is how the daemon's graceful drain reaches threads parked on idle
- * connections.
+ * Endpoint grammar (one string names both transports):
+ *
+ *   unix:/path/to.sock   Unix-domain stream socket
+ *   tcp:host:port        TCP (IPv4; host may be a name, port 0 on a
+ *                        listener binds an ephemeral port)
+ *   /path/to.sock        bare absolute path: shorthand for unix:
+ *
+ * Every daemon, client, and bench in the repo accepts these strings,
+ * so the same binary serves a local socket or a network port. Bad
+ * endpoint strings raise Error(Config) — including a Unix path that
+ * would not fit sockaddr_un::sun_path, which would otherwise be
+ * silently truncated by the kernel.
+ *
+ * All transport failures surface as Error(ErrorCode::Io); nothing in
+ * this file installs signal handlers or blocks uninterruptibly —
+ * reads poll in short slices and re-check a caller-supplied stop
+ * predicate, which is how the daemon's graceful drain reaches threads
+ * parked on idle connections.
  */
 
 #ifndef XYLEM_SERVICE_SOCKET_HPP
@@ -66,6 +80,67 @@ FdGuard listenUnix(const std::string &path, int backlog = 64);
 
 /** Connect to a listening Unix-domain socket. Throws Error(Io). */
 FdGuard connectUnix(const std::string &path);
+
+/** Transport named by an endpoint string. */
+enum class TransportKind
+{
+    Unix, ///< unix:/path — local filesystem socket
+    Tcp,  ///< tcp:host:port — IPv4 stream socket
+};
+
+/**
+ * A parsed endpoint: where a daemon listens or a client connects.
+ * Produced by parseEndpoint(); str() renders the canonical form
+ * ("unix:/path" or "tcp:host:port").
+ */
+struct Endpoint
+{
+    TransportKind kind = TransportKind::Unix;
+    std::string path;      ///< Unix only
+    std::string host;      ///< TCP only
+    int port = 0;          ///< TCP only; 0 binds ephemeral (listen)
+
+    std::string str() const;
+};
+
+/**
+ * Parse "unix:PATH", "tcp:HOST:PORT", or a bare absolute path
+ * (shorthand for unix:). Throws Error(Config) on an unknown scheme,
+ * an empty host/path, a non-numeric or out-of-range port, or a Unix
+ * path longer than sockaddr_un::sun_path holds (kMaxUnixPath bytes)
+ * — the kernel would silently truncate it, so it is rejected here
+ * with the exact limit in the message.
+ */
+Endpoint parseEndpoint(const std::string &text);
+
+/** Longest Unix socket path that fits sun_path (with its NUL). */
+std::size_t maxUnixPathBytes();
+
+/**
+ * Bind and listen on an endpoint. Unix endpoints unlink a stale
+ * socket file first; TCP listeners set SO_REUSEADDR and may bind
+ * port 0 (read the kernel's choice back via boundEndpoint()).
+ * Throws Error(Io) / Error(Config).
+ */
+FdGuard listenEndpoint(const Endpoint &ep, int backlog = 64);
+
+/** Connect to a listening endpoint. TCP connections get
+ *  TCP_NODELAY (the protocol is small request/response lines).
+ *  Throws Error(Io). */
+FdGuard connectEndpoint(const Endpoint &ep);
+
+/** Convenience: parseEndpoint() + connectEndpoint(). */
+FdGuard connectEndpoint(const std::string &endpoint);
+
+/**
+ * The endpoint a listener actually bound: for TCP this resolves an
+ * ephemeral port-0 bind to the kernel-assigned port; for Unix it
+ * echoes the configured path.
+ */
+Endpoint boundEndpoint(const FdGuard &listener, const Endpoint &configured);
+
+/** Disable Nagle on a TCP fd; harmless no-op on Unix sockets. */
+void setTcpNoDelay(int fd);
 
 /**
  * Write all of `data`, retrying partial writes and EINTR; SIGPIPE is

@@ -2,6 +2,7 @@ set(XYLEM_SERVICE_SOURCES
     ${CMAKE_CURRENT_LIST_DIR}/json.cpp
     ${CMAKE_CURRENT_LIST_DIR}/protocol.cpp
     ${CMAKE_CURRENT_LIST_DIR}/socket.cpp
+    ${CMAKE_CURRENT_LIST_DIR}/client.cpp
     ${CMAKE_CURRENT_LIST_DIR}/engine.cpp
     ${CMAKE_CURRENT_LIST_DIR}/journal.cpp
     ${CMAKE_CURRENT_LIST_DIR}/server.cpp)

@@ -93,7 +93,7 @@ service::ServerOptions
 smallServerOptions(const char *tag)
 {
     service::ServerOptions opts;
-    opts.socketPath = testPath(tag, ".sock");
+    opts.endpoint = testPath(tag, ".sock");
     opts.workers = 2;
     opts.queueCapacity = 32;
     // CI runs the whole suite a second time with an ambient intra-solve
@@ -281,7 +281,7 @@ TEST(ChaosDeadlineTest, SubSolveDeadlineGetsTypedErrorInBoundedTime)
 {
     runtime::Metrics::global().reset();
     LiveServer live(smallServerOptions("deadline"));
-    const std::string &path = live.server().options().socketPath;
+    const std::string &path = live.server().options().endpoint;
 
     // 1 ms of budget against a cold 32x32 solve: the request must be
     // answered with the typed deadline error (shed at pickup, aborted
@@ -312,7 +312,7 @@ TEST(ChaosDeadlineTest, SubSolveDeadlineGetsTypedErrorInBoundedTime)
 TEST(ChaosDeadlineTest, GenerousDeadlineStillSucceeds)
 {
     LiveServer live(smallServerOptions("deadline_ok"));
-    const std::string &path = live.server().options().socketPath;
+    const std::string &path = live.server().options().endpoint;
     const JsonValue resp = service::parseJson(
         roundTrip(path, steadyFrame(2, "LU", 2.4, 16, 300000.0)));
     EXPECT_TRUE(resp.find("ok")->boolean());
@@ -352,7 +352,7 @@ TEST(ChaosDeadlineTest, ExpiredBatchMemberFailsAloneOthersComplete)
 TEST(WatchdogTest, HealthVerbIsAnsweredInlineWithServerShape)
 {
     LiveServer live(smallServerOptions("health"));
-    const std::string &path = live.server().options().socketPath;
+    const std::string &path = live.server().options().endpoint;
     const JsonValue resp = service::parseJson(
         roundTrip(path, "{\"id\":4,\"query\":\"health\"}"));
     EXPECT_TRUE(resp.find("ok")->boolean());
@@ -372,7 +372,7 @@ TEST(WatchdogTest, StalledWorkerFailsReadinessThenRecovers)
     opts.watchdogIntervalSeconds = 0.05;
     opts.stallThresholdSeconds = 0.1;
     LiveServer live(std::move(opts));
-    const std::string &path = live.server().options().socketPath;
+    const std::string &path = live.server().options().endpoint;
 
     // Every picked-up job stalls 700 ms before serving; the watchdog
     // (threshold 100 ms) must notice, and the health verb -- answered
@@ -421,7 +421,7 @@ TEST(ChaosSlowLorisTest, TrickledFrameIsShedByTheIdleTimeout)
     service::ServerOptions opts = smallServerOptions("loris");
     opts.idleTimeoutSeconds = 0.25;
     LiveServer live(std::move(opts));
-    const std::string &path = live.server().options().socketPath;
+    const std::string &path = live.server().options().endpoint;
 
     // Half a frame, then silence: the reader must shed the connection
     // after the mid-frame idle timeout with a typed protocol error.
@@ -451,7 +451,7 @@ TEST(ChaosConnResetTest, ClientAbortWithUnreadResponseCountsReset)
 {
     runtime::Metrics::global().reset();
     LiveServer live(smallServerOptions("reset"));
-    const std::string &path = live.server().options().socketPath;
+    const std::string &path = live.server().options().endpoint;
     auto &metrics = runtime::Metrics::global();
 
     {
@@ -491,7 +491,7 @@ TEST(ChaosBurstTest, BurstUnderAmbientFaultsIsAnsweredBitIdentically)
 {
     runtime::Metrics::global().reset();
     LiveServer live(smallServerOptions("burst"));
-    const std::string &path = live.server().options().socketPath;
+    const std::string &path = live.server().options().endpoint;
 
     const char *apps[] = {"FFT", "LU", "Radix", "Barnes", "CG", "FT"};
     constexpr int kClients = 6;

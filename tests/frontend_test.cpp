@@ -1,0 +1,628 @@
+/**
+ * @file
+ * Scale-out frontend tests.
+ *
+ * Three layers, cheapest first:
+ *  - FrontendRingTest: the consistent-hash ring as pure logic —
+ *    balance across 2..16 shards, minimal remap when a shard joins or
+ *    leaves, and cross-process determinism (hard-coded owners: the
+ *    assignment is part of the wire contract, so a silent hash change
+ *    must fail a test, not just reshuffle caches).
+ *  - FrontendEndpointTest: the endpoint grammar (unix:/tcp:/bare) and
+ *    the sockaddr_un::sun_path boundary — a path one byte over the
+ *    limit must be a typed Config error, because bind() would
+ *    otherwise silently truncate it and listen somewhere else.
+ *  - ScaleOutFrontendTest: an in-process Frontend routing to real
+ *    forked xylem_serve shards (XYLEM_SERVE_BIN, like chaos_test):
+ *    scenario affinity, typed-error and deadline pass-through,
+ *    failover with the rerouted counter, typed Unavailable on total
+ *    outage, and the mid-burst kill contract — admitted requests are
+ *    answered or typed, never silently dropped.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "frontend/frontend.hpp"
+#include "frontend/hash_ring.hpp"
+#include "service/client.hpp"
+#include "service/json.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/socket.hpp"
+
+#ifndef XYLEM_SERVE_BIN
+#error "frontend_test needs XYLEM_SERVE_BIN (the xylem_serve binary path)"
+#endif
+
+namespace {
+
+using namespace xylem;
+using service::JsonValue;
+
+std::string
+testPath(const char *tag, const char *suffix)
+{
+    return std::string("/tmp/xylem_frontend_") + tag + "_" +
+           std::to_string(::getpid()) + suffix;
+}
+
+std::string
+steadyFrame(std::uint64_t id, const std::string &app, double freq,
+            int edge = 16, double deadline_ms = 0.0)
+{
+    std::ostringstream os;
+    os << "{\"id\":" << id << ",\"query\":\"steady\",\"app\":\"" << app
+       << "\",\"freqGHz\":" << freq;
+    if (deadline_ms > 0.0)
+        os << ",\"deadline_ms\":" << deadline_ms;
+    os << ",\"config\":{\"gridNx\":" << edge << ",\"gridNy\":" << edge
+       << "}}";
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Hash ring: pure logic.
+// ---------------------------------------------------------------------
+
+TEST(FrontendRingTest, Fnv1aMatchesTheReferenceVectors)
+{
+    // FNV-1a 64 test vectors: the ring's base hash may never change —
+    // owners are a cross-process contract.
+    EXPECT_EQ(frontend::fnv1a(""), 14695981039346656037ull);
+    EXPECT_EQ(frontend::fnv1a("a"), 12638187200555641996ull);
+    EXPECT_EQ(frontend::fnv1a("foobar"), 9625390261332436968ull);
+}
+
+TEST(FrontendRingTest, OwnershipIsBalancedFrom2To16Shards)
+{
+    // 64 replicas promise max/mean load under ~1.35 (hash_ring.hpp);
+    // 4000 synthetic keys per count keep the test fast.
+    for (std::size_t n = 2; n <= 16; ++n) {
+        const frontend::HashRing ring(n, 64);
+        std::vector<int> counts(n, 0);
+        for (int k = 0; k < 4000; ++k)
+            ++counts[ring.owner("scenario-key-" + std::to_string(k))];
+        const int max = *std::max_element(counts.begin(), counts.end());
+        const double ratio = max / (4000.0 / static_cast<double>(n));
+        EXPECT_LT(ratio, 1.35) << "shard count " << n;
+        for (std::size_t s = 0; s < n; ++s)
+            EXPECT_GT(counts[s], 0)
+                << "shard " << s << " of " << n << " owns nothing";
+    }
+}
+
+TEST(FrontendRingTest, AddingAShardStealsKeysOnlyForTheNewShard)
+{
+    for (const std::size_t n : {2u, 4u, 8u}) {
+        const frontend::HashRing before(n, 64);
+        const frontend::HashRing after(n + 1, 64);
+        int moved = 0;
+        const int keys = 4000;
+        for (int k = 0; k < keys; ++k) {
+            const std::string key = "remap-key-" + std::to_string(k);
+            const std::size_t was = before.owner(key);
+            const std::size_t now = after.owner(key);
+            if (was != now) {
+                // Consistent hashing's defining property: a joining
+                // shard takes keys, it never shuffles them between
+                // the existing shards.
+                EXPECT_EQ(now, n) << key;
+                ++moved;
+            }
+        }
+        // Expect ~keys/(n+1) moved; allow generous slack either way.
+        EXPECT_GT(moved, keys / (4 * static_cast<int>(n + 1)));
+        EXPECT_LT(moved, (3 * keys) / static_cast<int>(n + 1));
+    }
+}
+
+TEST(FrontendRingTest, RemovingTheLastShardOnlyReassignsItsKeys)
+{
+    for (const std::size_t n : {3u, 5u, 9u}) {
+        const frontend::HashRing before(n, 64);
+        const frontend::HashRing after(n - 1, 64);
+        for (int k = 0; k < 4000; ++k) {
+            const std::string key = "remap-key-" + std::to_string(k);
+            const std::size_t was = before.owner(key);
+            if (was != n - 1) {
+                EXPECT_EQ(after.owner(key), was) << key;
+            }
+        }
+    }
+}
+
+TEST(FrontendRingTest, OwnersAreDeterministicAcrossProcesses)
+{
+    // Hard-coded assignments on a 4-shard ring with the default 64
+    // replicas. If any of these move, the hash or the label scheme
+    // changed: every deployed frontend would reshuffle its shards'
+    // warm caches, and a mixed-version fleet would disagree on
+    // owners. Bump these values only with that cost in mind.
+    const frontend::HashRing ring(4, 64);
+    const struct
+    {
+        const char *key;
+        std::size_t owner;
+    } cases[] = {
+        {"steady|FFT|2.5|16x16", 3},
+        {"steady|LU|3.0|16x16", 2},
+        {"transient|Radix|2.0|32x32", 0},
+        {"boost|Barnes|3.5|16x16", 0},
+        {"steady|CG|2.2|24x24", 2},
+    };
+    for (const auto &c : cases)
+        EXPECT_EQ(ring.owner(c.key), c.owner) << c.key;
+}
+
+TEST(FrontendRingTest, PreferenceListsEveryShardOnceOwnerFirst)
+{
+    const frontend::HashRing ring(6, 64);
+    for (int k = 0; k < 200; ++k) {
+        const std::string key = "pref-key-" + std::to_string(k);
+        const std::vector<std::size_t> order = ring.preference(key);
+        ASSERT_EQ(order.size(), 6u);
+        EXPECT_EQ(order.front(), ring.owner(key));
+        const std::set<std::size_t> unique(order.begin(), order.end());
+        EXPECT_EQ(unique.size(), 6u);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Endpoint grammar and the sun_path boundary.
+// ---------------------------------------------------------------------
+
+TEST(FrontendEndpointTest, ParsesUnixTcpAndBareForms)
+{
+    const service::Endpoint u = service::parseEndpoint("unix:/tmp/x.sock");
+    EXPECT_EQ(u.kind, service::TransportKind::Unix);
+    EXPECT_EQ(u.path, "/tmp/x.sock");
+    EXPECT_EQ(u.str(), "unix:/tmp/x.sock");
+
+    const service::Endpoint t =
+        service::parseEndpoint("tcp:127.0.0.1:8080");
+    EXPECT_EQ(t.kind, service::TransportKind::Tcp);
+    EXPECT_EQ(t.host, "127.0.0.1");
+    EXPECT_EQ(t.port, 8080);
+    EXPECT_EQ(t.str(), "tcp:127.0.0.1:8080");
+
+    // A bare path (no colon) is unix shorthand, so every pre-TCP
+    // flag value keeps working.
+    const service::Endpoint bare = service::parseEndpoint("/tmp/y.sock");
+    EXPECT_EQ(bare.kind, service::TransportKind::Unix);
+    EXPECT_EQ(bare.path, "/tmp/y.sock");
+}
+
+TEST(FrontendEndpointTest, RejectsMalformedEndpointsWithTypedConfig)
+{
+    for (const char *bad : {
+             "unix:",              // empty path
+             "tcp:host",           // missing port
+             "tcp:host:",          // empty port
+             "tcp:host:notaport",  // non-numeric port
+             "tcp:host:99999",     // port out of range
+             "tcp:host:-1",        // negative port
+             "http:host:80",       // unknown scheme
+         }) {
+        try {
+            service::parseEndpoint(bad);
+            FAIL() << "accepted '" << bad << "'";
+        } catch (const Error &e) {
+            EXPECT_EQ(e.code(), ErrorCode::Config) << bad;
+        }
+    }
+}
+
+TEST(FrontendEndpointTest, UnixPathLimitIsEnforcedAtTheExactByte)
+{
+    const std::size_t max = service::maxUnixPathBytes();
+    // Linux sockaddr_un::sun_path is 108 bytes incl. the terminator.
+    ASSERT_GE(max, 90u);
+
+    const std::string fits = "/tmp/" + std::string(max - 5, 'a');
+    ASSERT_EQ(fits.size(), max);
+    const service::Endpoint ok = service::parseEndpoint(fits);
+    EXPECT_EQ(ok.path, fits);
+    {
+        // The boundary-length path must actually bind, not merely
+        // parse: the limit exists to guarantee bind() gets the whole
+        // path, so prove it does.
+        const service::FdGuard listener = service::listenEndpoint(ok);
+        EXPECT_GE(listener.get(), 0);
+        const service::FdGuard peer = service::connectEndpoint(ok);
+        EXPECT_GE(peer.get(), 0);
+    }
+    ::unlink(fits.c_str());
+
+    const std::string over = fits + "a";
+    try {
+        service::parseEndpoint(over);
+        FAIL() << "accepted a path the kernel would truncate";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Config);
+    }
+    // The socket layer enforces it independently of the parser (a
+    // caller could build an Endpoint by hand).
+    service::Endpoint raw;
+    raw.kind = service::TransportKind::Unix;
+    raw.path = over;
+    try {
+        service::connectEndpoint(raw);
+        FAIL() << "connect accepted a truncatable path";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Config);
+    }
+}
+
+TEST(FrontendEndpointTest, TcpServerRoundTripsOnAnEphemeralPort)
+{
+    service::ServerOptions opts;
+    opts.endpoint = "tcp:127.0.0.1:0"; // kernel picks the port
+    opts.workers = 1;
+    service::Server server(opts);
+    server.start();
+    const std::string bound = server.boundEndpoint();
+    EXPECT_NE(bound, "tcp:127.0.0.1:0") << "port 0 must resolve";
+    std::thread runner([&server] { server.run(); });
+
+    service::ClientOptions copts;
+    copts.endpoint = bound;
+    service::ServiceClient client(copts);
+    const service::CallResult health =
+        client.call("{\"id\":1,\"query\":\"health\"}");
+    ASSERT_EQ(health.status, service::CallStatus::Ok);
+    const JsonValue resp = service::parseJson(health.line);
+    EXPECT_TRUE(resp.find("ready")->boolean());
+
+    server.requestStop();
+    runner.join();
+}
+
+// ---------------------------------------------------------------------
+// The frontend against real forked shards.
+// ---------------------------------------------------------------------
+
+pid_t
+spawnServe(const std::string &endpoint)
+{
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        ::execl(XYLEM_SERVE_BIN, "xylem_serve", "--endpoint",
+                endpoint.c_str(), "--jobs", "1", "--queue-capacity",
+                "32", "--quiet", static_cast<char *>(nullptr));
+        ::_exit(127); // exec failed
+    }
+    return pid;
+}
+
+void
+awaitServe(const std::string &endpoint)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (std::chrono::steady_clock::now() < deadline) {
+        try {
+            service::FdGuard fd = service::connectEndpoint(endpoint);
+            return;
+        } catch (const Error &) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+    }
+    FAIL() << "daemon never came up on " << endpoint;
+}
+
+void
+stopServe(pid_t pid)
+{
+    if (pid <= 0)
+        return;
+    ::kill(pid, SIGTERM);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+}
+
+/** Two real shards plus an in-process frontend. */
+class ScaleOutFrontendTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        for (int s = 0; s < 2; ++s) {
+            shard_eps_.push_back(
+                testPath(("shard" + std::to_string(s)).c_str(),
+                         ".sock"));
+            shard_pids_.push_back(spawnServe(shard_eps_.back()));
+            ASSERT_GT(shard_pids_.back(), 0);
+        }
+        for (const std::string &ep : shard_eps_)
+            awaitServe(ep);
+
+        frontend::FrontendOptions opts;
+        opts.endpoint = testPath("router", ".sock");
+        opts.shards = shard_eps_;
+        // Deterministic tests: no background probing, shard state
+        // changes only through on-path demotion.
+        opts.healthIntervalSeconds = 0.0;
+        router_ = std::make_unique<frontend::Frontend>(opts);
+        router_->start();
+        router_thread_ = std::thread([this] { router_->run(); });
+    }
+
+    void
+    TearDown() override
+    {
+        if (router_) {
+            router_->requestStop();
+            if (router_thread_.joinable())
+                router_thread_.join();
+        }
+        for (const pid_t pid : shard_pids_)
+            stopServe(pid);
+    }
+
+    /** One call through the frontend (fresh connection). */
+    service::CallResult
+    viaFrontend(const std::string &frame)
+    {
+        service::ClientOptions copts;
+        copts.endpoint = router_->boundEndpoint();
+        service::ServiceClient client(copts);
+        return client.call(frame);
+    }
+
+    /** A counter from a daemon's metrics verb (0 when absent). */
+    static double
+    wireCounter(const std::string &endpoint, const std::string &name)
+    {
+        service::ClientOptions copts;
+        copts.endpoint = endpoint;
+        service::ServiceClient client(copts);
+        const service::CallResult r =
+            client.call("{\"id\":7,\"query\":\"metrics\"}");
+        if (r.status != service::CallStatus::Ok)
+            return 0.0;
+        const JsonValue resp = service::parseJson(r.line);
+        const JsonValue *metrics = resp.find("metrics");
+        const JsonValue *counters =
+            metrics ? metrics->find("counters") : nullptr;
+        const JsonValue *c = counters ? counters->find(name) : nullptr;
+        return c && c->isNumber() ? c->number() : 0.0;
+    }
+
+    /** Poll a counter until it reaches `expected` (the daemon sends
+     *  the response bytes before bumping its counters, so a fast
+     *  client can observe the answer first); returns the last read. */
+    static double
+    awaitCounter(const std::string &endpoint, const std::string &name,
+                 double expected)
+    {
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(5);
+        double value = wireCounter(endpoint, name);
+        while (value < expected &&
+               std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            value = wireCounter(endpoint, name);
+        }
+        return value;
+    }
+
+    std::size_t
+    ringOwner(const std::string &frame) const
+    {
+        const frontend::HashRing ring(shard_eps_.size(),
+                                      router_->options().ringReplicas);
+        return ring.owner(
+            service::scenarioKey(service::parseRequest(frame)));
+    }
+
+    std::vector<std::string> shard_eps_;
+    std::vector<pid_t> shard_pids_;
+    std::unique_ptr<frontend::Frontend> router_;
+    std::thread router_thread_;
+};
+
+TEST_F(ScaleOutFrontendTest, RoutesAScenarioToItsRingOwnerOnly)
+{
+    const std::string frame = steadyFrame(1, "FFT", 2.5);
+    const std::size_t owner = ringOwner(frame);
+
+    const double before_owner =
+        wireCounter(shard_eps_[owner], "service.responses");
+    const double before_other =
+        wireCounter(shard_eps_[1 - owner], "service.responses");
+
+    for (int i = 0; i < 3; ++i) {
+        const service::CallResult r = viaFrontend(frame);
+        ASSERT_EQ(r.status, service::CallStatus::Ok) << r.message;
+    }
+
+    // All three solves landed on the ring owner; the other shard's
+    // solve counter never moved — that is the cache-affinity claim.
+    EXPECT_EQ(awaitCounter(shard_eps_[owner], "service.responses",
+                           before_owner + 3.0),
+              before_owner + 3.0);
+    EXPECT_EQ(wireCounter(shard_eps_[1 - owner], "service.responses"),
+              before_other);
+}
+
+TEST_F(ScaleOutFrontendTest, ShardTypedErrorsPassThroughVerbatim)
+{
+    // "NoSuchApp" parses at the frontend but fails workload lookup in
+    // the shard: the client must see the shard's typed Config error,
+    // not a frontend rewrite. Compare against a direct shard call.
+    const std::string frame = steadyFrame(21, "NoSuchApp", 2.5);
+    const std::size_t owner = ringOwner(frame);
+
+    const service::CallResult via = viaFrontend(frame);
+    ASSERT_EQ(via.status, service::CallStatus::ErrorResponse);
+    EXPECT_EQ(via.errorCode, "config");
+
+    service::ClientOptions copts;
+    copts.endpoint = shard_eps_[owner];
+    service::ServiceClient direct_client(copts);
+    const service::CallResult direct = direct_client.call(frame);
+    ASSERT_EQ(direct.status, service::CallStatus::ErrorResponse);
+    EXPECT_EQ(via.line, direct.line);
+}
+
+TEST_F(ScaleOutFrontendTest, ExpiredDeadlinesComeBackTyped)
+{
+    // A microscopic budget cannot survive a cold solve; whether the
+    // frontend or the shard notices first, the client must get the
+    // typed deadline-exceeded answer, never a hang or a cut socket.
+    const service::CallResult r =
+        viaFrontend(steadyFrame(31, "LU", 3.0, 16, 0.01));
+    ASSERT_EQ(r.status, service::CallStatus::ErrorResponse);
+    EXPECT_EQ(r.errorCode, "deadline-exceeded");
+}
+
+TEST_F(ScaleOutFrontendTest, FailsOverWhenTheOwnerShardDies)
+{
+    const std::string frame = steadyFrame(41, "Radix", 2.0);
+    const std::size_t owner = ringOwner(frame);
+
+    // Warm the route, then kill the owner.
+    ASSERT_EQ(viaFrontend(frame).status, service::CallStatus::Ok);
+    stopServe(shard_pids_[owner]);
+    shard_pids_[owner] = -1;
+
+    const double rerouted_before =
+        wireCounter(router_->boundEndpoint(), "frontend.rerouted");
+    const service::CallResult r = viaFrontend(frame);
+    ASSERT_EQ(r.status, service::CallStatus::Ok) << r.message;
+    EXPECT_GT(wireCounter(router_->boundEndpoint(), "frontend.rerouted"),
+              rerouted_before);
+    // The survivor answers bit-identically (engine determinism): the
+    // reroute changed where, never what.
+    const JsonValue resp = service::parseJson(r.line);
+    EXPECT_TRUE(resp.find("ok")->boolean());
+}
+
+TEST_F(ScaleOutFrontendTest, TotalOutageYieldsTypedUnavailable)
+{
+    for (pid_t &pid : shard_pids_) {
+        stopServe(pid);
+        pid = -1;
+    }
+    const service::CallResult r = viaFrontend(steadyFrame(51, "CG", 2.2));
+    ASSERT_EQ(r.status, service::CallStatus::ErrorResponse);
+    EXPECT_EQ(r.errorCode, "unavailable");
+}
+
+TEST_F(ScaleOutFrontendTest, KillingAShardMidBurstDropsNothingSilently)
+{
+    // Distinct scenarios so both shards carry load; kill shard 0 once
+    // the burst is in flight. The contract: every admitted request is
+    // answered — ok after a reroute, or a typed error — and the
+    // answer count equals the request count.
+    constexpr int kRequests = 6;
+    const char *apps[] = {"FFT", "LU", "Radix", "Barnes", "CG", "FT"};
+    std::atomic<int> responded{0};
+    std::vector<service::CallResult> results(kRequests);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kRequests; ++i)
+        threads.emplace_back([&, i] {
+            service::ClientOptions copts;
+            copts.endpoint = router_->boundEndpoint();
+            service::ServiceClient client(copts);
+            results[static_cast<std::size_t>(i)] = client.call(
+                steadyFrame(static_cast<std::uint64_t>(100 + i),
+                            apps[i], 2.0 + 0.1 * i, 16 + 2 * i));
+            responded.fetch_add(1, std::memory_order_relaxed);
+        });
+
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    while (responded.load(std::memory_order_relaxed) < 1 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_GE(responded.load(std::memory_order_relaxed), 1);
+    ::kill(shard_pids_[0], SIGKILL);
+    int status = 0;
+    ::waitpid(shard_pids_[0], &status, 0);
+    shard_pids_[0] = -1;
+
+    for (auto &t : threads)
+        t.join();
+
+    int ok = 0;
+    int typed = 0;
+    for (const service::CallResult &r : results) {
+        if (r.status == service::CallStatus::Ok) {
+            ++ok;
+            continue;
+        }
+        // Anything that is not a success must be a typed response the
+        // client can switch on — never a silent drop or a raw
+        // transport error surfacing through the frontend.
+        ASSERT_EQ(r.status, service::CallStatus::ErrorResponse)
+            << "outcome " << static_cast<int>(r.status) << ": "
+            << r.message;
+        EXPECT_TRUE(r.errorCode == "unavailable" ||
+                    r.errorCode == "deadline-exceeded" ||
+                    r.errorCode == "overloaded")
+            << r.errorCode;
+        ++typed;
+    }
+    EXPECT_EQ(ok + typed, kRequests);
+    EXPECT_GE(ok, 1); // the survivor kept serving
+}
+
+TEST_F(ScaleOutFrontendTest, MetricsFanOutSumsShardCounters)
+{
+    // Two solves with distinct scenarios: whatever the split, the
+    // frontend's merged service.responses must equal the sum of the
+    // shards' counters, so dashboards read one endpoint.
+    ASSERT_EQ(viaFrontend(steadyFrame(61, "FFT", 2.5)).status,
+              service::CallStatus::Ok);
+    ASSERT_EQ(viaFrontend(steadyFrame(62, "LU", 3.0)).status,
+              service::CallStatus::Ok);
+
+    // Let both shard counters settle (responses are written before
+    // the counters tick) before comparing the merged view.
+    double direct_sum = awaitCounter(shard_eps_[0], "service.responses",
+                                     0.0) +
+                        wireCounter(shard_eps_[1], "service.responses");
+    const auto settle_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (direct_sum < 2.0 &&
+           std::chrono::steady_clock::now() < settle_deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        direct_sum = wireCounter(shard_eps_[0], "service.responses") +
+                     wireCounter(shard_eps_[1], "service.responses");
+    }
+    const double merged =
+        wireCounter(router_->boundEndpoint(), "service.responses");
+    EXPECT_EQ(merged, direct_sum);
+
+    // And the health verb reports per-shard states with both up.
+    service::ClientOptions copts;
+    copts.endpoint = router_->boundEndpoint();
+    service::ServiceClient client(copts);
+    const service::CallResult h =
+        client.call("{\"id\":63,\"query\":\"health\"}");
+    ASSERT_EQ(h.status, service::CallStatus::Ok);
+    const JsonValue resp = service::parseJson(h.line);
+    EXPECT_TRUE(resp.find("ready")->boolean());
+    ASSERT_NE(resp.find("shards"), nullptr);
+    EXPECT_EQ(resp.find("shards")->array().size(), 2u);
+}
+
+} // namespace

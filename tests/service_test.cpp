@@ -201,6 +201,7 @@ TEST(ProtocolTest, ResilienceErrorCodesRoundTrip)
         {ErrorCode::DeadlineExceeded, "deadline-exceeded"},
         {ErrorCode::ConnectionLost, "connection-lost"},
         {ErrorCode::Overloaded, "overloaded"},
+        {ErrorCode::Unavailable, "unavailable"},
     };
     for (const auto &c : cases) {
         EXPECT_STREQ(toString(c.code), c.token);
@@ -450,7 +451,7 @@ service::ServerOptions
 smallServerOptions(const char *tag)
 {
     service::ServerOptions opts;
-    opts.socketPath = testSocket(tag);
+    opts.endpoint = testSocket(tag);
     opts.workers = 2;
     opts.queueCapacity = 16;
     return opts;
@@ -470,7 +471,7 @@ steadyFrame(std::uint64_t id, const std::string &app, double freq)
 TEST(ServiceTest, MalformedFramesGetTypedErrorsAndServerSurvives)
 {
     LiveServer live(smallServerOptions("malformed"));
-    const std::string &path = live.server().options().socketPath;
+    const std::string &path = live.server().options().endpoint;
 
     const char *bad[] = {
         "not json at all",
@@ -494,7 +495,7 @@ TEST(ServiceTest, MalformedFramesGetTypedErrorsAndServerSurvives)
 TEST(ServiceTest, OversizedFrameIsSheddedNotFatal)
 {
     LiveServer live(smallServerOptions("oversized"));
-    const std::string &path = live.server().options().socketPath;
+    const std::string &path = live.server().options().endpoint;
 
     const service::FdGuard fd = service::connectUnix(path);
     std::string huge(service::kMaxFrameBytes + 64, 'x');
@@ -518,7 +519,7 @@ TEST(ServiceTest, OversizedFrameIsSheddedNotFatal)
 TEST(ServiceTest, FrameOfExactlyMaxFrameBytesIsServed)
 {
     LiveServer live(smallServerOptions("exactcap"));
-    const std::string &path = live.server().options().socketPath;
+    const std::string &path = live.server().options().endpoint;
 
     // A frame whose content is exactly kMaxFrameBytes sits ON the
     // boundary and must be served, not shed: pad a valid metrics
@@ -534,7 +535,7 @@ TEST(ServiceTest, FrameOfExactlyMaxFrameBytesIsServed)
 TEST(ServiceTest, TruncatedFrameGetsErrorBeforeClose)
 {
     LiveServer live(smallServerOptions("truncated"));
-    const std::string &path = live.server().options().socketPath;
+    const std::string &path = live.server().options().endpoint;
 
     const service::FdGuard fd = service::connectUnix(path);
     // Half a frame, then half-close: no newline ever arrives.
@@ -551,7 +552,7 @@ TEST(ServiceTest, TruncatedFrameGetsErrorBeforeClose)
 TEST(ServiceTest, MetricsQueryAnswersInline)
 {
     LiveServer live(smallServerOptions("metrics"));
-    const std::string &path = live.server().options().socketPath;
+    const std::string &path = live.server().options().endpoint;
     const JsonValue resp = service::parseJson(
         roundTrip(path, "{\"id\":3,\"query\":\"metrics\"}"));
     EXPECT_TRUE(resp.find("ok")->boolean());
@@ -563,7 +564,7 @@ TEST(ServiceTest, ConcurrentIdenticalRequestsDedupAndMatch)
 {
     runtime::Metrics::global().reset();
     LiveServer live(smallServerOptions("dedup"));
-    const std::string &path = live.server().options().socketPath;
+    const std::string &path = live.server().options().endpoint;
 
     constexpr int kClients = 6;
     std::vector<std::string> responses(kClients);
@@ -606,7 +607,7 @@ TEST(ServiceTest, ConcurrentIdenticalRequestsDedupAndMatch)
 TEST(ServiceTest, ServedResponseBitIdenticalToBatchMode)
 {
     LiveServer live(smallServerOptions("bitident"));
-    const std::string &path = live.server().options().socketPath;
+    const std::string &path = live.server().options().endpoint;
     const JsonValue resp =
         service::parseJson(roundTrip(path, steadyFrame(5, "LU", 2.6)));
     ASSERT_TRUE(resp.find("ok")->boolean());
@@ -637,7 +638,7 @@ TEST(ServiceTest, UnprofitableConfigSkipsBatchFormation)
     service::ServerOptions opts = smallServerOptions("unprofitable");
     opts.workers = 1; // jobs must pile up behind the single worker
     LiveServer live(std::move(opts));
-    const std::string &path = live.server().options().socketPath;
+    const std::string &path = live.server().options().endpoint;
 
     // 6 clients x 3 distinct line-CG scenarios: while the worker
     // solves one, the rest sit queued as exactly the same-config
@@ -681,11 +682,11 @@ TEST(ServiceTest, QueueOverflowShedsWithOverloadedCode)
 {
     runtime::Metrics::global().reset();
     service::ServerOptions opts;
-    opts.socketPath = testSocket("shed");
+    opts.endpoint = testSocket("shed");
     opts.workers = 1;
     opts.queueCapacity = 1; // one slot: concurrent floods must shed
     LiveServer live(std::move(opts));
-    const std::string &path = live.server().options().socketPath;
+    const std::string &path = live.server().options().endpoint;
 
     constexpr int kClients = 8;
     std::atomic<int> overloaded{0};
@@ -718,7 +719,7 @@ TEST(ServiceTest, DrainAnswersQueuedRequestsThenStops)
 {
     runtime::Metrics::global().reset();
     LiveServer live(smallServerOptions("drain"));
-    const std::string &path = live.server().options().socketPath;
+    const std::string &path = live.server().options().endpoint;
 
     // Launch a few requests and wait until the server has admitted
     // all of them, then stop it: every in-flight request must still
@@ -843,11 +844,11 @@ TEST(ServiceTest, DistinctRequestBurstDrainsIntoOneBlockSolve)
 {
     runtime::Metrics::global().reset();
     service::ServerOptions opts;
-    opts.socketPath = testSocket("burst");
+    opts.endpoint = testSocket("burst");
     opts.workers = 1; // the burst must queue behind the blocker
     opts.queueCapacity = 32;
     LiveServer live(std::move(opts));
-    const std::string &path = live.server().options().socketPath;
+    const std::string &path = live.server().options().endpoint;
 
     // Occupy the single worker with a cold large-grid solve so the
     // burst piles up in the queue and drains into one block solve.
@@ -905,11 +906,11 @@ TEST(ServiceTest, MixedConfigBurstSplitsIntoPerConfigBatches)
 {
     runtime::Metrics::global().reset();
     service::ServerOptions opts;
-    opts.socketPath = testSocket("mixed");
+    opts.endpoint = testSocket("mixed");
     opts.workers = 1;
     opts.queueCapacity = 32;
     LiveServer live(std::move(opts));
-    const std::string &path = live.server().options().socketPath;
+    const std::string &path = live.server().options().endpoint;
 
     std::thread blocker([&] {
         roundTrip(path, steadyFrameOnGrid(99, "FFT", 2.0, 64));
@@ -963,11 +964,11 @@ TEST(ServiceTest, BurstBeyondQueueCapacityShedsThenBatchesTheRest)
 {
     runtime::Metrics::global().reset();
     service::ServerOptions opts;
-    opts.socketPath = testSocket("bigburst");
+    opts.endpoint = testSocket("bigburst");
     opts.workers = 1;
     opts.queueCapacity = 4; // well below batch.maxRhs (16)
     LiveServer live(std::move(opts));
-    const std::string &path = live.server().options().socketPath;
+    const std::string &path = live.server().options().endpoint;
 
     constexpr int kClients = 12;
     std::atomic<int> ok{0};

@@ -1,97 +1,38 @@
 /**
  * @file
- * xylem_client: one-shot command-line client for xylem_serve. Builds
- * a request from flags, sends it as one JSON line over the daemon's
- * Unix-domain socket, and prints the JSON response line.
+ * xylem_client: one-shot command-line client for xylem_serve (or the
+ * xylem_frontend router — the wire format is identical). Builds a
+ * request from flags, sends it as one JSON line to the daemon's
+ * endpoint (unix:/path, tcp:host:port, or a bare socket path), and
+ * prints the JSON response line.
  *
- * Resilience: --retries arms reconnect-and-retry with capped
- * exponential backoff (deterministically jittered, no RNG state) for
- * transport failures and "overloaded" responses — the two outcomes
- * where the same request can legitimately succeed a moment later.
- * Typed errors (protocol, config, deadline-exceeded, solver) never
- * retry: they would replay identically. --deadline-ms sets an
- * end-to-end budget measured from the first attempt; every attempt
- * sends the REMAINING budget as the request's deadline_ms, and the
- * client gives up locally once the budget is gone.
+ * Resilience (service/client.hpp): --retries arms reconnect-and-retry
+ * with capped exponential backoff (deterministically jittered, no RNG
+ * state) for transport failures and "overloaded" responses — the two
+ * outcomes where the same request can legitimately succeed a moment
+ * later. Typed errors (protocol, config, deadline-exceeded, solver,
+ * unavailable) never retry: they would replay identically.
+ * --deadline-ms sets an end-to-end budget measured from the first
+ * attempt; every attempt sends the REMAINING budget as the request's
+ * deadline_ms, and the client gives up locally once the budget is
+ * gone.
  *
  * Examples:
  *   xylem_client --query steady --app FFT --freq 3.0
- *   xylem_client --query boost --app LU --set scheme=bank
+ *   xylem_client --endpoint tcp:127.0.0.1:7430 --query health
  *   xylem_client --query transient --app Radix --steps 10 --dt 0.002
- *   xylem_client --query metrics
- *   xylem_client --query health
  *   xylem_client --query steady --app FFT --deadline-ms 500 --retries 3
  *
  * Exit status: 0 when the response has "ok":true, 1 on an error
  * response or transport failure, 2 on usage errors.
  */
 
-#include <chrono>
 #include <iostream>
 #include <string>
-#include <thread>
 
 #include "bench_util.hpp"
+#include "service/client.hpp"
 #include "service/json.hpp"
-#include "service/protocol.hpp"
-#include "service/socket.hpp"
-
-namespace {
-
-/** Backoff before retry `attempt` (1-based): 50ms·2^(attempt-1),
- *  capped at 1s, jittered to [0.75, 1.25)× by a pure hash of the
- *  attempt number — deterministic, so runs are reproducible. */
-std::chrono::milliseconds
-backoffDelay(int attempt)
-{
-    double ms = 50.0;
-    for (int i = 1; i < attempt && ms < 1000.0; ++i)
-        ms *= 2.0;
-    if (ms > 1000.0)
-        ms = 1000.0;
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    h = (h ^ static_cast<std::uint64_t>(attempt)) * 0x100000001b3ull;
-    h ^= h >> 33;
-    const double jitter =
-        0.75 + 0.5 * static_cast<double>(h % 1024) / 1024.0;
-    return std::chrono::milliseconds(
-        static_cast<long>(ms * jitter + 0.5));
-}
-
-struct AttemptResult
-{
-    bool gotResponse = false; ///< a frame arrived (even an error one)
-    bool ok = false;          ///< response had "ok":true
-    bool overloaded = false;  ///< typed shed; worth retrying
-    std::string line;
-};
-
-AttemptResult
-attemptOnce(const std::string &socket_path, const std::string &frame)
-{
-    using namespace xylem;
-    AttemptResult r;
-    const service::FdGuard fd = service::connectUnix(socket_path);
-    if (!service::sendAll(fd.get(), frame))
-        return r;
-    service::LineReader reader(fd.get(), service::kMaxFrameBytes);
-    if (reader.next(r.line) != service::ReadStatus::Frame)
-        return r;
-    r.gotResponse = true;
-    const service::JsonValue response = service::parseJson(r.line);
-    const service::JsonValue *ok = response.find("ok");
-    r.ok = ok && ok->isBoolean() && ok->boolean();
-    if (!r.ok) {
-        if (const service::JsonValue *err = response.find("error"))
-            if (const service::JsonValue *code = err->find("code"))
-                r.overloaded = code->isString() &&
-                               code->str() == toString(
-                                                  ErrorCode::Overloaded);
-    }
-    return r;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -99,7 +40,9 @@ main(int argc, char **argv)
     using namespace xylem;
     bench::Args args(
         argc, argv,
-        "  --socket PATH   daemon socket (default /tmp/xylem.sock)\n"
+        "  --endpoint EP   daemon endpoint: unix:/path, tcp:host:port, "
+        "or a bare path (default /tmp/xylem.sock)\n"
+        "  --socket PATH   alias for --endpoint (legacy)\n"
         "  --query TYPE    steady | transient | boost | metrics | "
         "health (default steady)\n"
         "  --app NAME      workload profile (required except "
@@ -116,9 +59,11 @@ main(int argc, char **argv)
         "  --retries N     reconnect/retry transport failures and "
         "overload (default 0)\n");
 
-    std::string socket_path = "/tmp/xylem.sock";
+    std::string endpoint = "/tmp/xylem.sock";
+    if (const auto ep = args.option("--endpoint"))
+        endpoint = *ep;
     if (const auto path = args.option("--socket"))
-        socket_path = *path;
+        endpoint = *path;
 
     service::JsonValue::Object request;
     request.emplace("query",
@@ -160,59 +105,48 @@ main(int argc, char **argv)
     const int retries = args.intOption("--retries", 0);
     args.finish();
 
-    const auto start = std::chrono::steady_clock::now();
-    const auto remaining_ms = [&]() -> double {
-        if (deadline_ms <= 0.0)
-            return 0.0; // no budget: remaining is "unlimited"
-        const double spent =
-            std::chrono::duration<double, std::milli>(
-                std::chrono::steady_clock::now() - start)
-                .count();
-        return deadline_ms - spent;
-    };
-
-    std::string last_error;
-    for (int attempt = 0; attempt <= retries; ++attempt) {
-        if (attempt > 0) {
-            auto delay = backoffDelay(attempt);
-            if (deadline_ms > 0.0) {
-                const double left = remaining_ms();
-                if (left <= 0.0)
-                    break; // budget gone: stop retrying
-                if (std::chrono::duration<double, std::milli>(delay)
-                        .count() > left)
-                    delay = std::chrono::milliseconds(
-                        static_cast<long>(left));
-            }
-            std::this_thread::sleep_for(delay);
+    service::ClientOptions copts;
+    copts.endpoint = endpoint;
+    copts.retries = retries;
+    copts.deadlineMs = deadline_ms;
+    try {
+        service::ServiceClient client(copts);
+        // Rebuilt per attempt so each retry carries the budget that
+        // remains, never the original full deadline.
+        const service::CallResult r =
+            client.call([&](double remaining_ms) {
+                service::JsonValue::Object this_request = request;
+                if (remaining_ms > 0.0)
+                    this_request.insert_or_assign(
+                        "deadline_ms",
+                        service::JsonValue(remaining_ms));
+                return service::JsonValue(std::move(this_request))
+                    .dump();
+            });
+        switch (r.status) {
+        case service::CallStatus::Ok:
+            std::cout << r.line << "\n";
+            return 0;
+        case service::CallStatus::ErrorResponse:
+            std::cout << r.line << "\n";
+            return 1;
+        case service::CallStatus::BudgetExhausted:
+            std::cerr << "error: deadline of " << deadline_ms
+                      << "ms exhausted after " << r.attempts
+                      << " attempt(s)\n";
+            return 1;
+        case service::CallStatus::TransportFailure:
+            break;
         }
-        // Each attempt sends the budget REMAINING now, so the server
-        // never works past the point the client has given up.
-        service::JsonValue::Object this_request = request;
-        if (deadline_ms > 0.0) {
-            const double left = remaining_ms();
-            if (left <= 0.0)
-                break;
-            this_request.insert_or_assign(
-                "deadline_ms", service::JsonValue(left));
-        }
-        std::string frame =
-            service::JsonValue(std::move(this_request)).dump();
-        frame += '\n';
-        try {
-            const AttemptResult r = attemptOnce(socket_path, frame);
-            if (r.gotResponse && !r.overloaded) {
-                std::cout << r.line << "\n";
-                return r.ok ? 0 : 1;
-            }
-            last_error = r.gotResponse
-                             ? "daemon overloaded"
-                             : "daemon closed the connection";
-        } catch (const Error &e) {
-            last_error = e.what(); // connect failed: daemon down?
-        }
+        std::cerr << "error: " << r.message
+                  << (retries > 0 ? " (retries exhausted)" : "")
+                  << "\n";
+        return 1;
+    } catch (const Error &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    } catch (const std::exception &e) {
+        std::cerr << "fatal: " << e.what() << "\n";
+        return 1;
     }
-    std::cerr << "error: " << last_error
-              << (retries > 0 ? " (retries exhausted)" : "") << "\n";
-    return 1;
 }

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * xylem_frontend: the scale-out router daemon. Listens on one
+ * endpoint and fans requests out to N xylem_serve shards by
+ * consistent-hashed scenarioKey (src/frontend/frontend.hpp), so a
+ * fleet of shards answers exactly like one daemon — same wire
+ * format, same typed errors, bit-identical payloads.
+ *
+ * Flags:
+ *   --endpoint EP      listening endpoint: unix:/path, tcp:host:port
+ *                      (port 0 = ephemeral, printed at startup), or a
+ *                      bare path (default /tmp/xylem_frontend.sock)
+ *   --shard EP         backend shard endpoint (repeat once per shard;
+ *                      order defines ring identity — keep it stable
+ *                      across restarts)
+ *   --replicas N       virtual ring points per shard (default 64)
+ *   --retries N        same-shard retries before failover (default 1)
+ *   --health-interval S  shard health-probe period (default 0.5;
+ *                      0 disables probing)
+ *   --probe-timeout-ms MS  budget per health probe (default 1000)
+ *   --write-timeout S  per-connection response write timeout
+ *   --idle-timeout S   mid-frame idle (slow-loris) timeout
+ *   --quiet            suppress status output
+ *
+ * Example (2-shard local fleet):
+ *   xylem_serve --endpoint tcp:127.0.0.1:7431 &
+ *   xylem_serve --endpoint tcp:127.0.0.1:7432 &
+ *   xylem_frontend --endpoint tcp:127.0.0.1:7430 \
+ *       --shard tcp:127.0.0.1:7431 --shard tcp:127.0.0.1:7432
+ *   xylem_client --endpoint tcp:127.0.0.1:7430 --query steady --app FFT
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/signal.hpp"
+#include "frontend/frontend.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace xylem;
+    bench::Args args(
+        argc, argv,
+        "  --endpoint EP      listening endpoint (default "
+        "/tmp/xylem_frontend.sock)\n"
+        "  --shard EP         backend shard endpoint (repeatable, "
+        "required)\n"
+        "  --replicas N       ring points per shard (default 64)\n"
+        "  --retries N        same-shard retries before failover "
+        "(default 1)\n"
+        "  --health-interval S  probe period (default 0.5; 0 = off)\n"
+        "  --probe-timeout-ms MS  probe budget (default 1000)\n"
+        "  --write-timeout S  response write timeout (default 10)\n"
+        "  --idle-timeout S   mid-frame idle timeout (default 30)\n"
+        "  --quiet            suppress status output\n");
+
+    frontend::FrontendOptions opts;
+    if (const auto ep = args.option("--endpoint"))
+        opts.endpoint = *ep;
+    while (const auto shard = args.option("--shard"))
+        opts.shards.push_back(*shard);
+    opts.ringReplicas = static_cast<std::size_t>(args.intOption(
+        "--replicas", static_cast<int>(opts.ringReplicas)));
+    opts.retriesPerShard =
+        args.intOption("--retries", opts.retriesPerShard);
+    opts.healthIntervalSeconds = args.numberOption(
+        "--health-interval", opts.healthIntervalSeconds);
+    opts.healthProbeTimeoutMs = args.numberOption(
+        "--probe-timeout-ms", opts.healthProbeTimeoutMs);
+    opts.writeTimeoutSeconds =
+        args.numberOption("--write-timeout", opts.writeTimeoutSeconds);
+    opts.idleTimeoutSeconds =
+        args.numberOption("--idle-timeout", opts.idleTimeoutSeconds);
+    const bool quiet = args.flag("--quiet");
+    args.finish();
+
+    setVerbose(!quiet);
+    ShutdownSignal::install();
+    try {
+        frontend::Frontend router(opts);
+        return router.run();
+    } catch (const Error &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    } catch (const std::exception &e) {
+        std::cerr << "fatal: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,14 +1,17 @@
 /**
  * @file
  * xylem_serve: the long-lived thermal simulation daemon. Listens on a
- * Unix-domain socket for newline-delimited JSON requests (see
- * service/protocol.hpp for the wire format), runs them through the
- * bounded queue + dedup + retry-ladder service, and drains gracefully
- * on SIGINT/SIGTERM (in-flight requests are answered, telemetry is
- * flushed, exit status 0).
+ * Unix-domain or TCP endpoint for newline-delimited JSON requests
+ * (see service/protocol.hpp for the wire format), runs them through
+ * the bounded queue + dedup + retry-ladder service, and drains
+ * gracefully on SIGINT/SIGTERM (in-flight requests are answered,
+ * telemetry is flushed, exit status 0).
  *
  * Flags:
- *   --socket PATH      listening socket (default /tmp/xylem.sock)
+ *   --endpoint EP      listening endpoint: unix:/path, tcp:host:port
+ *                      (port 0 = ephemeral, printed at startup), or a
+ *                      bare path (default /tmp/xylem.sock)
+ *   --socket PATH      alias for --endpoint (legacy)
  *   --jobs N           solver worker threads (default 2)
  *   --queue-capacity N admission-control queue bound (default 64)
  *   --max-retries N    same-rung retries before escalation (default 1)
@@ -40,8 +43,9 @@ main(int argc, char **argv)
     using namespace xylem;
     bench::Args args(
         argc, argv,
-        "  --socket PATH      listening socket "
-        "(default /tmp/xylem.sock)\n"
+        "  --endpoint EP      listening endpoint (unix:/path, "
+        "tcp:host:port, or bare path; default /tmp/xylem.sock)\n"
+        "  --socket PATH      alias for --endpoint (legacy)\n"
         "  --jobs N           solver worker threads (default 2)\n"
         "  --queue-capacity N admission-control bound (default 64)\n"
         "  --max-retries N    same-rung retries (default 1)\n"
@@ -59,8 +63,10 @@ main(int argc, char **argv)
         "  --quiet            suppress status output\n");
 
     service::ServerOptions opts;
+    if (const auto ep = args.option("--endpoint"))
+        opts.endpoint = *ep;
     if (const auto path = args.option("--socket"))
-        opts.socketPath = *path;
+        opts.endpoint = *path;
     opts.workers = args.intOption("--jobs", opts.workers);
     opts.queueCapacity = static_cast<std::size_t>(args.intOption(
         "--queue-capacity", static_cast<int>(opts.queueCapacity)));
